@@ -1,0 +1,12 @@
+//! # bench — Criterion benchmarks for the simulator
+//!
+//! Three suites:
+//! - `engine`: microbenchmarks of the simulation kernel (event queue, flow
+//!   network, end-to-end single-job runs);
+//! - `figures`: the per-figure harnesses at reduced scale — how long each
+//!   paper artifact takes to regenerate;
+//! - `storage_models`: the HDFS/OFS planning paths.
+//!
+//! The *simulated-outcome* ablations (scheduler variants, storage choices,
+//! heap sweeps) are experiments, not wall-clock benchmarks; see the
+//! `experiments` crate's `ablations` binary.

@@ -1,0 +1,108 @@
+//! Hardware cost accounting.
+//!
+//! The paper's experimental design hinges on *cost parity*: "we select two
+//! scale-up machines and twelve scale-out machines ... because it makes the
+//! scale-up and scale-out clusters have the same price cost (according to
+//! the investigation of market), thus makes the performance measurements
+//! comparable". This module makes that constraint executable so cluster
+//! presets and capacity-planning sweeps can assert it instead of assuming it.
+
+use crate::spec::ClusterSpec;
+
+/// Relative price difference between two clusters: `|a−b| / max(a,b)`.
+///
+/// Returns 0.0 when both are free (degenerate but well-defined).
+pub fn relative_cost_gap(a: &ClusterSpec, b: &ClusterSpec) -> f64 {
+    let (pa, pb) = (a.total_price(), b.total_price());
+    let max = pa.max(pb);
+    if max == 0.0 {
+        0.0
+    } else {
+        (pa - pb).abs() / max
+    }
+}
+
+/// Panic unless the clusters' prices agree within `tolerance` (relative).
+///
+/// Used by tests and by experiment harnesses before comparing architectures,
+/// mirroring the paper's comparability requirement.
+pub fn assert_cost_parity(a: &ClusterSpec, b: &ClusterSpec, tolerance: f64) {
+    let gap = relative_cost_gap(a, b);
+    assert!(
+        gap <= tolerance,
+        "cost parity violated: {} costs ${:.0}, {} costs ${:.0} (gap {:.1}% > {:.1}%)",
+        a.name,
+        a.total_price(),
+        b.name,
+        b.total_price(),
+        gap * 100.0,
+        tolerance * 100.0
+    );
+}
+
+/// Cheapest mix of machines under a budget, for capacity-planning examples:
+/// given per-class prices, enumerate all `(n_up, n_out)` mixes whose total
+/// price is within `tolerance` of `budget`.
+pub fn mixes_within_budget(
+    up_price: f64,
+    out_price: f64,
+    budget: f64,
+    tolerance: f64,
+) -> Vec<(u32, u32)> {
+    assert!(up_price > 0.0 && out_price > 0.0 && budget >= 0.0);
+    let mut out = Vec::new();
+    let max_up = (budget * (1.0 + tolerance) / up_price).floor() as u32;
+    for n_up in 0..=max_up {
+        let rest = budget - n_up as f64 * up_price;
+        let n_out = (rest / out_price).round().max(0.0) as u32;
+        let total = n_up as f64 * up_price + n_out as f64 * out_price;
+        if (total - budget).abs() <= tolerance * budget {
+            out.push((n_up, n_out));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn gap_is_zero_for_identical_clusters() {
+        let c = presets::scale_out_cluster();
+        assert_eq!(relative_cost_gap(&c, &c), 0.0);
+    }
+
+    #[test]
+    fn gap_is_symmetric() {
+        let a = presets::scale_up_cluster();
+        let b = presets::scale_out_cluster();
+        assert_eq!(relative_cost_gap(&a, &b), relative_cost_gap(&b, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "cost parity violated")]
+    fn parity_assertion_fires() {
+        let a = presets::scale_up_cluster();
+        let mut b = presets::scale_out_cluster();
+        b.machines.truncate(3);
+        assert_cost_parity(&a, &b, 0.01);
+    }
+
+    #[test]
+    fn paper_mix_is_within_budget_enumeration() {
+        // $48k budget with the preset prices must include the paper's
+        // (2 up, 0 out) and (0 up, 12 out) corner mixes.
+        let mixes = mixes_within_budget(24_000.0, 4_000.0, 48_000.0, 0.001);
+        assert!(mixes.contains(&(2, 0)));
+        assert!(mixes.contains(&(0, 12)));
+        assert!(mixes.contains(&(1, 6)));
+    }
+
+    #[test]
+    fn empty_budget_yields_empty_mix() {
+        let mixes = mixes_within_budget(24_000.0, 4_000.0, 0.0, 0.001);
+        assert_eq!(mixes, vec![(0, 0)]);
+    }
+}

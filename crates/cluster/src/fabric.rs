@@ -1,0 +1,70 @@
+//! The interconnect fabric.
+//!
+//! The paper's testbed wires everything — compute nodes and the OrangeFS
+//! storage servers — into a 10 Gb/s Myrinet with "much lower protocol
+//! overhead than standard Ethernet". For the simulation the fabric
+//! contributes per-transfer latency; bandwidth lives in the endpoint NICs
+//! and storage servers (the Myrinet switch core is non-blocking at this
+//! scale, so the endpoints are the bottleneck).
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Latency parameters of the cluster interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// One-way latency between two distinct compute nodes.
+    pub node_to_node: SimDuration,
+    /// Per-request latency to reach a remote storage server, *in addition*
+    /// to any node-to-node hop. This is the constant the paper blames for
+    /// OFS losing to HDFS on small jobs ("network latency ... independent on
+    /// the data size").
+    pub storage_request: SimDuration,
+}
+
+impl FabricSpec {
+    /// Myrinet-class numbers: microsecond-scale node hops, sub-millisecond
+    /// storage request setup (client → metadata → stripe servers).
+    pub fn myrinet() -> Self {
+        FabricSpec {
+            node_to_node: SimDuration::from_secs_f64(100e-6),
+            storage_request: SimDuration::from_secs_f64(15e-3),
+        }
+    }
+
+    /// Latency of a transfer between machines `a` and `b` (zero when they
+    /// are the same machine — loopback traffic never touches the wire).
+    pub fn transfer_latency(&self, a: u32, b: u32) -> SimDuration {
+        if a == b {
+            SimDuration::ZERO
+        } else {
+            self.node_to_node
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_node_is_free() {
+        let f = FabricSpec::myrinet();
+        assert_eq!(f.transfer_latency(3, 3), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cross_node_pays_the_hop() {
+        let f = FabricSpec::myrinet();
+        assert_eq!(f.transfer_latency(0, 1), f.node_to_node);
+        assert!(f.node_to_node > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn storage_latency_dominates_node_hop() {
+        // The remote-FS request overhead is the small-job penalty; it must
+        // be much larger than a switch hop for the paper's effect to exist.
+        let f = FabricSpec::myrinet();
+        assert!(f.storage_request.as_secs_f64() > 10.0 * f.node_to_node.as_secs_f64());
+    }
+}

@@ -1,0 +1,222 @@
+//! Machine (node) hardware specifications.
+//!
+//! A machine is described by the quantities the paper's measurement section
+//! turns out to matter: core count and speed (slots and waves), RAM (JVM
+//! heap and RAM-disk shuffle store), local disk bandwidth/capacity (HDFS and
+//! spill I/O), and NIC bandwidth (shuffle and remote-storage traffic).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes in one kibi/mebi/gibi/tebibyte — the simulator uses binary units
+/// throughout, matching Hadoop's block-size conventions (128 MB = 128 MiB).
+pub const KB: u64 = 1 << 10;
+/// Bytes in one mebibyte.
+pub const MB: u64 = 1 << 20;
+/// Bytes in one gibibyte.
+pub const GB: u64 = 1 << 30;
+/// Bytes in one tebibyte.
+pub const TB: u64 = 1 << 40;
+
+/// A storage device backed by a processor-sharing bandwidth model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Sustained sequential bandwidth in bytes/s (shared among concurrent
+    /// streams via processor sharing).
+    pub bandwidth: f64,
+    /// Usable capacity in bytes. HDFS data and spill files count against it.
+    pub capacity: u64,
+}
+
+/// A RAM-backed scratch device (`tmpfs`); the paper dedicates half of each
+/// scale-up machine's 505 GB of RAM to a RAM disk for shuffle data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RamdiskSpec {
+    /// Sustained bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Capacity in bytes (half the machine RAM in the paper's setup).
+    pub capacity: u64,
+}
+
+/// Memory-system parameters that shape I/O behaviour: the OS page cache
+/// serves repeated reads at memory speed and absorbs bursts of writes, and
+/// how much of either a node can do depends on the RAM left over after JVM
+/// heaps and any tmpfs RAM disk. This is the mechanism behind two of the
+/// paper's observations: local HDFS beats remote OFS for *small* datasets
+/// ("HDFS is around 10-20% better" below 8 GB), and the scale-up machines'
+/// "more memory resource" advantage grows with shuffle size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Sustained memory-copy bandwidth in bytes/s (page-cache hits and
+    /// write absorption run at this speed).
+    pub bandwidth: f64,
+    /// Bytes of page cache effectively available for caching file data
+    /// (free RAM after heaps/tmpfs).
+    pub page_cache: u64,
+    /// Bytes of dirty page-cache headroom: writes up to this backlog are
+    /// absorbed at memory speed before writeback throttling drops the
+    /// writer to disk speed (Linux `dirty_ratio` behaviour).
+    pub dirty_absorb: u64,
+}
+
+impl MemorySpec {
+    /// The fraction of an I/O stream served at memory speed when
+    /// `pressure` bytes compete for `capacity` bytes of cache: `min(1,
+    /// capacity / pressure)`. Zero pressure means a fully cached stream.
+    pub fn cached_fraction(capacity: u64, pressure: u64) -> f64 {
+        if pressure == 0 {
+            1.0
+        } else {
+            (capacity as f64 / pressure as f64).min(1.0)
+        }
+    }
+
+    /// Cached fraction for reads under `pressure` resident bytes.
+    pub fn read_hit_fraction(&self, pressure: u64) -> f64 {
+        Self::cached_fraction(self.page_cache, pressure)
+    }
+
+    /// Absorbed fraction for writes with `pressure` bytes of write backlog.
+    pub fn write_absorb_fraction(&self, pressure: u64) -> f64 {
+        Self::cached_fraction(self.dirty_absorb, pressure)
+    }
+}
+
+/// A network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Full-duplex bandwidth in bytes/s (10 Gb/s Myrinet ≈ 1.25 GB/s).
+    pub bandwidth: f64,
+}
+
+/// Full hardware description of one machine class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable class name ("scale-up", "scale-out").
+    pub name: String,
+    /// Physical cores; the paper sets `map slots + reduce slots = cores`.
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub core_ghz: f64,
+    /// Per-clock efficiency factor relative to the scale-out baseline
+    /// (captures the Xeon-vs-Opteron micro-architecture gap the paper calls
+    /// "more powerful CPU resources").
+    pub ipc_factor: f64,
+    /// Installed RAM in bytes.
+    pub ram: u64,
+    /// Local disk.
+    pub disk: DiskSpec,
+    /// Network interface.
+    pub nic: NicSpec,
+    /// Memory system (page cache behaviour).
+    pub memory: MemorySpec,
+    /// Optional RAM disk for shuffle data (scale-up machines only).
+    pub ramdisk: Option<RamdiskSpec>,
+    /// Effective bandwidth of the shuffle store when there is no RAM disk:
+    /// sequential, short-lived map-output streams on the local disk are
+    /// heavily page-cache-assisted (written, fetched, deleted — often
+    /// before writeback), so this sits well above the raw disk rate.
+    pub shuffle_bandwidth: f64,
+    /// Street price in USD; used by the cost-parity model that sizes the
+    /// clusters the way the paper did ("same price cost").
+    pub price_usd: f64,
+}
+
+impl MachineSpec {
+    /// Effective compute throughput of one core, in normalized cycles/s.
+    ///
+    /// Task CPU time = work-in-cycles / this value. The scale-out core is
+    /// the unit: a 2.3 GHz Opteron core with `ipc_factor = 1.0` delivers
+    /// 2.3e9 cycles/s of useful work.
+    pub fn core_speed(&self) -> f64 {
+        self.core_ghz * 1e9 * self.ipc_factor
+    }
+
+    /// Number of map slots on this machine.
+    ///
+    /// Total slots equal cores (paper §II-D); Hadoop deployments of that era
+    /// split roughly 3:1 map:reduce, which we round in the map slots' favour.
+    pub fn map_slots(&self) -> u32 {
+        self.cores - self.reduce_slots()
+    }
+
+    /// Number of reduce slots on this machine (¼ of cores, at least 1).
+    pub fn reduce_slots(&self) -> u32 {
+        (self.cores / 4).max(1)
+    }
+
+    /// Whether this machine has a RAM disk for shuffle data.
+    pub fn has_ramdisk(&self) -> bool {
+        self.ramdisk.is_some()
+    }
+
+    /// Bandwidth of the node's shuffle store: the RAM disk where present
+    /// (the paper's scale-up shuffle placement), otherwise the cache-assisted
+    /// local-disk rate.
+    pub fn shuffle_store_bandwidth(&self) -> f64 {
+        self.ramdisk.map(|r| r.bandwidth).unwrap_or(self.shuffle_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(cores: u32) -> MachineSpec {
+        MachineSpec {
+            name: "test".into(),
+            cores,
+            core_ghz: 2.0,
+            ipc_factor: 1.5,
+            ram: 16 * GB,
+            disk: DiskSpec { bandwidth: 1e8, capacity: 100 * GB },
+            nic: NicSpec { bandwidth: 1.25e9 },
+            memory: MemorySpec { bandwidth: 3e9, page_cache: 4 * GB, dirty_absorb: GB },
+            ramdisk: None,
+            shuffle_bandwidth: 5e8,
+            price_usd: 1000.0,
+        }
+    }
+
+    #[test]
+    fn slots_sum_to_cores() {
+        for cores in [1, 2, 4, 8, 24, 64] {
+            let spec = m(cores);
+            assert_eq!(spec.map_slots() + spec.reduce_slots(), cores, "cores={cores}");
+            assert!(spec.reduce_slots() >= 1);
+        }
+    }
+
+    #[test]
+    fn slot_split_is_roughly_three_to_one() {
+        let spec = m(24);
+        assert_eq!(spec.map_slots(), 18);
+        assert_eq!(spec.reduce_slots(), 6);
+        let spec = m(8);
+        assert_eq!(spec.map_slots(), 6);
+        assert_eq!(spec.reduce_slots(), 2);
+    }
+
+    #[test]
+    fn core_speed_combines_clock_and_ipc() {
+        let spec = m(4);
+        assert!((spec.core_speed() - 3.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cached_fraction_clamps() {
+        assert_eq!(MemorySpec::cached_fraction(4, 0), 1.0);
+        assert_eq!(MemorySpec::cached_fraction(4, 2), 1.0);
+        assert_eq!(MemorySpec::cached_fraction(4, 8), 0.5);
+        let m = MemorySpec { bandwidth: 1e9, page_cache: 10, dirty_absorb: 5 };
+        assert_eq!(m.read_hit_fraction(20), 0.5);
+        assert_eq!(m.write_absorb_fraction(20), 0.25);
+    }
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(KB, 1024);
+        assert_eq!(MB, 1024 * KB);
+        assert_eq!(GB, 1024 * MB);
+        assert_eq!(TB, 1024 * GB);
+    }
+}

@@ -1,0 +1,160 @@
+//! The paper's testbed hardware, §II-C, as machine/cluster presets.
+//!
+//! Quantities printed in the paper are used verbatim (cores, clocks, RAM,
+//! disk sizes, node counts, 10 Gb/s Myrinet). Quantities the paper does not
+//! print — device bandwidths, the Xeon-vs-Opteron efficiency gap, prices —
+//! are calibration constants chosen so the reproduced curves match the
+//! paper's *shapes* (orderings and cross points); each is annotated with the
+//! paper observation that pins it down. They are deliberately concentrated
+//! in this module so the calibration story is auditable in one place.
+
+use crate::machine::{DiskSpec, MachineSpec, MemorySpec, NicSpec, RamdiskSpec, GB};
+use crate::spec::ClusterSpec;
+
+/// One scale-up machine: "four 6-core 2.66 GHz Intel Xeon 7542 processors,
+/// 505 GB RAM, 91 GB hard disk, and 10 Gbps Myrinet".
+pub fn scale_up_machine() -> MachineSpec {
+    MachineSpec {
+        name: "scale-up".into(),
+        cores: 24,
+        core_ghz: 2.66,
+        // Xeon 7542 (Nehalem-EX) sustains substantially more work per clock
+        // than the Opteron 2356 (Barcelona); the paper leans on "more
+        // powerful CPU resources" to explain the small-job advantage. 1.6
+        // makes one up-core ≈1.85× one out-core, consistent with the 10-25 %
+        // end-to-end small-job gap the paper reports once I/O is included.
+        ipc_factor: 1.6,
+        ram: 505 * GB,
+        disk: DiskSpec {
+            // Local enterprise SAS drive.
+            bandwidth: 200.0e6,
+            capacity: 91 * GB,
+        },
+        // Palmetto fat nodes carry dual Myrinet rails (a single 10 Gb port
+        // would starve 24 cores of remote-storage bandwidth).
+        nic: NicSpec { bandwidth: 2.5e9 },
+        // 505 GB of RAM minus the 252 GB tmpfs RAM disk and ~190 GB of task
+        // heaps (24 × 8 GB) leaves a healthy page cache; dirty headroom per
+        // Linux writeback defaults on the free portion.
+        memory: MemorySpec { bandwidth: 4.0e9, page_cache: 48 * GB, dirty_absorb: 8 * GB },
+        // "Palmetto enables to use half of the total memory size as tmpfs".
+        ramdisk: Some(RamdiskSpec { bandwidth: 3.5e9, capacity: 252 * GB }),
+        // Unused: the RAM disk is the shuffle store.
+        shuffle_bandwidth: 3.5e9,
+        // Quad-socket Xeon 7500-class box, list price ~6× a commodity
+        // 2-socket Opteron node; makes 2 scale-up ≡ 12 scale-out in cost,
+        // matching the paper's "same price cost" sizing.
+        price_usd: 24_000.0,
+    }
+}
+
+/// One scale-out machine: "two 4-core 2.3 GHz AMD Opteron 2356 processors,
+/// 16 GB RAM, 193 GB hard disk, and 10 Gbps Myrinet".
+pub fn scale_out_machine() -> MachineSpec {
+    MachineSpec {
+        name: "scale-out".into(),
+        cores: 8,
+        core_ghz: 2.3,
+        ipc_factor: 1.0, // the baseline core
+        ram: 16 * GB,
+        disk: DiskSpec {
+            // Local 10k SAS scratch drive (HPC compute node).
+            bandwidth: 160.0e6,
+            capacity: 193 * GB,
+        },
+        nic: NicSpec { bandwidth: 1.25e9 },
+        // 16 GB minus 8 × 1-1.5 GB heaps leaves a few GB of page cache;
+        // writeback throttling caps dirty data well below that.
+        memory: MemorySpec { bandwidth: 3.0e9, page_cache: 5 * GB, dirty_absorb: GB / 2 },
+        ramdisk: None, // "the memory size is limited on the scale-out machines"
+        // Shuffle streams are written, fetched and deleted within seconds;
+        // most never survive to writeback, so the effective store rate sits
+        // ~5× above the raw disk (calibrated against the paper's cross-point
+        // ordering: it must stay well below the scale-up RAM disk).
+        shuffle_bandwidth: 5.3e8,
+        price_usd: 4_000.0,
+    }
+}
+
+/// The paper's scale-up cluster: two scale-up machines.
+pub fn scale_up_cluster() -> ClusterSpec {
+    ClusterSpec::homogeneous("scale-up", scale_up_machine(), 2)
+}
+
+/// The paper's scale-out cluster: twelve scale-out machines.
+pub fn scale_out_cluster() -> ClusterSpec {
+    ClusterSpec::homogeneous("scale-out", scale_out_machine(), 12)
+}
+
+/// The §V baseline cluster: "24 scale-out machines (which have comparably
+/// the same total cost as the machines in the hybrid architecture)".
+pub fn baseline_cluster_24() -> ClusterSpec {
+    ClusterSpec::homogeneous("scale-out-24", scale_out_machine(), 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::assert_cost_parity;
+
+    #[test]
+    fn paper_quantities_are_verbatim() {
+        let up = scale_up_machine();
+        assert_eq!(up.cores, 24);
+        assert_eq!(up.core_ghz, 2.66);
+        assert_eq!(up.ram, 505 * GB);
+        assert_eq!(up.disk.capacity, 91 * GB);
+        assert_eq!(up.ramdisk.unwrap().capacity, 252 * GB);
+
+        let out = scale_out_machine();
+        assert_eq!(out.cores, 8);
+        assert_eq!(out.core_ghz, 2.3);
+        assert_eq!(out.ram, 16 * GB);
+        assert_eq!(out.disk.capacity, 193 * GB);
+        assert!(out.ramdisk.is_none());
+    }
+
+    #[test]
+    fn cluster_sizes_match_paper() {
+        assert_eq!(scale_up_cluster().len(), 2);
+        assert_eq!(scale_out_cluster().len(), 12);
+        assert_eq!(baseline_cluster_24().len(), 24);
+    }
+
+    #[test]
+    fn sub_clusters_have_equal_cost() {
+        assert_cost_parity(&scale_up_cluster(), &scale_out_cluster(), 0.01);
+    }
+
+    #[test]
+    fn baseline_costs_as_much_as_hybrid() {
+        let hybrid = scale_up_cluster().total_price() + scale_out_cluster().total_price();
+        let baseline = baseline_cluster_24().total_price();
+        assert!((hybrid - baseline).abs() / baseline < 0.01);
+    }
+
+    #[test]
+    fn scale_out_has_more_slots_but_slower_cores() {
+        // The central tension of the paper: scale-out wins slots, scale-up
+        // wins per-core speed and shuffle-store bandwidth.
+        let up = scale_up_cluster();
+        let out = scale_out_cluster();
+        assert!(out.total_map_slots() > up.total_map_slots());
+        assert!(
+            scale_up_machine().core_speed() > scale_out_machine().core_speed()
+        );
+        let up_shuffle_bw = scale_up_machine().ramdisk.unwrap().bandwidth;
+        let out_shuffle_bw = scale_out_machine().disk.bandwidth;
+        assert!(up_shuffle_bw > 10.0 * out_shuffle_bw);
+    }
+
+    #[test]
+    fn up_cluster_disk_cannot_hold_large_hdfs_inputs() {
+        // The paper: "due to the limitation of local disk size, up-HDFS
+        // cannot process the jobs with input data size greater than 80 GB".
+        // 2 × 91 GB with replication 2 leaves < 91 GB of unique capacity,
+        // minus shuffle head-room — the storage layer enforces the cap; here
+        // we just pin the raw capacity that causes it.
+        assert_eq!(scale_up_cluster().total_disk_capacity(), 182 * GB);
+    }
+}

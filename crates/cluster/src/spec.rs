@@ -1,0 +1,222 @@
+//! Cluster specifications and their realization as simulation resources.
+
+use crate::fabric::FabricSpec;
+use crate::machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+use simcore::{FlowNetwork, NetResourceId};
+
+/// Identifies one machine within a built deployment.
+///
+/// Node ids are global across the whole deployment (e.g. in the hybrid
+/// architecture, scale-up nodes and scale-out nodes share one id space), so
+/// they can index fabric latencies and storage placement uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Declarative description of one (sub-)cluster: a named list of machines on
+/// a common fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster name ("scale-up", "scale-out", "thadoop", ...).
+    pub name: String,
+    /// One entry per machine.
+    pub machines: Vec<MachineSpec>,
+    /// Interconnect latency parameters.
+    pub fabric: FabricSpec,
+}
+
+impl ClusterSpec {
+    /// `count` identical machines of class `machine`.
+    pub fn homogeneous(name: impl Into<String>, machine: MachineSpec, count: u32) -> Self {
+        ClusterSpec {
+            name: name.into(),
+            machines: (0..count).map(|_| machine.clone()).collect(),
+            fabric: FabricSpec::myrinet(),
+        }
+    }
+
+    /// Total map slots across all machines.
+    pub fn total_map_slots(&self) -> u32 {
+        self.machines.iter().map(MachineSpec::map_slots).sum()
+    }
+
+    /// Total reduce slots across all machines.
+    pub fn total_reduce_slots(&self) -> u32 {
+        self.machines.iter().map(MachineSpec::reduce_slots).sum()
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> u32 {
+        self.machines.iter().map(|m| m.cores).sum()
+    }
+
+    /// Total hardware price in USD (the paper sizes clusters to equal cost).
+    pub fn total_price(&self) -> f64 {
+        self.machines.iter().map(|m| m.price_usd).sum()
+    }
+
+    /// Aggregate local-disk capacity in bytes.
+    pub fn total_disk_capacity(&self) -> u64 {
+        self.machines.iter().map(|m| m.disk.capacity).sum()
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the spec contains no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+}
+
+/// A machine realized in a [`FlowNetwork`]: its spec plus the resource ids
+/// of its devices.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Deployment-global node id.
+    pub id: NodeId,
+    /// Hardware description.
+    pub spec: MachineSpec,
+    /// The local disk's fluid resource.
+    pub disk: NetResourceId,
+    /// The NIC's fluid resource.
+    pub nic: NetResourceId,
+    /// The RAM disk's fluid resource, if the machine has one.
+    pub ramdisk: Option<NetResourceId>,
+    /// The memory bus: page-cache hits and absorbed writes flow through it.
+    pub membus: NetResourceId,
+    /// The shuffle store: the RAM disk where present, otherwise a
+    /// cache-assisted local-disk channel (see
+    /// [`MachineSpec::shuffle_store_bandwidth`]).
+    pub shuffle: NetResourceId,
+}
+
+impl Node {
+    /// The resource backing the machine's shuffle store: RAM disk when
+    /// present (scale-up), otherwise the cache-assisted local-disk channel
+    /// (scale-out). This is the paper's "shuffle data placement"
+    /// configuration (§II-D).
+    pub fn shuffle_store(&self) -> NetResourceId {
+        self.shuffle
+    }
+}
+
+/// A cluster spec realized into simulation resources.
+#[derive(Debug, Clone)]
+pub struct BuiltCluster {
+    /// Name copied from the spec.
+    pub name: String,
+    /// Realized machines, ids dense starting from the `first_node_id` given
+    /// at build time.
+    pub nodes: Vec<Node>,
+    /// Interconnect parameters.
+    pub fabric: FabricSpec,
+}
+
+impl ClusterSpec {
+    /// Realize the cluster into `net`, numbering nodes from `first_node_id`
+    /// (non-zero when several sub-clusters share one deployment).
+    pub fn build(&self, net: &mut FlowNetwork, first_node_id: u32) -> BuiltCluster {
+        let nodes = self
+            .machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let id = NodeId(first_node_id + i as u32);
+                let disk = net
+                    .add_resource(format!("{}/n{}/disk", self.name, id.0), m.disk.bandwidth);
+                let nic =
+                    net.add_resource(format!("{}/n{}/nic", self.name, id.0), m.nic.bandwidth);
+                let ramdisk = m.ramdisk.map(|r| {
+                    net.add_resource(format!("{}/n{}/ramdisk", self.name, id.0), r.bandwidth)
+                });
+                let membus = net
+                    .add_resource(format!("{}/n{}/membus", self.name, id.0), m.memory.bandwidth);
+                let shuffle = match ramdisk {
+                    Some(r) => r,
+                    None => net.add_resource(
+                        format!("{}/n{}/shuffle", self.name, id.0),
+                        m.shuffle_store_bandwidth(),
+                    ),
+                };
+                Node { id, spec: m.clone(), disk, nic, ramdisk, membus, shuffle }
+            })
+            .collect();
+        BuiltCluster { name: self.name.clone(), nodes, fabric: self.fabric }
+    }
+}
+
+impl BuiltCluster {
+    /// Total map slots across the built nodes.
+    pub fn total_map_slots(&self) -> u32 {
+        self.nodes.iter().map(|n| n.spec.map_slots()).sum()
+    }
+
+    /// Total reduce slots across the built nodes.
+    pub fn total_reduce_slots(&self) -> u32 {
+        self.nodes.iter().map(|n| n.spec.reduce_slots()).sum()
+    }
+
+    /// The node with deployment-global id `id`, if it belongs to this cluster.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn homogeneous_replicates_machines() {
+        let spec = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12);
+        assert_eq!(spec.len(), 12);
+        assert_eq!(spec.total_cores(), 96);
+        assert_eq!(spec.total_map_slots(), 12 * 6);
+        assert_eq!(spec.total_reduce_slots(), 12 * 2);
+    }
+
+    #[test]
+    fn build_registers_devices() {
+        let spec = ClusterSpec::homogeneous("up", presets::scale_up_machine(), 2);
+        let mut net = FlowNetwork::new();
+        let built = spec.build(&mut net, 0);
+        assert_eq!(built.nodes.len(), 2);
+        // disk + nic + ramdisk + membus per scale-up node (the RAM disk
+        // doubles as the shuffle store).
+        assert_eq!(net.num_resources(), 8);
+        assert!(built.nodes[0].ramdisk.is_some());
+        assert_eq!(built.nodes[1].id, NodeId(1));
+    }
+
+    #[test]
+    fn node_ids_offset_for_merged_deployments() {
+        let up = ClusterSpec::homogeneous("up", presets::scale_up_machine(), 2);
+        let out = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12);
+        let mut net = FlowNetwork::new();
+        let bu = up.build(&mut net, 0);
+        let bo = out.build(&mut net, bu.nodes.len() as u32);
+        assert_eq!(bo.nodes[0].id, NodeId(2));
+        assert_eq!(bo.nodes[11].id, NodeId(13));
+        assert!(bu.node(NodeId(1)).is_some());
+        assert!(bu.node(NodeId(2)).is_none());
+        assert!(bo.node(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn shuffle_store_prefers_ramdisk() {
+        let mut net = FlowNetwork::new();
+        let up = ClusterSpec::homogeneous("up", presets::scale_up_machine(), 1).build(&mut net, 0);
+        let out =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), 1).build(&mut net, 1);
+        let un = &up.nodes[0];
+        let on = &out.nodes[0];
+        assert_eq!(un.shuffle_store(), un.ramdisk.unwrap());
+        assert_ne!(on.shuffle_store(), on.disk, "dedicated cache-assisted channel");
+        assert!(net.resource_name(un.shuffle_store()).contains("ramdisk"));
+        assert!(net.resource_name(on.shuffle_store()).contains("shuffle"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Deployment architectures: Table I plus the §V contenders.
+//!
+//! | name      | compute                      | storage |
+//! |-----------|------------------------------|---------|
+//! | up-OFS    | 2 scale-up                   | OFS     |
+//! | up-HDFS   | 2 scale-up                   | HDFS    |
+//! | out-OFS   | 12 scale-out                 | OFS     |
+//! | out-HDFS  | 12 scale-out                 | HDFS    |
+//! | Hybrid    | 2 scale-up + 12 scale-out    | OFS     |
+//! | THadoop   | 24 scale-out (equal cost)    | HDFS    |
+//! | RHadoop   | 24 scale-out (equal cost)    | OFS     |
+
+use cluster::{presets, ClusterSpec, FabricSpec};
+use mapreduce::{EngineConfig, JobSpec, Simulation};
+use scheduler::Placement;
+use serde::{Deserialize, Serialize};
+use simcore::FlowNetwork;
+use storage::{HdfsConfig, HdfsModel, OfsConfig, OfsModel};
+
+/// One of the measured deployments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Architecture {
+    /// Scale-up cluster on the remote file system.
+    UpOfs,
+    /// Scale-up cluster on local HDFS.
+    UpHdfs,
+    /// Scale-out cluster on the remote file system.
+    OutOfs,
+    /// Scale-out cluster on local HDFS.
+    OutHdfs,
+    /// The paper's contribution: both clusters sharing OFS.
+    Hybrid,
+    /// Traditional Hadoop baseline: 24 scale-out machines on HDFS.
+    THadoop,
+    /// Remote-storage baseline: 24 scale-out machines on OFS.
+    RHadoop,
+}
+
+impl Architecture {
+    /// The four single-cluster measurement architectures of Table I.
+    pub const TABLE_I: [Architecture; 4] =
+        [Architecture::UpOfs, Architecture::UpHdfs, Architecture::OutOfs, Architecture::OutHdfs];
+
+    /// The three §V trace-replay contenders.
+    pub const TRACE_CONTENDERS: [Architecture; 3] =
+        [Architecture::Hybrid, Architecture::THadoop, Architecture::RHadoop];
+
+    /// Paper-style short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::UpOfs => "up-OFS",
+            Architecture::UpHdfs => "up-HDFS",
+            Architecture::OutOfs => "out-OFS",
+            Architecture::OutHdfs => "out-HDFS",
+            Architecture::Hybrid => "Hybrid",
+            Architecture::THadoop => "THadoop",
+            Architecture::RHadoop => "RHadoop",
+        }
+    }
+
+    /// Storage backend name.
+    pub fn storage_name(&self) -> &'static str {
+        match self {
+            Architecture::UpHdfs | Architecture::OutHdfs | Architecture::THadoop => "hdfs",
+            _ => "ofs",
+        }
+    }
+
+    /// Whether the deployment contains a scale-up sub-cluster.
+    pub fn has_scale_up(&self) -> bool {
+        matches!(self, Architecture::UpOfs | Architecture::UpHdfs | Architecture::Hybrid)
+    }
+
+    /// Compute cluster specs for this architecture (in cluster-index order),
+    /// using the given machine classes.
+    pub fn cluster_specs_with(
+        &self,
+        up: &cluster::MachineSpec,
+        out: &cluster::MachineSpec,
+    ) -> Vec<ClusterSpec> {
+        let up_cluster = || ClusterSpec::homogeneous("scale-up", up.clone(), 2);
+        let out_cluster = || ClusterSpec::homogeneous("scale-out", out.clone(), 12);
+        let baseline = || ClusterSpec::homogeneous("scale-out-24", out.clone(), 24);
+        match self {
+            Architecture::UpOfs | Architecture::UpHdfs => vec![up_cluster()],
+            Architecture::OutOfs | Architecture::OutHdfs => vec![out_cluster()],
+            Architecture::Hybrid => vec![up_cluster(), out_cluster()],
+            Architecture::THadoop | Architecture::RHadoop => vec![baseline()],
+        }
+    }
+
+    /// Compute cluster specs with the paper's preset hardware.
+    pub fn cluster_specs(&self) -> Vec<ClusterSpec> {
+        self.cluster_specs_with(&presets::scale_up_machine(), &presets::scale_out_machine())
+    }
+
+    /// Total hardware price — equal across all architectures by design.
+    pub fn total_price(&self) -> f64 {
+        self.cluster_specs().iter().map(ClusterSpec::total_price).sum()
+    }
+}
+
+/// A built, ready-to-run deployment.
+pub struct Deployment {
+    /// The simulator, pre-wired with clusters and storage.
+    pub sim: Simulation,
+    /// Which architecture this is.
+    pub arch: Architecture,
+    /// Simulator cluster index of the scale-up sub-cluster, if any.
+    pub up_cluster: Option<usize>,
+    /// Simulator cluster index of the scale-out sub-cluster, if any.
+    pub out_cluster: Option<usize>,
+}
+
+impl Deployment {
+    /// Build `arch` with default (paper) hardware and tuning.
+    pub fn build(arch: Architecture) -> Deployment {
+        Self::build_with(arch, &DeploymentTuning::default())
+    }
+
+    /// Build `arch` with explicit tuning knobs (ablation studies).
+    pub fn build_with(arch: Architecture, tuning: &DeploymentTuning) -> Deployment {
+        let mut net = FlowNetwork::new();
+        let specs = arch.cluster_specs_with(&tuning.up_machine, &tuning.out_machine);
+        let mut built = Vec::new();
+        let mut first_id = 0u32;
+        for spec in &specs {
+            let b = spec.build(&mut net, first_id);
+            first_id += b.nodes.len() as u32;
+            built.push(b);
+        }
+        let all_nodes: Vec<cluster::Node> =
+            built.iter().flat_map(|b| b.nodes.iter().cloned()).collect();
+
+        let storage_kind = tuning.storage_override.unwrap_or(match arch.storage_name() {
+            "hdfs" => StorageKind::Hdfs,
+            _ => StorageKind::Ofs,
+        });
+        let dfs: Box<dyn storage::DfsModel> = match storage_kind {
+            StorageKind::Hdfs => Box::new(HdfsModel::new(
+                tuning.hdfs.clone(),
+                &all_nodes,
+                FabricSpec::myrinet(),
+            )),
+            StorageKind::Ofs => Box::new(OfsModel::new(tuning.ofs.clone(), &mut net)),
+        };
+
+        let clusters: Vec<(cluster::BuiltCluster, EngineConfig)> = built
+            .into_iter()
+            .map(|b| {
+                let cfg = if b.name == "scale-up" {
+                    tuning.engine_up.clone()
+                } else {
+                    tuning.engine_out.clone()
+                };
+                (b, cfg)
+            })
+            .collect();
+
+        let (up_cluster, out_cluster) = match arch {
+            Architecture::UpOfs | Architecture::UpHdfs => (Some(0), None),
+            Architecture::OutOfs | Architecture::OutHdfs => (None, Some(0)),
+            Architecture::Hybrid => (Some(0), Some(1)),
+            Architecture::THadoop | Architecture::RHadoop => (None, Some(0)),
+        };
+
+        Deployment { sim: Simulation::new(net, dfs, clusters), arch, up_cluster, out_cluster }
+    }
+
+    /// Submit a job on the side chosen by a placement decision. On
+    /// single-cluster architectures both placements map to the one cluster.
+    pub fn submit_placed(&mut self, spec: JobSpec, placement: Placement) {
+        let cluster = match placement {
+            Placement::ScaleUp => self.up_cluster.or(self.out_cluster),
+            Placement::ScaleOut => self.out_cluster.or(self.up_cluster),
+        }
+        .expect("deployment has at least one cluster");
+        self.sim.submit(spec, cluster);
+    }
+
+    /// Submit to the deployment's default (only) cluster.
+    pub fn submit(&mut self, spec: JobSpec) {
+        self.submit_placed(spec, Placement::ScaleOut);
+    }
+}
+
+/// Which distributed file system backs a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// Local HDFS over the compute nodes.
+    Hdfs,
+    /// Remote striped parallel file system (OFS).
+    Ofs,
+}
+
+/// All tunables of a deployment, with the paper's defaults. Every ablation
+/// bench is a perturbation of one field here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentTuning {
+    /// HDFS parameters (block size, replication, reserve).
+    pub hdfs: HdfsConfig,
+    /// OFS parameters (stripes, servers, request latency).
+    pub ofs: OfsConfig,
+    /// Runtime tuning of the scale-up sub-cluster.
+    pub engine_up: EngineConfig,
+    /// Runtime tuning of the scale-out sub-cluster(s).
+    pub engine_out: EngineConfig,
+    /// Scale-up machine hardware (default: the paper's Palmetto fat node).
+    pub up_machine: cluster::MachineSpec,
+    /// Scale-out machine hardware (default: the paper's Palmetto thin node).
+    pub out_machine: cluster::MachineSpec,
+    /// Force a storage backend regardless of the architecture's default —
+    /// the §IV storage-choice ablation ("we could let HDFS consider both
+    /// scale-out and scale-up machines equally as datanodes").
+    pub storage_override: Option<StorageKind>,
+}
+
+impl Default for DeploymentTuning {
+    fn default() -> Self {
+        DeploymentTuning {
+            hdfs: HdfsConfig::default(),
+            ofs: OfsConfig::default(),
+            engine_up: EngineConfig::scale_up(),
+            engine_out: EngineConfig::scale_out(),
+            up_machine: presets::scale_up_machine(),
+            out_machine: presets::scale_out_machine(),
+            storage_override: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_architectures_cost_the_same() {
+        let prices: Vec<f64> = Architecture::TABLE_I
+            .iter()
+            .chain(Architecture::TRACE_CONTENDERS.iter())
+            .map(|a| {
+                // Sub-cluster architectures cost half of the combined ones.
+                match a {
+                    Architecture::Hybrid | Architecture::THadoop | Architecture::RHadoop => {
+                        a.total_price()
+                    }
+                    _ => 2.0 * a.total_price(),
+                }
+            })
+            .collect();
+        for p in &prices {
+            assert!((p - prices[0]).abs() / prices[0] < 0.01, "{prices:?}");
+        }
+    }
+
+    #[test]
+    fn build_all_architectures() {
+        for arch in Architecture::TABLE_I.iter().chain(Architecture::TRACE_CONTENDERS.iter()) {
+            let d = Deployment::build(*arch);
+            assert_eq!(d.arch, *arch);
+            assert_eq!(d.arch.has_scale_up(), d.up_cluster.is_some());
+        }
+    }
+
+    #[test]
+    fn hybrid_has_both_sides() {
+        let d = Deployment::build(Architecture::Hybrid);
+        assert_eq!(d.up_cluster, Some(0));
+        assert_eq!(d.out_cluster, Some(1));
+        assert_eq!(d.sim.dfs().name(), "ofs");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Architecture::UpOfs.name(), "up-OFS");
+        assert_eq!(Architecture::THadoop.name(), "THadoop");
+        assert_eq!(Architecture::THadoop.storage_name(), "hdfs");
+        assert_eq!(Architecture::RHadoop.storage_name(), "ofs");
+    }
+
+    #[test]
+    fn placement_falls_back_on_single_cluster() {
+        let mut d = Deployment::build(Architecture::OutHdfs);
+        let spec = JobSpec::at_zero(0, workload::apps::grep(), 1 << 30);
+        d.submit_placed(spec, Placement::ScaleUp); // no up side: runs on out
+        let r = d.sim.run()[0].clone();
+        assert!(r.succeeded());
+        assert_eq!(r.cluster_name, "scale-out");
+    }
+}

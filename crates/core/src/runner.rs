@@ -1,0 +1,198 @@
+//! Single-job measurement runs and parallel parameter sweeps — the
+//! machinery behind Figures 5–9.
+
+use crate::architecture::{Architecture, Deployment, DeploymentTuning};
+use mapreduce::{JobProfile, JobResult, JobSpec};
+use metrics::Series;
+use scheduler::SweepPoint;
+
+/// Run one job of `profile` at `input_size` on a fresh `arch` deployment
+/// and return its result (failures are reported, not panicked — up-HDFS
+/// legitimately rejects large inputs).
+pub fn run_job(arch: Architecture, profile: &JobProfile, input_size: u64) -> JobResult {
+    run_job_with(arch, profile, input_size, &DeploymentTuning::default())
+}
+
+/// [`run_job`] with explicit tuning (ablations).
+pub fn run_job_with(
+    arch: Architecture,
+    profile: &JobProfile,
+    input_size: u64,
+    tuning: &DeploymentTuning,
+) -> JobResult {
+    let mut d = Deployment::build_with(arch, tuning);
+    d.submit(JobSpec::at_zero(0, profile.clone(), input_size));
+    d.sim.run()[0].clone()
+}
+
+/// The measurement grid of one figure: each architecture × each size, in
+/// parallel (each point is its own deterministic deployment).
+pub fn sweep(
+    archs: &[Architecture],
+    profile: &JobProfile,
+    sizes: &[u64],
+) -> Vec<Vec<JobResult>> {
+    sweep_with(archs, profile, sizes, &DeploymentTuning::default())
+}
+
+/// [`sweep`] with explicit tuning.
+pub fn sweep_with(
+    archs: &[Architecture],
+    profile: &JobProfile,
+    sizes: &[u64],
+    tuning: &DeploymentTuning,
+) -> Vec<Vec<JobResult>> {
+    let points: Vec<(usize, Architecture, u64)> = archs
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, &a)| sizes.iter().map(move |&s| (ai, a, s)))
+        .collect();
+    let results =
+        parsweep::par_map(points, |(ai, arch, size)| (ai, run_job_with(arch, profile, size, tuning)));
+    let mut grouped: Vec<Vec<JobResult>> = archs.iter().map(|_| Vec::new()).collect();
+    for (ai, r) in results {
+        grouped[ai].push(r);
+    }
+    grouped
+}
+
+/// Extract a metric from sweep results as one [`Series`] per architecture.
+/// Failed points are skipped (they appear as gaps, like up-HDFS beyond
+/// 80 GB in the paper's figures).
+pub fn series_of(
+    archs: &[Architecture],
+    grouped: &[Vec<JobResult>],
+    metric: impl Fn(&JobResult) -> f64,
+) -> Vec<Series> {
+    archs
+        .iter()
+        .zip(grouped)
+        .map(|(arch, results)| {
+            let mut s = Series::new(arch.name());
+            for r in results {
+                if r.succeeded() {
+                    s.push(r.input_size as f64, metric(r));
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Run the Figure 7/8 comparison: the same profile and sizes on up-OFS and
+/// out-OFS, producing the sweep points the cross-point estimator consumes.
+/// Points where either side fails are dropped.
+pub fn cross_point_sweep(profile: &JobProfile, sizes: &[u64]) -> Vec<SweepPoint> {
+    cross_point_sweep_with(profile, sizes, &DeploymentTuning::default())
+}
+
+/// [`cross_point_sweep`] with explicit tuning (calibration searches).
+pub fn cross_point_sweep_with(
+    profile: &JobProfile,
+    sizes: &[u64],
+    tuning: &DeploymentTuning,
+) -> Vec<SweepPoint> {
+    let grouped =
+        sweep_with(&[Architecture::UpOfs, Architecture::OutOfs], profile, sizes, tuning);
+    grouped[0]
+        .iter()
+        .zip(&grouped[1])
+        .filter(|(u, o)| u.succeeded() && o.succeeded())
+        .map(|(u, o)| SweepPoint {
+            input_size: u.input_size as f64,
+            t_up: u.execution.as_secs_f64(),
+            t_out: o.execution.as_secs_f64(),
+        })
+        .collect()
+}
+
+/// The standard size grids of the paper's figures, in bytes.
+pub mod grids {
+    const GB: u64 = 1 << 30;
+
+    /// Figures 5/6 (Wordcount, Grep): 0.5–448 GB.
+    pub fn shuffle_intensive() -> Vec<u64> {
+        [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 896]
+            .iter()
+            .map(|&half_gb| half_gb * GB / 2)
+            .collect()
+    }
+
+    /// Figure 9 (TestDFSIO): 1–1000 GB.
+    pub fn map_intensive() -> Vec<u64> {
+        [1, 3, 5, 10, 30, 50, 80, 100, 300, 500, 800, 1000]
+            .iter()
+            .map(|&gb| gb * GB)
+            .collect()
+    }
+
+    /// Figures 7/8 cross-point scans: 1–100 GB.
+    pub fn cross_point() -> Vec<u64> {
+        [1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64, 100].iter().map(|&gb| gb * GB).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::apps;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn run_job_returns_a_result_per_architecture() {
+        for arch in Architecture::TABLE_I {
+            let r = run_job(arch, &apps::grep(), GB);
+            assert!(r.succeeded(), "{} failed: {:?}", arch.name(), r.failed);
+        }
+    }
+
+    #[test]
+    fn sweep_groups_by_architecture_in_order() {
+        let archs = [Architecture::UpOfs, Architecture::OutOfs];
+        let sizes = [GB / 2, GB];
+        let grouped = sweep(&archs, &apps::grep(), &sizes);
+        assert_eq!(grouped.len(), 2);
+        for g in &grouped {
+            assert_eq!(g.len(), 2);
+            assert_eq!(g[0].input_size, GB / 2);
+            assert_eq!(g[1].input_size, GB);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_despite_parallelism() {
+        let archs = [Architecture::OutHdfs];
+        let sizes = [GB, 2 * GB, 4 * GB];
+        let a = sweep(&archs, &apps::wordcount(), &sizes);
+        let b = sweep(&archs, &apps::wordcount(), &sizes);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn series_skips_failed_points() {
+        // up-HDFS cannot host 100 GB; the series must simply omit it.
+        let archs = [Architecture::UpHdfs];
+        let grouped = sweep(&archs, &apps::grep(), &[GB, 100 * GB]);
+        let series = series_of(&archs, &grouped, |r| r.execution.as_secs_f64());
+        assert_eq!(series[0].points.len(), 1);
+        assert!(!grouped[0][1].succeeded());
+    }
+
+    #[test]
+    fn cross_point_sweep_produces_monotone_sizes() {
+        let pts = cross_point_sweep(&apps::grep(), &[GB, 4 * GB]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].input_size < pts[1].input_size);
+        assert!(pts.iter().all(|p| p.t_up > 0.0 && p.t_out > 0.0));
+    }
+
+    #[test]
+    fn grids_are_sorted_and_in_range() {
+        for grid in [grids::shuffle_intensive(), grids::map_intensive(), grids::cross_point()] {
+            assert!(grid.windows(2).all(|w| w[0] < w[1]));
+            assert!(*grid.first().unwrap() >= GB / 2);
+            assert!(*grid.last().unwrap() <= 1000 * GB);
+        }
+    }
+}

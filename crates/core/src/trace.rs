@@ -1,0 +1,217 @@
+//! Trace-driven workload replay — the §V / Figure 10 experiment.
+//!
+//! A trace (e.g. the FB-2009 re-synthesis from `workload::facebook`) is
+//! replayed "based on the job arrival time" against an architecture. On the
+//! hybrid architecture a placement policy routes each job; the baselines
+//! have a single cluster. Following the paper, jobs are *classified* as
+//! "scale-up jobs" / "scale-out jobs" by the cross-point scheduler's verdict
+//! ("we refer to the jobs that are scheduled to scale-up cluster and
+//! scale-out cluster by our scheduler as scale-up jobs and scale-out jobs"),
+//! and that classification is applied to every architecture so the Figure 10
+//! CDFs compare the same job populations.
+
+use crate::architecture::{Architecture, Deployment, DeploymentTuning};
+use mapreduce::{JobResult, JobSpec};
+use metrics::EmpiricalCdf;
+use scheduler::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
+
+/// Outcome of one trace replay.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    /// The architecture replayed against.
+    pub arch: Architecture,
+    /// Placement policy used (only consequential on `Hybrid`).
+    pub policy: String,
+    /// Per-job results, in completion order.
+    pub results: Vec<JobResult>,
+    /// Execution times (s) of the jobs classified as scale-up jobs.
+    pub up_class_exec: Vec<f64>,
+    /// Execution times (s) of the jobs classified as scale-out jobs.
+    pub out_class_exec: Vec<f64>,
+}
+
+impl TraceOutcome {
+    /// CDF of scale-up-class execution times (Figure 10a).
+    pub fn up_cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::new(self.up_class_exec.clone())
+    }
+
+    /// CDF of scale-out-class execution times (Figure 10b).
+    pub fn out_cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::new(self.out_class_exec.clone())
+    }
+
+    /// Number of jobs that failed (should be zero on OFS architectures).
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| !r.succeeded()).count()
+    }
+}
+
+/// A crude backlog estimate for load-aware policies: seconds of virtual
+/// work added per job. Only relative magnitudes matter.
+fn est_cost_secs(spec: &JobSpec) -> f64 {
+    3.0 + spec.input_size as f64 / 500.0e6
+}
+
+/// Replay `trace` on `arch` routing via `policy`, classifying jobs with the
+/// paper's default cross-point scheduler.
+pub fn run_trace(
+    arch: Architecture,
+    policy: &dyn JobPlacement,
+    trace: &[JobSpec],
+) -> TraceOutcome {
+    run_trace_with(arch, policy, trace, &DeploymentTuning::default())
+}
+
+/// [`run_trace`] with explicit tuning.
+pub fn run_trace_with(
+    arch: Architecture,
+    policy: &dyn JobPlacement,
+    trace: &[JobSpec],
+    tuning: &DeploymentTuning,
+) -> TraceOutcome {
+    let classifier = CrossPointScheduler::default();
+    let mut deployment = Deployment::build_with(arch, tuning);
+
+    // Virtual backlog (for load-aware policies): drains at one work-second
+    // per second per side, grows by the job's estimated cost.
+    let mut loads = ClusterLoads::default();
+    let mut t_prev = 0.0f64;
+    let mut class_of = Vec::with_capacity(trace.len());
+
+    for spec in trace {
+        let t = spec.submit.as_secs_f64();
+        let dt = (t - t_prev).max(0.0);
+        t_prev = t;
+        loads.up_outstanding = (loads.up_outstanding - dt).max(0.0);
+        loads.out_outstanding = (loads.out_outstanding - dt).max(0.0);
+
+        let placement = policy.place(spec, &loads);
+        match placement {
+            Placement::ScaleUp => loads.up_outstanding += est_cost_secs(spec),
+            Placement::ScaleOut => loads.out_outstanding += est_cost_secs(spec),
+        }
+        class_of.push(classifier.place(spec, &ClusterLoads::default()));
+        deployment.submit_placed(spec.clone(), placement);
+    }
+
+    let results = deployment.sim.run().to_vec();
+    let mut up_class_exec = Vec::new();
+    let mut out_class_exec = Vec::new();
+    for r in &results {
+        if !r.succeeded() {
+            continue;
+        }
+        let class = class_of[r.id.0 as usize];
+        match class {
+            Placement::ScaleUp => up_class_exec.push(r.execution.as_secs_f64()),
+            Placement::ScaleOut => out_class_exec.push(r.execution.as_secs_f64()),
+        }
+    }
+    TraceOutcome {
+        arch,
+        policy: policy.name().to_string(),
+        results,
+        up_class_exec,
+        out_class_exec,
+    }
+}
+
+/// Replay the same configuration under several trace seeds in parallel —
+/// the statistical-rigor upgrade over the paper's single replay. Each seed
+/// produces an independent synthetic day of the workload.
+pub fn run_trace_replicated(
+    arch: Architecture,
+    policy: &(dyn JobPlacement + Sync),
+    base: &workload::FacebookTraceConfig,
+    seeds: &[u64],
+) -> Vec<TraceOutcome> {
+    run_trace_replicated_with(arch, policy, base, seeds, &DeploymentTuning::default())
+}
+
+/// [`run_trace_replicated`] with explicit tuning.
+pub fn run_trace_replicated_with(
+    arch: Architecture,
+    policy: &(dyn JobPlacement + Sync),
+    base: &workload::FacebookTraceConfig,
+    seeds: &[u64],
+    tuning: &DeploymentTuning,
+) -> Vec<TraceOutcome> {
+    parsweep::par_map(seeds.to_vec(), |seed| {
+        let cfg = workload::FacebookTraceConfig { seed, ..base.clone() };
+        let trace = workload::generate_facebook_trace(&cfg);
+        run_trace_with(arch, policy, &trace, tuning)
+    })
+}
+
+/// Summarize one quantile of a class across replicated outcomes.
+pub fn quantile_stats(
+    outcomes: &[TraceOutcome],
+    scale_up_class: bool,
+    q: f64,
+) -> metrics::OnlineStats {
+    let mut stats = metrics::OnlineStats::new();
+    for o in outcomes {
+        let cdf = if scale_up_class { o.up_cdf() } else { o.out_cdf() };
+        if let Some(v) = cdf.quantile(q) {
+            stats.push(v);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scheduler::AlwaysOut;
+    use workload::{generate_facebook_trace, FacebookTraceConfig};
+
+    fn small_trace(jobs: usize) -> Vec<JobSpec> {
+        // A compressed window keeps queueing pressure realistic at small
+        // job counts.
+        let cfg = FacebookTraceConfig {
+            jobs,
+            window: simcore::SimDuration::from_secs(jobs as u64 * 12),
+            ..Default::default()
+        };
+        generate_facebook_trace(&cfg)
+    }
+
+    #[test]
+    fn replay_completes_all_jobs_on_hybrid() {
+        let trace = small_trace(60);
+        let out = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+        assert_eq!(out.results.len(), 60);
+        assert_eq!(out.failures(), 0);
+        assert_eq!(out.up_class_exec.len() + out.out_class_exec.len(), 60);
+        // FB-2009-like traces are dominated by small jobs.
+        assert!(out.up_class_exec.len() > out.out_class_exec.len());
+    }
+
+    #[test]
+    fn classification_is_stable_across_architectures() {
+        let trace = small_trace(40);
+        let h = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+        let t = run_trace(Architecture::THadoop, &AlwaysOut, &trace);
+        assert_eq!(h.up_class_exec.len(), t.up_class_exec.len());
+        assert_eq!(h.out_class_exec.len(), t.out_class_exec.len());
+    }
+
+    #[test]
+    fn cdfs_cover_their_class() {
+        let trace = small_trace(50);
+        let out = run_trace(Architecture::RHadoop, &AlwaysOut, &trace);
+        let cdf = out.up_cdf();
+        assert_eq!(cdf.len(), out.up_class_exec.len());
+        if let Some(max) = cdf.max() {
+            assert!(max > 0.0);
+        }
+    }
+
+    #[test]
+    fn policy_name_is_recorded() {
+        let trace = small_trace(10);
+        let out = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+        assert_eq!(out.policy, "crosspoint");
+    }
+}

@@ -1,0 +1,263 @@
+//! Ablations of the design choices DESIGN.md §6 calls out: what each piece
+//! of the hybrid architecture contributes, measured in *simulated* job
+//! performance. Appends nothing anywhere — prints Markdown tables.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin ablations
+//! ```
+
+use hybrid_core::{run_job_with, run_trace_with, Architecture, DeploymentTuning, StorageKind};
+use metrics::table::{fmt_bytes, fmt_secs, render};
+use scheduler::{
+    AlwaysOut, AlwaysUp, ClusterLoads, CrossPointScheduler, JobPlacement, LoadAwareScheduler,
+    Placement, SizeOnlyScheduler,
+};
+use simcore::SimDuration;
+use workload::{apps, generate_facebook_trace, FacebookTraceConfig};
+
+const GB: u64 = 1 << 30;
+
+/// Oracle placement: per job, whichever side runs it faster in isolation.
+struct Oracle {
+    verdicts: Vec<Placement>,
+}
+
+impl Oracle {
+    fn build(trace: &[mapreduce::JobSpec]) -> Oracle {
+        let tuning = DeploymentTuning::default();
+        let verdicts = parsweep::par_map(trace.to_vec(), |spec| {
+            let up =
+                run_job_with(Architecture::UpOfs, &spec.profile, spec.input_size, &tuning);
+            let out =
+                run_job_with(Architecture::OutOfs, &spec.profile, spec.input_size, &tuning);
+            if up.execution <= out.execution {
+                Placement::ScaleUp
+            } else {
+                Placement::ScaleOut
+            }
+        });
+        Oracle { verdicts }
+    }
+}
+
+impl JobPlacement for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+    fn place(&self, job: &mapreduce::JobSpec, _loads: &ClusterLoads) -> Placement {
+        self.verdicts[job.id.0 as usize]
+    }
+}
+
+fn scheduler_ablation() {
+    println!("## Scheduler ablation (600-job FB-2009 sample on the hybrid hardware)\n");
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 600,
+        window: SimDuration::from_secs(2880), // ~8h-equivalent pressure
+        ..Default::default()
+    });
+    let tuning = DeploymentTuning::default();
+    let oracle = Oracle::build(&trace);
+    let crosspoint = CrossPointScheduler::default();
+    let unknown = CrossPointScheduler { assume_unknown_ratio: true, ..Default::default() };
+    let size_only = SizeOnlyScheduler { threshold: 16 * GB };
+    let load_aware = LoadAwareScheduler::default();
+    let policies: Vec<&dyn JobPlacement> = vec![
+        &crosspoint,
+        &unknown,
+        &size_only,
+        &load_aware,
+        &AlwaysUp,
+        &AlwaysOut,
+        &oracle,
+    ];
+    let mut rows = Vec::new();
+    for (i, policy) in policies.iter().enumerate() {
+        let name = if i == 1 { "crosspoint (unknown S/I)" } else { policy.name() };
+        let outcome = run_trace_with(Architecture::Hybrid, *policy, &trace, &tuning);
+        let execs: Vec<f64> = outcome
+            .results
+            .iter()
+            .filter(|r| r.succeeded())
+            .map(|r| r.execution.as_secs_f64())
+            .collect();
+        let cdf = metrics::EmpiricalCdf::new(execs);
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(cdf.quantile(0.5).unwrap_or(f64::NAN)),
+            fmt_secs(cdf.quantile(0.9).unwrap_or(f64::NAN)),
+            fmt_secs(cdf.quantile(0.99).unwrap_or(f64::NAN)),
+            fmt_secs(cdf.max().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{}", render(&["policy", "p50", "p90", "p99", "max"], &rows));
+}
+
+fn storage_ablation() {
+    println!("## Storage ablation: the hybrid architecture on shared HDFS vs OFS\n");
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 600,
+        window: SimDuration::from_secs(2880),
+        ..Default::default()
+    });
+    let policy = CrossPointScheduler::default();
+    let mut rows = Vec::new();
+    for (name, kind) in
+        [("Hybrid + OFS (paper)", StorageKind::Ofs), ("Hybrid + shared HDFS", StorageKind::Hdfs)]
+    {
+        let tuning = DeploymentTuning { storage_override: Some(kind), ..Default::default() };
+        let outcome = run_trace_with(Architecture::Hybrid, &policy, &trace, &tuning);
+        let execs: Vec<f64> = outcome
+            .results
+            .iter()
+            .filter(|r| r.succeeded())
+            .map(|r| r.execution.as_secs_f64())
+            .collect();
+        let cdf = metrics::EmpiricalCdf::new(execs);
+        rows.push(vec![
+            name.to_string(),
+            outcome.failures().to_string(),
+            fmt_secs(cdf.quantile(0.5).unwrap_or(f64::NAN)),
+            fmt_secs(cdf.quantile(0.9).unwrap_or(f64::NAN)),
+            fmt_secs(cdf.max().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{}", render(&["storage", "failed", "p50", "p90", "max"], &rows));
+}
+
+fn ramdisk_ablation() {
+    println!("## Shuffle-placement ablation: scale-up RAM disk on/off (16 GB Wordcount)\n");
+    let mut rows = Vec::new();
+    for (name, ramdisk) in [("RAM disk (paper)", true), ("local disk shuffle", false)] {
+        let mut tuning = DeploymentTuning::default();
+        if !ramdisk {
+            tuning.up_machine.ramdisk = None;
+            // Without tmpfs, map outputs go to the single local SAS disk
+            // with the same cache-assist the scale-out nodes get.
+            tuning.up_machine.shuffle_bandwidth = 5.3e8;
+        }
+        let r = run_job_with(Architecture::UpOfs, &apps::wordcount(), 16 * GB, &tuning);
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(r.execution.as_secs_f64()),
+            fmt_secs(r.shuffle_phase.as_secs_f64()),
+        ]);
+    }
+    println!("{}", render(&["shuffle store", "execution", "shuffle phase"], &rows));
+}
+
+fn heap_ablation() {
+    println!("## Heap-size ablation: scale-out reducer heap (16 GB Wordcount, out-OFS)\n");
+    let mut rows = Vec::new();
+    for heap_mb in [512u64, 1024, 1536, 3072, 8192] {
+        let mut tuning = DeploymentTuning::default();
+        tuning.engine_out.heap_shuffle_intensive = heap_mb << 20;
+        let r = run_job_with(Architecture::OutOfs, &apps::wordcount(), 16 * GB, &tuning);
+        rows.push(vec![
+            format!("{heap_mb} MB"),
+            fmt_secs(r.execution.as_secs_f64()),
+            fmt_secs(r.shuffle_phase.as_secs_f64()),
+        ]);
+    }
+    println!("{}", render(&["heap per task", "execution", "shuffle phase"], &rows));
+}
+
+fn replication_ablation() {
+    println!("## HDFS replication factor (10 GB TestDFSIO write, out-HDFS)\n");
+    let mut rows = Vec::new();
+    for repl in [1u32, 2, 3] {
+        let mut tuning = DeploymentTuning::default();
+        tuning.hdfs.replication = repl;
+        let r = run_job_with(Architecture::OutHdfs, &apps::testdfsio_write(), 10 * GB, &tuning);
+        rows.push(vec![
+            format!("r = {repl}"),
+            fmt_secs(r.execution.as_secs_f64()),
+            fmt_secs(r.map_phase.as_secs_f64()),
+        ]);
+    }
+    println!("{}", render(&["replication", "execution", "map phase"], &rows));
+}
+
+fn ofs_latency_ablation() {
+    println!("## OFS request-latency sweep (1 GB Grep, up-OFS): the small-job penalty\n");
+    let mut rows = Vec::new();
+    for ms in [0u64, 30, 120, 300, 600] {
+        let mut tuning = DeploymentTuning::default();
+        tuning.ofs.request_latency = SimDuration::from_millis(ms);
+        let r = run_job_with(Architecture::UpOfs, &apps::grep(), GB, &tuning);
+        rows.push(vec![format!("{ms} ms"), fmt_secs(r.execution.as_secs_f64())]);
+    }
+    println!("{}", render(&["request latency", "execution"], &rows));
+    println!(
+        "paper: 'the network latency ... is independent on the data size' — it\n\
+         dominates small jobs and is why HDFS wins below ~{}.",
+        fmt_bytes(8 * GB)
+    );
+}
+
+fn fair_baseline_ablation() {
+    println!("## Intra-cluster scheduler ablation: does THadoop recover with Fair?\n");
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 600,
+        window: SimDuration::from_secs(2880),
+        ..Default::default()
+    });
+    let mut rows = Vec::new();
+    let crosspoint = CrossPointScheduler::default();
+    let configs: Vec<(&str, Architecture, &dyn JobPlacement, mapreduce::TaskSchedPolicy)> = vec![
+        ("Hybrid (FIFO)", Architecture::Hybrid, &crosspoint, mapreduce::TaskSchedPolicy::Fifo),
+        ("Hybrid (Fair)", Architecture::Hybrid, &crosspoint, mapreduce::TaskSchedPolicy::Fair),
+        ("THadoop (FIFO, paper)", Architecture::THadoop, &AlwaysOut, mapreduce::TaskSchedPolicy::Fifo),
+        ("THadoop (Fair)", Architecture::THadoop, &AlwaysOut, mapreduce::TaskSchedPolicy::Fair),
+    ];
+    for (name, arch, policy, sched) in configs {
+        let mut tuning = DeploymentTuning::default();
+        tuning.engine_up.task_sched = sched;
+        tuning.engine_out.task_sched = sched;
+        let outcome = run_trace_with(arch, policy, &trace, &tuning);
+        let up = outcome.up_cdf();
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(up.quantile(0.5).unwrap_or(f64::NAN)),
+            fmt_secs(up.quantile(0.9).unwrap_or(f64::NAN)),
+            fmt_secs(up.max().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!(
+        "{}",
+        render(&["configuration", "up-class p50", "up-class p90", "up-class max"], &rows)
+    );
+    println!("Fair sharing softens THadoop's head-of-line blocking but does not recover");
+    println!("the per-job speed of the scale-up machines for small jobs.\n");
+}
+
+fn slowstart_ablation() {
+    println!("## Reduce slowstart ablation (16 GB Wordcount, out-OFS)\n");
+    let mut rows = Vec::new();
+    for (name, slowstart) in
+        [("barrier (calibrated default)", None), ("slowstart 0.05 (Hadoop default)", Some(0.05))]
+    {
+        let mut tuning = DeploymentTuning::default();
+        tuning.engine_out.reduce_slowstart = slowstart;
+        let r = run_job_with(Architecture::OutOfs, &apps::wordcount(), 16 * GB, &tuning);
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(r.execution.as_secs_f64()),
+            fmt_secs(r.shuffle_phase.as_secs_f64()),
+        ]);
+    }
+    println!("{}", render(&["copy scheduling", "execution", "shuffle phase"], &rows));
+    println!("Overlap hides part of the copy inside the map phase — the reason the");
+    println!("paper's measured shuffle *phases* stay under ~100 s even at 448 GB.\n");
+}
+
+fn main() {
+    scheduler_ablation();
+    fair_baseline_ablation();
+    slowstart_ablation();
+    storage_ablation();
+    ramdisk_ablation();
+    heap_ablation();
+    replication_ablation();
+    ofs_latency_ablation();
+}

@@ -1,0 +1,45 @@
+//! Calibration probe: prints the §III orderings and cross points so model
+//! constants can be tuned against the paper's shapes.
+
+use experiments::common::describe;
+use hybrid_core::{cross_point_sweep, grids, run_job, Architecture};
+use scheduler::estimate_cross_point;
+use workload::apps;
+
+const GB: u64 = 1 << 30;
+
+fn main() {
+    for (profile, sizes) in [
+        (apps::wordcount(), vec![GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB, 256 * GB]),
+        (apps::grep(), vec![GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB]),
+        (apps::testdfsio_write(), vec![GB, 5 * GB, 10 * GB, 30 * GB, 100 * GB]),
+    ] {
+        println!("=== {} (S/I = {}) ===", profile.name, profile.shuffle_input_ratio);
+        for &size in &sizes {
+            println!("-- {}", metrics::table::fmt_bytes(size));
+            for arch in Architecture::TABLE_I {
+                let r = run_job(arch, &profile, size);
+                println!("   {}", describe(arch, &r));
+            }
+        }
+    }
+    println!("\n=== cross points (up-OFS vs out-OFS) ===");
+    for profile in [apps::wordcount(), apps::grep(), apps::testdfsio_write()] {
+        let pts = cross_point_sweep(&profile, &grids::cross_point());
+        let cross = estimate_cross_point(&pts);
+        println!(
+            "{:<16} cross = {}",
+            profile.name,
+            cross.map(|x| metrics::table::fmt_bytes(x as u64)).unwrap_or("none".into())
+        );
+        for p in &pts {
+            println!(
+                "   {:>7}  up={:>9}  out={:>9}  out/up={:.3}",
+                metrics::table::fmt_bytes(p.input_size as u64),
+                metrics::table::fmt_secs(p.t_up),
+                metrics::table::fmt_secs(p.t_out),
+                p.normalized_out()
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig10 data series.
+
+fn main() {
+    print!("{}", experiments::figures::fig10());
+}

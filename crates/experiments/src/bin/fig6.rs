@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig6 data series.
+
+fn main() {
+    print!("{}", experiments::figures::fig6());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig7 data series.
+
+fn main() {
+    print!("{}", experiments::figures::fig7());
+}

@@ -1,0 +1,51 @@
+//! Calibration grid search over the phenomenological model constants —
+//! the tool that selected `cluster::presets`' shuffle-store rate and
+//! `EngineConfig`'s buffer fraction against the paper's three cross points
+//! (DESIGN.md §4a). Edit the loops to explore other knobs.
+
+use hybrid_core::{cross_point_sweep_with, DeploymentTuning};
+use scheduler::estimate_cross_point;
+use workload::apps;
+
+const GB: u64 = 1 << 30;
+
+fn main() {
+    let sizes: Vec<u64> =
+        [1u64, 4, 8, 12, 16, 24, 32, 48, 64, 100].iter().map(|&g| g * GB).collect();
+    for oh in [2.0e9f64] {
+        for out_shuf in [5.3e8] {
+            let mut tuning = DeploymentTuning::default();
+            tuning.engine_up.shuffle_buffer_fraction = 0.5;
+            tuning.engine_out.shuffle_buffer_fraction = 0.5;
+            tuning.engine_up.task_overhead_cycles = oh;
+            tuning.engine_out.task_overhead_cycles = oh;
+            tuning.out_machine.shuffle_bandwidth = out_shuf;
+            let mut line = format!("oh={:.1}G shuf={:.0}M:", oh / 1e9, out_shuf / 1e6);
+            for p in [apps::wordcount(), apps::grep(), apps::testdfsio_write()] {
+                let pts = cross_point_sweep_with(&p, &sizes, &tuning);
+                let cross = estimate_cross_point(&pts)
+                    .map(|x| format!("{:.0}GB", x / GB as f64))
+                    .unwrap_or("none".into());
+                // Count crossings to detect non-monotone humps.
+                let mut signs = 0;
+                for w in pts.windows(2) {
+                    if (w[0].t_out > w[0].t_up) != (w[1].t_out > w[1].t_up) {
+                        signs += 1;
+                    }
+                }
+                line.push_str(&format!("  {}={} x{}", &p.name[..4], cross, signs));
+                if p.name == "wordcount" || p.name == "testdfsio-write" {
+                    for pt in &pts {
+                        println!(
+                            "    {} {:>6.0}GB out/up={:.3}",
+                            p.name,
+                            pt.input_size / GB as f64,
+                            pt.normalized_out()
+                        );
+                    }
+                }
+            }
+            println!("{line}");
+        }
+    }
+}

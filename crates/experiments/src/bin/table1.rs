@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table1 data series.
+
+fn main() {
+    print!("{}", experiments::figures::table1());
+}

@@ -1,0 +1,63 @@
+//! Export a per-task timeline (Gantt data) for one job as CSV — the
+//! debugging view behind the phase-duration numbers: which node ran which
+//! task when, and where the waves fall.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin timeline -- [arch] [app] [size_gb]
+//! # e.g.  timeline -- out-OFS wordcount 8
+//! ```
+
+use hybrid_core::{Architecture, Deployment};
+use mapreduce::{JobSpec, TaskKind};
+use workload::apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arch = match args.first().map(String::as_str) {
+        Some("up-OFS") => Architecture::UpOfs,
+        Some("up-HDFS") => Architecture::UpHdfs,
+        Some("out-HDFS") => Architecture::OutHdfs,
+        _ => Architecture::OutOfs,
+    };
+    let profile = match args.get(1).map(String::as_str) {
+        Some("grep") => apps::grep(),
+        Some("testdfsio") => apps::testdfsio_write(),
+        Some("sort") => apps::sort(),
+        _ => apps::wordcount(),
+    };
+    let size_gb: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let mut d = Deployment::build(arch);
+    d.sim.record_tasks = true;
+    d.submit(JobSpec::at_zero(0, profile.clone(), size_gb << 30));
+    let result = d.sim.run()[0].clone();
+
+    eprintln!(
+        "# {} {} {}GB: exec {:.2}s, map {:.2}s ({} waves), shuffle {:.2}s, reduce {:.2}s",
+        arch.name(),
+        profile.name,
+        size_gb,
+        result.execution.as_secs_f64(),
+        result.map_phase.as_secs_f64(),
+        result.map_waves,
+        result.shuffle_phase.as_secs_f64(),
+        result.reduce_phase.as_secs_f64(),
+    );
+    println!("kind,idx,node,start_s,end_s,duration_s");
+    let mut records = d.sim.task_records().to_vec();
+    records.sort_by_key(|r| (r.start, r.idx));
+    for r in &records {
+        println!(
+            "{},{},{},{:.4},{:.4},{:.4}",
+            match r.kind {
+                TaskKind::Map => "map",
+                TaskKind::Reduce => "reduce",
+            },
+            r.idx,
+            r.node,
+            r.start.as_secs_f64(),
+            r.end.as_secs_f64(),
+            r.end.since(r.start).as_secs_f64()
+        );
+    }
+}

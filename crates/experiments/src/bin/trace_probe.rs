@@ -1,0 +1,41 @@
+//! Load-sensitivity probe for the §V trace replay: how the three
+//! architectures behave as the arrival window compresses (the knob that
+//! sets baseline utilization). Used to select the canonical Figure 10
+//! operating point; see DESIGN.md §2 (trace substitution row).
+
+use hybrid_core::{run_trace, Architecture};
+use scheduler::{AlwaysOut, CrossPointScheduler, JobPlacement};
+use workload::{generate_facebook_trace, FacebookTraceConfig};
+
+fn main() {
+    for hours in [24.0f64, 12.0, 8.0, 6.0] {
+        let cfg = FacebookTraceConfig {
+            jobs: 6000,
+            window: simcore::SimDuration::from_secs((hours * 3600.0) as u64),
+            ..Default::default()
+        };
+        println!("--- window {hours}h ---");
+        let trace = generate_facebook_trace(&cfg);
+        for arch in Architecture::TRACE_CONTENDERS {
+            let policy: Box<dyn JobPlacement> = match arch {
+                Architecture::Hybrid => Box::new(CrossPointScheduler::default()),
+                _ => Box::new(AlwaysOut),
+            };
+            let out = run_trace(arch, policy.as_ref(), &trace);
+            let up = out.up_cdf();
+            let oc = out.out_cdf();
+            println!(
+                "{:<8} fail={} | up-class n={} max={:.1}s p50={:.1}s p90={:.1}s | out-class n={} max={:.0}s p50={:.0}s",
+                out.arch.name(),
+                out.failures(),
+                up.len(),
+                up.max().unwrap_or(0.0),
+                up.quantile(0.5).unwrap_or(0.0),
+                up.quantile(0.9).unwrap_or(0.0),
+                oc.len(),
+                oc.max().unwrap_or(0.0),
+                oc.quantile(0.5).unwrap_or(0.0),
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Generate an FB-2009-style trace, print its statistics, and optionally
+//! save it as JSON for replay elsewhere.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin tracegen [-- <jobs> [seed] [out.json]]
+//! ```
+
+use metrics::table::{fmt_bytes, render};
+use metrics::EmpiricalCdf;
+use scheduler::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
+use workload::{facebook, FacebookTraceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(6000);
+    let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2009);
+    let cfg = FacebookTraceConfig { jobs, seed, ..Default::default() };
+    let trace = facebook::generate(&cfg);
+
+    let sizes = EmpiricalCdf::new(trace.iter().map(|j| j.input_size as f64).collect());
+    let total_bytes: u64 = trace.iter().map(|j| j.input_size).sum();
+    let classifier = CrossPointScheduler::default();
+    let up_jobs = trace
+        .iter()
+        .filter(|j| classifier.place(j, &ClusterLoads::default()) == Placement::ScaleUp)
+        .count();
+
+    println!("jobs: {}   seed: {}   window: {:.1} h   total input: {}", trace.len(), seed,
+        cfg.window.as_secs_f64() / 3600.0, fmt_bytes(total_bytes));
+    println!(
+        "class mix: {} scale-up jobs ({:.1}%), {} scale-out jobs\n",
+        up_jobs,
+        100.0 * up_jobs as f64 / trace.len() as f64,
+        trace.len() - up_jobs
+    );
+    let rows: Vec<Vec<String>> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        .iter()
+        .map(|&q| {
+            vec![
+                format!("p{:.0}", q * 100.0),
+                fmt_bytes(sizes.quantile(q).unwrap_or(0.0) as u64),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["quantile", "input size (post-shrink)"], &rows));
+
+    let mut hist = metrics::LogHistogram::new(1e3, 1e12, 36);
+    for j in &trace {
+        hist.push(j.input_size as f64);
+    }
+    println!("\nsize distribution (1 KB … 1 TB, log buckets):\n  {}", hist.sparkline());
+    let stats = workload::analyze_trace(&trace);
+    println!(
+        "burstiness index: {:.2}   scale-up class bytes: {:.1}%",
+        stats.burstiness,
+        100.0 * stats.scale_up_input as f64 / stats.total_input.max(1) as f64
+    );
+
+    if let Some(path) = args.get(2) {
+        std::fs::write(path, facebook::to_json(&trace)).expect("write trace JSON");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the figure binaries.
+
+use hybrid_core::Architecture;
+use mapreduce::JobResult;
+use metrics::Series;
+
+/// Render one series per architecture as a size-indexed table (sizes in GB,
+/// one column per architecture, `-` for missing points like failed up-HDFS
+/// runs).
+pub fn series_table(title: &str, unit: &str, sizes: &[u64], series: &[Series]) -> String {
+    let mut headers: Vec<String> = vec![format!("size")];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&sz| {
+            let mut row = vec![metrics::table::fmt_bytes(sz)];
+            for s in series {
+                row.push(match s.y_at(sz as f64) {
+                    Some(y) => format!("{y:.3}"),
+                    None => "-".into(),
+                });
+            }
+            row
+        })
+        .collect();
+    format!("## {title} ({unit})\n\n{}", metrics::table::render(&header_refs, &rows))
+}
+
+/// Compact per-architecture describe line used by the calibration probe.
+pub fn describe(arch: Architecture, r: &JobResult) -> String {
+    if let Some(f) = &r.failed {
+        return format!("{:>9}  FAILED: {f}", arch.name());
+    }
+    format!(
+        "{:>9}  exec={:>8}  map={:>8}  shuffle={:>8}  reduce={:>8}  waves={}",
+        arch.name(),
+        metrics::table::fmt_secs(r.execution.as_secs_f64()),
+        metrics::table::fmt_secs(r.map_phase.as_secs_f64()),
+        metrics::table::fmt_secs(r.shuffle_phase.as_secs_f64()),
+        metrics::table::fmt_secs(r.reduce_phase.as_secs_f64()),
+        r.map_waves,
+    )
+}

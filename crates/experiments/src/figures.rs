@@ -1,0 +1,284 @@
+//! One function per paper artifact, each returning a Markdown block with
+//! the regenerated rows/series. The binaries print these; `run_all`
+//! assembles them into EXPERIMENTS.md.
+
+use hybrid_core::{grids, run_trace, series_of, sweep, Architecture};
+use mapreduce::{JobProfile, JobResult};
+use metrics::table::{fmt_bytes, fmt_secs};
+use metrics::{EmpiricalCdf, Series};
+use scheduler::{estimate_cross_point, AlwaysOut, CrossPointScheduler, JobPlacement, SweepPoint};
+use workload::{apps, generate_facebook_trace, FacebookTraceConfig};
+
+const GB: u64 = 1 << 30;
+
+/// Render one series per architecture as a size-indexed Markdown table
+/// (`-` marks failed points, e.g. up-HDFS beyond its disk capacity).
+fn series_table(title: &str, sizes: &[u64], series: &[Series]) -> String {
+    let mut headers: Vec<String> = vec!["input".into()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&sz| {
+            let mut row = vec![fmt_bytes(sz)];
+            for s in series {
+                row.push(match s.y_at(sz as f64) {
+                    Some(y) => format!("{y:.3}"),
+                    None => "-".into(),
+                });
+            }
+            row
+        })
+        .collect();
+    format!("### {title}\n\n{}\n", metrics::table::render(&header_refs, &rows))
+}
+
+/// The four per-figure panels (a)–(d) for one application, in the paper's
+/// presentation: execution time and map phase normalized by up-OFS,
+/// shuffle and reduce phase in seconds.
+fn measurement_quad(fig: &str, profile: &JobProfile, sizes: &[u64]) -> String {
+    let archs = Architecture::TABLE_I;
+    let grouped = sweep(&archs, profile, sizes);
+    let exec = series_of(&archs, &grouped, |r| r.execution.as_secs_f64());
+    let map = series_of(&archs, &grouped, |r| r.map_phase.as_secs_f64());
+    let shuffle = series_of(&archs, &grouped, |r| r.shuffle_phase.as_secs_f64());
+    let reduce = series_of(&archs, &grouped, |r| r.reduce_phase.as_secs_f64());
+    // up-OFS is the normalization baseline (its own series becomes 1.0).
+    // Series may have gaps (up-HDFS fails beyond its disk capacity), so
+    // normalize pointwise over the intersection of x grids.
+    let normalize = |series: &[Series], base: &Series| -> Vec<Series> {
+        series
+            .iter()
+            .map(|s| {
+                let mut n = Series::new(s.label.clone());
+                for &(x, y) in &s.points {
+                    if let Some(by) = base.y_at(x) {
+                        if by > 0.0 {
+                            n.push(x, y / by);
+                        }
+                    }
+                }
+                n
+            })
+            .collect()
+    };
+    let exec_norm = normalize(&exec, &exec[0]);
+    let map_norm = normalize(&map, &map[0]);
+    let mut out = format!("## {fig} — {} (S/I = {})\n\n", profile.name, profile.shuffle_input_ratio);
+    // Normalized tables only cover points where up-OFS also ran; use the
+    // baseline's x grid.
+    let base_sizes: Vec<u64> = exec[0].points.iter().map(|&(x, _)| x as u64).collect();
+    out += &series_table("(a) execution time, normalized to up-OFS", &base_sizes, &exec_norm);
+    out += &series_table("(b) map phase duration, normalized to up-OFS", &base_sizes, &map_norm);
+    out += &series_table("(c) shuffle phase duration (s)", sizes, &shuffle);
+    out += &series_table("(d) reduce phase duration (s)", sizes, &reduce);
+    out
+}
+
+/// Figure 3: the CDF of input sizes in the synthesized FB-2009 trace.
+pub fn fig3() -> String {
+    let cfg = FacebookTraceConfig { shrink_factor: 1.0, ..Default::default() };
+    let specs = generate_facebook_trace(&cfg);
+    let n = specs.len() as f64;
+    let small = specs.iter().filter(|s| s.input_size < 1_000_000).count() as f64 / n;
+    let large = specs.iter().filter(|s| s.input_size > 30_000_000_000).count() as f64 / n;
+    let cdf = EmpiricalCdf::new(specs.iter().map(|s| s.input_size as f64).collect());
+    let mut out = String::from("## Figure 3 — CDF of input data size (FB-2009 synthesis)\n\n");
+    out += &format!(
+        "bands: {:.1}% < 1 MB (paper: 40%), {:.1}% in 1 MB–30 GB (paper: 49%), {:.1}% > 30 GB (paper: 11%)\n\n",
+        small * 100.0,
+        (1.0 - small - large) * 100.0,
+        large * 100.0
+    );
+    let rows: Vec<Vec<String>> = cdf
+        .quantile_sweep(11)
+        .into_iter()
+        .map(|(q, x)| vec![format!("{:.0}%", q * 100.0), fmt_bytes(x as u64)])
+        .collect();
+    out += &metrics::table::render(&["CDF", "input size"], &rows);
+    out.push('\n');
+    out
+}
+
+/// Figure 5: Wordcount on the four architectures.
+pub fn fig5() -> String {
+    measurement_quad("Figure 5", &apps::wordcount(), &grids::shuffle_intensive())
+}
+
+/// Figure 6: Grep on the four architectures.
+pub fn fig6() -> String {
+    measurement_quad("Figure 6", &apps::grep(), &grids::shuffle_intensive())
+}
+
+/// Figure 9: the TestDFSIO write test on the four architectures.
+pub fn fig9() -> String {
+    measurement_quad("Figure 9", &apps::testdfsio_write(), &grids::map_intensive())
+}
+
+fn cross_table(profile: &JobProfile, pts: &[SweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                fmt_bytes(p.input_size as u64),
+                fmt_secs(p.t_up),
+                fmt_secs(p.t_out),
+                format!("{:.3}", p.normalized_out()),
+            ]
+        })
+        .collect();
+    let cross = estimate_cross_point(pts)
+        .map(|x| fmt_bytes(x as u64))
+        .unwrap_or_else(|| "none".into());
+    format!(
+        "### {} — estimated cross point: {}\n\n{}\n",
+        profile.name,
+        cross,
+        metrics::table::render(&["input", "up-OFS", "out-OFS", "out/up"], &rows)
+    )
+}
+
+/// Figure 7: normalized out-OFS/up-OFS execution time for the
+/// shuffle-intensive applications; cross points ≈ 32 GB / 16 GB in the paper.
+pub fn fig7() -> String {
+    let mut out = String::from("## Figure 7 — cross points of Wordcount and Grep\n\n");
+    for profile in [apps::wordcount(), apps::grep()] {
+        let pts = hybrid_core::cross_point_sweep(&profile, &grids::cross_point());
+        out += &cross_table(&profile, &pts);
+    }
+    out
+}
+
+/// Figure 8: the same for TestDFSIO; ≈ 10 GB in the paper ("the cross
+/// point is around 10GB for both tests" — write and read).
+pub fn fig8() -> String {
+    let mut out = String::from("## Figure 8 — cross point of the TestDFSIO tests\n\n");
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 10, 12, 16, 20, 24, 30].map(|g| g * GB).to_vec();
+    for profile in [apps::testdfsio_write(), apps::testdfsio_read()] {
+        let pts = hybrid_core::cross_point_sweep(&profile, &sizes);
+        out += &cross_table(&profile, &pts);
+    }
+    out
+}
+
+fn class_cdf_table(label: &str, cdfs: &[(String, EmpiricalCdf)]) -> String {
+    let mut headers: Vec<String> = vec!["quantile".into()];
+    headers.extend(cdfs.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let qs = [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00];
+    let rows: Vec<Vec<String>> = qs
+        .iter()
+        .map(|&q| {
+            let mut row = vec![format!("p{:.0}", q * 100.0)];
+            for (_, cdf) in cdfs {
+                row.push(fmt_secs(cdf.quantile(q).unwrap_or(f64::NAN)));
+            }
+            row
+        })
+        .collect();
+    format!("### {label}\n\n{}\n", metrics::table::render(&header_refs, &rows))
+}
+
+/// Figure 10: trace-driven comparison of Hybrid vs THadoop vs RHadoop.
+pub fn fig10() -> String {
+    let trace = generate_facebook_trace(&FacebookTraceConfig::default());
+    let mut up_cdfs = Vec::new();
+    let mut out_cdfs = Vec::new();
+    let mut summary = Vec::new();
+    for arch in Architecture::TRACE_CONTENDERS {
+        let policy: Box<dyn JobPlacement> = match arch {
+            Architecture::Hybrid => Box::new(CrossPointScheduler::default()),
+            _ => Box::new(AlwaysOut),
+        };
+        let outcome = run_trace(arch, policy.as_ref(), &trace);
+        summary.push(vec![
+            arch.name().to_string(),
+            outcome.up_class_exec.len().to_string(),
+            outcome.out_class_exec.len().to_string(),
+            outcome.failures().to_string(),
+            fmt_secs(outcome.up_cdf().max().unwrap_or(f64::NAN)),
+            fmt_secs(outcome.out_cdf().max().unwrap_or(f64::NAN)),
+        ]);
+        up_cdfs.push((arch.name().to_string(), outcome.up_cdf()));
+        out_cdfs.push((arch.name().to_string(), outcome.out_cdf()));
+    }
+    let mut out = String::from("## Figure 10 — FB-2009 trace replay (6000 jobs)\n\n");
+    out += &metrics::table::render(
+        &["architecture", "up-class jobs", "out-class jobs", "failed", "max up-class", "max out-class"],
+        &summary,
+    );
+    out.push('\n');
+    out += &class_cdf_table("(a) execution-time CDF of scale-up jobs", &up_cdfs);
+    out += &class_cdf_table("(b) execution-time CDF of scale-out jobs", &out_cdfs);
+    out += &fig10_replication();
+    out
+}
+
+/// Seed-replication of the Figure 10 headline (a rigor upgrade over the
+/// paper's single replay): the up-class p90 across independent synthetic
+/// workload days.
+fn fig10_replication() -> String {
+    let seeds = [2009u64, 1, 2, 3, 4];
+    let base = FacebookTraceConfig::default();
+    let mut rows = Vec::new();
+    for arch in Architecture::TRACE_CONTENDERS {
+        let crosspoint = CrossPointScheduler::default();
+        let always_out = AlwaysOut;
+        let policy: &(dyn JobPlacement + Sync) = match arch {
+            Architecture::Hybrid => &crosspoint,
+            _ => &always_out,
+        };
+        let outcomes = hybrid_core::run_trace_replicated(arch, policy, &base, &seeds);
+        let p90 = hybrid_core::quantile_stats(&outcomes, true, 0.90);
+        let max = hybrid_core::quantile_stats(&outcomes, true, 1.0);
+        rows.push(vec![
+            arch.name().to_string(),
+            format!("{:.1} ± {:.1}", p90.mean(), p90.stddev()),
+            format!("{:.1} ± {:.1}", max.mean(), max.stddev()),
+        ]);
+    }
+    format!(
+        "### (c) robustness across {} trace seeds (scale-up class, seconds)\n\n{}\n",
+        seeds.len(),
+        metrics::table::render(&["architecture", "p90 mean ± sd", "max mean ± sd"], &rows)
+    )
+}
+
+/// Table I: the architecture matrix, with the resolved configurations and
+/// the cost-parity check the paper's methodology requires.
+pub fn table1() -> String {
+    let mut rows = Vec::new();
+    for arch in Architecture::TABLE_I.iter().chain(Architecture::TRACE_CONTENDERS.iter()) {
+        let specs = arch.cluster_specs();
+        let machines: u32 = specs.iter().map(|s| s.len() as u32).sum();
+        let map_slots: u32 = specs.iter().map(|s| s.total_map_slots()).sum();
+        let reduce_slots: u32 = specs.iter().map(|s| s.total_reduce_slots()).sum();
+        rows.push(vec![
+            arch.name().to_string(),
+            arch.storage_name().to_string(),
+            machines.to_string(),
+            map_slots.to_string(),
+            reduce_slots.to_string(),
+            format!("${:.0}k", arch.total_price() / 1000.0),
+        ]);
+    }
+    format!(
+        "## Table I — measured architectures\n\n{}\n",
+        metrics::table::render(
+            &["architecture", "storage", "machines", "map slots", "reduce slots", "price"],
+            &rows
+        )
+    )
+}
+
+/// Convenience accessor used by shape tests: (cross point estimate, points)
+/// for a profile over the standard grid.
+pub fn cross_point_of(profile: &JobProfile) -> Option<f64> {
+    let pts = hybrid_core::cross_point_sweep(profile, &grids::cross_point());
+    estimate_cross_point(&pts)
+}
+
+/// Helper for inspection binaries: one descriptive line per result.
+pub fn describe(arch: Architecture, r: &JobResult) -> String {
+    crate::common::describe(arch, r)
+}

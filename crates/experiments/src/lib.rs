@@ -1,0 +1,8 @@
+//! # experiments — binaries regenerating every table and figure
+//!
+//! One binary per paper artifact (`fig3` … `fig10`, `table1`) plus
+//! `run_all`, which regenerates everything and assembles the data section
+//! of EXPERIMENTS.md. Shared glue lives in [`common`].
+
+pub mod common;
+pub mod figures;

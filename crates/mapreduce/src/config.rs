@@ -1,0 +1,135 @@
+//! Per-cluster runtime configuration (the paper's §II-D tuning).
+
+use crate::queue::TaskSchedPolicy;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Hadoop runtime parameters for one sub-cluster.
+///
+/// The paper tunes these separately for the scale-up and scale-out clusters
+/// "to achieve the best performance ... by trial of experiments"; the hybrid
+/// architecture layer instantiates one config per sub-cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Fixed per-task work (JVM start, task setup/commit) in normalized CPU
+    /// cycles; a faster core burns through it proportionally faster.
+    pub task_overhead_cycles: f64,
+    /// One-time per-job setup latency (job client, scheduling, split
+    /// computation) — independent of the cluster's core speed.
+    pub job_setup: SimDuration,
+    /// JVM heap per task for shuffle-intensive jobs, bytes (paper: 8 GB on
+    /// scale-up, 1.5 GB on scale-out).
+    pub heap_shuffle_intensive: u64,
+    /// JVM heap per task for map-intensive jobs, bytes (paper: 8 GB on
+    /// scale-up, 1 GB on scale-out).
+    pub heap_map_intensive: u64,
+    /// Fraction of the heap usable as the in-memory shuffle buffer before
+    /// map outputs spill to the shuffle store (Hadoop's
+    /// `mapred.job.shuffle.input.buffer.percent`).
+    pub shuffle_buffer_fraction: f64,
+    /// Merge/sort CPU work per shuffle byte on the reduce side.
+    pub sort_cycles_per_byte: f64,
+    /// Target shuffle bytes per reducer when sizing the reducer count
+    /// (bounded by the cluster's reduce slots).
+    pub shuffle_bytes_per_reducer: u64,
+    /// Maximum size of one input file; datasets are collections of files of
+    /// at most this size (the paper: "each file in the input data is not
+    /// large (maximum 1GB)"), which is what lets large datasets stripe over
+    /// all 32 OFS servers instead of a single 8-server set.
+    pub max_input_file_size: u64,
+    /// How concurrent jobs share this cluster's slots (the paper's testbed
+    /// runs Hadoop's default FIFO; Fair is the common production remedy).
+    pub task_sched: TaskSchedPolicy,
+    /// Launch reducers once this fraction of a job's maps has finished
+    /// (Hadoop's `mapred.reduce.slowstart.completed.maps`), letting the
+    /// copy phase overlap the map phase. `None` starts reducers only after
+    /// the last map — the conservative default this model is calibrated
+    /// under.
+    pub reduce_slowstart: Option<f64>,
+    /// Probability that a task attempt fails mid-run and is re-executed
+    /// (Hadoop retries failed attempts on another node). Failures are
+    /// drawn deterministically from the simulation seed. 0.0 disables
+    /// failure injection — the calibrated default.
+    pub task_failure_prob: f64,
+    /// Attempts per task before the job is declared failed (Hadoop's
+    /// `mapred.map.max.attempts`, default 4).
+    pub task_max_attempts: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            task_overhead_cycles: 2.0e9,
+            job_setup: SimDuration::from_secs_f64(2.5),
+            heap_shuffle_intensive: 1536 << 20, // 1.5 GB, the scale-out setting
+            heap_map_intensive: 1024 << 20,
+            // Half the heap: the JVM needs the rest for the merge and the
+            // user reduce code. With the paper's 1.5 GB scale-out heap this
+            // leaves ~0.75 GB of in-memory shuffle buffer per reducer, so
+            // ~1 GB partitions spill — the heap handicap the paper cites.
+            shuffle_buffer_fraction: 0.5,
+            sort_cycles_per_byte: 6.0,
+            shuffle_bytes_per_reducer: 1 << 30,
+            max_input_file_size: 1 << 30,
+            task_sched: TaskSchedPolicy::Fifo,
+            reduce_slowstart: None,
+            task_failure_prob: 0.0,
+            task_max_attempts: 4,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's scale-up tuning: 8 GB heaps for both application classes.
+    pub fn scale_up() -> Self {
+        EngineConfig {
+            heap_shuffle_intensive: 8 << 30,
+            heap_map_intensive: 8 << 30,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The paper's scale-out tuning: 1.5 GB (shuffle-intensive) / 1 GB
+    /// (map-intensive) heaps.
+    pub fn scale_out() -> Self {
+        EngineConfig::default()
+    }
+
+    /// The heap used for a job with the given shuffle/input ratio, following
+    /// the paper's per-class heap assignment.
+    pub fn heap_for(&self, shuffle_input_ratio: f64) -> u64 {
+        if shuffle_input_ratio < 0.4 {
+            self.heap_map_intensive
+        } else {
+            self.heap_shuffle_intensive
+        }
+    }
+
+    /// In-memory shuffle buffer per reduce task, bytes.
+    pub fn shuffle_buffer(&self, shuffle_input_ratio: f64) -> u64 {
+        (self.heap_for(shuffle_input_ratio) as f64 * self.shuffle_buffer_fraction) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_follow_paper_heaps() {
+        let up = EngineConfig::scale_up();
+        assert_eq!(up.heap_shuffle_intensive, 8 << 30);
+        assert_eq!(up.heap_map_intensive, 8 << 30);
+        let out = EngineConfig::scale_out();
+        assert_eq!(out.heap_shuffle_intensive, 1536 << 20);
+        assert_eq!(out.heap_map_intensive, 1 << 30);
+    }
+
+    #[test]
+    fn heap_selection_by_ratio() {
+        let out = EngineConfig::scale_out();
+        assert_eq!(out.heap_for(1.6), 1536 << 20);
+        assert_eq!(out.heap_for(0.0), 1 << 30);
+        assert!(out.shuffle_buffer(1.6) < out.heap_for(1.6));
+    }
+}

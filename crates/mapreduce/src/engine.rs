@@ -1,0 +1,1228 @@
+//! The MapReduce execution engine: a discrete-event simulation of Hadoop
+//! 1.x job execution over one or more sub-clusters.
+//!
+//! ## Execution model
+//!
+//! A job's life (paper §II-A):
+//!
+//! 1. **Arrival** — the input dataset is placed in the DFS (pre-loaded, no
+//!    I/O cost, but capacity-checked: this is where up-HDFS rejects >80 GB
+//!    inputs) and job setup latency is paid.
+//! 2. **Map phase** — one map task per block. Tasks queue FIFO per cluster
+//!    and run in *waves* over the map slots (slots = cores, §II-D). Each
+//!    task: fixed overhead (CPU-speed scaled), block read via the DFS's
+//!    [`IoPlan`], map CPU work, map-output write to the node's shuffle store
+//!    (RAM disk on scale-up, local disk on scale-out).
+//! 3. **Shuffle phase** — reducers launch when all maps are done and fetch
+//!    their partition from every source node's shuffle store across the
+//!    fabric; partitions overflowing the heap's shuffle buffer spill to the
+//!    shuffle store and are re-read (the scale-out HDD penalty that gives
+//!    shuffle-heavy jobs their scale-up advantage).
+//! 4. **Reduce phase** — merge/sort CPU, reduce CPU, output write via the
+//!    DFS (replicated on HDFS, striped on OFS).
+//!
+//! Phase durations are recorded with the paper's exact definitions (§III).
+//!
+//! ## Scheduling
+//!
+//! FIFO with data-locality preference, like the era's default JobTracker:
+//! when slots free up, the head-of-queue task goes to a node hosting its
+//! block if possible. Multi-job slot competition — the effect that hurts
+//! THadoop in the paper's Figure 10 — emerges from the shared queues.
+
+use crate::config::EngineConfig;
+use crate::job::{JobId, JobResult, JobSpec};
+use crate::queue::TaskQueue;
+use cluster::BuiltCluster;
+use rand::Rng;
+use simcore::{EventQueue, FlowId, FlowNetwork, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+use storage::plan::Transfer;
+use storage::{DfsModel, FileId, IoPlan};
+
+/// Map or reduce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum TaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task.
+    Reduce,
+}
+
+/// One unit of task progress.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Burn CPU on the task's core.
+    Cpu { cycles: f64 },
+    /// Wait a fixed latency.
+    Latency(SimDuration),
+    /// Run transfers in parallel; the step ends when all complete.
+    Flows(Vec<Transfer>),
+    /// Park until every map of the task's job has finished (the gated part
+    /// of an overlapped shuffle copy).
+    WaitMaps,
+    /// Injected fault: the attempt dies here and the task re-enqueues.
+    Fail,
+    /// Bookkeeping: the task's shuffle fetch is complete.
+    MarkFetchDone,
+}
+
+/// One completed task, for timeline analysis (recorded when
+/// [`Simulation::record_tasks`] is on).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskRecord {
+    /// The owning job.
+    pub job: JobId,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within the job and kind.
+    pub idx: u32,
+    /// Cluster index the task ran on.
+    pub cluster: usize,
+    /// Node index within that cluster.
+    pub node: usize,
+    /// Dispatch time.
+    pub start: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+}
+
+#[derive(Debug)]
+struct Task {
+    node: usize,
+    steps: VecDeque<Step>,
+    outstanding: u32,
+    started: SimTime,
+    attempt: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Waiting,
+    Running,
+    Finished,
+}
+
+#[derive(Debug)]
+struct JobState {
+    spec: JobSpec,
+    cluster: usize,
+    /// Input dataset: a collection of files of at most
+    /// `max_input_file_size` bytes each (the paper stores ≤1 GB files).
+    input_files: Vec<FileId>,
+    /// Output part-files, one per writing task, created as tasks run.
+    output_files: Vec<FileId>,
+    /// Blocks per full input file.
+    blocks_per_file: u32,
+    maps_total: u32,
+    maps_done: u32,
+    reduces_total: u32,
+    reduces_done: u32,
+    shuffle_total: u64,
+    output_total: u64,
+    first_map_start: Option<SimTime>,
+    last_map_end: SimTime,
+    last_fetch_done: SimTime,
+    map_start_times: Vec<SimTime>,
+    maps_by_node: Vec<u32>,
+    map_tasks: Vec<Option<Task>>,
+    reduce_tasks: Vec<Option<Task>>,
+    map_attempts: Vec<u32>,
+    reduce_attempts: Vec<u32>,
+    data_local_maps: u32,
+    reduces_enqueued: bool,
+    parked_reduces: Vec<u32>,
+    phase: JobPhase,
+    failure: Option<String>,
+}
+
+struct ClusterState {
+    built: BuiltCluster,
+    cfg: EngineConfig,
+    free_map: Vec<u32>,
+    free_reduce: Vec<u32>,
+    map_queue: TaskQueue,
+    reduce_queue: TaskQueue,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrive(usize),
+    SetupDone(usize),
+    StepDone { job: usize, kind: TaskKind, idx: u32 },
+    NetPoll { gen: u64 },
+}
+
+/// The simulator: clusters + a DFS + the event loop.
+pub struct Simulation {
+    queue: EventQueue<Ev>,
+    net: FlowNetwork,
+    dfs: Box<dyn DfsModel>,
+    clusters: Vec<ClusterState>,
+    jobs: Vec<JobState>,
+    flows: HashMap<FlowId, (usize, TaskKind, u32)>,
+    next_flow: u64,
+    next_file: u64,
+    results: Vec<JobResult>,
+    /// Delete a job's input/output files when it completes (keeps trace
+    /// replays within disk capacity, like rolling dataset retention).
+    pub delete_files_on_completion: bool,
+    /// Record a [`TaskRecord`] per completed task (off by default; large
+    /// traces produce millions of tasks).
+    pub record_tasks: bool,
+    records: Vec<TaskRecord>,
+    rng: rand::rngs::SmallRng,
+}
+
+impl Simulation {
+    /// A simulation over `clusters` (each with its own runtime config)
+    /// sharing one flow network and one DFS.
+    ///
+    /// # Panics
+    /// Panics when no clusters are given.
+    pub fn new(
+        net: FlowNetwork,
+        dfs: Box<dyn DfsModel>,
+        clusters: Vec<(BuiltCluster, EngineConfig)>,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        let clusters = clusters
+            .into_iter()
+            .map(|(built, cfg)| {
+                let free_map = built.nodes.iter().map(|n| n.spec.map_slots()).collect();
+                let free_reduce = built.nodes.iter().map(|n| n.spec.reduce_slots()).collect();
+                let map_queue = TaskQueue::new(cfg.task_sched);
+                let reduce_queue = TaskQueue::new(cfg.task_sched);
+                ClusterState { built, cfg, free_map, free_reduce, map_queue, reduce_queue }
+            })
+            .collect();
+        Simulation {
+            queue: EventQueue::new(),
+            net,
+            dfs,
+            clusters,
+            jobs: Vec::new(),
+            flows: HashMap::new(),
+            next_flow: 0,
+            next_file: 0,
+            results: Vec::new(),
+            delete_files_on_completion: true,
+            record_tasks: false,
+            records: Vec::new(),
+            rng: simcore::rng::substream(0x5EED, 0),
+        }
+    }
+
+    /// Reseed the failure-injection RNG (the default seed is fixed, so two
+    /// simulations with identical inputs are identical; change the seed to
+    /// sample different failure patterns).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.rng = simcore::rng::substream(seed, 0);
+    }
+
+    /// Task timeline records (empty unless [`Simulation::record_tasks`]).
+    pub fn task_records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Submit a job to run on cluster `cluster` (index into the cluster list
+    /// given at construction). The placement decision itself is the
+    /// scheduler crate's business.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range cluster index or a submission earlier than
+    /// the current simulation time.
+    pub fn submit(&mut self, spec: JobSpec, cluster: usize) {
+        assert!(cluster < self.clusters.len(), "no such cluster: {cluster}");
+        let j = self.jobs.len();
+        let submit = spec.submit;
+        let nodes = self.clusters[cluster].built.nodes.len();
+        self.jobs.push(JobState {
+            input_files: Vec::new(),
+            output_files: Vec::new(),
+            blocks_per_file: 1,
+            cluster,
+            maps_total: 0,
+            maps_done: 0,
+            reduces_total: 0,
+            reduces_done: 0,
+            shuffle_total: spec.profile.shuffle_bytes(spec.input_size),
+            output_total: spec.profile.output_bytes(spec.input_size),
+            first_map_start: None,
+            last_map_end: SimTime::ZERO,
+            last_fetch_done: SimTime::ZERO,
+            map_start_times: Vec::new(),
+            maps_by_node: vec![0; nodes],
+            map_tasks: Vec::new(),
+            reduce_tasks: Vec::new(),
+            map_attempts: Vec::new(),
+            reduce_attempts: Vec::new(),
+            data_local_maps: 0,
+            reduces_enqueued: false,
+            parked_reduces: Vec::new(),
+            phase: JobPhase::Waiting,
+            failure: None,
+            spec,
+        });
+        self.queue.push(submit, Ev::Arrive(j));
+    }
+
+    /// Run to completion and return the per-job results in completion order.
+    pub fn run(&mut self) -> &[JobResult] {
+        while let Some((_, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Arrive(j) => self.on_arrive(j),
+                Ev::SetupDone(j) => self.on_setup_done(j),
+                Ev::StepDone { job, kind, idx } => self.advance_task(job, kind, idx),
+                Ev::NetPoll { gen } => self.on_net_poll(gen),
+            }
+        }
+        debug_assert!(
+            self.jobs.iter().all(|job| job.phase == JobPhase::Finished),
+            "event queue drained with unfinished jobs"
+        );
+        &self.results
+    }
+
+    /// Results recorded so far.
+    pub fn results(&self) -> &[JobResult] {
+        &self.results
+    }
+
+    /// Number of events processed (diagnostics / benches).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// Read access to the flow network (device utilization metrics).
+    pub fn network(&self) -> &FlowNetwork {
+        &self.net
+    }
+
+    /// Read access to the DFS model.
+    pub fn dfs(&self) -> &dyn DfsModel {
+        self.dfs.as_ref()
+    }
+
+    fn alloc_file(&mut self) -> FileId {
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        id
+    }
+
+    /// Translate a job-global map index into (input file, block within it).
+    fn input_block(&self, j: usize, idx: u32) -> (FileId, u32) {
+        let job = &self.jobs[j];
+        let bpf = job.blocks_per_file.max(1);
+        let file = (idx / bpf) as usize;
+        (job.input_files[file.min(job.input_files.len().saturating_sub(1))], idx % bpf)
+    }
+
+    /// The transfers realizing a shuffle-store write or read on `node`:
+    /// one flow on the node's shuffle store (RAM disk on scale-up, the
+    /// cache-assisted local-disk channel on scale-out), plus any fabric hop.
+    fn shuffle_transfers(
+        node: &cluster::Node,
+        bytes: f64,
+        extra_hop: &[simcore::NetResourceId],
+    ) -> Vec<Transfer> {
+        let mut path = vec![node.shuffle_store()];
+        path.extend(extra_hop);
+        vec![Transfer { path, bytes, rate_cap: None }]
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrive(&mut self, j: usize) {
+        let now = self.queue.now();
+        let block = self.dfs.block_size();
+        let input = self.jobs[j].spec.input_size;
+        let file_size = self.clusters[self.jobs[j].cluster].cfg.max_input_file_size.max(block);
+        self.jobs[j].blocks_per_file = (file_size / block.max(1)).max(1) as u32;
+        // Pre-load the input dataset as ≤file_size files (capacity-checked
+        // placement, no I/O — datasets exist before measurement).
+        if self.jobs[j].spec.profile.maps_read_input && input > 0 {
+            let n_files = input.div_ceil(file_size);
+            let mut created = Vec::with_capacity(n_files as usize);
+            let mut failure = None;
+            for f in 0..n_files {
+                let sz = (input - f * file_size).min(file_size);
+                let id = self.alloc_file();
+                match self.dfs.create_file(id, sz) {
+                    Ok(()) => created.push(id),
+                    Err(e) => {
+                        failure = Some(format!("input placement failed: {e}"));
+                        break;
+                    }
+                }
+            }
+            if let Some(msg) = failure {
+                for id in created {
+                    self.dfs.delete_file(id);
+                }
+                self.fail_job(j, msg);
+                return;
+            }
+            self.jobs[j].input_files = created;
+        }
+        let job = &mut self.jobs[j];
+        job.maps_total = (input.div_ceil(block.max(1)) as u32).max(1);
+        let cluster = &self.clusters[job.cluster];
+        let reduce_slots = cluster.built.total_reduce_slots().max(1);
+        job.reduces_total = match job.spec.profile.fixed_reduces {
+            Some(r) => r.max(1),
+            None => {
+                let by_data =
+                    job.shuffle_total.div_ceil(cluster.cfg.shuffle_bytes_per_reducer.max(1));
+                (by_data as u32).clamp(1, reduce_slots)
+            }
+        };
+        job.map_tasks = (0..job.maps_total).map(|_| None).collect();
+        job.reduce_tasks = (0..job.reduces_total).map(|_| None).collect();
+        job.map_attempts = vec![0; job.maps_total as usize];
+        job.reduce_attempts = vec![0; job.reduces_total as usize];
+        job.phase = JobPhase::Running;
+        let setup = cluster.cfg.job_setup;
+        self.queue.push(now + setup, Ev::SetupDone(j));
+    }
+
+    fn on_setup_done(&mut self, j: usize) {
+        let (cluster, maps) = (self.jobs[j].cluster, self.jobs[j].maps_total);
+        for m in 0..maps {
+            self.clusters[cluster].map_queue.push(j, m);
+        }
+        self.try_schedule(cluster);
+    }
+
+    fn on_net_poll(&mut self, gen: u64) {
+        if gen != self.net.generation().0 {
+            return; // stale: membership changed since this poll was scheduled
+        }
+        let now = self.queue.now();
+        let done = self.net.poll_completions(now);
+        for fid in done {
+            let (job, kind, idx) =
+                self.flows.remove(&fid).expect("completed flow without an owner");
+            let task = self.task_mut(job, kind, idx);
+            task.outstanding -= 1;
+            if task.outstanding == 0 {
+                self.advance_task(job, kind, idx);
+            }
+        }
+        self.schedule_net_poll();
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Assign queued tasks to free slots until one side runs dry.
+    fn try_schedule(&mut self, cluster: usize) {
+        // Maps: next per the sharing policy, preferring a node that hosts
+        // the task's block.
+        loop {
+            let c = &self.clusters[cluster];
+            let Some((j, idx)) = c.map_queue.peek() else { break };
+            if !c.free_map.iter().any(|&f| f > 0) {
+                break;
+            }
+            let node = self.pick_map_node(cluster, j, idx);
+            self.clusters[cluster].map_queue.pop();
+            self.start_map(j, idx, node);
+        }
+        // Reduces: next task to the node with most free reduce slots.
+        loop {
+            let c = &self.clusters[cluster];
+            let Some((j, idx)) = c.reduce_queue.peek() else { break };
+            let Some(node) = max_index(&c.free_reduce) else { break };
+            self.clusters[cluster].reduce_queue.pop();
+            let _ = (j, idx);
+            self.start_reduce(j, idx, node);
+        }
+    }
+
+    /// The node for map task `idx` of job `j`: a block host with a free
+    /// slot when possible (data locality), otherwise the freest node.
+    fn pick_map_node(&self, cluster: usize, j: usize, idx: u32) -> usize {
+        let c = &self.clusters[cluster];
+        let job = &self.jobs[j];
+        if job.spec.profile.maps_read_input && !job.input_files.is_empty() {
+            let (file, blk) = self.input_block(j, idx);
+            let hosts = self.dfs.block_hosts(file, blk);
+            for host in hosts {
+                if let Some(pos) = c.built.nodes.iter().position(|n| n.id == host) {
+                    if c.free_map[pos] > 0 {
+                        return pos;
+                    }
+                }
+            }
+        }
+        max_index(&c.free_map).expect("caller checked for a free map slot")
+    }
+
+    fn start_map(&mut self, j: usize, idx: u32, node: usize) {
+        let now = self.queue.now();
+        let cluster = self.jobs[j].cluster;
+        self.clusters[cluster].free_map[node] -= 1;
+        self.jobs[j].maps_by_node[node] += 1;
+        if self.jobs[j].spec.profile.maps_read_input
+            && !self.jobs[j].input_files.is_empty()
+            // Only the first attempt counts toward the locality metric.
+            && self.jobs[j].map_attempts[idx as usize] == 0
+        {
+            let (file, blk) = self.input_block(j, idx);
+            let node_id = self.clusters[cluster].built.nodes[node].id;
+            if self.dfs.block_hosts(file, blk).contains(&node_id) {
+                self.jobs[j].data_local_maps += 1;
+            }
+        }
+        if self.jobs[j].first_map_start.is_none() {
+            self.jobs[j].first_map_start = Some(now);
+        }
+        self.jobs[j].map_start_times.push(now);
+        let mut steps = self.build_map_steps(j, idx, node);
+        self.jobs[j].map_attempts[idx as usize] += 1;
+        let attempt = self.jobs[j].map_attempts[idx as usize];
+        self.maybe_inject_failure(j, &mut steps);
+        self.jobs[j].map_tasks[idx as usize] =
+            Some(Task { node, steps, outstanding: 0, started: now, attempt });
+        self.advance_task(j, TaskKind::Map, idx);
+    }
+
+    fn start_reduce(&mut self, j: usize, idx: u32, node: usize) {
+        let now = self.queue.now();
+        let cluster = self.jobs[j].cluster;
+        self.clusters[cluster].free_reduce[node] -= 1;
+        let mut steps = self.build_reduce_steps(j, idx, node);
+        self.jobs[j].reduce_attempts[idx as usize] += 1;
+        let attempt = self.jobs[j].reduce_attempts[idx as usize];
+        self.maybe_inject_failure(j, &mut steps);
+        self.jobs[j].reduce_tasks[idx as usize] =
+            Some(Task { node, steps, outstanding: 0, started: now, attempt });
+        self.advance_task(j, TaskKind::Reduce, idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Step construction
+    // ------------------------------------------------------------------
+
+    fn push_plan(steps: &mut VecDeque<Step>, plan: IoPlan) {
+        for stage in plan.stages {
+            if !stage.latency.is_zero() {
+                steps.push_back(Step::Latency(stage.latency));
+            }
+            if !stage.transfers.is_empty() {
+                steps.push_back(Step::Flows(stage.transfers));
+            }
+        }
+    }
+
+    fn build_map_steps(&mut self, j: usize, idx: u32, node: usize) -> VecDeque<Step> {
+        let job = &self.jobs[j];
+        let cluster = &self.clusters[job.cluster];
+        let profile = job.spec.profile.clone();
+        let maps = job.maps_total as u64;
+        let block = self.dfs.block_size();
+        let block_bytes = if job.spec.input_size == 0 {
+            0
+        } else {
+            storage::dfs::block_len(job.spec.input_size, block, idx)
+        };
+        let mut steps = VecDeque::new();
+        steps.push_back(Step::Cpu { cycles: cluster.cfg.task_overhead_cycles });
+        if profile.maps_read_input && block_bytes > 0 {
+            let (file, blk) = self.input_block(j, idx);
+            let node_ref = &self.clusters[self.jobs[j].cluster].built.nodes[node];
+            let plan = self.dfs.plan_read(file, blk, node_ref);
+            Self::push_plan(&mut steps, plan);
+        }
+        steps.push_back(Step::Cpu {
+            cycles: block_bytes as f64 * profile.map_cycles_per_byte,
+        });
+        if profile.maps_write_output {
+            // TestDFSIO-style: the mapper writes its own output file
+            // directly to the DFS.
+            let chunk = self.jobs[j].output_total / maps;
+            if chunk > 0 {
+                let file = self.alloc_file();
+                self.jobs[j].output_files.push(file);
+                let pressure = self.jobs[j].output_total;
+                let node_ref = self.clusters[self.jobs[j].cluster].built.nodes[node].clone();
+                match self.dfs.plan_write(file, chunk, &node_ref, pressure) {
+                    Ok(plan) => Self::push_plan(&mut steps, plan),
+                    Err(e) => self.note_failure(j, format!("map output write failed: {e}")),
+                }
+            }
+        }
+        // Map-output (shuffle) write to the node's shuffle store.
+        let job = &self.jobs[j];
+        let shuffle_chunk = job.shuffle_total / maps;
+        if shuffle_chunk > 0 {
+            let node_ref = &self.clusters[job.cluster].built.nodes[node];
+            steps.push_back(Step::Flows(Self::shuffle_transfers(
+                node_ref,
+                shuffle_chunk as f64,
+                &[],
+            )));
+        }
+        steps
+    }
+
+    fn build_reduce_steps(&mut self, j: usize, idx: u32, node: usize) -> VecDeque<Step> {
+        let job = &self.jobs[j];
+        let cluster = &self.clusters[job.cluster];
+        let dst = &cluster.built.nodes[node];
+        let profile = job.spec.profile.clone();
+        let reduces = job.reduces_total as u64;
+        // Partition: even split with the remainder on reducer 0.
+        let base = job.shuffle_total / reduces;
+        let partition = if idx == 0 { base + job.shuffle_total % reduces } else { base };
+        let mut steps = VecDeque::new();
+        steps.push_back(Step::Cpu { cycles: cluster.cfg.task_overhead_cycles });
+        // Fetch the partition from every node that ran maps, proportionally.
+        // With slowstart, the share of the partition already produced is
+        // copied concurrently with the map phase; the rest waits for the
+        // last map (approximating Hadoop's pipelined copy).
+        if partition > 0 && job.maps_total > 0 {
+            let available_frac = if cluster.cfg.reduce_slowstart.is_some() {
+                (job.maps_done as f64 / job.maps_total as f64).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let total_maps: u32 = job.maps_by_node.iter().sum();
+            let build_fetch = |frac: f64| -> Vec<Transfer> {
+                let mut transfers = Vec::new();
+                for (src_idx, &count) in job.maps_by_node.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let src = &cluster.built.nodes[src_idx];
+                    let bytes =
+                        frac * partition as f64 * count as f64 / total_maps.max(1) as f64;
+                    if bytes <= 0.0 {
+                        continue;
+                    }
+                    if src_idx == node {
+                        transfers.extend(Self::shuffle_transfers(src, bytes, &[]));
+                    } else {
+                        transfers.extend(Self::shuffle_transfers(
+                            src,
+                            bytes,
+                            &[src.nic, dst.nic],
+                        ));
+                    }
+                }
+                transfers
+            };
+            steps.push_back(Step::Latency(cluster.built.fabric.node_to_node));
+            if available_frac > 0.0 {
+                steps.push_back(Step::Flows(build_fetch(available_frac)));
+            }
+            steps.push_back(Step::WaitMaps);
+            if available_frac < 1.0 {
+                steps.push_back(Step::Flows(build_fetch(1.0 - available_frac)));
+            }
+            // Heap overflow: spill the excess to the shuffle store and read
+            // it back for the merge (2× the excess bytes of store traffic).
+            let buffer = cluster.cfg.shuffle_buffer(profile.shuffle_input_ratio);
+            if partition > buffer {
+                let excess = (partition - buffer) as f64;
+                steps.push_back(Step::Flows(Self::shuffle_transfers(dst, 2.0 * excess, &[])));
+            }
+        }
+        steps.push_back(Step::MarkFetchDone);
+        steps.push_back(Step::Cpu {
+            cycles: partition as f64 * cluster.cfg.sort_cycles_per_byte,
+        });
+        steps.push_back(Step::Cpu {
+            cycles: partition as f64 * profile.reduce_cycles_per_byte,
+        });
+        if !profile.maps_write_output {
+            let chunk = self.jobs[j].output_total / reduces;
+            if chunk > 0 {
+                let file = self.alloc_file();
+                self.jobs[j].output_files.push(file);
+                let pressure = self.jobs[j].output_total;
+                let dst = self.clusters[self.jobs[j].cluster].built.nodes[node].clone();
+                match self.dfs.plan_write(file, chunk, &dst, pressure) {
+                    Ok(plan) => Self::push_plan(&mut steps, plan),
+                    Err(e) => self.note_failure(j, format!("reduce output write failed: {e}")),
+                }
+            }
+        }
+        steps
+    }
+
+    // ------------------------------------------------------------------
+    // Task progress
+    // ------------------------------------------------------------------
+
+    fn task_mut(&mut self, job: usize, kind: TaskKind, idx: u32) -> &mut Task {
+        let slot = match kind {
+            TaskKind::Map => &mut self.jobs[job].map_tasks[idx as usize],
+            TaskKind::Reduce => &mut self.jobs[job].reduce_tasks[idx as usize],
+        };
+        slot.as_mut().expect("no such running task")
+    }
+
+    fn advance_task(&mut self, job: usize, kind: TaskKind, idx: u32) {
+        let now = self.queue.now();
+        loop {
+            let cluster = self.jobs[job].cluster;
+            let task = self.task_mut(job, kind, idx);
+            let Some(step) = task.steps.pop_front() else {
+                self.task_complete(job, kind, idx);
+                return;
+            };
+            match step {
+                Step::Cpu { cycles } => {
+                    let node = task.node;
+                    let speed = self.clusters[cluster].built.nodes[node].spec.core_speed();
+                    let dur = SimDuration::from_secs_f64(cycles / speed);
+                    self.queue.push(now + dur, Ev::StepDone { job, kind, idx });
+                    return;
+                }
+                Step::Latency(d) => {
+                    self.queue.push(now + d, Ev::StepDone { job, kind, idx });
+                    return;
+                }
+                Step::Flows(transfers) => {
+                    if transfers.is_empty() {
+                        continue;
+                    }
+                    let n = transfers.len() as u32;
+                    self.task_mut(job, kind, idx).outstanding = n;
+                    for t in transfers {
+                        let fid = FlowId(self.next_flow);
+                        self.next_flow += 1;
+                        self.net.add_flow(now, fid, t.bytes, &t.path, t.rate_cap);
+                        self.flows.insert(fid, (job, kind, idx));
+                    }
+                    self.schedule_net_poll();
+                    return;
+                }
+                Step::Fail => {
+                    self.task_failed(job, kind, idx);
+                    return;
+                }
+                Step::WaitMaps => {
+                    if self.jobs[job].maps_done == self.jobs[job].maps_total {
+                        continue;
+                    }
+                    self.jobs[job].parked_reduces.push(idx);
+                    return;
+                }
+                Step::MarkFetchDone => {
+                    self.jobs[job].last_fetch_done = now;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// With probability `task_failure_prob`, cut the attempt's step list at
+    /// a deterministic random point and append a [`Step::Fail`] marker.
+    fn maybe_inject_failure(&mut self, j: usize, steps: &mut VecDeque<Step>) {
+        let p = self.clusters[self.jobs[j].cluster].cfg.task_failure_prob;
+        if p <= 0.0 || steps.is_empty() || self.rng.gen::<f64>() >= p {
+            return;
+        }
+        let cut = self.rng.gen_range(0..steps.len());
+        steps.truncate(cut);
+        steps.push_back(Step::Fail);
+    }
+
+    fn schedule_net_poll(&mut self) {
+        let now = self.queue.now();
+        if let Some(t) = self.net.next_completion_time(now) {
+            self.queue.push(t, Ev::NetPoll { gen: self.net.generation().0 });
+        }
+    }
+
+    fn task_complete(&mut self, j: usize, kind: TaskKind, idx: u32) {
+        let now = self.queue.now();
+        let cluster = self.jobs[j].cluster;
+        match kind {
+            TaskKind::Map => {
+                let task =
+                    self.jobs[j].map_tasks[idx as usize].take().expect("map finished twice");
+                self.record(j, kind, idx, cluster, &task, now);
+                self.clusters[cluster].free_map[task.node] += 1;
+                self.clusters[cluster].map_queue.task_finished(j);
+                self.jobs[j].maps_done += 1;
+                self.jobs[j].last_map_end = now;
+                self.maybe_enqueue_reduces(j);
+                if self.jobs[j].maps_done == self.jobs[j].maps_total {
+                    // Resume reducers parked on the map barrier.
+                    let parked = std::mem::take(&mut self.jobs[j].parked_reduces);
+                    for r in parked {
+                        self.advance_task(j, TaskKind::Reduce, r);
+                    }
+                }
+            }
+            TaskKind::Reduce => {
+                let task = self.jobs[j].reduce_tasks[idx as usize]
+                    .take()
+                    .expect("reduce finished twice");
+                self.record(j, kind, idx, cluster, &task, now);
+                self.clusters[cluster].free_reduce[task.node] += 1;
+                self.clusters[cluster].reduce_queue.task_finished(j);
+                self.jobs[j].reduces_done += 1;
+                if self.jobs[j].reduces_done == self.jobs[j].reduces_total {
+                    self.job_complete(j);
+                }
+            }
+        }
+        self.try_schedule(cluster);
+    }
+
+    /// An attempt died: release its slot and either re-enqueue the task
+    /// (Hadoop retries on another attempt) or flag the job failed once the
+    /// attempt budget is exhausted.
+    fn task_failed(&mut self, j: usize, kind: TaskKind, idx: u32) {
+        let cluster = self.jobs[j].cluster;
+        let max_attempts = self.clusters[cluster].cfg.task_max_attempts.max(1);
+        match kind {
+            TaskKind::Map => {
+                let task =
+                    self.jobs[j].map_tasks[idx as usize].take().expect("failed map missing");
+                self.clusters[cluster].free_map[task.node] += 1;
+                self.clusters[cluster].map_queue.task_finished(j);
+                self.jobs[j].maps_by_node[task.node] -= 1;
+                if task.attempt >= max_attempts {
+                    self.note_failure(j, format!("map {idx} exceeded {max_attempts} attempts"));
+                    // Count it done so the job can drain and report failure.
+                    self.jobs[j].maps_done += 1;
+                    self.jobs[j].last_map_end = self.queue.now();
+                    self.maybe_enqueue_reduces(j);
+                    if self.jobs[j].maps_done == self.jobs[j].maps_total {
+                        // Reducers parked on the map barrier must not hang
+                        // on a job whose last map failed permanently.
+                        let parked = std::mem::take(&mut self.jobs[j].parked_reduces);
+                        for r in parked {
+                            self.advance_task(j, TaskKind::Reduce, r);
+                        }
+                    }
+                } else {
+                    self.clusters[cluster].map_queue.push(j, idx);
+                }
+            }
+            TaskKind::Reduce => {
+                let task = self.jobs[j].reduce_tasks[idx as usize]
+                    .take()
+                    .expect("failed reduce missing");
+                self.clusters[cluster].free_reduce[task.node] += 1;
+                self.clusters[cluster].reduce_queue.task_finished(j);
+                if task.attempt >= max_attempts {
+                    self.note_failure(j, format!("reduce {idx} exceeded {max_attempts} attempts"));
+                    self.jobs[j].reduces_done += 1;
+                    if self.jobs[j].reduces_done == self.jobs[j].reduces_total {
+                        self.job_complete(j);
+                    }
+                } else {
+                    self.clusters[cluster].reduce_queue.push(j, idx);
+                }
+            }
+        }
+        self.try_schedule(cluster);
+    }
+
+    fn record(&mut self, j: usize, kind: TaskKind, idx: u32, cluster: usize, task: &Task, now: SimTime) {
+        if self.record_tasks {
+            self.records.push(TaskRecord {
+                job: self.jobs[j].spec.id,
+                kind,
+                idx,
+                cluster,
+                node: task.node,
+                start: task.started,
+                end: now,
+            });
+        }
+    }
+
+    /// Enqueue the job's reducers once the slowstart threshold (or map
+    /// completion) is reached.
+    fn maybe_enqueue_reduces(&mut self, j: usize) {
+        if self.jobs[j].reduces_enqueued {
+            return;
+        }
+        let cluster = self.jobs[j].cluster;
+        let threshold = match self.clusters[cluster].cfg.reduce_slowstart {
+            Some(f) => {
+                ((self.jobs[j].maps_total as f64 * f).ceil() as u32).max(1)
+            }
+            None => self.jobs[j].maps_total,
+        };
+        if self.jobs[j].maps_done >= threshold {
+            self.jobs[j].reduces_enqueued = true;
+            for r in 0..self.jobs[j].reduces_total {
+                self.clusters[cluster].reduce_queue.push(j, r);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Job completion / failure
+    // ------------------------------------------------------------------
+
+    fn note_failure(&mut self, j: usize, msg: String) {
+        let job = &mut self.jobs[j];
+        if job.failure.is_none() {
+            job.failure = Some(msg);
+        }
+    }
+
+    fn fail_job(&mut self, j: usize, msg: String) {
+        let now = self.queue.now();
+        self.note_failure(j, msg);
+        let job = &mut self.jobs[j];
+        job.phase = JobPhase::Finished;
+        let result = JobResult {
+            id: job.spec.id,
+            app: job.spec.profile.name.clone(),
+            input_size: job.spec.input_size,
+            cluster: job.cluster,
+            cluster_name: self.clusters[job.cluster].built.name.clone(),
+            submit: job.spec.submit,
+            end: now,
+            execution: now.since(job.spec.submit),
+            map_phase: SimDuration::ZERO,
+            shuffle_phase: SimDuration::ZERO,
+            reduce_phase: SimDuration::ZERO,
+            maps: 0,
+            reduces: 0,
+            map_waves: 0,
+            data_local_maps: 0,
+            failed: job.failure.clone(),
+        };
+        self.results.push(result);
+    }
+
+    fn job_complete(&mut self, j: usize) {
+        let now = self.queue.now();
+        let job = &mut self.jobs[j];
+        job.phase = JobPhase::Finished;
+        let first_map = job.first_map_start.unwrap_or(now);
+        let mut starts = job.map_start_times.clone();
+        starts.sort_unstable();
+        starts.dedup();
+        let result = JobResult {
+            id: job.spec.id,
+            app: job.spec.profile.name.clone(),
+            input_size: job.spec.input_size,
+            cluster: job.cluster,
+            cluster_name: self.clusters[job.cluster].built.name.clone(),
+            submit: job.spec.submit,
+            end: now,
+            execution: now.since(job.spec.submit),
+            map_phase: job.last_map_end.since(first_map),
+            shuffle_phase: job.last_fetch_done.since(job.last_map_end),
+            reduce_phase: now.since(job.last_fetch_done),
+            maps: job.maps_total,
+            reduces: job.reduces_total,
+            map_waves: starts.len() as u32,
+            data_local_maps: job.data_local_maps,
+            failed: job.failure.clone(),
+        };
+        if self.delete_files_on_completion {
+            let files: Vec<FileId> =
+                job.input_files.iter().chain(job.output_files.iter()).copied().collect();
+            for f in files {
+                self.dfs.delete_file(f);
+            }
+        }
+        self.results.push(result);
+    }
+}
+
+/// Index of the maximum element (first on ties) if it is positive.
+fn max_index(v: &[u32]) -> Option<usize> {
+    let (mut best, mut best_val) = (None, 0u32);
+    for (i, &x) in v.iter().enumerate() {
+        if x > best_val {
+            best = Some(i);
+            best_val = x;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::JobProfile;
+    use cluster::{presets, ClusterSpec, FabricSpec, GB, MB};
+    use storage::{HdfsConfig, HdfsModel, OfsConfig, OfsModel};
+
+    fn out_sim(nodes: u32) -> Simulation {
+        let mut net = FlowNetwork::new();
+        let built = ClusterSpec::homogeneous("out", presets::scale_out_machine(), nodes)
+            .build(&mut net, 0);
+        let dfs = HdfsModel::new(HdfsConfig::default(), &built.nodes, FabricSpec::myrinet());
+        Simulation::new(net, Box::new(dfs), vec![(built, EngineConfig::scale_out())])
+    }
+
+    fn up_ofs_sim() -> Simulation {
+        let mut net = FlowNetwork::new();
+        let built =
+            ClusterSpec::homogeneous("up", presets::scale_up_machine(), 2).build(&mut net, 0);
+        let dfs = OfsModel::new(OfsConfig::default(), &mut net);
+        Simulation::new(net, Box::new(dfs), vec![(built, EngineConfig::scale_up())])
+    }
+
+    fn wordcount() -> JobProfile {
+        JobProfile::basic("wordcount", 1.6, 0.2)
+    }
+
+    #[test]
+    fn single_small_job_completes() {
+        let mut sim = out_sim(4);
+        sim.submit(JobSpec::at_zero(0, wordcount(), GB), 0);
+        let results = sim.run().to_vec();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.succeeded(), "failure: {:?}", r.failed);
+        assert_eq!(r.maps, 8); // 1 GB / 128 MB
+        assert!(r.execution.as_secs_f64() > 0.0);
+        assert!(r.map_phase.as_secs_f64() > 0.0);
+        assert!(r.shuffle_phase.as_secs_f64() > 0.0);
+        assert!(r.reduce_phase.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn phases_are_consistent_with_execution() {
+        let mut sim = out_sim(4);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 2 * GB), 0);
+        let r = sim.run()[0].clone();
+        let phases = r.map_phase.as_secs_f64()
+            + r.shuffle_phase.as_secs_f64()
+            + r.reduce_phase.as_secs_f64();
+        // Execution additionally includes job setup and first-map wait.
+        assert!(r.execution.as_secs_f64() >= phases);
+        assert!(r.execution.as_secs_f64() < phases + 10.0);
+    }
+
+    #[test]
+    fn waves_emerge_from_slot_limits() {
+        // 4 scale-out nodes → 24 map slots; 64 maps → ≥3 waves.
+        let mut sim = out_sim(4);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 8 * GB), 0);
+        let r = sim.run()[0].clone();
+        assert_eq!(r.maps, 64);
+        assert!(r.map_waves >= 3, "waves={}", r.map_waves);
+    }
+
+    #[test]
+    fn small_job_runs_in_one_wave() {
+        let mut sim = out_sim(12);
+        sim.submit(JobSpec::at_zero(0, wordcount(), GB), 0);
+        let r = sim.run()[0].clone();
+        assert_eq!(r.maps, 8);
+        assert_eq!(r.map_waves, 1, "8 maps fit the 72 slots in one wave");
+    }
+
+    #[test]
+    fn larger_input_takes_longer() {
+        let mut t = Vec::new();
+        for size in [GB, 4 * GB, 16 * GB] {
+            let mut sim = out_sim(12);
+            sim.submit(JobSpec::at_zero(0, wordcount(), size), 0);
+            t.push(sim.run()[0].execution.as_secs_f64());
+        }
+        assert!(t[0] < t[1] && t[1] < t[2], "{t:?}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = out_sim(6);
+            sim.submit(JobSpec::at_zero(0, wordcount(), 3 * GB), 0);
+            sim.submit(
+                JobSpec {
+                    id: JobId(1),
+                    profile: JobProfile::basic("grep", 0.4, 0.05),
+                    input_size: 2 * GB,
+                    submit: SimTime::from_secs(5),
+                },
+                0,
+            );
+            sim.run().to_vec()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hdfs_capacity_failure_is_reported() {
+        let mut net = FlowNetwork::new();
+        let built =
+            ClusterSpec::homogeneous("up", presets::scale_up_machine(), 2).build(&mut net, 0);
+        let dfs = HdfsModel::new(HdfsConfig::default(), &built.nodes, FabricSpec::myrinet());
+        let mut sim = Simulation::new(net, Box::new(dfs), vec![(built, EngineConfig::scale_up())]);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 200 * GB), 0);
+        let r = sim.run()[0].clone();
+        assert!(!r.succeeded());
+        assert!(r.failed.as_deref().unwrap().contains("capacity"));
+    }
+
+    #[test]
+    fn up_cluster_with_ofs_runs_any_size() {
+        let mut sim = up_ofs_sim();
+        sim.submit(JobSpec::at_zero(0, wordcount(), 16 * GB), 0);
+        let r = sim.run()[0].clone();
+        assert!(r.succeeded(), "failure: {:?}", r.failed);
+        assert_eq!(r.maps, 128);
+    }
+
+    #[test]
+    fn testdfsio_write_profile_works() {
+        let profile = JobProfile {
+            name: "testdfsio-write".into(),
+            map_cycles_per_byte: 2.0,
+            reduce_cycles_per_byte: 0.0,
+            shuffle_input_ratio: 0.0,
+            output_input_ratio: 1.0,
+            maps_read_input: false,
+            maps_write_output: true,
+            fixed_reduces: Some(1),
+        };
+        let mut sim = up_ofs_sim();
+        sim.submit(JobSpec::at_zero(0, profile, 4 * GB), 0);
+        let r = sim.run()[0].clone();
+        assert!(r.succeeded());
+        assert_eq!(r.reduces, 1);
+        // Map-intensive: the map phase dominates; the shuffle phase is just
+        // the lone reducer's startup (the paper's Fig. 9c shows <8 s).
+        assert!(r.map_phase > r.shuffle_phase);
+        assert!(r.shuffle_phase.as_secs_f64() < 8.0);
+    }
+
+    #[test]
+    fn fifo_contention_delays_second_job() {
+        // A large job hogging all slots delays a small one behind it.
+        let small_alone = {
+            let mut sim = out_sim(2);
+            sim.submit(JobSpec::at_zero(0, wordcount(), GB), 0);
+            sim.run()[0].execution.as_secs_f64()
+        };
+        let mut sim = out_sim(2);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 16 * GB), 0);
+        sim.submit(
+            JobSpec {
+                id: JobId(1),
+                profile: wordcount(),
+                input_size: GB,
+                submit: SimTime::from_secs(1),
+            },
+            0,
+        );
+        let results = sim.run().to_vec();
+        let small = results.iter().find(|r| r.id == JobId(1)).unwrap();
+        assert!(
+            small.execution.as_secs_f64() > 2.0 * small_alone,
+            "contended {} vs alone {}",
+            small.execution.as_secs_f64(),
+            small_alone
+        );
+    }
+
+    #[test]
+    fn files_are_cleaned_up_after_completion() {
+        let mut sim = out_sim(4);
+        sim.submit(JobSpec::at_zero(0, wordcount(), GB), 0);
+        sim.run();
+        assert_eq!(sim.dfs().used_bytes(), 0, "input and output deleted");
+    }
+
+    #[test]
+    fn hdfs_jobs_achieve_high_data_locality() {
+        let mut sim = out_sim(4);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);
+        let r = sim.run()[0].clone();
+        // With locality-preferring dispatch over replication-2 placement,
+        // the vast majority of maps read locally.
+        assert!(
+            r.data_local_maps * 10 >= r.maps * 7,
+            "only {}/{} maps were data-local",
+            r.data_local_maps,
+            r.maps
+        );
+    }
+
+    #[test]
+    fn remote_storage_has_no_locality() {
+        let mut sim = up_ofs_sim();
+        sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);
+        let r = sim.run()[0].clone();
+        assert_eq!(r.data_local_maps, 0, "OFS blocks are never node-local");
+    }
+
+    #[test]
+    fn zero_input_job_still_completes() {
+        let mut sim = out_sim(2);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 0), 0);
+        let r = sim.run()[0].clone();
+        assert!(r.succeeded());
+        assert_eq!(r.maps, 1);
+    }
+
+    #[test]
+    fn multi_cluster_routing_respects_assignment() {
+        let mut net = FlowNetwork::new();
+        let up = ClusterSpec::homogeneous("up", presets::scale_up_machine(), 2).build(&mut net, 0);
+        let out =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12).build(&mut net, 2);
+        let dfs = OfsModel::new(OfsConfig::default(), &mut net);
+        let mut sim = Simulation::new(
+            net,
+            Box::new(dfs),
+            vec![(up, EngineConfig::scale_up()), (out, EngineConfig::scale_out())],
+        );
+        sim.submit(JobSpec::at_zero(0, wordcount(), GB), 0);
+        sim.submit(JobSpec::at_zero(1, wordcount(), GB), 1);
+        let results = sim.run().to_vec();
+        assert_eq!(results.iter().find(|r| r.id == JobId(0)).unwrap().cluster_name, "up");
+        assert_eq!(results.iter().find(|r| r.id == JobId(1)).unwrap().cluster_name, "out");
+    }
+
+    #[test]
+    fn more_map_slots_never_slow_a_job_down() {
+        let mut small = out_sim(2);
+        small.submit(JobSpec::at_zero(0, wordcount(), 8 * GB), 0);
+        let t_small = small.run()[0].execution.as_secs_f64();
+        let mut big = out_sim(12);
+        big.submit(JobSpec::at_zero(0, wordcount(), 8 * GB), 0);
+        let t_big = big.run()[0].execution.as_secs_f64();
+        assert!(t_big <= t_small * 1.01, "12 nodes {t_big} vs 2 nodes {t_small}");
+    }
+
+    #[test]
+    fn spill_penalty_applies_when_partition_exceeds_buffer() {
+        // Same job, but a tiny heap forces reduce-side spills → slower.
+        let run_with_heap = |heap: u64| {
+            let mut net = FlowNetwork::new();
+            let built = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 4)
+                .build(&mut net, 0);
+            let dfs = HdfsModel::new(HdfsConfig::default(), &built.nodes, FabricSpec::myrinet());
+            let cfg = EngineConfig {
+                heap_shuffle_intensive: heap,
+                ..EngineConfig::scale_out()
+            };
+            let mut sim = Simulation::new(net, Box::new(dfs), vec![(built, cfg)]);
+            sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);
+            sim.run()[0].clone()
+        };
+        let big_heap = run_with_heap(64 * (GB / 8)); // 8 GB
+        let tiny_heap = run_with_heap(64 * MB);
+        assert!(
+            tiny_heap.shuffle_phase > big_heap.shuffle_phase,
+            "tiny {:?} vs big {:?}",
+            tiny_heap.shuffle_phase,
+            big_heap.shuffle_phase
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Job specifications and results.
+
+use crate::profile::JobProfile;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// Identifies a job within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+/// A job to simulate: an application profile applied to an input size,
+/// submitted at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job id, unique within a simulation.
+    pub id: JobId,
+    /// The application.
+    pub profile: JobProfile,
+    /// Input bytes.
+    pub input_size: u64,
+    /// Submission time.
+    pub submit: SimTime,
+}
+
+impl JobSpec {
+    /// A job submitted at t = 0 (single-job measurement runs).
+    pub fn at_zero(id: u32, profile: JobProfile, input_size: u64) -> Self {
+        JobSpec { id: JobId(id), profile, input_size, submit: SimTime::ZERO }
+    }
+}
+
+/// What happened to a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Which job.
+    pub id: JobId,
+    /// Application name.
+    pub app: String,
+    /// Input bytes.
+    pub input_size: u64,
+    /// Index of the sub-cluster that ran it.
+    pub cluster: usize,
+    /// Name of that sub-cluster.
+    pub cluster_name: String,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+    /// Job execution time, end − submit. The paper's workload runs jobs
+    /// back-to-back on a shared cluster, so queueing is part of what its
+    /// Figure 10 CDFs measure.
+    pub execution: SimDuration,
+    /// Map phase: "the last map task's ending time minus the first map
+    /// task's starting time".
+    pub map_phase: SimDuration,
+    /// Shuffle phase: "the last shuffle task's ending time minus the last
+    /// map task's ending time".
+    pub shuffle_phase: SimDuration,
+    /// Reduce phase: "the time elapsed from the ending time of the last
+    /// shuffle task to the end of the job".
+    pub reduce_phase: SimDuration,
+    /// Number of map tasks.
+    pub maps: u32,
+    /// Number of reduce tasks.
+    pub reduces: u32,
+    /// Map waves: "the number of distinct start times from all mappers".
+    pub map_waves: u32,
+    /// Map tasks whose input block was hosted on their own node (always 0
+    /// on remote storage, where no block is local to any compute node).
+    pub data_local_maps: u32,
+    /// Set when the job could not run (e.g. input exceeds HDFS capacity —
+    /// the paper's up-HDFS ≥80 GB case) or failed mid-run.
+    pub failed: Option<String>,
+}
+
+impl JobResult {
+    /// Whether the job ran to completion.
+    pub fn succeeded(&self) -> bool {
+        self.failed.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_zero_submits_at_epoch() {
+        let spec = JobSpec::at_zero(3, JobProfile::basic("x", 1.0, 0.1), 1024);
+        assert_eq!(spec.submit, SimTime::ZERO);
+        assert_eq!(spec.id, JobId(3));
+    }
+}

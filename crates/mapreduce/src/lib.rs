@@ -1,0 +1,21 @@
+//! # mapreduce — a discrete-event Hadoop MapReduce execution simulator
+//!
+//! Substitutes for the Hadoop 1.2.1 runtime of the paper's testbed. Jobs
+//! run over one or more sub-clusters (slots = cores), read/write through a
+//! pluggable [`storage::DfsModel`], and move bytes over a shared
+//! [`simcore::FlowNetwork`]. The engine records the paper's §III metrics —
+//! execution time and map/shuffle/reduce phase durations, with the paper's
+//! exact phase definitions — and exposes wave counts and failures (e.g.
+//! up-HDFS capacity rejections).
+
+pub mod config;
+pub mod engine;
+pub mod job;
+pub mod profile;
+pub mod queue;
+
+pub use config::EngineConfig;
+pub use engine::{Simulation, TaskKind, TaskRecord};
+pub use queue::{TaskQueue, TaskSchedPolicy};
+pub use job::{JobId, JobResult, JobSpec};
+pub use profile::JobProfile;

@@ -1,0 +1,90 @@
+//! Application cost profiles.
+//!
+//! The paper characterizes applications by two observables — input data size
+//! and the shuffle/input ratio — plus a qualitative split into
+//! shuffle-intensive (Wordcount ≈ 1.6, Grep ≈ 0.4) and map-intensive
+//! (TestDFSIO ≈ 0). A [`JobProfile`] carries exactly the quantities the time
+//! model and the scheduler consume; concrete presets live in the `workload`
+//! crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost/shape description of one MapReduce application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Application name ("wordcount", ...).
+    pub name: String,
+    /// CPU work per input byte in the map function, in normalized cycles
+    /// (a scale-out core delivers `2.3e9` of these per second).
+    pub map_cycles_per_byte: f64,
+    /// CPU work per shuffle byte in the reduce function.
+    pub reduce_cycles_per_byte: f64,
+    /// shuffle bytes / input bytes — the paper's placement-deciding ratio.
+    pub shuffle_input_ratio: f64,
+    /// final output bytes / input bytes.
+    pub output_input_ratio: f64,
+    /// Whether map tasks read their input split from the DFS. TestDFSIO's
+    /// write test generates data in the mapper instead.
+    pub maps_read_input: bool,
+    /// Whether map tasks write their chunk of the output straight to the
+    /// DFS (TestDFSIO-style); otherwise reducers write the output.
+    pub maps_write_output: bool,
+    /// Fixed reducer count, overriding the engine's sizing rule
+    /// (TestDFSIO uses exactly one statistics-aggregating reducer).
+    pub fixed_reduces: Option<u32>,
+}
+
+impl JobProfile {
+    /// A plain shuffle-oriented profile with the given name and ratios;
+    /// the usual starting point for tests and synthetic workloads.
+    pub fn basic(name: impl Into<String>, shuffle_input_ratio: f64, output_input_ratio: f64) -> Self {
+        JobProfile {
+            name: name.into(),
+            map_cycles_per_byte: 30.0,
+            reduce_cycles_per_byte: 10.0,
+            shuffle_input_ratio,
+            output_input_ratio,
+            maps_read_input: true,
+            maps_write_output: false,
+            fixed_reduces: None,
+        }
+    }
+
+    /// The paper's application classes, by shuffle/input ratio: below 0.4
+    /// the paper treats a job as map-intensive (§IV: "We consider jobs with
+    /// shuffle/input ratios less than 0.4 as map-intensive jobs").
+    pub fn is_map_intensive(&self) -> bool {
+        self.shuffle_input_ratio < 0.4
+    }
+
+    /// Shuffle bytes produced for `input_size` input bytes.
+    pub fn shuffle_bytes(&self, input_size: u64) -> u64 {
+        (input_size as f64 * self.shuffle_input_ratio).round() as u64
+    }
+
+    /// Output bytes produced for `input_size` input bytes.
+    pub fn output_bytes(&self, input_size: u64) -> u64 {
+        (input_size as f64 * self.output_input_ratio).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_classification_matches_paper() {
+        assert!(JobProfile::basic("dfsio", 0.0, 1.0).is_map_intensive());
+        assert!(JobProfile::basic("grep-like", 0.39, 0.1).is_map_intensive());
+        assert!(!JobProfile::basic("grep", 0.4, 0.1).is_map_intensive());
+        assert!(!JobProfile::basic("wordcount", 1.6, 0.2).is_map_intensive());
+    }
+
+    #[test]
+    fn byte_derivations_scale_linearly() {
+        let p = JobProfile::basic("wc", 1.6, 0.5);
+        assert_eq!(p.shuffle_bytes(1000), 1600);
+        assert_eq!(p.output_bytes(1000), 500);
+        assert_eq!(p.shuffle_bytes(0), 0);
+    }
+}

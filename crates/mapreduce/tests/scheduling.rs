@@ -1,0 +1,197 @@
+//! Integration tests of the engine's scheduling features: task timelines,
+//! slot-capacity invariants, Fair vs FIFO sharing, and slowstart overlap.
+
+use cluster::{presets, ClusterSpec, FabricSpec};
+use mapreduce::{
+    EngineConfig, JobId, JobProfile, JobSpec, Simulation, TaskKind, TaskRecord, TaskSchedPolicy,
+};
+use simcore::{FlowNetwork, SimTime};
+use storage::{HdfsConfig, HdfsModel};
+
+const GB: u64 = 1 << 30;
+
+fn sim_with(cfg: EngineConfig, nodes: u32) -> Simulation {
+    let mut net = FlowNetwork::new();
+    let built =
+        ClusterSpec::homogeneous("out", presets::scale_out_machine(), nodes).build(&mut net, 0);
+    let dfs = HdfsModel::new(HdfsConfig::default(), &built.nodes, FabricSpec::myrinet());
+    Simulation::new(net, Box::new(dfs), vec![(built, cfg)])
+}
+
+fn wordcount() -> JobProfile {
+    JobProfile::basic("wordcount", 1.6, 0.1)
+}
+
+/// The maximum number of simultaneously-running tasks of `kind` on `node`,
+/// swept from the timeline records.
+fn peak_concurrency(records: &[TaskRecord], node: usize, kind: TaskKind) -> usize {
+    let mut events: Vec<(SimTime, i32)> = Vec::new();
+    for r in records.iter().filter(|r| r.node == node && r.kind == kind) {
+        events.push((r.start, 1));
+        events.push((r.end, -1));
+    }
+    // Ends sort before starts at the same instant (a freed slot is reusable).
+    events.sort_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i32;
+    let mut peak = 0i32;
+    for (_, d) in events {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak as usize
+}
+
+#[test]
+fn task_records_cover_all_tasks() {
+    let mut sim = sim_with(EngineConfig::scale_out(), 4);
+    sim.record_tasks = true;
+    sim.submit(JobSpec::at_zero(0, wordcount(), 2 * GB), 0);
+    let r = sim.run()[0].clone();
+    let records = sim.task_records();
+    let maps = records.iter().filter(|t| t.kind == TaskKind::Map).count();
+    let reduces = records.iter().filter(|t| t.kind == TaskKind::Reduce).count();
+    assert_eq!(maps as u32, r.maps);
+    assert_eq!(reduces as u32, r.reduces);
+    assert!(records.iter().all(|t| t.start <= t.end && t.job == JobId(0)));
+}
+
+#[test]
+fn slot_capacity_is_never_exceeded() {
+    let mut sim = sim_with(EngineConfig::scale_out(), 3);
+    sim.record_tasks = true;
+    // Three jobs, enough tasks to oversubscribe the 18 map slots repeatedly.
+    for i in 0..3 {
+        sim.submit(JobSpec::at_zero(i, wordcount(), 4 * GB), 0);
+    }
+    sim.run();
+    let spec = presets::scale_out_machine();
+    for node in 0..3usize {
+        let peak_maps = peak_concurrency(sim.task_records(), node, TaskKind::Map);
+        let peak_reduces = peak_concurrency(sim.task_records(), node, TaskKind::Reduce);
+        assert!(
+            peak_maps <= spec.map_slots() as usize,
+            "node {node}: {peak_maps} concurrent maps > {} slots",
+            spec.map_slots()
+        );
+        assert!(peak_reduces <= spec.reduce_slots() as usize);
+    }
+}
+
+#[test]
+fn records_off_by_default() {
+    let mut sim = sim_with(EngineConfig::scale_out(), 2);
+    sim.submit(JobSpec::at_zero(0, wordcount(), GB), 0);
+    sim.run();
+    assert!(sim.task_records().is_empty());
+}
+
+#[test]
+fn fair_scheduler_protects_the_late_small_job() {
+    let run = |policy: TaskSchedPolicy| {
+        let cfg = EngineConfig { task_sched: policy, ..EngineConfig::scale_out() };
+        let mut sim = sim_with(cfg, 2);
+        // A big job arrives first and floods the 12 map slots...
+        sim.submit(JobSpec::at_zero(0, wordcount(), 24 * GB), 0);
+        // ...then a small job lands right behind it.
+        sim.submit(
+            JobSpec {
+                id: JobId(1),
+                profile: wordcount(),
+                input_size: GB / 2,
+                submit: SimTime::from_secs(5),
+            },
+            0,
+        );
+        let results = sim.run().to_vec();
+        results.iter().find(|r| r.id == JobId(1)).unwrap().execution.as_secs_f64()
+    };
+    let fifo = run(TaskSchedPolicy::Fifo);
+    let fair = run(TaskSchedPolicy::Fair);
+    assert!(
+        fair < 0.7 * fifo,
+        "fair must rescue the small job: fair {fair:.1}s vs fifo {fifo:.1}s"
+    );
+}
+
+#[test]
+fn fair_scheduler_costs_the_big_job_little() {
+    let run = |policy: TaskSchedPolicy| {
+        let cfg = EngineConfig { task_sched: policy, ..EngineConfig::scale_out() };
+        let mut sim = sim_with(cfg, 2);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 24 * GB), 0);
+        sim.submit(
+            JobSpec {
+                id: JobId(1),
+                profile: wordcount(),
+                input_size: GB / 2,
+                submit: SimTime::from_secs(5),
+            },
+            0,
+        );
+        let results = sim.run().to_vec();
+        results.iter().find(|r| r.id == JobId(0)).unwrap().execution.as_secs_f64()
+    };
+    let fifo = run(TaskSchedPolicy::Fifo);
+    let fair = run(TaskSchedPolicy::Fair);
+    assert!(fair <= fifo * 1.15, "big job: fair {fair:.1}s vs fifo {fifo:.1}s");
+}
+
+#[test]
+fn slowstart_overlap_shortens_the_job() {
+    let run = |slowstart: Option<f64>| {
+        let cfg = EngineConfig { reduce_slowstart: slowstart, ..EngineConfig::scale_out() };
+        let mut sim = sim_with(cfg, 4);
+        sim.submit(JobSpec::at_zero(0, wordcount(), 8 * GB), 0);
+        sim.run()[0].clone()
+    };
+    let barrier = run(None);
+    let overlapped = run(Some(0.05));
+    assert!(barrier.succeeded() && overlapped.succeeded());
+    // Overlap hides (part of) the copy behind the map phase.
+    assert!(
+        overlapped.execution < barrier.execution,
+        "overlapped {:?} vs barrier {:?}",
+        overlapped.execution,
+        barrier.execution
+    );
+    assert!(overlapped.shuffle_phase <= barrier.shuffle_phase);
+    // The accounting identities still hold.
+    let phases = overlapped.map_phase + overlapped.shuffle_phase + overlapped.reduce_phase;
+    assert!(overlapped.execution >= phases);
+}
+
+#[test]
+fn slowstart_respects_the_map_barrier_for_correctness() {
+    // Even with aggressive slowstart, no reducer may report its fetch done
+    // before the last map ends (the gated remainder).
+    let cfg = EngineConfig { reduce_slowstart: Some(0.01), ..EngineConfig::scale_out() };
+    let mut sim = sim_with(cfg, 4);
+    sim.record_tasks = true;
+    sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);
+    let r = sim.run()[0].clone();
+    assert!(r.succeeded());
+    let last_map_end = sim
+        .task_records()
+        .iter()
+        .filter(|t| t.kind == TaskKind::Map)
+        .map(|t| t.end)
+        .max()
+        .unwrap();
+    let last_reduce_end = sim
+        .task_records()
+        .iter()
+        .filter(|t| t.kind == TaskKind::Reduce)
+        .map(|t| t.end)
+        .max()
+        .unwrap();
+    assert!(last_reduce_end >= last_map_end);
+    // Reducers DID start before the map barrier (that's the overlap).
+    let first_reduce_start = sim
+        .task_records()
+        .iter()
+        .filter(|t| t.kind == TaskKind::Reduce)
+        .map(|t| t.start)
+        .min()
+        .unwrap();
+    assert!(first_reduce_start < last_map_end, "no overlap happened");
+}

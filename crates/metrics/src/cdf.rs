@@ -1,0 +1,140 @@
+//! Empirical CDFs — the paper's favourite plot (Figures 3 and 10).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Build from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(f64::total_cmp);
+        EmpiricalCdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`None` when empty).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::stats::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Largest sample (`None` when empty) — the paper quotes "maximum
+    /// execution time" per architecture off these CDFs.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Fraction of samples strictly above `x` (the paper: "the percent of
+    /// jobs completed after 1207 s ...").
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// `(x, F(x))` pairs at each distinct sample — the staircase to plot.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let p = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = p,
+                _ => out.push((x, p)),
+            }
+        }
+        out
+    }
+
+    /// `count` evenly spaced quantile samples — a compact summary for
+    /// tables (e.g. deciles with `count = 11`).
+    pub fn quantile_sweep(&self, count: usize) -> Vec<(f64, f64)> {
+        if self.is_empty() || count < 2 {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|i| {
+                let q = i as f64 / (count - 1) as f64;
+                (q, self.quantile(q).expect("non-empty"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_a_step_function() {
+        let c = EmpiricalCdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.cdf(0.5), 0.0);
+        assert_eq!(c.cdf(1.0), 0.25);
+        assert_eq!(c.cdf(2.0), 0.75);
+        assert_eq!(c.cdf(3.0), 1.0);
+        assert_eq!(c.cdf(99.0), 1.0);
+    }
+
+    #[test]
+    fn extremes_and_fractions() {
+        let c = EmpiricalCdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.max(), Some(40.0));
+        assert_eq!(c.min(), Some(10.0));
+        assert!((c.fraction_above(20.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_deduplicate_ties() {
+        let c = EmpiricalCdf::new(vec![1.0, 1.0, 2.0]);
+        assert_eq!(c.points(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = EmpiricalCdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.cdf(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.max(), None);
+        assert!(c.points().is_empty());
+        assert!(c.quantile_sweep(5).is_empty());
+    }
+
+    #[test]
+    fn quantile_sweep_spans_the_range() {
+        let c = EmpiricalCdf::new((1..=100).map(|i| i as f64).collect());
+        let sweep = c.quantile_sweep(5);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0], (0.0, 1.0));
+        assert_eq!(sweep[4], (1.0, 100.0));
+        assert!(sweep.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

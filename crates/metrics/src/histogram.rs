@@ -1,0 +1,183 @@
+//! Logarithmic histograms — the right binning for quantities that span
+//! orders of magnitude (input sizes from KB to TB, execution times from
+//! seconds to hours).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with logarithmically spaced buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    min: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Buckets covering `[min, max)` with `buckets` equal log-width bins.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min < max` and `buckets ≥ 1`.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Self {
+        assert!(min > 0.0 && max > min, "need 0 < min < max");
+        assert!(buckets >= 1, "need at least one bucket");
+        LogHistogram {
+            min,
+            ratio: (max / min).powf(1.0 / buckets as f64),
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.min {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.min).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the first bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the last bucket's upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(lower_edge, upper_edge, count)` per bucket, in order.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let lo = self.min * self.ratio.powi(i as i32);
+                (lo, lo * self.ratio, c)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples at or below `x` (linear interpolation within a
+    /// bucket; an approximation of the true empirical CDF).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut below = self.underflow;
+        for (lo, hi, c) in self.buckets() {
+            if x >= hi {
+                below += c;
+            } else if x > lo {
+                let frac = (x.ln() - lo.ln()) / (hi.ln() - lo.ln());
+                return (below as f64 + frac * c as f64) / self.total as f64;
+            } else {
+                break;
+            }
+        }
+        below as f64 / self.total as f64
+    }
+
+    /// A compact one-line ASCII sparkline of the distribution.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| {
+                let level = (c * (GLYPHS.len() as u64 - 1) + peak / 2) / peak;
+                GLYPHS[level as usize]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_range_geometrically() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        let b = h.buckets();
+        assert_eq!(b.len(), 3);
+        assert!((b[0].0 - 1.0).abs() < 1e-9);
+        assert!((b[0].1 - 10.0).abs() < 1e-6);
+        assert!((b[2].1 - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn samples_land_in_the_right_bucket() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.push(5.0); // [1, 10)
+        h.push(50.0); // [10, 100)
+        h.push(500.0); // [100, 1000)
+        h.push(0.5); // underflow
+        h.push(5000.0); // overflow
+        let counts: Vec<u64> = h.buckets().iter().map(|&(_, _, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut h = LogHistogram::new(1.0, 1e6, 12);
+        for i in 1..=1000 {
+            h.push(i as f64 * 7.0);
+        }
+        let mut prev = 0.0;
+        for exp in 0..=6 {
+            let x = 10f64.powi(exp);
+            let p = h.cdf(x);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev, "cdf not monotone at 1e{exp}");
+            prev = p;
+        }
+        assert!(h.cdf(1e7) >= 0.999);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LogHistogram::new(1.0, 10.0, 2);
+        assert_eq!(h.cdf(5.0), 0.0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.sparkline().chars().count(), 2);
+    }
+
+    #[test]
+    fn sparkline_peaks_where_the_mass_is() {
+        let mut h = LogHistogram::new(1.0, 1e4, 4);
+        for _ in 0..100 {
+            h.push(500.0); // third bucket [100, 1000)
+        }
+        h.push(2.0);
+        let s: Vec<char> = h.sparkline().chars().collect();
+        assert_eq!(s[2], '█');
+        assert!(s[0] != '█');
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < min < max")]
+    fn rejects_bad_range() {
+        LogHistogram::new(10.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,18 @@
+//! # metrics — statistics and reporting for the experiment harness
+//!
+//! Small, dependency-light building blocks the figures are assembled from:
+//! [`stats::OnlineStats`] (mergeable one-pass summaries for parallel
+//! sweeps), [`cdf::EmpiricalCdf`] (Figures 3 and 10 are CDF plots),
+//! [`series::Series`] (one line of a figure, with the paper's
+//! normalize-by-up-OFS operation), and [`table`] (aligned text output).
+
+pub mod cdf;
+pub mod histogram;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use cdf::EmpiricalCdf;
+pub use histogram::LogHistogram;
+pub use series::Series;
+pub use stats::{quantile_sorted, OnlineStats};

@@ -1,0 +1,117 @@
+//! Named data series — one line of a paper figure.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled `(x, y)` series, e.g. `out-OFS` execution time vs input size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at exactly `x`, if sampled.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+    }
+
+    /// Divide this series pointwise by `base` (x grids must match) — how
+    /// the paper normalizes Figures 5a/6a/9a by up-OFS.
+    ///
+    /// # Panics
+    /// Panics when the x grids differ or a base y is zero.
+    pub fn normalized_by(&self, base: &Series) -> Series {
+        assert_eq!(
+            self.points.len(),
+            base.points.len(),
+            "series {} and {} have different lengths",
+            self.label,
+            base.label
+        );
+        let points = self
+            .points
+            .iter()
+            .zip(&base.points)
+            .map(|(&(x, y), &(bx, by))| {
+                assert_eq!(x, bx, "x grids differ");
+                assert!(by != 0.0, "normalizing by zero at x={x}");
+                (x, y / by)
+            })
+            .collect();
+        Series { label: format!("{} / {}", self.label, base.label), points }
+    }
+
+    /// First x where y crosses 1.0 downward (out/up normalized curves),
+    /// log-interpolated — the figure-space twin of
+    /// `scheduler::estimate_cross_point`.
+    pub fn crossing_below_one(&self) -> Option<f64> {
+        for w in self.points.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if y0 > 1.0 && y1 <= 1.0 {
+                let f = (y0 - 1.0) / (y0 - y1);
+                return Some((x0.ln() + f * (x1.ln() - x0.ln())).exp());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(label: &str, pts: &[(f64, f64)]) -> Series {
+        Series { label: label.into(), points: pts.to_vec() }
+    }
+
+    #[test]
+    fn normalization_divides_pointwise() {
+        let a = s("a", &[(1.0, 10.0), (2.0, 30.0)]);
+        let b = s("b", &[(1.0, 5.0), (2.0, 10.0)]);
+        let n = a.normalized_by(&b);
+        assert_eq!(n.points, vec![(1.0, 2.0), (2.0, 3.0)]);
+        assert!(n.label.contains('a') && n.label.contains('b'));
+    }
+
+    #[test]
+    fn self_normalization_is_unity() {
+        let a = s("a", &[(1.0, 10.0), (2.0, 30.0)]);
+        let n = a.normalized_by(&a);
+        assert!(n.points.iter().all(|&(_, y)| (y - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let n = s("r", &[(1.0, 1.4), (8.0, 1.1), (32.0, 0.8)]);
+        let x = n.crossing_below_one().unwrap();
+        assert!(x > 8.0 && x < 32.0, "{x}");
+        assert_eq!(s("r", &[(1.0, 0.9), (2.0, 0.8)]).crossing_below_one(), None);
+    }
+
+    #[test]
+    fn y_at_finds_exact_samples() {
+        let a = s("a", &[(1.0, 10.0)]);
+        assert_eq!(a.y_at(1.0), Some(10.0));
+        assert_eq!(a.y_at(2.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "x grids differ")]
+    fn mismatched_grids_panic() {
+        let a = s("a", &[(1.0, 1.0)]);
+        let b = s("b", &[(2.0, 1.0)]);
+        a.normalized_by(&b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Plain-text tables for the experiment harness output.
+
+/// Render `rows` under `headers` as an aligned ASCII table.
+///
+/// # Panics
+/// Panics when a row's width differs from the header width.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Format seconds compactly: milliseconds below 1 s, two decimals otherwise.
+pub fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "n/a".to_string()
+    } else if s < 1.0 {
+        format!("{:.0}ms", s * 1000.0)
+    } else if s < 100.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+/// Format a byte count using binary units (matches the paper's GB figures).
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [(u64, &str); 4] =
+        [(1 << 40, "TB"), (1 << 30, "GB"), (1 << 20, "MB"), (1 << 10, "KB")];
+    for (scale, unit) in UNITS {
+        if b >= scale {
+            let v = b as f64 / scale as f64;
+            return if v >= 10.0 { format!("{v:.0}{unit}") } else { format!("{v:.1}{unit}") };
+        }
+    }
+    format!("{b}B")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["arch", "time"],
+            &[
+                vec!["up-OFS".into(), "1.00".into()],
+                vec!["out-HDFS".into(), "1.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("arch") && lines[0].contains("time"));
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_secs(0.5), "500ms");
+        assert_eq!(fmt_secs(12.345), "12.35s");
+        assert_eq!(fmt_secs(1234.0), "1234s");
+        assert_eq!(fmt_secs(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn formats_bytes() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(1 << 20), "1.0MB");
+        assert_eq!(fmt_bytes(32 << 30), "32GB");
+        assert_eq!(fmt_bytes(3 << 40), "3.0TB");
+    }
+}

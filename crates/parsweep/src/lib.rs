@@ -1,0 +1,197 @@
+//! # parsweep — a work-stealing pool for parallel parameter sweeps
+//!
+//! Every figure of the paper is a sweep: the same deterministic simulation
+//! evaluated at many `(architecture, application, input size)` points. The
+//! points are embarrassingly parallel but wildly uneven (a 448 GB Wordcount
+//! run simulates thousands of tasks; a 0.5 GB one a handful), so static
+//! chunking would leave cores idle. [`par_map`] distributes points through a
+//! crossbeam work-stealing deque setup: a global injector feeds per-worker
+//! LIFO deques, and idle workers steal from the injector first, then from
+//! their siblings.
+//!
+//! Results come back in input order; panics in the closure propagate to the
+//! caller. Simulations themselves stay single-threaded and deterministic —
+//! parallelism lives only across independent points, so a parallel sweep is
+//! bitwise identical to a serial one.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 16 (sweep points are memory-hungry).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4).min(16)
+}
+
+/// Map `f` over `items` in parallel on `threads` workers, preserving order.
+///
+/// With `threads <= 1` or a single item this degrades to a serial loop
+/// (no thread spawn cost for trivial sweeps).
+///
+/// # Panics
+/// Re-raises the first panic from `f`.
+pub fn par_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+
+    let injector: Injector<(usize, T)> = Injector::new();
+    for pair in items.into_iter().enumerate() {
+        injector.push(pair);
+    }
+    let workers: Vec<Worker<(usize, T)>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = workers.iter().map(Worker::stealer).collect();
+    let poisoned = AtomicBool::new(false);
+
+    // Each worker accumulates (index, result) pairs locally; placement into
+    // the ordered output happens after the scope joins.
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|worker| {
+                let injector = &injector;
+                let stealers = &stealers;
+                let f = &f;
+                let poisoned = &poisoned;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let task = worker.pop().or_else(|| {
+                            std::iter::repeat_with(|| {
+                                injector
+                                    .steal_batch_and_pop(&worker)
+                                    .or_else(|| stealers.iter().map(Stealer::steal).collect())
+                            })
+                            .find(|s| !s.is_retry())
+                            .and_then(Steal::success)
+                        });
+                        match task {
+                            Some((idx, item)) => {
+                                // Abort the whole sweep cleanly if f panics.
+                                let guard = PoisonOnDrop(poisoned);
+                                let r = f(item);
+                                std::mem::forget(guard);
+                                local.push((idx, r));
+                            }
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    for (idx, r) in collected.into_iter().flatten() {
+        debug_assert!(results[idx].is_none(), "duplicate result for index {idx}");
+        results[idx] = Some(r);
+    }
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("sweep point {i} produced no result")))
+        .collect()
+}
+
+/// [`par_map_threads`] with [`default_threads`].
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_threads(items, default_threads(), f)
+}
+
+struct PoisonOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for PoisonOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map_threads(items.clone(), 8, |x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_map() {
+        let items: Vec<u64> = (0..200).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x % 97).collect();
+        let parallel = par_map(items, |x| x * x % 97);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn single_thread_degrades_to_serial() {
+        let out = par_map_threads(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs must all complete exactly once.
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_threads(items, 8, |i| {
+            let spin = if i % 16 == 0 { 200_000u64 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k);
+            }
+            counter.fetch_add(1, Ordering::Relaxed);
+            (i, acc)
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert!(out.iter().enumerate().all(|(i, &(j, _))| i == j));
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn panics_propagate() {
+        par_map_threads(vec![0, 1, 2, 3], 2, |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn many_more_items_than_threads() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let out = par_map_threads(items, 3, |x| x ^ 0xAA);
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(out[5000], 5000 ^ 0xAA);
+    }
+}

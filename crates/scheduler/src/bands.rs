@@ -1,0 +1,230 @@
+//! Fine-grained ratio bands — the paper's own improvement path:
+//!
+//! > "A fine-grained ratio partition can be conducted from more experiments
+//! > with other different jobs to make the algorithm more accurate."
+//!
+//! [`BandScheduler`] generalizes Algorithm 1 from three fixed bands to any
+//! monotone partition of the shuffle/input-ratio axis, each with its own
+//! cross-point threshold, and [`calibrate_bands`] derives such a partition
+//! from per-band measurement sweeps.
+
+use crate::calibrate::{estimate_cross_point, SweepPoint};
+use crate::placement::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
+use mapreduce::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// One band of the ratio axis: applies to jobs with
+/// `shuffle/input ratio ≤ max_ratio` not claimed by an earlier band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioBand {
+    /// Upper edge of the band (inclusive); the last band should use
+    /// `f64::INFINITY` to catch everything. (JSON has no infinity, so the
+    /// unbounded edge serializes as `null`.)
+    #[serde(with = "unbounded_edge")]
+    pub max_ratio: f64,
+    /// Input-size cross point for this band, bytes: smaller inputs go to
+    /// the scale-up cluster.
+    pub threshold: u64,
+}
+
+/// Serialize `f64::INFINITY` as `null` (JSON cannot express infinities).
+mod unbounded_edge {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_infinite() {
+            s.serialize_none()
+        } else {
+            s.serialize_some(v)
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    }
+}
+
+/// A generalized Algorithm 1 over an arbitrary ratio partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandScheduler {
+    bands: Vec<RatioBand>,
+}
+
+impl BandScheduler {
+    /// Build from bands sorted by `max_ratio`.
+    ///
+    /// # Panics
+    /// Panics when `bands` is empty, unsorted, or does not end with an
+    /// unbounded band (`max_ratio = ∞`) — every job must land somewhere.
+    pub fn new(bands: Vec<RatioBand>) -> Self {
+        assert!(!bands.is_empty(), "need at least one band");
+        assert!(
+            bands.windows(2).all(|w| w[0].max_ratio < w[1].max_ratio),
+            "bands must be strictly sorted by max_ratio"
+        );
+        assert!(
+            bands.last().unwrap().max_ratio.is_infinite(),
+            "last band must be unbounded"
+        );
+        BandScheduler { bands }
+    }
+
+    /// The bands, in ratio order.
+    pub fn bands(&self) -> &[RatioBand] {
+        &self.bands
+    }
+
+    /// The threshold applying to a ratio.
+    pub fn threshold_for(&self, ratio: f64) -> u64 {
+        self.bands
+            .iter()
+            .find(|b| ratio <= b.max_ratio)
+            .expect("last band is unbounded")
+            .threshold
+    }
+
+    /// The paper's three-band Algorithm 1 expressed as bands.
+    pub fn from_algorithm_1(s: &CrossPointScheduler) -> Self {
+        BandScheduler::new(vec![
+            // S/I < 0.4 (the map-intensive rule; the paper's band edge is
+            // exclusive at 0.4, modelled as an inclusive edge just below).
+            RatioBand { max_ratio: 0.4 - f64::EPSILON, threshold: s.map_intensive_threshold },
+            RatioBand { max_ratio: 1.0, threshold: s.mid_ratio_threshold },
+            RatioBand { max_ratio: f64::INFINITY, threshold: s.high_ratio_threshold },
+        ])
+    }
+}
+
+impl JobPlacement for BandScheduler {
+    fn name(&self) -> &str {
+        "ratio-bands"
+    }
+
+    fn place(&self, job: &JobSpec, _loads: &ClusterLoads) -> Placement {
+        if job.input_size < self.threshold_for(job.profile.shuffle_input_ratio) {
+            Placement::ScaleUp
+        } else {
+            Placement::ScaleOut
+        }
+    }
+}
+
+/// Calibrate a band scheduler from `(band edge, sweep)` measurements, one
+/// sweep per band, using the paper's cross-point methodology per band.
+/// Bands whose sweep shows no crossover fall back to `fallback(edge)`.
+pub fn calibrate_bands(
+    sweeps: &[(f64, Vec<SweepPoint>)],
+    fallback: impl Fn(f64) -> u64,
+) -> BandScheduler {
+    assert!(!sweeps.is_empty(), "need at least one band sweep");
+    let mut bands: Vec<RatioBand> = sweeps
+        .iter()
+        .map(|(edge, pts)| RatioBand {
+            max_ratio: *edge,
+            threshold: estimate_cross_point(pts).map(|x| x as u64).unwrap_or_else(|| fallback(*edge)),
+        })
+        .collect();
+    bands.sort_by(|a, b| a.max_ratio.total_cmp(&b.max_ratio));
+    if !bands.last().unwrap().max_ratio.is_infinite() {
+        let last = *bands.last().unwrap();
+        bands.push(RatioBand { max_ratio: f64::INFINITY, threshold: last.threshold });
+    }
+    BandScheduler::new(bands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::JobProfile;
+
+    const GB: u64 = 1 << 30;
+
+    fn job(ratio: f64, size: u64) -> JobSpec {
+        JobSpec::at_zero(0, JobProfile::basic("t", ratio, 0.1), size)
+    }
+
+    #[test]
+    fn equivalent_to_algorithm_1() {
+        let alg1 = CrossPointScheduler::default();
+        let bands = BandScheduler::from_algorithm_1(&alg1);
+        let loads = ClusterLoads::default();
+        for ratio in [0.0, 0.2, 0.39, 0.4, 0.7, 1.0, 1.2, 1.6, 2.5] {
+            for size_gb in [1u64, 9, 10, 15, 16, 31, 32, 64] {
+                let j = job(ratio, size_gb * GB);
+                assert_eq!(
+                    alg1.place(&j, &loads),
+                    bands.place(&j, &loads),
+                    "ratio {ratio} size {size_gb} GB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fine_partition_interpolates() {
+        let bands = BandScheduler::new(vec![
+            RatioBand { max_ratio: 0.2, threshold: 8 * GB },
+            RatioBand { max_ratio: 0.6, threshold: 14 * GB },
+            RatioBand { max_ratio: 1.2, threshold: 22 * GB },
+            RatioBand { max_ratio: f64::INFINITY, threshold: 34 * GB },
+        ]);
+        assert_eq!(bands.threshold_for(0.1), 8 * GB);
+        assert_eq!(bands.threshold_for(0.2), 8 * GB);
+        assert_eq!(bands.threshold_for(0.5), 14 * GB);
+        assert_eq!(bands.threshold_for(0.9), 22 * GB);
+        assert_eq!(bands.threshold_for(5.0), 34 * GB);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn rejects_bounded_last_band() {
+        BandScheduler::new(vec![RatioBand { max_ratio: 1.0, threshold: GB }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn rejects_unsorted_bands() {
+        BandScheduler::new(vec![
+            RatioBand { max_ratio: 1.0, threshold: GB },
+            RatioBand { max_ratio: 0.5, threshold: GB },
+            RatioBand { max_ratio: f64::INFINITY, threshold: GB },
+        ]);
+    }
+
+    #[test]
+    fn calibration_uses_crossings_and_fallback() {
+        let crossing = vec![
+            SweepPoint { input_size: 1e9, t_up: 10.0, t_out: 15.0 },
+            SweepPoint { input_size: 64e9, t_up: 100.0, t_out: 60.0 },
+        ];
+        let no_crossing = vec![SweepPoint { input_size: 1e9, t_up: 20.0, t_out: 10.0 }];
+        let s = calibrate_bands(
+            &[(0.4, no_crossing), (f64::INFINITY, crossing)],
+            |_| 12 * GB,
+        );
+        assert_eq!(s.bands().len(), 2);
+        assert_eq!(s.threshold_for(0.1), 12 * GB, "fallback band");
+        assert!(s.threshold_for(2.0) > GB, "calibrated band");
+    }
+
+    #[test]
+    fn bands_roundtrip_through_json_including_infinity() {
+        let bands = BandScheduler::from_algorithm_1(&CrossPointScheduler::default());
+        let json = serde_json::to_string(&bands).unwrap();
+        let back: BandScheduler = serde_json::from_str(&json).unwrap();
+        assert!(back.bands().last().unwrap().max_ratio.is_infinite());
+        assert_eq!(bands.threshold_for(0.2), back.threshold_for(0.2));
+        assert_eq!(bands.threshold_for(9.0), back.threshold_for(9.0));
+    }
+
+    #[test]
+    fn calibration_appends_unbounded_band_if_missing() {
+        let pts = vec![
+            SweepPoint { input_size: 1e9, t_up: 10.0, t_out: 15.0 },
+            SweepPoint { input_size: 64e9, t_up: 100.0, t_out: 60.0 },
+        ];
+        let s = calibrate_bands(&[(0.5, pts)], |_| GB);
+        assert!(s.bands().last().unwrap().max_ratio.is_infinite());
+        assert_eq!(s.threshold_for(0.2), s.threshold_for(99.0));
+    }
+}

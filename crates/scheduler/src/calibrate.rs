@@ -1,0 +1,136 @@
+//! Cross-point estimation from measurement sweeps.
+//!
+//! The paper derives its thresholds by eyeballing where the normalized
+//! out/up execution-time curve crosses 1 (Figures 7 and 8). This module
+//! makes that step reproducible: given a sweep of `(input size, t_up,
+//! t_out)` points it locates the crossover by log-space interpolation, so
+//! "other designers can follow the same method to measure the cross points
+//! in their systems" (paper §IV) without manual reading of plots.
+
+/// One sweep sample: input size in bytes and the measured execution times
+/// (seconds) on the two clusters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Input size in bytes.
+    pub input_size: f64,
+    /// Execution time on the scale-up cluster.
+    pub t_up: f64,
+    /// Execution time on the scale-out cluster.
+    pub t_out: f64,
+}
+
+impl SweepPoint {
+    /// The Figure 7/8 y-value: out-time normalized by up-time. Below 1 the
+    /// scale-out cluster wins.
+    pub fn normalized_out(&self) -> f64 {
+        self.t_out / self.t_up
+    }
+}
+
+/// Estimate the cross point: the input size where `t_up == t_out`.
+///
+/// Points are sorted by size internally. Returns `None` when the sweep
+/// never brackets a crossing in the expected direction (up faster at small
+/// sizes → out faster at large sizes). When several sign changes exist
+/// (measurement noise), the *last* down-crossing is returned, matching how
+/// the paper reads its (monotone-trending) curves.
+pub fn estimate_cross_point(points: &[SweepPoint]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| a.input_size.total_cmp(&b.input_size));
+    let margin = |p: &SweepPoint| p.t_out - p.t_up; // >0 ⇒ scale-up wins
+    let mut cross = None;
+    for w in pts.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let (ma, mb) = (margin(a), margin(b));
+        if ma > 0.0 && mb <= 0.0 {
+            // Interpolate in log-size where the margin hits zero.
+            let f = ma / (ma - mb);
+            let ls = a.input_size.ln() + f * (b.input_size.ln() - a.input_size.ln());
+            cross = Some(ls.exp());
+        }
+    }
+    cross
+}
+
+/// Derive a [`crate::CrossPointScheduler`] from three sweeps, one per ratio
+/// band, falling back to the paper's published thresholds for bands whose
+/// sweep does not produce a crossing.
+pub fn calibrate_scheduler(
+    high_ratio_sweep: &[SweepPoint],
+    mid_ratio_sweep: &[SweepPoint],
+    map_intensive_sweep: &[SweepPoint],
+) -> crate::CrossPointScheduler {
+    let default = crate::CrossPointScheduler::default();
+    crate::CrossPointScheduler {
+        high_ratio_threshold: estimate_cross_point(high_ratio_sweep)
+            .map(|x| x as u64)
+            .unwrap_or(default.high_ratio_threshold),
+        mid_ratio_threshold: estimate_cross_point(mid_ratio_sweep)
+            .map(|x| x as u64)
+            .unwrap_or(default.mid_ratio_threshold),
+        map_intensive_threshold: estimate_cross_point(map_intensive_sweep)
+            .map(|x| x as u64)
+            .unwrap_or(default.map_intensive_threshold),
+        assume_unknown_ratio: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(size_gb: f64, t_up: f64, t_out: f64) -> SweepPoint {
+        SweepPoint { input_size: size_gb * (1u64 << 30) as f64, t_up, t_out }
+    }
+
+    #[test]
+    fn clean_crossing_is_interpolated() {
+        // up wins below ~16 GB, out wins above.
+        let sweep =
+            vec![pt(1.0, 10.0, 14.0), pt(8.0, 40.0, 48.0), pt(32.0, 200.0, 150.0), pt(64.0, 450.0, 280.0)];
+        let x = estimate_cross_point(&sweep).unwrap();
+        let gb = x / (1u64 << 30) as f64;
+        assert!(gb > 8.0 && gb < 32.0, "cross at {gb} GB");
+    }
+
+    #[test]
+    fn exact_equality_at_a_sample_counts_as_crossing() {
+        let sweep = vec![pt(1.0, 10.0, 12.0), pt(16.0, 100.0, 100.0)];
+        let x = estimate_cross_point(&sweep).unwrap();
+        assert!((x / (16.0 * (1u64 << 30) as f64) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        // Scale-out always wins (e.g. a degenerate hardware config).
+        let sweep = vec![pt(1.0, 20.0, 10.0), pt(64.0, 300.0, 100.0)];
+        assert_eq!(estimate_cross_point(&sweep), None);
+        assert_eq!(estimate_cross_point(&[]), None);
+        assert_eq!(estimate_cross_point(&[pt(1.0, 5.0, 9.0)]), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let sweep = vec![pt(64.0, 450.0, 280.0), pt(1.0, 10.0, 14.0), pt(8.0, 40.0, 48.0)];
+        assert!(estimate_cross_point(&sweep).is_some());
+    }
+
+    #[test]
+    fn calibrate_falls_back_per_band() {
+        let good = vec![pt(1.0, 10.0, 14.0), pt(64.0, 450.0, 280.0)];
+        let bad: Vec<SweepPoint> = vec![];
+        let s = calibrate_scheduler(&good, &bad, &good);
+        let default = crate::CrossPointScheduler::default();
+        assert_ne!(s.high_ratio_threshold, default.high_ratio_threshold);
+        assert_eq!(s.mid_ratio_threshold, default.mid_ratio_threshold);
+    }
+
+    #[test]
+    fn normalized_out_matches_figures() {
+        let p = pt(4.0, 10.0, 12.5);
+        assert!((p.normalized_out() - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,19 @@
+//! # scheduler — hybrid scale-up/out job placement
+//!
+//! The decision layer of the paper's architecture. [`CrossPointScheduler`]
+//! is Algorithm 1 verbatim; [`placement`] also carries the degenerate
+//! baselines (always-up / always-out / size-only) used by the ablation
+//! benches and the paper's future-work [`LoadAwareScheduler`].
+//! [`calibrate`] re-derives cross points from sweep measurements, making the
+//! paper's threshold-selection methodology executable.
+
+pub mod bands;
+pub mod calibrate;
+pub mod placement;
+
+pub use bands::{calibrate_bands, BandScheduler, RatioBand};
+pub use calibrate::{calibrate_scheduler, estimate_cross_point, SweepPoint};
+pub use placement::{
+    AlwaysOut, AlwaysUp, ClusterLoads, CrossPointScheduler, JobPlacement, LoadAwareScheduler,
+    Placement, SizeOnlyScheduler,
+};

@@ -1,0 +1,299 @@
+//! Job placement: which sub-cluster should run a job?
+//!
+//! This is the paper's second challenge — "adaptively scheduling a job to
+//! either scale-up cluster or scale-out cluster that benefits the job the
+//! most" — solved by its Algorithm 1 using the measured cross points.
+
+use mapreduce::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// The two sides of the hybrid deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Placement {
+    /// Run on the scale-up sub-cluster.
+    ScaleUp,
+    /// Run on the scale-out sub-cluster.
+    ScaleOut,
+}
+
+/// A snapshot of current cluster load, for load-aware policies: estimated
+/// outstanding work (seconds of serial execution) queued on each side.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ClusterLoads {
+    /// Outstanding work on the scale-up cluster.
+    pub up_outstanding: f64,
+    /// Outstanding work on the scale-out cluster.
+    pub out_outstanding: f64,
+}
+
+/// A placement policy.
+pub trait JobPlacement {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Decide where `job` should run given the current `loads`.
+    fn place(&self, job: &JobSpec, loads: &ClusterLoads) -> Placement;
+}
+
+/// The paper's Algorithm 1: cross-point thresholds keyed on the
+/// shuffle/input ratio.
+///
+/// ```text
+/// if S/I > 1        : scale-up iff input < 32 GB
+/// elif 0.4 ≤ S/I ≤ 1: scale-up iff input < 16 GB
+/// else              : scale-up iff input < 10 GB
+/// ```
+///
+/// "If the users do not know the shuffle/input ratio of the jobs anyway, we
+/// treat the jobs as map-intensive" — set [`CrossPointScheduler::assume_unknown_ratio`]
+/// to emulate that conservative mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossPointScheduler {
+    /// Threshold for jobs with S/I > 1 (paper: 32 GB, from Wordcount).
+    pub high_ratio_threshold: u64,
+    /// Threshold for 0.4 ≤ S/I ≤ 1 (paper: 16 GB, from Grep).
+    pub mid_ratio_threshold: u64,
+    /// Threshold for S/I < 0.4 (paper: 10 GB, from TestDFSIO).
+    pub map_intensive_threshold: u64,
+    /// Ignore the job's ratio and use the map-intensive rule for everything
+    /// (the paper's unknown-ratio fallback).
+    pub assume_unknown_ratio: bool,
+}
+
+impl Default for CrossPointScheduler {
+    fn default() -> Self {
+        CrossPointScheduler {
+            high_ratio_threshold: 32 << 30,
+            mid_ratio_threshold: 16 << 30,
+            map_intensive_threshold: 10 << 30,
+            assume_unknown_ratio: false,
+        }
+    }
+}
+
+impl CrossPointScheduler {
+    /// The size threshold applying to a given shuffle/input ratio.
+    pub fn threshold_for(&self, shuffle_input_ratio: f64) -> u64 {
+        if self.assume_unknown_ratio {
+            return self.map_intensive_threshold;
+        }
+        if shuffle_input_ratio > 1.0 {
+            self.high_ratio_threshold
+        } else if shuffle_input_ratio >= 0.4 {
+            self.mid_ratio_threshold
+        } else {
+            self.map_intensive_threshold
+        }
+    }
+}
+
+impl JobPlacement for CrossPointScheduler {
+    fn name(&self) -> &str {
+        "crosspoint"
+    }
+
+    fn place(&self, job: &JobSpec, _loads: &ClusterLoads) -> Placement {
+        if job.input_size < self.threshold_for(job.profile.shuffle_input_ratio) {
+            Placement::ScaleUp
+        } else {
+            Placement::ScaleOut
+        }
+    }
+}
+
+/// Degenerate policy: everything on the scale-up cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysUp;
+
+impl JobPlacement for AlwaysUp {
+    fn name(&self) -> &str {
+        "always-up"
+    }
+    fn place(&self, _job: &JobSpec, _loads: &ClusterLoads) -> Placement {
+        Placement::ScaleUp
+    }
+}
+
+/// Degenerate policy: everything on the scale-out cluster (what a
+/// traditional deployment does).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysOut;
+
+impl JobPlacement for AlwaysOut {
+    fn name(&self) -> &str {
+        "always-out"
+    }
+    fn place(&self, _job: &JobSpec, _loads: &ClusterLoads) -> Placement {
+        Placement::ScaleOut
+    }
+}
+
+/// Ablation: a single size threshold with no ratio awareness — what
+/// Algorithm 1 degrades to if the shuffle/input factor were ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeOnlyScheduler {
+    /// Jobs below this input size go to scale-up.
+    pub threshold: u64,
+}
+
+impl Default for SizeOnlyScheduler {
+    fn default() -> Self {
+        // Geometric middle of the paper's three thresholds.
+        SizeOnlyScheduler { threshold: 16 << 30 }
+    }
+}
+
+impl JobPlacement for SizeOnlyScheduler {
+    fn name(&self) -> &str {
+        "size-only"
+    }
+    fn place(&self, job: &JobSpec, _loads: &ClusterLoads) -> Placement {
+        if job.input_size < self.threshold {
+            Placement::ScaleUp
+        } else {
+            Placement::ScaleOut
+        }
+    }
+}
+
+/// The paper's stated future work: "the load balancing between the scale-up
+/// machines and scale-out machines. For example, if many small jobs arrive
+/// at the same time without any large jobs, all the jobs will be scheduled
+/// to the scale-up machines, resulting in imbalance".
+///
+/// This extension diverts a would-be scale-up job to the scale-out cluster
+/// when the scale-up backlog exceeds both an absolute floor and a multiple
+/// of the scale-out backlog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadAwareScheduler {
+    /// The cross-point policy supplying the first-choice placement.
+    pub inner: CrossPointScheduler,
+    /// Don't divert while the scale-up backlog is below this (seconds).
+    pub min_backlog: f64,
+    /// Divert when up backlog > this multiple of the out backlog.
+    pub imbalance_factor: f64,
+}
+
+impl Default for LoadAwareScheduler {
+    fn default() -> Self {
+        LoadAwareScheduler {
+            inner: CrossPointScheduler::default(),
+            min_backlog: 30.0,
+            imbalance_factor: 3.0,
+        }
+    }
+}
+
+impl JobPlacement for LoadAwareScheduler {
+    fn name(&self) -> &str {
+        "load-aware"
+    }
+
+    fn place(&self, job: &JobSpec, loads: &ClusterLoads) -> Placement {
+        match self.inner.place(job, loads) {
+            Placement::ScaleOut => Placement::ScaleOut,
+            Placement::ScaleUp => {
+                let overloaded = loads.up_outstanding > self.min_backlog
+                    && loads.up_outstanding
+                        > self.imbalance_factor * loads.out_outstanding.max(1.0);
+                if overloaded {
+                    Placement::ScaleOut
+                } else {
+                    Placement::ScaleUp
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{JobProfile, JobSpec};
+
+    const GB: u64 = 1 << 30;
+
+    fn job(ratio: f64, size: u64) -> JobSpec {
+        JobSpec::at_zero(0, JobProfile::basic("t", ratio, 0.1), size)
+    }
+
+    fn place(s: &impl JobPlacement, ratio: f64, size: u64) -> Placement {
+        s.place(&job(ratio, size), &ClusterLoads::default())
+    }
+
+    #[test]
+    fn algorithm_1_branches_match_paper() {
+        let s = CrossPointScheduler::default();
+        // S/I > 1 → 32 GB threshold.
+        assert_eq!(place(&s, 1.6, 31 * GB), Placement::ScaleUp);
+        assert_eq!(place(&s, 1.6, 32 * GB), Placement::ScaleOut);
+        // 0.4 ≤ S/I ≤ 1 → 16 GB threshold.
+        assert_eq!(place(&s, 0.4, 15 * GB), Placement::ScaleUp);
+        assert_eq!(place(&s, 1.0, 16 * GB), Placement::ScaleOut);
+        // S/I < 0.4 → 10 GB threshold.
+        assert_eq!(place(&s, 0.0, 9 * GB), Placement::ScaleUp);
+        assert_eq!(place(&s, 0.39, 10 * GB), Placement::ScaleOut);
+    }
+
+    #[test]
+    fn boundary_ratios_are_inclusive_like_the_paper() {
+        let s = CrossPointScheduler::default();
+        // Ratio exactly 1.0 belongs to the middle band ("0.4 ≤ ratio ≤ 1").
+        assert_eq!(s.threshold_for(1.0), 16 * GB);
+        assert_eq!(s.threshold_for(1.0 + 1e-9), 32 * GB);
+        assert_eq!(s.threshold_for(0.4), 16 * GB);
+        assert_eq!(s.threshold_for(0.4 - 1e-9), 10 * GB);
+    }
+
+    #[test]
+    fn unknown_ratio_falls_back_to_map_intensive() {
+        let s = CrossPointScheduler { assume_unknown_ratio: true, ..Default::default() };
+        // Even a shuffle-heavy 20 GB job is kept off the scale-up cluster:
+        // "we need to avoid scheduling any large jobs to the scale-up
+        // machines".
+        assert_eq!(place(&s, 1.6, 20 * GB), Placement::ScaleOut);
+        assert_eq!(place(&s, 1.6, 9 * GB), Placement::ScaleUp);
+    }
+
+    #[test]
+    fn degenerate_policies() {
+        assert_eq!(place(&AlwaysUp, 0.0, 1000 * GB), Placement::ScaleUp);
+        assert_eq!(place(&AlwaysOut, 1.6, 1), Placement::ScaleOut);
+    }
+
+    #[test]
+    fn size_only_ignores_ratio() {
+        let s = SizeOnlyScheduler::default();
+        assert_eq!(place(&s, 1.6, 15 * GB), place(&s, 0.0, 15 * GB));
+        assert_eq!(place(&s, 1.6, 17 * GB), Placement::ScaleOut);
+    }
+
+    #[test]
+    fn load_aware_diverts_under_backlog() {
+        let s = LoadAwareScheduler::default();
+        let j = job(1.6, GB); // small, shuffle-heavy → nominally scale-up
+        let idle = ClusterLoads { up_outstanding: 0.0, out_outstanding: 0.0 };
+        assert_eq!(s.place(&j, &idle), Placement::ScaleUp);
+        let swamped = ClusterLoads { up_outstanding: 500.0, out_outstanding: 10.0 };
+        assert_eq!(s.place(&j, &swamped), Placement::ScaleOut);
+        // Both busy in proportion → no diversion.
+        let balanced = ClusterLoads { up_outstanding: 500.0, out_outstanding: 400.0 };
+        assert_eq!(s.place(&j, &balanced), Placement::ScaleUp);
+        // Never diverts what was already scale-out.
+        let big = job(1.6, 100 * GB);
+        assert_eq!(s.place(&big, &swamped), Placement::ScaleOut);
+    }
+
+    #[test]
+    fn custom_thresholds_are_respected() {
+        let s = CrossPointScheduler {
+            high_ratio_threshold: 64 * GB,
+            mid_ratio_threshold: 8 * GB,
+            map_intensive_threshold: 2 * GB,
+            assume_unknown_ratio: false,
+        };
+        assert_eq!(place(&s, 2.0, 63 * GB), Placement::ScaleUp);
+        assert_eq!(place(&s, 0.5, 9 * GB), Placement::ScaleOut);
+        assert_eq!(place(&s, 0.1, 3 * GB), Placement::ScaleOut);
+    }
+}

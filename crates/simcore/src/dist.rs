@@ -1,0 +1,201 @@
+//! Sampling distributions used by the workload generators.
+//!
+//! Implemented by hand on top of `rand::Rng` (uniform draws) rather than
+//! pulling in `rand_distr`: the simulator needs only four distributions and
+//! keeping them local makes the sampling code auditable against the paper's
+//! workload description.
+
+use rand::Rng;
+
+/// Sample an exponential with the given `mean` (inter-arrival times of the
+/// Poisson job arrival process).
+///
+/// # Panics
+/// Panics on non-positive or non-finite mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+    // Inverse CDF; 1-u avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -mean * (1.0 - u).ln()
+}
+
+/// Sample a standard normal via Box–Muller (the cached second variate is
+/// intentionally discarded to keep sampling stateless and substream-stable).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a log-normal with location `mu` and scale `sigma` (parameters of
+/// the underlying normal).
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// An empirical distribution defined by CDF anchor points, interpolated
+/// log-linearly in value space.
+///
+/// This is how we re-synthesize the FB-2009 input-size distribution from the
+/// paper's Figure 3: the published anchors (e.g. "40 % of jobs are < 1 MB")
+/// become `(value, cdf)` pairs and sampling inverts the piecewise CDF. Values
+/// spanning KB→TB make *log*-linear interpolation the faithful choice — it
+/// spreads probability evenly across orders of magnitude within a band, which
+/// is exactly how the trace's published CDF plot (log-x axis, near-linear
+/// segments) reads.
+#[derive(Debug, Clone)]
+pub struct PiecewiseLogCdf {
+    /// (value, cdf) anchors; values strictly increasing and positive, cdfs
+    /// non-decreasing from 0.0 to 1.0.
+    anchors: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLogCdf {
+    /// Build from anchors.
+    ///
+    /// # Panics
+    /// Panics unless there are ≥2 anchors, values are positive and strictly
+    /// increasing, and cdfs run non-decreasing from exactly 0.0 to exactly 1.0.
+    pub fn new(anchors: Vec<(f64, f64)>) -> Self {
+        assert!(anchors.len() >= 2, "need at least two anchors");
+        assert_eq!(anchors.first().unwrap().1, 0.0, "first anchor cdf must be 0");
+        assert_eq!(anchors.last().unwrap().1, 1.0, "last anchor cdf must be 1");
+        for w in anchors.windows(2) {
+            assert!(w[0].0 > 0.0, "values must be positive");
+            assert!(w[1].0 > w[0].0, "values must be strictly increasing");
+            assert!(w[1].1 >= w[0].1, "cdf must be non-decreasing");
+        }
+        PiecewiseLogCdf { anchors }
+    }
+
+    /// Inverse-CDF sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    /// The value at cumulative probability `p ∈ [0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let mut iter = self.anchors.windows(2);
+        while let Some([lo, hi]) = iter.next().map(|w| [w[0], w[1]]) {
+            if p <= hi.1 {
+                if hi.1 == lo.1 {
+                    return lo.0;
+                }
+                let f = (p - lo.1) / (hi.1 - lo.1);
+                let lv = lo.0.ln();
+                return (lv + f * (hi.0.ln() - lv)).exp();
+            }
+        }
+        self.anchors.last().unwrap().0
+    }
+
+    /// The cumulative probability of drawing a value ≤ `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.anchors[0].0 {
+            return 0.0;
+        }
+        if x >= self.anchors.last().unwrap().0 {
+            return 1.0;
+        }
+        for w in self.anchors.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if x <= v1 {
+                let f = (x.ln() - v0.ln()) / (v1.ln() - v0.ln());
+                return p0 + f * (p1 - p0);
+            }
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::substream;
+
+    #[test]
+    fn exponential_has_roughly_right_mean() {
+        let mut rng = substream(1, 0);
+        let n = 20_000;
+        let mean = 4.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, mean)).sum();
+        let got = sum / n as f64;
+        assert!((got - mean).abs() < 0.1 * mean, "got {got}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_and_finite() {
+        let mut rng = substream(2, 0);
+        for _ in 0..1000 {
+            let x = exponential(&mut rng, 0.5);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = substream(3, 0);
+        let mut xs: Vec<f64> = (0..20_001).map(|_| lognormal(&mut rng, 2.0, 0.7)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        let want = 2.0f64.exp();
+        assert!((median / want - 1.0).abs() < 0.1, "median {median} want {want}");
+    }
+
+    fn fb_like() -> PiecewiseLogCdf {
+        PiecewiseLogCdf::new(vec![
+            (1e3, 0.0),
+            (1e6, 0.40),
+            (30e9, 0.89),
+            (1e12, 1.0),
+        ])
+    }
+
+    #[test]
+    fn quantile_hits_anchor_points() {
+        let d = fb_like();
+        assert!((d.quantile(0.0) - 1e3).abs() < 1e-6);
+        assert!((d.quantile(0.40) - 1e6).abs() < 1.0);
+        assert!((d.quantile(1.0) - 1e12).abs() < 1e3);
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverses() {
+        let d = fb_like();
+        for &p in &[0.05, 0.2, 0.4, 0.6, 0.89, 0.95] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn samples_respect_band_fractions() {
+        let d = fb_like();
+        let mut rng = substream(4, 0);
+        let n = 50_000;
+        let mut small = 0usize;
+        let mut large = 0usize;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            if x < 1e6 {
+                small += 1;
+            }
+            if x > 30e9 {
+                large += 1;
+            }
+        }
+        let fs = small as f64 / n as f64;
+        let fl = large as f64 / n as f64;
+        assert!((fs - 0.40).abs() < 0.02, "small fraction {fs}");
+        assert!((fl - 0.11).abs() < 0.02, "large fraction {fl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_anchors() {
+        PiecewiseLogCdf::new(vec![(10.0, 0.0), (5.0, 1.0)]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Multi-resource fluid flows.
+//!
+//! [`crate::ps::PsResource`] models one device in isolation. Real transfers
+//! cross several devices at once — an HDFS remote read occupies the source
+//! disk, the source NIC and the destination NIC simultaneously — and its
+//! rate is governed by the tightest of those shares. [`FlowNetwork`] models
+//! this directly:
+//!
+//! > rate(f) = min over resources r on f's path of ( capacity(r) / n(r) ),
+//! > optionally capped per flow, where n(r) is the number of flows touching r.
+//!
+//! This is max-min fairness *without slack redistribution*: when a flow is
+//! bottlenecked elsewhere, its unused share on other resources is not handed
+//! to competitors. The approximation is conservative (never optimistic about
+//! bandwidth), deterministic, and cheap — the properties that matter for
+//! reproducing the paper's orderings.
+//!
+//! # Engine contract
+//!
+//! Same generation-stamped scheme as `PsResource`, but network-wide: any
+//! membership change bumps one global generation, and the engine keeps a
+//! single pending completion event per network. Between consecutive events
+//! no membership changes occur, so all rates are constant and linear
+//! advancement is exact.
+
+use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
+use crate::ps::{FlowId, Generation};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a resource within a [`FlowNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NetResourceId(pub u32);
+
+/// Residual bytes below this threshold count as finished (see `ps` docs).
+const DONE_EPS_BYTES: f64 = 1e-3;
+
+#[derive(Debug, Clone)]
+struct NetResource {
+    name: String,
+    capacity: f64,
+    active: u32,
+    bytes_served: f64,
+    busy: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct NetFlow {
+    remaining: f64,
+    path: Vec<NetResourceId>,
+    rate_cap: Option<f64>,
+}
+
+/// A set of shared resources and the composite flows crossing them.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    resources: Vec<NetResource>,
+    flows: HashMap<FlowId, NetFlow>,
+    last_update: SimTime,
+    generation: u64,
+}
+
+impl FlowNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a resource with aggregate `capacity` bytes/s.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite capacity.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> NetResourceId {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        let id = NetResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(NetResource {
+            name: name.into(),
+            capacity,
+            active: 0,
+            bytes_served: 0.0,
+            busy: SimDuration::ZERO,
+        });
+        id
+    }
+
+    /// Name of resource `r`.
+    pub fn resource_name(&self, r: NetResourceId) -> &str {
+        &self.resources[r.0 as usize].name
+    }
+
+    /// Capacity of resource `r` in bytes/s.
+    pub fn resource_capacity(&self, r: NetResourceId) -> f64 {
+        self.resources[r.0 as usize].capacity
+    }
+
+    /// Bytes served by resource `r` so far (advanced state only).
+    pub fn resource_bytes_served(&self, r: NetResourceId) -> f64 {
+        self.resources[r.0 as usize].bytes_served
+    }
+
+    /// Time resource `r` has spent with ≥1 active flow, up to the last update.
+    pub fn resource_busy_time(&self, r: NetResourceId) -> SimDuration {
+        self.resources[r.0 as usize].busy
+    }
+
+    /// Number of flows currently touching resource `r`.
+    pub fn resource_active_flows(&self, r: NetResourceId) -> u32 {
+        self.resources[r.0 as usize].active
+    }
+
+    /// Number of registered resources.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Current membership epoch.
+    pub fn generation(&self) -> Generation {
+        Generation(self.generation)
+    }
+
+    /// Current rate of flow `f` in bytes/s, or `None` if not active.
+    pub fn flow_rate(&self, f: FlowId) -> Option<f64> {
+        self.flows.get(&f).map(|fl| self.rate_of(fl))
+    }
+
+    fn rate_of(&self, flow: &NetFlow) -> f64 {
+        let mut rate = flow.rate_cap.unwrap_or(f64::INFINITY);
+        for &r in &flow.path {
+            let res = &self.resources[r.0 as usize];
+            debug_assert!(res.active > 0);
+            rate = rate.min(res.capacity / res.active as f64);
+        }
+        if rate.is_finite() {
+            rate
+        } else {
+            // Pathless, uncapped flow: completes instantly (latency-only).
+            f64::MAX
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "flow network time went backwards");
+        let dt = now.since(self.last_update).as_secs_f64();
+        if dt > 0.0 && !self.flows.is_empty() {
+            // Rates are constant over (last_update, now]: membership changes
+            // always advance first, and completions are event boundaries.
+            let rates: Vec<(FlowId, f64)> = self
+                .flows
+                .iter()
+                .map(|(&id, fl)| (id, self.rate_of(fl)))
+                .collect();
+            for (id, rate) in rates {
+                let fl = self.flows.get_mut(&id).expect("flow vanished during advance");
+                let credit = (rate * dt).min(fl.remaining);
+                fl.remaining -= credit;
+                // A composite flow moves its bytes through each device on the
+                // path, so each device serves the full credit.
+                for &r in &fl.path {
+                    self.resources[r.0 as usize].bytes_served += credit;
+                }
+            }
+            let busy_dt = now.since(self.last_update);
+            for res in &mut self.resources {
+                if res.active > 0 {
+                    res.busy += busy_dt;
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Start a flow of `bytes` across `path` at time `now`. An empty path
+    /// with no cap completes on the next poll (pure-latency transfers).
+    ///
+    /// Returns the new generation for completion-event stamping.
+    ///
+    /// # Panics
+    /// Panics if `id` is already active or `bytes` is negative/non-finite.
+    pub fn add_flow(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        bytes: f64,
+        path: &[NetResourceId],
+        rate_cap: Option<f64>,
+    ) -> Generation {
+        assert!(bytes.is_finite() && bytes >= 0.0, "flow size must be non-negative");
+        self.advance(now);
+        assert!(!self.flows.contains_key(&id), "flow {id:?} already active");
+        for &r in path {
+            self.resources[r.0 as usize].active += 1;
+        }
+        // A pathless, uncapped flow has infinite rate: it is a pure-latency
+        // transfer whose bytes are already "delivered".
+        let remaining = if path.is_empty() && rate_cap.is_none() { 0.0 } else { bytes };
+        self.flows.insert(id, NetFlow { remaining, path: path.to_vec(), rate_cap });
+        self.generation += 1;
+        Generation(self.generation)
+    }
+
+    /// Abort a flow, returning its unserved bytes (`None` if not active).
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        for &r in &flow.path {
+            self.resources[r.0 as usize].active -= 1;
+        }
+        self.generation += 1;
+        Some(flow.remaining)
+    }
+
+    /// Advance to `now` and remove+return all finished flows in FlowId order.
+    pub fn poll_completions(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        let mut done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, fl)| fl.remaining <= DONE_EPS_BYTES)
+            .map(|(&id, _)| id)
+            .collect();
+        if !done.is_empty() {
+            done.sort_unstable();
+            for id in &done {
+                let flow = self.flows.remove(id).expect("completion of unknown flow");
+                for &r in &flow.path {
+                    self.resources[r.0 as usize].active -= 1;
+                }
+            }
+            self.generation += 1;
+        }
+        done
+    }
+
+    /// Absolute time of the next completion assuming no membership changes,
+    /// rounded up to a whole tick.
+    pub fn next_completion_time(&self, now: SimTime) -> Option<SimTime> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        let since = now.since(self.last_update).as_secs_f64();
+        let mut min_secs = f64::INFINITY;
+        for fl in self.flows.values() {
+            let rate = self.rate_of(fl);
+            if rate <= 0.0 {
+                continue;
+            }
+            let remaining = (fl.remaining - rate * since).max(0.0);
+            min_secs = min_secs.min(remaining / rate);
+        }
+        if !min_secs.is_finite() {
+            return None;
+        }
+        let ticks = (min_secs * TICKS_PER_SEC as f64).ceil() as u64;
+        Some(now + SimDuration(ticks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(net: &mut FlowNetwork, mut now: SimTime) -> Vec<(SimTime, FlowId)> {
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while let Some(t) = net.next_completion_time(now) {
+            now = t;
+            for id in net.poll_completions(now) {
+                out.push((now, id));
+            }
+            guard += 1;
+            assert!(guard < 10_000, "drain did not converge");
+        }
+        out
+    }
+
+    #[test]
+    fn single_resource_behaves_like_ps() {
+        let mut net = FlowNetwork::new();
+        let disk = net.add_resource("disk", 100.0);
+        net.add_flow(SimTime::ZERO, FlowId(1), 500.0, &[disk], None);
+        net.add_flow(SimTime::ZERO, FlowId(2), 500.0, &[disk], None);
+        let done = drain(&mut net, SimTime::ZERO);
+        assert_eq!(done.len(), 2);
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 10.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn min_share_across_path_governs() {
+        let mut net = FlowNetwork::new();
+        let disk = net.add_resource("disk", 100.0);
+        let nic = net.add_resource("nic", 1000.0);
+        // Lone flow across disk+nic: disk is the bottleneck.
+        net.add_flow(SimTime::ZERO, FlowId(1), 500.0, &[disk, nic], None);
+        assert!((net.flow_rate(FlowId(1)).unwrap() - 100.0).abs() < 1e-9);
+        let done = drain(&mut net, SimTime::ZERO);
+        assert!((done[0].0.as_secs_f64() - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn contention_on_shared_hop_slows_both() {
+        let mut net = FlowNetwork::new();
+        let d1 = net.add_resource("disk1", 1000.0);
+        let d2 = net.add_resource("disk2", 1000.0);
+        let nic = net.add_resource("nic", 100.0);
+        net.add_flow(SimTime::ZERO, FlowId(1), 500.0, &[d1, nic], None);
+        net.add_flow(SimTime::ZERO, FlowId(2), 500.0, &[d2, nic], None);
+        // Both bottlenecked by the shared NIC at 50 B/s each.
+        assert!((net.flow_rate(FlowId(1)).unwrap() - 50.0).abs() < 1e-9);
+        let done = drain(&mut net, SimTime::ZERO);
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 10.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn no_slack_redistribution_is_conservative() {
+        let mut net = FlowNetwork::new();
+        let slow = net.add_resource("slow", 10.0);
+        let shared = net.add_resource("shared", 100.0);
+        // Flow 1 bottlenecked at 10 B/s by `slow`; flow 2 only on `shared`.
+        net.add_flow(SimTime::ZERO, FlowId(1), 100.0, &[slow, shared], None);
+        net.add_flow(SimTime::ZERO, FlowId(2), 100.0, &[shared], None);
+        // Flow 2 gets its fair share (50), not the slack (90).
+        assert!((net.flow_rate(FlowId(2)).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_cap_applies() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("server", 1000.0);
+        net.add_flow(SimTime::ZERO, FlowId(1), 100.0, &[r], Some(10.0));
+        assert!((net.flow_rate(FlowId(1)).unwrap() - 10.0).abs() < 1e-9);
+        let done = drain(&mut net, SimTime::ZERO);
+        assert!((done[0].0.as_secs_f64() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_path_completes_immediately() {
+        let mut net = FlowNetwork::new();
+        net.add_flow(SimTime::from_secs(2), FlowId(9), 42.0, &[], None);
+        let t = net.next_completion_time(SimTime::from_secs(2)).unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+        assert_eq!(net.poll_completions(t), vec![FlowId(9)]);
+    }
+
+    #[test]
+    fn departure_releases_shares() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("disk", 100.0);
+        net.add_flow(SimTime::ZERO, FlowId(1), 100.0, &[r], None);
+        net.add_flow(SimTime::ZERO, FlowId(2), 1000.0, &[r], None);
+        let t1 = net.next_completion_time(SimTime::ZERO).unwrap();
+        assert_eq!(net.poll_completions(t1), vec![FlowId(1)]);
+        assert_eq!(net.resource_active_flows(r), 1);
+        assert!((net.flow_rate(FlowId(2)).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_restores_counts_and_returns_residual() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("disk", 100.0);
+        net.add_flow(SimTime::ZERO, FlowId(1), 500.0, &[r], None);
+        let left = net.cancel_flow(SimTime::from_secs(2), FlowId(1)).unwrap();
+        assert!((left - 300.0).abs() < 1e-6);
+        assert_eq!(net.resource_active_flows(r), 0);
+        assert_eq!(net.cancel_flow(SimTime::from_secs(2), FlowId(1)), None);
+    }
+
+    #[test]
+    fn accounting_charges_every_hop() {
+        let mut net = FlowNetwork::new();
+        let a = net.add_resource("a", 100.0);
+        let b = net.add_resource("b", 200.0);
+        net.add_flow(SimTime::ZERO, FlowId(1), 100.0, &[a, b], None);
+        let t = net.next_completion_time(SimTime::ZERO).unwrap();
+        net.poll_completions(t);
+        assert!((net.resource_bytes_served(a) - 100.0).abs() < 1e-3);
+        assert!((net.resource_bytes_served(b) - 100.0).abs() < 1e-3);
+        assert!((net.resource_busy_time(a).as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! The foundation of the hybrid scale-up/out Hadoop reproduction: a minimal,
+//! fully deterministic discrete-event kernel plus the fluid
+//! processor-sharing resource model that every hardware component (disk, RAM
+//! disk, NIC, remote storage server) is built from.
+//!
+//! Layers above this crate:
+//! - `cluster` declares machines and wires their devices into a
+//!   [`ResourcePool`];
+//! - `storage` turns file reads/writes into sequences of PS flows
+//!   (`IoPlan`s);
+//! - `mapreduce` owns the [`EventQueue`] at run time and drives tasks
+//!   through slots and flows.
+//!
+//! ## Determinism contract
+//!
+//! A simulation run is a pure function of `(specification, seed)`:
+//! - the event queue breaks timestamp ties in insertion (FIFO) order;
+//! - time is integer microseconds, so ordering never depends on float
+//!   comparisons;
+//! - all randomness flows through [`rng::substream`] so independent
+//!   components draw from decorrelated substreams.
+
+pub mod dist;
+pub mod event;
+pub mod flownet;
+pub mod ps;
+pub mod registry;
+pub mod rng;
+pub mod time;
+
+pub use event::EventQueue;
+pub use flownet::{FlowNetwork, NetResourceId};
+pub use ps::{FlowId, Generation, PsResource};
+pub use registry::{ResourceId, ResourcePool};
+pub use time::{SimDuration, SimTime, TICKS_PER_SEC};

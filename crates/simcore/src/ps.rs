@@ -1,0 +1,364 @@
+//! Processor-sharing (PS) resources.
+//!
+//! Disks, RAM disks, NICs and remote storage servers are modelled as PS
+//! servers: a resource with capacity `C` bytes/s serving `n` concurrent flows
+//! gives each flow rate `min(C / n, per_flow_cap)`. This is the standard
+//! fluid approximation for fair-shared I/O devices and is what makes slot
+//! contention and storage contention emerge naturally in the simulation
+//! instead of being hard-coded.
+//!
+//! # Integration with the event queue
+//!
+//! A PS resource cannot know its flows' completion times in advance — every
+//! arrival or departure changes the shared rate. The contract with the
+//! engine is:
+//!
+//! 1. After any membership change, the engine asks [`PsResource::next_completion_time`]
+//!    and schedules a completion event stamped with [`PsResource::generation`].
+//! 2. When a completion event pops, the engine compares its stamped
+//!    generation with the current one; stale events are ignored.
+//! 3. A fresh event calls [`PsResource::poll_completions`], which advances
+//!    the fluid state to `now` and returns every flow that has finished.
+//!
+//! Completion times are rounded **up** to the next tick so that by the time
+//! the event fires the flow has provably received enough service; the
+//! residual rounding error is below one byte per completion.
+
+use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one flow (an in-flight transfer) within the whole simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+/// Monotone counter identifying a membership epoch of one resource.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Generation(pub u64);
+
+/// Residual bytes below this threshold count as "finished"; see module docs
+/// for why rounding can leave a sub-byte residue.
+const DONE_EPS_BYTES: f64 = 1e-3;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    id: FlowId,
+    remaining: f64,
+}
+
+/// A processor-sharing server with optional per-flow rate cap.
+#[derive(Debug, Clone)]
+pub struct PsResource {
+    name: String,
+    capacity: f64,
+    per_flow_cap: Option<f64>,
+    flows: Vec<Flow>,
+    last_update: SimTime,
+    generation: u64,
+    /// Total bytes served since construction (for utilization accounting).
+    bytes_served: f64,
+    /// Total time with at least one active flow.
+    busy: SimDuration,
+    /// High-water mark of concurrent flows.
+    peak_flows: usize,
+}
+
+impl PsResource {
+    /// A PS resource with aggregate `capacity` in bytes per second.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite capacity.
+    pub fn new(name: impl Into<String>, capacity: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        PsResource {
+            name: name.into(),
+            capacity,
+            per_flow_cap: None,
+            flows: Vec::new(),
+            last_update: SimTime::ZERO,
+            generation: 0,
+            bytes_served: 0.0,
+            busy: SimDuration::ZERO,
+            peak_flows: 0,
+        }
+    }
+
+    /// Limit any single flow to `cap` bytes/s regardless of how few flows are
+    /// active (e.g. a storage server whose clients sit behind a slower NIC).
+    pub fn with_per_flow_cap(mut self, cap: f64) -> Self {
+        assert!(cap.is_finite() && cap > 0.0, "per-flow cap must be positive");
+        self.per_flow_cap = Some(cap);
+        self
+    }
+
+    /// Resource name (for diagnostics and metrics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Aggregate capacity in bytes/s.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Current membership epoch. Bumped by every arrival and departure.
+    pub fn generation(&self) -> Generation {
+        Generation(self.generation)
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Highest number of simultaneously active flows observed.
+    pub fn peak_flows(&self) -> usize {
+        self.peak_flows
+    }
+
+    /// Total bytes served so far (advanced state only; excludes service that
+    /// would accrue between the last membership change and "now").
+    pub fn bytes_served(&self) -> f64 {
+        self.bytes_served
+    }
+
+    /// Total busy time (at least one flow active), up to the last update.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// The instantaneous per-flow service rate in bytes/s.
+    pub fn rate_per_flow(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        let fair = self.capacity / self.flows.len() as f64;
+        match self.per_flow_cap {
+            Some(cap) => fair.min(cap),
+            None => fair,
+        }
+    }
+
+    /// Advance the fluid state to `now`, crediting service to active flows.
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "PS resource time went backwards");
+        let dt = now.since(self.last_update).as_secs_f64();
+        if dt > 0.0 && !self.flows.is_empty() {
+            let served = self.rate_per_flow() * dt;
+            for f in &mut self.flows {
+                let credit = served.min(f.remaining);
+                f.remaining -= credit;
+                self.bytes_served += credit;
+            }
+            self.busy += now.since(self.last_update);
+        }
+        self.last_update = now;
+    }
+
+    /// Begin serving `bytes` for flow `id` at time `now`.
+    ///
+    /// Returns the new generation; the caller must reschedule the resource's
+    /// completion event with it.
+    ///
+    /// Zero-byte flows are legal and complete on the next poll.
+    ///
+    /// # Panics
+    /// Panics if `id` is already active on this resource.
+    pub fn add_flow(&mut self, now: SimTime, id: FlowId, bytes: f64) -> Generation {
+        assert!(bytes.is_finite() && bytes >= 0.0, "flow size must be non-negative");
+        self.advance(now);
+        assert!(
+            !self.flows.iter().any(|f| f.id == id),
+            "flow {id:?} already active on {}",
+            self.name
+        );
+        self.flows.push(Flow { id, remaining: bytes });
+        self.peak_flows = self.peak_flows.max(self.flows.len());
+        self.generation += 1;
+        Generation(self.generation)
+    }
+
+    /// Abort flow `id` (e.g. a cancelled task), returning its unserved bytes.
+    ///
+    /// Returns `None` if the flow is not active.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        let idx = self.flows.iter().position(|f| f.id == id)?;
+        let flow = self.flows.swap_remove(idx);
+        self.generation += 1;
+        Some(flow.remaining)
+    }
+
+    /// Advance to `now` and remove+return every finished flow, in FlowId
+    /// order (deterministic). Bumps the generation iff any flow finished.
+    pub fn poll_completions(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        let mut done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|f| f.remaining <= DONE_EPS_BYTES)
+            .map(|f| f.id)
+            .collect();
+        if !done.is_empty() {
+            self.flows.retain(|f| f.remaining > DONE_EPS_BYTES);
+            self.generation += 1;
+            done.sort_unstable();
+        }
+        done
+    }
+
+    /// The absolute time at which the next flow (if any) will finish assuming
+    /// no further membership changes, rounded up to a whole tick.
+    pub fn next_completion_time(&self, now: SimTime) -> Option<SimTime> {
+        debug_assert!(now >= self.last_update);
+        let rate = self.rate_per_flow();
+        if rate <= 0.0 {
+            return None;
+        }
+        let already = now.since(self.last_update).as_secs_f64() * rate;
+        let min_remaining = self
+            .flows
+            .iter()
+            .map(|f| (f.remaining - already).max(0.0))
+            .fold(f64::INFINITY, f64::min);
+        if !min_remaining.is_finite() {
+            return None;
+        }
+        let secs = min_remaining / rate;
+        let ticks = (secs * TICKS_PER_SEC as f64).ceil() as u64;
+        Some(now + SimDuration(ticks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(res: &mut PsResource, mut now: SimTime) -> Vec<(SimTime, FlowId)> {
+        let mut out = Vec::new();
+        while let Some(t) = res.next_completion_time(now) {
+            now = t;
+            for id in res.poll_completions(now) {
+                out.push((now, id));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_takes_bytes_over_capacity() {
+        let mut r = PsResource::new("disk", 100.0); // 100 B/s
+        r.add_flow(SimTime::ZERO, FlowId(1), 500.0);
+        let done = drain(&mut r, SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, FlowId(1));
+        assert!((done[0].0.as_secs_f64() - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_equal_flows_halve_the_rate() {
+        let mut r = PsResource::new("disk", 100.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 500.0);
+        r.add_flow(SimTime::ZERO, FlowId(2), 500.0);
+        let done = drain(&mut r, SimTime::ZERO);
+        // Both finish together at t = 1000B / 100B/s = 10s.
+        assert_eq!(done.len(), 2);
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 10.0).abs() < 1e-3);
+        }
+        // Completions are reported in FlowId order on ties.
+        assert_eq!(done[0].1, FlowId(1));
+        assert_eq!(done[1].1, FlowId(2));
+    }
+
+    #[test]
+    fn late_arrival_shares_from_arrival_on() {
+        let mut r = PsResource::new("disk", 100.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 500.0);
+        // After 2s flow 1 has 300 left; flow 2 arrives with 300.
+        r.add_flow(SimTime::from_secs(2), FlowId(2), 300.0);
+        let done = drain(&mut r, SimTime::from_secs(2));
+        // Both have 300 left at t=2 sharing 100 B/s -> both done at t=8.
+        assert_eq!(done.len(), 2);
+        assert!((done[0].0.as_secs_f64() - 8.0).abs() < 1e-3);
+        assert!((done[1].0.as_secs_f64() - 8.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut r = PsResource::new("disk", 100.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 100.0);
+        r.add_flow(SimTime::ZERO, FlowId(2), 500.0);
+        // Shared rate 50 B/s: flow 1 done at t=2 (100/50).
+        let t1 = r.next_completion_time(SimTime::ZERO).unwrap();
+        assert!((t1.as_secs_f64() - 2.0).abs() < 1e-3);
+        assert_eq!(r.poll_completions(t1), vec![FlowId(1)]);
+        // Flow 2 has 400 left, now alone at 100 B/s: done at t=6.
+        let t2 = r.next_completion_time(t1).unwrap();
+        assert!((t2.as_secs_f64() - 6.0).abs() < 1e-3);
+        assert_eq!(r.poll_completions(t2), vec![FlowId(2)]);
+    }
+
+    #[test]
+    fn per_flow_cap_limits_lone_flow() {
+        let mut r = PsResource::new("server", 1000.0).with_per_flow_cap(100.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 500.0);
+        let t = r.next_completion_time(SimTime::ZERO).unwrap();
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-3, "capped at 100 B/s");
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_changes() {
+        let mut r = PsResource::new("disk", 100.0);
+        let g0 = r.generation();
+        let g1 = r.add_flow(SimTime::ZERO, FlowId(1), 100.0);
+        assert_ne!(g0, g1);
+        let t = r.next_completion_time(SimTime::ZERO).unwrap();
+        r.poll_completions(t);
+        assert_ne!(r.generation(), g1);
+    }
+
+    #[test]
+    fn cancel_returns_unserved_bytes() {
+        let mut r = PsResource::new("disk", 100.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 500.0);
+        let left = r.cancel_flow(SimTime::from_secs(2), FlowId(1)).unwrap();
+        assert!((left - 300.0).abs() < 1e-6);
+        assert_eq!(r.active_flows(), 0);
+        assert_eq!(r.cancel_flow(SimTime::from_secs(2), FlowId(1)), None);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut r = PsResource::new("disk", 100.0);
+        r.add_flow(SimTime::from_secs(1), FlowId(7), 0.0);
+        let t = r.next_completion_time(SimTime::from_secs(1)).unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        assert_eq!(r.poll_completions(t), vec![FlowId(7)]);
+    }
+
+    #[test]
+    fn idle_resource_has_no_completion() {
+        let r = PsResource::new("disk", 100.0);
+        assert_eq!(r.next_completion_time(SimTime::ZERO), None);
+        assert_eq!(r.rate_per_flow(), 0.0);
+    }
+
+    #[test]
+    fn accounting_tracks_service_and_busy_time() {
+        let mut r = PsResource::new("disk", 100.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 200.0);
+        let t = r.next_completion_time(SimTime::ZERO).unwrap();
+        r.poll_completions(t);
+        assert!((r.bytes_served() - 200.0).abs() < 1e-3);
+        assert!((r.busy_time().as_secs_f64() - 2.0).abs() < 1e-3);
+        assert_eq!(r.peak_flows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_flow_id_panics() {
+        let mut r = PsResource::new("disk", 100.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 10.0);
+        r.add_flow(SimTime::ZERO, FlowId(1), 10.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Simulated time.
+//!
+//! The simulator counts time in whole **microseconds** stored in a `u64`.
+//! Integer ticks keep the event queue totally ordered without any of the
+//! NaN/rounding hazards of `f64` keys, while one microsecond of resolution is
+//! three orders of magnitude below the shortest durations the paper reports
+//! (task overheads of hundreds of milliseconds, jobs of seconds to hours).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of microsecond ticks per simulated second.
+pub const TICKS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the simulation clock, in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "never happens" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * TICKS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest tick.
+    ///
+    /// NaN and negative inputs clamp to zero (floating-point noise in computed
+    /// durations); +∞ saturates to the far future.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_ticks(secs))
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * TICKS_PER_SEC)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * (TICKS_PER_SEC / 1000))
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest tick.
+    /// NaN and negative inputs clamp to zero; +∞ saturates.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_to_ticks(secs))
+    }
+
+    /// This duration expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// True when this duration is exactly zero ticks.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+fn secs_to_ticks(secs: f64) -> u64 {
+    if secs.is_nan() || secs <= 0.0 {
+        return 0;
+    }
+    let ticks = secs * TICKS_PER_SEC as f64;
+    if ticks >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ticks.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_secs() {
+        let t = SimTime::from_secs_f64(12.5);
+        assert_eq!(t.as_secs_f64(), 12.5);
+        assert_eq!(SimTime::from_secs(3).0, 3 * TICKS_PER_SEC);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn infinity_saturates() {
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).0, u64::MAX);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let t = SimTime::MAX + SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimTime::from_secs(5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(25);
+        assert_eq!(b.since(a), SimDuration::from_secs(15));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_secs(1)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(1), SimTime::from_secs(3)]);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(1.25)), "1.250s");
+        assert_eq!(format!("{}", SimDuration::from_millis(500)), "0.500s");
+    }
+}

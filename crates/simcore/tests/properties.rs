@@ -1,0 +1,211 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simcore::dist::PiecewiseLogCdf;
+use simcore::{EventQueue, FlowId, FlowNetwork, PsResource, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of how they
+    /// were pushed, and equal-time events preserve push order.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last.0);
+            if t == last.0 && last.1 != 0 {
+                // FIFO among ties: indexes at the same timestamp ascend.
+                prop_assert!(times[idx] != times[last.1] || idx > last.1);
+            }
+            prop_assert_eq!(t, SimTime(times[idx]));
+            last = (t, idx);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Work conservation: however flows arrive, a PS resource eventually
+    /// serves exactly the bytes injected, and total time is at least
+    /// total_bytes/capacity (can't beat capacity) when arrivals are at t=0.
+    #[test]
+    fn ps_resource_conserves_work(sizes in prop::collection::vec(1.0f64..1e8, 1..40)) {
+        let capacity = 1e6; // 1 MB/s
+        let mut r = PsResource::new("disk", capacity);
+        for (i, &s) in sizes.iter().enumerate() {
+            r.add_flow(SimTime::ZERO, FlowId(i as u64), s);
+        }
+        let mut now = SimTime::ZERO;
+        let mut completed = 0usize;
+        let mut guard = 0;
+        while let Some(t) = r.next_completion_time(now) {
+            now = t;
+            completed += r.poll_completions(now).len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "completion loop did not converge");
+        }
+        prop_assert_eq!(completed, sizes.len());
+        let total: f64 = sizes.iter().sum();
+        // Served everything (within per-completion sub-byte rounding).
+        prop_assert!((r.bytes_served() - total).abs() < sizes.len() as f64 + 1.0);
+        // Finished no earlier than the capacity bound allows.
+        let lower = total / capacity;
+        prop_assert!(now.as_secs_f64() + 1e-3 >= lower);
+        // PS with simultaneous arrivals finishes exactly at the bound.
+        prop_assert!((now.as_secs_f64() - lower).abs() < 0.01 * lower + 1e-2);
+    }
+
+    /// Staggered arrivals never violate the capacity lower bound either.
+    #[test]
+    fn ps_staggered_arrivals_respect_capacity(
+        flows in prop::collection::vec((0u64..10_000_000, 1.0f64..1e7), 1..30)
+    ) {
+        let capacity = 5e5;
+        let mut r = PsResource::new("nic", capacity);
+        let mut arrivals: Vec<(SimTime, f64)> =
+            flows.iter().map(|&(t, b)| (SimTime(t), b)).collect();
+        arrivals.sort_by_key(|&(t, _)| t);
+        let mut now = SimTime::ZERO;
+        let mut next_flow = 0usize;
+        let mut done = 0usize;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 20_000);
+            let next_completion = r.next_completion_time(now);
+            let next_arrival = arrivals.get(next_flow).map(|&(t, _)| t.max(now));
+            match (next_completion, next_arrival) {
+                (None, None) => break,
+                (Some(tc), None) => {
+                    now = tc;
+                    done += r.poll_completions(now).len();
+                }
+                (ca, Some(ta)) => {
+                    if ca.is_none() || ta <= ca.unwrap() {
+                        now = ta;
+                        let (_, bytes) = arrivals[next_flow];
+                        r.add_flow(now, FlowId(next_flow as u64), bytes);
+                        next_flow += 1;
+                    } else {
+                        now = ca.unwrap();
+                        done += r.poll_completions(now).len();
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(done, arrivals.len());
+        let total: f64 = arrivals.iter().map(|&(_, b)| b).sum();
+        let first = arrivals[0].0.as_secs_f64();
+        prop_assert!(now.as_secs_f64() + 1e-3 >= first + total / capacity / (arrivals.len() as f64).max(1.0) / 1e9,
+            "sanity: simulation terminated");
+        prop_assert!((r.bytes_served() - total).abs() < arrivals.len() as f64 + 1.0);
+    }
+
+    /// The empirical CDF is monotone and quantile() is its right inverse.
+    #[test]
+    fn piecewise_cdf_monotone(points in prop::collection::vec((1.0f64..1e12, 0.0f64..1.0), 2..8)) {
+        // Build strictly increasing anchors from arbitrary draws.
+        let mut vals: Vec<f64> = points.iter().map(|&(v, _)| v).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        prop_assume!(vals.len() >= 2);
+        let n = vals.len();
+        let anchors: Vec<(f64, f64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as f64 / (n - 1) as f64))
+            .collect();
+        let d = PiecewiseLogCdf::new(anchors);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = d.quantile(i as f64 / 100.0);
+            let p = d.cdf(x);
+            prop_assert!(p + 1e-9 >= prev, "cdf must be monotone");
+            prev = p;
+        }
+    }
+}
+
+proptest! {
+    /// Multi-hop flows conserve work on every resource they touch, and no
+    /// resource ever serves faster than its capacity allows.
+    #[test]
+    fn flow_network_conserves_work_per_hop(
+        flows in prop::collection::vec((1.0f64..1e7, 0u8..3, 0u8..3), 1..30)
+    ) {
+        let mut net = FlowNetwork::new();
+        let resources: Vec<_> = (0..3).map(|i| net.add_resource(format!("r{i}"), 1e6)).collect();
+        let mut expected = [0.0f64; 3];
+        for (i, &(bytes, a, b)) in flows.iter().enumerate() {
+            let mut path = vec![resources[a as usize]];
+            if b != a {
+                path.push(resources[b as usize]);
+            }
+            for &r in &path {
+                let idx = resources.iter().position(|&x| x == r).unwrap();
+                expected[idx] += bytes;
+            }
+            net.add_flow(SimTime::ZERO, FlowId(i as u64), bytes, &path, None);
+        }
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while let Some(t) = net.next_completion_time(now) {
+            now = t;
+            net.poll_completions(now);
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        prop_assert_eq!(net.active_flows(), 0);
+        for (i, &want) in expected.iter().enumerate() {
+            let got = net.resource_bytes_served(resources[i]);
+            prop_assert!((got - want).abs() < flows.len() as f64 + 1.0,
+                "resource {i}: served {got} expected {want}");
+            // Capacity bound: served bytes ≤ capacity × busy time (+rounding).
+            let busy = net.resource_busy_time(resources[i]).as_secs_f64();
+            prop_assert!(got <= 1e6 * busy + flows.len() as f64 + 1.0,
+                "resource {i} exceeded capacity: {got} in {busy}s");
+        }
+    }
+
+    /// Cancelling flows mid-stream keeps the accounting consistent: the
+    /// bytes served plus the bytes returned by cancellation equal the bytes
+    /// injected.
+    #[test]
+    fn flow_network_cancellation_accounts_exactly(
+        sizes in prop::collection::vec(1.0f64..1e6, 2..20),
+        cancel_at in 0.1f64..0.9,
+    ) {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("disk", 1e5);
+        let total: f64 = sizes.iter().sum();
+        for (i, &b) in sizes.iter().enumerate() {
+            net.add_flow(SimTime::ZERO, FlowId(i as u64), b, &[r], None);
+        }
+        // Run until roughly `cancel_at` of the total would be served, then
+        // cancel everything still active.
+        let t_cancel = SimTime::from_secs_f64(cancel_at * total / 1e5);
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while let Some(t) = net.next_completion_time(now) {
+            if t > t_cancel {
+                break;
+            }
+            now = t;
+            net.poll_completions(now);
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        let mut returned = 0.0;
+        for i in 0..sizes.len() {
+            if let Some(left) = net.cancel_flow(t_cancel.max(now), FlowId(i as u64)) {
+                returned += left;
+            }
+        }
+        prop_assert_eq!(net.active_flows(), 0);
+        let served = net.resource_bytes_served(r);
+        prop_assert!((served + returned - total).abs() < sizes.len() as f64 + 1.0,
+            "served {served} + returned {returned} != {total}");
+    }
+}
+

@@ -1,0 +1,111 @@
+//! The distributed-file-system abstraction the MapReduce engine programs
+//! against.
+//!
+//! Both storage backends of the paper's Table I implement this trait:
+//! [`crate::hdfs::HdfsModel`] (local storage on the compute nodes) and
+//! [`crate::ofs::OfsModel`] (remote dedicated storage servers). The hybrid
+//! architecture's key storage property — both sub-clusters can read the same
+//! file without inter-cluster copying — falls out of `plan_read` taking an
+//! arbitrary reader node.
+
+use crate::error::StorageError;
+use crate::plan::IoPlan;
+use cluster::{Node, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a file within a deployment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+/// A distributed file system model.
+pub trait DfsModel {
+    /// Backend name ("hdfs", "ofs").
+    fn name(&self) -> &str;
+
+    /// Block (HDFS) or stripe (OFS) size in bytes.
+    fn block_size(&self) -> u64;
+
+    /// Place a file of `size` bytes without simulating I/O (datasets are
+    /// pre-loaded before measurement, as in the paper's methodology).
+    ///
+    /// # Errors
+    /// [`StorageError::CapacityExceeded`] when the backing devices cannot
+    /// hold the data (this is what caps up-HDFS at ≤80 GB inputs), or
+    /// [`StorageError::DuplicateFile`].
+    fn create_file(&mut self, id: FileId, size: u64) -> Result<(), StorageError>;
+
+    /// Remove a file, freeing its space. Returns `false` if unknown.
+    fn delete_file(&mut self, id: FileId) -> bool;
+
+    /// Size of a file in bytes, if it exists.
+    fn file_size(&self, id: FileId) -> Option<u64>;
+
+    /// Number of blocks of a file (0 for unknown files).
+    fn num_blocks(&self, id: FileId) -> u32 {
+        match self.file_size(id) {
+            Some(0) | None => 0,
+            Some(sz) => sz.div_ceil(self.block_size()) as u32,
+        }
+    }
+
+    /// Compute nodes holding a replica of `block` — the MapReduce scheduler
+    /// uses this for data-local task placement. Remote file systems return
+    /// an empty list (no block is local to any compute node).
+    fn block_hosts(&self, id: FileId, block: u32) -> Vec<NodeId>;
+
+    /// The I/O plan for `reader` to read one block.
+    ///
+    /// # Panics
+    /// Implementations may panic on unknown files or out-of-range blocks —
+    /// the engine only reads files it created.
+    fn plan_read(&self, id: FileId, block: u32, reader: &Node) -> IoPlan;
+
+    /// Append `bytes` to file `id` (creating it if absent) from `writer`,
+    /// allocating space and returning the I/O plan.
+    ///
+    /// `pressure` is the caller's estimate of the total write volume this
+    /// job pushes at the file system (bytes); cache-aware backends use it to
+    /// decide how much of the write is absorbed by page cache versus forced
+    /// to disk by writeback throttling. Backends without that behaviour
+    /// (remote dedicated storage) ignore it.
+    ///
+    /// # Errors
+    /// [`StorageError::CapacityExceeded`] when space runs out mid-job.
+    fn plan_write(
+        &mut self,
+        id: FileId,
+        bytes: u64,
+        writer: &Node,
+        pressure: u64,
+    ) -> Result<IoPlan, StorageError>;
+
+    /// Bytes currently stored, including replication overhead.
+    fn used_bytes(&self) -> u64;
+}
+
+/// Size of block `block` of a `size`-byte file cut into `block_size` pieces
+/// (all full blocks except a possibly-short tail).
+pub fn block_len(size: u64, block_size: u64, block: u32) -> u64 {
+    let start = block as u64 * block_size;
+    debug_assert!(start < size || (size == 0 && block == 0), "block out of range");
+    (size - start.min(size)).min(block_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_len_handles_tail() {
+        let bs = 128;
+        assert_eq!(block_len(300, bs, 0), 128);
+        assert_eq!(block_len(300, bs, 1), 128);
+        assert_eq!(block_len(300, bs, 2), 44);
+        assert_eq!(block_len(256, bs, 1), 128);
+    }
+
+    #[test]
+    fn block_len_of_empty_file_is_zero() {
+        assert_eq!(block_len(0, 128, 0), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Storage-layer errors.
+
+use crate::dfs::FileId;
+use std::fmt;
+
+/// Errors surfaced by the file-system models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The backing devices cannot hold the requested bytes. This is a real
+    /// behaviour of the paper's testbed: "due to the limitation of local
+    /// disk size, up-HDFS cannot process the jobs with input data size
+    /// greater than 80 GB".
+    CapacityExceeded {
+        /// File system name.
+        fs: String,
+        /// Bytes that were requested (including replication overhead).
+        requested: u64,
+        /// Bytes that were actually available.
+        available: u64,
+    },
+    /// A file with this id already exists.
+    DuplicateFile(FileId),
+    /// The file does not exist.
+    UnknownFile(FileId),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::CapacityExceeded { fs, requested, available } => write!(
+                f,
+                "{fs}: capacity exceeded (requested {requested} B, available {available} B)"
+            ),
+            StorageError::DuplicateFile(id) => write!(f, "file {id:?} already exists"),
+            StorageError::UnknownFile(id) => write!(f, "file {id:?} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::CapacityExceeded { fs: "hdfs".into(), requested: 10, available: 5 };
+        let s = e.to_string();
+        assert!(s.contains("hdfs") && s.contains("10") && s.contains('5'));
+        assert!(StorageError::DuplicateFile(FileId(3)).to_string().contains("exists"));
+        assert!(StorageError::UnknownFile(FileId(4)).to_string().contains("not exist"));
+    }
+}

@@ -1,0 +1,569 @@
+//! HDFS: block-structured local storage on the compute nodes (Figure 1 of
+//! the paper — "Typical Hadoop with HDFS local storage").
+//!
+//! Modelled behaviours, each load-bearing for the paper's measurements:
+//!
+//! - **128 MB blocks** ("we set the HDFS block size to 128 MB to match the
+//!   setting in the current industry clusters") — block count drives the
+//!   number of map tasks and hence waves;
+//! - **replication factor 2** with pipelined writes ("we set the replication
+//!   factor of HDFS to 2") — doubles write traffic and halves usable space;
+//! - **data locality**: a map task reading a block hosted on its own node
+//!   touches only the local disk; a remote read crosses both NICs and the
+//!   source disk;
+//! - **capacity accounting** per datanode — the 91 GB scale-up disks are why
+//!   "up-HDFS cannot process the jobs with input data size greater than
+//!   80 GB";
+//! - **namenode latency** per block open (small and local, in contrast to
+//!   OFS's much larger remote request latency);
+//! - **page-cache effects**: reads of data that fits the node's free RAM are
+//!   served at memory speed, and writes are absorbed up to the writeback
+//!   (dirty-ratio) headroom before dropping to disk speed. This is what
+//!   makes HDFS "around 10-20% better" than OFS for small datasets in the
+//!   paper while large datasets grind against the physical disks.
+
+use crate::dfs::{block_len, DfsModel, FileId};
+use crate::error::StorageError;
+use crate::plan::{IoPlan, IoStage, Transfer};
+use cluster::{machine::MemorySpec, FabricSpec, Node, NodeId};
+use simcore::{NetResourceId, SimDuration};
+use std::collections::HashMap;
+
+/// HDFS tuning parameters (defaults follow the paper's §II-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdfsConfig {
+    /// Block size in bytes (paper: 128 MB).
+    pub block_size: u64,
+    /// Replication factor (paper: 2).
+    pub replication: u32,
+    /// Namenode metadata round-trip per block open/allocate.
+    pub namenode_latency: SimDuration,
+    /// Fraction of each disk reserved for non-HDFS data (shuffle spill,
+    /// logs, OS); HDFS refuses to fill past `1 - reserve`.
+    pub reserve_fraction: f64,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        HdfsConfig {
+            block_size: 128 << 20,
+            replication: 2,
+            namenode_latency: SimDuration::from_millis(2),
+            reserve_fraction: 0.10,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Datanode {
+    node: NodeId,
+    disk: NetResourceId,
+    nic: NetResourceId,
+    membus: NetResourceId,
+    memory: MemorySpec,
+    capacity: u64,
+    used: u64,
+}
+
+#[derive(Debug, Clone)]
+struct HBlock {
+    /// Bytes actually stored in this block (the tail may be short).
+    len: u64,
+    /// Indices into `datanodes` of the hosting replicas.
+    replicas: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct HdfsFile {
+    size: u64,
+    blocks: Vec<HBlock>,
+}
+
+/// The HDFS model over a fixed set of datanodes.
+#[derive(Debug, Clone)]
+pub struct HdfsModel {
+    cfg: HdfsConfig,
+    fabric: FabricSpec,
+    datanodes: Vec<Datanode>,
+    by_node: HashMap<NodeId, usize>,
+    files: HashMap<FileId, HdfsFile>,
+    cursor: usize,
+}
+
+impl HdfsModel {
+    /// Build an HDFS over `datanodes` (every compute node of the cluster, as
+    /// in the paper's per-cluster deployments; the namenode is a separate
+    /// dedicated machine and is represented only by `namenode_latency`).
+    ///
+    /// # Panics
+    /// Panics when `datanodes` is empty.
+    pub fn new(cfg: HdfsConfig, datanodes: &[Node], fabric: FabricSpec) -> Self {
+        assert!(!datanodes.is_empty(), "HDFS needs at least one datanode");
+        assert!(cfg.replication >= 1, "replication must be at least 1");
+        let dn: Vec<Datanode> = datanodes
+            .iter()
+            .map(|n| Datanode {
+                node: n.id,
+                disk: n.disk,
+                nic: n.nic,
+                membus: n.membus,
+                memory: n.spec.memory,
+                capacity: ((n.spec.disk.capacity as f64) * (1.0 - cfg.reserve_fraction)) as u64,
+                used: 0,
+            })
+            .collect();
+        let by_node = dn.iter().enumerate().map(|(i, d)| (d.node, i)).collect();
+        HdfsModel { cfg, fabric, datanodes: dn, by_node, files: HashMap::new(), cursor: 0 }
+    }
+
+    /// Effective replication: can't place more replicas than datanodes.
+    fn effective_replication(&self) -> usize {
+        (self.cfg.replication as usize).min(self.datanodes.len())
+    }
+
+    /// Place one block of `len` bytes with `preferred` as the first-replica
+    /// candidate; returns the hosting datanode indices or `None` if space
+    /// ran out. First-fit scan from the preferred node, then round-robin.
+    fn place_block(&mut self, len: u64, preferred: Option<usize>) -> Option<Vec<usize>> {
+        let n = self.datanodes.len();
+        let replication = self.effective_replication();
+        let mut replicas = Vec::with_capacity(replication);
+        let start = preferred.unwrap_or(self.cursor % n);
+        for k in 0..n {
+            if replicas.len() == replication {
+                break;
+            }
+            let idx = (start + k) % n;
+            let d = &self.datanodes[idx];
+            if d.used + len <= d.capacity {
+                replicas.push(idx);
+            }
+        }
+        if replicas.len() < replication {
+            return None;
+        }
+        for &idx in &replicas {
+            self.datanodes[idx].used += len;
+        }
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(replicas)
+    }
+
+    fn free_block(&mut self, len: u64, replicas: &[usize]) {
+        for &idx in replicas {
+            self.datanodes[idx].used -= len;
+        }
+    }
+
+    /// Total capacity still available across all datanodes.
+    fn available(&self) -> u64 {
+        self.datanodes.iter().map(|d| d.capacity - d.used).sum()
+    }
+
+    /// Fraction of all stored replicas residing on `node` — used by tests
+    /// and the locality metrics.
+    pub fn replica_fraction_on(&self, node: NodeId) -> f64 {
+        let Some(&idx) = self.by_node.get(&node) else { return 0.0 };
+        let total: u64 = self.datanodes.iter().map(|d| d.used).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.datanodes[idx].used as f64 / total as f64
+        }
+    }
+}
+
+impl DfsModel for HdfsModel {
+    fn name(&self) -> &str {
+        "hdfs"
+    }
+
+    fn block_size(&self) -> u64 {
+        self.cfg.block_size
+    }
+
+    fn create_file(&mut self, id: FileId, size: u64) -> Result<(), StorageError> {
+        if self.files.contains_key(&id) {
+            return Err(StorageError::DuplicateFile(id));
+        }
+        let nblocks = if size == 0 { 0 } else { size.div_ceil(self.cfg.block_size) };
+        let mut blocks: Vec<HBlock> = Vec::with_capacity(nblocks as usize);
+        for b in 0..nblocks {
+            let len = block_len(size, self.cfg.block_size, b as u32);
+            match self.place_block(len, None) {
+                Some(replicas) => blocks.push(HBlock { len, replicas }),
+                None => {
+                    // Roll back everything placed so far.
+                    for blk in &blocks {
+                        self.free_block(blk.len, &blk.replicas);
+                    }
+                    return Err(StorageError::CapacityExceeded {
+                        fs: "hdfs".into(),
+                        requested: size * self.effective_replication() as u64,
+                        available: self.available(),
+                    });
+                }
+            }
+        }
+        self.files.insert(id, HdfsFile { size, blocks });
+        Ok(())
+    }
+
+    fn delete_file(&mut self, id: FileId) -> bool {
+        let Some(file) = self.files.remove(&id) else { return false };
+        for blk in &file.blocks {
+            self.free_block(blk.len, &blk.replicas);
+        }
+        true
+    }
+
+    fn file_size(&self, id: FileId) -> Option<u64> {
+        self.files.get(&id).map(|f| f.size)
+    }
+
+    fn block_hosts(&self, id: FileId, block: u32) -> Vec<NodeId> {
+        let Some(file) = self.files.get(&id) else { return Vec::new() };
+        let Some(blk) = file.blocks.get(block as usize) else { return Vec::new() };
+        blk.replicas.iter().map(|&i| self.datanodes[i].node).collect()
+    }
+
+    fn plan_read(&self, id: FileId, block: u32, reader: &Node) -> IoPlan {
+        let file = self.files.get(&id).unwrap_or_else(|| panic!("unknown file {id:?}"));
+        let blk = &file.blocks[block as usize];
+        let replicas = &blk.replicas;
+        let len = blk.len as f64;
+        let local = self
+            .by_node
+            .get(&reader.id)
+            .and_then(|idx| replicas.contains(idx).then_some(*idx));
+        let src_idx = local.unwrap_or_else(|| replicas[block as usize % replicas.len()]);
+        let src = &self.datanodes[src_idx];
+        // How much of this block the source's page cache can serve depends
+        // on how much data is resident on that node.
+        let hit = src.memory.read_hit_fraction(src.used);
+        let latency = if local.is_some() {
+            self.cfg.namenode_latency
+        } else {
+            self.cfg.namenode_latency + self.fabric.transfer_latency(src.node.0, reader.id.0)
+        };
+        let mut stage = IoStage::latency_only(latency);
+        let hop: Vec<NetResourceId> =
+            if local.is_some() { Vec::new() } else { vec![src.nic, reader.nic] };
+        if hit > 0.0 {
+            let mut path = vec![src.membus];
+            path.extend(&hop);
+            stage.transfers.push(Transfer { path, bytes: hit * len, rate_cap: None });
+        }
+        if hit < 1.0 {
+            let mut path = vec![src.disk];
+            path.extend(&hop);
+            stage.transfers.push(Transfer { path, bytes: (1.0 - hit) * len, rate_cap: None });
+        }
+        IoPlan::single(stage)
+    }
+
+    fn plan_write(
+        &mut self,
+        id: FileId,
+        bytes: u64,
+        writer: &Node,
+        pressure: u64,
+    ) -> Result<IoPlan, StorageError> {
+        if bytes == 0 {
+            return Ok(IoPlan::empty());
+        }
+        let preferred = self.by_node.get(&writer.id).copied();
+        // Allocate the appended bytes as fresh blocks (Hadoop puts the
+        // first replica on the writing node when it is a datanode). Each
+        // writer's append starts its own block — matching reducers each
+        // producing their own output part-file.
+        let existing = self.files.get(&id).map(|f| f.size).unwrap_or(0);
+        let new_size = existing + bytes;
+        let nblocks = bytes.div_ceil(self.cfg.block_size);
+        let mut placed: Vec<HBlock> = Vec::new();
+        for b in 0..nblocks {
+            let len = block_len(bytes, self.cfg.block_size, b as u32);
+            match self.place_block(len, preferred) {
+                Some(replicas) => placed.push(HBlock { len, replicas }),
+                None => {
+                    for blk in &placed {
+                        self.free_block(blk.len, &blk.replicas);
+                    }
+                    return Err(StorageError::CapacityExceeded {
+                        fs: "hdfs".into(),
+                        requested: bytes * self.effective_replication() as u64,
+                        available: self.available(),
+                    });
+                }
+            }
+        }
+        // Build the pipelined write plan: the primary write and each extra
+        // replica transfer proceed in parallel (HDFS pipelines the chunks).
+        // On each receiving datanode, part of the write is absorbed by the
+        // page cache (memory speed) and the rest is throttled to disk speed;
+        // the split depends on the job's write pressure per node.
+        let n_dn = self.datanodes.len() as u64;
+        let per_node_pressure =
+            pressure.max(bytes) * self.effective_replication() as u64 / n_dn.max(1);
+        let mut stage = IoStage::latency_only(self.cfg.namenode_latency);
+        fn push_write(
+            stage: &mut IoStage,
+            dn: &Datanode,
+            hop: &[NetResourceId],
+            len: f64,
+            pressure: u64,
+        ) {
+            let absorb = dn.memory.write_absorb_fraction(pressure);
+            if absorb > 0.0 {
+                let mut path = hop.to_vec();
+                path.push(dn.membus);
+                stage.transfers.push(Transfer { path, bytes: absorb * len, rate_cap: None });
+            }
+            if absorb < 1.0 {
+                let mut path = hop.to_vec();
+                path.push(dn.disk);
+                stage.transfers.push(Transfer {
+                    path,
+                    bytes: (1.0 - absorb) * len,
+                    rate_cap: None,
+                });
+            }
+        }
+        for blk in &placed {
+            let len = blk.len as f64;
+            let primary = &self.datanodes[blk.replicas[0]];
+            if Some(blk.replicas[0]) == preferred {
+                push_write(&mut stage, primary, &[], len, per_node_pressure);
+            } else {
+                push_write(
+                    &mut stage,
+                    primary,
+                    &[writer.nic, primary.nic],
+                    len,
+                    per_node_pressure,
+                );
+            }
+            for &rep in &blk.replicas[1..] {
+                let r = &self.datanodes[rep];
+                push_write(&mut stage, r, &[writer.nic, r.nic], len, per_node_pressure);
+            }
+        }
+        // Record the append.
+        let entry = self.files.entry(id).or_insert(HdfsFile { size: 0, blocks: Vec::new() });
+        entry.size = new_size;
+        entry.blocks.extend(placed);
+        Ok(IoPlan::single(stage))
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.datanodes.iter().map(|d| d.used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{presets, ClusterSpec, GB, MB};
+    use simcore::FlowNetwork;
+
+    fn out_cluster(n: u32) -> (FlowNetwork, Vec<Node>) {
+        let mut net = FlowNetwork::new();
+        let built =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), n).build(&mut net, 0);
+        (net, built.nodes)
+    }
+
+    fn up_cluster() -> (FlowNetwork, Vec<Node>) {
+        let mut net = FlowNetwork::new();
+        let built =
+            ClusterSpec::homogeneous("up", presets::scale_up_machine(), 2).build(&mut net, 0);
+        (net, built.nodes)
+    }
+
+    #[test]
+    fn create_places_all_blocks_with_replication() {
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), 512 * MB).unwrap();
+        assert_eq!(fs.num_blocks(FileId(1)), 4);
+        assert_eq!(fs.used_bytes(), 2 * 512 * MB); // replication 2
+        for b in 0..4 {
+            let hosts = fs.block_hosts(FileId(1), b);
+            assert_eq!(hosts.len(), 2);
+            assert_ne!(hosts[0], hosts[1], "replicas on distinct nodes");
+        }
+    }
+
+    #[test]
+    fn local_read_of_cached_data_uses_the_membus() {
+        // A 128 MB file fits every node's page cache: the local read never
+        // touches the physical disk.
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), 128 * MB).unwrap();
+        let hosts = fs.block_hosts(FileId(1), 0);
+        let local = nodes.iter().find(|n| n.id == hosts[0]).unwrap();
+        let plan = fs.plan_read(FileId(1), 0, local);
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!(plan.stages[0].transfers.len(), 1);
+        assert_eq!(plan.stages[0].transfers[0].path, vec![local.membus]);
+    }
+
+    #[test]
+    fn local_read_of_big_data_splits_cache_and_disk() {
+        // 40 GB over 4 nodes with replication 2 puts ~20 GB on each node —
+        // far beyond the 3 GB scale-out page cache, so most bytes come off
+        // the physical disk.
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), 40 * GB).unwrap();
+        let hosts = fs.block_hosts(FileId(1), 0);
+        let local = nodes.iter().find(|n| n.id == hosts[0]).unwrap();
+        let plan = fs.plan_read(FileId(1), 0, local);
+        let ts = &plan.stages[0].transfers;
+        assert_eq!(ts.len(), 2, "cache hit + disk miss");
+        let mem = ts.iter().find(|t| t.path == vec![local.membus]).unwrap();
+        let disk = ts.iter().find(|t| t.path == vec![local.disk]).unwrap();
+        assert!(disk.bytes > 2.0 * mem.bytes, "mostly uncached: {ts:?}");
+        assert!((mem.bytes + disk.bytes - 128.0 * MB as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn remote_read_crosses_both_nics() {
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), 128 * MB).unwrap();
+        let hosts = fs.block_hosts(FileId(1), 0);
+        let remote = nodes.iter().find(|n| !hosts.contains(&n.id)).unwrap();
+        let plan = fs.plan_read(FileId(1), 0, remote);
+        let t = &plan.stages[0].transfers[0];
+        assert_eq!(t.path.len(), 3, "src disk + src nic + reader nic");
+        assert!(t.path.contains(&remote.nic));
+        // Remote read also pays the fabric hop.
+        assert!(plan.stages[0].latency > HdfsConfig::default().namenode_latency);
+    }
+
+    #[test]
+    fn capacity_cap_matches_paper_80gb_limit() {
+        // Two scale-up machines: 91 GB disks, reserve 10 %, replication 2
+        // leaves ~82 GB of unique file capacity — an 80 GB input fits, a
+        // 100 GB input must be rejected, matching the paper's up-HDFS cap.
+        let (_, nodes) = up_cluster();
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        assert!(fs.create_file(FileId(1), 80 * GB).is_ok());
+        fs.delete_file(FileId(1));
+        let err = fs.create_file(FileId(2), 100 * GB).unwrap_err();
+        assert!(matches!(err, StorageError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn failed_create_rolls_back() {
+        let (_, nodes) = up_cluster();
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        let before = fs.used_bytes();
+        assert!(fs.create_file(FileId(1), 500 * GB).is_err());
+        assert_eq!(fs.used_bytes(), before, "no partial allocation survives");
+        assert_eq!(fs.file_size(FileId(1)), None);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), GB).unwrap();
+        assert!(fs.used_bytes() > 0);
+        assert!(fs.delete_file(FileId(1)));
+        assert_eq!(fs.used_bytes(), 0);
+        assert!(!fs.delete_file(FileId(1)));
+    }
+
+    #[test]
+    fn duplicate_create_is_rejected() {
+        let (_, nodes) = out_cluster(2);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), MB).unwrap();
+        assert_eq!(fs.create_file(FileId(1), MB), Err(StorageError::DuplicateFile(FileId(1))));
+    }
+
+    #[test]
+    fn small_write_pipelines_to_replicas_at_memory_speed() {
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        let writer = &nodes[0];
+        // 256 MB of pressure is fully absorbed by the 1 GB dirty headroom.
+        let plan = fs.plan_write(FileId(9), 256 * MB, writer, 256 * MB).unwrap();
+        let stage = &plan.stages[0];
+        // 2 blocks × 2 replicas, each fully absorbed = 4 transfers.
+        assert_eq!(stage.transfers.len(), 4);
+        // First replica of each block lands on the writer's membus (local
+        // write, absorbed); no transfer touches a physical disk.
+        let local_writes =
+            stage.transfers.iter().filter(|t| t.path == vec![writer.membus]).count();
+        assert_eq!(local_writes, 2);
+        assert!(stage.transfers.iter().all(|t| !t.path.contains(&writer.disk)));
+        // Replica transfers cross both NICs.
+        assert!(stage.transfers.iter().any(|t| t.path.contains(&writer.nic)));
+        assert_eq!(fs.file_size(FileId(9)), Some(256 * MB));
+        assert_eq!(fs.used_bytes(), 2 * 256 * MB);
+    }
+
+    #[test]
+    fn sustained_write_is_throttled_to_disk() {
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        let writer = &nodes[0];
+        // 100 GB of job write pressure: ~50 GB per node dwarfs the 1 GB
+        // dirty headroom, so nearly all bytes must hit disks.
+        let plan = fs.plan_write(FileId(9), 128 * MB, writer, 100 * GB).unwrap();
+        let stage = &plan.stages[0];
+        let disk_bytes: f64 = stage
+            .transfers
+            .iter()
+            .filter(|t| t.path.iter().any(|r| *r == writer.disk || *r == nodes[1].disk || *r == nodes[2].disk || *r == nodes[3].disk))
+            .map(|t| t.bytes)
+            .sum();
+        let total: f64 = stage.transfers.iter().map(|t| t.bytes).sum();
+        assert!(disk_bytes > 0.9 * total, "disk {disk_bytes} of {total}");
+    }
+
+    #[test]
+    fn append_extends_file() {
+        let (_, nodes) = out_cluster(4);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.plan_write(FileId(9), 100 * MB, &nodes[0], 0).unwrap();
+        fs.plan_write(FileId(9), 100 * MB, &nodes[1], 0).unwrap();
+        assert_eq!(fs.file_size(FileId(9)), Some(200 * MB));
+    }
+
+    #[test]
+    fn zero_byte_write_is_a_noop() {
+        let (_, nodes) = out_cluster(2);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        let plan = fs.plan_write(FileId(1), 0, &nodes[0], 0).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(fs.used_bytes(), 0);
+    }
+
+    #[test]
+    fn placement_spreads_over_datanodes() {
+        let (_, nodes) = out_cluster(12);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), 12 * 128 * MB).unwrap();
+        // With round-robin placement every node should hold roughly 2/12 of
+        // the replicas (24 replicas over 12 nodes).
+        for n in &nodes {
+            let f = fs.replica_fraction_on(n.id);
+            assert!(f > 0.0, "node {:?} got nothing", n.id);
+            assert!(f < 0.35, "node {:?} is a hotspot: {f}", n.id);
+        }
+    }
+
+    #[test]
+    fn single_datanode_caps_replication() {
+        let (_, nodes) = out_cluster(1);
+        let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+        fs.create_file(FileId(1), 128 * MB).unwrap();
+        assert_eq!(fs.block_hosts(FileId(1), 0).len(), 1);
+        assert_eq!(fs.used_bytes(), 128 * MB);
+    }
+}

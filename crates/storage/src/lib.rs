@@ -1,0 +1,23 @@
+//! # storage — distributed file-system models (HDFS and OFS)
+//!
+//! The two storage substrates of the paper's Table I. Both implement
+//! [`DfsModel`]: given a read or write they return an [`plan::IoPlan`] —
+//! latencies plus fluid transfers — that the MapReduce engine executes on the
+//! shared [`simcore::FlowNetwork`].
+//!
+//! - [`hdfs::HdfsModel`]: blocks, replication-2 pipelined writes, data
+//!   locality, per-datanode capacity (the up-HDFS ≤80 GB cap);
+//! - [`ofs::OfsModel`]: 32 remote striped servers, 8 per file, fixed
+//!   per-request latency, no replication, shared across sub-clusters.
+
+pub mod dfs;
+pub mod error;
+pub mod hdfs;
+pub mod ofs;
+pub mod plan;
+
+pub use dfs::{DfsModel, FileId};
+pub use error::StorageError;
+pub use hdfs::{HdfsConfig, HdfsModel};
+pub use ofs::{OfsConfig, OfsModel};
+pub use plan::{IoPlan, IoStage, Transfer};

@@ -1,0 +1,435 @@
+//! OFS: a remote dedicated parallel file system (OrangeFS), Figure 2 of the
+//! paper — the storage substrate that makes the hybrid architecture possible.
+//!
+//! Modelled behaviours:
+//!
+//! - **striping**: "OFS stores data in simple stripes ... across multiple
+//!   storage servers in order to facilitate parallel access"; stripe size is
+//!   set to 128 MB to mirror the HDFS block size (paper §II-D), and each
+//!   file uses 8 of the 32 servers ("we use 8 (1GB/128MB) remote servers to
+//!   store each file in parallel");
+//! - **dedicated server bandwidth**: each server is a RAID-5 SATA array on
+//!   Myrinet, faster in aggregate than the compute nodes' single local disks
+//!   — why OFS wins at large input sizes;
+//! - **per-request latency**: every block access pays a fixed remote round
+//!   trip — "the network latency ... is independent on the data size"; this
+//!   is why HDFS wins at small input sizes;
+//! - **no replication**: "it currently does not support build-in
+//!   replications", so capacity is charged once;
+//! - **shared namespace**: any compute node of any sub-cluster can read any
+//!   file — `plan_read` never depends on where the reader sits.
+
+use crate::dfs::{block_len, DfsModel, FileId};
+use crate::error::StorageError;
+use crate::plan::{IoPlan, IoStage, Transfer};
+use cluster::{Node, NodeId};
+use simcore::{FlowNetwork, NetResourceId, SimDuration};
+use std::collections::HashMap;
+
+/// OFS deployment parameters (defaults follow the paper's §II-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfsConfig {
+    /// Stripe size in bytes (paper: set to 128 MB to compare fairly with
+    /// HDFS blocks).
+    pub stripe_size: u64,
+    /// Total storage servers (paper: 32).
+    pub num_servers: u32,
+    /// Servers striping one file (paper: 8).
+    pub servers_per_file: u32,
+    /// Per-server sustained bandwidth in bytes/s (5-disk RAID-5 SATA array).
+    pub server_bandwidth: f64,
+    /// Per-server usable capacity in bytes.
+    pub server_capacity: u64,
+    /// Fixed latency per block/stripe request (client ↔ metadata ↔ server
+    /// round trips). The paper's small-job OFS penalty lives here.
+    pub request_latency: SimDuration,
+    /// Cap on a single client stream, if any (protocol/window limits).
+    pub stream_cap: Option<f64>,
+    /// Stripe replication factor. The paper's OFS "currently does not
+    /// support build-in replications" (factor 1); higher factors model the
+    /// durability upgrade the paper leaves as future work, mirroring each
+    /// stripe onto the next server(s) of the file's set.
+    pub replication: u32,
+}
+
+impl Default for OfsConfig {
+    fn default() -> Self {
+        OfsConfig {
+            stripe_size: 128 << 20,
+            num_servers: 32,
+            servers_per_file: 8,
+            server_bandwidth: 400.0e6,
+            server_capacity: 8 << 40,
+            request_latency: SimDuration::from_millis(120),
+            stream_cap: None,
+            replication: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Server {
+    resource: NetResourceId,
+    used: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OfsFile {
+    size: u64,
+    /// First server of this file's server set (stripe k lives on server
+    /// `(first + k) mod servers_per_file` within the set).
+    first_server: u32,
+    /// Per stripe: (server index, bytes stored) of the *primary* copy —
+    /// the one reads are planned against.
+    stripes: Vec<(usize, u64)>,
+    /// Every charged copy (primaries and replicas), for exact accounting.
+    charges: Vec<(usize, u64)>,
+}
+
+/// The OFS model: 32 dedicated remote storage servers on the HPC fabric.
+#[derive(Debug, Clone)]
+pub struct OfsModel {
+    cfg: OfsConfig,
+    servers: Vec<Server>,
+    files: HashMap<FileId, OfsFile>,
+    cursor: u32,
+}
+
+impl OfsModel {
+    /// Register the storage servers in `net` and return the model.
+    ///
+    /// # Panics
+    /// Panics on zero servers or `servers_per_file > num_servers`.
+    pub fn new(cfg: OfsConfig, net: &mut FlowNetwork) -> Self {
+        assert!(cfg.num_servers >= 1, "OFS needs at least one server");
+        assert!(
+            cfg.servers_per_file >= 1 && cfg.servers_per_file <= cfg.num_servers,
+            "servers_per_file must be within [1, num_servers]"
+        );
+        assert!(
+            cfg.replication >= 1 && cfg.replication <= cfg.servers_per_file,
+            "replication must be within [1, servers_per_file]"
+        );
+        let servers = (0..cfg.num_servers)
+            .map(|i| Server {
+                resource: net.add_resource(format!("ofs/s{i}"), cfg.server_bandwidth),
+                used: 0,
+            })
+            .collect();
+        OfsModel { cfg, servers, files: HashMap::new(), cursor: 0 }
+    }
+
+    /// The server index hosting stripe `block` of `file`.
+    fn server_of(&self, file: &OfsFile, block: u32) -> usize {
+        ((file.first_server + block % self.cfg.servers_per_file) % self.cfg.num_servers) as usize
+    }
+
+    /// Charge `bytes` appended to `file` as new stripes on its server set
+    /// (plus `replication - 1` mirror copies on the following servers);
+    /// rolls back and errors if any server would overflow. Returns the
+    /// primary stripes (for reads) and every charge (for accounting).
+    #[allow(clippy::type_complexity)]
+    fn charge(
+        &mut self,
+        file: &OfsFile,
+        bytes: u64,
+    ) -> Result<(Vec<(usize, u64)>, Vec<(usize, u64)>), StorageError> {
+        let first_new = file.stripes.len() as u32;
+        let nblocks = bytes.div_ceil(self.cfg.stripe_size.max(1)) as u32;
+        let mut primaries: Vec<(usize, u64)> = Vec::new();
+        let mut charged: Vec<(usize, u64)> = Vec::new();
+        for k in 0..nblocks {
+            let len = block_len(bytes, self.cfg.stripe_size, k);
+            let primary = self.server_of(file, first_new + k);
+            for r in 0..self.cfg.replication as usize {
+                let s = (primary + r) % self.cfg.num_servers as usize;
+                if self.servers[s].used + len > self.cfg.server_capacity {
+                    for (s, len) in charged {
+                        self.servers[s].used -= len;
+                    }
+                    return Err(StorageError::CapacityExceeded {
+                        fs: "ofs".into(),
+                        requested: bytes * self.cfg.replication as u64,
+                        available: self
+                            .servers
+                            .iter()
+                            .map(|s| self.cfg.server_capacity - s.used)
+                            .sum(),
+                    });
+                }
+                self.servers[s].used += len;
+                charged.push((s, len));
+                if r == 0 {
+                    primaries.push((s, len));
+                }
+            }
+        }
+        Ok((primaries, charged))
+    }
+
+    /// Bytes stored on server `i` (diagnostics).
+    pub fn server_used(&self, i: usize) -> u64 {
+        self.servers[i].used
+    }
+}
+
+impl DfsModel for OfsModel {
+    fn name(&self) -> &str {
+        "ofs"
+    }
+
+    fn block_size(&self) -> u64 {
+        self.cfg.stripe_size
+    }
+
+    fn create_file(&mut self, id: FileId, size: u64) -> Result<(), StorageError> {
+        if self.files.contains_key(&id) {
+            return Err(StorageError::DuplicateFile(id));
+        }
+        let mut file = OfsFile {
+            size,
+            first_server: self.cursor % self.cfg.num_servers,
+            stripes: Vec::new(),
+            charges: Vec::new(),
+        };
+        let (primaries, charges) = self.charge(&file, size)?;
+        file.stripes = primaries;
+        file.charges = charges;
+        // Rotate the server set so concurrent files spread over all 32.
+        self.cursor = self.cursor.wrapping_add(self.cfg.servers_per_file);
+        self.files.insert(id, file);
+        Ok(())
+    }
+
+    fn delete_file(&mut self, id: FileId) -> bool {
+        let Some(file) = self.files.remove(&id) else { return false };
+        for &(s, len) in &file.charges {
+            self.servers[s].used -= len;
+        }
+        true
+    }
+
+    fn file_size(&self, id: FileId) -> Option<u64> {
+        self.files.get(&id).map(|f| f.size)
+    }
+
+    fn block_hosts(&self, _id: FileId, _block: u32) -> Vec<NodeId> {
+        Vec::new() // remote storage: no block is local to a compute node
+    }
+
+    fn plan_read(&self, id: FileId, block: u32, reader: &Node) -> IoPlan {
+        let file = self.files.get(&id).unwrap_or_else(|| panic!("unknown file {id:?}"));
+        let (server_idx, len) = file.stripes[block as usize];
+        let len = len as f64;
+        let server = &self.servers[server_idx];
+        IoPlan::single(IoStage {
+            latency: self.cfg.request_latency,
+            transfers: vec![Transfer {
+                path: vec![server.resource, reader.nic],
+                bytes: len,
+                rate_cap: self.cfg.stream_cap,
+            }],
+        })
+    }
+
+    fn plan_write(
+        &mut self,
+        id: FileId,
+        bytes: u64,
+        writer: &Node,
+        _pressure: u64,
+    ) -> Result<IoPlan, StorageError> {
+        if bytes == 0 {
+            return Ok(IoPlan::empty());
+        }
+        let mut file = match self.files.get(&id) {
+            Some(f) => f.clone(),
+            None => {
+                let f = OfsFile {
+                    size: 0,
+                    first_server: self.cursor % self.cfg.num_servers,
+                    stripes: Vec::new(),
+                    charges: Vec::new(),
+                };
+                self.cursor = self.cursor.wrapping_add(self.cfg.servers_per_file);
+                f
+            }
+        };
+        let (primaries, charged) = self.charge(&file, bytes)?;
+        // Group the appended bytes per server (every copy is written): one
+        // parallel transfer per touched server (OFS's "parallel access").
+        let mut per_server: HashMap<usize, f64> = HashMap::new();
+        for &(s, len) in &charged {
+            *per_server.entry(s).or_insert(0.0) += len as f64;
+        }
+        let mut servers: Vec<(usize, f64)> = per_server.into_iter().collect();
+        servers.sort_unstable_by_key(|&(s, _)| s); // deterministic plan order
+        let transfers = servers
+            .into_iter()
+            .map(|(s, len)| Transfer {
+                path: vec![writer.nic, self.servers[s].resource],
+                bytes: len,
+                rate_cap: self.cfg.stream_cap,
+            })
+            .collect();
+        file.size += bytes;
+        file.stripes.extend(primaries);
+        file.charges.extend(charged);
+        self.files.insert(id, file);
+        Ok(IoPlan::single(IoStage { latency: self.cfg.request_latency, transfers }))
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.servers.iter().map(|s| s.used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{presets, ClusterSpec, GB, MB};
+
+    fn setup() -> (FlowNetwork, Vec<Node>, OfsModel) {
+        let mut net = FlowNetwork::new();
+        let built =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), 4).build(&mut net, 0);
+        let ofs = OfsModel::new(OfsConfig::default(), &mut net);
+        (net, built.nodes, ofs)
+    }
+
+    #[test]
+    fn registers_all_servers() {
+        let (net, _, ofs) = setup();
+        // 4 scale-out nodes × (disk+nic+membus+shuffle) + 32 servers.
+        assert_eq!(net.num_resources(), 16 + 32);
+        assert_eq!(ofs.used_bytes(), 0);
+    }
+
+    #[test]
+    fn file_stripes_across_its_server_set() {
+        let (_, _, mut ofs) = setup();
+        ofs.create_file(FileId(1), GB).unwrap(); // 8 stripes of 128 MB
+        let touched: usize = (0..32).filter(|&i| ofs.server_used(i) > 0).count();
+        assert_eq!(touched, 8, "1 GB at 128 MB stripes uses exactly the 8-server set");
+        for i in 0..32 {
+            let u = ofs.server_used(i);
+            assert!(u == 0 || u == 128 * MB);
+        }
+    }
+
+    #[test]
+    fn no_replication_charges_bytes_once() {
+        let (_, _, mut ofs) = setup();
+        ofs.create_file(FileId(1), GB).unwrap();
+        assert_eq!(ofs.used_bytes(), GB);
+    }
+
+    #[test]
+    fn reads_have_remote_latency_and_no_locality() {
+        let (_, nodes, mut ofs) = setup();
+        ofs.create_file(FileId(1), 256 * MB).unwrap();
+        assert!(ofs.block_hosts(FileId(1), 0).is_empty());
+        for reader in &nodes {
+            let plan = ofs.plan_read(FileId(1), 1, reader);
+            assert_eq!(plan.stages[0].latency, OfsConfig::default().request_latency);
+            let t = &plan.stages[0].transfers[0];
+            assert_eq!(t.path.len(), 2, "server + reader NIC");
+            assert!(t.path.contains(&reader.nic));
+        }
+    }
+
+    #[test]
+    fn distinct_stripes_hit_distinct_servers() {
+        let (_, nodes, mut ofs) = setup();
+        ofs.create_file(FileId(1), GB).unwrap();
+        let servers: Vec<_> = (0..8)
+            .map(|b| ofs.plan_read(FileId(1), b, &nodes[0]).stages[0].transfers[0].path[0])
+            .collect();
+        let mut unique = servers.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 8, "8 stripes on 8 distinct servers");
+    }
+
+    #[test]
+    fn write_fans_out_to_multiple_servers() {
+        let (_, nodes, mut ofs) = setup();
+        let plan = ofs.plan_write(FileId(5), GB, &nodes[0], GB).unwrap();
+        let stage = &plan.stages[0];
+        assert_eq!(stage.transfers.len(), 8, "one transfer per stripe server");
+        let total: f64 = stage.transfers.iter().map(|t| t.bytes).sum();
+        assert!((total - GB as f64).abs() < 1.0);
+        assert_eq!(ofs.file_size(FileId(5)), Some(GB));
+    }
+
+    #[test]
+    fn successive_files_rotate_server_sets() {
+        let (_, _, mut ofs) = setup();
+        ofs.create_file(FileId(1), 128 * MB).unwrap();
+        ofs.create_file(FileId(2), 128 * MB).unwrap();
+        // File 2's set starts 8 servers later; the single stripes land on
+        // different servers.
+        let s1: Vec<_> = (0..32).filter(|&i| ofs.server_used(i) > 0).collect();
+        assert_eq!(s1.len(), 2);
+        assert!(s1[1] >= 8);
+    }
+
+    #[test]
+    fn delete_frees_stripes() {
+        let (_, _, mut ofs) = setup();
+        ofs.create_file(FileId(1), GB).unwrap();
+        assert!(ofs.delete_file(FileId(1)));
+        assert_eq!(ofs.used_bytes(), 0);
+        assert!(!ofs.delete_file(FileId(1)));
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_server() {
+        let mut net = FlowNetwork::new();
+        let built =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), 1).build(&mut net, 0);
+        let cfg = OfsConfig { server_capacity: 256 * MB, ..OfsConfig::default() };
+        let mut ofs = OfsModel::new(cfg, &mut net);
+        // 8 servers × 256 MB per set = 2 GB fits; 4 GB on one set cannot.
+        assert!(ofs.create_file(FileId(1), 2 * GB).is_ok());
+        let err = ofs.create_file(FileId(2), 4 * GB).unwrap_err();
+        assert!(matches!(err, StorageError::CapacityExceeded { .. }));
+        // Rollback left no partial charge for file 2.
+        assert_eq!(ofs.used_bytes(), 2 * GB);
+        let _ = built;
+    }
+
+    #[test]
+    fn replication_mirrors_stripes_and_charges_capacity() {
+        let mut net = FlowNetwork::new();
+        let built =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), 1).build(&mut net, 0);
+        let cfg = OfsConfig { replication: 2, ..OfsConfig::default() };
+        let mut ofs = OfsModel::new(cfg, &mut net);
+        ofs.create_file(FileId(1), GB).unwrap();
+        assert_eq!(ofs.used_bytes(), 2 * GB, "each stripe charged twice");
+        // Reads still address exactly 8 primary stripes.
+        assert_eq!(ofs.num_blocks(FileId(1)), 8);
+        let plan = ofs.plan_read(FileId(1), 0, &built.nodes[0]);
+        assert_eq!(plan.stages[0].transfers.len(), 1);
+        // Writes fan out to primaries and mirrors.
+        let plan = ofs.plan_write(FileId(2), GB, &built.nodes[0], 0).unwrap();
+        let total: f64 = plan.stages[0].transfers.iter().map(|t| t.bytes).sum();
+        assert!((total - 2.0 * GB as f64).abs() < 1.0);
+        // Delete frees every copy.
+        assert!(ofs.delete_file(FileId(1)));
+        assert!(ofs.delete_file(FileId(2)));
+        assert_eq!(ofs.used_bytes(), 0);
+    }
+
+    #[test]
+    fn append_continues_striping() {
+        let (_, nodes, mut ofs) = setup();
+        ofs.plan_write(FileId(7), 128 * MB, &nodes[0], 0).unwrap();
+        ofs.plan_write(FileId(7), 128 * MB, &nodes[1], 0).unwrap();
+        assert_eq!(ofs.file_size(FileId(7)), Some(256 * MB));
+        assert_eq!(ofs.used_bytes(), 256 * MB);
+        let touched: usize = (0..32).filter(|&i| ofs.server_used(i) > 0).count();
+        assert_eq!(touched, 2, "second stripe lands on the next server in the set");
+    }
+}

@@ -1,0 +1,139 @@
+//! I/O plans: how a file-system operation turns into simulated work.
+//!
+//! Storage models are *passive*: they do not touch the event queue. Given a
+//! read or write request they return an [`IoPlan`] — a sequence of stages the
+//! MapReduce engine then executes. Each stage is a fixed latency (protocol
+//! round-trips, request setup) followed by a set of parallel fluid transfers;
+//! the stage completes when every transfer completes.
+
+use simcore::{NetResourceId, SimDuration};
+
+/// One fluid transfer: `bytes` moved across all resources on `path`
+/// simultaneously (rate = min fair share along the path; see
+/// [`simcore::flownet`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// Resources the transfer occupies (disk, NICs, storage servers...).
+    pub path: Vec<NetResourceId>,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Optional per-transfer rate cap in bytes/s (e.g. a single OFS stream
+    /// cannot exceed one server's stripe bandwidth even on an idle system).
+    pub rate_cap: Option<f64>,
+}
+
+/// A latency followed by parallel transfers; the unit of sequencing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IoStage {
+    /// Fixed setup latency paid before the transfers start.
+    pub latency: SimDuration,
+    /// Transfers that proceed in parallel once the latency has elapsed.
+    pub transfers: Vec<Transfer>,
+}
+
+/// An ordered sequence of stages; stage *k+1* starts when stage *k* is done.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IoPlan {
+    /// The stages, executed in order.
+    pub stages: Vec<IoStage>,
+}
+
+impl IoPlan {
+    /// A plan that completes instantly (e.g. reading zero bytes).
+    pub fn empty() -> Self {
+        IoPlan::default()
+    }
+
+    /// A single-stage plan.
+    pub fn single(stage: IoStage) -> Self {
+        IoPlan { stages: vec![stage] }
+    }
+
+    /// Append a stage, returning self for chaining.
+    pub fn then(mut self, stage: IoStage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Sum of payload bytes across all transfers in all stages.
+    pub fn total_bytes(&self) -> f64 {
+        self.stages
+            .iter()
+            .flat_map(|s| s.transfers.iter())
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Sum of fixed stage latencies.
+    pub fn total_latency(&self) -> SimDuration {
+        self.stages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.latency)
+    }
+
+    /// True when the plan does no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl IoStage {
+    /// A latency-only stage (no transfers).
+    pub fn latency_only(latency: SimDuration) -> Self {
+        IoStage { latency, transfers: Vec::new() }
+    }
+
+    /// A stage with one uncapped transfer and no latency.
+    pub fn transfer(path: Vec<NetResourceId>, bytes: f64) -> Self {
+        IoStage {
+            latency: SimDuration::ZERO,
+            transfers: vec![Transfer { path, bytes, rate_cap: None }],
+        }
+    }
+
+    /// Set the stage latency, returning self for chaining.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Add a parallel transfer, returning self for chaining.
+    pub fn and_transfer(mut self, path: Vec<NetResourceId>, bytes: f64) -> Self {
+        self.transfers.push(Transfer { path, bytes, rate_cap: None });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_across_stages() {
+        let plan = IoPlan::single(
+            IoStage::transfer(vec![NetResourceId(0)], 100.0)
+                .with_latency(SimDuration::from_millis(5)),
+        )
+        .then(IoStage::transfer(vec![NetResourceId(1)], 50.0));
+        assert_eq!(plan.total_bytes(), 150.0);
+        assert_eq!(plan.total_latency(), SimDuration::from_millis(5));
+        assert_eq!(plan.stages.len(), 2);
+    }
+
+    #[test]
+    fn empty_plan_is_trivial() {
+        let p = IoPlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.total_bytes(), 0.0);
+        assert_eq!(p.total_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let stage = IoStage::latency_only(SimDuration::from_millis(1))
+            .and_transfer(vec![NetResourceId(2)], 10.0)
+            .and_transfer(vec![NetResourceId(3)], 20.0);
+        assert_eq!(stage.transfers.len(), 2);
+        assert_eq!(stage.latency, SimDuration::from_millis(1));
+    }
+}

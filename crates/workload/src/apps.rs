@@ -1,0 +1,234 @@
+//! The paper's benchmark applications as cost profiles.
+//!
+//! §III-A: "The applications we use include Wordcount, Grep, and the write
+//! test of TestDFSIO. Among them, Wordcount and Grep are typical
+//! shuffle-intensive applications ... The write test of TestDFSIO is typical
+//! map-intensive". The shuffle/input ratios are the paper's measured
+//! constants: "regardless of the input data size of the jobs, the
+//! shuffle/input ratio of Wordcount and Grep are always around 1.6 and 0.4,
+//! respectively"; for TestDFSIO "the shuffle size (in KB) is negligible".
+
+use mapreduce::JobProfile;
+
+/// Wordcount over Wikipedia-derived text (BigDataBench input): heavy
+/// tokenisation CPU, shuffle/input ≈ 1.6, small output.
+pub fn wordcount() -> JobProfile {
+    JobProfile {
+        name: "wordcount".into(),
+        map_cycles_per_byte: 45.0,
+        reduce_cycles_per_byte: 8.0,
+        shuffle_input_ratio: 1.6,
+        output_input_ratio: 0.05,
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: None,
+    }
+}
+
+/// Grep over the same text: lighter map CPU, shuffle/input ≈ 0.4, small
+/// output ("Wordcount and Grep have only relatively large input and shuffle
+/// size but small output size").
+pub fn grep() -> JobProfile {
+    JobProfile {
+        name: "grep".into(),
+        map_cycles_per_byte: 22.0,
+        reduce_cycles_per_byte: 5.0,
+        shuffle_input_ratio: 0.4,
+        output_input_ratio: 0.02,
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: None,
+    }
+}
+
+/// The TestDFSIO write test: "each map task is responsible for writing a
+/// file ... There is only one reduce task, which collects and aggregates the
+/// statistics". Mappers generate and write data (no DFS input), shuffle is
+/// negligible.
+pub fn testdfsio_write() -> JobProfile {
+    JobProfile {
+        name: "testdfsio-write".into(),
+        map_cycles_per_byte: 3.0,
+        reduce_cycles_per_byte: 0.0,
+        shuffle_input_ratio: 1.0e-6,
+        output_input_ratio: 1.0,
+        maps_read_input: false,
+        maps_write_output: true,
+        fixed_reduces: Some(1),
+    }
+}
+
+/// The TestDFSIO read test (companion of the write test): mappers stream
+/// their file back from the DFS; one statistics reducer.
+pub fn testdfsio_read() -> JobProfile {
+    JobProfile {
+        name: "testdfsio-read".into(),
+        map_cycles_per_byte: 3.0,
+        reduce_cycles_per_byte: 0.0,
+        shuffle_input_ratio: 1.0e-6,
+        output_input_ratio: 0.0,
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: Some(1),
+    }
+}
+
+/// Sort: shuffle/input = output/input = 1.0 — a useful midpoint between
+/// Grep (0.4) and Wordcount (1.6) for cross-point interpolation studies.
+pub fn sort() -> JobProfile {
+    JobProfile {
+        name: "sort".into(),
+        map_cycles_per_byte: 10.0,
+        reduce_cycles_per_byte: 10.0,
+        shuffle_input_ratio: 1.0,
+        output_input_ratio: 1.0,
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: None,
+    }
+}
+
+/// TeraSort: the canonical sort benchmark — shuffle and output both equal
+/// the input, modest CPU (byte comparison and partitioning).
+pub fn terasort() -> JobProfile {
+    JobProfile {
+        name: "terasort".into(),
+        map_cycles_per_byte: 8.0,
+        reduce_cycles_per_byte: 12.0,
+        shuffle_input_ratio: 1.0,
+        output_input_ratio: 1.0,
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: None,
+    }
+}
+
+/// One k-means iteration: CPU-heavy maps (distance computations), tiny
+/// shuffle (per-centroid partial sums) and tiny output — firmly
+/// map-intensive under the paper's classification.
+pub fn kmeans_iteration() -> JobProfile {
+    JobProfile {
+        name: "kmeans-iter".into(),
+        map_cycles_per_byte: 90.0,
+        reduce_cycles_per_byte: 2.0,
+        shuffle_input_ratio: 0.001,
+        output_input_ratio: 0.0005,
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: None,
+    }
+}
+
+/// One PageRank iteration: the rank vector is re-emitted along every edge,
+/// so shuffle roughly matches the (adjacency-list) input; output is the
+/// new rank vector.
+pub fn pagerank_iteration() -> JobProfile {
+    JobProfile {
+        name: "pagerank-iter".into(),
+        map_cycles_per_byte: 15.0,
+        reduce_cycles_per_byte: 10.0,
+        shuffle_input_ratio: 0.9,
+        output_input_ratio: 0.15,
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: None,
+    }
+}
+
+/// A synthetic profile with a chosen shuffle/input ratio, interpolating the
+/// CPU costs between the Grep-like and Wordcount-like endpoints. Used by
+/// trace synthesis and cross-point sweeps over the ratio axis.
+pub fn synthetic(shuffle_input_ratio: f64) -> JobProfile {
+    assert!(
+        (0.0..=4.0).contains(&shuffle_input_ratio),
+        "ratio out of the modelled range"
+    );
+    // More shuffle per input byte implies more map-side processing per byte
+    // (the map function produces the shuffle records).
+    let t = (shuffle_input_ratio / 1.6).min(1.5);
+    JobProfile {
+        name: format!("synthetic-r{shuffle_input_ratio:.2}"),
+        map_cycles_per_byte: 12.0 + 28.0 * t,
+        reduce_cycles_per_byte: 3.0 + 5.0 * t,
+        shuffle_input_ratio,
+        output_input_ratio: 0.1 * shuffle_input_ratio.max(0.2),
+        maps_read_input: true,
+        maps_write_output: false,
+        fixed_reduces: None,
+    }
+}
+
+/// All named presets (for harness enumeration).
+pub fn all() -> Vec<JobProfile> {
+    vec![
+        wordcount(),
+        grep(),
+        testdfsio_write(),
+        testdfsio_read(),
+        sort(),
+        terasort(),
+        kmeans_iteration(),
+        pagerank_iteration(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_paper() {
+        assert_eq!(wordcount().shuffle_input_ratio, 1.6);
+        assert_eq!(grep().shuffle_input_ratio, 0.4);
+        assert!(testdfsio_write().shuffle_input_ratio < 1e-3);
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        assert!(!wordcount().is_map_intensive());
+        assert!(!grep().is_map_intensive()); // 0.4 sits on the boundary, inclusive upward
+        assert!(testdfsio_write().is_map_intensive());
+    }
+
+    #[test]
+    fn dfsio_shape_is_write_only() {
+        let p = testdfsio_write();
+        assert!(!p.maps_read_input);
+        assert!(p.maps_write_output);
+        assert_eq!(p.fixed_reduces, Some(1));
+        assert_eq!(p.output_input_ratio, 1.0);
+    }
+
+    #[test]
+    fn extended_profiles_span_all_scheduler_bands() {
+        // The extension apps land in each of Algorithm 1's three bands.
+        assert!(kmeans_iteration().is_map_intensive());
+        assert!(!pagerank_iteration().is_map_intensive());
+        assert!(pagerank_iteration().shuffle_input_ratio <= 1.0);
+        assert!(terasort().shuffle_input_ratio <= 1.0);
+        assert!(wordcount().shuffle_input_ratio > 1.0);
+    }
+
+    #[test]
+    fn synthetic_covers_the_ratio_axis() {
+        for r in [0.0, 0.2, 0.4, 1.0, 1.6, 2.5] {
+            let p = synthetic(r);
+            assert_eq!(p.shuffle_input_ratio, r);
+            assert!(p.map_cycles_per_byte > 0.0);
+        }
+    }
+
+    #[test]
+    fn synthetic_cpu_grows_with_ratio() {
+        assert!(synthetic(1.6).map_cycles_per_byte > synthetic(0.2).map_cycles_per_byte);
+    }
+
+    #[test]
+    fn all_presets_have_distinct_names() {
+        let names: Vec<_> = all().into_iter().map(|p| p.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

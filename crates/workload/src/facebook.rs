@@ -1,0 +1,261 @@
+//! Synthesis of an FB-2009-like workload trace.
+//!
+//! The paper replays "the Facebook synthesized workload trace FB-2009" —
+//! itself a *synthetic* trace (SWIM) published as statistics, not raw logs.
+//! We re-synthesize from the distribution the paper publishes in Figure 3:
+//!
+//! > "the input data size ranges from KB to TB. Specifically, 40% of the
+//! > jobs process less than 1MB small datasets, 49% of the jobs process 1MB
+//! > to 30GB median datasets, and the rest 11% of the jobs process more
+//! > than 30GB large datasets"
+//!
+//! and applies the paper's §V adjustments: ">6000 jobs", "we shrank the
+//! input/shuffle/output data size of the workload by a factor of 5", jobs
+//! replayed "based on the job arrival time in the traces" (modelled as a
+//! Poisson process over the trace window).
+
+use crate::apps;
+use mapreduce::{JobId, JobSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simcore::dist::{exponential, PiecewiseLogCdf};
+use simcore::rng::substream;
+use simcore::{SimDuration, SimTime};
+
+/// Configuration of the synthetic FB-2009 trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FacebookTraceConfig {
+    /// Number of jobs ("more than 6000 jobs" in the paper).
+    pub jobs: usize,
+    /// RNG seed; the trace is a pure function of this config.
+    pub seed: u64,
+    /// Length of the arrival window.
+    pub window: SimDuration,
+    /// Divide all data sizes by this ("shrank ... by a factor of 5").
+    pub shrink_factor: f64,
+    /// Arrival burstiness; `None` gives a plain Poisson process.
+    pub bursts: Option<BurstModel>,
+}
+
+/// A Markov-modulated Poisson arrival process: the instantaneous rate is
+/// the base rate times a factor redrawn every `epoch`. Production MapReduce
+/// arrivals are strongly bursty/diurnal (Chen et al.), and the burst
+/// periods are what put monster jobs and latency-sensitive small jobs in
+/// the same FIFO queue on a traditional shared cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstModel {
+    /// How long one rate regime lasts.
+    pub epoch: SimDuration,
+    /// `(probability weight, rate multiplier)` regimes; multipliers are
+    /// renormalized so the long-run mean rate matches `jobs / window`.
+    pub regimes: Vec<(f64, f64)>,
+}
+
+impl Default for BurstModel {
+    fn default() -> Self {
+        BurstModel {
+            epoch: SimDuration::from_secs(600),
+            // Half the time quiet, a third nominal, a sixth in a burst.
+            regimes: vec![(0.5, 0.3), (0.33, 1.0), (0.17, 5.0)],
+        }
+    }
+}
+
+impl BurstModel {
+    /// Mean multiplier across regimes (for normalization).
+    fn mean_factor(&self) -> f64 {
+        let total_w: f64 = self.regimes.iter().map(|&(w, _)| w).sum();
+        self.regimes.iter().map(|&(w, f)| w * f).sum::<f64>() / total_w
+    }
+
+    /// Draw a normalized rate factor for one epoch.
+    fn sample_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total_w: f64 = self.regimes.iter().map(|&(w, _)| w).sum();
+        let mut u: f64 = rng.gen::<f64>() * total_w;
+        for &(w, f) in &self.regimes {
+            if u < w {
+                return f / self.mean_factor();
+            }
+            u -= w;
+        }
+        self.regimes.last().expect("regimes non-empty").1 / self.mean_factor()
+    }
+}
+
+impl Default for FacebookTraceConfig {
+    fn default() -> Self {
+        FacebookTraceConfig {
+            jobs: 6000,
+            seed: 2009,
+            // Chosen so the 24-node baselines run at the utilization the
+            // paper's measured sojourns imply (minutes-long tails): the
+            // original trace drove a 600-machine cluster, so replaying it
+            // on 24 machines keeps them under sustained pressure.
+            window: SimDuration::from_secs(8 * 3600),
+            shrink_factor: 5.0,
+            bursts: Some(BurstModel::default()),
+        }
+    }
+}
+
+/// The Figure 3 input-size distribution (bytes), anchored on the published
+/// band fractions: 40 % below 1 MB, 49 % between 1 MB and 30 GB, 11 % above
+/// 30 GB, with KB–TB support.
+pub fn input_size_distribution() -> PiecewiseLogCdf {
+    PiecewiseLogCdf::new(vec![
+        (1.0e3, 0.00),   // 1 KB floor
+        (1.0e6, 0.40),   // 40 % < 1 MB
+        (1.0e8, 0.66),   // intra-band shaping: most medium jobs are tens of
+        (1.0e9, 0.79),   //   MB (Chen et al.: production MapReduce jobs are
+        (1.0e10, 0.86),  //   overwhelmingly small), with a multi-GB tail
+        (3.0e10, 0.89),  // 89 % ≤ 30 GB
+        (1.0e11, 0.955), // a real monster tail: the TB-scale jobs whose map
+        (3.0e11, 0.99),  //   floods block FIFO queues on shared clusters
+        (1.0e12, 1.00),  // 1 TB ceiling
+    ])
+}
+
+/// Draw the shuffle/input ratio class for one job. FB-2009 is dominated by
+/// map-only/ingest jobs, with a substantial aggregation tail; the mix keeps
+/// the three classes of the paper's Algorithm 1 all populated.
+fn sample_ratio<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen();
+    if u < 0.50 {
+        // Map-intensive (ratio < 0.4): filters, loads, ETL projections.
+        rng.gen_range(0.0..0.35)
+    } else if u < 0.85 {
+        // Moderate shuffle (0.4..=1.0): joins, grep-like scans.
+        rng.gen_range(0.4..1.0)
+    } else {
+        // Shuffle-heavy (>1): aggregations, wordcount-like expansions.
+        rng.gen_range(1.1..2.2)
+    }
+}
+
+/// Generate the trace: `jobs` [`JobSpec`]s sorted by submission time.
+///
+/// Ids are assigned in arrival order starting at 0.
+pub fn generate(cfg: &FacebookTraceConfig) -> Vec<JobSpec> {
+    assert!(cfg.jobs > 0, "empty trace requested");
+    assert!(cfg.shrink_factor >= 1.0, "shrink factor must be ≥ 1");
+    let sizes = input_size_distribution();
+    let mut size_rng = substream(cfg.seed, 1);
+    let mut ratio_rng = substream(cfg.seed, 2);
+    let mut arrival_rng = substream(cfg.seed, 3);
+    let mean_interarrival = cfg.window.as_secs_f64() / cfg.jobs as f64;
+
+    let mut t = 0.0f64;
+    let mut specs = Vec::with_capacity(cfg.jobs);
+    let mut burst_rng = substream(cfg.seed, 4);
+    let mut epoch_end = 0.0f64;
+    let mut factor = 1.0f64;
+    for i in 0..cfg.jobs {
+        // Advance through rate regimes; interarrivals scale inversely with
+        // the current regime's rate factor.
+        if let Some(bursts) = &cfg.bursts {
+            while t >= epoch_end {
+                factor = bursts.sample_factor(&mut burst_rng);
+                epoch_end += bursts.epoch.as_secs_f64();
+            }
+        }
+        t += exponential(&mut arrival_rng, mean_interarrival / factor);
+        let raw = sizes.sample(&mut size_rng);
+        let size = (raw / cfg.shrink_factor).max(1.0) as u64;
+        let ratio = sample_ratio(&mut ratio_rng);
+        let profile = apps::synthetic(ratio);
+        specs.push(JobSpec {
+            id: JobId(i as u32),
+            profile,
+            input_size: size,
+            submit: SimTime::from_secs_f64(t),
+        });
+    }
+    specs
+}
+
+/// Serialize a trace to JSON (one self-contained document).
+pub fn to_json(specs: &[JobSpec]) -> String {
+    serde_json::to_string_pretty(specs).expect("trace serialization cannot fail")
+}
+
+/// Load a trace back from JSON.
+///
+/// # Errors
+/// Returns the underlying serde error on malformed input.
+pub fn from_json(json: &str) -> Result<Vec<JobSpec>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_fractions_match_figure_3() {
+        let cfg = FacebookTraceConfig { shrink_factor: 1.0, ..Default::default() };
+        let specs = generate(&cfg);
+        let n = specs.len() as f64;
+        let small = specs.iter().filter(|s| s.input_size < 1_000_000).count() as f64 / n;
+        let large = specs.iter().filter(|s| s.input_size > 30_000_000_000).count() as f64 / n;
+        let median = 1.0 - small - large;
+        assert!((small - 0.40).abs() < 0.03, "small band {small}");
+        assert!((median - 0.49).abs() < 0.03, "median band {median}");
+        assert!((large - 0.11).abs() < 0.03, "large band {large}");
+    }
+
+    #[test]
+    fn shrink_divides_sizes() {
+        let base = FacebookTraceConfig { shrink_factor: 1.0, ..Default::default() };
+        let shrunk = FacebookTraceConfig::default(); // 5×
+        let a = generate(&base);
+        let b = generate(&shrunk);
+        let mean_a: f64 = a.iter().map(|s| s.input_size as f64).sum::<f64>() / a.len() as f64;
+        let mean_b: f64 = b.iter().map(|s| s.input_size as f64).sum::<f64>() / b.len() as f64;
+        assert!((mean_a / mean_b - 5.0).abs() < 0.1, "ratio {}", mean_a / mean_b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_span_the_window() {
+        let specs = generate(&FacebookTraceConfig::default());
+        assert!(specs.windows(2).all(|w| w[0].submit <= w[1].submit));
+        let last = specs.last().unwrap().submit.as_secs_f64();
+        let window = FacebookTraceConfig::default().window.as_secs_f64();
+        assert!(last > 0.5 * window && last < 1.5 * window, "last arrival {last}");
+    }
+
+    #[test]
+    fn trace_is_deterministic_in_seed() {
+        let cfg = FacebookTraceConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = FacebookTraceConfig { seed: 7, ..cfg };
+        assert_ne!(generate(&other), generate(&FacebookTraceConfig::default()));
+    }
+
+    #[test]
+    fn all_ratio_classes_are_populated() {
+        let specs = generate(&FacebookTraceConfig::default());
+        let low = specs.iter().filter(|s| s.profile.shuffle_input_ratio < 0.4).count();
+        let mid = specs
+            .iter()
+            .filter(|s| (0.4..=1.0).contains(&s.profile.shuffle_input_ratio))
+            .count();
+        let high = specs.iter().filter(|s| s.profile.shuffle_input_ratio > 1.0).count();
+        assert!(low > 1000 && mid > 500 && high > 200, "{low}/{mid}/{high}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_trace() {
+        let cfg = FacebookTraceConfig { jobs: 50, ..Default::default() };
+        let specs = generate(&cfg);
+        let json = to_json(&specs);
+        let back = from_json(&json).unwrap();
+        assert_eq!(specs, back);
+    }
+
+    #[test]
+    fn sizes_have_a_floor_of_one_byte() {
+        let cfg = FacebookTraceConfig { shrink_factor: 1e9, jobs: 100, ..Default::default() };
+        let specs = generate(&cfg);
+        assert!(specs.iter().all(|s| s.input_size >= 1));
+    }
+}

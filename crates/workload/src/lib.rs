@@ -1,0 +1,15 @@
+//! # workload — applications and trace synthesis
+//!
+//! The paper's benchmark applications ([`apps`]: Wordcount, Grep, TestDFSIO,
+//! plus Sort and a ratio-parameterized synthetic family) and the FB-2009
+//! Facebook workload re-synthesis ([`facebook`]) used by the §V trace-driven
+//! evaluation, matching the published Figure 3 input-size distribution.
+
+pub mod apps;
+pub mod facebook;
+pub mod stats;
+pub mod swim;
+
+pub use facebook::{generate as generate_facebook_trace, BurstModel, FacebookTraceConfig};
+pub use stats::{analyze as analyze_trace, TraceStats};
+pub use swim::{parse as parse_swim_trace, to_job_specs as swim_to_job_specs, SwimJob};

@@ -1,0 +1,140 @@
+//! Trace statistics — the quantities a capacity planner reads off a
+//! workload before choosing a hybrid mix.
+
+use crate::facebook;
+use mapreduce::JobSpec;
+use scheduler::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Total input bytes across all jobs.
+    pub total_input: u64,
+    /// Total shuffle bytes (input × per-job ratio).
+    pub total_shuffle: u64,
+    /// Jobs the default cross-point scheduler routes to scale-up.
+    pub scale_up_jobs: usize,
+    /// Input bytes carried by the scale-up class.
+    pub scale_up_input: u64,
+    /// Jobs per Figure 3 band: `< 1 MB`, `1 MB..=30 GB`, `> 30 GB`
+    /// (pre-shrink band edges applied to the trace's actual sizes).
+    pub band_counts: [usize; 3],
+    /// Arrival span in seconds (first to last submission).
+    pub span_secs: f64,
+    /// Burstiness index: the peak 60-second arrival count divided by the
+    /// mean 60-second arrival count. 1.0 ≈ uniform; FB-like traces run
+    /// well above 2.
+    pub burstiness: f64,
+}
+
+/// Compute [`TraceStats`] for a trace (jobs need not be sorted).
+pub fn analyze(trace: &[JobSpec]) -> TraceStats {
+    assert!(!trace.is_empty(), "empty trace");
+    let classifier = CrossPointScheduler::default();
+    let loads = ClusterLoads::default();
+    let mut stats = TraceStats {
+        jobs: trace.len(),
+        total_input: 0,
+        total_shuffle: 0,
+        scale_up_jobs: 0,
+        scale_up_input: 0,
+        band_counts: [0; 3],
+        span_secs: 0.0,
+        burstiness: 1.0,
+    };
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    for j in trace {
+        stats.total_input += j.input_size;
+        stats.total_shuffle += j.profile.shuffle_bytes(j.input_size);
+        if classifier.place(j, &loads) == Placement::ScaleUp {
+            stats.scale_up_jobs += 1;
+            stats.scale_up_input += j.input_size;
+        }
+        let band = if j.input_size < 1_000_000 {
+            0
+        } else if j.input_size <= 30_000_000_000 {
+            1
+        } else {
+            2
+        };
+        stats.band_counts[band] += 1;
+        let t = j.submit.as_secs_f64();
+        t_min = t_min.min(t);
+        t_max = t_max.max(t);
+    }
+    stats.span_secs = (t_max - t_min).max(0.0);
+
+    // Burstiness over fixed 60 s bins.
+    let bins = ((stats.span_secs / 60.0).ceil() as usize).max(1);
+    let mut counts = vec![0u32; bins];
+    for j in trace {
+        let bin = (((j.submit.as_secs_f64() - t_min) / 60.0) as usize).min(bins - 1);
+        counts[bin] += 1;
+    }
+    let mean = trace.len() as f64 / bins as f64;
+    let peak = counts.iter().copied().max().unwrap_or(0) as f64;
+    stats.burstiness = if mean > 0.0 { peak / mean } else { 1.0 };
+    stats
+}
+
+/// Analyze a generated FB-2009 config directly.
+pub fn analyze_config(cfg: &facebook::FacebookTraceConfig) -> TraceStats {
+    analyze(&facebook::generate(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facebook::{generate, BurstModel, FacebookTraceConfig};
+
+    #[test]
+    fn totals_and_bands_are_consistent() {
+        let cfg = FacebookTraceConfig { jobs: 500, ..Default::default() };
+        let stats = analyze(&generate(&cfg));
+        assert_eq!(stats.jobs, 500);
+        assert_eq!(stats.band_counts.iter().sum::<usize>(), 500);
+        assert!(stats.total_shuffle > 0);
+        assert!(stats.scale_up_jobs > stats.jobs / 2, "FB traces are small-job heavy");
+        assert!(stats.scale_up_input <= stats.total_input);
+        assert!(stats.span_secs > 0.0);
+    }
+
+    #[test]
+    fn bursty_traces_measure_burstier_than_uniform() {
+        let uniform = FacebookTraceConfig { jobs: 3000, bursts: None, ..Default::default() };
+        let bursty = FacebookTraceConfig {
+            jobs: 3000,
+            bursts: Some(BurstModel::default()),
+            ..Default::default()
+        };
+        let u = analyze(&generate(&uniform));
+        let b = analyze(&generate(&bursty));
+        assert!(
+            b.burstiness > 1.5 * u.burstiness,
+            "bursty {:.2} vs uniform {:.2}",
+            b.burstiness,
+            u.burstiness
+        );
+    }
+
+    #[test]
+    fn scale_up_class_carries_minority_of_bytes() {
+        // Most *jobs* are scale-up class, but most *bytes* belong to the
+        // large scale-out jobs — the asymmetry the hybrid design exploits.
+        let stats = analyze_config(&FacebookTraceConfig { jobs: 2000, ..Default::default() });
+        let up_frac_jobs = stats.scale_up_jobs as f64 / stats.jobs as f64;
+        let up_frac_bytes = stats.scale_up_input as f64 / stats.total_input as f64;
+        assert!(up_frac_jobs > 0.8);
+        assert!(up_frac_bytes < 0.5, "up class holds {:.0}% of bytes", up_frac_bytes * 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn rejects_empty_traces() {
+        analyze(&[]);
+    }
+}

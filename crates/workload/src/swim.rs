@@ -1,0 +1,241 @@
+//! SWIM trace import.
+//!
+//! The FB-2009 workload the paper replays is published by the SWIM project
+//! (Chen et al., "Interactive Analytical Processing in Big Data Systems" —
+//! the paper's reference \[9\]) as tab-separated text, one job per line:
+//!
+//! ```text
+//! job_id \t submit_secs \t inter_arrival_secs \t input_bytes \t shuffle_bytes \t output_bytes
+//! ```
+//!
+//! This module parses that format into [`JobSpec`]s so a real published
+//! trace can be replayed instead of (or beside) our Figure 3 re-synthesis.
+//! The shuffle/input and output/input ratios come straight from the trace
+//! columns — exactly the quantities the paper's Algorithm 1 consumes.
+
+use crate::apps;
+use mapreduce::{JobId, JobSpec};
+use simcore::SimTime;
+use std::fmt;
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwimParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SwimParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SWIM trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwimParseError {}
+
+/// One parsed SWIM record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwimJob {
+    /// Job identifier from the trace.
+    pub id: String,
+    /// Submission time, seconds from trace start.
+    pub submit_secs: f64,
+    /// Input bytes.
+    pub input_bytes: u64,
+    /// Shuffle bytes.
+    pub shuffle_bytes: u64,
+    /// Output bytes.
+    pub output_bytes: u64,
+}
+
+impl SwimJob {
+    /// The placement-deciding ratio; zero-input jobs count as map-intensive.
+    pub fn shuffle_input_ratio(&self) -> f64 {
+        if self.input_bytes == 0 {
+            0.0
+        } else {
+            self.shuffle_bytes as f64 / self.input_bytes as f64
+        }
+    }
+}
+
+/// Parse SWIM text. Empty lines and `#` comments are skipped.
+///
+/// # Errors
+/// Returns the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<SwimJob>, SwimParseError> {
+    let mut jobs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 6 {
+            return Err(SwimParseError {
+                line: i + 1,
+                message: format!("expected 6 tab-separated fields, got {}", fields.len()),
+            });
+        }
+        let parse_f = |s: &str, what: &str| {
+            s.trim().parse::<f64>().map_err(|e| SwimParseError {
+                line: i + 1,
+                message: format!("bad {what} {s:?}: {e}"),
+            })
+        };
+        let parse_u = |s: &str, what: &str| {
+            s.trim().parse::<u64>().map_err(|e| SwimParseError {
+                line: i + 1,
+                message: format!("bad {what} {s:?}: {e}"),
+            })
+        };
+        let submit = parse_f(fields[1], "submit time")?;
+        if !submit.is_finite() || submit < 0.0 {
+            return Err(SwimParseError {
+                line: i + 1,
+                message: format!("submit time must be non-negative, got {submit}"),
+            });
+        }
+        jobs.push(SwimJob {
+            id: fields[0].trim().to_string(),
+            submit_secs: submit,
+            input_bytes: parse_u(fields[3], "input bytes")?,
+            shuffle_bytes: parse_u(fields[4], "shuffle bytes")?,
+            output_bytes: parse_u(fields[5], "output bytes")?,
+        });
+    }
+    jobs.sort_by(|a, b| a.submit_secs.total_cmp(&b.submit_secs));
+    Ok(jobs)
+}
+
+/// Convert parsed SWIM jobs into simulator [`JobSpec`]s, applying the
+/// paper's size shrink factor to input/shuffle/output alike (§V: "we shrank
+/// the input/shuffle/output data size of the workload by a factor of 5").
+pub fn to_job_specs(jobs: &[SwimJob], shrink_factor: f64) -> Vec<JobSpec> {
+    assert!(shrink_factor >= 1.0, "shrink factor must be ≥ 1");
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let input = ((j.input_bytes as f64 / shrink_factor) as u64).max(1);
+            let ratio = j.shuffle_input_ratio().clamp(0.0, 4.0);
+            let mut profile = apps::synthetic(ratio);
+            profile.name = format!("swim-{}", j.id);
+            // Preserve the trace's own output ratio rather than the
+            // synthetic default.
+            profile.output_input_ratio = if j.input_bytes == 0 {
+                0.0
+            } else {
+                (j.output_bytes as f64 / j.input_bytes as f64).min(4.0)
+            };
+            JobSpec {
+                id: JobId(i as u32),
+                profile,
+                input_size: input,
+                submit: SimTime::from_secs_f64(j.submit_secs),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# FB-2009 style sample
+job1\t0.0\t0.0\t1048576\t419430\t104857
+job2\t14.2\t14.2\t32212254720\t51539607552\t1073741824
+job3\t5.0\t0.0\t0\t0\t0
+";
+
+    #[test]
+    fn parses_and_sorts_by_submit_time() {
+        let jobs = parse(SAMPLE).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].id, "job1");
+        assert_eq!(jobs[1].id, "job3", "sorted by submit time");
+        assert_eq!(jobs[2].id, "job2");
+        assert_eq!(jobs[2].input_bytes, 32212254720);
+    }
+
+    #[test]
+    fn ratios_come_from_the_columns() {
+        let jobs = parse(SAMPLE).unwrap();
+        let j2 = jobs.iter().find(|j| j.id == "job2").unwrap();
+        assert!((j2.shuffle_input_ratio() - 1.6).abs() < 0.01);
+        let j3 = jobs.iter().find(|j| j.id == "job3").unwrap();
+        assert_eq!(j3.shuffle_input_ratio(), 0.0, "zero input → map-intensive");
+    }
+
+    #[test]
+    fn conversion_applies_shrink_and_preserves_ratios() {
+        let jobs = parse(SAMPLE).unwrap();
+        let specs = to_job_specs(&jobs, 5.0);
+        assert_eq!(specs.len(), 3);
+        let big = specs.iter().find(|s| s.profile.name == "swim-job2").unwrap();
+        assert_eq!(big.input_size, 32212254720 / 5);
+        assert!((big.profile.shuffle_input_ratio - 1.6).abs() < 0.01);
+        assert!((big.profile.output_input_ratio - 1.0 / 30.0).abs() < 0.01);
+        assert!(specs.windows(2).all(|w| w[0].submit <= w[1].submit));
+    }
+
+    #[test]
+    fn rejects_short_lines_with_location() {
+        let err = parse("job1\t1.0\t0.0\t100\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("6 tab-separated"));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_garbage_numbers() {
+        let err = parse("job1\tnope\t0\t1\t2\t3\n").unwrap_err();
+        assert!(err.message.contains("submit time"));
+        let err = parse("job1\t1.0\t0\t-5\t2\t3\n").unwrap_err();
+        assert!(err.message.contains("input bytes"));
+        let err = parse("job1\t-2.0\t0\t1\t2\t3\n").unwrap_err();
+        assert!(err.message.contains("non-negative"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let jobs = parse("# header\n\n  \njob1\t0\t0\t1\t1\t1\n").unwrap();
+        assert_eq!(jobs.len(), 1);
+    }
+
+    #[test]
+    fn zero_input_job_converts_safely() {
+        let jobs = parse(SAMPLE).unwrap();
+        let specs = to_job_specs(&jobs, 5.0);
+        let zero = specs.iter().find(|s| s.profile.name == "swim-job3").unwrap();
+        assert_eq!(zero.input_size, 1, "floored to one byte");
+        assert_eq!(zero.profile.output_input_ratio, 0.0);
+    }
+
+    #[test]
+    fn imported_trace_runs_end_to_end() {
+        // The full path: SWIM text → specs → simulation.
+        let specs = to_job_specs(&parse(SAMPLE).unwrap(), 5.0);
+        let mut net = simcore::FlowNetwork::new();
+        let built = cluster::ClusterSpec::homogeneous(
+            "out",
+            cluster::presets::scale_out_machine(),
+            4,
+        )
+        .build(&mut net, 0);
+        let dfs = storage::OfsModel::new(storage::OfsConfig::default(), &mut net);
+        let mut sim = mapreduce::Simulation::new(
+            net,
+            Box::new(dfs),
+            vec![(built, mapreduce::EngineConfig::scale_out())],
+        );
+        for spec in specs {
+            sim.submit(spec, 0);
+        }
+        let results = sim.run();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.succeeded()));
+    }
+}

@@ -1,0 +1,92 @@
+//! Capacity planning: given a fixed hardware budget, which mix of scale-up
+//! and scale-out machines serves a target workload best?
+//!
+//! The paper fixes the mix at 2 + 12 by matching its testbed; this example
+//! uses the cost model to enumerate equal-cost mixes and replays the same
+//! workload sample against each — the kind of what-if a deployment team
+//! would run before buying hardware.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cluster::{cost, presets, ClusterSpec};
+use hybrid_hadoop::prelude::*;
+use mapreduce::Simulation;
+use simcore::FlowNetwork;
+use storage::{OfsConfig, OfsModel};
+
+/// Build a custom hybrid deployment with `n_up` + `n_out` machines on OFS
+/// and replay `trace` through the cross-point scheduler.
+fn replay_mix(n_up: u32, n_out: u32, trace: &[JobSpec]) -> (f64, f64) {
+    let mut net = FlowNetwork::new();
+    let mut clusters = Vec::new();
+    let mut first = 0;
+    if n_up > 0 {
+        let b = ClusterSpec::homogeneous("scale-up", presets::scale_up_machine(), n_up)
+            .build(&mut net, first);
+        first += b.nodes.len() as u32;
+        clusters.push((b, EngineConfig::scale_up()));
+    }
+    if n_out > 0 {
+        let b = ClusterSpec::homogeneous("scale-out", presets::scale_out_machine(), n_out)
+            .build(&mut net, first);
+        clusters.push((b, EngineConfig::scale_out()));
+    }
+    let dfs = OfsModel::new(OfsConfig::default(), &mut net);
+    let mut sim = Simulation::new(net, Box::new(dfs), clusters);
+
+    let policy = CrossPointScheduler::default();
+    let up_exists = n_up > 0;
+    let out_exists = n_out > 0;
+    for spec in trace {
+        let target = match policy.place(spec, &ClusterLoads::default()) {
+            Placement::ScaleUp if up_exists => 0,
+            Placement::ScaleOut if !out_exists => 0,
+            Placement::ScaleUp => 0,
+            Placement::ScaleOut => usize::from(up_exists),
+        };
+        sim.submit(spec.clone(), target);
+    }
+    let results = sim.run();
+    let execs: Vec<f64> = results
+        .iter()
+        .filter(|r| r.succeeded())
+        .map(|r| r.execution.as_secs_f64())
+        .collect();
+    let cdf = EmpiricalCdf::new(execs);
+    (cdf.quantile(0.5).unwrap_or(f64::NAN), cdf.quantile(0.99).unwrap_or(f64::NAN))
+}
+
+fn main() {
+    let budget = 96_000.0;
+    let up_price = presets::scale_up_machine().price_usd;
+    let out_price = presets::scale_out_machine().price_usd;
+    let mixes = cost::mixes_within_budget(up_price, out_price, budget, 0.001);
+    println!("equal-cost mixes for a ${budget:.0} budget: {mixes:?}\n");
+
+    let cfg = FacebookTraceConfig {
+        jobs: 1000,
+        window: SimDuration::from_secs(3600),
+        ..Default::default()
+    };
+    let trace = generate_facebook_trace(&cfg);
+
+    println!("{:>5} {:>6} | {:>9} {:>9}", "up", "out", "p50", "p99");
+    println!("{}", "-".repeat(36));
+    let results = parsweep::par_map(mixes.clone(), |(n_up, n_out)| {
+        if n_up == 0 && n_out == 0 {
+            return (n_up, n_out, f64::NAN, f64::NAN);
+        }
+        let (p50, p99) = replay_mix(n_up, n_out, &trace);
+        (n_up, n_out, p50, p99)
+    });
+    for (n_up, n_out, p50, p99) in results {
+        if p50.is_nan() {
+            continue;
+        }
+        println!("{n_up:>5} {n_out:>6} | {p50:>8.1}s {p99:>8.1}s");
+    }
+    println!("\nPure fleets lose either the small-job latency (0 up) or the big-job");
+    println!("bandwidth (0 out); the paper's 2+12 mix balances both.");
+}

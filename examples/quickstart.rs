@@ -1,0 +1,41 @@
+//! Quickstart: run one job on each architecture and see the paper's core
+//! effect — small jobs favour scale-up, large jobs favour scale-out, and
+//! the cross-point scheduler picks correctly in both cases.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hybrid_hadoop::prelude::*;
+
+fn main() {
+    let scheduler = CrossPointScheduler::default();
+
+    for (label, size) in [("small (2 GB)", 2 * GB), ("large (64 GB)", 64 * GB)] {
+        println!("== Wordcount, {label} input ==");
+        let mut best: Option<(&str, f64)> = None;
+        for arch in Architecture::TABLE_I {
+            let r = run_job(arch, &apps::wordcount(), size);
+            match &r.failed {
+                Some(reason) => println!("  {:>8}: failed ({reason})", arch.name()),
+                None => {
+                    let t = r.execution.as_secs_f64();
+                    println!(
+                        "  {:>8}: {:6.1}s  ({} maps in {} waves)",
+                        arch.name(),
+                        t,
+                        r.maps,
+                        r.map_waves
+                    );
+                    if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                        best = Some((arch.name(), t));
+                    }
+                }
+            }
+        }
+        let (winner, _) = best.expect("at least one architecture succeeded");
+        let spec = JobSpec::at_zero(0, apps::wordcount(), size);
+        let choice = scheduler.place(&spec, &ClusterLoads::default());
+        println!("  fastest: {winner};  Algorithm 1 routes this job to {choice:?}\n");
+    }
+}

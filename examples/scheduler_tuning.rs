@@ -1,0 +1,87 @@
+//! Re-derive the cross-point thresholds from measurements — the paper's
+//! §IV methodology as a program: "Other designers can follow the same
+//! method to measure the cross points in their systems and develop the
+//! hybrid architecture."
+//!
+//! Sweeps three ratio-representative applications over up-OFS and out-OFS,
+//! estimates each band's crossover, builds a calibrated scheduler, and
+//! compares it with the paper's published thresholds on a workload sample.
+//!
+//! ```text
+//! cargo run --release --example scheduler_tuning
+//! ```
+
+use hybrid_hadoop::prelude::*;
+use scheduler::calibrate_scheduler;
+
+const GB: u64 = 1 << 30;
+
+fn main() {
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64].map(|g| g * GB).to_vec();
+
+    // One representative per Algorithm 1 band (the paper used Wordcount,
+    // Grep and TestDFSIO-write for exactly these three).
+    let high = cross_point_sweep(&apps::wordcount(), &sizes);
+    let mid = cross_point_sweep(&apps::grep(), &sizes);
+    let low = cross_point_sweep(&apps::testdfsio_write(), &sizes);
+
+    for (name, pts) in [("wordcount", &high), ("grep", &mid), ("testdfsio", &low)] {
+        let cross = estimate_cross_point(pts)
+            .map(|x| format!("{:.1} GB", x / GB as f64))
+            .unwrap_or_else(|| "none".into());
+        println!("{name:<10} measured cross point: {cross}");
+    }
+
+    let calibrated = calibrate_scheduler(&high, &mid, &low);
+    let paper = CrossPointScheduler::default();
+    println!("\nthresholds (GB):        S/I>1   0.4..1   <0.4");
+    println!(
+        "  paper (Algorithm 1):  {:>5.1}  {:>7.1}  {:>5.1}",
+        paper.high_ratio_threshold as f64 / GB as f64,
+        paper.mid_ratio_threshold as f64 / GB as f64,
+        paper.map_intensive_threshold as f64 / GB as f64
+    );
+    println!(
+        "  calibrated:           {:>5.1}  {:>7.1}  {:>5.1}",
+        calibrated.high_ratio_threshold as f64 / GB as f64,
+        calibrated.mid_ratio_threshold as f64 / GB as f64,
+        calibrated.map_intensive_threshold as f64 / GB as f64
+    );
+
+    // The paper's suggested refinement: "a fine-grained ratio partition can
+    // be conducted from more experiments". Calibrate a five-band scheduler
+    // from per-band sweeps of the synthetic profile family.
+    let band_edges = [0.2, 0.4, 0.8, 1.2, f64::INFINITY];
+    let band_sweeps: Vec<(f64, Vec<scheduler::SweepPoint>)> = band_edges
+        .iter()
+        .map(|&edge| {
+            let representative = if edge.is_infinite() { 1.8 } else { edge * 0.8 };
+            (edge, cross_point_sweep(&apps::synthetic(representative), &sizes))
+        })
+        .collect();
+    let fine = calibrate_bands(&band_sweeps, |_| 10 * GB);
+    println!("\nfine-grained bands (S/I ≤ edge → threshold):");
+    for band in fine.bands() {
+        println!(
+            "  ≤ {:>5}  → {:>5.1} GB",
+            if band.max_ratio.is_infinite() { "∞".into() } else { format!("{:.1}", band.max_ratio) },
+            band.threshold as f64 / GB as f64
+        );
+    }
+
+    // How often do the two schedulers disagree on a realistic workload?
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 2000,
+        ..Default::default()
+    });
+    let loads = ClusterLoads::default();
+    let disagreements = trace
+        .iter()
+        .filter(|j| paper.place(j, &loads) != calibrated.place(j, &loads))
+        .count();
+    println!(
+        "\nplacement disagreement on a 2000-job FB-2009 sample: {} jobs ({:.2}%)",
+        disagreements,
+        100.0 * disagreements as f64 / trace.len() as f64
+    );
+}

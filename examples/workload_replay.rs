@@ -1,0 +1,72 @@
+//! Replay an FB-2009-style production workload on the hybrid architecture
+//! and the two equal-cost baselines — the paper's §V experiment, scaled to
+//! run in a few seconds. Pass `--full` for the full 6000-job synthesis, or
+//! `--swim <file>` to replay a real SWIM-format trace (the format the
+//! original FB-2009 workload is published in).
+//!
+//! ```text
+//! cargo run --release --example workload_replay [-- --full | --swim trace.tsv]
+//! ```
+
+use hybrid_hadoop::prelude::*;
+
+fn load_trace() -> Vec<JobSpec> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--swim") {
+        let path = args.get(pos + 1).expect("--swim needs a file path");
+        let text = std::fs::read_to_string(path).expect("read SWIM trace");
+        let jobs = workload::parse_swim_trace(&text).expect("parse SWIM trace");
+        println!("replaying SWIM trace {path}: {} jobs (sizes shrunk 5x)\n", jobs.len());
+        return workload::swim_to_job_specs(&jobs, 5.0);
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let cfg = if full {
+        FacebookTraceConfig::default()
+    } else {
+        FacebookTraceConfig {
+            jobs: 1500,
+            window: SimDuration::from_secs(2 * 3600),
+            ..Default::default()
+        }
+    };
+    println!(
+        "trace: {} jobs over {:.1} h (sizes shrunk {}x)\n",
+        cfg.jobs,
+        cfg.window.as_secs_f64() / 3600.0,
+        cfg.shrink_factor
+    );
+    generate_facebook_trace(&cfg)
+}
+
+fn main() {
+    let trace = load_trace();
+
+    let crosspoint = CrossPointScheduler::default();
+    let always_out = AlwaysOut;
+    for arch in Architecture::TRACE_CONTENDERS {
+        let policy: &dyn JobPlacement = match arch {
+            Architecture::Hybrid => &crosspoint,
+            _ => &always_out,
+        };
+        let outcome = run_trace(arch, policy, &trace);
+        let up = outcome.up_cdf();
+        let out = outcome.out_cdf();
+        println!("{:<8} ({} failures)", arch.name(), outcome.failures());
+        println!(
+            "  scale-up jobs  (n={:>5}): p50 {:>7.1}s  p90 {:>7.1}s  max {:>7.1}s",
+            up.len(),
+            up.quantile(0.5).unwrap_or(0.0),
+            up.quantile(0.9).unwrap_or(0.0),
+            up.max().unwrap_or(0.0)
+        );
+        println!(
+            "  scale-out jobs (n={:>5}): p50 {:>7.1}s  p90 {:>7.1}s  max {:>7.1}s",
+            out.len(),
+            out.quantile(0.5).unwrap_or(0.0),
+            out.quantile(0.9).unwrap_or(0.0),
+            out.max().unwrap_or(0.0)
+        );
+    }
+    println!("\nThe hybrid architecture dominates the traditional (THadoop) baseline on");
+    println!("both job classes; see EXPERIMENTS.md for the full Figure 10 CDFs.");
+}

@@ -1,0 +1,64 @@
+//! # hybrid-hadoop — a hybrid scale-up/out Hadoop architecture, simulated
+//!
+//! A full-system reproduction of *"Designing A Hybrid Scale-Up/Out Hadoop
+//! Architecture Based on Performance Measurements for High Application
+//! Performance"* (Li & Shen, ICPP 2015): a deterministic discrete-event
+//! simulator of Hadoop 1.x over scale-up and scale-out clusters, HDFS and
+//! remote-parallel-FS (OrangeFS-style) storage models, the paper's
+//! cross-point scheduler (Algorithm 1), workload/trace synthesis, and an
+//! experiment harness regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hybrid_hadoop::prelude::*;
+//!
+//! // One 1 GB Grep on each of the paper's four measurement architectures.
+//! for arch in Architecture::TABLE_I {
+//!     let r = run_job(arch, &apps::grep(), 1 << 30);
+//!     println!("{:>8}: {:.1}s", arch.name(), r.execution.as_secs_f64());
+//!     assert!(r.succeeded());
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`simcore`] | event queue, fluid flow network, deterministic RNG |
+//! | [`cluster`] | machine/cluster hardware models, paper presets, cost model |
+//! | [`storage`] | HDFS and OFS models producing I/O plans |
+//! | [`mapreduce`] | the job/task/slot/phase execution engine |
+//! | [`workload`] | application profiles and FB-2009 trace synthesis |
+//! | [`scheduler`] | Algorithm 1, baselines, cross-point calibration |
+//! | [`hybrid_core`] | architectures, runners, sweeps, trace replay |
+//! | [`metrics`] | CDFs, series, stats, table rendering |
+//! | [`parsweep`] | work-stealing parallel sweep execution |
+
+pub use cluster;
+pub use hybrid_core;
+pub use mapreduce;
+pub use metrics;
+pub use parsweep;
+pub use scheduler;
+pub use simcore;
+pub use storage;
+pub use workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cluster::{ClusterSpec, MachineSpec, GB, KB, MB, TB};
+    pub use hybrid_core::{
+        cross_point_sweep, grids, run_job, run_job_with, run_trace, sweep, Architecture,
+        Deployment, DeploymentTuning, TraceOutcome,
+    };
+    pub use mapreduce::{EngineConfig, JobId, JobProfile, JobResult, JobSpec, Simulation};
+    pub use metrics::{EmpiricalCdf, Series};
+    pub use scheduler::{
+        calibrate_bands, estimate_cross_point, AlwaysOut, AlwaysUp, BandScheduler, ClusterLoads,
+        CrossPointScheduler, JobPlacement, LoadAwareScheduler, Placement, RatioBand,
+        SizeOnlyScheduler,
+    };
+    pub use simcore::{SimDuration, SimTime};
+    pub use workload::{apps, generate_facebook_trace, FacebookTraceConfig};
+}

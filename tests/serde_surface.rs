@@ -1,0 +1,75 @@
+//! The library's serde surface: every type a downstream pipeline would
+//! persist (specs, results, stats, series) must round-trip through JSON.
+
+use hybrid_hadoop::prelude::*;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn job_results_roundtrip() {
+    let r = run_job(Architecture::OutOfs, &apps::grep(), 1 << 30);
+    let back: JobResult = roundtrip(&r);
+    assert_eq!(r, back);
+}
+
+#[test]
+fn machine_and_cluster_specs_roundtrip() {
+    let m = cluster::presets::scale_up_machine();
+    let back: MachineSpec = roundtrip(&m);
+    assert_eq!(m, back);
+    let c = cluster::presets::scale_out_cluster();
+    let back: ClusterSpec = roundtrip(&c);
+    assert_eq!(c, back);
+}
+
+#[test]
+fn scheduler_configs_roundtrip() {
+    let s = CrossPointScheduler::default();
+    assert_eq!(s, roundtrip(&s));
+    let bands = BandScheduler::from_algorithm_1(&s);
+    let back: BandScheduler = roundtrip(&bands);
+    assert_eq!(bands.bands().len(), back.bands().len());
+    // The unbounded band edge serializes as null and comes back infinite.
+    assert!(back.bands().last().unwrap().max_ratio.is_infinite());
+    assert_eq!(bands.threshold_for(0.2), back.threshold_for(0.2));
+}
+
+#[test]
+fn trace_config_and_stats_roundtrip() {
+    let cfg = FacebookTraceConfig { jobs: 64, ..Default::default() };
+    let back: FacebookTraceConfig = roundtrip(&cfg);
+    assert_eq!(cfg, back);
+    let stats = workload::analyze_trace(&generate_facebook_trace(&cfg));
+    let back: workload::TraceStats = roundtrip(&stats);
+    assert_eq!(stats, back);
+}
+
+#[test]
+fn series_and_cdf_roundtrip() {
+    let mut s = Series::new("out-OFS");
+    s.push(1.0, 2.5);
+    s.push(2.0, 3.5);
+    let back: Series = roundtrip(&s);
+    assert_eq!(s, back);
+    let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0]);
+    let back: EmpiricalCdf = roundtrip(&cdf);
+    assert_eq!(cdf, back);
+}
+
+#[test]
+fn task_records_roundtrip() {
+    let mut d = Deployment::build(Architecture::OutHdfs);
+    d.sim.record_tasks = true;
+    d.submit(JobSpec::at_zero(0, apps::grep(), 1 << 30));
+    d.sim.run();
+    let records = d.sim.task_records().to_vec();
+    assert!(!records.is_empty());
+    let back: Vec<mapreduce::TaskRecord> = roundtrip(&records);
+    assert_eq!(records, back);
+}

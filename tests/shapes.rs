@@ -1,0 +1,154 @@
+//! Integration tests: the paper's measurement *shapes* (DESIGN.md §5).
+//!
+//! These run the full stack — cluster models, storage models, the
+//! MapReduce engine — and assert the orderings and crossover structure the
+//! paper reports. They are the regression net around the calibration.
+
+use hybrid_hadoop::prelude::*;
+
+const GB: u64 = 1 << 30;
+
+fn exec(arch: Architecture, profile: &JobProfile, size: u64) -> f64 {
+    let r = run_job(arch, profile, size);
+    assert!(r.succeeded(), "{} at {size}: {:?}", arch.name(), r.failed);
+    r.execution.as_secs_f64()
+}
+
+/// "When the input data size is small (0.5-8GB), the performance of
+/// Wordcount and Grep all follows: up-HDFS>up-OFS>out-HDFS>out-OFS."
+#[test]
+fn small_shuffle_jobs_order_per_paper() {
+    for profile in [apps::wordcount(), apps::grep()] {
+        for size in [GB / 2, 2 * GB, 8 * GB] {
+            let up_ofs = exec(Architecture::UpOfs, &profile, size);
+            let up_hdfs = exec(Architecture::UpHdfs, &profile, size);
+            let out_ofs = exec(Architecture::OutOfs, &profile, size);
+            let out_hdfs = exec(Architecture::OutHdfs, &profile, size);
+            assert!(
+                up_hdfs < up_ofs && up_ofs < out_hdfs && out_hdfs < out_ofs,
+                "{} @ {} GB: up-HDFS {up_hdfs:.1} < up-OFS {up_ofs:.1} < \
+                 out-HDFS {out_hdfs:.1} < out-OFS {out_ofs:.1} violated",
+                profile.name,
+                size / GB
+            );
+        }
+    }
+}
+
+/// "when the input data size is large (>16GB), the performance of Wordcount
+/// and Grep follows out-OFS>out-HDFS>up-OFS>up-HDFS" — checked at 64 GB
+/// where all four architectures can still hold the data.
+#[test]
+fn large_shuffle_jobs_put_out_ofs_first_and_up_hdfs_last() {
+    for profile in [apps::wordcount(), apps::grep()] {
+        let up_ofs = exec(Architecture::UpOfs, &profile, 64 * GB);
+        let up_hdfs = exec(Architecture::UpHdfs, &profile, 64 * GB);
+        let out_ofs = exec(Architecture::OutOfs, &profile, 64 * GB);
+        let out_hdfs = exec(Architecture::OutHdfs, &profile, 64 * GB);
+        assert!(out_ofs < up_ofs, "{}: out-OFS beats up-OFS at 64 GB", profile.name);
+        assert!(out_ofs < out_hdfs, "{}: OFS beats HDFS on scale-out", profile.name);
+        assert!(up_hdfs > up_ofs, "{}: up-HDFS is worse than up-OFS at 64 GB", profile.name);
+        assert!(up_hdfs > out_ofs * 1.1, "{}: up-HDFS is clearly worst", profile.name);
+    }
+}
+
+/// "due to the limitation of local disk size, up-HDFS cannot process the
+/// jobs with input data size greater than 80GB".
+#[test]
+fn up_hdfs_capacity_cap_at_80gb() {
+    let ok = run_job(Architecture::UpHdfs, &apps::grep(), 80 * GB);
+    assert!(ok.succeeded(), "80 GB fits: {:?}", ok.failed);
+    let too_big = run_job(Architecture::UpHdfs, &apps::grep(), 100 * GB);
+    assert!(!too_big.succeeded(), "100 GB must exceed the 2×91 GB disks");
+    assert!(too_big.failed.as_deref().unwrap().contains("capacity"));
+}
+
+/// "the shuffle phase duration is always shorter on scale-up machines than
+/// on scale-out machines" (the RAM-disk shuffle store).
+#[test]
+fn shuffle_phase_always_shorter_on_scale_up() {
+    for size in [GB, 8 * GB, 32 * GB] {
+        let up = run_job(Architecture::UpOfs, &apps::wordcount(), size);
+        let out = run_job(Architecture::OutOfs, &apps::wordcount(), size);
+        assert!(
+            up.shuffle_phase < out.shuffle_phase,
+            "at {} GB: up {:?} vs out {:?}",
+            size / GB,
+            up.shuffle_phase,
+            out.shuffle_phase
+        );
+    }
+}
+
+/// Cross points sit in the paper's windows and preserve the ratio ordering:
+/// "A higher shuffle/input ratio leads to a higher cross point".
+#[test]
+fn cross_points_in_paper_windows_and_ratio_ordered() {
+    let sizes: Vec<u64> = [1u64, 4, 8, 12, 16, 24, 32, 48, 64].map(|g| g * GB).to_vec();
+    let wc = estimate_cross_point(&cross_point_sweep(&apps::wordcount(), &sizes))
+        .expect("wordcount crossover exists");
+    let gr = estimate_cross_point(&cross_point_sweep(&apps::grep(), &sizes))
+        .expect("grep crossover exists");
+    let wc_gb = wc / GB as f64;
+    let gr_gb = gr / GB as f64;
+    assert!((16.0..64.0).contains(&wc_gb), "wordcount cross at {wc_gb:.1} GB (paper: ~32)");
+    assert!((8.0..32.0).contains(&gr_gb), "grep cross at {gr_gb:.1} GB (paper: ~16)");
+    assert!(wc_gb > gr_gb, "higher shuffle ratio must cross later");
+}
+
+/// The map-intensive cross point sits below the shuffle-heavy one
+/// ("the cross point for map-intensive applications is smaller than
+/// shuffle-intensive applications").
+#[test]
+fn map_intensive_cross_point_below_wordcount() {
+    let sizes: Vec<u64> = [1u64, 4, 8, 12, 16, 24, 32, 48, 64].map(|g| g * GB).to_vec();
+    let dfsio = estimate_cross_point(&cross_point_sweep(&apps::testdfsio_write(), &sizes))
+        .expect("dfsio crossover exists");
+    let wc = estimate_cross_point(&cross_point_sweep(&apps::wordcount(), &sizes))
+        .expect("wordcount crossover exists");
+    assert!(dfsio < wc, "dfsio {:.1} GB < wordcount {:.1} GB", dfsio / GB as f64, wc / GB as f64);
+}
+
+/// At small sizes HDFS beats OFS on the same cluster (the remote request
+/// latency), and up-OFS still beats out-HDFS (the paper's key bridge
+/// argument for the hybrid design).
+#[test]
+fn ofs_penalty_small_and_bridge_claim() {
+    for profile in [apps::wordcount(), apps::grep()] {
+        for size in [GB, 4 * GB] {
+            let up_ofs = exec(Architecture::UpOfs, &profile, size);
+            let up_hdfs = exec(Architecture::UpHdfs, &profile, size);
+            let out_hdfs = exec(Architecture::OutHdfs, &profile, size);
+            assert!(up_hdfs < up_ofs, "{}: HDFS wins small on up", profile.name);
+            assert!(
+                up_ofs < out_hdfs,
+                "{}: scale-up with remote FS still beats traditional scale-out HDFS",
+                profile.name
+            );
+        }
+    }
+}
+
+/// The write test is map-dominated: map phase >> shuffle+reduce phases at
+/// every size (paper Figure 9b-d).
+#[test]
+fn dfsio_is_map_dominated() {
+    for size in [GB, 10 * GB, 30 * GB] {
+        let r = run_job(Architecture::OutOfs, &apps::testdfsio_write(), size);
+        assert!(r.succeeded());
+        assert!(r.map_phase > r.shuffle_phase + r.reduce_phase);
+        assert!(r.shuffle_phase.as_secs_f64() < 8.0, "paper: shuffle/reduce < 8 s");
+        assert_eq!(r.reduces, 1);
+    }
+}
+
+/// More hardware never hurts: the 24-node baseline is at least as fast as
+/// the 12-node scale-out cluster for the same (large) job.
+#[test]
+fn baseline_24_dominates_out_12() {
+    for profile in [apps::grep(), apps::testdfsio_write()] {
+        let out12 = exec(Architecture::OutOfs, &profile, 32 * GB);
+        let out24 = exec(Architecture::RHadoop, &profile, 32 * GB);
+        assert!(out24 <= out12 * 1.02, "{}: 24 nodes {out24:.1} vs 12 {out12:.1}", profile.name);
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests of the §V trace-driven experiment path.
+
+use hybrid_hadoop::prelude::*;
+
+fn sample_trace(jobs: usize) -> Vec<JobSpec> {
+    // A compressed window keeps the clusters under realistic pressure at
+    // small job counts (the full experiment uses the default config).
+    generate_facebook_trace(&FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 * 5),
+        ..Default::default()
+    })
+}
+
+#[test]
+fn hybrid_beats_thadoop_on_scale_up_jobs() {
+    let trace = sample_trace(400);
+    let hybrid = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+    let thadoop = run_trace(Architecture::THadoop, &AlwaysOut, &trace);
+    let h = hybrid.up_cdf();
+    let t = thadoop.up_cdf();
+    assert!(
+        h.quantile(0.9).unwrap() < t.quantile(0.9).unwrap(),
+        "hybrid p90 {:?} vs thadoop p90 {:?}",
+        h.quantile(0.9),
+        t.quantile(0.9)
+    );
+    assert!(h.max().unwrap() < t.max().unwrap());
+}
+
+#[test]
+fn all_contenders_complete_the_workload() {
+    let trace = sample_trace(300);
+    for arch in Architecture::TRACE_CONTENDERS {
+        let policy: Box<dyn JobPlacement> = match arch {
+            Architecture::Hybrid => Box::new(CrossPointScheduler::default()),
+            _ => Box::new(AlwaysOut),
+        };
+        let outcome = run_trace(arch, policy.as_ref(), &trace);
+        assert_eq!(outcome.results.len(), trace.len(), "{}", arch.name());
+        assert_eq!(outcome.failures(), 0, "{} must not fail jobs", arch.name());
+        // Execution includes queueing, so every job takes positive time.
+        assert!(outcome.results.iter().all(|r| r.execution.as_secs_f64() > 0.0));
+    }
+}
+
+#[test]
+fn trace_replay_is_deterministic() {
+    let trace = sample_trace(150);
+    let a = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+    let b = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.up_class_exec, b.up_class_exec);
+}
+
+#[test]
+fn class_split_matches_scheduler_semantics() {
+    let trace = sample_trace(500);
+    let scheduler = CrossPointScheduler::default();
+    let outcome = run_trace(Architecture::Hybrid, &scheduler, &trace);
+    let expected_up = trace
+        .iter()
+        .filter(|j| scheduler.place(j, &ClusterLoads::default()) == Placement::ScaleUp)
+        .count();
+    assert_eq!(outcome.up_class_exec.len(), expected_up);
+    assert_eq!(outcome.out_class_exec.len(), trace.len() - expected_up);
+    // FB-2009-like workloads are dominated by small (scale-up) jobs.
+    assert!(expected_up > trace.len() * 3 / 4);
+}
+
+#[test]
+fn load_aware_policy_diverts_under_small_job_flood() {
+    // The paper's future-work scenario: "if many small jobs arrive at the
+    // same time without any large jobs, all the jobs will be scheduled to
+    // the scale-up machines". The load-aware extension must divert some.
+    let flood: Vec<JobSpec> = (0..300)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            profile: apps::grep(),
+            input_size: 1 << 30,
+            submit: SimTime::from_secs_f64(i as f64 * 0.05),
+        })
+        .collect();
+    let plain = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &flood);
+    let aware = run_trace(Architecture::Hybrid, &LoadAwareScheduler::default(), &flood);
+    let plain_out_jobs =
+        plain.results.iter().filter(|r| r.cluster_name == "scale-out").count();
+    let aware_out_jobs =
+        aware.results.iter().filter(|r| r.cluster_name == "scale-out").count();
+    assert_eq!(plain_out_jobs, 0, "Algorithm 1 sends the whole flood to scale-up");
+    assert!(aware_out_jobs > 0, "load-aware must divert part of the flood");
+    // And the diversion pays: the flood completes sooner overall.
+    let plain_makespan = plain.results.iter().map(|r| r.end).max().unwrap();
+    let aware_makespan = aware.results.iter().map(|r| r.end).max().unwrap();
+    assert!(
+        aware_makespan < plain_makespan,
+        "aware {aware_makespan:?} vs plain {plain_makespan:?}"
+    );
+}
+
+#[test]
+fn hybrid_up_class_win_is_seed_robust() {
+    let base = FacebookTraceConfig {
+        jobs: 250,
+        window: SimDuration::from_secs(1250),
+        ..Default::default()
+    };
+    let crosspoint = CrossPointScheduler::default();
+    let always_out = AlwaysOut;
+    let hybrid =
+        hybrid_core::run_trace_replicated(Architecture::Hybrid, &crosspoint, &base, &[1, 2, 3]);
+    let thadoop =
+        hybrid_core::run_trace_replicated(Architecture::THadoop, &always_out, &base, &[1, 2, 3]);
+    let h = hybrid_core::quantile_stats(&hybrid, true, 0.9);
+    let t = hybrid_core::quantile_stats(&thadoop, true, 0.9);
+    assert_eq!(h.count(), 3);
+    assert!(
+        h.mean() < t.mean(),
+        "hybrid p90 {:.1}±{:.1} vs thadoop {:.1}±{:.1}",
+        h.mean(),
+        h.stddev(),
+        t.mean(),
+        t.stddev()
+    );
+}
+
+#[test]
+fn storage_ablation_hybrid_needs_shared_storage() {
+    // Running the trace's big jobs against HDFS-on-24 vs OFS-on-24 shows
+    // the storage half of the paper's argument: RHadoop (OFS) dominates
+    // THadoop (HDFS) for the out class under load.
+    let trace = sample_trace(400);
+    let thadoop = run_trace(Architecture::THadoop, &AlwaysOut, &trace);
+    let rhadoop = run_trace(Architecture::RHadoop, &AlwaysOut, &trace);
+    assert!(
+        rhadoop.out_cdf().quantile(0.9).unwrap() <= thadoop.out_cdf().quantile(0.9).unwrap()
+    );
+}
