@@ -1,118 +1,82 @@
 //! Microbenchmarks of the simulation kernel and end-to-end job runs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::bench;
 use hybrid_core::{run_job, Architecture};
 use simcore::{EventQueue, FlowId, FlowNetwork, PsResource, SimTime};
 use workload::apps;
 
 const GB: u64 = 1 << 30;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("push_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    // Scatter times deterministically to exercise the heap.
-                    q.push(SimTime(i.wrapping_mul(2654435761) % 1_000_000_000), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, e)) = q.pop() {
-                    acc = acc.wrapping_add(e);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_event_queue() {
+    bench("event_queue/push_pop_10k", 20, || {
+        let mut q = EventQueue::<u64>::new();
+        for i in 0..10_000u64 {
+            // Scatter times deterministically to exercise the heap.
+            q.push(SimTime(i.wrapping_mul(2654435761) % 1_000_000_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_ps_resource(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ps_resource");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("churn_1k_flows", |b| {
-        b.iter_batched(
-            || PsResource::new("disk", 1e8),
-            |mut r| {
-                let mut now = SimTime::ZERO;
-                for i in 0..1_000u64 {
-                    r.add_flow(now, FlowId(i), 1e6 + (i as f64 % 7.0) * 1e5);
-                    if let Some(t) = r.next_completion_time(now) {
-                        now = t;
-                        r.poll_completions(now);
-                    }
-                }
-                r.bytes_served()
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_ps_resource() {
+    bench("ps_resource/churn_1k_flows", 20, || {
+        let mut r = PsResource::new("disk", 1e8);
+        let mut now = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            r.add_flow(now, FlowId(i), 1e6 + (i as f64 % 7.0) * 1e5);
+            if let Some(t) = r.next_completion_time(now) {
+                now = t;
+                r.poll_completions(now);
+            }
+        }
+        r.bytes_served()
     });
-    g.finish();
 }
 
-fn bench_flow_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flow_network");
-    g.throughput(Throughput::Elements(500));
-    g.bench_function("multi_resource_churn", |b| {
-        b.iter_batched(
-            || {
-                let mut net = FlowNetwork::new();
-                let resources: Vec<_> =
-                    (0..24).map(|i| net.add_resource(format!("r{i}"), 1e8)).collect();
-                (net, resources)
-            },
-            |(mut net, resources)| {
-                let mut now = SimTime::ZERO;
-                for i in 0..500u64 {
-                    let path =
-                        [resources[(i % 24) as usize], resources[((i * 7) % 24) as usize]];
-                    let path: Vec<_> =
-                        if path[0] == path[1] { vec![path[0]] } else { path.to_vec() };
-                    net.add_flow(now, FlowId(i), 5e6, &path, None);
-                    if i % 3 == 0 {
-                        if let Some(t) = net.next_completion_time(now) {
-                            now = t;
-                            net.poll_completions(now);
-                        }
-                    }
-                }
-                while let Some(t) = net.next_completion_time(now) {
+fn bench_flow_network() {
+    bench("flow_network/multi_resource_churn", 20, || {
+        let mut net = FlowNetwork::new();
+        let resources: Vec<_> = (0..24).map(|i| net.add_resource(format!("r{i}"), 1e8)).collect();
+        let mut now = SimTime::ZERO;
+        for i in 0..500u64 {
+            let path = [resources[(i % 24) as usize], resources[((i * 7) % 24) as usize]];
+            let path: Vec<_> = if path[0] == path[1] { vec![path[0]] } else { path.to_vec() };
+            net.add_flow(now, FlowId(i), 5e6, &path, None);
+            if i % 3 == 0 {
+                if let Some(t) = net.next_completion_time(now) {
                     now = t;
                     net.poll_completions(now);
                 }
-                now
-            },
-            BatchSize::SmallInput,
-        )
+            }
+        }
+        while let Some(t) = net.next_completion_time(now) {
+            now = t;
+            net.poll_completions(now);
+        }
+        now
     });
-    g.finish();
 }
 
-fn bench_single_jobs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_job");
-    g.sample_size(10);
+fn bench_single_jobs() {
     for (name, arch, size) in [
-        ("grep_1gb_out_ofs", Architecture::OutOfs, GB),
-        ("grep_16gb_out_ofs", Architecture::OutOfs, 16 * GB),
-        ("wordcount_16gb_up_ofs", Architecture::UpOfs, 16 * GB),
-        ("wordcount_16gb_out_hdfs", Architecture::OutHdfs, 16 * GB),
+        ("single_job/grep_1gb_out_ofs", Architecture::OutOfs, GB),
+        ("single_job/grep_16gb_out_ofs", Architecture::OutOfs, 16 * GB),
+        ("single_job/wordcount_16gb_up_ofs", Architecture::UpOfs, 16 * GB),
+        ("single_job/wordcount_16gb_out_hdfs", Architecture::OutHdfs, 16 * GB),
     ] {
-        g.bench_function(name, |b| {
-            let profile = if name.starts_with("grep") { apps::grep() } else { apps::wordcount() };
-            b.iter(|| run_job(arch, &profile, size))
-        });
+        let profile =
+            if name.contains("grep") { apps::grep() } else { apps::wordcount() };
+        bench(name, 5, || run_job(arch, &profile, size));
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_ps_resource,
-    bench_flow_network,
-    bench_single_jobs
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_ps_resource();
+    bench_flow_network();
+    bench_single_jobs();
+}

@@ -3,7 +3,7 @@
 //! --bin run_all`; these benches track the cost of the underlying
 //! machinery so harness regressions show up in CI.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::bench;
 use hybrid_core::{cross_point_sweep, run_trace, sweep, Architecture};
 use scheduler::{AlwaysOut, CrossPointScheduler};
 use simcore::SimDuration;
@@ -11,48 +11,42 @@ use workload::{apps, generate_facebook_trace, FacebookTraceConfig};
 
 const GB: u64 = 1 << 30;
 
-fn bench_measurement_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure_harnesses");
-    g.sample_size(10);
+fn bench_measurement_sweep() {
     // A three-size slice of Figure 6's grid across all four architectures.
-    g.bench_function("fig6_slice_3_sizes_4_archs", |b| {
+    bench("figure_harnesses/fig6_slice_3_sizes_4_archs", 5, || {
         let sizes = [GB, 4 * GB, 16 * GB];
-        b.iter(|| sweep(&Architecture::TABLE_I, &apps::grep(), &sizes))
+        sweep(&Architecture::TABLE_I, &apps::grep(), &sizes)
     });
     // A five-point cross-point scan (Figure 7's core loop).
-    g.bench_function("fig7_cross_scan_5_points", |b| {
+    bench("figure_harnesses/fig7_cross_scan_5_points", 5, || {
         let sizes = [GB, 4 * GB, 8 * GB, 16 * GB, 32 * GB];
-        b.iter(|| cross_point_sweep(&apps::grep(), &sizes))
+        cross_point_sweep(&apps::grep(), &sizes)
     });
-    g.finish();
 }
 
-fn bench_trace_replay(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_replay");
-    g.sample_size(10);
+fn bench_trace_replay() {
     let cfg = FacebookTraceConfig {
         jobs: 300,
         window: SimDuration::from_secs(1800),
         ..Default::default()
     };
     let trace = generate_facebook_trace(&cfg);
-    g.bench_function("hybrid_300_jobs", |b| {
-        let policy = CrossPointScheduler::default();
-        b.iter(|| run_trace(Architecture::Hybrid, &policy, &trace))
+    bench("trace_replay/hybrid_300_jobs", 5, || {
+        run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace)
     });
-    g.bench_function("thadoop_300_jobs", |b| {
-        b.iter(|| run_trace(Architecture::THadoop, &AlwaysOut, &trace))
+    bench("trace_replay/thadoop_300_jobs", 5, || {
+        run_trace(Architecture::THadoop, &AlwaysOut, &trace)
     });
-    g.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
-    g.bench_function("fb2009_6000_jobs", |b| {
-        b.iter(|| generate_facebook_trace(&FacebookTraceConfig::default()))
+fn bench_trace_generation() {
+    bench("trace_generation/fb2009_6000_jobs", 10, || {
+        generate_facebook_trace(&FacebookTraceConfig::default())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_measurement_sweep, bench_trace_replay, bench_trace_generation);
-criterion_main!(benches);
+fn main() {
+    bench_measurement_sweep();
+    bench_trace_replay();
+    bench_trace_generation();
+}

@@ -1,8 +1,8 @@
 //! Benchmarks of the storage-model planning paths: file placement and
 //! per-block plan construction — the hot inner loops of large sweeps.
 
+use bench::bench;
 use cluster::{presets, ClusterSpec, FabricSpec};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use simcore::FlowNetwork;
 use storage::{DfsModel, FileId, HdfsConfig, HdfsModel, OfsConfig, OfsModel};
 
@@ -14,84 +14,62 @@ fn out_nodes(n: u32) -> (FlowNetwork, Vec<cluster::Node>) {
     (net, built.nodes)
 }
 
-fn bench_hdfs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hdfs");
-    g.throughput(Throughput::Elements(80)); // 10 GB = 80 blocks
-    g.bench_function("place_10gb_file", |b| {
-        b.iter_batched(
-            || {
-                let (_, nodes) = out_nodes(12);
-                HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet())
-            },
-            |mut fs| fs.create_file(FileId(1), 10 * GB).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("plan_80_block_reads", |b| {
+fn bench_hdfs() {
+    bench("hdfs/place_10gb_file", 20, || {
         let (_, nodes) = out_nodes(12);
         let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
-        fs.create_file(FileId(1), 10 * GB).unwrap();
-        b.iter(|| {
-            let mut total = 0.0;
-            for blk in 0..80 {
-                total += fs.plan_read(FileId(1), blk, &nodes[(blk % 12) as usize]).total_bytes();
-            }
-            total
-        })
+        fs.create_file(FileId(1), 10 * GB).unwrap()
     });
-    g.finish();
+    let (_, nodes) = out_nodes(12);
+    let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
+    fs.create_file(FileId(1), 10 * GB).unwrap();
+    bench("hdfs/plan_80_block_reads", 20, || {
+        let mut total = 0.0;
+        for blk in 0..80 {
+            total += fs.plan_read(FileId(1), blk, &nodes[(blk % 12) as usize]).total_bytes();
+        }
+        total
+    });
 }
 
-fn bench_ofs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ofs");
-    g.throughput(Throughput::Elements(80));
-    g.bench_function("place_10gb_file", |b| {
-        b.iter_batched(
-            || {
-                let mut net = FlowNetwork::new();
-                let _ = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12)
-                    .build(&mut net, 0);
-                OfsModel::new(OfsConfig::default(), &mut net)
-            },
-            |mut fs| fs.create_file(FileId(1), 10 * GB).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("plan_80_stripe_reads", |b| {
+fn bench_ofs() {
+    bench("ofs/place_10gb_file", 20, || {
         let mut net = FlowNetwork::new();
-        let built = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12)
+        let _ = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12)
             .build(&mut net, 0);
         let mut fs = OfsModel::new(OfsConfig::default(), &mut net);
-        fs.create_file(FileId(1), 10 * GB).unwrap();
-        b.iter(|| {
-            let mut total = 0.0;
-            for blk in 0..80 {
-                total +=
-                    fs.plan_read(FileId(1), blk, &built.nodes[(blk % 12) as usize]).total_bytes();
+        fs.create_file(FileId(1), 10 * GB).unwrap()
+    });
+    let mut net = FlowNetwork::new();
+    let built =
+        ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12).build(&mut net, 0);
+    let mut fs = OfsModel::new(OfsConfig::default(), &mut net);
+    fs.create_file(FileId(1), 10 * GB).unwrap();
+    bench("ofs/plan_80_stripe_reads", 20, || {
+        let mut total = 0.0;
+        for blk in 0..80 {
+            total +=
+                fs.plan_read(FileId(1), blk, &built.nodes[(blk % 12) as usize]).total_bytes();
+        }
+        total
+    });
+}
+
+fn bench_parallel_sweep_overhead() {
+    let items: Vec<u64> = (0..256).collect();
+    bench("parsweep/par_map_256_spins", 10, || {
+        parsweep::par_map(items.clone(), |x| {
+            let mut acc = x;
+            for k in 0..5_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
             }
-            total
+            acc
         })
     });
-    g.finish();
 }
 
-fn bench_parallel_sweep_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parsweep");
-    g.throughput(Throughput::Elements(256));
-    g.bench_function("par_map_256_spins", |b| {
-        let items: Vec<u64> = (0..256).collect();
-        b.iter(|| {
-            parsweep::par_map(items.clone(), |x| {
-                let mut acc = x;
-                for k in 0..5_000u64 {
-                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
-                }
-                acc
-            })
-        })
-    });
-    g.finish();
+fn main() {
+    bench_hdfs();
+    bench_ofs();
+    bench_parallel_sweep_overhead();
 }
-
-criterion_group!(benches, bench_hdfs, bench_ofs, bench_parallel_sweep_overhead);
-criterion_main!(benches);

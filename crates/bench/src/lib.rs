@@ -1,6 +1,7 @@
-//! # bench — Criterion benchmarks for the simulator
+//! # bench — wall-clock benchmarks for the simulator
 //!
-//! Three suites:
+//! Three suites (each a `harness = false` bench binary on a small hand-rolled
+//! timing loop, so the workspace carries no benchmarking dependency):
 //! - `engine`: microbenchmarks of the simulation kernel (event queue, flow
 //!   network, end-to-end single-job runs);
 //! - `figures`: the per-figure harnesses at reduced scale — how long each
@@ -10,3 +11,52 @@
 //! The *simulated-outcome* ablations (scheduler variants, storage choices,
 //! heap sweeps) are experiments, not wall-clock benchmarks; see the
 //! `experiments` crate's `ablations` binary.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `iters` runs of `f` (after one untimed warmup) and print a
+/// `name: mean (min, max)` line. Returns the mean seconds per iteration.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    black_box(f()); // warmup
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    println!("{name:<40} {:>10} (min {}, max {})", fmt(mean), fmt(min), fmt(max));
+    mean
+}
+
+/// Format a duration in adaptive units.
+fn fmt(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_mean() {
+        let mean = bench("noop_spin", 3, || {
+            let mut acc = 0u64;
+            for k in 0..1000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        });
+        assert!(mean >= 0.0 && mean.is_finite());
+    }
+}

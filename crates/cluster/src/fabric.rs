@@ -7,11 +7,10 @@
 //! and storage servers (the Myrinet switch core is non-blocking at this
 //! scale, so the endpoints are the bottleneck).
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Latency parameters of the cluster interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FabricSpec {
     /// One-way latency between two distinct compute nodes.
     pub node_to_node: SimDuration,

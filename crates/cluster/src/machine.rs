@@ -5,7 +5,6 @@
 //! heap and RAM-disk shuffle store), local disk bandwidth/capacity (HDFS and
 //! spill I/O), and NIC bandwidth (shuffle and remote-storage traffic).
 
-use serde::{Deserialize, Serialize};
 
 /// Bytes in one kibi/mebi/gibi/tebibyte — the simulator uses binary units
 /// throughout, matching Hadoop's block-size conventions (128 MB = 128 MiB).
@@ -18,7 +17,7 @@ pub const GB: u64 = 1 << 30;
 pub const TB: u64 = 1 << 40;
 
 /// A storage device backed by a processor-sharing bandwidth model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskSpec {
     /// Sustained sequential bandwidth in bytes/s (shared among concurrent
     /// streams via processor sharing).
@@ -29,7 +28,7 @@ pub struct DiskSpec {
 
 /// A RAM-backed scratch device (`tmpfs`); the paper dedicates half of each
 /// scale-up machine's 505 GB of RAM to a RAM disk for shuffle data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RamdiskSpec {
     /// Sustained bandwidth in bytes/s.
     pub bandwidth: f64,
@@ -44,7 +43,7 @@ pub struct RamdiskSpec {
 /// paper's observations: local HDFS beats remote OFS for *small* datasets
 /// ("HDFS is around 10-20% better" below 8 GB), and the scale-up machines'
 /// "more memory resource" advantage grows with shuffle size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemorySpec {
     /// Sustained memory-copy bandwidth in bytes/s (page-cache hits and
     /// write absorption run at this speed).
@@ -82,14 +81,14 @@ impl MemorySpec {
 }
 
 /// A network interface.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NicSpec {
     /// Full-duplex bandwidth in bytes/s (10 Gb/s Myrinet ≈ 1.25 GB/s).
     pub bandwidth: f64,
 }
 
 /// Full hardware description of one machine class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Human-readable class name ("scale-up", "scale-out").
     pub name: String,

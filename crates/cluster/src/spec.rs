@@ -2,7 +2,6 @@
 
 use crate::fabric::FabricSpec;
 use crate::machine::MachineSpec;
-use serde::{Deserialize, Serialize};
 use simcore::{FlowNetwork, NetResourceId};
 
 /// Identifies one machine within a built deployment.
@@ -10,12 +9,12 @@ use simcore::{FlowNetwork, NetResourceId};
 /// Node ids are global across the whole deployment (e.g. in the hybrid
 /// architecture, scale-up nodes and scale-out nodes share one id space), so
 /// they can index fabric latencies and storage placement uniformly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
 
 /// Declarative description of one (sub-)cluster: a named list of machines on
 /// a common fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Cluster name ("scale-up", "scale-out", "thadoop", ...).
     pub name: String,

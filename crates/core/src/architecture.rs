@@ -13,12 +13,12 @@
 use cluster::{presets, ClusterSpec, FabricSpec};
 use mapreduce::{EngineConfig, JobSpec, Simulation};
 use scheduler::Placement;
-use serde::{Deserialize, Serialize};
+use simcore::fault::FaultPlan;
 use simcore::FlowNetwork;
 use storage::{HdfsConfig, HdfsModel, OfsConfig, OfsModel};
 
 /// One of the measured deployments.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Architecture {
     /// Scale-up cluster on the remote file system.
     UpOfs,
@@ -164,7 +164,11 @@ impl Deployment {
             Architecture::THadoop | Architecture::RHadoop => (None, Some(0)),
         };
 
-        Deployment { sim: Simulation::new(net, dfs, clusters), arch, up_cluster, out_cluster }
+        let mut sim = Simulation::new(net, dfs, clusters);
+        if !tuning.fault.is_empty() {
+            sim.set_fault_plan(tuning.fault.clone());
+        }
+        Deployment { sim, arch, up_cluster, out_cluster }
     }
 
     /// Submit a job on the side chosen by a placement decision. On
@@ -185,7 +189,7 @@ impl Deployment {
 }
 
 /// Which distributed file system backs a deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageKind {
     /// Local HDFS over the compute nodes.
     Hdfs,
@@ -213,6 +217,11 @@ pub struct DeploymentTuning {
     /// the §IV storage-choice ablation ("we could let HDFS consider both
     /// scale-out and scale-up machines equally as datanodes").
     pub storage_override: Option<StorageKind>,
+    /// Deterministic fault schedule injected into the simulation (node
+    /// crashes, stragglers, storage-server degradation). Empty by default:
+    /// an empty plan leaves the simulation bit-identical to a fault-free
+    /// build.
+    pub fault: FaultPlan,
 }
 
 impl Default for DeploymentTuning {
@@ -225,6 +234,7 @@ impl Default for DeploymentTuning {
             up_machine: presets::scale_up_machine(),
             out_machine: presets::scale_out_machine(),
             storage_override: None,
+            fault: FaultPlan::empty(),
         }
     }
 }

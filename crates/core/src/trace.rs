@@ -11,9 +11,10 @@
 //! CDFs compare the same job populations.
 
 use crate::architecture::{Architecture, Deployment, DeploymentTuning};
-use mapreduce::{JobResult, JobSpec};
+use mapreduce::{FaultStats, JobResult, JobSpec};
 use metrics::EmpiricalCdf;
 use scheduler::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
+use simcore::SimDuration;
 
 /// Outcome of one trace replay.
 #[derive(Debug, Clone)]
@@ -28,6 +29,11 @@ pub struct TraceOutcome {
     pub up_class_exec: Vec<f64>,
     /// Execution times (s) of the jobs classified as scale-out jobs.
     pub out_class_exec: Vec<f64>,
+    /// Time from simulation start to the last job completion.
+    pub makespan: SimDuration,
+    /// Injected-fault accounting for the whole replay (all zeros when the
+    /// deployment ran with an empty fault plan).
+    pub fault_stats: FaultStats,
 }
 
 impl TraceOutcome {
@@ -96,6 +102,12 @@ pub fn run_trace_with(
     }
 
     let results = deployment.sim.run().to_vec();
+    let fault_stats = deployment.sim.fault_stats().clone();
+    let makespan = results
+        .iter()
+        .map(|r| r.end.since(simcore::SimTime::ZERO))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
     let mut up_class_exec = Vec::new();
     let mut out_class_exec = Vec::new();
     for r in &results {
@@ -114,6 +126,8 @@ pub fn run_trace_with(
         results,
         up_class_exec,
         out_class_exec,
+        makespan,
+        fault_stats,
     }
 }
 

@@ -1,0 +1,6 @@
+//! Replay an FB-2009 slice under increasing fault intensity (Hybrid vs
+//! THadoop vs RHadoop).
+
+fn main() {
+    print!("{}", experiments::figures::fault_sweep());
+}

@@ -282,3 +282,90 @@ pub fn cross_point_of(profile: &JobProfile) -> Option<f64> {
 pub fn describe(arch: Architecture, r: &JobResult) -> String {
     crate::common::describe(arch, r)
 }
+
+/// Fault sweep: replay an FB-2009 slice under increasing fault intensity on
+/// the three §V contenders. The paper measures a fault-free cluster; this
+/// experiment asks how the hybrid's availability story holds up when
+/// machines actually die — OFS survives compute-node loss (the data is not
+/// on the dead machine), while THadoop's HDFS must re-replicate and loses
+/// map outputs with each crash.
+pub fn fault_sweep() -> String {
+    use hybrid_core::DeploymentTuning;
+    use simcore::fault::{FaultPlan, FaultRates};
+
+    // A compressed slice keeps the sweep fast while still queueing jobs.
+    let jobs = 300;
+    let window = simcore::SimDuration::from_secs(3600);
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs,
+        window,
+        ..Default::default()
+    });
+    // Faults may stretch the run well past the arrival window.
+    let horizon = simcore::SimDuration::from_secs(4 * 3600);
+    let plan_seed = 42u64;
+
+    let mut rows = Vec::new();
+    for &intensity in &[0.0f64, 2.0, 5.0, 10.0] {
+        let rates = FaultRates::scaled(intensity);
+        for arch in Architecture::TRACE_CONTENDERS {
+            let nodes: Vec<usize> =
+                arch.cluster_specs().iter().map(|s| s.len()).collect();
+            let n_servers = match arch.storage_name() {
+                "ofs" => storage::OfsConfig::default().num_servers as usize,
+                _ => 0,
+            };
+            let plan = FaultPlan::generate(plan_seed, &rates, horizon, &nodes, n_servers);
+            let mut tuning = DeploymentTuning { fault: plan, ..Default::default() };
+            tuning.engine_up.speculative_execution = true;
+            tuning.engine_out.speculative_execution = true;
+
+            let crosspoint = CrossPointScheduler::default();
+            let always_out = AlwaysOut;
+            let policy: &dyn JobPlacement = match arch {
+                Architecture::Hybrid => &crosspoint,
+                _ => &always_out,
+            };
+            let outcome = hybrid_core::run_trace_with(arch, policy, &trace, &tuning);
+            let stats = &outcome.fault_stats;
+            let exec = EmpiricalCdf::new(
+                outcome
+                    .results
+                    .iter()
+                    .filter(|r| r.succeeded())
+                    .map(|r| r.execution.as_secs_f64())
+                    .collect(),
+            );
+            rows.push(vec![
+                format!("{intensity:.0}"),
+                arch.name().to_string(),
+                fmt_secs(outcome.makespan.as_secs_f64()),
+                fmt_secs(exec.quantile(0.90).unwrap_or(f64::NAN)),
+                outcome.failures().to_string(),
+                stats.node_crashes.to_string(),
+                stats.tasks_killed.to_string(),
+                stats.map_outputs_lost.to_string(),
+                format!("{:.1}", stats.rereplicated_bytes / (1u64 << 30) as f64),
+                stats.straggler_attempts.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "## Fault sweep — FB-2009 slice ({jobs} jobs) under injected faults\n\n{}\n",
+        metrics::table::render(
+            &[
+                "intensity",
+                "architecture",
+                "makespan",
+                "p90 exec",
+                "failed jobs",
+                "crashes",
+                "tasks killed",
+                "map outputs lost",
+                "re-replicated GB",
+                "stragglers",
+            ],
+            &rows
+        )
+    )
+}

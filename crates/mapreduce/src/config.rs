@@ -1,7 +1,6 @@
 //! Per-cluster runtime configuration (the paper's §II-D tuning).
 
 use crate::queue::TaskSchedPolicy;
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Hadoop runtime parameters for one sub-cluster.
@@ -9,7 +8,7 @@ use simcore::SimDuration;
 /// The paper tunes these separately for the scale-up and scale-out clusters
 /// "to achieve the best performance ... by trial of experiments"; the hybrid
 /// architecture layer instantiates one config per sub-cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Fixed per-task work (JVM start, task setup/commit) in normalized CPU
     /// cycles; a faster core burns through it proportionally faster.
@@ -52,8 +51,17 @@ pub struct EngineConfig {
     /// failure injection — the calibrated default.
     pub task_failure_prob: f64,
     /// Attempts per task before the job is declared failed (Hadoop's
-    /// `mapred.map.max.attempts`, default 4).
+    /// `mapred.map.max.attempts`, default 4). Only *failed* attempts count;
+    /// attempts killed by node crashes or speculation do not (Hadoop
+    /// semantics: KILLED ≠ FAILED).
     pub task_max_attempts: u32,
+    /// Hadoop speculative execution: kill and re-queue attempts running far
+    /// longer than the completed-task average of their kind. Off by default
+    /// — the calibrated baseline has no stragglers to chase.
+    pub speculative_execution: bool,
+    /// Straggler threshold: an attempt is speculated once its elapsed time
+    /// exceeds this multiple of the average completed task duration.
+    pub speculative_slowdown: f64,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +83,8 @@ impl Default for EngineConfig {
             reduce_slowstart: None,
             task_failure_prob: 0.0,
             task_max_attempts: 4,
+            speculative_execution: false,
+            speculative_slowdown: 1.5,
         }
     }
 }

@@ -34,14 +34,15 @@ use crate::config::EngineConfig;
 use crate::job::{JobId, JobResult, JobSpec};
 use crate::queue::TaskQueue;
 use cluster::BuiltCluster;
-use rand::Rng;
-use simcore::{EventQueue, FlowId, FlowNetwork, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use simcore::fault::{FaultPlan, NodeFaultKind, ServerFaultKind};
+use simcore::rng::DetRng;
+use simcore::{EventQueue, FlowId, FlowNetwork, NetResourceId, SimDuration, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
 use storage::plan::Transfer;
 use storage::{DfsModel, FileId, IoPlan};
 
 /// Map or reduce.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TaskKind {
     /// A map task.
     Map,
@@ -69,7 +70,7 @@ enum Step {
 
 /// One completed task, for timeline analysis (recorded when
 /// [`Simulation::record_tasks`] is on).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskRecord {
     /// The owning job.
     pub job: JobId,
@@ -94,6 +95,9 @@ struct Task {
     outstanding: u32,
     started: SimTime,
     attempt: u32,
+    /// This attempt passed its `MarkFetchDone` step (reduces only) — if the
+    /// attempt dies anyway, the job's fetch count must be given back.
+    fetch_done: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +133,22 @@ struct JobState {
     reduce_tasks: Vec<Option<Task>>,
     map_attempts: Vec<u32>,
     reduce_attempts: Vec<u32>,
+    /// Failed (not killed) attempts per task — the Hadoop attempt budget.
+    map_failed: Vec<u32>,
+    reduce_failed: Vec<u32>,
+    /// Tasks already given their one speculative re-launch.
+    map_speculated: Vec<bool>,
+    reduce_speculated: Vec<bool>,
+    /// Node whose shuffle store holds each completed map's output (None
+    /// until completed, reset when a crash loses the output).
+    map_done_node: Vec<Option<usize>>,
+    /// Reducers whose shuffle fetch has completed.
+    fetches_done: u32,
+    /// Completed-task duration sums, for the speculation threshold.
+    map_dur_sum: f64,
+    map_dur_n: u32,
+    reduce_dur_sum: f64,
+    reduce_dur_n: u32,
     data_local_maps: u32,
     reduces_enqueued: bool,
     parked_reduces: Vec<u32>,
@@ -141,6 +161,8 @@ struct ClusterState {
     cfg: EngineConfig,
     free_map: Vec<u32>,
     free_reduce: Vec<u32>,
+    /// Crashed nodes (fault injection): zero slots until recovery.
+    node_down: Vec<bool>,
     map_queue: TaskQueue,
     reduce_queue: TaskQueue,
 }
@@ -149,8 +171,36 @@ struct ClusterState {
 enum Ev {
     Arrive(usize),
     SetupDone(usize),
-    StepDone { job: usize, kind: TaskKind, idx: u32 },
+    /// `attempt` stamps which attempt armed the timer: events left over from
+    /// a killed attempt are stale and ignored.
+    StepDone { job: usize, kind: TaskKind, idx: u32, attempt: u32 },
     NetPoll { gen: u64 },
+    /// Index into the fault plan's node event list.
+    NodeFault(usize),
+    /// Index into the fault plan's server event list.
+    ServerFault(usize),
+}
+
+/// Counters describing what the fault-injection layer actually did during a
+/// run — the ground truth the recovery tests assert against.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Node crash events applied.
+    pub node_crashes: u64,
+    /// Node recovery events applied.
+    pub node_recoveries: u64,
+    /// Running attempts killed by node crashes or speculation.
+    pub tasks_killed: u64,
+    /// Completed map outputs invalidated by a node crash and re-executed.
+    pub map_outputs_lost: u64,
+    /// Attempts slowed by an injected straggler factor.
+    pub straggler_attempts: u64,
+    /// Straggler attempts killed and re-launched speculatively.
+    pub speculative_restarts: u64,
+    /// Bytes of HDFS re-replication traffic triggered by node loss.
+    pub rereplicated_bytes: f64,
+    /// Storage-server degradation events applied.
+    pub server_degradations: u64,
 }
 
 /// The simulator: clusters + a DFS + the event loop.
@@ -171,7 +221,15 @@ pub struct Simulation {
     /// traces produce millions of tasks).
     pub record_tasks: bool,
     records: Vec<TaskRecord>,
-    rng: rand::rngs::SmallRng,
+    rng: DetRng,
+    fault_plan: FaultPlan,
+    faults_scheduled: bool,
+    /// Flows owned by the storage layer (re-replication), not by any task.
+    background_flows: HashSet<FlowId>,
+    /// `(resource, rated capacity)` per storage server, captured when fault
+    /// scheduling begins — degradation scales from the rated value.
+    server_resources: Vec<(NetResourceId, f64)>,
+    stats: FaultStats,
 }
 
 impl Simulation {
@@ -191,9 +249,10 @@ impl Simulation {
             .map(|(built, cfg)| {
                 let free_map = built.nodes.iter().map(|n| n.spec.map_slots()).collect();
                 let free_reduce = built.nodes.iter().map(|n| n.spec.reduce_slots()).collect();
+                let node_down = vec![false; built.nodes.len()];
                 let map_queue = TaskQueue::new(cfg.task_sched);
                 let reduce_queue = TaskQueue::new(cfg.task_sched);
-                ClusterState { built, cfg, free_map, free_reduce, map_queue, reduce_queue }
+                ClusterState { built, cfg, free_map, free_reduce, node_down, map_queue, reduce_queue }
             })
             .collect();
         Simulation {
@@ -210,6 +269,11 @@ impl Simulation {
             record_tasks: false,
             records: Vec::new(),
             rng: simcore::rng::substream(0x5EED, 0),
+            fault_plan: FaultPlan::empty(),
+            faults_scheduled: false,
+            background_flows: HashSet::new(),
+            server_resources: Vec::new(),
+            stats: FaultStats::default(),
         }
     }
 
@@ -218,6 +282,22 @@ impl Simulation {
     /// sample different failure patterns).
     pub fn set_fault_seed(&mut self, seed: u64) {
         self.rng = simcore::rng::substream(seed, 0);
+    }
+
+    /// Install a pre-drawn machine/storage fault schedule. The default
+    /// [`FaultPlan::empty`] injects nothing and leaves every result bitwise
+    /// identical to a run without fault injection.
+    ///
+    /// # Panics
+    /// Panics when called after `run` has started executing the plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.faults_scheduled, "fault plan must be set before run()");
+        self.fault_plan = plan;
+    }
+
+    /// What the fault layer actually did during the run.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.stats
     }
 
     /// Task timeline records (empty unless [`Simulation::record_tasks`]).
@@ -257,6 +337,16 @@ impl Simulation {
             reduce_tasks: Vec::new(),
             map_attempts: Vec::new(),
             reduce_attempts: Vec::new(),
+            map_failed: Vec::new(),
+            reduce_failed: Vec::new(),
+            map_speculated: Vec::new(),
+            reduce_speculated: Vec::new(),
+            map_done_node: Vec::new(),
+            fetches_done: 0,
+            map_dur_sum: 0.0,
+            map_dur_n: 0,
+            reduce_dur_sum: 0.0,
+            reduce_dur_n: 0,
             data_local_maps: 0,
             reduces_enqueued: false,
             parked_reduces: Vec::new(),
@@ -269,12 +359,17 @@ impl Simulation {
 
     /// Run to completion and return the per-job results in completion order.
     pub fn run(&mut self) -> &[JobResult] {
+        self.schedule_faults();
         while let Some((_, ev)) = self.queue.pop() {
             match ev {
                 Ev::Arrive(j) => self.on_arrive(j),
                 Ev::SetupDone(j) => self.on_setup_done(j),
-                Ev::StepDone { job, kind, idx } => self.advance_task(job, kind, idx),
+                Ev::StepDone { job, kind, idx, attempt } => {
+                    self.on_step_done(job, kind, idx, attempt)
+                }
                 Ev::NetPoll { gen } => self.on_net_poll(gen),
+                Ev::NodeFault(i) => self.on_node_fault(i),
+                Ev::ServerFault(i) => self.on_server_fault(i),
             }
         }
         debug_assert!(
@@ -383,6 +478,11 @@ impl Simulation {
         job.reduce_tasks = (0..job.reduces_total).map(|_| None).collect();
         job.map_attempts = vec![0; job.maps_total as usize];
         job.reduce_attempts = vec![0; job.reduces_total as usize];
+        job.map_failed = vec![0; job.maps_total as usize];
+        job.reduce_failed = vec![0; job.reduces_total as usize];
+        job.map_speculated = vec![false; job.maps_total as usize];
+        job.reduce_speculated = vec![false; job.reduces_total as usize];
+        job.map_done_node = vec![None; job.maps_total as usize];
         job.phase = JobPhase::Running;
         let setup = cluster.cfg.job_setup;
         self.queue.push(now + setup, Ev::SetupDone(j));
@@ -403,8 +503,15 @@ impl Simulation {
         let now = self.queue.now();
         let done = self.net.poll_completions(now);
         for fid in done {
-            let (job, kind, idx) =
-                self.flows.remove(&fid).expect("completed flow without an owner");
+            if self.background_flows.remove(&fid) {
+                continue; // storage-internal traffic; no task to advance
+            }
+            let Some((job, kind, idx)) = self.flows.remove(&fid) else {
+                // The owner was killed earlier in this same batch: a prior
+                // completion finished a task, which triggered a speculative
+                // (or crash) kill that already disowned this flow.
+                continue;
+            };
             let task = self.task_mut(job, kind, idx);
             task.outstanding -= 1;
             if task.outstanding == 0 {
@@ -412,6 +519,286 @@ impl Simulation {
             }
         }
         self.schedule_net_poll();
+    }
+
+    /// A step timer fired. Advance the task only if the attempt that armed
+    /// the timer is still the one running — timers of killed attempts are
+    /// stale and must be dropped.
+    fn on_step_done(&mut self, job: usize, kind: TaskKind, idx: u32, attempt: u32) {
+        let slot = match kind {
+            TaskKind::Map => &self.jobs[job].map_tasks[idx as usize],
+            TaskKind::Reduce => &self.jobs[job].reduce_tasks[idx as usize],
+        };
+        match slot {
+            Some(t) if t.attempt == attempt => self.advance_task(job, kind, idx),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (machine crashes, storage brown-outs, speculation)
+    // ------------------------------------------------------------------
+
+    /// Push every in-range fault event from the plan onto the event queue.
+    /// Idempotent; called once at the start of `run`. An empty plan pushes
+    /// nothing, so the event stream — and therefore every result — is
+    /// bitwise identical to a run without fault injection.
+    fn schedule_faults(&mut self) {
+        if self.faults_scheduled {
+            return;
+        }
+        self.faults_scheduled = true;
+        if self.fault_plan.is_empty() {
+            return;
+        }
+        self.server_resources = self
+            .dfs
+            .server_resources()
+            .into_iter()
+            .map(|r| (r, self.net.resource_capacity(r)))
+            .collect();
+        for (i, ev) in self.fault_plan.node_events.iter().enumerate() {
+            let in_range = self
+                .clusters
+                .get(ev.cluster)
+                .is_some_and(|c| ev.node < c.built.nodes.len());
+            if in_range {
+                self.queue.push(ev.at, Ev::NodeFault(i));
+            }
+        }
+        for (i, ev) in self.fault_plan.server_events.iter().enumerate() {
+            if ev.server < self.server_resources.len() {
+                self.queue.push(ev.at, Ev::ServerFault(i));
+            }
+        }
+    }
+
+    fn on_node_fault(&mut self, i: usize) {
+        let ev = self.fault_plan.node_events[i];
+        match ev.kind {
+            NodeFaultKind::Crash => self.crash_node(ev.cluster, ev.node),
+            NodeFaultKind::Recover => self.recover_node(ev.cluster, ev.node),
+        }
+    }
+
+    /// A machine dies: every attempt running on it is killed and re-queued,
+    /// completed map outputs stored on it are invalidated for jobs that
+    /// still need their shuffle data (Hadoop re-executes those maps), its
+    /// slots leave the pool, and the DFS loses whatever it stored there.
+    fn crash_node(&mut self, cluster: usize, node: usize) {
+        if self.clusters[cluster].node_down[node] {
+            return;
+        }
+        self.stats.node_crashes += 1;
+        let mut to_kill: Vec<(usize, TaskKind, u32)> = Vec::new();
+        let mut to_rerun: Vec<(usize, u32)> = Vec::new();
+        for (j, job) in self.jobs.iter().enumerate() {
+            if job.cluster != cluster || job.phase != JobPhase::Running {
+                continue;
+            }
+            for (idx, t) in job.map_tasks.iter().enumerate() {
+                if t.as_ref().is_some_and(|t| t.node == node) {
+                    to_kill.push((j, TaskKind::Map, idx as u32));
+                }
+            }
+            for (idx, t) in job.reduce_tasks.iter().enumerate() {
+                if t.as_ref().is_some_and(|t| t.node == node) {
+                    to_kill.push((j, TaskKind::Reduce, idx as u32));
+                }
+            }
+            // Shuffle data on the dead node's store is gone. Maps must
+            // re-run only while some reducer still has fetching ahead of it;
+            // fetches already in flight are not restarted (the model copies
+            // a partition as one aggregate flow).
+            if job.shuffle_total > 0 && job.fetches_done < job.reduces_total {
+                for (idx, &done_on) in job.map_done_node.iter().enumerate() {
+                    if done_on == Some(node) {
+                        to_rerun.push((j, idx as u32));
+                    }
+                }
+            }
+        }
+        for (j, kind, idx) in to_kill {
+            self.kill_attempt(j, kind, idx);
+            match kind {
+                TaskKind::Map => self.clusters[cluster].map_queue.push(j, idx),
+                TaskKind::Reduce => self.clusters[cluster].reduce_queue.push(j, idx),
+            }
+        }
+        for (j, idx) in to_rerun {
+            self.jobs[j].map_done_node[idx as usize] = None;
+            self.jobs[j].maps_done -= 1;
+            self.jobs[j].maps_by_node[node] -= 1;
+            self.stats.map_outputs_lost += 1;
+            self.clusters[cluster].map_queue.push(j, idx);
+        }
+        self.clusters[cluster].node_down[node] = true;
+        self.clusters[cluster].free_map[node] = 0;
+        self.clusters[cluster].free_reduce[node] = 0;
+        let node_id = self.clusters[cluster].built.nodes[node].id;
+        if let Some(plan) = self.dfs.on_node_down(node_id) {
+            self.launch_background(plan);
+        }
+        self.try_schedule(cluster);
+    }
+
+    /// The machine rejoins with its full slot complement (and an empty
+    /// local store — the DFS readmits it as a placement target).
+    fn recover_node(&mut self, cluster: usize, node: usize) {
+        if !self.clusters[cluster].node_down[node] {
+            return;
+        }
+        self.stats.node_recoveries += 1;
+        self.clusters[cluster].node_down[node] = false;
+        let (map_slots, reduce_slots) = {
+            let spec = &self.clusters[cluster].built.nodes[node].spec;
+            (spec.map_slots(), spec.reduce_slots())
+        };
+        self.clusters[cluster].free_map[node] = map_slots;
+        self.clusters[cluster].free_reduce[node] = reduce_slots;
+        let node_id = self.clusters[cluster].built.nodes[node].id;
+        self.dfs.on_node_up(node_id);
+        self.try_schedule(cluster);
+    }
+
+    /// A storage server's bandwidth drops to `factor` of rated capacity (or
+    /// returns to it); in-flight flows re-share the new rate immediately.
+    fn on_server_fault(&mut self, i: usize) {
+        let now = self.queue.now();
+        let ev = self.fault_plan.server_events[i];
+        let (res, rated) = self.server_resources[ev.server];
+        match ev.kind {
+            ServerFaultKind::Degrade { factor } => {
+                self.stats.server_degradations += 1;
+                self.net.set_resource_capacity(now, res, (rated * factor).max(1.0));
+            }
+            ServerFaultKind::Restore => {
+                self.net.set_resource_capacity(now, res, rated);
+            }
+        }
+        self.schedule_net_poll();
+    }
+
+    /// Kill a running attempt (node crash or speculative restart): cancel
+    /// its in-flight flows, free its slot, and forget the attempt. The
+    /// caller decides whether and where the task re-runs; the stale-attempt
+    /// check in [`Self::on_step_done`] swallows any timer it left behind.
+    fn kill_attempt(&mut self, j: usize, kind: TaskKind, idx: u32) {
+        let now = self.queue.now();
+        let cluster = self.jobs[j].cluster;
+        let mut owned: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, &(oj, ok, oi))| oj == j && ok == kind && oi == idx)
+            .map(|(&fid, _)| fid)
+            .collect();
+        owned.sort_unstable(); // HashMap order is not deterministic
+        for fid in owned {
+            self.net.cancel_flow(now, fid);
+            self.flows.remove(&fid);
+        }
+        let task = match kind {
+            TaskKind::Map => self.jobs[j].map_tasks[idx as usize].take(),
+            TaskKind::Reduce => self.jobs[j].reduce_tasks[idx as usize].take(),
+        }
+        .expect("killed attempt is not running");
+        match kind {
+            TaskKind::Map => {
+                self.clusters[cluster].free_map[task.node] += 1;
+                self.clusters[cluster].map_queue.task_finished(j);
+                self.jobs[j].maps_by_node[task.node] -= 1;
+            }
+            TaskKind::Reduce => {
+                self.clusters[cluster].free_reduce[task.node] += 1;
+                self.clusters[cluster].reduce_queue.task_finished(j);
+                self.jobs[j].parked_reduces.retain(|&r| r != idx);
+                if task.fetch_done {
+                    self.jobs[j].fetches_done -= 1; // the restart re-fetches
+                }
+            }
+        }
+        self.stats.tasks_killed += 1;
+        self.schedule_net_poll();
+    }
+
+    /// Run a storage-internal recovery plan (HDFS re-replication) as
+    /// background flows that contend with foreground traffic but belong to
+    /// no task. Stage latencies are ignored — bytes are what contend.
+    fn launch_background(&mut self, plan: IoPlan) {
+        let now = self.queue.now();
+        for stage in plan.stages {
+            for t in stage.transfers {
+                self.stats.rereplicated_bytes += t.bytes;
+                let fid = FlowId(self.next_flow);
+                self.next_flow += 1;
+                self.net.add_flow(now, fid, t.bytes, &t.path, t.rate_cap);
+                self.background_flows.insert(fid);
+            }
+        }
+        self.schedule_net_poll();
+    }
+
+    /// Hadoop speculative execution, job-local: when a running attempt has
+    /// taken over `speculative_slowdown`× the completed-task average of its
+    /// kind, kill it and re-queue the task (at most one speculative restart
+    /// per task), provided a free slot exists to take the backup. Reducers
+    /// parked on the map barrier are waiting, not slow, and are skipped.
+    fn maybe_speculate(&mut self, j: usize) {
+        let cluster = self.jobs[j].cluster;
+        if !self.clusters[cluster].cfg.speculative_execution
+            || self.jobs[j].phase != JobPhase::Running
+        {
+            return;
+        }
+        let slowdown = self.clusters[cluster].cfg.speculative_slowdown.max(1.0);
+        let now = self.queue.now();
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            let job = &self.jobs[j];
+            let (sum, n, tasks, speculated) = match kind {
+                TaskKind::Map => {
+                    (job.map_dur_sum, job.map_dur_n, &job.map_tasks, &job.map_speculated)
+                }
+                TaskKind::Reduce => {
+                    (job.reduce_dur_sum, job.reduce_dur_n, &job.reduce_tasks, &job.reduce_speculated)
+                }
+            };
+            if n == 0 {
+                continue;
+            }
+            let threshold = slowdown * sum / n as f64;
+            let mut victims: Vec<u32> = Vec::new();
+            for (idx, t) in tasks.iter().enumerate() {
+                let Some(t) = t else { continue };
+                if speculated[idx]
+                    || (kind == TaskKind::Reduce && job.parked_reduces.contains(&(idx as u32)))
+                {
+                    continue;
+                }
+                if now.since(t.started).as_secs_f64() > threshold {
+                    victims.push(idx as u32);
+                }
+            }
+            for idx in victims {
+                let free: u32 = match kind {
+                    TaskKind::Map => self.clusters[cluster].free_map.iter().sum(),
+                    TaskKind::Reduce => self.clusters[cluster].free_reduce.iter().sum(),
+                };
+                if free == 0 {
+                    break; // no slot for a backup; killing would only lose work
+                }
+                match kind {
+                    TaskKind::Map => self.jobs[j].map_speculated[idx as usize] = true,
+                    TaskKind::Reduce => self.jobs[j].reduce_speculated[idx as usize] = true,
+                }
+                self.stats.speculative_restarts += 1;
+                self.kill_attempt(j, kind, idx);
+                match kind {
+                    TaskKind::Map => self.clusters[cluster].map_queue.push(j, idx),
+                    TaskKind::Reduce => self.clusters[cluster].reduce_queue.push(j, idx),
+                }
+            }
+        }
+        self.try_schedule(cluster);
     }
 
     // ------------------------------------------------------------------
@@ -485,9 +872,10 @@ impl Simulation {
         let mut steps = self.build_map_steps(j, idx, node);
         self.jobs[j].map_attempts[idx as usize] += 1;
         let attempt = self.jobs[j].map_attempts[idx as usize];
+        self.apply_straggler(j, TaskKind::Map, idx, attempt, &mut steps);
         self.maybe_inject_failure(j, &mut steps);
         self.jobs[j].map_tasks[idx as usize] =
-            Some(Task { node, steps, outstanding: 0, started: now, attempt });
+            Some(Task { node, steps, outstanding: 0, started: now, attempt, fetch_done: false });
         self.advance_task(j, TaskKind::Map, idx);
     }
 
@@ -498,9 +886,10 @@ impl Simulation {
         let mut steps = self.build_reduce_steps(j, idx, node);
         self.jobs[j].reduce_attempts[idx as usize] += 1;
         let attempt = self.jobs[j].reduce_attempts[idx as usize];
+        self.apply_straggler(j, TaskKind::Reduce, idx, attempt, &mut steps);
         self.maybe_inject_failure(j, &mut steps);
         self.jobs[j].reduce_tasks[idx as usize] =
-            Some(Task { node, steps, outstanding: 0, started: now, attempt });
+            Some(Task { node, steps, outstanding: 0, started: now, attempt, fetch_done: false });
         self.advance_task(j, TaskKind::Reduce, idx);
     }
 
@@ -672,6 +1061,7 @@ impl Simulation {
         loop {
             let cluster = self.jobs[job].cluster;
             let task = self.task_mut(job, kind, idx);
+            let attempt = task.attempt;
             let Some(step) = task.steps.pop_front() else {
                 self.task_complete(job, kind, idx);
                 return;
@@ -681,11 +1071,11 @@ impl Simulation {
                     let node = task.node;
                     let speed = self.clusters[cluster].built.nodes[node].spec.core_speed();
                     let dur = SimDuration::from_secs_f64(cycles / speed);
-                    self.queue.push(now + dur, Ev::StepDone { job, kind, idx });
+                    self.queue.push(now + dur, Ev::StepDone { job, kind, idx, attempt });
                     return;
                 }
                 Step::Latency(d) => {
-                    self.queue.push(now + d, Ev::StepDone { job, kind, idx });
+                    self.queue.push(now + d, Ev::StepDone { job, kind, idx, attempt });
                     return;
                 }
                 Step::Flows(transfers) => {
@@ -716,7 +1106,40 @@ impl Simulation {
                 }
                 Step::MarkFetchDone => {
                     self.jobs[job].last_fetch_done = now;
+                    self.jobs[job].fetches_done += 1;
+                    self.task_mut(job, kind, idx).fetch_done = true;
                     continue;
+                }
+            }
+        }
+    }
+
+    /// Slow this attempt's CPU steps down by the plan's straggler factor
+    /// for `(job, kind, idx, attempt)`, if it drew one. Pure hash draw: no
+    /// stream state is consumed, so an empty plan perturbs nothing.
+    fn apply_straggler(
+        &mut self,
+        j: usize,
+        kind: TaskKind,
+        idx: u32,
+        attempt: u32,
+        steps: &mut VecDeque<Step>,
+    ) {
+        let kind_tag = match kind {
+            TaskKind::Map => 0,
+            TaskKind::Reduce => 1,
+        };
+        let factor = self.fault_plan.straggler_factor(
+            self.jobs[j].spec.id.0 as u64,
+            kind_tag,
+            idx as u64,
+            attempt as u64,
+        );
+        if factor > 1.0 {
+            self.stats.straggler_attempts += 1;
+            for s in steps.iter_mut() {
+                if let Step::Cpu { cycles } = s {
+                    *cycles *= factor;
                 }
             }
         }
@@ -726,10 +1149,10 @@ impl Simulation {
     /// a deterministic random point and append a [`Step::Fail`] marker.
     fn maybe_inject_failure(&mut self, j: usize, steps: &mut VecDeque<Step>) {
         let p = self.clusters[self.jobs[j].cluster].cfg.task_failure_prob;
-        if p <= 0.0 || steps.is_empty() || self.rng.gen::<f64>() >= p {
+        if p <= 0.0 || steps.is_empty() || self.rng.f64() >= p {
             return;
         }
-        let cut = self.rng.gen_range(0..steps.len());
+        let cut = self.rng.range_usize(0, steps.len());
         steps.truncate(cut);
         steps.push_back(Step::Fail);
     }
@@ -751,6 +1174,9 @@ impl Simulation {
                 self.record(j, kind, idx, cluster, &task, now);
                 self.clusters[cluster].free_map[task.node] += 1;
                 self.clusters[cluster].map_queue.task_finished(j);
+                self.jobs[j].map_done_node[idx as usize] = Some(task.node);
+                self.jobs[j].map_dur_sum += now.since(task.started).as_secs_f64();
+                self.jobs[j].map_dur_n += 1;
                 self.jobs[j].maps_done += 1;
                 self.jobs[j].last_map_end = now;
                 self.maybe_enqueue_reduces(j);
@@ -769,6 +1195,8 @@ impl Simulation {
                 self.record(j, kind, idx, cluster, &task, now);
                 self.clusters[cluster].free_reduce[task.node] += 1;
                 self.clusters[cluster].reduce_queue.task_finished(j);
+                self.jobs[j].reduce_dur_sum += now.since(task.started).as_secs_f64();
+                self.jobs[j].reduce_dur_n += 1;
                 self.jobs[j].reduces_done += 1;
                 if self.jobs[j].reduces_done == self.jobs[j].reduces_total {
                     self.job_complete(j);
@@ -776,11 +1204,13 @@ impl Simulation {
             }
         }
         self.try_schedule(cluster);
+        self.maybe_speculate(j);
     }
 
     /// An attempt died: release its slot and either re-enqueue the task
     /// (Hadoop retries on another attempt) or flag the job failed once the
-    /// attempt budget is exhausted.
+    /// attempt budget is exhausted. Only *failed* attempts count against
+    /// the budget; attempts killed by crashes or speculation do not.
     fn task_failed(&mut self, j: usize, kind: TaskKind, idx: u32) {
         let cluster = self.jobs[j].cluster;
         let max_attempts = self.clusters[cluster].cfg.task_max_attempts.max(1);
@@ -791,7 +1221,8 @@ impl Simulation {
                 self.clusters[cluster].free_map[task.node] += 1;
                 self.clusters[cluster].map_queue.task_finished(j);
                 self.jobs[j].maps_by_node[task.node] -= 1;
-                if task.attempt >= max_attempts {
+                self.jobs[j].map_failed[idx as usize] += 1;
+                if self.jobs[j].map_failed[idx as usize] >= max_attempts {
                     self.note_failure(j, format!("map {idx} exceeded {max_attempts} attempts"));
                     // Count it done so the job can drain and report failure.
                     self.jobs[j].maps_done += 1;
@@ -815,7 +1246,11 @@ impl Simulation {
                     .expect("failed reduce missing");
                 self.clusters[cluster].free_reduce[task.node] += 1;
                 self.clusters[cluster].reduce_queue.task_finished(j);
-                if task.attempt >= max_attempts {
+                if task.fetch_done {
+                    self.jobs[j].fetches_done -= 1; // the retry re-fetches
+                }
+                self.jobs[j].reduce_failed[idx as usize] += 1;
+                if self.jobs[j].reduce_failed[idx as usize] >= max_attempts {
                     self.note_failure(j, format!("reduce {idx} exceeded {max_attempts} attempts"));
                     self.jobs[j].reduces_done += 1;
                     if self.jobs[j].reduces_done == self.jobs[j].reduces_total {

@@ -1,16 +1,15 @@
 //! Job specifications and results.
 
 use crate::profile::JobProfile;
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// Identifies a job within one simulation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct JobId(pub u32);
 
 /// A job to simulate: an application profile applied to an input size,
 /// submitted at a point in simulated time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Job id, unique within a simulation.
     pub id: JobId,
@@ -30,7 +29,7 @@ impl JobSpec {
 }
 
 /// What happened to a job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
     /// Which job.
     pub id: JobId,

@@ -15,7 +15,7 @@ pub mod profile;
 pub mod queue;
 
 pub use config::EngineConfig;
-pub use engine::{Simulation, TaskKind, TaskRecord};
+pub use engine::{FaultStats, Simulation, TaskKind, TaskRecord};
 pub use queue::{TaskQueue, TaskSchedPolicy};
 pub use job::{JobId, JobResult, JobSpec};
 pub use profile::JobProfile;

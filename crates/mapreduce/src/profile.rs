@@ -7,10 +7,9 @@
 //! model and the scheduler consume; concrete presets live in the `workload`
 //! crate.
 
-use serde::{Deserialize, Serialize};
 
 /// Cost/shape description of one MapReduce application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobProfile {
     /// Application name ("wordcount", ...).
     pub name: String,

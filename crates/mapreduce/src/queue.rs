@@ -7,11 +7,10 @@
 //! small jobs; both are provided so the trace experiments can quantify how
 //! much of the hybrid architecture's win survives a fairer baseline.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// How tasks of concurrent jobs share a cluster's slots.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum TaskSchedPolicy {
     /// Hadoop's default: all tasks of the earliest-submitted job first.
     #[default]

@@ -1,9 +1,8 @@
 //! Empirical CDFs — the paper's favourite plot (Figures 3 and 10).
 
-use serde::{Deserialize, Serialize};
 
 /// An empirical cumulative distribution over a finite sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalCdf {
     sorted: Vec<f64>,
 }

@@ -2,10 +2,9 @@
 //! orders of magnitude (input sizes from KB to TB, execution times from
 //! seconds to hours).
 
-use serde::{Deserialize, Serialize};
 
 /// A histogram with logarithmically spaced buckets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     min: f64,
     ratio: f64,

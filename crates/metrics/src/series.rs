@@ -1,9 +1,8 @@
 //! Named data series — one line of a paper figure.
 
-use serde::{Deserialize, Serialize};
 
 /// A labelled `(x, y)` series, e.g. `out-OFS` execution time vs input size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,

@@ -1,10 +1,9 @@
 //! Streaming summary statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Welford-style online accumulator: count, mean, variance, min, max in one
 /// pass, no stored samples.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,

@@ -1,22 +1,45 @@
-//! # parsweep — a work-stealing pool for parallel parameter sweeps
+//! # parsweep — a shared-queue thread pool for parallel parameter sweeps
 //!
 //! Every figure of the paper is a sweep: the same deterministic simulation
 //! evaluated at many `(architecture, application, input size)` points. The
 //! points are embarrassingly parallel but wildly uneven (a 448 GB Wordcount
 //! run simulates thousands of tasks; a 0.5 GB one a handful), so static
 //! chunking would leave cores idle. [`par_map`] distributes points through a
-//! crossbeam work-stealing deque setup: a global injector feeds per-worker
-//! LIFO deques, and idle workers steal from the injector first, then from
-//! their siblings.
+//! single shared FIFO queue: each idle worker pops the next unclaimed point,
+//! which balances uneven work automatically. A sweep point costs milliseconds
+//! to seconds, so queue contention is unmeasurable.
 //!
 //! Results come back in input order; panics in the closure propagate to the
 //! caller. Simulations themselves stay single-threaded and deterministic —
 //! parallelism lives only across independent points, so a parallel sweep is
 //! bitwise identical to a serial one.
+//!
+//! # Poison / early-exit contract
+//!
+//! If `f` panics on any point, the sweep **aborts as a unit**:
+//!
+//! 1. The panicking worker sets a shared poison flag before unwinding
+//!    (via a drop guard), so sibling workers stop claiming new points at
+//!    their next loop iteration and exit cleanly with whatever they have.
+//! 2. [`par_map_threads`] then re-raises the failure as a panic whose
+//!    message is exactly `"sweep worker panicked"` (the original payload is
+//!    the panicked thread's; the join `expect` supplies this stable text).
+//! 3. No partial output is observable: the call panics instead of
+//!    returning, and every queued-but-unclaimed point is simply never run.
+//! 4. Each point is claimed **at most once** — a point is popped from the
+//!    shared queue exactly once, so `f` can never see the same item twice,
+//!    poisoned or not. On the success path every point runs **exactly
+//!    once** and lands in its input slot; a missing slot would panic with
+//!    `"sweep point {i} produced no result"` (defensive; unreachable unless
+//!    the pool itself is buggy).
+//!
+//! Workers that are already *inside* `f` when the poison flag rises finish
+//! their current point normally — the flag only gates claiming new work.
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped at 16 (sweep points are memory-hungry).
@@ -30,7 +53,8 @@ pub fn default_threads() -> usize {
 /// (no thread spawn cost for trivial sweeps).
 ///
 /// # Panics
-/// Re-raises the first panic from `f`.
+/// Re-raises the first panic from `f` as `"sweep worker panicked"`; see the
+/// module-level poison/early-exit contract.
 pub fn par_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -43,22 +67,15 @@ where
     }
     let threads = threads.min(n);
 
-    let injector: Injector<(usize, T)> = Injector::new();
-    for pair in items.into_iter().enumerate() {
-        injector.push(pair);
-    }
-    let workers: Vec<Worker<(usize, T)>> = (0..threads).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<(usize, T)>> = workers.iter().map(Worker::stealer).collect();
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let poisoned = AtomicBool::new(false);
 
     // Each worker accumulates (index, result) pairs locally; placement into
     // the ordered output happens after the scope joins.
     let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = workers
-            .into_iter()
-            .map(|worker| {
-                let injector = &injector;
-                let stealers = &stealers;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
                 let f = &f;
                 let poisoned = &poisoned;
                 scope.spawn(move || {
@@ -67,15 +84,12 @@ where
                         if poisoned.load(Ordering::Relaxed) {
                             break;
                         }
-                        let task = worker.pop().or_else(|| {
-                            std::iter::repeat_with(|| {
-                                injector
-                                    .steal_batch_and_pop(&worker)
-                                    .or_else(|| stealers.iter().map(Stealer::steal).collect())
-                            })
-                            .find(|s| !s.is_retry())
-                            .and_then(Steal::success)
-                        });
+                        // The lock is held only for the pop; a panic inside
+                        // `f` can never poison the mutex (recover anyway).
+                        let task = queue
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .pop_front();
                         match task {
                             Some((idx, item)) => {
                                 // Abort the whole sweep cleanly if f panics.
@@ -128,6 +142,7 @@ impl Drop for PoisonOnDrop<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::AtomicUsize;
 
     #[test]
@@ -185,6 +200,56 @@ mod tests {
             }
             x
         });
+    }
+
+    /// Locks the poison/early-exit contract (see module docs): when a worker
+    /// panics mid-sweep, the caller sees exactly the `"sweep worker
+    /// panicked"` message, no sweep point runs more than once, the poisoned
+    /// point ran exactly once, and no results leak out of the aborted call.
+    #[test]
+    fn poisoned_sweep_runs_each_point_at_most_once() {
+        const N: usize = 512;
+        const BAD: usize = 100;
+        let runs: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_threads((0..N).collect::<Vec<usize>>(), 4, |i| {
+                runs[i].fetch_add(1, Ordering::SeqCst);
+                if i == BAD {
+                    panic!("injected sweep failure");
+                }
+                i * 2
+            })
+        }));
+        // The failure surfaces as a panic (no partial Vec is observable) with
+        // the stable message.
+        let payload = result.expect_err("sweep must abort");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("sweep worker panicked"), "got panic message {msg:?}");
+        // No point was claimed twice, and the poisoned point ran exactly once.
+        for (i, r) in runs.iter().enumerate() {
+            let n = r.load(Ordering::SeqCst);
+            assert!(n <= 1, "sweep point {i} ran {n} times");
+        }
+        assert_eq!(runs[BAD].load(Ordering::SeqCst), 1, "poisoned point must have run");
+    }
+
+    /// The poison flag only stops *new* claims: workers already inside `f`
+    /// finish, so every result that was produced is produced exactly once
+    /// even in a heavily contended sweep that does not panic.
+    #[test]
+    fn contended_sweep_has_no_lost_or_duplicate_points() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..2048).collect();
+        let out = par_map_threads(items, 16, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2048);
+        assert!(out.iter().enumerate().all(|(i, &j)| i == j), "order preserved, no dupes");
     }
 
     #[test]

@@ -11,41 +11,21 @@
 use crate::calibrate::{estimate_cross_point, SweepPoint};
 use crate::placement::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
 use mapreduce::JobSpec;
-use serde::{Deserialize, Serialize};
 
 /// One band of the ratio axis: applies to jobs with
 /// `shuffle/input ratio ≤ max_ratio` not claimed by an earlier band.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatioBand {
     /// Upper edge of the band (inclusive); the last band should use
-    /// `f64::INFINITY` to catch everything. (JSON has no infinity, so the
-    /// unbounded edge serializes as `null`.)
-    #[serde(with = "unbounded_edge")]
+    /// `f64::INFINITY` to catch everything.
     pub max_ratio: f64,
     /// Input-size cross point for this band, bytes: smaller inputs go to
     /// the scale-up cluster.
     pub threshold: u64,
 }
 
-/// Serialize `f64::INFINITY` as `null` (JSON cannot express infinities).
-mod unbounded_edge {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        if v.is_infinite() {
-            s.serialize_none()
-        } else {
-            s.serialize_some(v)
-        }
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
-    }
-}
-
 /// A generalized Algorithm 1 over an arbitrary ratio partition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandScheduler {
     bands: Vec<RatioBand>,
 }
@@ -205,16 +185,6 @@ mod tests {
         assert_eq!(s.bands().len(), 2);
         assert_eq!(s.threshold_for(0.1), 12 * GB, "fallback band");
         assert!(s.threshold_for(2.0) > GB, "calibrated band");
-    }
-
-    #[test]
-    fn bands_roundtrip_through_json_including_infinity() {
-        let bands = BandScheduler::from_algorithm_1(&CrossPointScheduler::default());
-        let json = serde_json::to_string(&bands).unwrap();
-        let back: BandScheduler = serde_json::from_str(&json).unwrap();
-        assert!(back.bands().last().unwrap().max_ratio.is_infinite());
-        assert_eq!(bands.threshold_for(0.2), back.threshold_for(0.2));
-        assert_eq!(bands.threshold_for(9.0), back.threshold_for(9.0));
     }
 
     #[test]

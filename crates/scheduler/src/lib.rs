@@ -14,6 +14,6 @@ pub mod placement;
 pub use bands::{calibrate_bands, BandScheduler, RatioBand};
 pub use calibrate::{calibrate_scheduler, estimate_cross_point, SweepPoint};
 pub use placement::{
-    AlwaysOut, AlwaysUp, ClusterLoads, CrossPointScheduler, JobPlacement, LoadAwareScheduler,
-    Placement, SizeOnlyScheduler,
+    AlwaysOut, AlwaysUp, AvailabilityAwareScheduler, ClusterLoads, CrossPointScheduler,
+    JobPlacement, LoadAwareScheduler, Placement, SizeOnlyScheduler,
 };

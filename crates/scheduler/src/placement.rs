@@ -5,10 +5,9 @@
 //! most" — solved by its Algorithm 1 using the measured cross points.
 
 use mapreduce::JobSpec;
-use serde::{Deserialize, Serialize};
 
 /// The two sides of the hybrid deployment.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Placement {
     /// Run on the scale-up sub-cluster.
     ScaleUp,
@@ -47,7 +46,7 @@ pub trait JobPlacement {
 /// "If the users do not know the shuffle/input ratio of the jobs anyway, we
 /// treat the jobs as map-intensive" — set [`CrossPointScheduler::assume_unknown_ratio`]
 /// to emulate that conservative mode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrossPointScheduler {
     /// Threshold for jobs with S/I > 1 (paper: 32 GB, from Wordcount).
     pub high_ratio_threshold: u64,
@@ -130,7 +129,7 @@ impl JobPlacement for AlwaysOut {
 
 /// Ablation: a single size threshold with no ratio awareness — what
 /// Algorithm 1 degrades to if the shuffle/input factor were ignored.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizeOnlyScheduler {
     /// Jobs below this input size go to scale-up.
     pub threshold: u64,
@@ -202,6 +201,70 @@ impl JobPlacement for LoadAwareScheduler {
                     Placement::ScaleUp
                 }
             }
+        }
+    }
+}
+
+/// Availability-aware cross-point placement for unreliable clusters.
+///
+/// The scale-up side of the paper's hybrid testbed is only two machines:
+/// losing one of them takes out half the sub-cluster's slots *and* — unlike
+/// OFS-backed storage — every in-flight task on it, so its blast radius per
+/// crash is far larger than a scale-out node's (1 of 12). When machine
+/// faults are expected, it pays to shrink the band of jobs sent to the
+/// scale-up side; this wrapper scales every cross-point threshold by
+/// `1 - penalty`, where the penalty grows with the expected number of
+/// crashes per job on the scale-up side weighted by its blast radius.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityAwareScheduler {
+    /// The fault-free cross-point rules being discounted.
+    pub inner: CrossPointScheduler,
+    /// Threshold discount in `[0, 1)`: 0 reduces to the inner policy; 0.5
+    /// halves every cross point.
+    pub penalty: f64,
+}
+
+impl AvailabilityAwareScheduler {
+    /// Discount the inner thresholds by `penalty` ∈ [0, 1).
+    ///
+    /// # Panics
+    /// Panics on a penalty outside `[0, 1)`.
+    pub fn new(inner: CrossPointScheduler, penalty: f64) -> Self {
+        assert!((0.0..1.0).contains(&penalty), "penalty must be in [0, 1): {penalty}");
+        AvailabilityAwareScheduler { inner, penalty }
+    }
+
+    /// Derive the penalty from fault expectations: `crash_rate_per_hour` per
+    /// scale-up node, a mean job duration, and the fraction of the
+    /// sub-cluster one machine represents (blast radius, e.g. 1/2 for the
+    /// paper's two scale-up machines). Saturates below 1.
+    pub fn from_rates(
+        inner: CrossPointScheduler,
+        crash_rate_per_hour: f64,
+        mean_job_secs: f64,
+        blast_radius: f64,
+    ) -> Self {
+        let crashes_per_job = crash_rate_per_hour.max(0.0) * mean_job_secs.max(0.0) / 3600.0;
+        let penalty = (crashes_per_job * blast_radius.clamp(0.0, 1.0)).min(0.95);
+        Self::new(inner, penalty)
+    }
+
+    /// The discounted threshold applying to a ratio.
+    pub fn threshold_for(&self, shuffle_input_ratio: f64) -> u64 {
+        (self.inner.threshold_for(shuffle_input_ratio) as f64 * (1.0 - self.penalty)) as u64
+    }
+}
+
+impl JobPlacement for AvailabilityAwareScheduler {
+    fn name(&self) -> &str {
+        "availability-aware"
+    }
+
+    fn place(&self, job: &JobSpec, _loads: &ClusterLoads) -> Placement {
+        if job.input_size < self.threshold_for(job.profile.shuffle_input_ratio) {
+            Placement::ScaleUp
+        } else {
+            Placement::ScaleOut
         }
     }
 }
@@ -282,6 +345,45 @@ mod tests {
         // Never diverts what was already scale-out.
         let big = job(1.6, 100 * GB);
         assert_eq!(s.place(&big, &swamped), Placement::ScaleOut);
+    }
+
+    #[test]
+    fn zero_penalty_reduces_to_the_inner_policy() {
+        let base = CrossPointScheduler::default();
+        let s = AvailabilityAwareScheduler::new(base.clone(), 0.0);
+        for ratio in [0.0, 0.39, 0.4, 1.0, 1.6] {
+            for size_gb in [1u64, 9, 10, 15, 16, 31, 32, 64] {
+                let j = job(ratio, size_gb * GB);
+                assert_eq!(
+                    s.place(&j, &ClusterLoads::default()),
+                    base.place(&j, &ClusterLoads::default()),
+                    "ratio {ratio} size {size_gb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_shrinks_the_scale_up_band() {
+        let s = AvailabilityAwareScheduler::new(CrossPointScheduler::default(), 0.5);
+        // 20 GB shuffle-heavy: scale-up under the fault-free 32 GB rule, but
+        // above the discounted 16 GB cross point.
+        assert_eq!(place(&s.inner, 1.6, 20 * GB), Placement::ScaleUp);
+        assert_eq!(place(&s, 1.6, 20 * GB), Placement::ScaleOut);
+        // Small jobs still benefit from scale-up.
+        assert_eq!(place(&s, 1.6, 8 * GB), Placement::ScaleUp);
+    }
+
+    #[test]
+    fn rate_derived_penalty_scales_with_blast_radius() {
+        let inner = CrossPointScheduler::default();
+        let calm = AvailabilityAwareScheduler::from_rates(inner.clone(), 0.0, 600.0, 0.5);
+        assert_eq!(calm.penalty, 0.0);
+        let stormy = AvailabilityAwareScheduler::from_rates(inner.clone(), 2.0, 1800.0, 0.5);
+        assert!(stormy.penalty > calm.penalty);
+        let wider_blast = AvailabilityAwareScheduler::from_rates(inner, 2.0, 1800.0, 1.0);
+        assert!(wider_blast.penalty > stormy.penalty);
+        assert!(wider_blast.penalty < 1.0, "penalty saturates below 1");
     }
 
     #[test]

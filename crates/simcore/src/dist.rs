@@ -1,35 +1,34 @@
 //! Sampling distributions used by the workload generators.
 //!
-//! Implemented by hand on top of `rand::Rng` (uniform draws) rather than
-//! pulling in `rand_distr`: the simulator needs only four distributions and
-//! keeping them local makes the sampling code auditable against the paper's
-//! workload description.
+//! Implemented by hand on top of [`DetRng`] uniform draws: the simulator
+//! needs only four distributions and keeping them local makes the sampling
+//! code auditable against the paper's workload description.
 
-use rand::Rng;
+use crate::rng::DetRng;
 
 /// Sample an exponential with the given `mean` (inter-arrival times of the
 /// Poisson job arrival process).
 ///
 /// # Panics
 /// Panics on non-positive or non-finite mean.
-pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+pub fn exponential(rng: &mut DetRng, mean: f64) -> f64 {
     assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
     // Inverse CDF; 1-u avoids ln(0).
-    let u: f64 = rng.gen::<f64>();
+    let u: f64 = rng.f64();
     -mean * (1.0 - u).ln()
 }
 
 /// Sample a standard normal via Box–Muller (the cached second variate is
 /// intentionally discarded to keep sampling stateless and substream-stable).
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen::<f64>();
+pub fn standard_normal(rng: &mut DetRng) -> f64 {
+    let u1: f64 = rng.f64().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// Sample a log-normal with location `mu` and scale `sigma` (parameters of
 /// the underlying normal).
-pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+pub fn lognormal(rng: &mut DetRng, mu: f64, sigma: f64) -> f64 {
     assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
     (mu + sigma * standard_normal(rng)).exp()
 }
@@ -70,8 +69,8 @@ impl PiecewiseLogCdf {
     }
 
     /// Inverse-CDF sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        self.quantile(rng.gen::<f64>())
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.quantile(rng.f64())
     }
 
     /// The value at cumulative probability `p ∈ [0, 1]`.

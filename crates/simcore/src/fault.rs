@@ -1,0 +1,378 @@
+//! Deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a *pre-drawn* schedule of everything that will go wrong
+//! in a run: compute-node crash/recover events, storage-server degradation
+//! windows, and a rule for per-task straggler slowdowns. Drawing the whole
+//! plan up front from [`crate::rng::substream`]s keeps the simulation a pure
+//! function of `(specification, seed)` — the engine merely *executes* the
+//! plan, so two runs with the same seed and plan are bitwise identical, and
+//! an empty plan leaves the event stream untouched.
+//!
+//! Straggler draws are **order-independent**: the factor for task attempt
+//! `(job, kind, index, attempt)` is a pure hash of that tuple under the plan
+//! seed ([`FaultPlan::straggler_factor`]), so scheduling order, speculative
+//! restarts, and retries never shift any other task's draw.
+
+use crate::dist::exponential;
+use crate::rng::{derive_seed, substream, DetRng};
+use crate::time::{SimDuration, SimTime};
+
+/// Stream labels for the independent substreams of a fault seed.
+const STREAM_NODE: u64 = 0x4641_554C_5401; // node crash schedule
+const STREAM_SERVER: u64 = 0x4641_554C_5402; // storage-server degradation
+const STREAM_STRAGGLER: u64 = 0x4641_554C_5403; // per-task straggler hash
+
+/// Intensity knobs from which a [`FaultPlan`] is drawn.
+///
+/// Rates are per simulated hour per node (or per storage server); durations
+/// are means of exponential draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRates {
+    /// Mean crashes per compute node per simulated hour.
+    pub node_crash_per_hour: f64,
+    /// Mean seconds a crashed node stays down before rejoining.
+    pub node_recovery_secs: f64,
+    /// Probability that any given task attempt is a straggler.
+    pub straggler_prob: f64,
+    /// Uniform range of the straggler slowdown multiplier (applied to the
+    /// attempt's CPU work).
+    pub straggler_slowdown: (f64, f64),
+    /// Mean degradation events per storage server per simulated hour.
+    pub server_degrade_per_hour: f64,
+    /// Mean seconds a degradation window lasts.
+    pub server_degrade_secs: f64,
+    /// Fraction of rated bandwidth a degraded server retains (0 < f ≤ 1).
+    pub server_degrade_factor: f64,
+}
+
+impl FaultRates {
+    /// No faults at all: a plan generated from these rates is empty.
+    pub fn none() -> Self {
+        FaultRates {
+            node_crash_per_hour: 0.0,
+            node_recovery_secs: 300.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: (2.0, 6.0),
+            server_degrade_per_hour: 0.0,
+            server_degrade_secs: 600.0,
+            server_degrade_factor: 0.3,
+        }
+    }
+
+    /// A one-knob family used by the fault-sweep experiment: `intensity` 0
+    /// is fault-free; 1.0 is a rough "bad week" (a node crashes about once
+    /// every two days, ~5 % of task attempts straggle, occasional storage
+    /// brown-outs); larger values scale linearly.
+    pub fn scaled(intensity: f64) -> Self {
+        assert!(intensity >= 0.0 && intensity.is_finite(), "intensity must be non-negative");
+        FaultRates {
+            node_crash_per_hour: 0.02 * intensity,
+            node_recovery_secs: 300.0,
+            straggler_prob: (0.05 * intensity).min(0.5),
+            straggler_slowdown: (2.0, 6.0),
+            server_degrade_per_hour: 0.01 * intensity,
+            server_degrade_secs: 600.0,
+            server_degrade_factor: 0.3,
+        }
+    }
+}
+
+/// What happens to a compute node at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// The machine dies: in-flight task attempts on it are killed and its
+    /// slots leave the pool.
+    Crash,
+    /// The machine rejoins with empty slots.
+    Recover,
+}
+
+/// A scheduled crash or recovery of one compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Cluster index within the deployment.
+    pub cluster: usize,
+    /// Node index within the cluster.
+    pub node: usize,
+    /// Crash or recover.
+    pub kind: NodeFaultKind,
+}
+
+/// What happens to a shared storage server at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerFaultKind {
+    /// Bandwidth drops to `factor` of rated capacity.
+    Degrade {
+        /// Fraction of rated bandwidth retained (0 < f ≤ 1).
+        factor: f64,
+    },
+    /// Bandwidth returns to rated capacity.
+    Restore,
+}
+
+/// A scheduled degradation or restoration of one storage server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerFault {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Storage-server index (interpretation is up to the DFS model).
+    pub server: usize,
+    /// Degrade or restore.
+    pub kind: ServerFaultKind,
+}
+
+/// A fully pre-drawn fault schedule for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Node crash/recover events, time-sorted (ties break by cluster, node).
+    pub node_events: Vec<NodeFault>,
+    /// Storage-server degrade/restore events, time-sorted.
+    pub server_events: Vec<ServerFault>,
+    /// Probability that a task attempt straggles (see `straggler_factor`).
+    pub straggler_prob: f64,
+    /// Uniform range the straggler slowdown multiplier is drawn from.
+    pub straggler_slowdown: (f64, f64),
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl FaultPlan {
+    /// The no-fault plan. Running with it is bitwise identical to running
+    /// without fault injection at all.
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            node_events: Vec::new(),
+            server_events: Vec::new(),
+            straggler_prob: 0.0,
+            straggler_slowdown: (1.0, 1.0),
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.node_events.is_empty() && self.server_events.is_empty() && self.straggler_prob <= 0.0
+    }
+
+    /// The seed this plan was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draw a complete plan for a deployment of `nodes_per_cluster` compute
+    /// nodes and `n_servers` shared storage servers, over `[0, horizon)`.
+    ///
+    /// Each node and each server gets its own decorrelated substream, so the
+    /// schedule for node `(c, n)` is independent of how many other nodes
+    /// exist — growing the deployment never re-rolls existing nodes' fates.
+    pub fn generate(
+        seed: u64,
+        rates: &FaultRates,
+        horizon: SimDuration,
+        nodes_per_cluster: &[usize],
+        n_servers: usize,
+    ) -> Self {
+        let mut node_events = Vec::new();
+        if rates.node_crash_per_hour > 0.0 {
+            let mean_gap_secs = 3600.0 / rates.node_crash_per_hour;
+            for (cluster, &n) in nodes_per_cluster.iter().enumerate() {
+                for node in 0..n {
+                    let label = derive_seed(STREAM_NODE, ((cluster as u64) << 32) | node as u64);
+                    let mut rng = substream(seed, label);
+                    draw_windows(&mut rng, mean_gap_secs, rates.node_recovery_secs, horizon, |up, down| {
+                        node_events.push(NodeFault { at: up, cluster, node, kind: NodeFaultKind::Crash });
+                        node_events.push(NodeFault { at: down, cluster, node, kind: NodeFaultKind::Recover });
+                    });
+                }
+            }
+        }
+        node_events.sort_by_key(|e| (e.at, e.cluster, e.node, e.kind == NodeFaultKind::Recover));
+
+        let mut server_events = Vec::new();
+        if rates.server_degrade_per_hour > 0.0 && rates.server_degrade_factor < 1.0 {
+            let mean_gap_secs = 3600.0 / rates.server_degrade_per_hour;
+            let factor = rates.server_degrade_factor.clamp(0.01, 1.0);
+            for server in 0..n_servers {
+                let label = derive_seed(STREAM_SERVER, server as u64);
+                let mut rng = substream(seed, label);
+                draw_windows(&mut rng, mean_gap_secs, rates.server_degrade_secs, horizon, |from, to| {
+                    server_events.push(ServerFault { at: from, server, kind: ServerFaultKind::Degrade { factor } });
+                    server_events.push(ServerFault { at: to, server, kind: ServerFaultKind::Restore });
+                });
+            }
+        }
+        server_events.sort_by_key(|e| (e.at, e.server, matches!(e.kind, ServerFaultKind::Restore)));
+
+        FaultPlan {
+            seed,
+            node_events,
+            server_events,
+            straggler_prob: rates.straggler_prob,
+            straggler_slowdown: rates.straggler_slowdown,
+        }
+    }
+
+    /// The CPU slowdown multiplier for one task attempt, ≥ 1.0 (1.0 = not a
+    /// straggler).
+    ///
+    /// Pure function of `(plan seed, job, kind, index, attempt)` — no stream
+    /// state — so draws are independent of engine scheduling order.
+    pub fn straggler_factor(&self, job: u64, kind: u64, index: u64, attempt: u64) -> f64 {
+        if self.straggler_prob <= 0.0 {
+            return 1.0;
+        }
+        let key = derive_seed(
+            derive_seed(self.seed ^ STREAM_STRAGGLER, job),
+            (kind << 56) ^ (index << 16) ^ attempt,
+        );
+        let u = to_unit(key);
+        if u >= self.straggler_prob {
+            return 1.0;
+        }
+        let (lo, hi) = self.straggler_slowdown;
+        if hi <= lo {
+            return lo.max(1.0);
+        }
+        let v = to_unit(derive_seed(key, 1));
+        (lo + (hi - lo) * v).max(1.0)
+    }
+}
+
+/// Map a hash to a uniform draw in `[0, 1)` (same mapping as `DetRng::f64`).
+fn to_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draw alternating up-gap / down-window pairs until the *start* of a window
+/// passes `horizon`, invoking `emit(start, end)` for each window. The end may
+/// exceed the horizon; late recoveries are harmless.
+fn draw_windows(
+    rng: &mut DetRng,
+    mean_gap_secs: f64,
+    mean_down_secs: f64,
+    horizon: SimDuration,
+    mut emit: impl FnMut(SimTime, SimTime),
+) {
+    let mut t = 0.0f64;
+    loop {
+        t += exponential(rng, mean_gap_secs);
+        if !t.is_finite() || t >= horizon.as_secs_f64() {
+            return;
+        }
+        let start = SimTime::from_secs_f64(t);
+        let down = exponential(rng, mean_down_secs.max(1.0)).max(1.0);
+        t += down;
+        let end = SimTime::from_secs_f64(t);
+        // A zero-length window would make Crash and Recover share a tick and
+        // become order-sensitive; `down >= 1s` above prevents it.
+        emit(start, end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(intensity: f64) -> FaultPlan {
+        FaultPlan::generate(
+            7,
+            &FaultRates::scaled(intensity),
+            SimDuration::from_secs(100_000),
+            &[2, 12],
+            32,
+        )
+    }
+
+    #[test]
+    fn zero_rates_generate_the_empty_plan() {
+        let p = FaultPlan::generate(
+            99,
+            &FaultRates::none(),
+            SimDuration::from_secs(10_000),
+            &[4],
+            8,
+        );
+        assert!(p.is_empty());
+        assert_eq!(p.straggler_factor(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(plan(4.0), plan(4.0));
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_paired() {
+        let p = plan(8.0);
+        assert!(!p.node_events.is_empty(), "intensity 8 over ~28h should crash something");
+        for w in p.node_events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // Per node: strictly alternating crash/recover starting with a crash.
+        for (cluster, n) in [(0usize, 2usize), (1, 12)] {
+            for node in 0..n {
+                let evs: Vec<_> = p
+                    .node_events
+                    .iter()
+                    .filter(|e| e.cluster == cluster && e.node == node)
+                    .collect();
+                for (i, e) in evs.iter().enumerate() {
+                    let want = if i % 2 == 0 { NodeFaultKind::Crash } else { NodeFaultKind::Recover };
+                    assert_eq!(e.kind, want, "cluster {cluster} node {node} event {i}");
+                }
+                for w in evs.windows(2) {
+                    assert!(w[0].at < w[1].at, "events on one node must not share a tick");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_draw_is_order_independent_and_in_range() {
+        let p = plan(10.0);
+        assert!(p.straggler_prob > 0.0);
+        let a = p.straggler_factor(3, 0, 17, 1);
+        // Drawing other tuples in between never perturbs the first draw.
+        let _ = p.straggler_factor(9, 1, 0, 0);
+        assert_eq!(p.straggler_factor(3, 0, 17, 1), a);
+        let mut stragglers = 0;
+        for job in 0..200u64 {
+            for idx in 0..20u64 {
+                let f = p.straggler_factor(job, 0, idx, 0);
+                assert!(f >= 1.0 && f <= p.straggler_slowdown.1);
+                if f > 1.0 {
+                    stragglers += 1;
+                }
+            }
+        }
+        let frac = stragglers as f64 / 4000.0;
+        assert!(
+            (frac - p.straggler_prob).abs() < 0.05,
+            "straggler fraction {frac} vs prob {}",
+            p.straggler_prob
+        );
+    }
+
+    #[test]
+    fn adding_nodes_does_not_reroll_existing_schedules() {
+        let small = FaultPlan::generate(5, &FaultRates::scaled(6.0), SimDuration::from_secs(50_000), &[2, 4], 8);
+        let big = FaultPlan::generate(5, &FaultRates::scaled(6.0), SimDuration::from_secs(50_000), &[2, 8], 8);
+        let evs = |p: &FaultPlan, c: usize, n: usize| -> Vec<(SimTime, NodeFaultKind)> {
+            p.node_events
+                .iter()
+                .filter(|e| e.cluster == c && e.node == n)
+                .map(|e| (e.at, e.kind))
+                .collect()
+        };
+        for node in 0..4 {
+            assert_eq!(evs(&small, 1, node), evs(&big, 1, node));
+        }
+    }
+}

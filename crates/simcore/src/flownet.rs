@@ -25,11 +25,10 @@
 
 use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
 use crate::ps::{FlowId, Generation};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Index of a resource within a [`FlowNetwork`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NetResourceId(pub u32);
 
 /// Residual bytes below this threshold count as finished (see `ps` docs).
@@ -91,6 +90,28 @@ impl FlowNetwork {
     /// Capacity of resource `r` in bytes/s.
     pub fn resource_capacity(&self, r: NetResourceId) -> f64 {
         self.resources[r.0 as usize].capacity
+    }
+
+    /// Change the capacity of resource `r` at time `now` (fault injection: a
+    /// degraded storage server serves at a fraction of its rated bandwidth).
+    ///
+    /// Advances the fluid state first so service already rendered is credited
+    /// at the old rate, then bumps the generation so the engine reschedules
+    /// its pending completion event against the new rates.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite capacity.
+    pub fn set_resource_capacity(
+        &mut self,
+        now: SimTime,
+        r: NetResourceId,
+        capacity: f64,
+    ) -> Generation {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        self.advance(now);
+        self.resources[r.0 as usize].capacity = capacity;
+        self.generation += 1;
+        Generation(self.generation)
     }
 
     /// Bytes served by resource `r` so far (advanced state only).

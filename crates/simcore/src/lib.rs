@@ -24,6 +24,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod flownet;
 pub mod ps;
 pub mod registry;
@@ -31,7 +32,9 @@ pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{FaultPlan, FaultRates, NodeFault, NodeFaultKind, ServerFault, ServerFaultKind};
 pub use flownet::{FlowNetwork, NetResourceId};
 pub use ps::{FlowId, Generation, PsResource};
 pub use registry::{ResourceId, ResourcePool};
+pub use rng::DetRng;
 pub use time::{SimDuration, SimTime, TICKS_PER_SEC};

@@ -25,14 +25,13 @@
 //! residual rounding error is below one byte per completion.
 
 use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
-use serde::{Deserialize, Serialize};
 
 /// Identifies one flow (an in-flight transfer) within the whole simulation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(pub u64);
 
 /// Monotone counter identifying a membership epoch of one resource.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Generation(pub u64);
 
 /// Residual bytes below this threshold count as "finished"; see module docs

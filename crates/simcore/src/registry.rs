@@ -7,10 +7,9 @@
 //! for repeated deterministic runs.
 
 use crate::ps::PsResource;
-use serde::{Deserialize, Serialize};
 
 /// Index of a resource within a [`ResourcePool`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ResourceId(pub u32);
 
 /// The set of all PS resources in one simulated deployment.

@@ -1,19 +1,24 @@
 //! Deterministic randomness.
 //!
-//! Every stochastic component of the simulator (trace synthesis, placement
-//! jitter) draws from a seeded [`rand::rngs::SmallRng`]. Substreams are
-//! derived with SplitMix64 so that adding a new consumer of randomness never
-//! perturbs the draws of existing ones — a requirement for stable regression
-//! tests across the workspace.
-
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+//! Every stochastic component of the simulator (trace synthesis, fault
+//! injection, placement jitter) draws from a seeded [`DetRng`]. Substreams
+//! are derived with SplitMix64 so that adding a new consumer of randomness
+//! never perturbs the draws of existing ones — a requirement for stable
+//! regression tests across the workspace.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through a SplitMix64 expansion of a single `u64`. Keeping the
+//! implementation local (rather than depending on an external RNG crate)
+//! pins the byte-for-byte output forever: golden-trace snapshots cannot be
+//! invalidated by a dependency upgrade.
 
 /// Mix a root seed with a stream label into an independent substream seed.
 ///
 /// This is the SplitMix64 finalizer; it decorrelates adjacent labels well
-/// enough for simulation purposes (it is the generator `rand` itself uses to
-/// seed from small entropy).
+/// enough for simulation purposes. It is also usable as an order-independent
+/// hash: fault-plan draws key on `(job, task, attempt)` through nested
+/// `derive_seed` calls so the draw for one task never depends on how many
+/// draws other tasks consumed.
 pub fn derive_seed(root: u64, stream: u64) -> u64 {
     let mut z = root ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -22,15 +27,91 @@ pub fn derive_seed(root: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A deterministic xoshiro256++ generator.
+///
+/// All simulator randomness flows through this type; its sequence for a given
+/// seed is part of the reproducibility contract (see the golden-trace tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Seed the full 256-bit state from one `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        DetRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer draw in `[lo, hi)` (modulo reduction; the bias is
+    /// negligible for the small ranges the simulator uses and the mapping is
+    /// trivially stable across platforms).
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "bad range [{lo}, {hi})");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            // Keep the stream position independent of the outcome probability
+            // only when the draw can never succeed: consuming nothing here is
+            // what makes zero-probability runs bit-identical to no-injection
+            // runs at every call site that gates on `p > 0` anyway.
+            return false;
+        }
+        self.f64() < p
+    }
+}
+
 /// A seeded fast RNG for substream `stream` of root seed `root`.
-pub fn substream(root: u64, stream: u64) -> SmallRng {
-    SmallRng::seed_from_u64(derive_seed(root, stream))
+pub fn substream(root: u64, stream: u64) -> DetRng {
+    DetRng::seed_from_u64(derive_seed(root, stream))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn derivation_is_deterministic() {
@@ -45,14 +126,51 @@ mod tests {
 
     #[test]
     fn substreams_reproduce() {
-        let a: Vec<u64> = substream(9, 3).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = substream(9, 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = (0..8).scan(substream(9, 3), |r, _| Some(r.next_u64())).collect();
+        let b: Vec<u64> = (0..8).scan(substream(9, 3), |r, _| Some(r.next_u64())).collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn zero_root_is_not_degenerate() {
-        // SplitMix of 0 must not yield 0 (SmallRng would reject all-zero).
+        // SplitMix of 0 must not yield 0 (an all-zero xoshiro state is fixed).
         assert_ne!(derive_seed(0, 0), 0);
+        let mut r = DetRng::seed_from_u64(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = substream(1, 1);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_usize_covers_all_values() {
+        let mut r = substream(2, 2);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.range_usize(0, 7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = substream(3, 3);
+        for _ in 0..1000 {
+            let x = r.range_f64(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = substream(4, 4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.1));
     }
 }

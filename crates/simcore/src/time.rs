@@ -6,7 +6,6 @@
 //! three orders of magnitude below the shortest durations the paper reports
 //! (task overheads of hundreds of milliseconds, jobs of seconds to hours).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -14,11 +13,11 @@ use std::ops::{Add, AddAssign, Sub};
 pub const TICKS_PER_SEC: u64 = 1_000_000;
 
 /// An instant on the simulation clock, in microseconds since simulation start.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {

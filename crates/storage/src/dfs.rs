@@ -11,10 +11,10 @@
 use crate::error::StorageError;
 use crate::plan::IoPlan;
 use cluster::{Node, NodeId};
-use serde::{Deserialize, Serialize};
+use simcore::NetResourceId;
 
 /// Identifies a file within a deployment.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FileId(pub u64);
 
 /// A distributed file system model.
@@ -81,6 +81,26 @@ pub trait DfsModel {
 
     /// Bytes currently stored, including replication overhead.
     fn used_bytes(&self) -> u64;
+
+    /// A compute node crashed. Backends storing data *on* the compute nodes
+    /// (HDFS) lose the replicas hosted there and may return a background
+    /// re-replication [`IoPlan`] restoring redundancy on the survivors;
+    /// remote dedicated storage (OFS) is unaffected — the paper's
+    /// availability asymmetry between the two. Default: no-op.
+    fn on_node_down(&mut self, _node: NodeId) -> Option<IoPlan> {
+        None
+    }
+
+    /// A previously crashed compute node rejoined (its local storage is
+    /// considered wiped; HDFS simply readmits it as a placement target).
+    fn on_node_up(&mut self, _node: NodeId) {}
+
+    /// Network resources of dedicated storage servers, in stable index
+    /// order — the fault layer degrades these to model storage-server
+    /// brown-outs. Backends without dedicated servers return an empty list.
+    fn server_resources(&self) -> Vec<NetResourceId> {
+        Vec::new()
+    }
 }
 
 /// Size of block `block` of a `size`-byte file cut into `block_size` pieces

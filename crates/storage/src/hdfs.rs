@@ -63,6 +63,8 @@ struct Datanode {
     memory: MemorySpec,
     capacity: u64,
     used: u64,
+    /// Crashed (fault injection): not a placement target until recovery.
+    down: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -110,6 +112,7 @@ impl HdfsModel {
                 memory: n.spec.memory,
                 capacity: ((n.spec.disk.capacity as f64) * (1.0 - cfg.reserve_fraction)) as u64,
                 used: 0,
+                down: false,
             })
             .collect();
         let by_node = dn.iter().enumerate().map(|(i, d)| (d.node, i)).collect();
@@ -135,7 +138,7 @@ impl HdfsModel {
             }
             let idx = (start + k) % n;
             let d = &self.datanodes[idx];
-            if d.used + len <= d.capacity {
+            if !d.down && d.used + len <= d.capacity {
                 replicas.push(idx);
             }
         }
@@ -357,6 +360,78 @@ impl DfsModel for HdfsModel {
 
     fn used_bytes(&self) -> u64 {
         self.datanodes.iter().map(|d| d.used).sum()
+    }
+
+    /// A datanode died: its replicas are gone. HDFS restores redundancy by
+    /// copying each lost replica from a surviving host to a live datanode
+    /// with room (the namenode's re-replication queue), returned as one
+    /// background [`IoPlan`] whose transfers contend with foreground I/O.
+    ///
+    /// Simplifications, deliberate and documented: a block whose *last*
+    /// replica was on the dead node keeps its placement (we assume the
+    /// cluster never loses all copies — the engine schedules no tasks on the
+    /// dead node, but reads of such a block still flow through its devices);
+    /// when no live datanode has room the block simply runs under-replicated.
+    fn on_node_down(&mut self, node: NodeId) -> Option<IoPlan> {
+        let &dead = self.by_node.get(&node)?;
+        if self.datanodes[dead].down {
+            return None;
+        }
+        self.datanodes[dead].down = true;
+        // Deterministic scan order: files by id, blocks in sequence.
+        let mut ids: Vec<FileId> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        let mut stage = IoStage::latency_only(self.cfg.namenode_latency);
+        for id in ids {
+            let nblocks = self.files[&id].blocks.len();
+            for b in 0..nblocks {
+                let (len, replicas) = {
+                    let blk = &self.files[&id].blocks[b];
+                    (blk.len, blk.replicas.clone())
+                };
+                let Some(pos) = replicas.iter().position(|&r| r == dead) else { continue };
+                let live: Vec<usize> = replicas
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != dead && !self.datanodes[r].down)
+                    .collect();
+                let Some(&src) = live.first() else { continue };
+                let n = self.datanodes.len();
+                let target = (0..n).map(|k| (src + 1 + k) % n).find(|&t| {
+                    !self.datanodes[t].down
+                        && !replicas.contains(&t)
+                        && self.datanodes[t].used + len <= self.datanodes[t].capacity
+                });
+                self.datanodes[dead].used -= len;
+                match target {
+                    Some(t) => {
+                        self.datanodes[t].used += len;
+                        self.files.get_mut(&id).unwrap().blocks[b].replicas[pos] = t;
+                        let s = &self.datanodes[src];
+                        let d = &self.datanodes[t];
+                        stage.transfers.push(Transfer {
+                            path: vec![s.disk, s.nic, d.nic, d.disk],
+                            bytes: len as f64,
+                            rate_cap: None,
+                        });
+                    }
+                    None => {
+                        self.files.get_mut(&id).unwrap().blocks[b].replicas.remove(pos);
+                    }
+                }
+            }
+        }
+        if stage.transfers.is_empty() {
+            None
+        } else {
+            Some(IoPlan::single(stage))
+        }
+    }
+
+    fn on_node_up(&mut self, node: NodeId) {
+        if let Some(&idx) = self.by_node.get(&node) {
+            self.datanodes[idx].down = false;
+        }
     }
 }
 

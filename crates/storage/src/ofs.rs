@@ -282,6 +282,13 @@ impl DfsModel for OfsModel {
     fn used_bytes(&self) -> u64 {
         self.servers.iter().map(|s| s.used).sum()
     }
+
+    /// OFS data lives on dedicated servers, not compute nodes, so a compute
+    /// node crash costs nothing (the hybrid architecture's availability
+    /// advantage); what *can* degrade are the storage servers themselves.
+    fn server_resources(&self) -> Vec<simcore::NetResourceId> {
+        self.servers.iter().map(|s| s.resource).collect()
+    }
 }
 
 #[cfg(test)]

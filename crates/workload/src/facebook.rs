@@ -15,15 +15,13 @@
 //! Poisson process over the trace window).
 
 use crate::apps;
-use mapreduce::{JobId, JobSpec};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mapreduce::{JobId, JobProfile, JobSpec};
 use simcore::dist::{exponential, PiecewiseLogCdf};
-use simcore::rng::substream;
+use simcore::rng::{substream, DetRng};
 use simcore::{SimDuration, SimTime};
 
 /// Configuration of the synthetic FB-2009 trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FacebookTraceConfig {
     /// Number of jobs ("more than 6000 jobs" in the paper).
     pub jobs: usize,
@@ -42,7 +40,7 @@ pub struct FacebookTraceConfig {
 /// arrivals are strongly bursty/diurnal (Chen et al.), and the burst
 /// periods are what put monster jobs and latency-sensitive small jobs in
 /// the same FIFO queue on a traditional shared cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BurstModel {
     /// How long one rate regime lasts.
     pub epoch: SimDuration,
@@ -69,9 +67,9 @@ impl BurstModel {
     }
 
     /// Draw a normalized rate factor for one epoch.
-    fn sample_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    fn sample_factor(&self, rng: &mut DetRng) -> f64 {
         let total_w: f64 = self.regimes.iter().map(|&(w, _)| w).sum();
-        let mut u: f64 = rng.gen::<f64>() * total_w;
+        let mut u: f64 = rng.f64() * total_w;
         for &(w, f) in &self.regimes {
             if u < w {
                 return f / self.mean_factor();
@@ -118,17 +116,17 @@ pub fn input_size_distribution() -> PiecewiseLogCdf {
 /// Draw the shuffle/input ratio class for one job. FB-2009 is dominated by
 /// map-only/ingest jobs, with a substantial aggregation tail; the mix keeps
 /// the three classes of the paper's Algorithm 1 all populated.
-fn sample_ratio<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u: f64 = rng.gen();
+fn sample_ratio(rng: &mut DetRng) -> f64 {
+    let u: f64 = rng.f64();
     if u < 0.50 {
         // Map-intensive (ratio < 0.4): filters, loads, ETL projections.
-        rng.gen_range(0.0..0.35)
+        rng.range_f64(0.0, 0.35)
     } else if u < 0.85 {
         // Moderate shuffle (0.4..=1.0): joins, grep-like scans.
-        rng.gen_range(0.4..1.0)
+        rng.range_f64(0.4, 1.0)
     } else {
         // Shuffle-heavy (>1): aggregations, wordcount-like expansions.
-        rng.gen_range(1.1..2.2)
+        rng.range_f64(1.1, 2.2)
     }
 }
 
@@ -173,17 +171,256 @@ pub fn generate(cfg: &FacebookTraceConfig) -> Vec<JobSpec> {
     specs
 }
 
-/// Serialize a trace to JSON (one self-contained document).
+/// Serialize a trace to JSON (one self-contained document, one job object
+/// per line). Floats are written in shortest-roundtrip form and submission
+/// times as raw microsecond ticks, so [`from_json`] restores the trace
+/// bit-for-bit.
 pub fn to_json(specs: &[JobSpec]) -> String {
-    serde_json::to_string_pretty(specs).expect("trace serialization cannot fail")
+    let mut out = String::from("[\n");
+    for (i, s) in specs.iter().enumerate() {
+        let p = &s.profile;
+        out.push_str("  {");
+        out.push_str(&format!("\"id\": {}, ", s.id.0));
+        out.push_str(&format!("\"input_size\": {}, ", s.input_size));
+        out.push_str(&format!("\"submit_ticks\": {}, ", s.submit.0));
+        out.push_str(&format!("\"name\": {}, ", json_string(&p.name)));
+        out.push_str(&format!("\"map_cycles_per_byte\": {:?}, ", p.map_cycles_per_byte));
+        out.push_str(&format!("\"reduce_cycles_per_byte\": {:?}, ", p.reduce_cycles_per_byte));
+        out.push_str(&format!("\"shuffle_input_ratio\": {:?}, ", p.shuffle_input_ratio));
+        out.push_str(&format!("\"output_input_ratio\": {:?}, ", p.output_input_ratio));
+        out.push_str(&format!("\"maps_read_input\": {}, ", p.maps_read_input));
+        out.push_str(&format!("\"maps_write_output\": {}, ", p.maps_write_output));
+        match p.fixed_reduces {
+            Some(r) => out.push_str(&format!("\"fixed_reduces\": {r}")),
+            None => out.push_str("\"fixed_reduces\": null"),
+        }
+        out.push('}');
+        if i + 1 < specs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
-/// Load a trace back from JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Load a trace back from JSON produced by [`to_json`]. Field order within
+/// each job object does not matter; unknown fields are rejected.
 ///
 /// # Errors
-/// Returns the underlying serde error on malformed input.
-pub fn from_json(json: &str) -> Result<Vec<JobSpec>, serde_json::Error> {
-    serde_json::from_str(json)
+/// Returns a description of the first malformed construct.
+pub fn from_json(json: &str) -> Result<Vec<JobSpec>, String> {
+    let mut p = JsonCursor { b: json.as_bytes(), i: 0 };
+    p.ws();
+    p.expect(b'[')?;
+    let mut specs = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        return Ok(specs);
+    }
+    loop {
+        specs.push(parse_job(&mut p)?);
+        p.ws();
+        match p.next() {
+            Some(b',') => p.ws(),
+            Some(b']') => break,
+            other => return Err(format!("expected ',' or ']' after job, got {other:?}")),
+        }
+    }
+    Ok(specs)
+}
+
+fn parse_job(p: &mut JsonCursor<'_>) -> Result<JobSpec, String> {
+    p.expect(b'{')?;
+    let mut id = None;
+    let mut input_size = None;
+    let mut submit_ticks = None;
+    let mut name = None;
+    let mut map_cpb = None;
+    let mut reduce_cpb = None;
+    let mut shuffle_ratio = None;
+    let mut output_ratio = None;
+    let mut maps_read = None;
+    let mut maps_write = None;
+    let mut fixed_reduces = None;
+    loop {
+        p.ws();
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match key.as_str() {
+            "id" => id = Some(p.number()?.parse::<u32>().map_err(|e| e.to_string())?),
+            "input_size" => {
+                input_size = Some(p.number()?.parse::<u64>().map_err(|e| e.to_string())?)
+            }
+            "submit_ticks" => {
+                submit_ticks = Some(p.number()?.parse::<u64>().map_err(|e| e.to_string())?)
+            }
+            "name" => name = Some(p.string()?),
+            "map_cycles_per_byte" => map_cpb = Some(p.f64()?),
+            "reduce_cycles_per_byte" => reduce_cpb = Some(p.f64()?),
+            "shuffle_input_ratio" => shuffle_ratio = Some(p.f64()?),
+            "output_input_ratio" => output_ratio = Some(p.f64()?),
+            "maps_read_input" => maps_read = Some(p.bool()?),
+            "maps_write_output" => maps_write = Some(p.bool()?),
+            "fixed_reduces" => {
+                fixed_reduces = Some(if p.keyword("null") {
+                    None
+                } else {
+                    Some(p.number()?.parse::<u32>().map_err(|e| e.to_string())?)
+                })
+            }
+            other => return Err(format!("unknown trace field {other:?}")),
+        }
+        p.ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => break,
+            other => return Err(format!("expected ',' or '}}' in job, got {other:?}")),
+        }
+    }
+    let miss = |f: &str| format!("missing trace field {f:?}");
+    Ok(JobSpec {
+        id: JobId(id.ok_or_else(|| miss("id"))?),
+        input_size: input_size.ok_or_else(|| miss("input_size"))?,
+        submit: SimTime(submit_ticks.ok_or_else(|| miss("submit_ticks"))?),
+        profile: JobProfile {
+            name: name.ok_or_else(|| miss("name"))?,
+            map_cycles_per_byte: map_cpb.ok_or_else(|| miss("map_cycles_per_byte"))?,
+            reduce_cycles_per_byte: reduce_cpb.ok_or_else(|| miss("reduce_cycles_per_byte"))?,
+            shuffle_input_ratio: shuffle_ratio.ok_or_else(|| miss("shuffle_input_ratio"))?,
+            output_input_ratio: output_ratio.ok_or_else(|| miss("output_input_ratio"))?,
+            maps_read_input: maps_read.ok_or_else(|| miss("maps_read_input"))?,
+            maps_write_output: maps_write.ok_or_else(|| miss("maps_write_output"))?,
+            fixed_reduces: fixed_reduces.ok_or_else(|| miss("fixed_reduces"))?,
+        },
+    })
+}
+
+/// A byte cursor with just enough JSON parsing for the trace schema.
+struct JsonCursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonCursor<'_> {
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> bool {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        if self.keyword("true") {
+            Ok(true)
+        } else if self.keyword("false") {
+            Ok(false)
+        } else {
+            Err("expected a boolean".into())
+        }
+    }
+
+    fn number(&mut self) -> Result<&str, String> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err("expected a number".into());
+        }
+        std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        self.number()?.parse::<f64>().map_err(|e| e.to_string())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        if self.i + 4 > self.b.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                            .map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        self.i += 4;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: re-decode from the byte before.
+                    let rest = std::str::from_utf8(&self.b[self.i - 1..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("truncated UTF-8")?;
+                    out.push(c);
+                    self.i += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

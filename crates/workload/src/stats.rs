@@ -4,10 +4,9 @@
 use crate::facebook;
 use mapreduce::JobSpec;
 use scheduler::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
-use serde::{Deserialize, Serialize};
 
 /// Summary of one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Number of jobs.
     pub jobs: usize,

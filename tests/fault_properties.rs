@@ -1,0 +1,175 @@
+//! Full-stack properties of the fault-injection subsystem: determinism,
+//! termination under arbitrary fault schedules, and bitwise neutrality of
+//! the empty plan.
+
+use hybrid_hadoop::prelude::*;
+use scheduler::JobPlacement;
+use simcore::fault::{FaultPlan, FaultRates};
+use simcore::SimDuration;
+
+fn small_trace(jobs: usize) -> Vec<JobSpec> {
+    let cfg = FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 * 12),
+        ..Default::default()
+    };
+    generate_facebook_trace(&cfg)
+}
+
+fn plan_for(arch: Architecture, seed: u64, intensity: f64) -> FaultPlan {
+    let nodes: Vec<usize> = arch.cluster_specs().iter().map(|s| s.len()).collect();
+    let n_servers = match arch.storage_name() {
+        "ofs" => storage::OfsConfig::default().num_servers as usize,
+        _ => 0,
+    };
+    FaultPlan::generate(
+        seed,
+        &FaultRates::scaled(intensity),
+        SimDuration::from_secs(2 * 3600),
+        &nodes,
+        n_servers,
+    )
+}
+
+fn replay(arch: Architecture, trace: &[JobSpec], tuning: &DeploymentTuning) -> TraceOutcome {
+    let crosspoint = CrossPointScheduler::default();
+    let always_out = AlwaysOut;
+    let policy: &dyn JobPlacement = match arch {
+        Architecture::Hybrid => &crosspoint,
+        _ => &always_out,
+    };
+    hybrid_core::run_trace_with(arch, policy, trace, tuning)
+}
+
+/// Same seed, same plan ⇒ identical job results and identical fault
+/// accounting, bit for bit.
+#[test]
+fn same_plan_is_bitwise_reproducible() {
+    let trace = small_trace(40);
+    for arch in Architecture::TRACE_CONTENDERS {
+        let tuning = DeploymentTuning {
+            fault: plan_for(arch, 7, 20.0),
+            ..Default::default()
+        };
+        let a = replay(arch, &trace, &tuning);
+        let b = replay(arch, &trace, &tuning);
+        assert_eq!(a.results, b.results, "{}", arch.name());
+        assert_eq!(a.fault_stats, b.fault_stats, "{}", arch.name());
+        assert_eq!(a.makespan, b.makespan, "{}", arch.name());
+    }
+}
+
+/// Different fault seeds draw different schedules (the subsystem is not
+/// degenerately constant).
+#[test]
+fn different_seeds_draw_different_schedules() {
+    let a = plan_for(Architecture::THadoop, 1, 20.0);
+    let b = plan_for(Architecture::THadoop, 2, 20.0);
+    assert!(!a.node_events.is_empty());
+    assert_ne!(a.node_events, b.node_events);
+}
+
+/// Every job terminates — as a success or an accounted failure — under any
+/// fault schedule, across seeds and intensities. `run()` itself
+/// debug-asserts full drainage; here we check the ledger adds up.
+#[test]
+fn every_job_terminates_under_any_fault_schedule() {
+    let trace = small_trace(30);
+    for seed in [0u64, 1, 2] {
+        for intensity in [5.0, 40.0, 150.0] {
+            for arch in Architecture::TRACE_CONTENDERS {
+                let mut tuning = DeploymentTuning {
+                    fault: plan_for(arch, seed, intensity),
+                    ..Default::default()
+                };
+                tuning.engine_up.speculative_execution = true;
+                tuning.engine_out.speculative_execution = true;
+                let out = replay(arch, &trace, &tuning);
+                assert_eq!(
+                    out.results.len(),
+                    trace.len(),
+                    "{} seed {seed} intensity {intensity}: every submitted job must report",
+                    arch.name()
+                );
+                let succeeded = out.results.iter().filter(|r| r.succeeded()).count();
+                assert_eq!(
+                    succeeded + out.failures(),
+                    trace.len(),
+                    "succeeded + failed must cover the trace"
+                );
+                // Crash/recovery accounting is consistent: recoveries never
+                // exceed crashes, and nothing is counted without a schedule.
+                let s = &out.fault_stats;
+                assert!(s.node_recoveries <= s.node_crashes);
+                if tuning.fault.node_events.is_empty() {
+                    assert_eq!(s.node_crashes, 0);
+                }
+            }
+        }
+    }
+}
+
+/// An explicitly-set empty plan is bitwise identical to never touching the
+/// fault API at all — fault injection is pay-for-what-you-use.
+#[test]
+fn empty_plan_is_bitwise_identical_to_no_fault_api() {
+    let trace = small_trace(40);
+    for arch in Architecture::TRACE_CONTENDERS {
+        let untouched = replay(arch, &trace, &DeploymentTuning::default());
+        let empty = replay(
+            arch,
+            &trace,
+            &DeploymentTuning { fault: FaultPlan::empty(), ..Default::default() },
+        );
+        assert_eq!(untouched.results, empty.results, "{}", arch.name());
+        assert_eq!(untouched.fault_stats, empty.fault_stats);
+        assert_eq!(untouched.fault_stats, mapreduce::FaultStats::default());
+    }
+}
+
+/// Node crashes actually cost time: a faulted replay never beats the
+/// fault-free one on makespan, and the hybrid's OFS storage never pays the
+/// HDFS re-replication bill.
+#[test]
+fn faults_cost_time_and_storage_asymmetry_holds() {
+    let trace = small_trace(40);
+    for arch in Architecture::TRACE_CONTENDERS {
+        let clean = replay(arch, &trace, &DeploymentTuning::default());
+        let tuning = DeploymentTuning {
+            fault: plan_for(arch, 3, 60.0),
+            ..Default::default()
+        };
+        let faulted = replay(arch, &trace, &tuning);
+        assert!(faulted.fault_stats.node_crashes > 0, "{}", arch.name());
+        assert!(
+            faulted.makespan >= clean.makespan,
+            "{}: faulted {:?} vs clean {:?}",
+            arch.name(),
+            faulted.makespan,
+            clean.makespan
+        );
+        if arch.storage_name() == "ofs" {
+            assert_eq!(
+                faulted.fault_stats.rereplicated_bytes, 0.0,
+                "OFS survives compute-node loss without data movement"
+            );
+        }
+    }
+}
+
+/// Straggler injection slows tasks without killing jobs: with straggler-only
+/// rates every job still succeeds and the straggler counter advances.
+#[test]
+fn stragglers_slow_but_do_not_fail() {
+    let trace = small_trace(30);
+    let rates = FaultRates {
+        straggler_prob: 0.3,
+        ..FaultRates::none()
+    };
+    let plan = FaultPlan::generate(11, &rates, SimDuration::from_secs(3600), &[24], 0);
+    let tuning = DeploymentTuning { fault: plan, ..Default::default() };
+    let out = replay(Architecture::RHadoop, &trace, &tuning);
+    assert_eq!(out.failures(), 0);
+    assert!(out.fault_stats.straggler_attempts > 0);
+    assert_eq!(out.fault_stats.node_crashes, 0);
+}

@@ -1,0 +1,84 @@
+//! Golden-trace regression tests: a small fixed-seed FB-2009 slice replayed
+//! on each §V contender must reproduce exact, checked-in numbers. Any engine
+//! change that shifts scheduling, storage, or time accounting — however
+//! subtly — trips these before it reaches the paper-scale experiments.
+//!
+//! The constants were captured from a clean run at the fault-injection PR;
+//! if a change *intentionally* alters simulated behavior, re-run with
+//! `--nocapture` (the failing assertion prints the observed tuple) and
+//! update the table alongside a changelog note.
+
+use hybrid_hadoop::prelude::*;
+use scheduler::JobPlacement;
+use simcore::SimDuration;
+
+/// The reference slice: 60 jobs over a compressed 720 s window, default
+/// seed (2009). Small enough to run in seconds, queued enough to exercise
+/// contention.
+fn golden_trace() -> Vec<JobSpec> {
+    let cfg = FacebookTraceConfig {
+        jobs: 60,
+        window: SimDuration::from_secs(720),
+        ..Default::default()
+    };
+    generate_facebook_trace(&cfg)
+}
+
+struct Golden {
+    arch: Architecture,
+    /// Last job completion, in microsecond ticks.
+    makespan_ticks: u64,
+    /// Jobs the cross-point classifier calls scale-up / scale-out class.
+    up_class: usize,
+    out_class: usize,
+    /// Jobs that physically ran on the scale-up sub-cluster.
+    ran_on_up: usize,
+    /// Median and 95th-percentile job execution, in ticks.
+    p50_ticks: u64,
+    p95_ticks: u64,
+}
+
+fn observe(arch: Architecture) -> Golden {
+    let trace = golden_trace();
+    let crosspoint = CrossPointScheduler::default();
+    let always_out = AlwaysOut;
+    let policy: &dyn JobPlacement = match arch {
+        Architecture::Hybrid => &crosspoint,
+        _ => &always_out,
+    };
+    let out = hybrid_core::run_trace(arch, policy, &trace);
+    assert_eq!(out.failures(), 0, "golden slice must run clean");
+    let mut exec: Vec<u64> = out.results.iter().map(|r| r.execution.0).collect();
+    exec.sort_unstable();
+    let n = exec.len();
+    Golden {
+        arch,
+        makespan_ticks: out.makespan.0,
+        up_class: out.up_class_exec.len(),
+        out_class: out.out_class_exec.len(),
+        ran_on_up: out.results.iter().filter(|r| r.cluster_name == "scale-up").count(),
+        p50_ticks: exec[(n - 1) / 2],
+        p95_ticks: exec[95 * (n - 1) / 100],
+    }
+}
+
+#[test]
+fn golden_slice_matches_snapshot() {
+    // (arch, makespan, up-class, out-class, ran-on-up, p50, p95) — exact.
+    let expected: [(Architecture, u64, usize, usize, usize, u64, u64); 3] = [
+        (Architecture::Hybrid, 1_180_976_598, 57, 3, 57, 3_707_913, 22_882_308),
+        (Architecture::THadoop, 1_181_539_891, 57, 3, 0, 4_259_773, 17_070_728),
+        (Architecture::RHadoop, 1_181_775_920, 57, 3, 0, 4_511_572, 19_244_347),
+    ];
+    for (arch, makespan, up, out, on_up, p50, p95) in expected {
+        let g = observe(arch);
+        let got = (g.arch, g.makespan_ticks, g.up_class, g.out_class, g.ran_on_up, g.p50_ticks, g.p95_ticks);
+        println!("observed: {got:?}");
+        assert_eq!(
+            got,
+            (arch, makespan, up, out, on_up, p50, p95),
+            "golden snapshot drifted for {}",
+            arch.name()
+        );
+    }
+}

@@ -1,20 +1,21 @@
-//! Cross-crate property-based tests.
+//! Cross-crate property-based tests, driven by seeded deterministic draws
+//! (the workspace carries no property-testing dependency; `DetRng`
+//! substreams give reproducible case generation instead).
 
 use hybrid_hadoop::prelude::*;
-use proptest::prelude::*;
+use simcore::rng::substream;
 
 const GB: u64 = 1 << 30;
+const CASES: u32 = 16;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Algorithm 1 is total: every (ratio, size) gets a placement, and the
-    /// placement is exactly `size < threshold(ratio)`.
-    #[test]
-    fn scheduler_is_total_and_threshold_consistent(
-        ratio in 0.0f64..3.0,
-        size in 1u64..(200u64 << 30),
-    ) {
+/// Algorithm 1 is total: every (ratio, size) gets a placement, and the
+/// placement is exactly `size < threshold(ratio)`.
+#[test]
+fn scheduler_is_total_and_threshold_consistent() {
+    let mut rng = substream(0x70_01, 0);
+    for _ in 0..CASES {
+        let ratio = rng.range_f64(0.0, 3.0);
+        let size = 1 + (rng.f64() * (200.0 * GB as f64)) as u64;
         let s = CrossPointScheduler::default();
         let job = JobSpec::at_zero(0, JobProfile::basic("p", ratio, 0.1), size);
         let got = s.place(&job, &ClusterLoads::default());
@@ -23,46 +24,70 @@ proptest! {
         } else {
             Placement::ScaleOut
         };
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "ratio {ratio} size {size}");
     }
+}
 
-    /// Full-stack determinism: the same spec and seed produce identical
-    /// results, bit for bit, run to run.
-    #[test]
-    fn simulation_is_deterministic(size_gb in 1u64..8, ratio in 0.0f64..2.0) {
+/// Full-stack determinism: the same spec produces identical results, bit
+/// for bit, run to run.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = substream(0x70_02, 0);
+    for _ in 0..4 {
+        let size_gb = rng.range_usize(1, 8) as u64;
+        let ratio = rng.range_f64(0.0, 2.0);
         let profile = workload::apps::synthetic(ratio);
         let a = run_job(Architecture::OutOfs, &profile, size_gb * GB);
         let b = run_job(Architecture::OutOfs, &profile, size_gb * GB);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Larger inputs never run faster (same architecture, same profile).
-    #[test]
-    fn execution_time_is_monotone_in_input_size(base_gb in 1u64..16) {
+/// Larger inputs never run faster (same architecture, same profile).
+#[test]
+fn execution_time_is_monotone_in_input_size() {
+    let mut rng = substream(0x70_03, 0);
+    for _ in 0..4 {
+        let base_gb = rng.range_usize(1, 16) as u64;
         let profile = workload::apps::grep();
         let t1 = run_job(Architecture::OutOfs, &profile, base_gb * GB);
         let t2 = run_job(Architecture::OutOfs, &profile, 2 * base_gb * GB);
-        prop_assert!(t2.execution >= t1.execution,
-            "{} GB took {:?}, {} GB took {:?}", base_gb, t1.execution, 2 * base_gb, t2.execution);
+        assert!(
+            t2.execution >= t1.execution,
+            "{} GB took {:?}, {} GB took {:?}",
+            base_gb,
+            t1.execution,
+            2 * base_gb,
+            t2.execution
+        );
     }
+}
 
-    /// Phase durations always fit inside the execution time, and the job
-    /// accounting is internally consistent.
-    #[test]
-    fn phase_accounting_is_consistent(size_gb in 1u64..12, ratio in 0.0f64..2.0) {
+/// Phase durations always fit inside the execution time, and the job
+/// accounting is internally consistent.
+#[test]
+fn phase_accounting_is_consistent() {
+    let mut rng = substream(0x70_04, 0);
+    for _ in 0..6 {
+        let size_gb = rng.range_usize(1, 12) as u64;
+        let ratio = rng.range_f64(0.0, 2.0);
         let profile = workload::apps::synthetic(ratio);
         let r = run_job(Architecture::OutHdfs, &profile, size_gb * GB);
-        prop_assert!(r.succeeded());
+        assert!(r.succeeded());
         let phases = r.map_phase + r.shuffle_phase + r.reduce_phase;
-        prop_assert!(r.execution >= phases);
-        prop_assert_eq!(r.maps as u64, (size_gb * GB).div_ceil(128 << 20));
-        prop_assert!(r.map_waves >= 1 && r.map_waves <= r.maps);
-        prop_assert!(r.reduces >= 1);
+        assert!(r.execution >= phases);
+        assert_eq!(r.maps as u64, (size_gb * GB).div_ceil(128 << 20));
+        assert!(r.map_waves >= 1 && r.map_waves <= r.maps);
+        assert!(r.reduces >= 1);
     }
+}
 
-    /// The trace generator respects Figure 3's bands for any seed.
-    #[test]
-    fn trace_bands_hold_for_any_seed(seed in 0u64..1000) {
+/// The trace generator respects Figure 3's bands for any seed.
+#[test]
+fn trace_bands_hold_for_any_seed() {
+    let mut rng = substream(0x70_05, 0);
+    for _ in 0..CASES {
+        let seed = rng.range_usize(0, 1000) as u64;
         let cfg = FacebookTraceConfig {
             jobs: 2000,
             seed,
@@ -73,20 +98,22 @@ proptest! {
         let n = specs.len() as f64;
         let small = specs.iter().filter(|s| s.input_size < 1_000_000).count() as f64 / n;
         let large = specs.iter().filter(|s| s.input_size > 30_000_000_000).count() as f64 / n;
-        prop_assert!((small - 0.40).abs() < 0.05, "small {small}");
-        prop_assert!((large - 0.11).abs() < 0.04, "large {large}");
-        prop_assert!(specs.windows(2).all(|w| w[0].submit <= w[1].submit));
+        assert!((small - 0.40).abs() < 0.05, "seed {seed} small {small}");
+        assert!((large - 0.11).abs() < 0.04, "seed {seed} large {large}");
+        assert!(specs.windows(2).all(|w| w[0].submit <= w[1].submit));
     }
+}
 
-    /// Cost parity: any architecture pair the paper compares has equal
-    /// hardware price under the preset cost model.
-    #[test]
-    fn compared_architectures_cost_the_same(pick in 0usize..3) {
-        let contenders = Architecture::TRACE_CONTENDERS;
+/// Cost parity: any architecture pair the paper compares has equal
+/// hardware price under the preset cost model.
+#[test]
+fn compared_architectures_cost_the_same() {
+    let contenders = Architecture::TRACE_CONTENDERS;
+    for pick in 0..3 {
         let a = contenders[pick];
         let b = contenders[(pick + 1) % 3];
         let (pa, pb) = (a.total_price(), b.total_price());
-        prop_assert!((pa - pb).abs() / pa < 0.01);
+        assert!((pa - pb).abs() / pa < 0.01);
     }
 }
 

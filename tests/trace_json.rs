@@ -1,0 +1,47 @@
+//! The library's persistence surface: the hand-rolled trace JSON format
+//! must round-trip a generated trace exactly (it is the only on-disk
+//! artifact the pipeline writes and reads back).
+
+use hybrid_hadoop::prelude::*;
+use workload::facebook::{from_json, to_json};
+
+#[test]
+fn generated_trace_roundtrips_exactly() {
+    let cfg = FacebookTraceConfig { jobs: 200, ..Default::default() };
+    let trace = generate_facebook_trace(&cfg);
+    let json = to_json(&trace);
+    let back = from_json(&json).expect("parse back");
+    assert_eq!(trace, back, "bit-exact roundtrip");
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    let json = to_json(&[]);
+    assert_eq!(from_json(&json).unwrap(), Vec::<JobSpec>::new());
+}
+
+#[test]
+fn special_profiles_roundtrip() {
+    // fixed_reduces and the write-only TestDFSIO shape exercise the null
+    // and boolean fields.
+    let specs = vec![
+        JobSpec::at_zero(0, workload::apps::testdfsio_write(), 1 << 30),
+        JobSpec::at_zero(1, workload::apps::wordcount(), 1 << 20),
+    ];
+    let back = from_json(&to_json(&specs)).unwrap();
+    assert_eq!(specs, back);
+}
+
+#[test]
+fn malformed_input_is_rejected_not_panicked() {
+    for bad in [
+        "",
+        "[",
+        "[{}]",
+        "[{\"id\": 1}]",
+        "[{\"unknown_field\": 3}]",
+        "[{\"id\": \"x\"}]",
+    ] {
+        assert!(from_json(bad).is_err(), "{bad:?} should fail to parse");
+    }
+}
