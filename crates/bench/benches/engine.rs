@@ -40,11 +40,20 @@ fn bench_ps_resource() {
 fn bench_flow_network() {
     bench("flow_network/multi_resource_churn", 20, || {
         let mut net = FlowNetwork::new();
-        let resources: Vec<_> = (0..24).map(|i| net.add_resource(format!("r{i}"), 1e8)).collect();
+        let resources: Vec<_> = (0..24)
+            .map(|i| net.add_resource(format!("r{i}"), 1e8))
+            .collect();
         let mut now = SimTime::ZERO;
         for i in 0..500u64 {
-            let path = [resources[(i % 24) as usize], resources[((i * 7) % 24) as usize]];
-            let path: Vec<_> = if path[0] == path[1] { vec![path[0]] } else { path.to_vec() };
+            let path = [
+                resources[(i % 24) as usize],
+                resources[((i * 7) % 24) as usize],
+            ];
+            let path: Vec<_> = if path[0] == path[1] {
+                vec![path[0]]
+            } else {
+                path.to_vec()
+            };
             net.add_flow(now, FlowId(i), 5e6, &path, None);
             if i % 3 == 0 {
                 if let Some(t) = net.next_completion_time(now) {
@@ -64,12 +73,27 @@ fn bench_flow_network() {
 fn bench_single_jobs() {
     for (name, arch, size) in [
         ("single_job/grep_1gb_out_ofs", Architecture::OutOfs, GB),
-        ("single_job/grep_16gb_out_ofs", Architecture::OutOfs, 16 * GB),
-        ("single_job/wordcount_16gb_up_ofs", Architecture::UpOfs, 16 * GB),
-        ("single_job/wordcount_16gb_out_hdfs", Architecture::OutHdfs, 16 * GB),
+        (
+            "single_job/grep_16gb_out_ofs",
+            Architecture::OutOfs,
+            16 * GB,
+        ),
+        (
+            "single_job/wordcount_16gb_up_ofs",
+            Architecture::UpOfs,
+            16 * GB,
+        ),
+        (
+            "single_job/wordcount_16gb_out_hdfs",
+            Architecture::OutHdfs,
+            16 * GB,
+        ),
     ] {
-        let profile =
-            if name.contains("grep") { apps::grep() } else { apps::wordcount() };
+        let profile = if name.contains("grep") {
+            apps::grep()
+        } else {
+            apps::wordcount()
+        };
         bench(name, 5, || run_job(arch, &profile, size));
     }
 }

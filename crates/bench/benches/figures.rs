@@ -32,7 +32,11 @@ fn bench_trace_replay() {
     };
     let trace = generate_facebook_trace(&cfg);
     bench("trace_replay/hybrid_300_jobs", 5, || {
-        run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace)
+        run_trace(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+        )
     });
     bench("trace_replay/thadoop_300_jobs", 5, || {
         run_trace(Architecture::THadoop, &AlwaysOut, &trace)

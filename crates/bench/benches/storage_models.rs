@@ -26,7 +26,9 @@ fn bench_hdfs() {
     bench("hdfs/plan_80_block_reads", 20, || {
         let mut total = 0.0;
         for blk in 0..80 {
-            total += fs.plan_read(FileId(1), blk, &nodes[(blk % 12) as usize]).total_bytes();
+            total += fs
+                .plan_read(FileId(1), blk, &nodes[(blk % 12) as usize])
+                .total_bytes();
         }
         total
     });
@@ -35,8 +37,8 @@ fn bench_hdfs() {
 fn bench_ofs() {
     bench("ofs/place_10gb_file", 20, || {
         let mut net = FlowNetwork::new();
-        let _ = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12)
-            .build(&mut net, 0);
+        let _ =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), 12).build(&mut net, 0);
         let mut fs = OfsModel::new(OfsConfig::default(), &mut net);
         fs.create_file(FileId(1), 10 * GB).unwrap()
     });
@@ -48,8 +50,9 @@ fn bench_ofs() {
     bench("ofs/plan_80_stripe_reads", 20, || {
         let mut total = 0.0;
         for blk in 0..80 {
-            total +=
-                fs.plan_read(FileId(1), blk, &built.nodes[(blk % 12) as usize]).total_bytes();
+            total += fs
+                .plan_read(FileId(1), blk, &built.nodes[(blk % 12) as usize])
+                .total_bytes();
         }
         total
     });

@@ -11,6 +11,11 @@
 //! The *simulated-outcome* ablations (scheduler variants, storage choices,
 //! heap sweeps) are experiments, not wall-clock benchmarks; see the
 //! `experiments` crate's `ablations` binary.
+//!
+//! [`profile`] carries the self-profiling report schema and the regression
+//! gate consumed by the workspace `self_profile` and `bench_diff` binaries.
+
+pub mod profile;
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -29,7 +34,12 @@ pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(0.0f64, f64::max);
-    println!("{name:<40} {:>10} (min {}, max {})", fmt(mean), fmt(min), fmt(max));
+    println!(
+        "{name:<40} {:>10} (min {}, max {})",
+        fmt(mean),
+        fmt(min),
+        fmt(max)
+    );
     mean
 }
 

@@ -1,0 +1,489 @@
+//! Self-profiling reports and the perf-regression gate.
+//!
+//! The `self_profile` binary times a fixed set of simulator workloads and
+//! emits one JSON report per suite (schema [`SCHEMA`]); `bench_diff`
+//! compares a current report against a committed baseline and exits nonzero
+//! when any metric regresses past the threshold. Reports mix two kinds of
+//! entries: wall-clock timings (machine-dependent, unit `"s"`) and simulated
+//! metrics (makespans, event counts — exactly reproducible on any machine),
+//! so a baseline still catches behavioral slowdowns even when compared
+//! across different hardware with a loose threshold.
+//!
+//! JSON is hand-rolled on both sides, following `workload::facebook`: the
+//! workspace stays std-only.
+
+/// Report schema identifier; bumped when the shape changes.
+pub const SCHEMA: &str = "hybrid-hadoop-bench/v1";
+
+/// Default regression gate: fail on >15% change in the worse direction.
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// Which direction is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Smaller is better (durations, event counts).
+    Lower,
+    /// Larger is better (throughputs).
+    Higher,
+}
+
+impl Better {
+    /// Stable serialized form.
+    pub fn label(self) -> &'static str {
+        match self {
+            Better::Lower => "lower",
+            Better::Higher => "higher",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "lower" => Ok(Better::Lower),
+            "higher" => Ok(Better::Higher),
+            other => Err(format!("unknown better direction {other:?}")),
+        }
+    }
+}
+
+/// One measured metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Metric name, e.g. `"engine/out_hdfs_wordcount_2gb"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit: `"s"` for wall-clock, `"sim_s"` / `"events"` for simulated
+    /// metrics.
+    pub unit: String,
+    /// Improvement direction.
+    pub better: Better,
+}
+
+/// A suite's report: what `self_profile` writes and `bench_diff` reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Suite name, e.g. `"engine"` or `"sweep"`.
+    pub suite: String,
+    /// Metrics, in emission order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report for `suite`.
+    pub fn new(suite: impl Into<String>) -> Self {
+        BenchReport {
+            suite: suite.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append one metric.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+        better: Better,
+    ) {
+        self.entries.push(BenchEntry {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+            better,
+        });
+    }
+
+    /// Look up a metric by name.
+    pub fn entry(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serialize to the stable schema. Floats use shortest-roundtrip form,
+    /// so `from_json` restores the report bit-for-bit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("\"schema\": {},\n", json_string(SCHEMA)));
+        out.push_str(&format!("\"suite\": {},\n", json_string(&self.suite)));
+        out.push_str("\"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"name\": {}, \"value\": {:?}, \"unit\": {}, \"better\": {}}}{}\n",
+                json_string(&e.name),
+                e.value,
+                json_string(&e.unit),
+                json_string(e.better.label()),
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse a report written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed construct, including a
+    /// schema mismatch.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let mut p = Cursor {
+            b: json.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        p.expect(b'{')?;
+        let mut schema = None;
+        let mut suite = None;
+        let mut entries = None;
+        loop {
+            p.ws();
+            let key = p.string()?;
+            p.ws();
+            p.expect(b':')?;
+            p.ws();
+            match key.as_str() {
+                "schema" => schema = Some(p.string()?),
+                "suite" => suite = Some(p.string()?),
+                "entries" => entries = Some(parse_entries(&mut p)?),
+                other => return Err(format!("unknown report field {other:?}")),
+            }
+            p.ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}' in report, got {other:?}")),
+            }
+        }
+        match schema.as_deref() {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema {other:?}, want {SCHEMA:?}")),
+            None => return Err("missing report field \"schema\"".into()),
+        }
+        Ok(BenchReport {
+            suite: suite.ok_or("missing report field \"suite\"")?,
+            entries: entries.ok_or("missing report field \"entries\"")?,
+        })
+    }
+}
+
+fn parse_entries(p: &mut Cursor<'_>) -> Result<Vec<BenchEntry>, String> {
+    p.expect(b'[')?;
+    let mut entries = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        p.next();
+        return Ok(entries);
+    }
+    loop {
+        p.ws();
+        entries.push(parse_entry(p)?);
+        p.ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b']') => return Ok(entries),
+            other => return Err(format!("expected ',' or ']' after entry, got {other:?}")),
+        }
+    }
+}
+
+fn parse_entry(p: &mut Cursor<'_>) -> Result<BenchEntry, String> {
+    p.expect(b'{')?;
+    let mut name = None;
+    let mut value = None;
+    let mut unit = None;
+    let mut better = None;
+    loop {
+        p.ws();
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match key.as_str() {
+            "name" => name = Some(p.string()?),
+            "value" => value = Some(p.f64()?),
+            "unit" => unit = Some(p.string()?),
+            "better" => better = Some(Better::parse(&p.string()?)?),
+            other => return Err(format!("unknown entry field {other:?}")),
+        }
+        p.ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => break,
+            other => return Err(format!("expected ',' or '}}' in entry, got {other:?}")),
+        }
+    }
+    let miss = |f: &str| format!("missing entry field {f:?}");
+    Ok(BenchEntry {
+        name: name.ok_or_else(|| miss("name"))?,
+        value: value.ok_or_else(|| miss("value"))?,
+        unit: unit.ok_or_else(|| miss("unit"))?,
+        better: better.ok_or_else(|| miss("better"))?,
+    })
+}
+
+/// One baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change in the *worse* direction: `+0.20` means 20%
+    /// worse, `-0.10` means 10% better, whatever the metric's polarity.
+    pub worse_by: f64,
+    /// Whether `worse_by` exceeds the gate threshold.
+    pub regression: bool,
+}
+
+/// Compare `current` against `baseline`, flagging entries that got more
+/// than `threshold` worse. Entries present on only one side are skipped —
+/// adding or retiring a metric is not a regression.
+pub fn diff(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<Delta> {
+    let mut out = Vec::new();
+    for b in &baseline.entries {
+        let Some(c) = current.entry(&b.name) else {
+            continue;
+        };
+        let worse_by = if b.value.abs() < f64::EPSILON {
+            0.0 // a zero baseline cannot regress relatively
+        } else {
+            let change = (c.value - b.value) / b.value;
+            match b.better {
+                Better::Lower => change,
+                Better::Higher => -change,
+            }
+        };
+        out.push(Delta {
+            name: b.name.clone(),
+            baseline: b.value,
+            current: c.value,
+            worse_by,
+            regression: worse_by > threshold,
+        });
+    }
+    out
+}
+
+/// Render a comparison as an aligned console table.
+pub fn render_diff(deltas: &[Delta], threshold: f64) -> String {
+    let mut out = format!(
+        "{:<44} {:>14} {:>14} {:>9}  gate >{:.0}%\n",
+        "metric",
+        "baseline",
+        "current",
+        "worse by",
+        threshold * 100.0
+    );
+    for d in deltas {
+        out.push_str(&format!(
+            "{:<44} {:>14.6} {:>14.6} {:>8.1}%  {}\n",
+            d.name,
+            d.baseline,
+            d.current,
+            d.worse_by * 100.0,
+            if d.regression { "REGRESSION" } else { "ok" },
+        ));
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A byte cursor with just enough JSON parsing for the report schema.
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err("expected a number".into());
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| e.to_string())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        if self.i + 4 > self.b.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                            .map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        self.i += 4;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(first) => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let len = match first {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.i - 1;
+                    if start + len > self.b.len() {
+                        return Err("truncated UTF-8 sequence".into());
+                    }
+                    let s = std::str::from_utf8(&self.b[start..start + len])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("engine");
+        r.push("engine/wordcount_2gb", 0.125, "s", Better::Lower);
+        r.push("engine/throughput", 80.0, "jobs/s", Better::Higher);
+        r.push("sim/makespan \"quoted\"", 134.404, "sim_s", Better::Lower);
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let r = sample();
+        let json = r.to_json();
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        // Serialization is deterministic.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let json = sample().to_json().replace("bench/v1", "bench/v9");
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_fails_the_default_gate() {
+        let base = sample();
+        let mut slow = sample();
+        for e in &mut slow.entries {
+            if e.name == "engine/wordcount_2gb" {
+                e.value *= 1.20;
+            }
+        }
+        let deltas = diff(&base, &slow, DEFAULT_THRESHOLD);
+        let d = deltas
+            .iter()
+            .find(|d| d.name == "engine/wordcount_2gb")
+            .unwrap();
+        assert!(d.regression, "{d:?}");
+        assert!((d.worse_by - 0.20).abs() < 1e-9);
+        assert!(deltas.iter().filter(|d| d.regression).count() == 1);
+    }
+
+    #[test]
+    fn improvements_and_small_noise_pass() {
+        let base = sample();
+        let mut cur = sample();
+        cur.entries[0].value *= 1.10; // 10% slower: within the 15% gate
+        cur.entries[1].value *= 1.30; // higher-is-better metric improving
+        let deltas = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(deltas.iter().all(|d| !d.regression), "{deltas:?}");
+        // A throughput *drop* past the gate does regress.
+        cur.entries[1].value = 80.0 * 0.7;
+        let deltas = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(deltas
+            .iter()
+            .any(|d| d.name == "engine/throughput" && d.regression));
+    }
+
+    #[test]
+    fn disjoint_entries_are_skipped_not_failed() {
+        let base = sample();
+        let mut cur = BenchReport::new("engine");
+        cur.push("engine/brand_new_metric", 1.0, "s", Better::Lower);
+        cur.push("engine/wordcount_2gb", 0.125, "s", Better::Lower);
+        let deltas = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].name, "engine/wordcount_2gb");
+        assert!(!deltas[0].regression);
+    }
+
+    #[test]
+    fn render_diff_marks_regressions() {
+        let base = sample();
+        let mut slow = sample();
+        slow.entries[0].value *= 2.0;
+        let table = render_diff(&diff(&base, &slow, DEFAULT_THRESHOLD), DEFAULT_THRESHOLD);
+        assert!(table.contains("REGRESSION"), "{table}");
+        assert!(table.contains("ok"), "{table}");
+    }
+}

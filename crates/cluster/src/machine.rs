@@ -5,7 +5,6 @@
 //! heap and RAM-disk shuffle store), local disk bandwidth/capacity (HDFS and
 //! spill I/O), and NIC bandwidth (shuffle and remote-storage traffic).
 
-
 /// Bytes in one kibi/mebi/gibi/tebibyte — the simulator uses binary units
 /// throughout, matching Hadoop's block-size conventions (128 MB = 128 MiB).
 pub const KB: u64 = 1 << 10;
@@ -152,7 +151,9 @@ impl MachineSpec {
     /// (the paper's scale-up shuffle placement), otherwise the cache-assisted
     /// local-disk rate.
     pub fn shuffle_store_bandwidth(&self) -> f64 {
-        self.ramdisk.map(|r| r.bandwidth).unwrap_or(self.shuffle_bandwidth)
+        self.ramdisk
+            .map(|r| r.bandwidth)
+            .unwrap_or(self.shuffle_bandwidth)
     }
 }
 
@@ -167,9 +168,16 @@ mod tests {
             core_ghz: 2.0,
             ipc_factor: 1.5,
             ram: 16 * GB,
-            disk: DiskSpec { bandwidth: 1e8, capacity: 100 * GB },
+            disk: DiskSpec {
+                bandwidth: 1e8,
+                capacity: 100 * GB,
+            },
             nic: NicSpec { bandwidth: 1.25e9 },
-            memory: MemorySpec { bandwidth: 3e9, page_cache: 4 * GB, dirty_absorb: GB },
+            memory: MemorySpec {
+                bandwidth: 3e9,
+                page_cache: 4 * GB,
+                dirty_absorb: GB,
+            },
             ramdisk: None,
             shuffle_bandwidth: 5e8,
             price_usd: 1000.0,
@@ -180,7 +188,11 @@ mod tests {
     fn slots_sum_to_cores() {
         for cores in [1, 2, 4, 8, 24, 64] {
             let spec = m(cores);
-            assert_eq!(spec.map_slots() + spec.reduce_slots(), cores, "cores={cores}");
+            assert_eq!(
+                spec.map_slots() + spec.reduce_slots(),
+                cores,
+                "cores={cores}"
+            );
             assert!(spec.reduce_slots() >= 1);
         }
     }
@@ -206,7 +218,11 @@ mod tests {
         assert_eq!(MemorySpec::cached_fraction(4, 0), 1.0);
         assert_eq!(MemorySpec::cached_fraction(4, 2), 1.0);
         assert_eq!(MemorySpec::cached_fraction(4, 8), 0.5);
-        let m = MemorySpec { bandwidth: 1e9, page_cache: 10, dirty_absorb: 5 };
+        let m = MemorySpec {
+            bandwidth: 1e9,
+            page_cache: 10,
+            dirty_absorb: 5,
+        };
         assert_eq!(m.read_hit_fraction(20), 0.5);
         assert_eq!(m.write_absorb_fraction(20), 0.25);
     }

@@ -36,9 +36,16 @@ pub fn scale_up_machine() -> MachineSpec {
         // 505 GB of RAM minus the 252 GB tmpfs RAM disk and ~190 GB of task
         // heaps (24 × 8 GB) leaves a healthy page cache; dirty headroom per
         // Linux writeback defaults on the free portion.
-        memory: MemorySpec { bandwidth: 4.0e9, page_cache: 48 * GB, dirty_absorb: 8 * GB },
+        memory: MemorySpec {
+            bandwidth: 4.0e9,
+            page_cache: 48 * GB,
+            dirty_absorb: 8 * GB,
+        },
         // "Palmetto enables to use half of the total memory size as tmpfs".
-        ramdisk: Some(RamdiskSpec { bandwidth: 3.5e9, capacity: 252 * GB }),
+        ramdisk: Some(RamdiskSpec {
+            bandwidth: 3.5e9,
+            capacity: 252 * GB,
+        }),
         // Unused: the RAM disk is the shuffle store.
         shuffle_bandwidth: 3.5e9,
         // Quad-socket Xeon 7500-class box, list price ~6× a commodity
@@ -65,7 +72,11 @@ pub fn scale_out_machine() -> MachineSpec {
         nic: NicSpec { bandwidth: 1.25e9 },
         // 16 GB minus 8 × 1-1.5 GB heaps leaves a few GB of page cache;
         // writeback throttling caps dirty data well below that.
-        memory: MemorySpec { bandwidth: 3.0e9, page_cache: 5 * GB, dirty_absorb: GB / 2 },
+        memory: MemorySpec {
+            bandwidth: 3.0e9,
+            page_cache: 5 * GB,
+            dirty_absorb: GB / 2,
+        },
         ramdisk: None, // "the memory size is limited on the scale-out machines"
         // Shuffle streams are written, fetched and deleted within seconds;
         // most never survive to writeback, so the effective store rate sits
@@ -140,9 +151,7 @@ mod tests {
         let up = scale_up_cluster();
         let out = scale_out_cluster();
         assert!(out.total_map_slots() > up.total_map_slots());
-        assert!(
-            scale_up_machine().core_speed() > scale_out_machine().core_speed()
-        );
+        assert!(scale_up_machine().core_speed() > scale_out_machine().core_speed());
         let up_shuffle_bw = scale_up_machine().ramdisk.unwrap().bandwidth;
         let out_shuffle_bw = scale_out_machine().disk.bandwidth;
         assert!(up_shuffle_bw > 10.0 * out_shuffle_bw);

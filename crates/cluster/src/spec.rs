@@ -124,15 +124,16 @@ impl ClusterSpec {
             .enumerate()
             .map(|(i, m)| {
                 let id = NodeId(first_node_id + i as u32);
-                let disk = net
-                    .add_resource(format!("{}/n{}/disk", self.name, id.0), m.disk.bandwidth);
-                let nic =
-                    net.add_resource(format!("{}/n{}/nic", self.name, id.0), m.nic.bandwidth);
+                let disk =
+                    net.add_resource(format!("{}/n{}/disk", self.name, id.0), m.disk.bandwidth);
+                let nic = net.add_resource(format!("{}/n{}/nic", self.name, id.0), m.nic.bandwidth);
                 let ramdisk = m.ramdisk.map(|r| {
                     net.add_resource(format!("{}/n{}/ramdisk", self.name, id.0), r.bandwidth)
                 });
-                let membus = net
-                    .add_resource(format!("{}/n{}/membus", self.name, id.0), m.memory.bandwidth);
+                let membus = net.add_resource(
+                    format!("{}/n{}/membus", self.name, id.0),
+                    m.memory.bandwidth,
+                );
                 let shuffle = match ramdisk {
                     Some(r) => r,
                     None => net.add_resource(
@@ -140,10 +141,22 @@ impl ClusterSpec {
                         m.shuffle_store_bandwidth(),
                     ),
                 };
-                Node { id, spec: m.clone(), disk, nic, ramdisk, membus, shuffle }
+                Node {
+                    id,
+                    spec: m.clone(),
+                    disk,
+                    nic,
+                    ramdisk,
+                    membus,
+                    shuffle,
+                }
             })
             .collect();
-        BuiltCluster { name: self.name.clone(), nodes, fabric: self.fabric }
+        BuiltCluster {
+            name: self.name.clone(),
+            nodes,
+            fabric: self.fabric,
+        }
     }
 }
 
@@ -214,7 +227,11 @@ mod tests {
         let un = &up.nodes[0];
         let on = &out.nodes[0];
         assert_eq!(un.shuffle_store(), un.ramdisk.unwrap());
-        assert_ne!(on.shuffle_store(), on.disk, "dedicated cache-assisted channel");
+        assert_ne!(
+            on.shuffle_store(),
+            on.disk,
+            "dedicated cache-assisted channel"
+        );
         assert!(net.resource_name(un.shuffle_store()).contains("ramdisk"));
         assert!(net.resource_name(on.shuffle_store()).contains("shuffle"));
     }

@@ -38,12 +38,19 @@ pub enum Architecture {
 
 impl Architecture {
     /// The four single-cluster measurement architectures of Table I.
-    pub const TABLE_I: [Architecture; 4] =
-        [Architecture::UpOfs, Architecture::UpHdfs, Architecture::OutOfs, Architecture::OutHdfs];
+    pub const TABLE_I: [Architecture; 4] = [
+        Architecture::UpOfs,
+        Architecture::UpHdfs,
+        Architecture::OutOfs,
+        Architecture::OutHdfs,
+    ];
 
     /// The three §V trace-replay contenders.
-    pub const TRACE_CONTENDERS: [Architecture; 3] =
-        [Architecture::Hybrid, Architecture::THadoop, Architecture::RHadoop];
+    pub const TRACE_CONTENDERS: [Architecture; 3] = [
+        Architecture::Hybrid,
+        Architecture::THadoop,
+        Architecture::RHadoop,
+    ];
 
     /// Paper-style short name.
     pub fn name(&self) -> &'static str {
@@ -68,7 +75,10 @@ impl Architecture {
 
     /// Whether the deployment contains a scale-up sub-cluster.
     pub fn has_scale_up(&self) -> bool {
-        matches!(self, Architecture::UpOfs | Architecture::UpHdfs | Architecture::Hybrid)
+        matches!(
+            self,
+            Architecture::UpOfs | Architecture::UpHdfs | Architecture::Hybrid
+        )
     }
 
     /// Compute cluster specs for this architecture (in cluster-index order),
@@ -96,7 +106,10 @@ impl Architecture {
 
     /// Total hardware price — equal across all architectures by design.
     pub fn total_price(&self) -> f64 {
-        self.cluster_specs().iter().map(ClusterSpec::total_price).sum()
+        self.cluster_specs()
+            .iter()
+            .map(ClusterSpec::total_price)
+            .sum()
     }
 }
 
@@ -132,10 +145,12 @@ impl Deployment {
         let all_nodes: Vec<cluster::Node> =
             built.iter().flat_map(|b| b.nodes.iter().cloned()).collect();
 
-        let storage_kind = tuning.storage_override.unwrap_or(match arch.storage_name() {
-            "hdfs" => StorageKind::Hdfs,
-            _ => StorageKind::Ofs,
-        });
+        let storage_kind = tuning
+            .storage_override
+            .unwrap_or(match arch.storage_name() {
+                "hdfs" => StorageKind::Hdfs,
+                _ => StorageKind::Ofs,
+            });
         let dfs: Box<dyn storage::DfsModel> = match storage_kind {
             StorageKind::Hdfs => Box::new(HdfsModel::new(
                 tuning.hdfs.clone(),
@@ -168,7 +183,15 @@ impl Deployment {
         if !tuning.fault.is_empty() {
             sim.set_fault_plan(tuning.fault.clone());
         }
-        Deployment { sim, arch, up_cluster, out_cluster }
+        if tuning.observe {
+            sim.enable_observability();
+        }
+        Deployment {
+            sim,
+            arch,
+            up_cluster,
+            out_cluster,
+        }
     }
 
     /// Submit a job on the side chosen by a placement decision. On
@@ -222,6 +245,11 @@ pub struct DeploymentTuning {
     /// an empty plan leaves the simulation bit-identical to a fault-free
     /// build.
     pub fault: FaultPlan,
+    /// Record an observability trace (spans, counters, placement decisions)
+    /// during the run. Off by default; enabling it never changes simulation
+    /// results — traces are keyed on [`simcore::SimTime`], so two runs of
+    /// the same spec and seed produce byte-identical exports.
+    pub observe: bool,
 }
 
 impl Default for DeploymentTuning {
@@ -235,6 +263,7 @@ impl Default for DeploymentTuning {
             out_machine: presets::scale_out_machine(),
             storage_override: None,
             fault: FaultPlan::empty(),
+            observe: false,
         }
     }
 }
@@ -265,7 +294,10 @@ mod tests {
 
     #[test]
     fn build_all_architectures() {
-        for arch in Architecture::TABLE_I.iter().chain(Architecture::TRACE_CONTENDERS.iter()) {
+        for arch in Architecture::TABLE_I
+            .iter()
+            .chain(Architecture::TRACE_CONTENDERS.iter())
+        {
             let d = Deployment::build(*arch);
             assert_eq!(d.arch, *arch);
             assert_eq!(d.arch.has_scale_up(), d.up_cluster.is_some());

@@ -20,7 +20,10 @@ pub mod runner;
 pub mod trace;
 
 pub use architecture::{Architecture, Deployment, DeploymentTuning, StorageKind};
-pub use runner::{cross_point_sweep, cross_point_sweep_with, grids, run_job, run_job_with, series_of, sweep, sweep_with};
+pub use runner::{
+    cross_point_sweep, cross_point_sweep_with, grids, run_job, run_job_with, series_of, sweep,
+    sweep_with,
+};
 pub use trace::{
     quantile_stats, run_trace, run_trace_replicated, run_trace_replicated_with, run_trace_with,
     TraceOutcome,

@@ -27,11 +27,7 @@ pub fn run_job_with(
 
 /// The measurement grid of one figure: each architecture × each size, in
 /// parallel (each point is its own deterministic deployment).
-pub fn sweep(
-    archs: &[Architecture],
-    profile: &JobProfile,
-    sizes: &[u64],
-) -> Vec<Vec<JobResult>> {
+pub fn sweep(archs: &[Architecture], profile: &JobProfile, sizes: &[u64]) -> Vec<Vec<JobResult>> {
     sweep_with(archs, profile, sizes, &DeploymentTuning::default())
 }
 
@@ -47,8 +43,9 @@ pub fn sweep_with(
         .enumerate()
         .flat_map(|(ai, &a)| sizes.iter().map(move |&s| (ai, a, s)))
         .collect();
-    let results =
-        parsweep::par_map(points, |(ai, arch, size)| (ai, run_job_with(arch, profile, size, tuning)));
+    let results = parsweep::par_map(points, |(ai, arch, size)| {
+        (ai, run_job_with(arch, profile, size, tuning))
+    });
     let mut grouped: Vec<Vec<JobResult>> = archs.iter().map(|_| Vec::new()).collect();
     for (ai, r) in results {
         grouped[ai].push(r);
@@ -92,8 +89,12 @@ pub fn cross_point_sweep_with(
     sizes: &[u64],
     tuning: &DeploymentTuning,
 ) -> Vec<SweepPoint> {
-    let grouped =
-        sweep_with(&[Architecture::UpOfs, Architecture::OutOfs], profile, sizes, tuning);
+    let grouped = sweep_with(
+        &[Architecture::UpOfs, Architecture::OutOfs],
+        profile,
+        sizes,
+        tuning,
+    );
     grouped[0]
         .iter()
         .zip(&grouped[1])
@@ -128,7 +129,10 @@ pub mod grids {
 
     /// Figures 7/8 cross-point scans: 1–100 GB.
     pub fn cross_point() -> Vec<u64> {
-        [1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64, 100].iter().map(|&gb| gb * GB).collect()
+        [1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64, 100]
+            .iter()
+            .map(|&gb| gb * GB)
+            .collect()
     }
 }
 
@@ -189,7 +193,11 @@ mod tests {
 
     #[test]
     fn grids_are_sorted_and_in_range() {
-        for grid in [grids::shuffle_intensive(), grids::map_intensive(), grids::cross_point()] {
+        for grid in [
+            grids::shuffle_intensive(),
+            grids::map_intensive(),
+            grids::cross_point(),
+        ] {
             assert!(grid.windows(2).all(|w| w[0] < w[1]));
             assert!(*grid.first().unwrap() >= GB / 2);
             assert!(*grid.last().unwrap() <= 1000 * GB);

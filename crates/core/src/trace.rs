@@ -34,6 +34,11 @@ pub struct TraceOutcome {
     /// Injected-fault accounting for the whole replay (all zeros when the
     /// deployment ran with an empty fault plan).
     pub fault_stats: FaultStats,
+    /// The observability recorder, when the replay ran with
+    /// [`DeploymentTuning::observe`] set — spans, counters, and placement
+    /// annotations ready for [`obs::chrome`] export or
+    /// [`obs::breakdown::PhaseBreakdown`].
+    pub recorder: Option<Box<obs::Recorder>>,
 }
 
 impl TraceOutcome {
@@ -59,13 +64,51 @@ fn est_cost_secs(spec: &JobSpec) -> f64 {
     3.0 + spec.input_size as f64 / 500.0e6
 }
 
+/// Annotate the recorder with one placement decision: which band fired,
+/// against which cross point, what the alternative would have been, and the
+/// backlog snapshot the policy saw. Only called when observability is on, so
+/// it never perturbs an unobserved replay.
+fn record_placement(
+    deployment: &mut Deployment,
+    policy: &dyn JobPlacement,
+    spec: &JobSpec,
+    loads: &ClusterLoads,
+) {
+    let decision = policy.explain(spec, loads);
+    let mut args: Vec<(&'static str, obs::ArgValue)> = vec![
+        ("job", obs::ArgValue::from(spec.id.0)),
+        ("policy", obs::ArgValue::from(policy.name())),
+        ("band", obs::ArgValue::from(decision.band)),
+        ("input_bytes", obs::ArgValue::from(spec.input_size)),
+        ("up_backlog_s", obs::ArgValue::from(loads.up_outstanding)),
+        ("out_backlog_s", obs::ArgValue::from(loads.out_outstanding)),
+        ("est_cost_s", obs::ArgValue::from(est_cost_secs(spec))),
+    ];
+    if let Some(t) = decision.threshold {
+        args.push(("cross_point_bytes", obs::ArgValue::from(t)));
+    }
+    if let Some(note) = decision.note {
+        args.push(("note", obs::ArgValue::from(note)));
+    }
+    let name = match decision.placement {
+        Placement::ScaleUp => "place:scale-up",
+        Placement::ScaleOut => "place:scale-out",
+    };
+    if let Some(rec) = deployment.sim.observability_mut() {
+        rec.instant(
+            "placement",
+            name,
+            obs::lanes::JOBS,
+            spec.id.0,
+            spec.submit,
+            args,
+        );
+    }
+}
+
 /// Replay `trace` on `arch` routing via `policy`, classifying jobs with the
 /// paper's default cross-point scheduler.
-pub fn run_trace(
-    arch: Architecture,
-    policy: &dyn JobPlacement,
-    trace: &[JobSpec],
-) -> TraceOutcome {
+pub fn run_trace(arch: Architecture, policy: &dyn JobPlacement, trace: &[JobSpec]) -> TraceOutcome {
     run_trace_with(arch, policy, trace, &DeploymentTuning::default())
 }
 
@@ -93,6 +136,9 @@ pub fn run_trace_with(
         loads.out_outstanding = (loads.out_outstanding - dt).max(0.0);
 
         let placement = policy.place(spec, &loads);
+        if deployment.sim.observability().is_some() {
+            record_placement(&mut deployment, policy, spec, &loads);
+        }
         match placement {
             Placement::ScaleUp => loads.up_outstanding += est_cost_secs(spec),
             Placement::ScaleOut => loads.out_outstanding += est_cost_secs(spec),
@@ -102,6 +148,7 @@ pub fn run_trace_with(
     }
 
     let results = deployment.sim.run().to_vec();
+    let recorder = deployment.sim.take_observability();
     let fault_stats = deployment.sim.fault_stats().clone();
     let makespan = results
         .iter()
@@ -128,6 +175,7 @@ pub fn run_trace_with(
         out_class_exec,
         makespan,
         fault_stats,
+        recorder,
     }
 }
 
@@ -152,7 +200,10 @@ pub fn run_trace_replicated_with(
     tuning: &DeploymentTuning,
 ) -> Vec<TraceOutcome> {
     parsweep::par_map(seeds.to_vec(), |seed| {
-        let cfg = workload::FacebookTraceConfig { seed, ..base.clone() };
+        let cfg = workload::FacebookTraceConfig {
+            seed,
+            ..base.clone()
+        };
         let trace = workload::generate_facebook_trace(&cfg);
         run_trace_with(arch, policy, &trace, tuning)
     })
@@ -166,7 +217,11 @@ pub fn quantile_stats(
 ) -> metrics::OnlineStats {
     let mut stats = metrics::OnlineStats::new();
     for o in outcomes {
-        let cdf = if scale_up_class { o.up_cdf() } else { o.out_cdf() };
+        let cdf = if scale_up_class {
+            o.up_cdf()
+        } else {
+            o.out_cdf()
+        };
         if let Some(v) = cdf.quantile(q) {
             stats.push(v);
         }
@@ -194,7 +249,11 @@ mod tests {
     #[test]
     fn replay_completes_all_jobs_on_hybrid() {
         let trace = small_trace(60);
-        let out = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+        let out = run_trace(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+        );
         assert_eq!(out.results.len(), 60);
         assert_eq!(out.failures(), 0);
         assert_eq!(out.up_class_exec.len() + out.out_class_exec.len(), 60);
@@ -205,7 +264,11 @@ mod tests {
     #[test]
     fn classification_is_stable_across_architectures() {
         let trace = small_trace(40);
-        let h = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+        let h = run_trace(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+        );
         let t = run_trace(Architecture::THadoop, &AlwaysOut, &trace);
         assert_eq!(h.up_class_exec.len(), t.up_class_exec.len());
         assert_eq!(h.out_class_exec.len(), t.out_class_exec.len());
@@ -225,7 +288,39 @@ mod tests {
     #[test]
     fn policy_name_is_recorded() {
         let trace = small_trace(10);
-        let out = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+        let out = run_trace(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+        );
         assert_eq!(out.policy, "crosspoint");
+    }
+
+    #[test]
+    fn observed_replay_annotates_placements_without_changing_results() {
+        let trace = small_trace(20);
+        let policy = CrossPointScheduler::default();
+        let plain = run_trace(Architecture::Hybrid, &policy, &trace);
+
+        let tuning = DeploymentTuning {
+            observe: true,
+            ..Default::default()
+        };
+        let observed = run_trace_with(Architecture::Hybrid, &policy, &trace, &tuning);
+        assert_eq!(
+            observed.results, plain.results,
+            "observability must not perturb the replay"
+        );
+        assert!(plain.recorder.is_none());
+
+        let rec = observed.recorder.as_deref().unwrap();
+        let placements: Vec<_> = rec.by_category("placement").collect();
+        assert_eq!(placements.len(), trace.len());
+        for e in &placements {
+            assert!(e.name == "place:scale-up" || e.name == "place:scale-out");
+            assert!(e.arg("band").is_some());
+            assert!(e.arg("cross_point_bytes").is_some());
+            assert!(e.arg("note").is_some());
+        }
     }
 }

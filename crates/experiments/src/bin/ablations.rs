@@ -26,10 +26,13 @@ impl Oracle {
     fn build(trace: &[mapreduce::JobSpec]) -> Oracle {
         let tuning = DeploymentTuning::default();
         let verdicts = parsweep::par_map(trace.to_vec(), |spec| {
-            let up =
-                run_job_with(Architecture::UpOfs, &spec.profile, spec.input_size, &tuning);
-            let out =
-                run_job_with(Architecture::OutOfs, &spec.profile, spec.input_size, &tuning);
+            let up = run_job_with(Architecture::UpOfs, &spec.profile, spec.input_size, &tuning);
+            let out = run_job_with(
+                Architecture::OutOfs,
+                &spec.profile,
+                spec.input_size,
+                &tuning,
+            );
             if up.execution <= out.execution {
                 Placement::ScaleUp
             } else {
@@ -59,7 +62,10 @@ fn scheduler_ablation() {
     let tuning = DeploymentTuning::default();
     let oracle = Oracle::build(&trace);
     let crosspoint = CrossPointScheduler::default();
-    let unknown = CrossPointScheduler { assume_unknown_ratio: true, ..Default::default() };
+    let unknown = CrossPointScheduler {
+        assume_unknown_ratio: true,
+        ..Default::default()
+    };
     let size_only = SizeOnlyScheduler { threshold: 16 * GB };
     let load_aware = LoadAwareScheduler::default();
     let policies: Vec<&dyn JobPlacement> = vec![
@@ -73,7 +79,11 @@ fn scheduler_ablation() {
     ];
     let mut rows = Vec::new();
     for (i, policy) in policies.iter().enumerate() {
-        let name = if i == 1 { "crosspoint (unknown S/I)" } else { policy.name() };
+        let name = if i == 1 {
+            "crosspoint (unknown S/I)"
+        } else {
+            policy.name()
+        };
         let outcome = run_trace_with(Architecture::Hybrid, *policy, &trace, &tuning);
         let execs: Vec<f64> = outcome
             .results
@@ -102,10 +112,14 @@ fn storage_ablation() {
     });
     let policy = CrossPointScheduler::default();
     let mut rows = Vec::new();
-    for (name, kind) in
-        [("Hybrid + OFS (paper)", StorageKind::Ofs), ("Hybrid + shared HDFS", StorageKind::Hdfs)]
-    {
-        let tuning = DeploymentTuning { storage_override: Some(kind), ..Default::default() };
+    for (name, kind) in [
+        ("Hybrid + OFS (paper)", StorageKind::Ofs),
+        ("Hybrid + shared HDFS", StorageKind::Hdfs),
+    ] {
+        let tuning = DeploymentTuning {
+            storage_override: Some(kind),
+            ..Default::default()
+        };
         let outcome = run_trace_with(Architecture::Hybrid, &policy, &trace, &tuning);
         let execs: Vec<f64> = outcome
             .results
@@ -122,7 +136,10 @@ fn storage_ablation() {
             fmt_secs(cdf.max().unwrap_or(f64::NAN)),
         ]);
     }
-    println!("{}", render(&["storage", "failed", "p50", "p90", "max"], &rows));
+    println!(
+        "{}",
+        render(&["storage", "failed", "p50", "p90", "max"], &rows)
+    );
 }
 
 fn ramdisk_ablation() {
@@ -143,7 +160,10 @@ fn ramdisk_ablation() {
             fmt_secs(r.shuffle_phase.as_secs_f64()),
         ]);
     }
-    println!("{}", render(&["shuffle store", "execution", "shuffle phase"], &rows));
+    println!(
+        "{}",
+        render(&["shuffle store", "execution", "shuffle phase"], &rows)
+    );
 }
 
 fn heap_ablation() {
@@ -159,7 +179,10 @@ fn heap_ablation() {
             fmt_secs(r.shuffle_phase.as_secs_f64()),
         ]);
     }
-    println!("{}", render(&["heap per task", "execution", "shuffle phase"], &rows));
+    println!(
+        "{}",
+        render(&["heap per task", "execution", "shuffle phase"], &rows)
+    );
 }
 
 fn replication_ablation() {
@@ -168,14 +191,22 @@ fn replication_ablation() {
     for repl in [1u32, 2, 3] {
         let mut tuning = DeploymentTuning::default();
         tuning.hdfs.replication = repl;
-        let r = run_job_with(Architecture::OutHdfs, &apps::testdfsio_write(), 10 * GB, &tuning);
+        let r = run_job_with(
+            Architecture::OutHdfs,
+            &apps::testdfsio_write(),
+            10 * GB,
+            &tuning,
+        );
         rows.push(vec![
             format!("r = {repl}"),
             fmt_secs(r.execution.as_secs_f64()),
             fmt_secs(r.map_phase.as_secs_f64()),
         ]);
     }
-    println!("{}", render(&["replication", "execution", "map phase"], &rows));
+    println!(
+        "{}",
+        render(&["replication", "execution", "map phase"], &rows)
+    );
 }
 
 fn ofs_latency_ablation() {
@@ -185,7 +216,10 @@ fn ofs_latency_ablation() {
         let mut tuning = DeploymentTuning::default();
         tuning.ofs.request_latency = SimDuration::from_millis(ms);
         let r = run_job_with(Architecture::UpOfs, &apps::grep(), GB, &tuning);
-        rows.push(vec![format!("{ms} ms"), fmt_secs(r.execution.as_secs_f64())]);
+        rows.push(vec![
+            format!("{ms} ms"),
+            fmt_secs(r.execution.as_secs_f64()),
+        ]);
     }
     println!("{}", render(&["request latency", "execution"], &rows));
     println!(
@@ -204,11 +238,36 @@ fn fair_baseline_ablation() {
     });
     let mut rows = Vec::new();
     let crosspoint = CrossPointScheduler::default();
-    let configs: Vec<(&str, Architecture, &dyn JobPlacement, mapreduce::TaskSchedPolicy)> = vec![
-        ("Hybrid (FIFO)", Architecture::Hybrid, &crosspoint, mapreduce::TaskSchedPolicy::Fifo),
-        ("Hybrid (Fair)", Architecture::Hybrid, &crosspoint, mapreduce::TaskSchedPolicy::Fair),
-        ("THadoop (FIFO, paper)", Architecture::THadoop, &AlwaysOut, mapreduce::TaskSchedPolicy::Fifo),
-        ("THadoop (Fair)", Architecture::THadoop, &AlwaysOut, mapreduce::TaskSchedPolicy::Fair),
+    let configs: Vec<(
+        &str,
+        Architecture,
+        &dyn JobPlacement,
+        mapreduce::TaskSchedPolicy,
+    )> = vec![
+        (
+            "Hybrid (FIFO)",
+            Architecture::Hybrid,
+            &crosspoint,
+            mapreduce::TaskSchedPolicy::Fifo,
+        ),
+        (
+            "Hybrid (Fair)",
+            Architecture::Hybrid,
+            &crosspoint,
+            mapreduce::TaskSchedPolicy::Fair,
+        ),
+        (
+            "THadoop (FIFO, paper)",
+            Architecture::THadoop,
+            &AlwaysOut,
+            mapreduce::TaskSchedPolicy::Fifo,
+        ),
+        (
+            "THadoop (Fair)",
+            Architecture::THadoop,
+            &AlwaysOut,
+            mapreduce::TaskSchedPolicy::Fair,
+        ),
     ];
     for (name, arch, policy, sched) in configs {
         let mut tuning = DeploymentTuning::default();
@@ -225,7 +284,15 @@ fn fair_baseline_ablation() {
     }
     println!(
         "{}",
-        render(&["configuration", "up-class p50", "up-class p90", "up-class max"], &rows)
+        render(
+            &[
+                "configuration",
+                "up-class p50",
+                "up-class p90",
+                "up-class max"
+            ],
+            &rows
+        )
     );
     println!("Fair sharing softens THadoop's head-of-line blocking but does not recover");
     println!("the per-job speed of the scale-up machines for small jobs.\n");
@@ -234,9 +301,10 @@ fn fair_baseline_ablation() {
 fn slowstart_ablation() {
     println!("## Reduce slowstart ablation (16 GB Wordcount, out-OFS)\n");
     let mut rows = Vec::new();
-    for (name, slowstart) in
-        [("barrier (calibrated default)", None), ("slowstart 0.05 (Hadoop default)", Some(0.05))]
-    {
+    for (name, slowstart) in [
+        ("barrier (calibrated default)", None),
+        ("slowstart 0.05 (Hadoop default)", Some(0.05)),
+    ] {
         let mut tuning = DeploymentTuning::default();
         tuning.engine_out.reduce_slowstart = slowstart;
         let r = run_job_with(Architecture::OutOfs, &apps::wordcount(), 16 * GB, &tuning);
@@ -246,7 +314,10 @@ fn slowstart_ablation() {
             fmt_secs(r.shuffle_phase.as_secs_f64()),
         ]);
     }
-    println!("{}", render(&["copy scheduling", "execution", "shuffle phase"], &rows));
+    println!(
+        "{}",
+        render(&["copy scheduling", "execution", "shuffle phase"], &rows)
+    );
     println!("Overlap hides part of the copy inside the map phase — the reason the");
     println!("paper's measured shuffle *phases* stay under ~100 s even at 448 GB.\n");
 }

@@ -10,11 +10,23 @@ const GB: u64 = 1 << 30;
 
 fn main() {
     for (profile, sizes) in [
-        (apps::wordcount(), vec![GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB, 256 * GB]),
-        (apps::grep(), vec![GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB]),
-        (apps::testdfsio_write(), vec![GB, 5 * GB, 10 * GB, 30 * GB, 100 * GB]),
+        (
+            apps::wordcount(),
+            vec![GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB, 256 * GB],
+        ),
+        (
+            apps::grep(),
+            vec![GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB],
+        ),
+        (
+            apps::testdfsio_write(),
+            vec![GB, 5 * GB, 10 * GB, 30 * GB, 100 * GB],
+        ),
     ] {
-        println!("=== {} (S/I = {}) ===", profile.name, profile.shuffle_input_ratio);
+        println!(
+            "=== {} (S/I = {}) ===",
+            profile.name, profile.shuffle_input_ratio
+        );
         for &size in &sizes {
             println!("-- {}", metrics::table::fmt_bytes(size));
             for arch in Architecture::TABLE_I {
@@ -30,7 +42,9 @@ fn main() {
         println!(
             "{:<16} cross = {}",
             profile.name,
-            cross.map(|x| metrics::table::fmt_bytes(x as u64)).unwrap_or("none".into())
+            cross
+                .map(|x| metrics::table::fmt_bytes(x as u64))
+                .unwrap_or("none".into())
         );
         for p in &pts {
             println!(

@@ -1,5 +1,16 @@
 //! Regenerate the paper's Fig5 data series.
+//!
+//! Set `TRACE_OUT=<path>` to additionally export the observed Wordcount
+//! batch as a Chrome `trace_event` JSON (open in `chrome://tracing` or
+//! Perfetto). The export is deterministic: same build, same bytes.
 
 fn main() {
     print!("{}", experiments::figures::fig5());
+    if let Ok(path) = std::env::var("TRACE_OUT") {
+        let outcome = experiments::figures::fig5_observed();
+        let rec = outcome.recorder.expect("observed run records a trace");
+        std::fs::write(&path, rec.chrome_trace())
+            .unwrap_or_else(|e| panic!("writing TRACE_OUT={path}: {e}"));
+        eprintln!("wrote Chrome trace to {path}");
+    }
 }

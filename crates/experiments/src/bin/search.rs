@@ -10,8 +10,10 @@ use workload::apps;
 const GB: u64 = 1 << 30;
 
 fn main() {
-    let sizes: Vec<u64> =
-        [1u64, 4, 8, 12, 16, 24, 32, 48, 64, 100].iter().map(|&g| g * GB).collect();
+    let sizes: Vec<u64> = [1u64, 4, 8, 12, 16, 24, 32, 48, 64, 100]
+        .iter()
+        .map(|&g| g * GB)
+        .collect();
     for oh in [2.0e9f64] {
         for out_shuf in [5.3e8] {
             let mut tuning = DeploymentTuning::default();

@@ -14,7 +14,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let jobs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(6000);
     let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2009);
-    let cfg = FacebookTraceConfig { jobs, seed, ..Default::default() };
+    let cfg = FacebookTraceConfig {
+        jobs,
+        seed,
+        ..Default::default()
+    };
     let trace = facebook::generate(&cfg);
 
     let sizes = EmpiricalCdf::new(trace.iter().map(|j| j.input_size as f64).collect());
@@ -25,8 +29,13 @@ fn main() {
         .filter(|j| classifier.place(j, &ClusterLoads::default()) == Placement::ScaleUp)
         .count();
 
-    println!("jobs: {}   seed: {}   window: {:.1} h   total input: {}", trace.len(), seed,
-        cfg.window.as_secs_f64() / 3600.0, fmt_bytes(total_bytes));
+    println!(
+        "jobs: {}   seed: {}   window: {:.1} h   total input: {}",
+        trace.len(),
+        seed,
+        cfg.window.as_secs_f64() / 3600.0,
+        fmt_bytes(total_bytes)
+    );
     println!(
         "class mix: {} scale-up jobs ({:.1}%), {} scale-out jobs\n",
         up_jobs,
@@ -42,13 +51,19 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render(&["quantile", "input size (post-shrink)"], &rows));
+    println!(
+        "{}",
+        render(&["quantile", "input size (post-shrink)"], &rows)
+    );
 
     let mut hist = metrics::LogHistogram::new(1e3, 1e12, 36);
     for j in &trace {
         hist.push(j.input_size as f64);
     }
-    println!("\nsize distribution (1 KB … 1 TB, log buckets):\n  {}", hist.sparkline());
+    println!(
+        "\nsize distribution (1 KB … 1 TB, log buckets):\n  {}",
+        hist.sparkline()
+    );
     let stats = workload::analyze_trace(&trace);
     println!(
         "burstiness index: {:.2}   scale-up class bytes: {:.1}%",

@@ -24,7 +24,10 @@ pub fn series_table(title: &str, unit: &str, sizes: &[u64], series: &[Series]) -
             row
         })
         .collect();
-    format!("## {title} ({unit})\n\n{}", metrics::table::render(&header_refs, &rows))
+    format!(
+        "## {title} ({unit})\n\n{}",
+        metrics::table::render(&header_refs, &rows)
+    )
 }
 
 /// Compact per-architecture describe line used by the calibration probe.

@@ -30,7 +30,10 @@ fn series_table(title: &str, sizes: &[u64], series: &[Series]) -> String {
             row
         })
         .collect();
-    format!("### {title}\n\n{}\n", metrics::table::render(&header_refs, &rows))
+    format!(
+        "### {title}\n\n{}\n",
+        metrics::table::render(&header_refs, &rows)
+    )
 }
 
 /// The four per-figure panels (a)–(d) for one application, in the paper's
@@ -64,12 +67,23 @@ fn measurement_quad(fig: &str, profile: &JobProfile, sizes: &[u64]) -> String {
     };
     let exec_norm = normalize(&exec, &exec[0]);
     let map_norm = normalize(&map, &map[0]);
-    let mut out = format!("## {fig} — {} (S/I = {})\n\n", profile.name, profile.shuffle_input_ratio);
+    let mut out = format!(
+        "## {fig} — {} (S/I = {})\n\n",
+        profile.name, profile.shuffle_input_ratio
+    );
     // Normalized tables only cover points where up-OFS also ran; use the
     // baseline's x grid.
     let base_sizes: Vec<u64> = exec[0].points.iter().map(|&(x, _)| x as u64).collect();
-    out += &series_table("(a) execution time, normalized to up-OFS", &base_sizes, &exec_norm);
-    out += &series_table("(b) map phase duration, normalized to up-OFS", &base_sizes, &map_norm);
+    out += &series_table(
+        "(a) execution time, normalized to up-OFS",
+        &base_sizes,
+        &exec_norm,
+    );
+    out += &series_table(
+        "(b) map phase duration, normalized to up-OFS",
+        &base_sizes,
+        &map_norm,
+    );
     out += &series_table("(c) shuffle phase duration (s)", sizes, &shuffle);
     out += &series_table("(d) reduce phase duration (s)", sizes, &reduce);
     out
@@ -77,11 +91,18 @@ fn measurement_quad(fig: &str, profile: &JobProfile, sizes: &[u64]) -> String {
 
 /// Figure 3: the CDF of input sizes in the synthesized FB-2009 trace.
 pub fn fig3() -> String {
-    let cfg = FacebookTraceConfig { shrink_factor: 1.0, ..Default::default() };
+    let cfg = FacebookTraceConfig {
+        shrink_factor: 1.0,
+        ..Default::default()
+    };
     let specs = generate_facebook_trace(&cfg);
     let n = specs.len() as f64;
     let small = specs.iter().filter(|s| s.input_size < 1_000_000).count() as f64 / n;
-    let large = specs.iter().filter(|s| s.input_size > 30_000_000_000).count() as f64 / n;
+    let large = specs
+        .iter()
+        .filter(|s| s.input_size > 30_000_000_000)
+        .count() as f64
+        / n;
     let cdf = EmpiricalCdf::new(specs.iter().map(|s| s.input_size as f64).collect());
     let mut out = String::from("## Figure 3 — CDF of input data size (FB-2009 synthesis)\n\n");
     out += &format!(
@@ -100,9 +121,59 @@ pub fn fig3() -> String {
     out
 }
 
-/// Figure 5: Wordcount on the four architectures.
+/// Figure 5: Wordcount on the four architectures, plus the observed
+/// per-job phase breakdown of [`fig5_observed`].
 pub fn fig5() -> String {
-    measurement_quad("Figure 5", &apps::wordcount(), &grids::shuffle_intensive())
+    let mut out = measurement_quad("Figure 5", &apps::wordcount(), &grids::shuffle_intensive());
+    out += &fig5_breakdown();
+    out
+}
+
+/// The deterministic observed run backing the fig5 phase-breakdown table and
+/// the `TRACE_OUT` Chrome export: a Wordcount batch spanning the paper's
+/// 32 GB cross point, replayed on the hybrid architecture with the
+/// observability layer on. Staggered arrivals keep the jobs distinguishable
+/// on the timeline; the run is a pure function of this fixed spec, so two
+/// invocations export byte-identical traces.
+pub fn fig5_observed() -> hybrid_core::TraceOutcome {
+    use hybrid_core::{run_trace_with, DeploymentTuning};
+    use mapreduce::JobSpec;
+    let sizes: [u64; 6] = [GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB];
+    let trace: Vec<JobSpec> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &sz)| {
+            let mut spec = JobSpec::at_zero(i as u32, apps::wordcount(), sz);
+            spec.submit = simcore::SimTime::ZERO + simcore::SimDuration::from_secs(20 * i as u64);
+            spec
+        })
+        .collect();
+    let tuning = DeploymentTuning {
+        observe: true,
+        ..Default::default()
+    };
+    run_trace_with(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+        &tuning,
+    )
+}
+
+fn fig5_breakdown() -> String {
+    let outcome = fig5_observed();
+    let rec = outcome
+        .recorder
+        .as_deref()
+        .expect("observed run records a trace");
+    let breakdown = obs::breakdown::PhaseBreakdown::from_recorder(rec);
+    format!(
+        "### (e) observed per-job phase breakdown — Wordcount batch on Hybrid\n\n{}\n{}\n\n\
+         Set `TRACE_OUT=<path>` on the `fig5` binary to export this run as a\n\
+         Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).\n",
+        breakdown.render(),
+        breakdown.summary()
+    )
 }
 
 /// Figure 6: Grep on the four architectures.
@@ -112,7 +183,11 @@ pub fn fig6() -> String {
 
 /// Figure 9: the TestDFSIO write test on the four architectures.
 pub fn fig9() -> String {
-    measurement_quad("Figure 9", &apps::testdfsio_write(), &grids::map_intensive())
+    measurement_quad(
+        "Figure 9",
+        &apps::testdfsio_write(),
+        &grids::map_intensive(),
+    )
 }
 
 fn cross_table(profile: &JobProfile, pts: &[SweepPoint]) -> String {
@@ -153,7 +228,9 @@ pub fn fig7() -> String {
 /// point is around 10GB for both tests" — write and read).
 pub fn fig8() -> String {
     let mut out = String::from("## Figure 8 — cross point of the TestDFSIO tests\n\n");
-    let sizes: Vec<u64> = [1u64, 2, 4, 8, 10, 12, 16, 20, 24, 30].map(|g| g * GB).to_vec();
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 10, 12, 16, 20, 24, 30]
+        .map(|g| g * GB)
+        .to_vec();
     for profile in [apps::testdfsio_write(), apps::testdfsio_read()] {
         let pts = hybrid_core::cross_point_sweep(&profile, &sizes);
         out += &cross_table(&profile, &pts);
@@ -176,7 +253,10 @@ fn class_cdf_table(label: &str, cdfs: &[(String, EmpiricalCdf)]) -> String {
             row
         })
         .collect();
-    format!("### {label}\n\n{}\n", metrics::table::render(&header_refs, &rows))
+    format!(
+        "### {label}\n\n{}\n",
+        metrics::table::render(&header_refs, &rows)
+    )
 }
 
 /// Figure 10: trace-driven comparison of Hybrid vs THadoop vs RHadoop.
@@ -204,7 +284,14 @@ pub fn fig10() -> String {
     }
     let mut out = String::from("## Figure 10 — FB-2009 trace replay (6000 jobs)\n\n");
     out += &metrics::table::render(
-        &["architecture", "up-class jobs", "out-class jobs", "failed", "max up-class", "max out-class"],
+        &[
+            "architecture",
+            "up-class jobs",
+            "out-class jobs",
+            "failed",
+            "max up-class",
+            "max out-class",
+        ],
         &summary,
     );
     out.push('\n');
@@ -248,7 +335,10 @@ fn fig10_replication() -> String {
 /// the cost-parity check the paper's methodology requires.
 pub fn table1() -> String {
     let mut rows = Vec::new();
-    for arch in Architecture::TABLE_I.iter().chain(Architecture::TRACE_CONTENDERS.iter()) {
+    for arch in Architecture::TABLE_I
+        .iter()
+        .chain(Architecture::TRACE_CONTENDERS.iter())
+    {
         let specs = arch.cluster_specs();
         let machines: u32 = specs.iter().map(|s| s.len() as u32).sum();
         let map_slots: u32 = specs.iter().map(|s| s.total_map_slots()).sum();
@@ -265,7 +355,14 @@ pub fn table1() -> String {
     format!(
         "## Table I — measured architectures\n\n{}\n",
         metrics::table::render(
-            &["architecture", "storage", "machines", "map slots", "reduce slots", "price"],
+            &[
+                "architecture",
+                "storage",
+                "machines",
+                "map slots",
+                "reduce slots",
+                "price"
+            ],
             &rows
         )
     )
@@ -309,14 +406,16 @@ pub fn fault_sweep() -> String {
     for &intensity in &[0.0f64, 2.0, 5.0, 10.0] {
         let rates = FaultRates::scaled(intensity);
         for arch in Architecture::TRACE_CONTENDERS {
-            let nodes: Vec<usize> =
-                arch.cluster_specs().iter().map(|s| s.len()).collect();
+            let nodes: Vec<usize> = arch.cluster_specs().iter().map(|s| s.len()).collect();
             let n_servers = match arch.storage_name() {
                 "ofs" => storage::OfsConfig::default().num_servers as usize,
                 _ => 0,
             };
             let plan = FaultPlan::generate(plan_seed, &rates, horizon, &nodes, n_servers);
-            let mut tuning = DeploymentTuning { fault: plan, ..Default::default() };
+            let mut tuning = DeploymentTuning {
+                fault: plan,
+                ..Default::default()
+            };
             tuning.engine_up.speculative_execution = true;
             tuning.engine_out.speculative_execution = true;
 
@@ -351,7 +450,7 @@ pub fn fault_sweep() -> String {
         }
     }
     format!(
-        "## Fault sweep — FB-2009 slice ({jobs} jobs) under injected faults\n\n{}\n",
+        "## Fault sweep — FB-2009 slice ({jobs} jobs) under injected faults\n\n{}\n{}",
         metrics::table::render(
             &[
                 "intensity",
@@ -366,6 +465,60 @@ pub fn fault_sweep() -> String {
                 "stragglers",
             ],
             &rows
-        )
+        ),
+        fault_sweep_breakdown()
+    )
+}
+
+/// Observed per-job phase breakdown of a small faulted slice on the hybrid
+/// architecture: how injected crashes and stragglers show up as stretched
+/// phases and io-wait, job by job.
+fn fault_sweep_breakdown() -> String {
+    use hybrid_core::DeploymentTuning;
+    use simcore::fault::{FaultPlan, FaultRates};
+
+    let jobs = 20;
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs,
+        window: simcore::SimDuration::from_secs(240),
+        ..Default::default()
+    });
+    let nodes: Vec<usize> = Architecture::Hybrid
+        .cluster_specs()
+        .iter()
+        .map(|s| s.len())
+        .collect();
+    let n_servers = storage::OfsConfig::default().num_servers as usize;
+    let plan = FaultPlan::generate(
+        42,
+        &FaultRates::scaled(5.0),
+        simcore::SimDuration::from_secs(3600),
+        &nodes,
+        n_servers,
+    );
+    let mut tuning = DeploymentTuning {
+        fault: plan,
+        observe: true,
+        ..Default::default()
+    };
+    tuning.engine_up.speculative_execution = true;
+    tuning.engine_out.speculative_execution = true;
+    let outcome = hybrid_core::run_trace_with(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+        &tuning,
+    );
+    let rec = outcome
+        .recorder
+        .as_deref()
+        .expect("observed run records a trace");
+    let breakdown = obs::breakdown::PhaseBreakdown::from_recorder(rec);
+    let fault_events = rec.by_category("fault").count();
+    format!(
+        "### observed phase breakdown — Hybrid, {jobs} jobs, intensity 5\n\n{}\n{} · {} fault events on the timeline\n",
+        breakdown.render(),
+        breakdown.summary(),
+        fault_events
     )
 }

@@ -34,12 +34,13 @@ use crate::config::EngineConfig;
 use crate::job::{JobId, JobResult, JobSpec};
 use crate::queue::TaskQueue;
 use cluster::BuiltCluster;
+use obs::{ArgValue, Recorder};
 use simcore::fault::{FaultPlan, NodeFaultKind, ServerFaultKind};
 use simcore::rng::DetRng;
 use simcore::{EventQueue, FlowId, FlowNetwork, NetResourceId, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
 use storage::plan::Transfer;
-use storage::{DfsModel, FileId, IoPlan};
+use storage::{DfsModel, FileId, IoKind, IoPlan};
 
 /// Map or reduce.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,6 +51,47 @@ pub enum TaskKind {
     Reduce,
 }
 
+/// What a set of in-flight transfers represents — purely an observability
+/// label carried alongside flow steps so traces can distinguish a DFS read
+/// from a shuffle fetch. Never consulted by the execution model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowKind {
+    /// DFS input read.
+    Read,
+    /// DFS output write.
+    Write,
+    /// Map-output write to the node's shuffle store.
+    ShuffleWrite,
+    /// Reducer fetching its partition from the map-side stores.
+    ShuffleFetch,
+    /// Reduce-side heap-overflow spill and re-read.
+    ShuffleSpill,
+    /// HDFS re-replication after node loss (background traffic).
+    ReReplication,
+}
+
+impl FlowKind {
+    /// Stable lowercase label used as the flow span's name.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowKind::Read => "read",
+            FlowKind::Write => "write",
+            FlowKind::ShuffleWrite => "shuffle-write",
+            FlowKind::ShuffleFetch => "shuffle-fetch",
+            FlowKind::ShuffleSpill => "shuffle-spill",
+            FlowKind::ReReplication => "re-replication",
+        }
+    }
+
+    fn from_io(kind: IoKind) -> Self {
+        match kind {
+            IoKind::Read => FlowKind::Read,
+            IoKind::Write => FlowKind::Write,
+            IoKind::ReReplication => FlowKind::ReReplication,
+        }
+    }
+}
+
 /// One unit of task progress.
 #[derive(Debug, Clone)]
 enum Step {
@@ -58,7 +100,10 @@ enum Step {
     /// Wait a fixed latency.
     Latency(SimDuration),
     /// Run transfers in parallel; the step ends when all complete.
-    Flows(Vec<Transfer>),
+    Flows {
+        transfers: Vec<Transfer>,
+        kind: FlowKind,
+    },
     /// Park until every map of the task's job has finished (the gated part
     /// of an overlapped shuffle copy).
     WaitMaps,
@@ -98,6 +143,10 @@ struct Task {
     /// This attempt passed its `MarkFetchDone` step (reduces only) — if the
     /// attempt dies anyway, the job's fetch count must be given back.
     fetch_done: bool,
+    /// When the attempt's current flow step started, while one is in flight.
+    flow_started: Option<SimTime>,
+    /// Accumulated time this attempt spent blocked on flow steps.
+    io_wait: SimDuration,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +214,9 @@ struct ClusterState {
     node_down: Vec<bool>,
     map_queue: TaskQueue,
     reduce_queue: TaskQueue,
+    /// Attempts currently running, for the observability counters.
+    running_maps: u32,
+    running_reduces: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -173,8 +225,15 @@ enum Ev {
     SetupDone(usize),
     /// `attempt` stamps which attempt armed the timer: events left over from
     /// a killed attempt are stale and ignored.
-    StepDone { job: usize, kind: TaskKind, idx: u32, attempt: u32 },
-    NetPoll { gen: u64 },
+    StepDone {
+        job: usize,
+        kind: TaskKind,
+        idx: u32,
+        attempt: u32,
+    },
+    NetPoll {
+        gen: u64,
+    },
     /// Index into the fault plan's node event list.
     NodeFault(usize),
     /// Index into the fault plan's server event list.
@@ -230,6 +289,12 @@ pub struct Simulation {
     /// scheduling begins — degradation scales from the rated value.
     server_resources: Vec<(NetResourceId, f64)>,
     stats: FaultStats,
+    /// Structured trace recorder (see [`Simulation::enable_observability`]).
+    /// `None` means every instrumentation site is a single skipped branch.
+    obs: Option<Box<Recorder>>,
+    /// Flow labels for in-flight flows, populated only while observability
+    /// is on: `(kind, owning job id)` — `None` job for background traffic.
+    flow_meta: HashMap<FlowId, (FlowKind, Option<u32>)>,
 }
 
 impl Simulation {
@@ -252,7 +317,17 @@ impl Simulation {
                 let node_down = vec![false; built.nodes.len()];
                 let map_queue = TaskQueue::new(cfg.task_sched);
                 let reduce_queue = TaskQueue::new(cfg.task_sched);
-                ClusterState { built, cfg, free_map, free_reduce, node_down, map_queue, reduce_queue }
+                ClusterState {
+                    built,
+                    cfg,
+                    free_map,
+                    free_reduce,
+                    node_down,
+                    map_queue,
+                    reduce_queue,
+                    running_maps: 0,
+                    running_reduces: 0,
+                }
             })
             .collect();
         Simulation {
@@ -274,7 +349,46 @@ impl Simulation {
             background_flows: HashSet::new(),
             server_resources: Vec::new(),
             stats: FaultStats::default(),
+            obs: None,
+            flow_meta: HashMap::new(),
         }
+    }
+
+    /// Turn on structured tracing: job/phase/task spans, flow spans, fault
+    /// markers and scheduler counters accumulate in an [`obs::Recorder`].
+    ///
+    /// The recorder is strictly passive — it draws no randomness, pushes no
+    /// events and never feeds back into scheduling — so results are bitwise
+    /// identical with observability on or off.
+    pub fn enable_observability(&mut self) {
+        if self.obs.is_some() {
+            return;
+        }
+        let mut rec = Recorder::new();
+        for (i, c) in self.clusters.iter().enumerate() {
+            rec.name_process(i as u32, format!("cluster/{}", c.built.name));
+        }
+        rec.name_process(obs::lanes::JOBS, "jobs");
+        rec.name_process(obs::lanes::FLOWS, "flows");
+        rec.name_process(obs::lanes::STORAGE, "storage-servers");
+        self.obs = Some(Box::new(rec));
+        self.net.set_flow_logging(true);
+    }
+
+    /// The recorder, if observability is on.
+    pub fn observability(&self) -> Option<&Recorder> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the recorder, if observability is on.
+    pub fn observability_mut(&mut self) -> Option<&mut Recorder> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Detach and return the recorder, turning observability off.
+    pub fn take_observability(&mut self) -> Option<Box<Recorder>> {
+        self.net.set_flow_logging(false);
+        self.obs.take()
     }
 
     /// Reseed the failure-injection RNG (the default seed is fixed, so two
@@ -291,7 +405,10 @@ impl Simulation {
     /// # Panics
     /// Panics when called after `run` has started executing the plan.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        assert!(!self.faults_scheduled, "fault plan must be set before run()");
+        assert!(
+            !self.faults_scheduled,
+            "fault plan must be set before run()"
+        );
         self.fault_plan = plan;
     }
 
@@ -364,9 +481,12 @@ impl Simulation {
             match ev {
                 Ev::Arrive(j) => self.on_arrive(j),
                 Ev::SetupDone(j) => self.on_setup_done(j),
-                Ev::StepDone { job, kind, idx, attempt } => {
-                    self.on_step_done(job, kind, idx, attempt)
-                }
+                Ev::StepDone {
+                    job,
+                    kind,
+                    idx,
+                    attempt,
+                } => self.on_step_done(job, kind, idx, attempt),
                 Ev::NetPoll { gen } => self.on_net_poll(gen),
                 Ev::NodeFault(i) => self.on_node_fault(i),
                 Ev::ServerFault(i) => self.on_server_fault(i),
@@ -376,6 +496,7 @@ impl Simulation {
             self.jobs.iter().all(|job| job.phase == JobPhase::Finished),
             "event queue drained with unfinished jobs"
         );
+        self.obs_resource_summary();
         &self.results
     }
 
@@ -410,7 +531,10 @@ impl Simulation {
         let job = &self.jobs[j];
         let bpf = job.blocks_per_file.max(1);
         let file = (idx / bpf) as usize;
-        (job.input_files[file.min(job.input_files.len().saturating_sub(1))], idx % bpf)
+        (
+            job.input_files[file.min(job.input_files.len().saturating_sub(1))],
+            idx % bpf,
+        )
     }
 
     /// The transfers realizing a shuffle-store write or read on `node`:
@@ -423,7 +547,11 @@ impl Simulation {
     ) -> Vec<Transfer> {
         let mut path = vec![node.shuffle_store()];
         path.extend(extra_hop);
-        vec![Transfer { path, bytes, rate_cap: None }]
+        vec![Transfer {
+            path,
+            bytes,
+            rate_cap: None,
+        }]
     }
 
     // ------------------------------------------------------------------
@@ -434,7 +562,10 @@ impl Simulation {
         let now = self.queue.now();
         let block = self.dfs.block_size();
         let input = self.jobs[j].spec.input_size;
-        let file_size = self.clusters[self.jobs[j].cluster].cfg.max_input_file_size.max(block);
+        let file_size = self.clusters[self.jobs[j].cluster]
+            .cfg
+            .max_input_file_size
+            .max(block);
         self.jobs[j].blocks_per_file = (file_size / block.max(1)).max(1) as u32;
         // Pre-load the input dataset as ≤file_size files (capacity-checked
         // placement, no I/O — datasets exist before measurement).
@@ -469,8 +600,9 @@ impl Simulation {
         job.reduces_total = match job.spec.profile.fixed_reduces {
             Some(r) => r.max(1),
             None => {
-                let by_data =
-                    job.shuffle_total.div_ceil(cluster.cfg.shuffle_bytes_per_reducer.max(1));
+                let by_data = job
+                    .shuffle_total
+                    .div_ceil(cluster.cfg.shuffle_bytes_per_reducer.max(1));
                 (by_data as u32).clamp(1, reduce_slots)
             }
         };
@@ -518,6 +650,7 @@ impl Simulation {
                 self.advance_task(job, kind, idx);
             }
         }
+        self.drain_flow_spans();
         self.schedule_net_poll();
     }
 
@@ -635,6 +768,16 @@ impl Simulation {
         self.clusters[cluster].node_down[node] = true;
         self.clusters[cluster].free_map[node] = 0;
         self.clusters[cluster].free_reduce[node] = 0;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.instant(
+                "fault",
+                "node_crash",
+                cluster as u32,
+                node as u32,
+                self.queue.now(),
+                vec![("node", ArgValue::U64(node as u64))],
+            );
+        }
         let node_id = self.clusters[cluster].built.nodes[node].id;
         if let Some(plan) = self.dfs.on_node_down(node_id) {
             self.launch_background(plan);
@@ -656,6 +799,16 @@ impl Simulation {
         };
         self.clusters[cluster].free_map[node] = map_slots;
         self.clusters[cluster].free_reduce[node] = reduce_slots;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.instant(
+                "fault",
+                "node_recover",
+                cluster as u32,
+                node as u32,
+                self.queue.now(),
+                vec![("node", ArgValue::U64(node as u64))],
+            );
+        }
         let node_id = self.clusters[cluster].built.nodes[node].id;
         self.dfs.on_node_up(node_id);
         self.try_schedule(cluster);
@@ -670,10 +823,31 @@ impl Simulation {
         match ev.kind {
             ServerFaultKind::Degrade { factor } => {
                 self.stats.server_degradations += 1;
-                self.net.set_resource_capacity(now, res, (rated * factor).max(1.0));
+                self.net
+                    .set_resource_capacity(now, res, (rated * factor).max(1.0));
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.instant(
+                        "fault",
+                        "server_degrade",
+                        obs::lanes::STORAGE,
+                        ev.server as u32,
+                        now,
+                        vec![("factor", ArgValue::F64(factor))],
+                    );
+                }
             }
             ServerFaultKind::Restore => {
                 self.net.set_resource_capacity(now, res, rated);
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.instant(
+                        "fault",
+                        "server_restore",
+                        obs::lanes::STORAGE,
+                        ev.server as u32,
+                        now,
+                        vec![],
+                    );
+                }
             }
         }
         self.schedule_net_poll();
@@ -717,7 +891,14 @@ impl Simulation {
                 }
             }
         }
+        match kind {
+            TaskKind::Map => self.clusters[cluster].running_maps -= 1,
+            TaskKind::Reduce => self.clusters[cluster].running_reduces -= 1,
+        }
+        self.obs_task_span(j, kind, idx, cluster, &task, now, "killed");
+        self.obs_sched_counters(cluster);
         self.stats.tasks_killed += 1;
+        self.drain_flow_spans();
         self.schedule_net_poll();
     }
 
@@ -726,6 +907,7 @@ impl Simulation {
     /// no task. Stage latencies are ignored — bytes are what contend.
     fn launch_background(&mut self, plan: IoPlan) {
         let now = self.queue.now();
+        let kind = FlowKind::from_io(plan.kind);
         for stage in plan.stages {
             for t in stage.transfers {
                 self.stats.rereplicated_bytes += t.bytes;
@@ -733,6 +915,9 @@ impl Simulation {
                 self.next_flow += 1;
                 self.net.add_flow(now, fid, t.bytes, &t.path, t.rate_cap);
                 self.background_flows.insert(fid);
+                if self.obs.is_some() {
+                    self.flow_meta.insert(fid, (kind, None));
+                }
             }
         }
         self.schedule_net_poll();
@@ -755,12 +940,18 @@ impl Simulation {
         for kind in [TaskKind::Map, TaskKind::Reduce] {
             let job = &self.jobs[j];
             let (sum, n, tasks, speculated) = match kind {
-                TaskKind::Map => {
-                    (job.map_dur_sum, job.map_dur_n, &job.map_tasks, &job.map_speculated)
-                }
-                TaskKind::Reduce => {
-                    (job.reduce_dur_sum, job.reduce_dur_n, &job.reduce_tasks, &job.reduce_speculated)
-                }
+                TaskKind::Map => (
+                    job.map_dur_sum,
+                    job.map_dur_n,
+                    &job.map_tasks,
+                    &job.map_speculated,
+                ),
+                TaskKind::Reduce => (
+                    job.reduce_dur_sum,
+                    job.reduce_dur_n,
+                    &job.reduce_tasks,
+                    &job.reduce_speculated,
+                ),
             };
             if n == 0 {
                 continue;
@@ -791,6 +982,28 @@ impl Simulation {
                     TaskKind::Reduce => self.jobs[j].reduce_speculated[idx as usize] = true,
                 }
                 self.stats.speculative_restarts += 1;
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.instant(
+                        "fault",
+                        "speculative_kill",
+                        obs::lanes::JOBS,
+                        self.jobs[j].spec.id.0,
+                        now,
+                        vec![
+                            (
+                                "kind",
+                                ArgValue::Str(
+                                    match kind {
+                                        TaskKind::Map => "map",
+                                        TaskKind::Reduce => "reduce",
+                                    }
+                                    .to_string(),
+                                ),
+                            ),
+                            ("idx", ArgValue::U64(idx as u64)),
+                        ],
+                    );
+                }
                 self.kill_attempt(j, kind, idx);
                 match kind {
                     TaskKind::Map => self.clusters[cluster].map_queue.push(j, idx),
@@ -811,7 +1024,9 @@ impl Simulation {
         // the task's block.
         loop {
             let c = &self.clusters[cluster];
-            let Some((j, idx)) = c.map_queue.peek() else { break };
+            let Some((j, idx)) = c.map_queue.peek() else {
+                break;
+            };
             if !c.free_map.iter().any(|&f| f > 0) {
                 break;
             }
@@ -822,8 +1037,12 @@ impl Simulation {
         // Reduces: next task to the node with most free reduce slots.
         loop {
             let c = &self.clusters[cluster];
-            let Some((j, idx)) = c.reduce_queue.peek() else { break };
-            let Some(node) = max_index(&c.free_reduce) else { break };
+            let Some((j, idx)) = c.reduce_queue.peek() else {
+                break;
+            };
+            let Some(node) = max_index(&c.free_reduce) else {
+                break;
+            };
             self.clusters[cluster].reduce_queue.pop();
             let _ = (j, idx);
             self.start_reduce(j, idx, node);
@@ -874,8 +1093,18 @@ impl Simulation {
         let attempt = self.jobs[j].map_attempts[idx as usize];
         self.apply_straggler(j, TaskKind::Map, idx, attempt, &mut steps);
         self.maybe_inject_failure(j, &mut steps);
-        self.jobs[j].map_tasks[idx as usize] =
-            Some(Task { node, steps, outstanding: 0, started: now, attempt, fetch_done: false });
+        self.jobs[j].map_tasks[idx as usize] = Some(Task {
+            node,
+            steps,
+            outstanding: 0,
+            started: now,
+            attempt,
+            fetch_done: false,
+            flow_started: None,
+            io_wait: SimDuration::ZERO,
+        });
+        self.clusters[cluster].running_maps += 1;
+        self.obs_sched_counters(cluster);
         self.advance_task(j, TaskKind::Map, idx);
     }
 
@@ -888,8 +1117,18 @@ impl Simulation {
         let attempt = self.jobs[j].reduce_attempts[idx as usize];
         self.apply_straggler(j, TaskKind::Reduce, idx, attempt, &mut steps);
         self.maybe_inject_failure(j, &mut steps);
-        self.jobs[j].reduce_tasks[idx as usize] =
-            Some(Task { node, steps, outstanding: 0, started: now, attempt, fetch_done: false });
+        self.jobs[j].reduce_tasks[idx as usize] = Some(Task {
+            node,
+            steps,
+            outstanding: 0,
+            started: now,
+            attempt,
+            fetch_done: false,
+            flow_started: None,
+            io_wait: SimDuration::ZERO,
+        });
+        self.clusters[cluster].running_reduces += 1;
+        self.obs_sched_counters(cluster);
         self.advance_task(j, TaskKind::Reduce, idx);
     }
 
@@ -898,12 +1137,16 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn push_plan(steps: &mut VecDeque<Step>, plan: IoPlan) {
+        let kind = FlowKind::from_io(plan.kind);
         for stage in plan.stages {
             if !stage.latency.is_zero() {
                 steps.push_back(Step::Latency(stage.latency));
             }
             if !stage.transfers.is_empty() {
-                steps.push_back(Step::Flows(stage.transfers));
+                steps.push_back(Step::Flows {
+                    transfers: stage.transfers,
+                    kind,
+                });
             }
         }
     }
@@ -920,7 +1163,9 @@ impl Simulation {
             storage::dfs::block_len(job.spec.input_size, block, idx)
         };
         let mut steps = VecDeque::new();
-        steps.push_back(Step::Cpu { cycles: cluster.cfg.task_overhead_cycles });
+        steps.push_back(Step::Cpu {
+            cycles: cluster.cfg.task_overhead_cycles,
+        });
         if profile.maps_read_input && block_bytes > 0 {
             let (file, blk) = self.input_block(j, idx);
             let node_ref = &self.clusters[self.jobs[j].cluster].built.nodes[node];
@@ -950,11 +1195,10 @@ impl Simulation {
         let shuffle_chunk = job.shuffle_total / maps;
         if shuffle_chunk > 0 {
             let node_ref = &self.clusters[job.cluster].built.nodes[node];
-            steps.push_back(Step::Flows(Self::shuffle_transfers(
-                node_ref,
-                shuffle_chunk as f64,
-                &[],
-            )));
+            steps.push_back(Step::Flows {
+                transfers: Self::shuffle_transfers(node_ref, shuffle_chunk as f64, &[]),
+                kind: FlowKind::ShuffleWrite,
+            });
         }
         steps
     }
@@ -967,9 +1211,15 @@ impl Simulation {
         let reduces = job.reduces_total as u64;
         // Partition: even split with the remainder on reducer 0.
         let base = job.shuffle_total / reduces;
-        let partition = if idx == 0 { base + job.shuffle_total % reduces } else { base };
+        let partition = if idx == 0 {
+            base + job.shuffle_total % reduces
+        } else {
+            base
+        };
         let mut steps = VecDeque::new();
-        steps.push_back(Step::Cpu { cycles: cluster.cfg.task_overhead_cycles });
+        steps.push_back(Step::Cpu {
+            cycles: cluster.cfg.task_overhead_cycles,
+        });
         // Fetch the partition from every node that ran maps, proportionally.
         // With slowstart, the share of the partition already produced is
         // copied concurrently with the map phase; the rest waits for the
@@ -988,37 +1238,41 @@ impl Simulation {
                         continue;
                     }
                     let src = &cluster.built.nodes[src_idx];
-                    let bytes =
-                        frac * partition as f64 * count as f64 / total_maps.max(1) as f64;
+                    let bytes = frac * partition as f64 * count as f64 / total_maps.max(1) as f64;
                     if bytes <= 0.0 {
                         continue;
                     }
                     if src_idx == node {
                         transfers.extend(Self::shuffle_transfers(src, bytes, &[]));
                     } else {
-                        transfers.extend(Self::shuffle_transfers(
-                            src,
-                            bytes,
-                            &[src.nic, dst.nic],
-                        ));
+                        transfers.extend(Self::shuffle_transfers(src, bytes, &[src.nic, dst.nic]));
                     }
                 }
                 transfers
             };
             steps.push_back(Step::Latency(cluster.built.fabric.node_to_node));
             if available_frac > 0.0 {
-                steps.push_back(Step::Flows(build_fetch(available_frac)));
+                steps.push_back(Step::Flows {
+                    transfers: build_fetch(available_frac),
+                    kind: FlowKind::ShuffleFetch,
+                });
             }
             steps.push_back(Step::WaitMaps);
             if available_frac < 1.0 {
-                steps.push_back(Step::Flows(build_fetch(1.0 - available_frac)));
+                steps.push_back(Step::Flows {
+                    transfers: build_fetch(1.0 - available_frac),
+                    kind: FlowKind::ShuffleFetch,
+                });
             }
             // Heap overflow: spill the excess to the shuffle store and read
             // it back for the merge (2× the excess bytes of store traffic).
             let buffer = cluster.cfg.shuffle_buffer(profile.shuffle_input_ratio);
             if partition > buffer {
                 let excess = (partition - buffer) as f64;
-                steps.push_back(Step::Flows(Self::shuffle_transfers(dst, 2.0 * excess, &[])));
+                steps.push_back(Step::Flows {
+                    transfers: Self::shuffle_transfers(dst, 2.0 * excess, &[]),
+                    kind: FlowKind::ShuffleSpill,
+                });
             }
         }
         steps.push_back(Step::MarkFetchDone);
@@ -1058,6 +1312,13 @@ impl Simulation {
 
     fn advance_task(&mut self, job: usize, kind: TaskKind, idx: u32) {
         let now = self.queue.now();
+        {
+            // If we are resuming after a flow step, close its io-wait window.
+            let task = self.task_mut(job, kind, idx);
+            if let Some(t0) = task.flow_started.take() {
+                task.io_wait += now.since(t0);
+            }
+        }
         loop {
             let cluster = self.jobs[job].cluster;
             let task = self.task_mut(job, kind, idx);
@@ -1071,24 +1332,49 @@ impl Simulation {
                     let node = task.node;
                     let speed = self.clusters[cluster].built.nodes[node].spec.core_speed();
                     let dur = SimDuration::from_secs_f64(cycles / speed);
-                    self.queue.push(now + dur, Ev::StepDone { job, kind, idx, attempt });
+                    self.queue.push(
+                        now + dur,
+                        Ev::StepDone {
+                            job,
+                            kind,
+                            idx,
+                            attempt,
+                        },
+                    );
                     return;
                 }
                 Step::Latency(d) => {
-                    self.queue.push(now + d, Ev::StepDone { job, kind, idx, attempt });
+                    self.queue.push(
+                        now + d,
+                        Ev::StepDone {
+                            job,
+                            kind,
+                            idx,
+                            attempt,
+                        },
+                    );
                     return;
                 }
-                Step::Flows(transfers) => {
+                Step::Flows {
+                    transfers,
+                    kind: flow_kind,
+                } => {
                     if transfers.is_empty() {
                         continue;
                     }
                     let n = transfers.len() as u32;
-                    self.task_mut(job, kind, idx).outstanding = n;
+                    let task = self.task_mut(job, kind, idx);
+                    task.outstanding = n;
+                    task.flow_started = Some(now);
+                    let job_id = self.jobs[job].spec.id.0;
                     for t in transfers {
                         let fid = FlowId(self.next_flow);
                         self.next_flow += 1;
                         self.net.add_flow(now, fid, t.bytes, &t.path, t.rate_cap);
                         self.flows.insert(fid, (job, kind, idx));
+                        if self.obs.is_some() {
+                            self.flow_meta.insert(fid, (flow_kind, Some(job_id)));
+                        }
                     }
                     self.schedule_net_poll();
                     return;
@@ -1160,7 +1446,107 @@ impl Simulation {
     fn schedule_net_poll(&mut self) {
         let now = self.queue.now();
         if let Some(t) = self.net.next_completion_time(now) {
-            self.queue.push(t, Ev::NetPoll { gen: self.net.generation().0 });
+            self.queue.push(
+                t,
+                Ev::NetPoll {
+                    gen: self.net.generation().0,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability emission (all sites are no-ops while `obs` is None)
+    // ------------------------------------------------------------------
+
+    /// Sample the running-attempt counters for `cluster`.
+    fn obs_sched_counters(&mut self, cluster: usize) {
+        if self.obs.is_none() {
+            return;
+        }
+        let now = self.queue.now();
+        let (rm, rr) = (
+            self.clusters[cluster].running_maps,
+            self.clusters[cluster].running_reduces,
+        );
+        let obs = self.obs.as_deref_mut().expect("checked above");
+        obs.counter("sched", "running_maps", cluster as u32, now, rm as f64);
+        obs.counter("sched", "running_reduces", cluster as u32, now, rr as f64);
+    }
+
+    /// Emit the span of a finished attempt (`outcome`: "ok" / "failed" /
+    /// "killed") on its node's lane.
+    #[allow(clippy::too_many_arguments)]
+    fn obs_task_span(
+        &mut self,
+        j: usize,
+        kind: TaskKind,
+        idx: u32,
+        cluster: usize,
+        task: &Task,
+        now: SimTime,
+        outcome: &'static str,
+    ) {
+        let Some(obs) = self.obs.as_deref_mut() else {
+            return;
+        };
+        // An attempt killed mid-transfer still owes its open io-wait window.
+        let mut io_wait = task.io_wait;
+        if let Some(t0) = task.flow_started {
+            io_wait += now.since(t0);
+        }
+        let name = match kind {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        };
+        obs.span(
+            "task",
+            name,
+            cluster as u32,
+            task.node as u32,
+            task.started,
+            now,
+            vec![
+                ("job", ArgValue::U64(self.jobs[j].spec.id.0 as u64)),
+                ("kind", ArgValue::Str(name.to_string())),
+                ("idx", ArgValue::U64(idx as u64)),
+                ("attempt", ArgValue::U64(task.attempt as u64)),
+                ("outcome", ArgValue::Str(outcome.to_string())),
+                ("io_wait", ArgValue::U64(io_wait.0)),
+            ],
+        );
+    }
+
+    /// Turn drained flow-log entries into flow spans, joining each id with
+    /// the label recorded when the flow launched.
+    fn drain_flow_spans(&mut self) {
+        if self.obs.is_none() {
+            return;
+        }
+        let entries = self.net.drain_flow_log();
+        for e in entries {
+            let (kind, job) = self
+                .flow_meta
+                .remove(&e.id)
+                .map(|(k, j)| (k.label(), j))
+                .unwrap_or(("flow", None));
+            let obs = self.obs.as_deref_mut().expect("checked above");
+            let mut args = vec![("bytes", ArgValue::F64(e.bytes))];
+            if let Some(j) = job {
+                args.push(("job", ArgValue::U64(j as u64)));
+            }
+            if e.cancelled {
+                args.push(("cancelled", ArgValue::Bool(true)));
+            }
+            obs.span(
+                "flow",
+                kind,
+                obs::lanes::FLOWS,
+                e.id.0 as u32,
+                e.started,
+                e.ended,
+                args,
+            );
         }
     }
 
@@ -1169,9 +1555,13 @@ impl Simulation {
         let cluster = self.jobs[j].cluster;
         match kind {
             TaskKind::Map => {
-                let task =
-                    self.jobs[j].map_tasks[idx as usize].take().expect("map finished twice");
+                let task = self.jobs[j].map_tasks[idx as usize]
+                    .take()
+                    .expect("map finished twice");
                 self.record(j, kind, idx, cluster, &task, now);
+                self.clusters[cluster].running_maps -= 1;
+                self.obs_task_span(j, kind, idx, cluster, &task, now, "ok");
+                self.obs_sched_counters(cluster);
                 self.clusters[cluster].free_map[task.node] += 1;
                 self.clusters[cluster].map_queue.task_finished(j);
                 self.jobs[j].map_done_node[idx as usize] = Some(task.node);
@@ -1193,6 +1583,9 @@ impl Simulation {
                     .take()
                     .expect("reduce finished twice");
                 self.record(j, kind, idx, cluster, &task, now);
+                self.clusters[cluster].running_reduces -= 1;
+                self.obs_task_span(j, kind, idx, cluster, &task, now, "ok");
+                self.obs_sched_counters(cluster);
                 self.clusters[cluster].free_reduce[task.node] += 1;
                 self.clusters[cluster].reduce_queue.task_finished(j);
                 self.jobs[j].reduce_dur_sum += now.since(task.started).as_secs_f64();
@@ -1212,12 +1605,17 @@ impl Simulation {
     /// attempt budget is exhausted. Only *failed* attempts count against
     /// the budget; attempts killed by crashes or speculation do not.
     fn task_failed(&mut self, j: usize, kind: TaskKind, idx: u32) {
+        let now = self.queue.now();
         let cluster = self.jobs[j].cluster;
         let max_attempts = self.clusters[cluster].cfg.task_max_attempts.max(1);
         match kind {
             TaskKind::Map => {
-                let task =
-                    self.jobs[j].map_tasks[idx as usize].take().expect("failed map missing");
+                let task = self.jobs[j].map_tasks[idx as usize]
+                    .take()
+                    .expect("failed map missing");
+                self.clusters[cluster].running_maps -= 1;
+                self.obs_task_span(j, kind, idx, cluster, &task, now, "failed");
+                self.obs_sched_counters(cluster);
                 self.clusters[cluster].free_map[task.node] += 1;
                 self.clusters[cluster].map_queue.task_finished(j);
                 self.jobs[j].maps_by_node[task.node] -= 1;
@@ -1244,6 +1642,9 @@ impl Simulation {
                 let task = self.jobs[j].reduce_tasks[idx as usize]
                     .take()
                     .expect("failed reduce missing");
+                self.clusters[cluster].running_reduces -= 1;
+                self.obs_task_span(j, kind, idx, cluster, &task, now, "failed");
+                self.obs_sched_counters(cluster);
                 self.clusters[cluster].free_reduce[task.node] += 1;
                 self.clusters[cluster].reduce_queue.task_finished(j);
                 if task.fetch_done {
@@ -1264,7 +1665,15 @@ impl Simulation {
         self.try_schedule(cluster);
     }
 
-    fn record(&mut self, j: usize, kind: TaskKind, idx: u32, cluster: usize, task: &Task, now: SimTime) {
+    fn record(
+        &mut self,
+        j: usize,
+        kind: TaskKind,
+        idx: u32,
+        cluster: usize,
+        task: &Task,
+        now: SimTime,
+    ) {
         if self.record_tasks {
             self.records.push(TaskRecord {
                 job: self.jobs[j].spec.id,
@@ -1286,9 +1695,7 @@ impl Simulation {
         }
         let cluster = self.jobs[j].cluster;
         let threshold = match self.clusters[cluster].cfg.reduce_slowstart {
-            Some(f) => {
-                ((self.jobs[j].maps_total as f64 * f).ceil() as u32).max(1)
-            }
+            Some(f) => ((self.jobs[j].maps_total as f64 * f).ceil() as u32).max(1),
             None => self.jobs[j].maps_total,
         };
         if self.jobs[j].maps_done >= threshold {
@@ -1302,6 +1709,74 @@ impl Simulation {
     // ------------------------------------------------------------------
     // Job completion / failure
     // ------------------------------------------------------------------
+
+    /// At end of run, emit one instant per network resource summarizing its
+    /// lifetime utilization (bytes served, busy time).
+    fn obs_resource_summary(&mut self) {
+        if self.obs.is_none() {
+            return;
+        }
+        let now = self.queue.now();
+        for i in 0..self.net.num_resources() {
+            let r = NetResourceId(i as u32);
+            let name = self.net.resource_name(r).to_string();
+            let bytes = self.net.resource_bytes_served(r);
+            let busy = self.net.resource_busy_time(r);
+            let obs = self.obs.as_deref_mut().expect("checked above");
+            obs.instant(
+                "resource",
+                name,
+                obs::lanes::RESOURCES,
+                i as u32,
+                now,
+                vec![
+                    ("bytes_served", ArgValue::F64(bytes)),
+                    ("busy", ArgValue::U64(busy.0)),
+                ],
+            );
+        }
+    }
+
+    /// Emit the job span and its four contiguous phase spans. Boundaries
+    /// are monotonically clamped — `b0 ≤ b1 ≤ b2 ≤ b3 ≤ end` — so that
+    /// `setup + map + shuffle + reduce` sums to the job's execution
+    /// *exactly*, in integer ticks, even for zero-shuffle jobs where the
+    /// raw `last_fetch_done` precedes `last_map_end`.
+    fn obs_job_spans(&mut self, j: usize, end: SimTime) {
+        if self.obs.is_none() {
+            return;
+        }
+        let job = &self.jobs[j];
+        let id = job.spec.id.0;
+        let b0 = job.spec.submit;
+        let b1 = b0.max(job.first_map_start.unwrap_or(end)).min(end);
+        let b2 = b1.max(job.last_map_end).min(end);
+        let b3 = b2.max(job.last_fetch_done).min(end);
+        let name = format!("{}#{}", job.spec.profile.name, id);
+        let mut args = vec![
+            ("app", ArgValue::Str(job.spec.profile.name.clone())),
+            (
+                "cluster",
+                ArgValue::Str(self.clusters[job.cluster].built.name.clone()),
+            ),
+            ("maps", ArgValue::U64(job.maps_total as u64)),
+            ("reduces", ArgValue::U64(job.reduces_total as u64)),
+        ];
+        if let Some(msg) = job.failure.clone() {
+            args.push(("failed", ArgValue::Str(msg)));
+        }
+        let obs = self.obs.as_deref_mut().expect("checked above");
+        obs.span("job", name, obs::lanes::JOBS, id, b0, end, args);
+        let phases = [
+            ("setup", b0, b1),
+            ("map", b1, b2),
+            ("shuffle", b2, b3),
+            ("reduce", b3, end),
+        ];
+        for (nm, s, e) in phases {
+            obs.span("phase", nm, obs::lanes::JOBS, id, s, e, vec![]);
+        }
+    }
 
     fn note_failure(&mut self, j: usize, msg: String) {
         let job = &mut self.jobs[j];
@@ -1334,6 +1809,7 @@ impl Simulation {
             failed: job.failure.clone(),
         };
         self.results.push(result);
+        self.obs_job_spans(j, now);
     }
 
     fn job_complete(&mut self, j: usize) {
@@ -1363,13 +1839,18 @@ impl Simulation {
             failed: job.failure.clone(),
         };
         if self.delete_files_on_completion {
-            let files: Vec<FileId> =
-                job.input_files.iter().chain(job.output_files.iter()).copied().collect();
+            let files: Vec<FileId> = job
+                .input_files
+                .iter()
+                .chain(job.output_files.iter())
+                .copied()
+                .collect();
             for f in files {
                 self.dfs.delete_file(f);
             }
         }
         self.results.push(result);
+        self.obs_job_spans(j, now);
     }
 }
 
@@ -1394,8 +1875,8 @@ mod tests {
 
     fn out_sim(nodes: u32) -> Simulation {
         let mut net = FlowNetwork::new();
-        let built = ClusterSpec::homogeneous("out", presets::scale_out_machine(), nodes)
-            .build(&mut net, 0);
+        let built =
+            ClusterSpec::homogeneous("out", presets::scale_out_machine(), nodes).build(&mut net, 0);
         let dfs = HdfsModel::new(HdfsConfig::default(), &built.nodes, FabricSpec::myrinet());
         Simulation::new(net, Box::new(dfs), vec![(built, EngineConfig::scale_out())])
     }
@@ -1615,13 +2096,30 @@ mod tests {
         let mut sim = Simulation::new(
             net,
             Box::new(dfs),
-            vec![(up, EngineConfig::scale_up()), (out, EngineConfig::scale_out())],
+            vec![
+                (up, EngineConfig::scale_up()),
+                (out, EngineConfig::scale_out()),
+            ],
         );
         sim.submit(JobSpec::at_zero(0, wordcount(), GB), 0);
         sim.submit(JobSpec::at_zero(1, wordcount(), GB), 1);
         let results = sim.run().to_vec();
-        assert_eq!(results.iter().find(|r| r.id == JobId(0)).unwrap().cluster_name, "up");
-        assert_eq!(results.iter().find(|r| r.id == JobId(1)).unwrap().cluster_name, "out");
+        assert_eq!(
+            results
+                .iter()
+                .find(|r| r.id == JobId(0))
+                .unwrap()
+                .cluster_name,
+            "up"
+        );
+        assert_eq!(
+            results
+                .iter()
+                .find(|r| r.id == JobId(1))
+                .unwrap()
+                .cluster_name,
+            "out"
+        );
     }
 
     #[test]
@@ -1632,7 +2130,50 @@ mod tests {
         let mut big = out_sim(12);
         big.submit(JobSpec::at_zero(0, wordcount(), 8 * GB), 0);
         let t_big = big.run()[0].execution.as_secs_f64();
-        assert!(t_big <= t_small * 1.01, "12 nodes {t_big} vs 2 nodes {t_small}");
+        assert!(
+            t_big <= t_small * 1.01,
+            "12 nodes {t_big} vs 2 nodes {t_small}"
+        );
+    }
+
+    #[test]
+    fn observability_is_bitwise_neutral_and_phases_sum_exactly() {
+        let run = |observe: bool| {
+            let mut sim = out_sim(4);
+            if observe {
+                sim.enable_observability();
+            }
+            sim.submit(JobSpec::at_zero(0, wordcount(), 2 * GB), 0);
+            let results = sim.run().to_vec();
+            let rec = sim.take_observability();
+            (results, rec)
+        };
+        let (plain, no_rec) = run(false);
+        assert!(no_rec.is_none());
+        let (observed, rec) = run(true);
+        assert_eq!(plain, observed, "tracing must not perturb the simulation");
+        let rec = rec.unwrap();
+        // The four phase spans tile the job span exactly, in integer ticks.
+        let job_span = rec.by_category("job").next().expect("job span");
+        let phase_sum: u64 = rec.by_category("phase").map(|e| e.dur.0).sum();
+        assert_eq!(phase_sum, job_span.dur.0);
+        assert_eq!(job_span.dur.0, observed[0].execution.0);
+        // One task span per successful attempt, all on the cluster's lanes.
+        let tasks: Vec<_> = rec.by_category("task").collect();
+        assert_eq!(tasks.len() as u32, observed[0].maps + observed[0].reduces);
+        assert!(tasks.iter().all(|t| t.arg_str("outcome") == Some("ok")));
+        // Flow spans cover reads, shuffle writes, fetches, and DFS writes.
+        let flows: Vec<_> = rec.by_category("flow").collect();
+        assert!(!flows.is_empty());
+        for label in ["read", "shuffle-write", "shuffle-fetch", "write"] {
+            assert!(
+                flows.iter().any(|f| f.name == label),
+                "missing {label} flow"
+            );
+        }
+        // Byte-identical export across two identical runs.
+        let (_, rec2) = run(true);
+        assert_eq!(rec.chrome_trace(), rec2.unwrap().chrome_trace());
     }
 
     #[test]
@@ -1640,8 +2181,8 @@ mod tests {
         // Same job, but a tiny heap forces reduce-side spills → slower.
         let run_with_heap = |heap: u64| {
             let mut net = FlowNetwork::new();
-            let built = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 4)
-                .build(&mut net, 0);
+            let built =
+                ClusterSpec::homogeneous("out", presets::scale_out_machine(), 4).build(&mut net, 0);
             let dfs = HdfsModel::new(HdfsConfig::default(), &built.nodes, FabricSpec::myrinet());
             let cfg = EngineConfig {
                 heap_shuffle_intensive: heap,

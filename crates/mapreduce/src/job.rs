@@ -24,7 +24,12 @@ pub struct JobSpec {
 impl JobSpec {
     /// A job submitted at t = 0 (single-job measurement runs).
     pub fn at_zero(id: u32, profile: JobProfile, input_size: u64) -> Self {
-        JobSpec { id: JobId(id), profile, input_size, submit: SimTime::ZERO }
+        JobSpec {
+            id: JobId(id),
+            profile,
+            input_size,
+            submit: SimTime::ZERO,
+        }
     }
 }
 

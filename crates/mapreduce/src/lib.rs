@@ -16,6 +16,6 @@ pub mod queue;
 
 pub use config::EngineConfig;
 pub use engine::{FaultStats, Simulation, TaskKind, TaskRecord};
-pub use queue::{TaskQueue, TaskSchedPolicy};
 pub use job::{JobId, JobResult, JobSpec};
 pub use profile::JobProfile;
+pub use queue::{TaskQueue, TaskSchedPolicy};

@@ -7,7 +7,6 @@
 //! model and the scheduler consume; concrete presets live in the `workload`
 //! crate.
 
-
 /// Cost/shape description of one MapReduce application.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobProfile {
@@ -36,7 +35,11 @@ pub struct JobProfile {
 impl JobProfile {
     /// A plain shuffle-oriented profile with the given name and ratios;
     /// the usual starting point for tests and synthetic workloads.
-    pub fn basic(name: impl Into<String>, shuffle_input_ratio: f64, output_input_ratio: f64) -> Self {
+    pub fn basic(
+        name: impl Into<String>,
+        shuffle_input_ratio: f64,
+        output_input_ratio: f64,
+    ) -> Self {
         JobProfile {
             name: name.into(),
             map_cycles_per_byte: 30.0,

@@ -76,7 +76,10 @@ impl TaskQueue {
     /// Remove and return the next task.
     pub fn pop(&mut self) -> Option<(usize, u32)> {
         let job = self.next_job()?;
-        let q = self.pending.get_mut(&job).expect("next_job points at a pending queue");
+        let q = self
+            .pending
+            .get_mut(&job)
+            .expect("next_job points at a pending queue");
         let idx = q.pop_front().expect("next_job guarantees a task");
         if q.is_empty() {
             self.pending.remove(&job);

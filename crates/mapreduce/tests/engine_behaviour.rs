@@ -88,15 +88,18 @@ fn shared_ofs_interference_across_clusters() {
     };
     let run = |with_background: bool| {
         let mut net = FlowNetwork::new();
-        let up = ClusterSpec::homogeneous("scale-up", presets::scale_up_machine(), 2)
-            .build(&mut net, 0);
+        let up =
+            ClusterSpec::homogeneous("scale-up", presets::scale_up_machine(), 2).build(&mut net, 0);
         let out = ClusterSpec::homogeneous("scale-out", presets::scale_out_machine(), 12)
             .build(&mut net, 2);
         let dfs = OfsModel::new(OfsConfig::default(), &mut net);
         let mut sim = Simulation::new(
             net,
             Box::new(dfs),
-            vec![(up, EngineConfig::scale_up()), (out, EngineConfig::scale_out())],
+            vec![
+                (up, EngineConfig::scale_up()),
+                (out, EngineConfig::scale_out()),
+            ],
         );
         // Small foreground scan: few concurrent maps, so each is
         // server-bound (not NIC-bound) and exposed to server contention.
@@ -120,7 +123,12 @@ fn shared_ofs_interference_across_clusters() {
             }
         }
         let results = sim.run().to_vec();
-        results.iter().find(|r| r.id == JobId(0)).unwrap().map_phase.as_secs_f64()
+        results
+            .iter()
+            .find(|r| r.id == JobId(0))
+            .unwrap()
+            .map_phase
+            .as_secs_f64()
     };
     let alone = run(false);
     let contended = run(true);
@@ -192,5 +200,8 @@ fn heterogeneous_cluster_mixes_machine_classes() {
     let nodes_used: std::collections::BTreeSet<usize> =
         sim.task_records().iter().map(|t| t.node).collect();
     assert!(nodes_used.contains(&0), "the fat node ran tasks");
-    assert!(nodes_used.len() >= 4, "thin nodes ran tasks too: {nodes_used:?}");
+    assert!(
+        nodes_used.len() >= 4,
+        "thin nodes ran tasks too: {nodes_used:?}"
+    );
 }

@@ -10,8 +10,7 @@ const GB: u64 = 1 << 30;
 
 fn sim_with(cfg: EngineConfig) -> Simulation {
     let mut net = FlowNetwork::new();
-    let built =
-        ClusterSpec::homogeneous("out", presets::scale_out_machine(), 4).build(&mut net, 0);
+    let built = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 4).build(&mut net, 0);
     let dfs = HdfsModel::new(HdfsConfig::default(), &built.nodes, FabricSpec::myrinet());
     Simulation::new(net, Box::new(dfs), vec![(built, cfg)])
 }
@@ -28,7 +27,10 @@ fn jobs_survive_moderate_failure_rates() {
     // fixed seeds may legitimately lose, the vast majority must not).
     let mut survived = 0;
     for seed in 0..20 {
-        let cfg = EngineConfig { task_failure_prob: 0.15, ..EngineConfig::scale_out() };
+        let cfg = EngineConfig {
+            task_failure_prob: 0.15,
+            ..EngineConfig::scale_out()
+        };
         let mut sim = sim_with(cfg);
         sim.set_fault_seed(seed);
         sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);
@@ -36,7 +38,10 @@ fn jobs_survive_moderate_failure_rates() {
             survived += 1;
         }
     }
-    assert!(survived >= 17, "only {survived}/20 runs survived 15% failures");
+    assert!(
+        survived >= 17,
+        "only {survived}/20 runs survived 15% failures"
+    );
 }
 
 #[test]
@@ -47,7 +52,10 @@ fn failures_cost_time() {
         sim.run()[0].execution
     };
     let faulty = {
-        let cfg = EngineConfig { task_failure_prob: 0.25, ..EngineConfig::scale_out() };
+        let cfg = EngineConfig {
+            task_failure_prob: 0.25,
+            ..EngineConfig::scale_out()
+        };
         let mut sim = sim_with(cfg);
         sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);
         sim.run()[0].execution
@@ -86,7 +94,10 @@ fn slowstart_job_terminates_when_last_map_fails_permanently() {
     let mut sim = sim_with(cfg);
     sim.submit(JobSpec::at_zero(0, wordcount(), 2 * GB), 0);
     let r = sim.run()[0].clone();
-    assert!(!r.succeeded(), "everything failed, so the job must report failure");
+    assert!(
+        !r.succeeded(),
+        "everything failed, so the job must report failure"
+    );
 
     // Sparse permanent failures across many seeds: whichever map finishes
     // last (possibly a failed one), run() must drain with the job finished
@@ -109,7 +120,10 @@ fn slowstart_job_terminates_when_last_map_fails_permanently() {
 #[test]
 fn fault_patterns_are_seed_deterministic() {
     let run = |seed: u64| {
-        let cfg = EngineConfig { task_failure_prob: 0.2, ..EngineConfig::scale_out() };
+        let cfg = EngineConfig {
+            task_failure_prob: 0.2,
+            ..EngineConfig::scale_out()
+        };
         let mut sim = sim_with(cfg);
         sim.set_fault_seed(seed);
         sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);
@@ -127,7 +141,10 @@ fn zero_probability_is_bit_identical_to_no_injection() {
         sim.run().to_vec()
     };
     let zeroed = {
-        let cfg = EngineConfig { task_failure_prob: 0.0, ..EngineConfig::scale_out() };
+        let cfg = EngineConfig {
+            task_failure_prob: 0.0,
+            ..EngineConfig::scale_out()
+        };
         let mut sim = sim_with(cfg);
         sim.submit(JobSpec::at_zero(0, wordcount(), 2 * GB), 0);
         sim.run().to_vec()

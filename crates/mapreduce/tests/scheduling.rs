@@ -49,10 +49,15 @@ fn task_records_cover_all_tasks() {
     let r = sim.run()[0].clone();
     let records = sim.task_records();
     let maps = records.iter().filter(|t| t.kind == TaskKind::Map).count();
-    let reduces = records.iter().filter(|t| t.kind == TaskKind::Reduce).count();
+    let reduces = records
+        .iter()
+        .filter(|t| t.kind == TaskKind::Reduce)
+        .count();
     assert_eq!(maps as u32, r.maps);
     assert_eq!(reduces as u32, r.reduces);
-    assert!(records.iter().all(|t| t.start <= t.end && t.job == JobId(0)));
+    assert!(records
+        .iter()
+        .all(|t| t.start <= t.end && t.job == JobId(0)));
 }
 
 #[test]
@@ -88,7 +93,10 @@ fn records_off_by_default() {
 #[test]
 fn fair_scheduler_protects_the_late_small_job() {
     let run = |policy: TaskSchedPolicy| {
-        let cfg = EngineConfig { task_sched: policy, ..EngineConfig::scale_out() };
+        let cfg = EngineConfig {
+            task_sched: policy,
+            ..EngineConfig::scale_out()
+        };
         let mut sim = sim_with(cfg, 2);
         // A big job arrives first and floods the 12 map slots...
         sim.submit(JobSpec::at_zero(0, wordcount(), 24 * GB), 0);
@@ -103,7 +111,12 @@ fn fair_scheduler_protects_the_late_small_job() {
             0,
         );
         let results = sim.run().to_vec();
-        results.iter().find(|r| r.id == JobId(1)).unwrap().execution.as_secs_f64()
+        results
+            .iter()
+            .find(|r| r.id == JobId(1))
+            .unwrap()
+            .execution
+            .as_secs_f64()
     };
     let fifo = run(TaskSchedPolicy::Fifo);
     let fair = run(TaskSchedPolicy::Fair);
@@ -116,7 +129,10 @@ fn fair_scheduler_protects_the_late_small_job() {
 #[test]
 fn fair_scheduler_costs_the_big_job_little() {
     let run = |policy: TaskSchedPolicy| {
-        let cfg = EngineConfig { task_sched: policy, ..EngineConfig::scale_out() };
+        let cfg = EngineConfig {
+            task_sched: policy,
+            ..EngineConfig::scale_out()
+        };
         let mut sim = sim_with(cfg, 2);
         sim.submit(JobSpec::at_zero(0, wordcount(), 24 * GB), 0);
         sim.submit(
@@ -129,17 +145,28 @@ fn fair_scheduler_costs_the_big_job_little() {
             0,
         );
         let results = sim.run().to_vec();
-        results.iter().find(|r| r.id == JobId(0)).unwrap().execution.as_secs_f64()
+        results
+            .iter()
+            .find(|r| r.id == JobId(0))
+            .unwrap()
+            .execution
+            .as_secs_f64()
     };
     let fifo = run(TaskSchedPolicy::Fifo);
     let fair = run(TaskSchedPolicy::Fair);
-    assert!(fair <= fifo * 1.15, "big job: fair {fair:.1}s vs fifo {fifo:.1}s");
+    assert!(
+        fair <= fifo * 1.15,
+        "big job: fair {fair:.1}s vs fifo {fifo:.1}s"
+    );
 }
 
 #[test]
 fn slowstart_overlap_shortens_the_job() {
     let run = |slowstart: Option<f64>| {
-        let cfg = EngineConfig { reduce_slowstart: slowstart, ..EngineConfig::scale_out() };
+        let cfg = EngineConfig {
+            reduce_slowstart: slowstart,
+            ..EngineConfig::scale_out()
+        };
         let mut sim = sim_with(cfg, 4);
         sim.submit(JobSpec::at_zero(0, wordcount(), 8 * GB), 0);
         sim.run()[0].clone()
@@ -164,7 +191,10 @@ fn slowstart_overlap_shortens_the_job() {
 fn slowstart_respects_the_map_barrier_for_correctness() {
     // Even with aggressive slowstart, no reducer may report its fetch done
     // before the last map ends (the gated remainder).
-    let cfg = EngineConfig { reduce_slowstart: Some(0.01), ..EngineConfig::scale_out() };
+    let cfg = EngineConfig {
+        reduce_slowstart: Some(0.01),
+        ..EngineConfig::scale_out()
+    };
     let mut sim = sim_with(cfg, 4);
     sim.record_tasks = true;
     sim.submit(JobSpec::at_zero(0, wordcount(), 4 * GB), 0);

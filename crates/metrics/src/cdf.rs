@@ -1,6 +1,5 @@
 //! Empirical CDFs — the paper's favourite plot (Figures 3 and 10).
 
-
 /// An empirical cumulative distribution over a finite sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalCdf {

@@ -2,7 +2,6 @@
 //! orders of magnitude (input sizes from KB to TB, execution times from
 //! seconds to hours).
 
-
 /// A histogram with logarithmically spaced buckets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {

@@ -1,6 +1,5 @@
 //! Named data series — one line of a paper figure.
 
-
 /// A labelled `(x, y)` series, e.g. `out-OFS` execution time vs input size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Series {
@@ -13,7 +12,10 @@ pub struct Series {
 impl Series {
     /// An empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append one point.
@@ -23,7 +25,10 @@ impl Series {
 
     /// The y value at exactly `x`, if sampled.
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|&&(px, _)| px == x).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|&&(px, _)| px == x)
+            .map(|&(_, y)| y)
     }
 
     /// Divide this series pointwise by `base` (x grids must match) — how
@@ -49,7 +54,10 @@ impl Series {
                 (x, y / by)
             })
             .collect();
-        Series { label: format!("{} / {}", self.label, base.label), points }
+        Series {
+            label: format!("{} / {}", self.label, base.label),
+            points,
+        }
     }
 
     /// First x where y crosses 1.0 downward (out/up normalized curves),
@@ -72,7 +80,10 @@ mod tests {
     use super::*;
 
     fn s(label: &str, pts: &[(f64, f64)]) -> Series {
-        Series { label: label.into(), points: pts.to_vec() }
+        Series {
+            label: label.into(),
+            points: pts.to_vec(),
+        }
     }
 
     #[test]

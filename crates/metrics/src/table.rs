@@ -51,12 +51,20 @@ pub fn fmt_secs(s: f64) -> String {
 
 /// Format a byte count using binary units (matches the paper's GB figures).
 pub fn fmt_bytes(b: u64) -> String {
-    const UNITS: [(u64, &str); 4] =
-        [(1 << 40, "TB"), (1 << 30, "GB"), (1 << 20, "MB"), (1 << 10, "KB")];
+    const UNITS: [(u64, &str); 4] = [
+        (1 << 40, "TB"),
+        (1 << 30, "GB"),
+        (1 << 20, "MB"),
+        (1 << 10, "KB"),
+    ];
     for (scale, unit) in UNITS {
         if b >= scale {
             let v = b as f64 / scale as f64;
-            return if v >= 10.0 { format!("{v:.0}{unit}") } else { format!("{v:.1}{unit}") };
+            return if v >= 10.0 {
+                format!("{v:.0}{unit}")
+            } else {
+                format!("{v:.1}{unit}")
+            };
         }
     }
     format!("{b}B")

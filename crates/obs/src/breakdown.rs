@@ -1,0 +1,325 @@
+//! Per-job phase-breakdown exporter.
+//!
+//! Projects a recorded trace onto the paper's unit of analysis: for each
+//! job, how long did setup / map / shuffle / reduce take, what was the
+//! median task duration in each phase, and how much of the task time was
+//! spent waiting on storage and network IO. The engine emits phase spans
+//! with monotonically clamped boundaries, so the four phases of a job
+//! always sum exactly to its execution time in integer ticks.
+//!
+//! Consumed by the `fig5` and `fault_sweep` experiment binaries, which print
+//! these tables alongside their figures.
+
+use crate::{EventKind, Recorder};
+use simcore::SimDuration;
+use std::collections::BTreeMap;
+
+/// One job's phase decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobPhaseRow {
+    /// Job id (the `tid` of its spans on the jobs lane).
+    pub job: u64,
+    /// Application profile name ("grep", "sort", ...).
+    pub app: String,
+    /// Cluster the job ran on ("scale-up" / "scale-out").
+    pub cluster: String,
+    /// Submission-to-first-map wait (queueing + setup).
+    pub setup: SimDuration,
+    /// First map start to last map end.
+    pub map: SimDuration,
+    /// Last map end to last shuffle fetch done.
+    pub shuffle: SimDuration,
+    /// Shuffle done to job completion.
+    pub reduce: SimDuration,
+    /// Whole-job execution; equals `setup + map + shuffle + reduce` exactly.
+    pub execution: SimDuration,
+    /// Median successful map-attempt duration.
+    pub map_task_p50: SimDuration,
+    /// Median successful reduce-attempt duration.
+    pub reduce_task_p50: SimDuration,
+    /// Total ticks the job's successful attempts spent blocked on IO.
+    pub io_wait: SimDuration,
+}
+
+/// The phase table for every completed job in a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// One row per job, ordered by job id.
+    pub rows: Vec<JobPhaseRow>,
+}
+
+impl PhaseBreakdown {
+    /// Build the table from a recorded trace. Jobs appear when their
+    /// `cat: "job"` span exists; phase and task spans fill in the columns.
+    pub fn from_recorder(rec: &Recorder) -> Self {
+        struct Acc {
+            app: String,
+            cluster: String,
+            execution: SimDuration,
+            phases: [SimDuration; 4],
+            map_tasks: Vec<SimDuration>,
+            reduce_tasks: Vec<SimDuration>,
+            io_wait: SimDuration,
+        }
+        let mut jobs: BTreeMap<u64, Acc> = BTreeMap::new();
+        // Pass 1: job spans establish the rows. Task spans are recorded as
+        // attempts finish — i.e. *before* their job's span — so row creation
+        // must not depend on event order.
+        for ev in rec.events() {
+            if ev.kind != EventKind::Span || ev.cat != "job" {
+                continue;
+            }
+            let acc = jobs.entry(ev.tid as u64).or_insert_with(|| Acc {
+                app: String::new(),
+                cluster: String::new(),
+                execution: SimDuration::ZERO,
+                phases: [SimDuration::ZERO; 4],
+                map_tasks: Vec::new(),
+                reduce_tasks: Vec::new(),
+                io_wait: SimDuration::ZERO,
+            });
+            acc.app = ev.arg_str("app").unwrap_or("?").to_string();
+            acc.cluster = ev.arg_str("cluster").unwrap_or("?").to_string();
+            acc.execution = ev.dur;
+        }
+        // Pass 2: phase and task spans fill in the columns.
+        for ev in rec.events() {
+            if ev.kind != EventKind::Span {
+                continue;
+            }
+            match ev.cat {
+                "phase" => {
+                    let slot = match ev.name.as_str() {
+                        "setup" => 0,
+                        "map" => 1,
+                        "shuffle" => 2,
+                        "reduce" => 3,
+                        _ => continue,
+                    };
+                    if let Some(acc) = jobs.get_mut(&(ev.tid as u64)) {
+                        acc.phases[slot] = ev.dur;
+                    }
+                }
+                "task" => {
+                    // Only attempts that finished cleanly count toward task
+                    // medians; killed/failed attempts still show in the trace.
+                    if ev.arg_str("outcome") != Some("ok") {
+                        continue;
+                    }
+                    let Some(job) = ev.arg_u64("job") else {
+                        continue;
+                    };
+                    let Some(acc) = jobs.get_mut(&job) else {
+                        continue;
+                    };
+                    match ev.arg_str("kind") {
+                        Some("map") => acc.map_tasks.push(ev.dur),
+                        Some("reduce") => acc.reduce_tasks.push(ev.dur),
+                        _ => {}
+                    }
+                    acc.io_wait += SimDuration(ev.arg_u64("io_wait").unwrap_or(0));
+                }
+                _ => {}
+            }
+        }
+        let rows = jobs
+            .into_iter()
+            .map(|(job, mut acc)| JobPhaseRow {
+                job,
+                app: acc.app,
+                cluster: acc.cluster,
+                setup: acc.phases[0],
+                map: acc.phases[1],
+                shuffle: acc.phases[2],
+                reduce: acc.phases[3],
+                execution: acc.execution,
+                map_task_p50: median(&mut acc.map_tasks),
+                reduce_task_p50: median(&mut acc.reduce_tasks),
+                io_wait: acc.io_wait,
+            })
+            .collect();
+        PhaseBreakdown { rows }
+    }
+
+    /// Render the per-job table as Markdown (durations in seconds).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| job | app | cluster | setup s | map s | shuffle s | reduce s | exec s | map-task p50 s | reduce-task p50 s | io-wait s |\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                r.job,
+                r.app,
+                r.cluster,
+                secs(r.setup),
+                secs(r.map),
+                secs(r.shuffle),
+                secs(r.reduce),
+                secs(r.execution),
+                secs(r.map_task_p50),
+                secs(r.reduce_task_p50),
+                secs(r.io_wait),
+            ));
+        }
+        out
+    }
+
+    /// One-line median summary across all jobs, for sweep-style reports
+    /// where the full per-job table would drown the figure.
+    pub fn summary(&self) -> String {
+        let mut map: Vec<SimDuration> = self.rows.iter().map(|r| r.map).collect();
+        let mut shuffle: Vec<SimDuration> = self.rows.iter().map(|r| r.shuffle).collect();
+        let mut reduce: Vec<SimDuration> = self.rows.iter().map(|r| r.reduce).collect();
+        let mut io: Vec<SimDuration> = self.rows.iter().map(|r| r.io_wait).collect();
+        format!(
+            "{} jobs · median phase s: map {} / shuffle {} / reduce {} · median io-wait s {}",
+            self.rows.len(),
+            secs(median(&mut map)),
+            secs(median(&mut shuffle)),
+            secs(median(&mut reduce)),
+            secs(median(&mut io)),
+        )
+    }
+}
+
+/// Median by sorting in place; `ZERO` for an empty set. Lower median for
+/// even counts, matching the golden-trace percentile convention.
+fn median(xs: &mut [SimDuration]) -> SimDuration {
+    if xs.is_empty() {
+        return SimDuration::ZERO;
+    }
+    xs.sort_unstable();
+    xs[(xs.len() - 1) / 2]
+}
+
+fn secs(d: SimDuration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes;
+    use simcore::SimTime;
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new();
+        // Task attempts are recorded as they finish, i.e. before their job's
+        // span — the sample reproduces that real emission order.
+        for (start, end, io) in [(10u64, 40u64, 4u64), (12, 60, 6)] {
+            r.span(
+                "task",
+                "map",
+                0,
+                0,
+                SimTime(start),
+                SimTime(end),
+                vec![
+                    ("job", 5u64.into()),
+                    ("kind", "map".into()),
+                    ("outcome", "ok".into()),
+                    ("io_wait", io.into()),
+                ],
+            );
+        }
+        // A killed speculative attempt must not affect medians or io-wait.
+        r.span(
+            "task",
+            "map",
+            0,
+            1,
+            SimTime(12),
+            SimTime(30),
+            vec![
+                ("job", 5u64.into()),
+                ("kind", "map".into()),
+                ("outcome", "killed".into()),
+                ("io_wait", 99u64.into()),
+            ],
+        );
+        // Job 5: submit at 0, end at 100; phases 10 + 50 + 25 + 15.
+        r.span(
+            "job",
+            "grep#5",
+            lanes::JOBS,
+            5,
+            SimTime(0),
+            SimTime(100),
+            vec![("app", "grep".into()), ("cluster", "scale-up".into())],
+        );
+        r.span(
+            "phase",
+            "setup",
+            lanes::JOBS,
+            5,
+            SimTime(0),
+            SimTime(10),
+            vec![],
+        );
+        r.span(
+            "phase",
+            "map",
+            lanes::JOBS,
+            5,
+            SimTime(10),
+            SimTime(60),
+            vec![],
+        );
+        r.span(
+            "phase",
+            "shuffle",
+            lanes::JOBS,
+            5,
+            SimTime(60),
+            SimTime(85),
+            vec![],
+        );
+        r.span(
+            "phase",
+            "reduce",
+            lanes::JOBS,
+            5,
+            SimTime(85),
+            SimTime(100),
+            vec![],
+        );
+        r
+    }
+
+    #[test]
+    fn phases_sum_to_execution() {
+        let b = PhaseBreakdown::from_recorder(&sample());
+        assert_eq!(b.rows.len(), 1);
+        let r = &b.rows[0];
+        assert_eq!(r.job, 5);
+        assert_eq!(r.app, "grep");
+        assert_eq!(r.cluster, "scale-up");
+        assert_eq!(r.setup + r.map + r.shuffle + r.reduce, r.execution);
+        assert_eq!(r.execution, SimDuration(100));
+    }
+
+    #[test]
+    fn task_medians_skip_killed_attempts() {
+        let b = PhaseBreakdown::from_recorder(&sample());
+        let r = &b.rows[0];
+        // Durations 30 and 48; lower median = 30. io_wait = 4 + 6, not 109.
+        assert_eq!(r.map_task_p50, SimDuration(30));
+        assert_eq!(r.io_wait, SimDuration(10));
+        assert_eq!(r.reduce_task_p50, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn render_and_summary_are_deterministic() {
+        let a = PhaseBreakdown::from_recorder(&sample());
+        let b = PhaseBreakdown::from_recorder(&sample());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.summary(), b.summary());
+        assert!(
+            a.render().contains("| 5 | grep | scale-up |"),
+            "{}",
+            a.render()
+        );
+        assert!(a.summary().starts_with("1 jobs"), "{}", a.summary());
+    }
+}

@@ -1,0 +1,177 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Renders a [`Recorder`] log into the JSON Object Format understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: a `traceEvents` array
+//! of objects with `ph` (phase) `"X"` (complete span), `"i"` (instant),
+//! `"C"` (counter), or `"M"` (metadata). `ts`/`dur` are microseconds, which
+//! matches the simulator's tick unit exactly, so trace timestamps *are*
+//! `SimTime` values with no conversion loss.
+//!
+//! Output is deterministic: fixed field order, one event per line, events
+//! in emission order, and numbers rendered with Rust's shortest-roundtrip
+//! `Display` — no wall-clock, locale, or hash-order dependence anywhere.
+
+use crate::{ArgValue, EventKind, Recorder, TraceEvent};
+
+/// Render the full recorder log as a Chrome-trace JSON document.
+pub fn render(rec: &Recorder) -> String {
+    // ~160 bytes/event is a fair estimate for typical spans with 2-3 args.
+    let mut out = String::with_capacity(64 + rec.len() * 160);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (pid, name) in rec.process_names() {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+            pid,
+            json_string(name)
+        ));
+    }
+    for ev in rec.events() {
+        push_sep(&mut out, &mut first);
+        push_event(&mut out, ev);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+fn push_event(out: &mut String, ev: &TraceEvent) {
+    out.push('{');
+    out.push_str("\"name\":");
+    out.push_str(&json_string(&ev.name));
+    out.push_str(",\"cat\":");
+    out.push_str(&json_string(ev.cat));
+    match ev.kind {
+        EventKind::Span => {
+            out.push_str(&format!(
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                ev.ts.0, ev.dur.0
+            ));
+        }
+        EventKind::Instant => {
+            // Scope "t" (thread) keeps the marker on its own lane.
+            out.push_str(&format!(",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}", ev.ts.0));
+        }
+        EventKind::Counter => {
+            out.push_str(&format!(",\"ph\":\"C\",\"ts\":{}", ev.ts.0));
+        }
+    }
+    out.push_str(&format!(",\"pid\":{},\"tid\":{}", ev.pid, ev.tid));
+    if !ev.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(k));
+            out.push(':');
+            push_value(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn push_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::Str(s) => out.push_str(&json_string(s)),
+        ArgValue::U64(n) => out.push_str(&n.to_string()),
+        ArgValue::F64(f) if f.is_finite() => out.push_str(&f.to_string()),
+        ArgValue::F64(_) => out.push_str("null"),
+        ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new();
+        r.name_process(crate::lanes::JOBS, "jobs");
+        r.span(
+            "phase",
+            "map",
+            crate::lanes::JOBS,
+            3,
+            SimTime(10),
+            SimTime(250),
+            vec![("job", 3u64.into())],
+        );
+        r.instant(
+            "fault",
+            "node_crash",
+            0,
+            2,
+            SimTime(40),
+            vec![("node", 2u64.into()), ("note", "line\"break\n".into())],
+        );
+        r.counter("sched", "running_maps", 0, SimTime(41), 7.0);
+        r
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(render(&sample()), render(&sample()));
+    }
+
+    #[test]
+    fn render_shape() {
+        let json = render(&sample());
+        assert!(json.starts_with("{\"traceEvents\":[\n"), "{json}");
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}\n"), "{json}");
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1000,\"tid\":0,\"args\":{\"name\":\"jobs\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"map\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":10,\"dur\":240,\"pid\":1000,\"tid\":3,\"args\":{\"job\":3}}"
+        ));
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\",\"ts\":40"));
+        assert!(json.contains("\"ph\":\"C\",\"ts\":41"), "{json}");
+        assert!(
+            json.contains("\"args\":{\"value\":7}"),
+            "counter value: {json}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = render(&sample());
+        assert!(json.contains("\"note\":\"line\\\"break\\n\""), "{json}");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut out = String::new();
+        push_value(&mut out, &ArgValue::F64(f64::NAN));
+        push_value(&mut out, &ArgValue::F64(f64::INFINITY));
+        assert_eq!(out, "nullnull");
+    }
+}

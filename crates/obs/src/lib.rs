@@ -1,0 +1,356 @@
+//! # obs — deterministic observability for the simulator
+//!
+//! A structured trace recorder keyed on [`SimTime`] — never wall clock — so
+//! two runs of the same `(specification, seed)` produce **byte-identical**
+//! traces. The recorder is entirely passive: it never touches the event
+//! queue, draws no randomness, and is allocated only when a caller opts in,
+//! so a simulation with observability disabled is bitwise identical to one
+//! that never linked this crate.
+//!
+//! ## Span model
+//!
+//! Three event shapes, mirroring the Chrome `trace_event` phases they export
+//! to:
+//!
+//! - **Complete spans** (`ph: "X"`): a named interval `[ts, ts + dur)` on a
+//!   `(pid, tid)` lane — task attempts, job phases, storage flows.
+//! - **Instant events** (`ph: "i"`): point-in-time markers — node crashes,
+//!   speculative kills, placement decisions.
+//! - **Counters** (`ph: "C"`): a named value sampled at an instant — running
+//!   tasks per cluster, queue depths.
+//!
+//! Lanes follow a fixed convention (see [`lanes`]): compute clusters use
+//! their cluster index as `pid` with the node index as `tid`; job-scoped
+//! events live under [`lanes::JOBS`] with the job id as `tid`; flows and
+//! storage servers get their own processes. [`Recorder::name_process`]
+//! attaches human-readable names that Perfetto shows in the track list.
+//!
+//! ## Determinism contract
+//!
+//! Events are stored in emission order and exported verbatim; no sorting,
+//! hashing, or timestamping happens at export. Because the simulator itself
+//! is deterministic and every `ts` is integer microseconds of simulated
+//! time, the rendered JSON is a pure function of the simulation inputs.
+//!
+//! ## Exporters
+//!
+//! - [`chrome::render`] — Chrome `trace_event` JSON, loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! - [`breakdown::PhaseBreakdown`] — per-job map/shuffle/reduce/IO-wait
+//!   tables derived from the recorded spans.
+
+pub mod breakdown;
+pub mod chrome;
+
+use simcore::{SimDuration, SimTime};
+
+/// Fixed `pid` lanes for event groups that are not compute clusters.
+/// Compute clusters use their cluster index (0, 1, ...) as `pid`, which is
+/// why these constants start well above any realistic cluster count.
+pub mod lanes {
+    /// Job-scoped spans (job lifecycle, phases, placement): `tid` = job id.
+    pub const JOBS: u32 = 1000;
+    /// Storage/network flow spans: `tid` = flow id (truncated).
+    pub const FLOWS: u32 = 2000;
+    /// Remote storage servers (degradation events): `tid` = server index.
+    pub const STORAGE: u32 = 2001;
+    /// Per-resource utilization summaries emitted at end of run.
+    pub const RESOURCES: u32 = 2002;
+}
+
+/// A typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A string argument (escaped on export).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float, exported with shortest-roundtrip formatting.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for ArgValue {
+    fn from(s: &str) -> Self {
+        ArgValue::Str(s.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(s: String) -> Self {
+        ArgValue::Str(s)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+/// The shape of a trace event (maps to a Chrome `ph` value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete span (`ph: "X"`) with a duration.
+    Span,
+    /// An instant marker (`ph: "i"`).
+    Instant,
+    /// A counter sample (`ph: "C"`); the value is the `value` arg.
+    Counter,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span label, marker name, or counter name).
+    pub name: String,
+    /// Category, used for filtering in trace viewers and by the breakdown
+    /// exporter ("task", "phase", "job", "flow", "fault", "placement", ...).
+    pub cat: &'static str,
+    /// Span, instant, or counter.
+    pub kind: EventKind,
+    /// Start (spans) or occurrence (instants/counters) time.
+    pub ts: SimTime,
+    /// Span duration; zero for instants and counters.
+    pub dur: SimDuration,
+    /// Process lane (cluster index or a [`lanes`] constant).
+    pub pid: u32,
+    /// Thread lane within the process (node index, job id, flow id...).
+    pub tid: u32,
+    /// Key-value annotations, exported as the Chrome `args` object.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// The first argument with key `key`, if any.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// The first `u64` argument with key `key`, if any.
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        match self.arg(key) {
+            Some(ArgValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The first string argument with key `key`, if any.
+    pub fn arg_str(&self, key: &str) -> Option<&str> {
+        match self.arg(key) {
+            Some(ArgValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// The recorder: an append-only, emission-ordered event log.
+///
+/// Owners hold it behind an `Option` so the disabled path is a single branch
+/// and no allocation; every recording method is a plain `Vec::push`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    events: Vec<TraceEvent>,
+    /// `(pid, name)` process labels, exported as Chrome metadata events.
+    process_names: Vec<(u32, String)>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Record a complete span covering `[start, end)`. A span whose `end`
+    /// precedes `start` is clamped to zero duration rather than rejected
+    /// (saturating, like all simulator time arithmetic).
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        start: SimTime,
+        end: SimTime,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Span,
+            ts: start,
+            dur: end.since(start),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Record an instant marker at `ts`.
+    pub fn instant(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<String>,
+        pid: u32,
+        tid: u32,
+        ts: SimTime,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Instant,
+            ts,
+            dur: SimDuration::ZERO,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Record a counter sample: `name` takes `value` at `ts` on lane `pid`.
+    pub fn counter(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<String>,
+        pid: u32,
+        ts: SimTime,
+        value: f64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Counter,
+            ts,
+            dur: SimDuration::ZERO,
+            pid,
+            tid: 0,
+            args: vec![("value", ArgValue::F64(value))],
+        });
+    }
+
+    /// Attach a human-readable name to a `pid` lane (shown by Perfetto).
+    pub fn name_process(&mut self, pid: u32, name: impl Into<String>) {
+        self.process_names.push((pid, name.into()));
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Registered process names.
+    pub fn process_names(&self) -> &[(u32, String)] {
+        &self.process_names
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one category, in emission order.
+    pub fn by_category<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.cat == cat)
+    }
+
+    /// Render the whole log as Chrome `trace_event` JSON.
+    pub fn chrome_trace(&self) -> String {
+        chrome::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_durations_saturate() {
+        let mut r = Recorder::new();
+        r.span(
+            "t",
+            "backwards",
+            0,
+            0,
+            SimTime::from_secs(5),
+            SimTime::from_secs(3),
+            vec![],
+        );
+        assert_eq!(r.events()[0].dur, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn events_keep_emission_order() {
+        let mut r = Recorder::new();
+        r.instant("a", "later", 0, 0, SimTime::from_secs(9), vec![]);
+        r.instant("a", "earlier", 0, 0, SimTime::from_secs(1), vec![]);
+        let names: Vec<&str> = r.events().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["later", "earlier"],
+            "no sorting on record or export"
+        );
+    }
+
+    #[test]
+    fn arg_lookup_by_key_and_type() {
+        let mut r = Recorder::new();
+        r.instant(
+            "t",
+            "e",
+            0,
+            0,
+            SimTime::ZERO,
+            vec![("job", 7u64.into()), ("app", "grep".into())],
+        );
+        let e = &r.events()[0];
+        assert_eq!(e.arg_u64("job"), Some(7));
+        assert_eq!(e.arg_str("app"), Some("grep"));
+        assert_eq!(e.arg_u64("app"), None, "type-checked accessors");
+        assert_eq!(e.arg("missing"), None);
+    }
+
+    #[test]
+    fn counters_carry_their_value_as_an_arg() {
+        let mut r = Recorder::new();
+        r.counter("sched", "running_maps", 0, SimTime::from_secs(1), 12.0);
+        let e = &r.events()[0];
+        assert_eq!(e.kind, EventKind::Counter);
+        assert_eq!(e.arg("value"), Some(&ArgValue::F64(12.0)));
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut r = Recorder::new();
+        r.instant("fault", "crash", 0, 0, SimTime::ZERO, vec![]);
+        r.instant("task", "x", 0, 0, SimTime::ZERO, vec![]);
+        r.instant("fault", "recover", 0, 0, SimTime::ZERO, vec![]);
+        assert_eq!(r.by_category("fault").count(), 2);
+        assert_eq!(r.by_category("task").count(), 1);
+    }
+}

@@ -41,10 +41,28 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use by default: the machine's available
+/// Number of worker threads to use by default: the `PARSWEEP_THREADS`
+/// environment variable when it holds a positive integer (useful for
+/// pinning CI or benchmark runs), otherwise the machine's available
 /// parallelism, capped at 16 (sweep points are memory-hungry).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4).min(16)
+    if let Some(n) = std::env::var("PARSWEEP_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(threads_override)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Parse a `PARSWEEP_THREADS` value: a positive integer wins, anything else
+/// (empty, zero, garbage) falls back to the hardware heuristic.
+fn threads_override(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 /// Map `f` over `items` in parallel on `threads` workers, preserving order.
@@ -105,7 +123,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
 
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
@@ -228,13 +249,20 @@ mod tests {
             .map(|s| s.to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
-        assert!(msg.contains("sweep worker panicked"), "got panic message {msg:?}");
+        assert!(
+            msg.contains("sweep worker panicked"),
+            "got panic message {msg:?}"
+        );
         // No point was claimed twice, and the poisoned point ran exactly once.
         for (i, r) in runs.iter().enumerate() {
             let n = r.load(Ordering::SeqCst);
             assert!(n <= 1, "sweep point {i} ran {n} times");
         }
-        assert_eq!(runs[BAD].load(Ordering::SeqCst), 1, "poisoned point must have run");
+        assert_eq!(
+            runs[BAD].load(Ordering::SeqCst),
+            1,
+            "poisoned point must have run"
+        );
     }
 
     /// The poison flag only stops *new* claims: workers already inside `f`
@@ -249,7 +277,32 @@ mod tests {
             i
         });
         assert_eq!(counter.load(Ordering::Relaxed), 2048);
-        assert!(out.iter().enumerate().all(|(i, &j)| i == j), "order preserved, no dupes");
+        assert!(
+            out.iter().enumerate().all(|(i, &j)| i == j),
+            "order preserved, no dupes"
+        );
+    }
+
+    #[test]
+    fn threads_override_accepts_only_positive_integers() {
+        assert_eq!(threads_override("4"), Some(4));
+        assert_eq!(threads_override(" 12 "), Some(12));
+        assert_eq!(threads_override("1"), Some(1));
+        assert_eq!(threads_override("0"), None);
+        assert_eq!(threads_override(""), None);
+        assert_eq!(threads_override("-3"), None);
+        assert_eq!(threads_override("2.5"), None);
+        assert_eq!(threads_override("lots"), None);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        // Whatever the environment, the heuristic contract holds.
+        let n = default_threads();
+        assert!(n >= 1);
+        if std::env::var("PARSWEEP_THREADS").is_err() {
+            assert!(n <= 16);
+        }
     }
 
     #[test]

@@ -68,9 +68,18 @@ impl BandScheduler {
         BandScheduler::new(vec![
             // S/I < 0.4 (the map-intensive rule; the paper's band edge is
             // exclusive at 0.4, modelled as an inclusive edge just below).
-            RatioBand { max_ratio: 0.4 - f64::EPSILON, threshold: s.map_intensive_threshold },
-            RatioBand { max_ratio: 1.0, threshold: s.mid_ratio_threshold },
-            RatioBand { max_ratio: f64::INFINITY, threshold: s.high_ratio_threshold },
+            RatioBand {
+                max_ratio: 0.4 - f64::EPSILON,
+                threshold: s.map_intensive_threshold,
+            },
+            RatioBand {
+                max_ratio: 1.0,
+                threshold: s.mid_ratio_threshold,
+            },
+            RatioBand {
+                max_ratio: f64::INFINITY,
+                threshold: s.high_ratio_threshold,
+            },
         ])
     }
 }
@@ -101,13 +110,18 @@ pub fn calibrate_bands(
         .iter()
         .map(|(edge, pts)| RatioBand {
             max_ratio: *edge,
-            threshold: estimate_cross_point(pts).map(|x| x as u64).unwrap_or_else(|| fallback(*edge)),
+            threshold: estimate_cross_point(pts)
+                .map(|x| x as u64)
+                .unwrap_or_else(|| fallback(*edge)),
         })
         .collect();
     bands.sort_by(|a, b| a.max_ratio.total_cmp(&b.max_ratio));
     if !bands.last().unwrap().max_ratio.is_infinite() {
         let last = *bands.last().unwrap();
-        bands.push(RatioBand { max_ratio: f64::INFINITY, threshold: last.threshold });
+        bands.push(RatioBand {
+            max_ratio: f64::INFINITY,
+            threshold: last.threshold,
+        });
     }
     BandScheduler::new(bands)
 }
@@ -143,10 +157,22 @@ mod tests {
     #[test]
     fn fine_partition_interpolates() {
         let bands = BandScheduler::new(vec![
-            RatioBand { max_ratio: 0.2, threshold: 8 * GB },
-            RatioBand { max_ratio: 0.6, threshold: 14 * GB },
-            RatioBand { max_ratio: 1.2, threshold: 22 * GB },
-            RatioBand { max_ratio: f64::INFINITY, threshold: 34 * GB },
+            RatioBand {
+                max_ratio: 0.2,
+                threshold: 8 * GB,
+            },
+            RatioBand {
+                max_ratio: 0.6,
+                threshold: 14 * GB,
+            },
+            RatioBand {
+                max_ratio: 1.2,
+                threshold: 22 * GB,
+            },
+            RatioBand {
+                max_ratio: f64::INFINITY,
+                threshold: 34 * GB,
+            },
         ]);
         assert_eq!(bands.threshold_for(0.1), 8 * GB);
         assert_eq!(bands.threshold_for(0.2), 8 * GB);
@@ -158,30 +184,53 @@ mod tests {
     #[test]
     #[should_panic(expected = "unbounded")]
     fn rejects_bounded_last_band() {
-        BandScheduler::new(vec![RatioBand { max_ratio: 1.0, threshold: GB }]);
+        BandScheduler::new(vec![RatioBand {
+            max_ratio: 1.0,
+            threshold: GB,
+        }]);
     }
 
     #[test]
     #[should_panic(expected = "strictly sorted")]
     fn rejects_unsorted_bands() {
         BandScheduler::new(vec![
-            RatioBand { max_ratio: 1.0, threshold: GB },
-            RatioBand { max_ratio: 0.5, threshold: GB },
-            RatioBand { max_ratio: f64::INFINITY, threshold: GB },
+            RatioBand {
+                max_ratio: 1.0,
+                threshold: GB,
+            },
+            RatioBand {
+                max_ratio: 0.5,
+                threshold: GB,
+            },
+            RatioBand {
+                max_ratio: f64::INFINITY,
+                threshold: GB,
+            },
         ]);
     }
 
     #[test]
     fn calibration_uses_crossings_and_fallback() {
         let crossing = vec![
-            SweepPoint { input_size: 1e9, t_up: 10.0, t_out: 15.0 },
-            SweepPoint { input_size: 64e9, t_up: 100.0, t_out: 60.0 },
+            SweepPoint {
+                input_size: 1e9,
+                t_up: 10.0,
+                t_out: 15.0,
+            },
+            SweepPoint {
+                input_size: 64e9,
+                t_up: 100.0,
+                t_out: 60.0,
+            },
         ];
-        let no_crossing = vec![SweepPoint { input_size: 1e9, t_up: 20.0, t_out: 10.0 }];
-        let s = calibrate_bands(
-            &[(0.4, no_crossing), (f64::INFINITY, crossing)],
-            |_| 12 * GB,
-        );
+        let no_crossing = vec![SweepPoint {
+            input_size: 1e9,
+            t_up: 20.0,
+            t_out: 10.0,
+        }];
+        let s = calibrate_bands(&[(0.4, no_crossing), (f64::INFINITY, crossing)], |_| {
+            12 * GB
+        });
         assert_eq!(s.bands().len(), 2);
         assert_eq!(s.threshold_for(0.1), 12 * GB, "fallback band");
         assert!(s.threshold_for(2.0) > GB, "calibrated band");
@@ -190,8 +239,16 @@ mod tests {
     #[test]
     fn calibration_appends_unbounded_band_if_missing() {
         let pts = vec![
-            SweepPoint { input_size: 1e9, t_up: 10.0, t_out: 15.0 },
-            SweepPoint { input_size: 64e9, t_up: 100.0, t_out: 60.0 },
+            SweepPoint {
+                input_size: 1e9,
+                t_up: 10.0,
+                t_out: 15.0,
+            },
+            SweepPoint {
+                input_size: 64e9,
+                t_up: 100.0,
+                t_out: 60.0,
+            },
         ];
         let s = calibrate_bands(&[(0.5, pts)], |_| GB);
         assert!(s.bands().last().unwrap().max_ratio.is_infinite());

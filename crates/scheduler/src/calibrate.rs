@@ -83,14 +83,22 @@ mod tests {
     use super::*;
 
     fn pt(size_gb: f64, t_up: f64, t_out: f64) -> SweepPoint {
-        SweepPoint { input_size: size_gb * (1u64 << 30) as f64, t_up, t_out }
+        SweepPoint {
+            input_size: size_gb * (1u64 << 30) as f64,
+            t_up,
+            t_out,
+        }
     }
 
     #[test]
     fn clean_crossing_is_interpolated() {
         // up wins below ~16 GB, out wins above.
-        let sweep =
-            vec![pt(1.0, 10.0, 14.0), pt(8.0, 40.0, 48.0), pt(32.0, 200.0, 150.0), pt(64.0, 450.0, 280.0)];
+        let sweep = vec![
+            pt(1.0, 10.0, 14.0),
+            pt(8.0, 40.0, 48.0),
+            pt(32.0, 200.0, 150.0),
+            pt(64.0, 450.0, 280.0),
+        ];
         let x = estimate_cross_point(&sweep).unwrap();
         let gb = x / (1u64 << 30) as f64;
         assert!(gb > 8.0 && gb < 32.0, "cross at {gb} GB");
@@ -114,7 +122,11 @@ mod tests {
 
     #[test]
     fn unsorted_input_is_handled() {
-        let sweep = vec![pt(64.0, 450.0, 280.0), pt(1.0, 10.0, 14.0), pt(8.0, 40.0, 48.0)];
+        let sweep = vec![
+            pt(64.0, 450.0, 280.0),
+            pt(1.0, 10.0, 14.0),
+            pt(8.0, 40.0, 48.0),
+        ];
         assert!(estimate_cross_point(&sweep).is_some());
     }
 

@@ -15,5 +15,5 @@ pub use bands::{calibrate_bands, BandScheduler, RatioBand};
 pub use calibrate::{calibrate_scheduler, estimate_cross_point, SweepPoint};
 pub use placement::{
     AlwaysOut, AlwaysUp, AvailabilityAwareScheduler, ClusterLoads, CrossPointScheduler,
-    JobPlacement, LoadAwareScheduler, Placement, SizeOnlyScheduler,
+    JobPlacement, LoadAwareScheduler, Placement, PlacementDecision, SizeOnlyScheduler,
 };

@@ -25,6 +25,27 @@ pub struct ClusterLoads {
     pub out_outstanding: f64,
 }
 
+/// A placement plus the rationale behind it — which Algorithm-1 band fired,
+/// what threshold the input size was compared against, and any policy-specific
+/// annotation (a load diversion, an availability discount). Produced by
+/// [`JobPlacement::explain`] so observability and reports can show *why* a job
+/// landed where it did without re-deriving the policy's internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementDecision {
+    /// Where the job goes (always identical to what [`JobPlacement::place`]
+    /// returns for the same inputs).
+    pub placement: Placement,
+    /// The rule band that fired, e.g. `"S/I>1"`; policies without bands use
+    /// their name.
+    pub band: String,
+    /// The input-size cross point the decision compared against, in bytes,
+    /// when the policy is threshold-based.
+    pub threshold: Option<u64>,
+    /// Free-form annotation: the rejected alternative, a diversion reason, a
+    /// discount factor.
+    pub note: Option<String>,
+}
+
 /// A placement policy.
 pub trait JobPlacement {
     /// Policy name for reports.
@@ -32,6 +53,18 @@ pub trait JobPlacement {
 
     /// Decide where `job` should run given the current `loads`.
     fn place(&self, job: &JobSpec, loads: &ClusterLoads) -> Placement;
+
+    /// Like [`JobPlacement::place`], but returns the decision together with
+    /// its rationale. The default implementation reports the policy name as
+    /// the band with no threshold; threshold-based policies override it.
+    fn explain(&self, job: &JobSpec, loads: &ClusterLoads) -> PlacementDecision {
+        PlacementDecision {
+            placement: self.place(job, loads),
+            band: self.name().to_string(),
+            threshold: None,
+            note: None,
+        }
+    }
 }
 
 /// The paper's Algorithm 1: cross-point thresholds keyed on the
@@ -71,6 +104,19 @@ impl Default for CrossPointScheduler {
 }
 
 impl CrossPointScheduler {
+    /// Stable label for the Algorithm-1 band a ratio falls in.
+    pub fn band_for(&self, shuffle_input_ratio: f64) -> &'static str {
+        if self.assume_unknown_ratio {
+            "unknown-ratio"
+        } else if shuffle_input_ratio > 1.0 {
+            "S/I>1"
+        } else if shuffle_input_ratio >= 0.4 {
+            "0.4<=S/I<=1"
+        } else {
+            "S/I<0.4"
+        }
+    }
+
     /// The size threshold applying to a given shuffle/input ratio.
     pub fn threshold_for(&self, shuffle_input_ratio: f64) -> u64 {
         if self.assume_unknown_ratio {
@@ -98,6 +144,35 @@ impl JobPlacement for CrossPointScheduler {
             Placement::ScaleOut
         }
     }
+
+    fn explain(&self, job: &JobSpec, loads: &ClusterLoads) -> PlacementDecision {
+        let ratio = job.profile.shuffle_input_ratio;
+        let threshold = self.threshold_for(ratio);
+        let placement = self.place(job, loads);
+        let note = match placement {
+            Placement::ScaleUp => format!(
+                "rejected scale-out: input {} below cross point {}",
+                gib(job.input_size),
+                gib(threshold)
+            ),
+            Placement::ScaleOut => format!(
+                "rejected scale-up: input {} at/above cross point {}",
+                gib(job.input_size),
+                gib(threshold)
+            ),
+        };
+        PlacementDecision {
+            placement,
+            band: self.band_for(ratio).to_string(),
+            threshold: Some(threshold),
+            note: Some(note),
+        }
+    }
+}
+
+/// Human-readable GiB with two decimals, for decision notes.
+fn gib(bytes: u64) -> String {
+    format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
 }
 
 /// Degenerate policy: everything on the scale-up cluster.
@@ -138,7 +213,9 @@ pub struct SizeOnlyScheduler {
 impl Default for SizeOnlyScheduler {
     fn default() -> Self {
         // Geometric middle of the paper's three thresholds.
-        SizeOnlyScheduler { threshold: 16 << 30 }
+        SizeOnlyScheduler {
+            threshold: 16 << 30,
+        }
     }
 }
 
@@ -151,6 +228,15 @@ impl JobPlacement for SizeOnlyScheduler {
             Placement::ScaleUp
         } else {
             Placement::ScaleOut
+        }
+    }
+
+    fn explain(&self, job: &JobSpec, loads: &ClusterLoads) -> PlacementDecision {
+        PlacementDecision {
+            placement: self.place(job, loads),
+            band: "size-only".to_string(),
+            threshold: Some(self.threshold),
+            note: None,
         }
     }
 }
@@ -203,6 +289,19 @@ impl JobPlacement for LoadAwareScheduler {
             }
         }
     }
+
+    fn explain(&self, job: &JobSpec, loads: &ClusterLoads) -> PlacementDecision {
+        let mut decision = self.inner.explain(job, loads);
+        let final_placement = self.place(job, loads);
+        if final_placement != decision.placement {
+            decision.note = Some(format!(
+                "diverted to scale-out: up backlog {:.0}s exceeds {}x out backlog {:.0}s",
+                loads.up_outstanding, self.imbalance_factor, loads.out_outstanding
+            ));
+            decision.placement = final_placement;
+        }
+        decision
+    }
 }
 
 /// Availability-aware cross-point placement for unreliable clusters.
@@ -230,7 +329,10 @@ impl AvailabilityAwareScheduler {
     /// # Panics
     /// Panics on a penalty outside `[0, 1)`.
     pub fn new(inner: CrossPointScheduler, penalty: f64) -> Self {
-        assert!((0.0..1.0).contains(&penalty), "penalty must be in [0, 1): {penalty}");
+        assert!(
+            (0.0..1.0).contains(&penalty),
+            "penalty must be in [0, 1): {penalty}"
+        );
         AvailabilityAwareScheduler { inner, penalty }
     }
 
@@ -265,6 +367,27 @@ impl JobPlacement for AvailabilityAwareScheduler {
             Placement::ScaleUp
         } else {
             Placement::ScaleOut
+        }
+    }
+
+    fn explain(&self, job: &JobSpec, loads: &ClusterLoads) -> PlacementDecision {
+        let ratio = job.profile.shuffle_input_ratio;
+        let threshold = self.threshold_for(ratio);
+        let note = if self.penalty > 0.0 {
+            format!(
+                "availability penalty {:.2} discounts cross point {} to {}",
+                self.penalty,
+                gib(self.inner.threshold_for(ratio)),
+                gib(threshold)
+            )
+        } else {
+            "zero penalty: inner cross points apply unchanged".to_string()
+        };
+        PlacementDecision {
+            placement: self.place(job, loads),
+            band: self.inner.band_for(ratio).to_string(),
+            threshold: Some(threshold),
+            note: Some(note),
         }
     }
 }
@@ -310,7 +433,10 @@ mod tests {
 
     #[test]
     fn unknown_ratio_falls_back_to_map_intensive() {
-        let s = CrossPointScheduler { assume_unknown_ratio: true, ..Default::default() };
+        let s = CrossPointScheduler {
+            assume_unknown_ratio: true,
+            ..Default::default()
+        };
         // Even a shuffle-heavy 20 GB job is kept off the scale-up cluster:
         // "we need to avoid scheduling any large jobs to the scale-up
         // machines".
@@ -335,12 +461,21 @@ mod tests {
     fn load_aware_diverts_under_backlog() {
         let s = LoadAwareScheduler::default();
         let j = job(1.6, GB); // small, shuffle-heavy → nominally scale-up
-        let idle = ClusterLoads { up_outstanding: 0.0, out_outstanding: 0.0 };
+        let idle = ClusterLoads {
+            up_outstanding: 0.0,
+            out_outstanding: 0.0,
+        };
         assert_eq!(s.place(&j, &idle), Placement::ScaleUp);
-        let swamped = ClusterLoads { up_outstanding: 500.0, out_outstanding: 10.0 };
+        let swamped = ClusterLoads {
+            up_outstanding: 500.0,
+            out_outstanding: 10.0,
+        };
         assert_eq!(s.place(&j, &swamped), Placement::ScaleOut);
         // Both busy in proportion → no diversion.
-        let balanced = ClusterLoads { up_outstanding: 500.0, out_outstanding: 400.0 };
+        let balanced = ClusterLoads {
+            up_outstanding: 500.0,
+            out_outstanding: 400.0,
+        };
         assert_eq!(s.place(&j, &balanced), Placement::ScaleUp);
         // Never diverts what was already scale-out.
         let big = job(1.6, 100 * GB);
@@ -384,6 +519,72 @@ mod tests {
         let wider_blast = AvailabilityAwareScheduler::from_rates(inner, 2.0, 1800.0, 1.0);
         assert!(wider_blast.penalty > stormy.penalty);
         assert!(wider_blast.penalty < 1.0, "penalty saturates below 1");
+    }
+
+    #[test]
+    fn explain_agrees_with_place_and_names_the_band() {
+        let s = CrossPointScheduler::default();
+        let loads = ClusterLoads::default();
+        for (ratio, size, band) in [
+            (1.6, 20 * GB, "S/I>1"),
+            (0.5, 20 * GB, "0.4<=S/I<=1"),
+            (0.1, 5 * GB, "S/I<0.4"),
+        ] {
+            let j = job(ratio, size);
+            let d = s.explain(&j, &loads);
+            assert_eq!(d.placement, s.place(&j, &loads), "ratio {ratio}");
+            assert_eq!(d.band, band);
+            assert_eq!(d.threshold, Some(s.threshold_for(ratio)));
+            assert!(d.note.is_some());
+        }
+        let unknown = CrossPointScheduler {
+            assume_unknown_ratio: true,
+            ..Default::default()
+        };
+        assert_eq!(unknown.explain(&job(1.6, GB), &loads).band, "unknown-ratio");
+    }
+
+    #[test]
+    fn explain_default_impl_covers_degenerate_policies() {
+        let d = AlwaysUp.explain(&job(0.0, GB), &ClusterLoads::default());
+        assert_eq!(d.placement, Placement::ScaleUp);
+        assert_eq!(d.band, "always-up");
+        assert_eq!(d.threshold, None);
+        // Object safety: explain must be callable through a trait object.
+        let boxed: Box<dyn JobPlacement> = Box::new(AlwaysOut);
+        assert_eq!(
+            boxed
+                .explain(&job(0.0, GB), &ClusterLoads::default())
+                .placement,
+            Placement::ScaleOut
+        );
+    }
+
+    #[test]
+    fn explain_records_load_diversion_and_availability_discount() {
+        let s = LoadAwareScheduler::default();
+        let j = job(1.6, GB);
+        let swamped = ClusterLoads {
+            up_outstanding: 500.0,
+            out_outstanding: 10.0,
+        };
+        let d = s.explain(&j, &swamped);
+        assert_eq!(d.placement, Placement::ScaleOut);
+        assert!(d
+            .note
+            .as_deref()
+            .unwrap()
+            .starts_with("diverted to scale-out"));
+        let idle = ClusterLoads::default();
+        let calm = s.explain(&j, &idle);
+        assert_eq!(calm.placement, Placement::ScaleUp);
+        assert!(!calm.note.as_deref().unwrap_or("").starts_with("diverted"));
+
+        let a = AvailabilityAwareScheduler::new(CrossPointScheduler::default(), 0.5);
+        let d = a.explain(&job(1.6, 20 * GB), &idle);
+        assert_eq!(d.placement, Placement::ScaleOut);
+        assert_eq!(d.threshold, Some(16 * GB));
+        assert!(d.note.as_deref().unwrap().contains("penalty 0.50"));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub fn standard_normal(rng: &mut DetRng) -> f64 {
 /// Sample a log-normal with location `mu` and scale `sigma` (parameters of
 /// the underlying normal).
 pub fn lognormal(rng: &mut DetRng, mu: f64, sigma: f64) -> f64 {
-    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be non-negative"
+    );
     (mu + sigma * standard_normal(rng)).exp()
 }
 
@@ -58,7 +61,11 @@ impl PiecewiseLogCdf {
     /// increasing, and cdfs run non-decreasing from exactly 0.0 to exactly 1.0.
     pub fn new(anchors: Vec<(f64, f64)>) -> Self {
         assert!(anchors.len() >= 2, "need at least two anchors");
-        assert_eq!(anchors.first().unwrap().1, 0.0, "first anchor cdf must be 0");
+        assert_eq!(
+            anchors.first().unwrap().1,
+            0.0,
+            "first anchor cdf must be 0"
+        );
         assert_eq!(anchors.last().unwrap().1, 1.0, "last anchor cdf must be 1");
         for w in anchors.windows(2) {
             assert!(w[0].0 > 0.0, "values must be positive");
@@ -141,16 +148,14 @@ mod tests {
         xs.sort_by(f64::total_cmp);
         let median = xs[xs.len() / 2];
         let want = 2.0f64.exp();
-        assert!((median / want - 1.0).abs() < 0.1, "median {median} want {want}");
+        assert!(
+            (median / want - 1.0).abs() < 0.1,
+            "median {median} want {want}"
+        );
     }
 
     fn fb_like() -> PiecewiseLogCdf {
-        PiecewiseLogCdf::new(vec![
-            (1e3, 0.0),
-            (1e6, 0.40),
-            (30e9, 0.89),
-            (1e12, 1.0),
-        ])
+        PiecewiseLogCdf::new(vec![(1e3, 0.0), (1e6, 0.40), (30e9, 0.89), (1e12, 1.0)])
     }
 
     #[test]

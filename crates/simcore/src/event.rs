@@ -60,7 +60,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, popped: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
     }
 
     /// The current simulation time: the timestamp of the last popped event
@@ -85,7 +90,11 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: at={at:?} now={:?}",
             self.now
         );
-        let entry = Entry { time: at, seq: self.seq, payload };
+        let entry = Entry {
+            time: at,
+            seq: self.seq,
+            payload,
+        };
         self.seq += 1;
         self.heap.push(Reverse(entry));
     }

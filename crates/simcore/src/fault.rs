@@ -64,7 +64,10 @@ impl FaultRates {
     /// every two days, ~5 % of task attempts straggle, occasional storage
     /// brown-outs); larger values scale linearly.
     pub fn scaled(intensity: f64) -> Self {
-        assert!(intensity >= 0.0 && intensity.is_finite(), "intensity must be non-negative");
+        assert!(
+            intensity >= 0.0 && intensity.is_finite(),
+            "intensity must be non-negative"
+        );
         FaultRates {
             node_crash_per_hour: 0.02 * intensity,
             node_recovery_secs: 300.0,
@@ -186,10 +189,26 @@ impl FaultPlan {
                 for node in 0..n {
                     let label = derive_seed(STREAM_NODE, ((cluster as u64) << 32) | node as u64);
                     let mut rng = substream(seed, label);
-                    draw_windows(&mut rng, mean_gap_secs, rates.node_recovery_secs, horizon, |up, down| {
-                        node_events.push(NodeFault { at: up, cluster, node, kind: NodeFaultKind::Crash });
-                        node_events.push(NodeFault { at: down, cluster, node, kind: NodeFaultKind::Recover });
-                    });
+                    draw_windows(
+                        &mut rng,
+                        mean_gap_secs,
+                        rates.node_recovery_secs,
+                        horizon,
+                        |up, down| {
+                            node_events.push(NodeFault {
+                                at: up,
+                                cluster,
+                                node,
+                                kind: NodeFaultKind::Crash,
+                            });
+                            node_events.push(NodeFault {
+                                at: down,
+                                cluster,
+                                node,
+                                kind: NodeFaultKind::Recover,
+                            });
+                        },
+                    );
                 }
             }
         }
@@ -202,10 +221,24 @@ impl FaultPlan {
             for server in 0..n_servers {
                 let label = derive_seed(STREAM_SERVER, server as u64);
                 let mut rng = substream(seed, label);
-                draw_windows(&mut rng, mean_gap_secs, rates.server_degrade_secs, horizon, |from, to| {
-                    server_events.push(ServerFault { at: from, server, kind: ServerFaultKind::Degrade { factor } });
-                    server_events.push(ServerFault { at: to, server, kind: ServerFaultKind::Restore });
-                });
+                draw_windows(
+                    &mut rng,
+                    mean_gap_secs,
+                    rates.server_degrade_secs,
+                    horizon,
+                    |from, to| {
+                        server_events.push(ServerFault {
+                            at: from,
+                            server,
+                            kind: ServerFaultKind::Degrade { factor },
+                        });
+                        server_events.push(ServerFault {
+                            at: to,
+                            server,
+                            kind: ServerFaultKind::Restore,
+                        });
+                    },
+                );
             }
         }
         server_events.sort_by_key(|e| (e.at, e.server, matches!(e.kind, ServerFaultKind::Restore)));
@@ -311,7 +344,10 @@ mod tests {
     #[test]
     fn events_are_time_sorted_and_paired() {
         let p = plan(8.0);
-        assert!(!p.node_events.is_empty(), "intensity 8 over ~28h should crash something");
+        assert!(
+            !p.node_events.is_empty(),
+            "intensity 8 over ~28h should crash something"
+        );
         for w in p.node_events.windows(2) {
             assert!(w[0].at <= w[1].at);
         }
@@ -324,11 +360,18 @@ mod tests {
                     .filter(|e| e.cluster == cluster && e.node == node)
                     .collect();
                 for (i, e) in evs.iter().enumerate() {
-                    let want = if i % 2 == 0 { NodeFaultKind::Crash } else { NodeFaultKind::Recover };
+                    let want = if i % 2 == 0 {
+                        NodeFaultKind::Crash
+                    } else {
+                        NodeFaultKind::Recover
+                    };
                     assert_eq!(e.kind, want, "cluster {cluster} node {node} event {i}");
                 }
                 for w in evs.windows(2) {
-                    assert!(w[0].at < w[1].at, "events on one node must not share a tick");
+                    assert!(
+                        w[0].at < w[1].at,
+                        "events on one node must not share a tick"
+                    );
                 }
             }
         }
@@ -362,8 +405,20 @@ mod tests {
 
     #[test]
     fn adding_nodes_does_not_reroll_existing_schedules() {
-        let small = FaultPlan::generate(5, &FaultRates::scaled(6.0), SimDuration::from_secs(50_000), &[2, 4], 8);
-        let big = FaultPlan::generate(5, &FaultRates::scaled(6.0), SimDuration::from_secs(50_000), &[2, 8], 8);
+        let small = FaultPlan::generate(
+            5,
+            &FaultRates::scaled(6.0),
+            SimDuration::from_secs(50_000),
+            &[2, 4],
+            8,
+        );
+        let big = FaultPlan::generate(
+            5,
+            &FaultRates::scaled(6.0),
+            SimDuration::from_secs(50_000),
+            &[2, 8],
+            8,
+        );
         let evs = |p: &FaultPlan, c: usize, n: usize| -> Vec<(SimTime, NodeFaultKind)> {
             p.node_events
                 .iter()

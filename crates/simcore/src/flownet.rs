@@ -23,8 +23,8 @@
 //! no membership changes occur, so all rates are constant and linear
 //! advancement is exact.
 
-use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
 use crate::ps::{FlowId, Generation};
+use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
 use std::collections::HashMap;
 
 /// Index of a resource within a [`FlowNetwork`].
@@ -46,8 +46,32 @@ struct NetResource {
 #[derive(Debug, Clone)]
 struct NetFlow {
     remaining: f64,
+    bytes_total: f64,
+    started: SimTime,
     path: Vec<NetResourceId>,
     rate_cap: Option<f64>,
+}
+
+/// One finished (or aborted) flow, as recorded by the opt-in flow log.
+///
+/// The log exists for observability: [`FlowNetwork::poll_completions`]
+/// removes flows before returning their ids, so a caller that wants start
+/// times and sizes after the fact enables logging and drains entries
+/// instead of re-deriving them. Flow identity is all the network knows —
+/// callers attach their own semantics (shuffle vs. HDFS read vs.
+/// re-replication) by joining on [`FlowId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowLogEntry {
+    /// The flow's id.
+    pub id: FlowId,
+    /// Total bytes the flow was created with.
+    pub bytes: f64,
+    /// When the flow entered the network.
+    pub started: SimTime,
+    /// When it completed or was cancelled.
+    pub ended: SimTime,
+    /// True if the flow was aborted rather than run to completion.
+    pub cancelled: bool,
 }
 
 /// A set of shared resources and the composite flows crossing them.
@@ -57,6 +81,8 @@ pub struct FlowNetwork {
     flows: HashMap<FlowId, NetFlow>,
     last_update: SimTime,
     generation: u64,
+    log_flows: bool,
+    flow_log: Vec<FlowLogEntry>,
 }
 
 impl FlowNetwork {
@@ -70,7 +96,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics on non-positive or non-finite capacity.
     pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> NetResourceId {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         let id = NetResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
         self.resources.push(NetResource {
             name: name.into(),
@@ -107,7 +136,10 @@ impl FlowNetwork {
         r: NetResourceId,
         capacity: f64,
     ) -> Generation {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         self.advance(now);
         self.resources[r.0 as usize].capacity = capacity;
         self.generation += 1;
@@ -144,6 +176,20 @@ impl FlowNetwork {
         Generation(self.generation)
     }
 
+    /// Enable or disable the flow log. Off by default; when off, nothing is
+    /// recorded and the network's behavior is identical byte for byte —
+    /// logging only ever appends to a side vector after the fluid state has
+    /// already been advanced.
+    pub fn set_flow_logging(&mut self, on: bool) {
+        self.log_flows = on;
+    }
+
+    /// Take all accumulated [`FlowLogEntry`] records, in completion order
+    /// (within one poll, ordered by `FlowId` like the returned ids).
+    pub fn drain_flow_log(&mut self) -> Vec<FlowLogEntry> {
+        std::mem::take(&mut self.flow_log)
+    }
+
     /// Current rate of flow `f` in bytes/s, or `None` if not active.
     pub fn flow_rate(&self, f: FlowId) -> Option<f64> {
         self.flows.get(&f).map(|fl| self.rate_of(fl))
@@ -170,13 +216,20 @@ impl FlowNetwork {
         if dt > 0.0 && !self.flows.is_empty() {
             // Rates are constant over (last_update, now]: membership changes
             // always advance first, and completions are event boundaries.
-            let rates: Vec<(FlowId, f64)> = self
+            let mut rates: Vec<(FlowId, f64)> = self
                 .flows
                 .iter()
                 .map(|(&id, fl)| (id, self.rate_of(fl)))
                 .collect();
+            // Accumulate in FlowId order: `bytes_served` sums floats across
+            // flows, so hash-order iteration would leak per-process ULP noise
+            // into otherwise byte-reproducible traces.
+            rates.sort_unstable_by_key(|&(id, _)| id);
             for (id, rate) in rates {
-                let fl = self.flows.get_mut(&id).expect("flow vanished during advance");
+                let fl = self
+                    .flows
+                    .get_mut(&id)
+                    .expect("flow vanished during advance");
                 let credit = (rate * dt).min(fl.remaining);
                 fl.remaining -= credit;
                 // A composite flow moves its bytes through each device on the
@@ -210,7 +263,10 @@ impl FlowNetwork {
         path: &[NetResourceId],
         rate_cap: Option<f64>,
     ) -> Generation {
-        assert!(bytes.is_finite() && bytes >= 0.0, "flow size must be non-negative");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be non-negative"
+        );
         self.advance(now);
         assert!(!self.flows.contains_key(&id), "flow {id:?} already active");
         for &r in path {
@@ -218,8 +274,21 @@ impl FlowNetwork {
         }
         // A pathless, uncapped flow has infinite rate: it is a pure-latency
         // transfer whose bytes are already "delivered".
-        let remaining = if path.is_empty() && rate_cap.is_none() { 0.0 } else { bytes };
-        self.flows.insert(id, NetFlow { remaining, path: path.to_vec(), rate_cap });
+        let remaining = if path.is_empty() && rate_cap.is_none() {
+            0.0
+        } else {
+            bytes
+        };
+        self.flows.insert(
+            id,
+            NetFlow {
+                remaining,
+                bytes_total: bytes,
+                started: now,
+                path: path.to_vec(),
+                rate_cap,
+            },
+        );
         self.generation += 1;
         Generation(self.generation)
     }
@@ -232,6 +301,15 @@ impl FlowNetwork {
             self.resources[r.0 as usize].active -= 1;
         }
         self.generation += 1;
+        if self.log_flows {
+            self.flow_log.push(FlowLogEntry {
+                id,
+                bytes: flow.bytes_total,
+                started: flow.started,
+                ended: now,
+                cancelled: true,
+            });
+        }
         Some(flow.remaining)
     }
 
@@ -250,6 +328,15 @@ impl FlowNetwork {
                 let flow = self.flows.remove(id).expect("completion of unknown flow");
                 for &r in &flow.path {
                     self.resources[r.0 as usize].active -= 1;
+                }
+                if self.log_flows {
+                    self.flow_log.push(FlowLogEntry {
+                        id: *id,
+                        bytes: flow.bytes_total,
+                        started: flow.started,
+                        ended: now,
+                        cancelled: false,
+                    });
                 }
             }
             self.generation += 1;
@@ -392,6 +479,35 @@ mod tests {
         assert!((left - 300.0).abs() < 1e-6);
         assert_eq!(net.resource_active_flows(r), 0);
         assert_eq!(net.cancel_flow(SimTime::from_secs(2), FlowId(1)), None);
+    }
+
+    #[test]
+    fn flow_log_records_lifetimes_when_enabled() {
+        let mut net = FlowNetwork::new();
+        let r = net.add_resource("disk", 100.0);
+        // Logging off: nothing recorded.
+        net.add_flow(SimTime::ZERO, FlowId(1), 100.0, &[r], None);
+        let t = net.next_completion_time(SimTime::ZERO).unwrap();
+        net.poll_completions(t);
+        assert!(net.drain_flow_log().is_empty());
+        // Logging on: completion and cancellation both land in the log.
+        net.set_flow_logging(true);
+        net.add_flow(t, FlowId(2), 200.0, &[r], None);
+        net.add_flow(t, FlowId(3), 1000.0, &[r], None);
+        let t2 = net.next_completion_time(t).unwrap();
+        net.poll_completions(t2);
+        net.cancel_flow(t2, FlowId(3)).unwrap();
+        let log = net.drain_flow_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].id, FlowId(2));
+        assert_eq!(
+            (log[0].started, log[0].ended, log[0].cancelled),
+            (t, t2, false)
+        );
+        assert!((log[0].bytes - 200.0).abs() < 1e-9);
+        assert_eq!((log[1].id, log[1].cancelled), (FlowId(3), true));
+        // Drain empties the log.
+        assert!(net.drain_flow_log().is_empty());
     }
 
     #[test]

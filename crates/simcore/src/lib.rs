@@ -33,7 +33,7 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultRates, NodeFault, NodeFaultKind, ServerFault, ServerFaultKind};
-pub use flownet::{FlowNetwork, NetResourceId};
+pub use flownet::{FlowLogEntry, FlowNetwork, NetResourceId};
 pub use ps::{FlowId, Generation, PsResource};
 pub use registry::{ResourceId, ResourcePool};
 pub use rng::DetRng;

@@ -67,7 +67,10 @@ impl PsResource {
     /// # Panics
     /// Panics on non-positive or non-finite capacity.
     pub fn new(name: impl Into<String>, capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         PsResource {
             name: name.into(),
             capacity,
@@ -84,7 +87,10 @@ impl PsResource {
     /// Limit any single flow to `cap` bytes/s regardless of how few flows are
     /// active (e.g. a storage server whose clients sit behind a slower NIC).
     pub fn with_per_flow_cap(mut self, cap: f64) -> Self {
-        assert!(cap.is_finite() && cap > 0.0, "per-flow cap must be positive");
+        assert!(
+            cap.is_finite() && cap > 0.0,
+            "per-flow cap must be positive"
+        );
         self.per_flow_cap = Some(cap);
         self
     }
@@ -163,14 +169,20 @@ impl PsResource {
     /// # Panics
     /// Panics if `id` is already active on this resource.
     pub fn add_flow(&mut self, now: SimTime, id: FlowId, bytes: f64) -> Generation {
-        assert!(bytes.is_finite() && bytes >= 0.0, "flow size must be non-negative");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be non-negative"
+        );
         self.advance(now);
         assert!(
             !self.flows.iter().any(|f| f.id == id),
             "flow {id:?} already active on {}",
             self.name
         );
-        self.flows.push(Flow { id, remaining: bytes });
+        self.flows.push(Flow {
+            id,
+            remaining: bytes,
+        });
         self.peak_flows = self.peak_flows.max(self.flows.len());
         self.generation += 1;
         Generation(self.generation)

@@ -47,7 +47,9 @@ impl DetRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        DetRng { s: [next(), next(), next(), next()] }
+        DetRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next raw 64-bit output.
@@ -76,7 +78,10 @@ impl DetRng {
     /// # Panics
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.f64()
     }
 
@@ -126,8 +131,12 @@ mod tests {
 
     #[test]
     fn substreams_reproduce() {
-        let a: Vec<u64> = (0..8).scan(substream(9, 3), |r, _| Some(r.next_u64())).collect();
-        let b: Vec<u64> = (0..8).scan(substream(9, 3), |r, _| Some(r.next_u64())).collect();
+        let a: Vec<u64> = (0..8)
+            .scan(substream(9, 3), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .scan(substream(9, 3), |r, _| Some(r.next_u64()))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -165,7 +165,10 @@ mod tests {
     fn negative_and_nan_clamp_to_zero() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -192,7 +195,10 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_secs(1)];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(1), SimTime::from_secs(3)]);
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_secs(1), SimTime::from_secs(3)]
+        );
     }
 
     #[test]

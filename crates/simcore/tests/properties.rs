@@ -10,7 +10,12 @@ use simcore::{EventQueue, FlowId, FlowNetwork, PsResource, SimTime};
 
 const CASES: usize = 64;
 
-fn vec_of<T>(rng: &mut DetRng, min: usize, max: usize, mut f: impl FnMut(&mut DetRng) -> T) -> Vec<T> {
+fn vec_of<T>(
+    rng: &mut DetRng,
+    min: usize,
+    max: usize,
+    mut f: impl FnMut(&mut DetRng) -> T,
+) -> Vec<T> {
     let n = rng.range_usize(min, max);
     (0..n).map(|_| f(rng)).collect()
 }
@@ -60,17 +65,26 @@ fn ps_resource_conserves_work() {
             now = t;
             completed += r.poll_completions(now).len();
             guard += 1;
-            assert!(guard < 10_000, "case {case}: completion loop did not converge");
+            assert!(
+                guard < 10_000,
+                "case {case}: completion loop did not converge"
+            );
         }
         assert_eq!(completed, sizes.len(), "case {case}");
         let total: f64 = sizes.iter().sum();
         // Served everything (within per-completion sub-byte rounding).
-        assert!((r.bytes_served() - total).abs() < sizes.len() as f64 + 1.0, "case {case}");
+        assert!(
+            (r.bytes_served() - total).abs() < sizes.len() as f64 + 1.0,
+            "case {case}"
+        );
         // Finished no earlier than the capacity bound allows, and PS with
         // simultaneous arrivals finishes exactly at the bound.
         let lower = total / capacity;
         assert!(now.as_secs_f64() + 1e-3 >= lower, "case {case}");
-        assert!((now.as_secs_f64() - lower).abs() < 0.01 * lower + 1e-2, "case {case}");
+        assert!(
+            (now.as_secs_f64() - lower).abs() < 0.01 * lower + 1e-2,
+            "case {case}"
+        );
     }
 }
 
@@ -84,7 +98,8 @@ fn ps_staggered_arrivals_respect_capacity() {
         });
         let capacity = 5e5;
         let mut r = PsResource::new("nic", capacity);
-        let mut arrivals: Vec<(SimTime, f64)> = flows.iter().map(|&(t, b)| (SimTime(t), b)).collect();
+        let mut arrivals: Vec<(SimTime, f64)> =
+            flows.iter().map(|&(t, b)| (SimTime(t), b)).collect();
         arrivals.sort_by_key(|&(t, _)| t);
         let mut now = SimTime::ZERO;
         let mut next_flow = 0usize;
@@ -117,7 +132,10 @@ fn ps_staggered_arrivals_respect_capacity() {
         }
         assert_eq!(done, arrivals.len(), "case {case}");
         let total: f64 = arrivals.iter().map(|&(_, b)| b).sum();
-        assert!((r.bytes_served() - total).abs() < arrivals.len() as f64 + 1.0, "case {case}");
+        assert!(
+            (r.bytes_served() - total).abs() < arrivals.len() as f64 + 1.0,
+            "case {case}"
+        );
     }
 }
 
@@ -150,7 +168,10 @@ fn piecewise_cdf_monotone() {
             prev = p;
         }
     }
-    assert!(ran > CASES / 2, "most cases should produce valid anchor sets");
+    assert!(
+        ran > CASES / 2,
+        "most cases should produce valid anchor sets"
+    );
 }
 
 /// Multi-hop flows conserve work on every resource they touch, and no
@@ -160,10 +181,16 @@ fn flow_network_conserves_work_per_hop() {
     let mut rng = substream(0xE0, 4);
     for case in 0..CASES {
         let flows = vec_of(&mut rng, 1, 30, |r| {
-            (r.range_f64(1.0, 1e7), r.range_usize(0, 3), r.range_usize(0, 3))
+            (
+                r.range_f64(1.0, 1e7),
+                r.range_usize(0, 3),
+                r.range_usize(0, 3),
+            )
         });
         let mut net = FlowNetwork::new();
-        let resources: Vec<_> = (0..3).map(|i| net.add_resource(format!("r{i}"), 1e6)).collect();
+        let resources: Vec<_> = (0..3)
+            .map(|i| net.add_resource(format!("r{i}"), 1e6))
+            .collect();
         let mut expected = [0.0f64; 3];
         for (i, &(bytes, a, b)) in flows.iter().enumerate() {
             let mut path = vec![resources[a]];
@@ -268,6 +295,9 @@ fn flow_network_capacity_change_conserves_work() {
             "case {case}: finished at {} want {want}",
             done.as_secs_f64()
         );
-        assert!((net.resource_bytes_served(r) - bytes).abs() < 2.0, "case {case}");
+        assert!(
+            (net.resource_bytes_served(r) - bytes).abs() < 2.0,
+            "case {case}"
+        );
     }
 }

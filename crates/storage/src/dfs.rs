@@ -107,7 +107,10 @@ pub trait DfsModel {
 /// (all full blocks except a possibly-short tail).
 pub fn block_len(size: u64, block_size: u64, block: u32) -> u64 {
     let start = block as u64 * block_size;
-    debug_assert!(start < size || (size == 0 && block == 0), "block out of range");
+    debug_assert!(
+        start < size || (size == 0 && block == 0),
+        "block out of range"
+    );
     (size - start.min(size)).min(block_size)
 }
 

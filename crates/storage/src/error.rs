@@ -27,7 +27,11 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::CapacityExceeded { fs, requested, available } => write!(
+            StorageError::CapacityExceeded {
+                fs,
+                requested,
+                available,
+            } => write!(
                 f,
                 "{fs}: capacity exceeded (requested {requested} B, available {available} B)"
             ),
@@ -45,10 +49,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = StorageError::CapacityExceeded { fs: "hdfs".into(), requested: 10, available: 5 };
+        let e = StorageError::CapacityExceeded {
+            fs: "hdfs".into(),
+            requested: 10,
+            available: 5,
+        };
         let s = e.to_string();
         assert!(s.contains("hdfs") && s.contains("10") && s.contains('5'));
-        assert!(StorageError::DuplicateFile(FileId(3)).to_string().contains("exists"));
-        assert!(StorageError::UnknownFile(FileId(4)).to_string().contains("not exist"));
+        assert!(StorageError::DuplicateFile(FileId(3))
+            .to_string()
+            .contains("exists"));
+        assert!(StorageError::UnknownFile(FileId(4))
+            .to_string()
+            .contains("not exist"));
     }
 }

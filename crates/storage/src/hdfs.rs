@@ -24,7 +24,7 @@
 
 use crate::dfs::{block_len, DfsModel, FileId};
 use crate::error::StorageError;
-use crate::plan::{IoPlan, IoStage, Transfer};
+use crate::plan::{IoKind, IoPlan, IoStage, Transfer};
 use cluster::{machine::MemorySpec, FabricSpec, Node, NodeId};
 use simcore::{NetResourceId, SimDuration};
 use std::collections::HashMap;
@@ -116,7 +116,14 @@ impl HdfsModel {
             })
             .collect();
         let by_node = dn.iter().enumerate().map(|(i, d)| (d.node, i)).collect();
-        HdfsModel { cfg, fabric, datanodes: dn, by_node, files: HashMap::new(), cursor: 0 }
+        HdfsModel {
+            cfg,
+            fabric,
+            datanodes: dn,
+            by_node,
+            files: HashMap::new(),
+            cursor: 0,
+        }
     }
 
     /// Effective replication: can't place more replicas than datanodes.
@@ -166,7 +173,9 @@ impl HdfsModel {
     /// Fraction of all stored replicas residing on `node` — used by tests
     /// and the locality metrics.
     pub fn replica_fraction_on(&self, node: NodeId) -> f64 {
-        let Some(&idx) = self.by_node.get(&node) else { return 0.0 };
+        let Some(&idx) = self.by_node.get(&node) else {
+            return 0.0;
+        };
         let total: u64 = self.datanodes.iter().map(|d| d.used).sum();
         if total == 0 {
             0.0
@@ -189,7 +198,11 @@ impl DfsModel for HdfsModel {
         if self.files.contains_key(&id) {
             return Err(StorageError::DuplicateFile(id));
         }
-        let nblocks = if size == 0 { 0 } else { size.div_ceil(self.cfg.block_size) };
+        let nblocks = if size == 0 {
+            0
+        } else {
+            size.div_ceil(self.cfg.block_size)
+        };
         let mut blocks: Vec<HBlock> = Vec::with_capacity(nblocks as usize);
         for b in 0..nblocks {
             let len = block_len(size, self.cfg.block_size, b as u32);
@@ -213,7 +226,9 @@ impl DfsModel for HdfsModel {
     }
 
     fn delete_file(&mut self, id: FileId) -> bool {
-        let Some(file) = self.files.remove(&id) else { return false };
+        let Some(file) = self.files.remove(&id) else {
+            return false;
+        };
         for blk in &file.blocks {
             self.free_block(blk.len, &blk.replicas);
         }
@@ -225,13 +240,23 @@ impl DfsModel for HdfsModel {
     }
 
     fn block_hosts(&self, id: FileId, block: u32) -> Vec<NodeId> {
-        let Some(file) = self.files.get(&id) else { return Vec::new() };
-        let Some(blk) = file.blocks.get(block as usize) else { return Vec::new() };
-        blk.replicas.iter().map(|&i| self.datanodes[i].node).collect()
+        let Some(file) = self.files.get(&id) else {
+            return Vec::new();
+        };
+        let Some(blk) = file.blocks.get(block as usize) else {
+            return Vec::new();
+        };
+        blk.replicas
+            .iter()
+            .map(|&i| self.datanodes[i].node)
+            .collect()
     }
 
     fn plan_read(&self, id: FileId, block: u32, reader: &Node) -> IoPlan {
-        let file = self.files.get(&id).unwrap_or_else(|| panic!("unknown file {id:?}"));
+        let file = self
+            .files
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown file {id:?}"));
         let blk = &file.blocks[block as usize];
         let replicas = &blk.replicas;
         let len = blk.len as f64;
@@ -250,17 +275,28 @@ impl DfsModel for HdfsModel {
             self.cfg.namenode_latency + self.fabric.transfer_latency(src.node.0, reader.id.0)
         };
         let mut stage = IoStage::latency_only(latency);
-        let hop: Vec<NetResourceId> =
-            if local.is_some() { Vec::new() } else { vec![src.nic, reader.nic] };
+        let hop: Vec<NetResourceId> = if local.is_some() {
+            Vec::new()
+        } else {
+            vec![src.nic, reader.nic]
+        };
         if hit > 0.0 {
             let mut path = vec![src.membus];
             path.extend(&hop);
-            stage.transfers.push(Transfer { path, bytes: hit * len, rate_cap: None });
+            stage.transfers.push(Transfer {
+                path,
+                bytes: hit * len,
+                rate_cap: None,
+            });
         }
         if hit < 1.0 {
             let mut path = vec![src.disk];
             path.extend(&hop);
-            stage.transfers.push(Transfer { path, bytes: (1.0 - hit) * len, rate_cap: None });
+            stage.transfers.push(Transfer {
+                path,
+                bytes: (1.0 - hit) * len,
+                rate_cap: None,
+            });
         }
         IoPlan::single(stage)
     }
@@ -320,7 +356,11 @@ impl DfsModel for HdfsModel {
             if absorb > 0.0 {
                 let mut path = hop.to_vec();
                 path.push(dn.membus);
-                stage.transfers.push(Transfer { path, bytes: absorb * len, rate_cap: None });
+                stage.transfers.push(Transfer {
+                    path,
+                    bytes: absorb * len,
+                    rate_cap: None,
+                });
             }
             if absorb < 1.0 {
                 let mut path = hop.to_vec();
@@ -352,10 +392,13 @@ impl DfsModel for HdfsModel {
             }
         }
         // Record the append.
-        let entry = self.files.entry(id).or_insert(HdfsFile { size: 0, blocks: Vec::new() });
+        let entry = self.files.entry(id).or_insert(HdfsFile {
+            size: 0,
+            blocks: Vec::new(),
+        });
         entry.size = new_size;
         entry.blocks.extend(placed);
-        Ok(IoPlan::single(stage))
+        Ok(IoPlan::single(stage).with_kind(IoKind::Write))
     }
 
     fn used_bytes(&self) -> u64 {
@@ -389,7 +432,9 @@ impl DfsModel for HdfsModel {
                     let blk = &self.files[&id].blocks[b];
                     (blk.len, blk.replicas.clone())
                 };
-                let Some(pos) = replicas.iter().position(|&r| r == dead) else { continue };
+                let Some(pos) = replicas.iter().position(|&r| r == dead) else {
+                    continue;
+                };
                 let live: Vec<usize> = replicas
                     .iter()
                     .copied()
@@ -416,7 +461,9 @@ impl DfsModel for HdfsModel {
                         });
                     }
                     None => {
-                        self.files.get_mut(&id).unwrap().blocks[b].replicas.remove(pos);
+                        self.files.get_mut(&id).unwrap().blocks[b]
+                            .replicas
+                            .remove(pos);
                     }
                 }
             }
@@ -424,7 +471,7 @@ impl DfsModel for HdfsModel {
         if stage.transfers.is_empty() {
             None
         } else {
-            Some(IoPlan::single(stage))
+            Some(IoPlan::single(stage).with_kind(IoKind::ReReplication))
         }
     }
 
@@ -557,7 +604,10 @@ mod tests {
         let (_, nodes) = out_cluster(2);
         let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
         fs.create_file(FileId(1), MB).unwrap();
-        assert_eq!(fs.create_file(FileId(1), MB), Err(StorageError::DuplicateFile(FileId(1))));
+        assert_eq!(
+            fs.create_file(FileId(1), MB),
+            Err(StorageError::DuplicateFile(FileId(1)))
+        );
     }
 
     #[test]
@@ -566,16 +616,24 @@ mod tests {
         let mut fs = HdfsModel::new(HdfsConfig::default(), &nodes, FabricSpec::myrinet());
         let writer = &nodes[0];
         // 256 MB of pressure is fully absorbed by the 1 GB dirty headroom.
-        let plan = fs.plan_write(FileId(9), 256 * MB, writer, 256 * MB).unwrap();
+        let plan = fs
+            .plan_write(FileId(9), 256 * MB, writer, 256 * MB)
+            .unwrap();
         let stage = &plan.stages[0];
         // 2 blocks × 2 replicas, each fully absorbed = 4 transfers.
         assert_eq!(stage.transfers.len(), 4);
         // First replica of each block lands on the writer's membus (local
         // write, absorbed); no transfer touches a physical disk.
-        let local_writes =
-            stage.transfers.iter().filter(|t| t.path == vec![writer.membus]).count();
+        let local_writes = stage
+            .transfers
+            .iter()
+            .filter(|t| t.path == vec![writer.membus])
+            .count();
         assert_eq!(local_writes, 2);
-        assert!(stage.transfers.iter().all(|t| !t.path.contains(&writer.disk)));
+        assert!(stage
+            .transfers
+            .iter()
+            .all(|t| !t.path.contains(&writer.disk)));
         // Replica transfers cross both NICs.
         assert!(stage.transfers.iter().any(|t| t.path.contains(&writer.nic)));
         assert_eq!(fs.file_size(FileId(9)), Some(256 * MB));
@@ -589,12 +647,21 @@ mod tests {
         let writer = &nodes[0];
         // 100 GB of job write pressure: ~50 GB per node dwarfs the 1 GB
         // dirty headroom, so nearly all bytes must hit disks.
-        let plan = fs.plan_write(FileId(9), 128 * MB, writer, 100 * GB).unwrap();
+        let plan = fs
+            .plan_write(FileId(9), 128 * MB, writer, 100 * GB)
+            .unwrap();
         let stage = &plan.stages[0];
         let disk_bytes: f64 = stage
             .transfers
             .iter()
-            .filter(|t| t.path.iter().any(|r| *r == writer.disk || *r == nodes[1].disk || *r == nodes[2].disk || *r == nodes[3].disk))
+            .filter(|t| {
+                t.path.iter().any(|r| {
+                    *r == writer.disk
+                        || *r == nodes[1].disk
+                        || *r == nodes[2].disk
+                        || *r == nodes[3].disk
+                })
+            })
             .map(|t| t.bytes)
             .sum();
         let total: f64 = stage.transfers.iter().map(|t| t.bytes).sum();

@@ -20,4 +20,4 @@ pub use dfs::{DfsModel, FileId};
 pub use error::StorageError;
 pub use hdfs::{HdfsConfig, HdfsModel};
 pub use ofs::{OfsConfig, OfsModel};
-pub use plan::{IoPlan, IoStage, Transfer};
+pub use plan::{IoKind, IoPlan, IoStage, Transfer};

@@ -21,7 +21,7 @@
 
 use crate::dfs::{block_len, DfsModel, FileId};
 use crate::error::StorageError;
-use crate::plan::{IoPlan, IoStage, Transfer};
+use crate::plan::{IoKind, IoPlan, IoStage, Transfer};
 use cluster::{Node, NodeId};
 use simcore::{FlowNetwork, NetResourceId, SimDuration};
 use std::collections::HashMap;
@@ -116,7 +116,12 @@ impl OfsModel {
                 used: 0,
             })
             .collect();
-        OfsModel { cfg, servers, files: HashMap::new(), cursor: 0 }
+        OfsModel {
+            cfg,
+            servers,
+            files: HashMap::new(),
+            cursor: 0,
+        }
     }
 
     /// The server index hosting stripe `block` of `file`.
@@ -202,7 +207,9 @@ impl DfsModel for OfsModel {
     }
 
     fn delete_file(&mut self, id: FileId) -> bool {
-        let Some(file) = self.files.remove(&id) else { return false };
+        let Some(file) = self.files.remove(&id) else {
+            return false;
+        };
         for &(s, len) in &file.charges {
             self.servers[s].used -= len;
         }
@@ -218,7 +225,10 @@ impl DfsModel for OfsModel {
     }
 
     fn plan_read(&self, id: FileId, block: u32, reader: &Node) -> IoPlan {
-        let file = self.files.get(&id).unwrap_or_else(|| panic!("unknown file {id:?}"));
+        let file = self
+            .files
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown file {id:?}"));
         let (server_idx, len) = file.stripes[block as usize];
         let len = len as f64;
         let server = &self.servers[server_idx];
@@ -276,7 +286,11 @@ impl DfsModel for OfsModel {
         file.stripes.extend(primaries);
         file.charges.extend(charged);
         self.files.insert(id, file);
-        Ok(IoPlan::single(IoStage { latency: self.cfg.request_latency, transfers }))
+        Ok(IoPlan::single(IoStage {
+            latency: self.cfg.request_latency,
+            transfers,
+        })
+        .with_kind(IoKind::Write))
     }
 
     fn used_bytes(&self) -> u64 {
@@ -317,7 +331,10 @@ mod tests {
         let (_, _, mut ofs) = setup();
         ofs.create_file(FileId(1), GB).unwrap(); // 8 stripes of 128 MB
         let touched: usize = (0..32).filter(|&i| ofs.server_used(i) > 0).count();
-        assert_eq!(touched, 8, "1 GB at 128 MB stripes uses exactly the 8-server set");
+        assert_eq!(
+            touched, 8,
+            "1 GB at 128 MB stripes uses exactly the 8-server set"
+        );
         for i in 0..32 {
             let u = ofs.server_used(i);
             assert!(u == 0 || u == 128 * MB);
@@ -395,7 +412,10 @@ mod tests {
         let mut net = FlowNetwork::new();
         let built =
             ClusterSpec::homogeneous("out", presets::scale_out_machine(), 1).build(&mut net, 0);
-        let cfg = OfsConfig { server_capacity: 256 * MB, ..OfsConfig::default() };
+        let cfg = OfsConfig {
+            server_capacity: 256 * MB,
+            ..OfsConfig::default()
+        };
         let mut ofs = OfsModel::new(cfg, &mut net);
         // 8 servers × 256 MB per set = 2 GB fits; 4 GB on one set cannot.
         assert!(ofs.create_file(FileId(1), 2 * GB).is_ok());
@@ -411,7 +431,10 @@ mod tests {
         let mut net = FlowNetwork::new();
         let built =
             ClusterSpec::homogeneous("out", presets::scale_out_machine(), 1).build(&mut net, 0);
-        let cfg = OfsConfig { replication: 2, ..OfsConfig::default() };
+        let cfg = OfsConfig {
+            replication: 2,
+            ..OfsConfig::default()
+        };
         let mut ofs = OfsModel::new(cfg, &mut net);
         ofs.create_file(FileId(1), GB).unwrap();
         assert_eq!(ofs.used_bytes(), 2 * GB, "each stripe charged twice");
@@ -437,6 +460,9 @@ mod tests {
         assert_eq!(ofs.file_size(FileId(7)), Some(256 * MB));
         assert_eq!(ofs.used_bytes(), 256 * MB);
         let touched: usize = (0..32).filter(|&i| ofs.server_used(i) > 0).count();
-        assert_eq!(touched, 2, "second stripe lands on the next server in the set");
+        assert_eq!(
+            touched, 2,
+            "second stripe lands on the next server in the set"
+        );
     }
 }

@@ -31,11 +31,38 @@ pub struct IoStage {
     pub transfers: Vec<Transfer>,
 }
 
+/// What a plan's transfers are *for* — carried through to the engine so
+/// observability can label storage flows without the storage models ever
+/// touching the recorder themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoKind {
+    /// Input read (local or remote).
+    #[default]
+    Read,
+    /// Output write (including replica pushes in the HDFS pipeline).
+    Write,
+    /// Background re-replication triggered by a node failure.
+    ReReplication,
+}
+
+impl IoKind {
+    /// Stable lowercase label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoKind::Read => "read",
+            IoKind::Write => "write",
+            IoKind::ReReplication => "re-replication",
+        }
+    }
+}
+
 /// An ordered sequence of stages; stage *k+1* starts when stage *k* is done.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct IoPlan {
     /// The stages, executed in order.
     pub stages: Vec<IoStage>,
+    /// What the transfers represent; defaults to [`IoKind::Read`].
+    pub kind: IoKind,
 }
 
 impl IoPlan {
@@ -46,12 +73,21 @@ impl IoPlan {
 
     /// A single-stage plan.
     pub fn single(stage: IoStage) -> Self {
-        IoPlan { stages: vec![stage] }
+        IoPlan {
+            stages: vec![stage],
+            kind: IoKind::default(),
+        }
     }
 
     /// Append a stage, returning self for chaining.
     pub fn then(mut self, stage: IoStage) -> Self {
         self.stages.push(stage);
+        self
+    }
+
+    /// Tag the plan's purpose, returning self for chaining.
+    pub fn with_kind(mut self, kind: IoKind) -> Self {
+        self.kind = kind;
         self
     }
 
@@ -80,14 +116,21 @@ impl IoPlan {
 impl IoStage {
     /// A latency-only stage (no transfers).
     pub fn latency_only(latency: SimDuration) -> Self {
-        IoStage { latency, transfers: Vec::new() }
+        IoStage {
+            latency,
+            transfers: Vec::new(),
+        }
     }
 
     /// A stage with one uncapped transfer and no latency.
     pub fn transfer(path: Vec<NetResourceId>, bytes: f64) -> Self {
         IoStage {
             latency: SimDuration::ZERO,
-            transfers: vec![Transfer { path, bytes, rate_cap: None }],
+            transfers: vec![Transfer {
+                path,
+                bytes,
+                rate_cap: None,
+            }],
         }
     }
 
@@ -99,7 +142,11 @@ impl IoStage {
 
     /// Add a parallel transfer, returning self for chaining.
     pub fn and_transfer(mut self, path: Vec<NetResourceId>, bytes: f64) -> Self {
-        self.transfers.push(Transfer { path, bytes, rate_cap: None });
+        self.transfers.push(Transfer {
+            path,
+            bytes,
+            rate_cap: None,
+        });
         self
     }
 }

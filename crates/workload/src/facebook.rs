@@ -184,10 +184,22 @@ pub fn to_json(specs: &[JobSpec]) -> String {
         out.push_str(&format!("\"input_size\": {}, ", s.input_size));
         out.push_str(&format!("\"submit_ticks\": {}, ", s.submit.0));
         out.push_str(&format!("\"name\": {}, ", json_string(&p.name)));
-        out.push_str(&format!("\"map_cycles_per_byte\": {:?}, ", p.map_cycles_per_byte));
-        out.push_str(&format!("\"reduce_cycles_per_byte\": {:?}, ", p.reduce_cycles_per_byte));
-        out.push_str(&format!("\"shuffle_input_ratio\": {:?}, ", p.shuffle_input_ratio));
-        out.push_str(&format!("\"output_input_ratio\": {:?}, ", p.output_input_ratio));
+        out.push_str(&format!(
+            "\"map_cycles_per_byte\": {:?}, ",
+            p.map_cycles_per_byte
+        ));
+        out.push_str(&format!(
+            "\"reduce_cycles_per_byte\": {:?}, ",
+            p.reduce_cycles_per_byte
+        ));
+        out.push_str(&format!(
+            "\"shuffle_input_ratio\": {:?}, ",
+            p.shuffle_input_ratio
+        ));
+        out.push_str(&format!(
+            "\"output_input_ratio\": {:?}, ",
+            p.output_input_ratio
+        ));
         out.push_str(&format!("\"maps_read_input\": {}, ", p.maps_read_input));
         out.push_str(&format!("\"maps_write_output\": {}, ", p.maps_write_output));
         match p.fixed_reduces {
@@ -228,7 +240,10 @@ fn json_string(s: &str) -> String {
 /// # Errors
 /// Returns a description of the first malformed construct.
 pub fn from_json(json: &str) -> Result<Vec<JobSpec>, String> {
-    let mut p = JsonCursor { b: json.as_bytes(), i: 0 };
+    let mut p = JsonCursor {
+        b: json.as_bytes(),
+        i: 0,
+    };
     p.ws();
     p.expect(b'[')?;
     let mut specs = Vec::new();
@@ -412,8 +427,8 @@ impl JsonCursor<'_> {
                 Some(c) if c < 0x80 => out.push(c as char),
                 Some(_) => {
                     // Multi-byte UTF-8: re-decode from the byte before.
-                    let rest = std::str::from_utf8(&self.b[self.i - 1..])
-                        .map_err(|e| e.to_string())?;
+                    let rest =
+                        std::str::from_utf8(&self.b[self.i - 1..]).map_err(|e| e.to_string())?;
                     let c = rest.chars().next().ok_or("truncated UTF-8")?;
                     out.push(c);
                     self.i += c.len_utf8() - 1;
@@ -429,11 +444,18 @@ mod tests {
 
     #[test]
     fn band_fractions_match_figure_3() {
-        let cfg = FacebookTraceConfig { shrink_factor: 1.0, ..Default::default() };
+        let cfg = FacebookTraceConfig {
+            shrink_factor: 1.0,
+            ..Default::default()
+        };
         let specs = generate(&cfg);
         let n = specs.len() as f64;
         let small = specs.iter().filter(|s| s.input_size < 1_000_000).count() as f64 / n;
-        let large = specs.iter().filter(|s| s.input_size > 30_000_000_000).count() as f64 / n;
+        let large = specs
+            .iter()
+            .filter(|s| s.input_size > 30_000_000_000)
+            .count() as f64
+            / n;
         let median = 1.0 - small - large;
         assert!((small - 0.40).abs() < 0.03, "small band {small}");
         assert!((median - 0.49).abs() < 0.03, "median band {median}");
@@ -442,13 +464,20 @@ mod tests {
 
     #[test]
     fn shrink_divides_sizes() {
-        let base = FacebookTraceConfig { shrink_factor: 1.0, ..Default::default() };
+        let base = FacebookTraceConfig {
+            shrink_factor: 1.0,
+            ..Default::default()
+        };
         let shrunk = FacebookTraceConfig::default(); // 5×
         let a = generate(&base);
         let b = generate(&shrunk);
         let mean_a: f64 = a.iter().map(|s| s.input_size as f64).sum::<f64>() / a.len() as f64;
         let mean_b: f64 = b.iter().map(|s| s.input_size as f64).sum::<f64>() / b.len() as f64;
-        assert!((mean_a / mean_b - 5.0).abs() < 0.1, "ratio {}", mean_a / mean_b);
+        assert!(
+            (mean_a / mean_b - 5.0).abs() < 0.1,
+            "ratio {}",
+            mean_a / mean_b
+        );
     }
 
     #[test]
@@ -457,7 +486,10 @@ mod tests {
         assert!(specs.windows(2).all(|w| w[0].submit <= w[1].submit));
         let last = specs.last().unwrap().submit.as_secs_f64();
         let window = FacebookTraceConfig::default().window.as_secs_f64();
-        assert!(last > 0.5 * window && last < 1.5 * window, "last arrival {last}");
+        assert!(
+            last > 0.5 * window && last < 1.5 * window,
+            "last arrival {last}"
+        );
     }
 
     #[test]
@@ -471,18 +503,27 @@ mod tests {
     #[test]
     fn all_ratio_classes_are_populated() {
         let specs = generate(&FacebookTraceConfig::default());
-        let low = specs.iter().filter(|s| s.profile.shuffle_input_ratio < 0.4).count();
+        let low = specs
+            .iter()
+            .filter(|s| s.profile.shuffle_input_ratio < 0.4)
+            .count();
         let mid = specs
             .iter()
             .filter(|s| (0.4..=1.0).contains(&s.profile.shuffle_input_ratio))
             .count();
-        let high = specs.iter().filter(|s| s.profile.shuffle_input_ratio > 1.0).count();
+        let high = specs
+            .iter()
+            .filter(|s| s.profile.shuffle_input_ratio > 1.0)
+            .count();
         assert!(low > 1000 && mid > 500 && high > 200, "{low}/{mid}/{high}");
     }
 
     #[test]
     fn json_roundtrip_preserves_the_trace() {
-        let cfg = FacebookTraceConfig { jobs: 50, ..Default::default() };
+        let cfg = FacebookTraceConfig {
+            jobs: 50,
+            ..Default::default()
+        };
         let specs = generate(&cfg);
         let json = to_json(&specs);
         let back = from_json(&json).unwrap();
@@ -491,7 +532,11 @@ mod tests {
 
     #[test]
     fn sizes_have_a_floor_of_one_byte() {
-        let cfg = FacebookTraceConfig { shrink_factor: 1e9, jobs: 100, ..Default::default() };
+        let cfg = FacebookTraceConfig {
+            shrink_factor: 1e9,
+            jobs: 100,
+            ..Default::default()
+        };
         let specs = generate(&cfg);
         assert!(specs.iter().all(|s| s.input_size >= 1));
     }

@@ -92,19 +92,29 @@ mod tests {
 
     #[test]
     fn totals_and_bands_are_consistent() {
-        let cfg = FacebookTraceConfig { jobs: 500, ..Default::default() };
+        let cfg = FacebookTraceConfig {
+            jobs: 500,
+            ..Default::default()
+        };
         let stats = analyze(&generate(&cfg));
         assert_eq!(stats.jobs, 500);
         assert_eq!(stats.band_counts.iter().sum::<usize>(), 500);
         assert!(stats.total_shuffle > 0);
-        assert!(stats.scale_up_jobs > stats.jobs / 2, "FB traces are small-job heavy");
+        assert!(
+            stats.scale_up_jobs > stats.jobs / 2,
+            "FB traces are small-job heavy"
+        );
         assert!(stats.scale_up_input <= stats.total_input);
         assert!(stats.span_secs > 0.0);
     }
 
     #[test]
     fn bursty_traces_measure_burstier_than_uniform() {
-        let uniform = FacebookTraceConfig { jobs: 3000, bursts: None, ..Default::default() };
+        let uniform = FacebookTraceConfig {
+            jobs: 3000,
+            bursts: None,
+            ..Default::default()
+        };
         let bursty = FacebookTraceConfig {
             jobs: 3000,
             bursts: Some(BurstModel::default()),
@@ -124,11 +134,18 @@ mod tests {
     fn scale_up_class_carries_minority_of_bytes() {
         // Most *jobs* are scale-up class, but most *bytes* belong to the
         // large scale-out jobs — the asymmetry the hybrid design exploits.
-        let stats = analyze_config(&FacebookTraceConfig { jobs: 2000, ..Default::default() });
+        let stats = analyze_config(&FacebookTraceConfig {
+            jobs: 2000,
+            ..Default::default()
+        });
         let up_frac_jobs = stats.scale_up_jobs as f64 / stats.jobs as f64;
         let up_frac_bytes = stats.scale_up_input as f64 / stats.total_input as f64;
         assert!(up_frac_jobs > 0.8);
-        assert!(up_frac_bytes < 0.5, "up class holds {:.0}% of bytes", up_frac_bytes * 100.0);
+        assert!(
+            up_frac_bytes < 0.5,
+            "up class holds {:.0}% of bytes",
+            up_frac_bytes * 100.0
+        );
     }
 
     #[test]

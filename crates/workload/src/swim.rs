@@ -174,7 +174,10 @@ job3\t5.0\t0.0\t0\t0\t0
         let jobs = parse(SAMPLE).unwrap();
         let specs = to_job_specs(&jobs, 5.0);
         assert_eq!(specs.len(), 3);
-        let big = specs.iter().find(|s| s.profile.name == "swim-job2").unwrap();
+        let big = specs
+            .iter()
+            .find(|s| s.profile.name == "swim-job2")
+            .unwrap();
         assert_eq!(big.input_size, 32212254720 / 5);
         assert!((big.profile.shuffle_input_ratio - 1.6).abs() < 0.01);
         assert!((big.profile.output_input_ratio - 1.0 / 30.0).abs() < 0.01);
@@ -209,7 +212,10 @@ job3\t5.0\t0.0\t0\t0\t0
     fn zero_input_job_converts_safely() {
         let jobs = parse(SAMPLE).unwrap();
         let specs = to_job_specs(&jobs, 5.0);
-        let zero = specs.iter().find(|s| s.profile.name == "swim-job3").unwrap();
+        let zero = specs
+            .iter()
+            .find(|s| s.profile.name == "swim-job3")
+            .unwrap();
         assert_eq!(zero.input_size, 1, "floored to one byte");
         assert_eq!(zero.profile.output_input_ratio, 0.0);
     }
@@ -219,12 +225,9 @@ job3\t5.0\t0.0\t0\t0\t0
         // The full path: SWIM text → specs → simulation.
         let specs = to_job_specs(&parse(SAMPLE).unwrap(), 5.0);
         let mut net = simcore::FlowNetwork::new();
-        let built = cluster::ClusterSpec::homogeneous(
-            "out",
-            cluster::presets::scale_out_machine(),
-            4,
-        )
-        .build(&mut net, 0);
+        let built =
+            cluster::ClusterSpec::homogeneous("out", cluster::presets::scale_out_machine(), 4)
+                .build(&mut net, 0);
         let dfs = storage::OfsModel::new(storage::OfsConfig::default(), &mut net);
         let mut sim = mapreduce::Simulation::new(
             net,

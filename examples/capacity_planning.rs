@@ -55,7 +55,10 @@ fn replay_mix(n_up: u32, n_out: u32, trace: &[JobSpec]) -> (f64, f64) {
         .map(|r| r.execution.as_secs_f64())
         .collect();
     let cdf = EmpiricalCdf::new(execs);
-    (cdf.quantile(0.5).unwrap_or(f64::NAN), cdf.quantile(0.99).unwrap_or(f64::NAN))
+    (
+        cdf.quantile(0.5).unwrap_or(f64::NAN),
+        cdf.quantile(0.99).unwrap_or(f64::NAN),
+    )
 }
 
 fn main() {

@@ -17,7 +17,9 @@ use scheduler::calibrate_scheduler;
 const GB: u64 = 1 << 30;
 
 fn main() {
-    let sizes: Vec<u64> = [1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64].map(|g| g * GB).to_vec();
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 12, 16, 24, 32, 48, 64]
+        .map(|g| g * GB)
+        .to_vec();
 
     // One representative per Algorithm 1 band (the paper used Wordcount,
     // Grep and TestDFSIO-write for exactly these three).
@@ -56,7 +58,10 @@ fn main() {
         .iter()
         .map(|&edge| {
             let representative = if edge.is_infinite() { 1.8 } else { edge * 0.8 };
-            (edge, cross_point_sweep(&apps::synthetic(representative), &sizes))
+            (
+                edge,
+                cross_point_sweep(&apps::synthetic(representative), &sizes),
+            )
         })
         .collect();
     let fine = calibrate_bands(&band_sweeps, |_| 10 * GB);
@@ -64,7 +69,11 @@ fn main() {
     for band in fine.bands() {
         println!(
             "  ≤ {:>5}  → {:>5.1} GB",
-            if band.max_ratio.is_infinite() { "∞".into() } else { format!("{:.1}", band.max_ratio) },
+            if band.max_ratio.is_infinite() {
+                "∞".into()
+            } else {
+                format!("{:.1}", band.max_ratio)
+            },
             band.threshold as f64 / GB as f64
         );
     }

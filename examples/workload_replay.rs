@@ -16,7 +16,10 @@ fn load_trace() -> Vec<JobSpec> {
         let path = args.get(pos + 1).expect("--swim needs a file path");
         let text = std::fs::read_to_string(path).expect("read SWIM trace");
         let jobs = workload::parse_swim_trace(&text).expect("parse SWIM trace");
-        println!("replaying SWIM trace {path}: {} jobs (sizes shrunk 5x)\n", jobs.len());
+        println!(
+            "replaying SWIM trace {path}: {} jobs (sizes shrunk 5x)\n",
+            jobs.len()
+        );
         return workload::swim_to_job_specs(&jobs, 5.0);
     }
     let full = args.iter().any(|a| a == "--full");

@@ -1,0 +1,82 @@
+//! Compare a self-profile report against a baseline; exit nonzero on a
+//! perf regression.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> [--threshold 0.15]
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = at least one metric got more than
+//! `threshold` worse, 2 = usage or parse error (including comparing reports
+//! from different suites or modes).
+
+use bench::profile::{diff, render_diff, BenchReport, DEFAULT_THRESHOLD};
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().ok_or("--threshold needs a value")?;
+            threshold = v
+                .parse::<f64>()
+                .map_err(|e| format!("bad threshold {v:?}: {e}"))?;
+            if threshold.is_nan() || threshold < 0.0 {
+                return Err(format!("threshold must be non-negative, got {threshold}"));
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return Err("usage: bench_diff <baseline.json> <current.json> [--threshold 0.15]".into());
+    };
+
+    let read = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        BenchReport::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let current = read(current_path)?;
+    if baseline.suite != current.suite {
+        return Err(format!(
+            "suite mismatch: baseline is {:?}, current is {:?} — reports are only \
+             comparable within the same suite and mode",
+            baseline.suite, current.suite
+        ));
+    }
+
+    let deltas = diff(&baseline, &current, threshold);
+    print!("{}", render_diff(&deltas, threshold));
+    let regressions: Vec<_> = deltas.iter().filter(|d| d.regression).collect();
+    if regressions.is_empty() {
+        println!(
+            "suite {:?}: {} metrics compared, no regressions",
+            baseline.suite,
+            deltas.len()
+        );
+        Ok(false)
+    } else {
+        eprintln!(
+            "suite {:?}: {} of {} metrics regressed past {:.0}%",
+            baseline.suite,
+            regressions.len(),
+            deltas.len(),
+            threshold * 100.0
+        );
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

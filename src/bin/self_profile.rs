@@ -1,0 +1,139 @@
+//! Emit the self-profiling reports consumed by the perf-regression gate.
+//!
+//! Times a fixed set of simulator workloads and writes one
+//! `hybrid-hadoop-bench/v1` JSON report per suite (`BENCH_engine.json`,
+//! `BENCH_sweep.json`) for `bench_diff` to compare against the baselines
+//! committed under `crates/bench/baselines/`.
+//!
+//! Each suite mixes wall-clock timings (unit `"s"`, machine-dependent) with
+//! simulated metrics (units `"sim_s"` / `"events"`) that are exact on any
+//! machine — so even a loose cross-machine threshold catches behavioral
+//! slowdowns. Quick mode (`--quick` or `BENCH_QUICK=1`) shrinks inputs for
+//! CI; reports are only comparable within the same mode (the suite name
+//! records it).
+
+use bench::profile::{BenchReport, Better};
+use hybrid_hadoop::hybrid_core::run_trace_with;
+use hybrid_hadoop::prelude::*;
+
+fn observed_batch(sizes: &[u64]) -> TraceOutcome {
+    let trace: Vec<JobSpec> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &sz)| {
+            let mut spec = JobSpec::at_zero(i as u32, apps::wordcount(), sz);
+            spec.submit = SimTime::ZERO + SimDuration::from_secs(20 * i as u64);
+            spec
+        })
+        .collect();
+    let tuning = DeploymentTuning {
+        observe: true,
+        ..Default::default()
+    };
+    run_trace_with(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+        &tuning,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let mode = if quick { "quick" } else { "full" };
+    let iters = if quick { 2 } else { 5 };
+    const GB: u64 = 1 << 30;
+
+    // --- engine suite: single-job runs and the observability layer -------
+    let mut engine = BenchReport::new(format!("engine-{mode}"));
+
+    let size = if quick { GB } else { 4 * GB };
+    let wall = bench::bench("engine/out_hdfs_wordcount", iters, || {
+        run_job(Architecture::OutHdfs, &apps::wordcount(), size)
+    });
+    engine.push("engine/out_hdfs_wordcount_wall", wall, "s", Better::Lower);
+    let r = run_job(Architecture::OutHdfs, &apps::wordcount(), size);
+    engine.push(
+        "engine/out_hdfs_wordcount_sim",
+        r.execution.as_secs_f64(),
+        "sim_s",
+        Better::Lower,
+    );
+
+    let wall = bench::bench("engine/hybrid_grep", iters, || {
+        run_job(Architecture::Hybrid, &apps::grep(), size)
+    });
+    engine.push("engine/hybrid_grep_wall", wall, "s", Better::Lower);
+
+    let batch: Vec<u64> = if quick {
+        vec![GB / 2, GB, 2 * GB]
+    } else {
+        vec![GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB]
+    };
+    let wall = bench::bench("engine/observed_batch", iters, || observed_batch(&batch));
+    let outcome = observed_batch(&batch);
+    let recorder = outcome
+        .recorder
+        .as_deref()
+        .expect("observed run records a trace");
+    engine.push("engine/observed_batch_wall", wall, "s", Better::Lower);
+    engine.push(
+        "engine/observed_batch_makespan",
+        outcome.makespan.as_secs_f64(),
+        "sim_s",
+        Better::Lower,
+    );
+    engine.push(
+        "engine/observed_batch_events",
+        recorder.len() as f64,
+        "events",
+        Better::Lower,
+    );
+
+    // --- sweep suite: parallel grids and trace replay ---------------------
+    let mut sweep_report = BenchReport::new(format!("sweep-{mode}"));
+
+    let grid: Vec<u64> = if quick {
+        vec![GB, 4 * GB]
+    } else {
+        vec![GB, 4 * GB, 16 * GB, 64 * GB]
+    };
+    let wall = bench::bench("sweep/cross_point_grid", iters, || {
+        cross_point_sweep(&apps::grep(), &grid)
+    });
+    sweep_report.push("sweep/cross_point_grid_wall", wall, "s", Better::Lower);
+
+    let jobs = if quick { 30 } else { 120 };
+    let cfg = FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 * 12),
+        ..Default::default()
+    };
+    let trace = generate_facebook_trace(&cfg);
+    let policy = CrossPointScheduler::default();
+    let wall = bench::bench("sweep/fb_replay", iters, || {
+        run_trace(Architecture::Hybrid, &policy, &trace)
+    });
+    let outcome = run_trace(Architecture::Hybrid, &policy, &trace);
+    sweep_report.push("sweep/fb_replay_wall", wall, "s", Better::Lower);
+    sweep_report.push(
+        "sweep/fb_replay_makespan",
+        outcome.makespan.as_secs_f64(),
+        "sim_s",
+        Better::Lower,
+    );
+
+    for (file, report) in [
+        ("BENCH_engine.json", &engine),
+        ("BENCH_sweep.json", &sweep_report),
+    ] {
+        let path = format!("{out_dir}/{file}");
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "wrote {path} ({} entries, {mode} mode)",
+            report.entries.len()
+        );
+    }
+}

@@ -32,6 +32,7 @@
 //! | [`workload`] | application profiles and FB-2009 trace synthesis |
 //! | [`scheduler`] | Algorithm 1, baselines, cross-point calibration |
 //! | [`hybrid_core`] | architectures, runners, sweeps, trace replay |
+//! | [`obs`] | deterministic observability: spans, counters, Chrome-trace export |
 //! | [`metrics`] | CDFs, series, stats, table rendering |
 //! | [`parsweep`] | work-stealing parallel sweep execution |
 
@@ -39,6 +40,7 @@ pub use cluster;
 pub use hybrid_core;
 pub use mapreduce;
 pub use metrics;
+pub use obs;
 pub use parsweep;
 pub use scheduler;
 pub use simcore;

@@ -119,7 +119,10 @@ fn empty_plan_is_bitwise_identical_to_no_fault_api() {
         let empty = replay(
             arch,
             &trace,
-            &DeploymentTuning { fault: FaultPlan::empty(), ..Default::default() },
+            &DeploymentTuning {
+                fault: FaultPlan::empty(),
+                ..Default::default()
+            },
         );
         assert_eq!(untouched.results, empty.results, "{}", arch.name());
         assert_eq!(untouched.fault_stats, empty.fault_stats);
@@ -167,7 +170,10 @@ fn stragglers_slow_but_do_not_fail() {
         ..FaultRates::none()
     };
     let plan = FaultPlan::generate(11, &rates, SimDuration::from_secs(3600), &[24], 0);
-    let tuning = DeploymentTuning { fault: plan, ..Default::default() };
+    let tuning = DeploymentTuning {
+        fault: plan,
+        ..Default::default()
+    };
     let out = replay(Architecture::RHadoop, &trace, &tuning);
     assert_eq!(out.failures(), 0);
     assert!(out.fault_stats.straggler_attempts > 0);

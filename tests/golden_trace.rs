@@ -56,7 +56,11 @@ fn observe(arch: Architecture) -> Golden {
         makespan_ticks: out.makespan.0,
         up_class: out.up_class_exec.len(),
         out_class: out.out_class_exec.len(),
-        ran_on_up: out.results.iter().filter(|r| r.cluster_name == "scale-up").count(),
+        ran_on_up: out
+            .results
+            .iter()
+            .filter(|r| r.cluster_name == "scale-up")
+            .count(),
         p50_ticks: exec[(n - 1) / 2],
         p95_ticks: exec[95 * (n - 1) / 100],
     }
@@ -66,13 +70,45 @@ fn observe(arch: Architecture) -> Golden {
 fn golden_slice_matches_snapshot() {
     // (arch, makespan, up-class, out-class, ran-on-up, p50, p95) — exact.
     let expected: [(Architecture, u64, usize, usize, usize, u64, u64); 3] = [
-        (Architecture::Hybrid, 1_180_976_598, 57, 3, 57, 3_707_913, 22_882_308),
-        (Architecture::THadoop, 1_181_539_891, 57, 3, 0, 4_259_773, 17_070_728),
-        (Architecture::RHadoop, 1_181_775_920, 57, 3, 0, 4_511_572, 19_244_347),
+        (
+            Architecture::Hybrid,
+            1_180_976_598,
+            57,
+            3,
+            57,
+            3_707_913,
+            22_882_308,
+        ),
+        (
+            Architecture::THadoop,
+            1_181_539_891,
+            57,
+            3,
+            0,
+            4_259_773,
+            17_070_728,
+        ),
+        (
+            Architecture::RHadoop,
+            1_181_775_920,
+            57,
+            3,
+            0,
+            4_511_572,
+            19_244_347,
+        ),
     ];
     for (arch, makespan, up, out, on_up, p50, p95) in expected {
         let g = observe(arch);
-        let got = (g.arch, g.makespan_ticks, g.up_class, g.out_class, g.ran_on_up, g.p50_ticks, g.p95_ticks);
+        let got = (
+            g.arch,
+            g.makespan_ticks,
+            g.up_class,
+            g.out_class,
+            g.ran_on_up,
+            g.p50_ticks,
+            g.p95_ticks,
+        );
         println!("observed: {got:?}");
         assert_eq!(
             got,

@@ -1,0 +1,107 @@
+//! Golden observability tests. The trace layer's two contracts:
+//!
+//! 1. **Bitwise neutrality** — enabling observability changes no simulation
+//!    result: same job results, makespan, and fault accounting as an
+//!    unobserved run of the same spec.
+//! 2. **Determinism** — traces are keyed on simulated time only, so two
+//!    observed runs export byte-identical Chrome JSON, and the clamped
+//!    phase spans of every job sum *exactly* (in integer ticks) to its
+//!    execution time.
+
+use hybrid_hadoop::obs::EventKind;
+use hybrid_hadoop::prelude::*;
+use std::collections::HashMap;
+
+const JOBS: usize = 40;
+
+/// Fixed-seed FB-2009 slice: small enough to run in seconds, queued enough
+/// to exercise contention and cross-cluster placement.
+fn golden_trace() -> Vec<JobSpec> {
+    let cfg = FacebookTraceConfig {
+        jobs: JOBS,
+        window: SimDuration::from_secs(480),
+        ..Default::default()
+    };
+    generate_facebook_trace(&cfg)
+}
+
+fn replay(observe: bool) -> TraceOutcome {
+    let tuning = DeploymentTuning {
+        observe,
+        ..Default::default()
+    };
+    hybrid_core::run_trace_with(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &golden_trace(),
+        &tuning,
+    )
+}
+
+#[test]
+fn observability_is_bitwise_neutral() {
+    let plain = replay(false);
+    let observed = replay(true);
+    assert_eq!(
+        plain.results, observed.results,
+        "observing a run must not change it"
+    );
+    assert_eq!(plain.makespan, observed.makespan);
+    assert_eq!(plain.fault_stats, observed.fault_stats);
+    assert!(plain.recorder.is_none(), "no recorder unless asked for");
+    assert!(observed.recorder.is_some());
+}
+
+#[test]
+fn chrome_export_is_byte_identical_across_runs() {
+    let a = replay(true).recorder.expect("observed").chrome_trace();
+    let b = replay(true).recorder.expect("observed").chrome_trace();
+    assert_eq!(a, b, "same spec, same seed → same bytes");
+    assert!(a.starts_with("{\"traceEvents\":["), "chrome trace shape");
+    assert!(a.contains("\"displayTimeUnit\""), "chrome trace shape");
+}
+
+#[test]
+fn phase_spans_sum_exactly_to_job_executions() {
+    let outcome = replay(true);
+    let rec = outcome.recorder.as_deref().expect("observed");
+
+    // Collect per-job execution (the job span) and the sum of its four
+    // phase spans, all in integer ticks.
+    let mut exec: HashMap<u32, u64> = HashMap::new();
+    let mut phase_sum: HashMap<u32, u64> = HashMap::new();
+    let mut phase_count: HashMap<u32, u32> = HashMap::new();
+    for e in rec.events() {
+        if e.kind != EventKind::Span {
+            continue;
+        }
+        match e.cat {
+            "job" => {
+                exec.insert(e.tid, e.dur.0);
+            }
+            "phase" => {
+                *phase_sum.entry(e.tid).or_insert(0) += e.dur.0;
+                *phase_count.entry(e.tid).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(exec.len(), JOBS, "one job span per job");
+    for (tid, ex) in &exec {
+        assert_eq!(phase_count[tid], 4, "job {tid}: setup/map/shuffle/reduce");
+        assert_eq!(
+            phase_sum[tid], *ex,
+            "job {tid}: phases must sum exactly to execution"
+        );
+    }
+    // The job span duration is the job's execution time, tick for tick.
+    for r in &outcome.results {
+        assert_eq!(
+            exec[&r.id.0], r.execution.0,
+            "job {} span vs result",
+            r.id.0
+        );
+    }
+    // Every submission carries a placement annotation.
+    assert_eq!(rec.by_category("placement").count(), JOBS);
+}

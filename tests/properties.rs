@@ -97,7 +97,11 @@ fn trace_bands_hold_for_any_seed() {
         let specs = generate_facebook_trace(&cfg);
         let n = specs.len() as f64;
         let small = specs.iter().filter(|s| s.input_size < 1_000_000).count() as f64 / n;
-        let large = specs.iter().filter(|s| s.input_size > 30_000_000_000).count() as f64 / n;
+        let large = specs
+            .iter()
+            .filter(|s| s.input_size > 30_000_000_000)
+            .count() as f64
+            / n;
         assert!((small - 0.40).abs() < 0.05, "seed {seed} small {small}");
         assert!((large - 0.11).abs() < 0.04, "seed {seed} large {large}");
         assert!(specs.windows(2).all(|w| w[0].submit <= w[1].submit));
@@ -124,7 +128,9 @@ fn parallel_sweep_equals_serial() {
     let profile = workload::apps::grep();
     let sizes = [GB, 2 * GB, 3 * GB];
     let parallel = sweep(&[Architecture::UpOfs], &profile, &sizes);
-    let serial: Vec<JobResult> =
-        sizes.iter().map(|&s| run_job(Architecture::UpOfs, &profile, s)).collect();
+    let serial: Vec<JobResult> = sizes
+        .iter()
+        .map(|&s| run_job(Architecture::UpOfs, &profile, s))
+        .collect();
     assert_eq!(parallel[0], serial);
 }

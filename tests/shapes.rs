@@ -45,10 +45,26 @@ fn large_shuffle_jobs_put_out_ofs_first_and_up_hdfs_last() {
         let up_hdfs = exec(Architecture::UpHdfs, &profile, 64 * GB);
         let out_ofs = exec(Architecture::OutOfs, &profile, 64 * GB);
         let out_hdfs = exec(Architecture::OutHdfs, &profile, 64 * GB);
-        assert!(out_ofs < up_ofs, "{}: out-OFS beats up-OFS at 64 GB", profile.name);
-        assert!(out_ofs < out_hdfs, "{}: OFS beats HDFS on scale-out", profile.name);
-        assert!(up_hdfs > up_ofs, "{}: up-HDFS is worse than up-OFS at 64 GB", profile.name);
-        assert!(up_hdfs > out_ofs * 1.1, "{}: up-HDFS is clearly worst", profile.name);
+        assert!(
+            out_ofs < up_ofs,
+            "{}: out-OFS beats up-OFS at 64 GB",
+            profile.name
+        );
+        assert!(
+            out_ofs < out_hdfs,
+            "{}: OFS beats HDFS on scale-out",
+            profile.name
+        );
+        assert!(
+            up_hdfs > up_ofs,
+            "{}: up-HDFS is worse than up-OFS at 64 GB",
+            profile.name
+        );
+        assert!(
+            up_hdfs > out_ofs * 1.1,
+            "{}: up-HDFS is clearly worst",
+            profile.name
+        );
     }
 }
 
@@ -84,15 +100,23 @@ fn shuffle_phase_always_shorter_on_scale_up() {
 /// "A higher shuffle/input ratio leads to a higher cross point".
 #[test]
 fn cross_points_in_paper_windows_and_ratio_ordered() {
-    let sizes: Vec<u64> = [1u64, 4, 8, 12, 16, 24, 32, 48, 64].map(|g| g * GB).to_vec();
+    let sizes: Vec<u64> = [1u64, 4, 8, 12, 16, 24, 32, 48, 64]
+        .map(|g| g * GB)
+        .to_vec();
     let wc = estimate_cross_point(&cross_point_sweep(&apps::wordcount(), &sizes))
         .expect("wordcount crossover exists");
     let gr = estimate_cross_point(&cross_point_sweep(&apps::grep(), &sizes))
         .expect("grep crossover exists");
     let wc_gb = wc / GB as f64;
     let gr_gb = gr / GB as f64;
-    assert!((16.0..64.0).contains(&wc_gb), "wordcount cross at {wc_gb:.1} GB (paper: ~32)");
-    assert!((8.0..32.0).contains(&gr_gb), "grep cross at {gr_gb:.1} GB (paper: ~16)");
+    assert!(
+        (16.0..64.0).contains(&wc_gb),
+        "wordcount cross at {wc_gb:.1} GB (paper: ~32)"
+    );
+    assert!(
+        (8.0..32.0).contains(&gr_gb),
+        "grep cross at {gr_gb:.1} GB (paper: ~16)"
+    );
     assert!(wc_gb > gr_gb, "higher shuffle ratio must cross later");
 }
 
@@ -101,12 +125,19 @@ fn cross_points_in_paper_windows_and_ratio_ordered() {
 /// shuffle-intensive applications").
 #[test]
 fn map_intensive_cross_point_below_wordcount() {
-    let sizes: Vec<u64> = [1u64, 4, 8, 12, 16, 24, 32, 48, 64].map(|g| g * GB).to_vec();
+    let sizes: Vec<u64> = [1u64, 4, 8, 12, 16, 24, 32, 48, 64]
+        .map(|g| g * GB)
+        .to_vec();
     let dfsio = estimate_cross_point(&cross_point_sweep(&apps::testdfsio_write(), &sizes))
         .expect("dfsio crossover exists");
     let wc = estimate_cross_point(&cross_point_sweep(&apps::wordcount(), &sizes))
         .expect("wordcount crossover exists");
-    assert!(dfsio < wc, "dfsio {:.1} GB < wordcount {:.1} GB", dfsio / GB as f64, wc / GB as f64);
+    assert!(
+        dfsio < wc,
+        "dfsio {:.1} GB < wordcount {:.1} GB",
+        dfsio / GB as f64,
+        wc / GB as f64
+    );
 }
 
 /// At small sizes HDFS beats OFS on the same cluster (the remote request
@@ -137,7 +168,10 @@ fn dfsio_is_map_dominated() {
         let r = run_job(Architecture::OutOfs, &apps::testdfsio_write(), size);
         assert!(r.succeeded());
         assert!(r.map_phase > r.shuffle_phase + r.reduce_phase);
-        assert!(r.shuffle_phase.as_secs_f64() < 8.0, "paper: shuffle/reduce < 8 s");
+        assert!(
+            r.shuffle_phase.as_secs_f64() < 8.0,
+            "paper: shuffle/reduce < 8 s"
+        );
         assert_eq!(r.reduces, 1);
     }
 }
@@ -149,6 +183,10 @@ fn baseline_24_dominates_out_12() {
     for profile in [apps::grep(), apps::testdfsio_write()] {
         let out12 = exec(Architecture::OutOfs, &profile, 32 * GB);
         let out24 = exec(Architecture::RHadoop, &profile, 32 * GB);
-        assert!(out24 <= out12 * 1.02, "{}: 24 nodes {out24:.1} vs 12 {out12:.1}", profile.name);
+        assert!(
+            out24 <= out12 * 1.02,
+            "{}: 24 nodes {out24:.1} vs 12 {out12:.1}",
+            profile.name
+        );
     }
 }

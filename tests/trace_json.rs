@@ -7,7 +7,10 @@ use workload::facebook::{from_json, to_json};
 
 #[test]
 fn generated_trace_roundtrips_exactly() {
-    let cfg = FacebookTraceConfig { jobs: 200, ..Default::default() };
+    let cfg = FacebookTraceConfig {
+        jobs: 200,
+        ..Default::default()
+    };
     let trace = generate_facebook_trace(&cfg);
     let json = to_json(&trace);
     let back = from_json(&json).expect("parse back");

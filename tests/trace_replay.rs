@@ -15,7 +15,11 @@ fn sample_trace(jobs: usize) -> Vec<JobSpec> {
 #[test]
 fn hybrid_beats_thadoop_on_scale_up_jobs() {
     let trace = sample_trace(400);
-    let hybrid = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+    let hybrid = run_trace(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+    );
     let thadoop = run_trace(Architecture::THadoop, &AlwaysOut, &trace);
     let h = hybrid.up_cdf();
     let t = thadoop.up_cdf();
@@ -47,15 +51,26 @@ fn all_contenders_complete_the_workload() {
         assert_eq!(outcome.results.len(), trace.len(), "{}", arch.name());
         assert_eq!(outcome.failures(), 0, "{} must not fail jobs", arch.name());
         // Execution includes queueing, so every job takes positive time.
-        assert!(outcome.results.iter().all(|r| r.execution.as_secs_f64() > 0.0));
+        assert!(outcome
+            .results
+            .iter()
+            .all(|r| r.execution.as_secs_f64() > 0.0));
     }
 }
 
 #[test]
 fn trace_replay_is_deterministic() {
     let trace = sample_trace(150);
-    let a = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
-    let b = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &trace);
+    let a = run_trace(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+    );
+    let b = run_trace(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+    );
     assert_eq!(a.results, b.results);
     assert_eq!(a.up_class_exec, b.up_class_exec);
 }
@@ -88,14 +103,30 @@ fn load_aware_policy_diverts_under_small_job_flood() {
             submit: SimTime::from_secs_f64(i as f64 * 0.05),
         })
         .collect();
-    let plain = run_trace(Architecture::Hybrid, &CrossPointScheduler::default(), &flood);
+    let plain = run_trace(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &flood,
+    );
     let aware = run_trace(Architecture::Hybrid, &LoadAwareScheduler::default(), &flood);
-    let plain_out_jobs =
-        plain.results.iter().filter(|r| r.cluster_name == "scale-out").count();
-    let aware_out_jobs =
-        aware.results.iter().filter(|r| r.cluster_name == "scale-out").count();
-    assert_eq!(plain_out_jobs, 0, "Algorithm 1 sends the whole flood to scale-up");
-    assert!(aware_out_jobs > 0, "load-aware must divert part of the flood");
+    let plain_out_jobs = plain
+        .results
+        .iter()
+        .filter(|r| r.cluster_name == "scale-out")
+        .count();
+    let aware_out_jobs = aware
+        .results
+        .iter()
+        .filter(|r| r.cluster_name == "scale-out")
+        .count();
+    assert_eq!(
+        plain_out_jobs, 0,
+        "Algorithm 1 sends the whole flood to scale-up"
+    );
+    assert!(
+        aware_out_jobs > 0,
+        "load-aware must divert part of the flood"
+    );
     // And the diversion pays: the flood completes sooner overall.
     let plain_makespan = plain.results.iter().map(|r| r.end).max().unwrap();
     let aware_makespan = aware.results.iter().map(|r| r.end).max().unwrap();
@@ -139,7 +170,5 @@ fn storage_ablation_hybrid_needs_shared_storage() {
     let trace = sample_trace(400);
     let thadoop = run_trace(Architecture::THadoop, &AlwaysOut, &trace);
     let rhadoop = run_trace(Architecture::RHadoop, &AlwaysOut, &trace);
-    assert!(
-        rhadoop.out_cdf().quantile(0.9).unwrap() <= thadoop.out_cdf().quantile(0.9).unwrap()
-    );
+    assert!(rhadoop.out_cdf().quantile(0.9).unwrap() <= thadoop.out_cdf().quantile(0.9).unwrap());
 }
