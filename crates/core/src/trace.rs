@@ -11,10 +11,11 @@
 //! CDFs compare the same job populations.
 
 use crate::architecture::{Architecture, Deployment, DeploymentTuning};
-use mapreduce::{FaultStats, JobResult, JobSpec};
+use mapreduce::{FaultStats, JobId, JobResult, JobSpec};
 use metrics::EmpiricalCdf;
 use scheduler::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
 use simcore::SimDuration;
+use std::collections::HashMap;
 
 /// Outcome of one trace replay.
 #[derive(Debug, Clone)]
@@ -62,6 +63,24 @@ impl TraceOutcome {
 /// work added per job. Only relative magnitudes matter.
 fn est_cost_secs(spec: &JobSpec) -> f64 {
     3.0 + spec.input_size as f64 / 500.0e6
+}
+
+/// Virtual-backlog drain rates (work-seconds per second) for the scale-up
+/// and scale-out sides, proportional to each side's slot count in `arch`'s
+/// cluster spec. A side with no cluster in this architecture keeps the
+/// legacy rate of 1.0 so a phantom backlog cannot grow without bound.
+fn backlog_drain_rates(arch: Architecture, tuning: &DeploymentTuning) -> (f64, f64) {
+    let mut up_slots = 0.0;
+    let mut out_slots = 0.0;
+    for spec in arch.cluster_specs_with(&tuning.up_machine, &tuning.out_machine) {
+        let slots = (spec.total_map_slots() + spec.total_reduce_slots()) as f64;
+        if spec.name.starts_with("scale-up") {
+            up_slots += slots;
+        } else {
+            out_slots += slots;
+        }
+    }
+    (up_slots.max(1.0), out_slots.max(1.0))
 }
 
 /// Annotate the recorder with one placement decision: which band fired,
@@ -119,32 +138,58 @@ pub fn run_trace_with(
     trace: &[JobSpec],
     tuning: &DeploymentTuning,
 ) -> TraceOutcome {
+    run_trace_streaming_with(arch, policy, trace.iter().cloned(), tuning)
+}
+
+/// [`run_trace_with`] over a lazily produced job stream.
+///
+/// Accepts any `IntoIterator<Item = JobSpec>` — in particular
+/// [`workload::facebook::stream`] — so a million-job replay materializes one
+/// `JobSpec` at a time instead of holding the whole trace in a `Vec` first.
+/// A slice-backed call (`run_trace_with`) routes through here and produces
+/// byte-identical results.
+pub fn run_trace_streaming_with<I>(
+    arch: Architecture,
+    policy: &dyn JobPlacement,
+    trace: I,
+    tuning: &DeploymentTuning,
+) -> TraceOutcome
+where
+    I: IntoIterator<Item = JobSpec>,
+{
+    let trace = trace.into_iter();
     let classifier = CrossPointScheduler::default();
     let mut deployment = Deployment::build_with(arch, tuning);
 
-    // Virtual backlog (for load-aware policies): drains at one work-second
-    // per second per side, grows by the job's estimated cost.
+    // Virtual backlog (for load-aware policies): grows by each job's
+    // estimated serial cost and drains proportionally to the side's slot
+    // count — a sub-cluster with S slots retires S work-seconds of backlog
+    // per second, so the 2-machine scale-up side is no longer modelled as
+    // draining at the same rate as the 12-machine scale-out side.
+    let (up_drain, out_drain) = backlog_drain_rates(arch, tuning);
     let mut loads = ClusterLoads::default();
     let mut t_prev = 0.0f64;
-    let mut class_of = Vec::with_capacity(trace.len());
+    // Keyed by JobId, not trace position: sliced or filtered traces have
+    // non-contiguous ids.
+    let mut class_of: HashMap<JobId, Placement> = HashMap::with_capacity(trace.size_hint().0);
 
     for spec in trace {
         let t = spec.submit.as_secs_f64();
         let dt = (t - t_prev).max(0.0);
         t_prev = t;
-        loads.up_outstanding = (loads.up_outstanding - dt).max(0.0);
-        loads.out_outstanding = (loads.out_outstanding - dt).max(0.0);
+        loads.up_outstanding = (loads.up_outstanding - dt * up_drain).max(0.0);
+        loads.out_outstanding = (loads.out_outstanding - dt * out_drain).max(0.0);
 
-        let placement = policy.place(spec, &loads);
+        let placement = policy.place(&spec, &loads);
         if deployment.sim.observability().is_some() {
-            record_placement(&mut deployment, policy, spec, &loads);
+            record_placement(&mut deployment, policy, &spec, &loads);
         }
         match placement {
-            Placement::ScaleUp => loads.up_outstanding += est_cost_secs(spec),
-            Placement::ScaleOut => loads.out_outstanding += est_cost_secs(spec),
+            Placement::ScaleUp => loads.up_outstanding += est_cost_secs(&spec),
+            Placement::ScaleOut => loads.out_outstanding += est_cost_secs(&spec),
         }
-        class_of.push(classifier.place(spec, &ClusterLoads::default()));
-        deployment.submit_placed(spec.clone(), placement);
+        class_of.insert(spec.id, classifier.place(&spec, &ClusterLoads::default()));
+        deployment.submit_placed(spec, placement);
     }
 
     let results = deployment.sim.run().to_vec();
@@ -161,7 +206,9 @@ pub fn run_trace_with(
         if !r.succeeded() {
             continue;
         }
-        let class = class_of[r.id.0 as usize];
+        let class = *class_of
+            .get(&r.id)
+            .expect("every result corresponds to a submitted trace job");
         match class {
             Placement::ScaleUp => up_class_exec.push(r.execution.as_secs_f64()),
             Placement::ScaleOut => out_class_exec.push(r.execution.as_secs_f64()),
@@ -294,6 +341,73 @@ mod tests {
             &trace,
         );
         assert_eq!(out.policy, "crosspoint");
+    }
+
+    #[test]
+    fn sliced_trace_with_noncontiguous_ids_replays() {
+        // Regression: classification used to index a Vec by `JobId`, so any
+        // trace whose ids are not 0..n (a slice, a filtered trace) panicked
+        // or misclassified. Keep every third job: ids 0, 3, 6, ...
+        let full = small_trace(60);
+        let sliced: Vec<JobSpec> = full.iter().step_by(3).cloned().collect();
+        assert!(sliced.iter().any(|s| s.id.0 as usize >= sliced.len()));
+        let out = run_trace(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &sliced,
+        );
+        assert_eq!(out.results.len(), sliced.len());
+        assert_eq!(
+            out.up_class_exec.len() + out.out_class_exec.len(),
+            sliced.len()
+        );
+        // Classification must agree with the classifier on the actual jobs,
+        // not on whatever sat at the id's index in the original trace.
+        let classifier = CrossPointScheduler::default();
+        let expect_up = sliced
+            .iter()
+            .filter(|s| classifier.place(s, &ClusterLoads::default()) == Placement::ScaleUp)
+            .count();
+        assert_eq!(out.up_class_exec.len(), expect_up);
+    }
+
+    #[test]
+    fn streamed_replay_matches_sliced_replay() {
+        let cfg = FacebookTraceConfig {
+            jobs: 50,
+            window: simcore::SimDuration::from_secs(600),
+            ..Default::default()
+        };
+        let materialized = generate_facebook_trace(&cfg);
+        let sliced = run_trace(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &materialized,
+        );
+        let streamed = run_trace_streaming_with(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            workload::facebook::stream(&cfg),
+            &DeploymentTuning::default(),
+        );
+        assert_eq!(streamed.results, sliced.results);
+        assert_eq!(streamed.up_class_exec, sliced.up_class_exec);
+        assert_eq!(streamed.out_class_exec, sliced.out_class_exec);
+        assert_eq!(streamed.makespan, sliced.makespan);
+    }
+
+    #[test]
+    fn backlog_drain_is_slot_proportional() {
+        let tuning = DeploymentTuning::default();
+        let (up, out) = backlog_drain_rates(Architecture::Hybrid, &tuning);
+        // 2 scale-up machines vs 12 scale-out machines: the out side must
+        // drain its backlog strictly faster, and both sides strictly faster
+        // than the legacy 1 work-sec/sec.
+        assert!(up > 1.0 && out > 1.0);
+        assert!(out > up, "out {out} should out-drain up {up}");
+        // Single-cluster baselines keep a floor on the side they lack.
+        let (up_r, out_r) = backlog_drain_rates(Architecture::RHadoop, &tuning);
+        assert!(up_r >= 1.0 && out_r > 1.0);
     }
 
     #[test]

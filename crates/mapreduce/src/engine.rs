@@ -210,6 +210,9 @@ struct ClusterState {
     cfg: EngineConfig,
     free_map: Vec<u32>,
     free_reduce: Vec<u32>,
+    /// `NodeId` → index into `built.nodes`, so block-host lookups during map
+    /// placement are O(1) instead of a scan over the cluster.
+    host_index: HashMap<cluster::NodeId, usize>,
     /// Crashed nodes (fault injection): zero slots until recovery.
     node_down: Vec<bool>,
     map_queue: TaskQueue,
@@ -315,6 +318,12 @@ impl Simulation {
                 let free_map = built.nodes.iter().map(|n| n.spec.map_slots()).collect();
                 let free_reduce = built.nodes.iter().map(|n| n.spec.reduce_slots()).collect();
                 let node_down = vec![false; built.nodes.len()];
+                let host_index = built
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, n)| (n.id, pos))
+                    .collect();
                 let map_queue = TaskQueue::new(cfg.task_sched);
                 let reduce_queue = TaskQueue::new(cfg.task_sched);
                 ClusterState {
@@ -322,6 +331,7 @@ impl Simulation {
                     cfg,
                     free_map,
                     free_reduce,
+                    host_index,
                     node_down,
                     map_queue,
                     reduce_queue,
@@ -1058,7 +1068,7 @@ impl Simulation {
             let (file, blk) = self.input_block(j, idx);
             let hosts = self.dfs.block_hosts(file, blk);
             for host in hosts {
-                if let Some(pos) = c.built.nodes.iter().position(|n| n.id == host) {
+                if let Some(&pos) = c.host_index.get(&host) {
                     if c.free_map[pos] > 0 {
                         return pos;
                     }

@@ -6,8 +6,26 @@
 //! switched to the **Fair Scheduler** (cited as \[4\] in the paper) to protect
 //! small jobs; both are provided so the trace experiments can quantify how
 //! much of the hybrid architecture's win survives a fairer baseline.
+//!
+//! # Scaling
+//!
+//! Trace replays queue up to hundreds of thousands of jobs at once, so every
+//! operation here must stay sub-linear in the number of backlogged jobs:
+//!
+//! * **FIFO** keeps jobs in a `VecDeque` in first-enqueue order. Only the
+//!   front job ever dispatches, so it is also the only job that can drain —
+//!   both `pop` and the drain cleanup are O(1).
+//! * **Fair** keeps a `BTreeSet<(running, seq, job)>` index over jobs with
+//!   pending tasks, where `seq` is a monotone first-enqueue counter. Its
+//!   first element is the job with the fewest running tasks, ties broken by
+//!   earliest enqueue — exactly the verdict a linear `min_by_key` scan over
+//!   enqueue order would produce — making dispatch O(log jobs).
+//!
+//! A job that drains and later re-enqueues receives a fresh `seq` and so
+//! goes to the back of its tie class, matching the historical re-append
+//! semantics of the scan-based implementation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// How tasks of concurrent jobs share a cluster's slots.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -24,11 +42,18 @@ pub enum TaskSchedPolicy {
 ///
 /// The engine owns one per task kind per cluster. `running`/`finished`
 /// callbacks keep the per-job running counts that the fair policy needs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TaskQueue {
     policy: TaskSchedPolicy,
-    /// Jobs in first-enqueue order (stable tie-breaking).
-    order: Vec<usize>,
+    /// FIFO: jobs with pending tasks, in first-enqueue order.
+    fifo_order: VecDeque<usize>,
+    /// Fair: `(running tasks, first-enqueue seq, job)` for each job with
+    /// pending tasks; the first element is the next job to dispatch.
+    fair_index: BTreeSet<(u32, u64, usize)>,
+    /// Fair: the `seq` under which each pending job is currently indexed.
+    seq_of: HashMap<usize, u64>,
+    /// Monotone counter backing `seq_of`.
+    next_seq: u64,
     pending: HashMap<usize, VecDeque<u32>>,
     running: HashMap<usize, u32>,
     len: usize,
@@ -39,10 +64,7 @@ impl TaskQueue {
     pub fn new(policy: TaskSchedPolicy) -> Self {
         TaskQueue {
             policy,
-            order: Vec::new(),
-            pending: HashMap::new(),
-            running: HashMap::new(),
-            len: 0,
+            ..TaskQueue::default()
         }
     }
 
@@ -56,13 +78,26 @@ impl TaskQueue {
         self.len == 0
     }
 
+    fn running_of(&self, job: usize) -> u32 {
+        self.running.get(&job).copied().unwrap_or(0)
+    }
+
     /// Enqueue one task of `job`.
     pub fn push(&mut self, job: usize, idx: u32) {
-        let q = self.pending.entry(job).or_insert_with(|| {
-            self.order.push(job);
-            VecDeque::new()
-        });
-        q.push_back(idx);
+        if let Some(q) = self.pending.get_mut(&job) {
+            q.push_back(idx);
+        } else {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            match self.policy {
+                TaskSchedPolicy::Fifo => self.fifo_order.push_back(job),
+                TaskSchedPolicy::Fair => {
+                    self.fair_index.insert((self.running_of(job), seq, job));
+                    self.seq_of.insert(job, seq);
+                }
+            }
+            self.pending.insert(job, VecDeque::from([idx]));
+        }
         self.len += 1;
     }
 
@@ -81,12 +116,33 @@ impl TaskQueue {
             .get_mut(&job)
             .expect("next_job points at a pending queue");
         let idx = q.pop_front().expect("next_job guarantees a task");
-        if q.is_empty() {
+        let drained = q.is_empty();
+        if drained {
             self.pending.remove(&job);
-            self.order.retain(|&j| j != job);
         }
         self.len -= 1;
+        let was_running = self.running_of(job);
         *self.running.entry(job).or_insert(0) += 1;
+        match self.policy {
+            TaskSchedPolicy::Fifo => {
+                if drained {
+                    // FIFO only ever dispatches the front job, so the front
+                    // job is the only one that can drain.
+                    let front = self.fifo_order.pop_front();
+                    debug_assert_eq!(front, Some(job));
+                }
+            }
+            TaskSchedPolicy::Fair => {
+                let seq = self.seq_of[&job];
+                let removed = self.fair_index.remove(&(was_running, seq, job));
+                debug_assert!(removed, "fair index out of sync");
+                if drained {
+                    self.seq_of.remove(&job);
+                } else {
+                    self.fair_index.insert((was_running + 1, seq, job));
+                }
+            }
+        }
         Some((job, idx))
     }
 
@@ -94,21 +150,26 @@ impl TaskQueue {
     /// bookkeeping).
     pub fn task_finished(&mut self, job: usize) {
         if let Some(r) = self.running.get_mut(&job) {
+            let was = *r;
             *r = r.saturating_sub(1);
-            if *r == 0 {
+            let now = *r;
+            if now == 0 {
                 self.running.remove(&job);
+            }
+            if self.policy == TaskSchedPolicy::Fair {
+                if let Some(&seq) = self.seq_of.get(&job) {
+                    let removed = self.fair_index.remove(&(was, seq, job));
+                    debug_assert!(removed, "fair index out of sync");
+                    self.fair_index.insert((now, seq, job));
+                }
             }
         }
     }
 
     fn next_job(&self) -> Option<usize> {
         match self.policy {
-            TaskSchedPolicy::Fifo => self.order.first().copied(),
-            TaskSchedPolicy::Fair => self
-                .order
-                .iter()
-                .copied()
-                .min_by_key(|j| self.running.get(j).copied().unwrap_or(0)),
+            TaskSchedPolicy::Fifo => self.fifo_order.front().copied(),
+            TaskSchedPolicy::Fair => self.fair_index.first().map(|&(_, _, job)| job),
         }
     }
 }
@@ -197,5 +258,142 @@ mod tests {
         q.push(0, 1); // job 0 re-enqueues after having drained
         assert_eq!(q.pop(), Some((1, 0)), "job 1 now precedes job 0");
         assert_eq!(q.pop(), Some((0, 1)));
+    }
+
+    #[test]
+    fn fair_reindexes_on_completion_of_a_pending_job() {
+        let mut q = TaskQueue::new(TaskSchedPolicy::Fair);
+        // Job 0 dispatches two tasks and keeps one pending.
+        for idx in 0..3 {
+            q.push(0, idx);
+        }
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((0, 1)));
+        q.push(1, 0);
+        q.push(1, 1);
+        // Job 0 runs 2, job 1 runs 0 → job 1 dispatches first.
+        assert_eq!(q.pop(), Some((1, 0)));
+        // Both of job 0's running tasks finish while it still has a pending
+        // task: its index entry must move ahead of job 1 (1 running).
+        q.task_finished(0);
+        q.task_finished(0);
+        assert_eq!(q.pop(), Some((0, 2)));
+        assert_eq!(q.pop(), Some((1, 1)));
+    }
+
+    /// The pre-index implementation, verbatim: a `Vec` in first-enqueue
+    /// order, scanned per dispatch. Kept as the behavioral oracle for the
+    /// indexed rewrite.
+    struct ScanQueue {
+        policy: TaskSchedPolicy,
+        order: Vec<usize>,
+        pending: HashMap<usize, VecDeque<u32>>,
+        running: HashMap<usize, u32>,
+    }
+
+    impl ScanQueue {
+        fn new(policy: TaskSchedPolicy) -> Self {
+            ScanQueue {
+                policy,
+                order: Vec::new(),
+                pending: HashMap::new(),
+                running: HashMap::new(),
+            }
+        }
+
+        fn push(&mut self, job: usize, idx: u32) {
+            if !self.pending.contains_key(&job) {
+                self.order.push(job);
+            }
+            self.pending.entry(job).or_default().push_back(idx);
+        }
+
+        fn next_job(&self) -> Option<usize> {
+            match self.policy {
+                TaskSchedPolicy::Fifo => self.order.first().copied(),
+                TaskSchedPolicy::Fair => self
+                    .order
+                    .iter()
+                    .copied()
+                    .min_by_key(|j| self.running.get(j).copied().unwrap_or(0)),
+            }
+        }
+
+        fn pop(&mut self) -> Option<(usize, u32)> {
+            let job = self.next_job()?;
+            let q = self.pending.get_mut(&job).unwrap();
+            let idx = q.pop_front().unwrap();
+            if q.is_empty() {
+                self.pending.remove(&job);
+                self.order.retain(|&j| j != job);
+            }
+            *self.running.entry(job).or_insert(0) += 1;
+            Some((job, idx))
+        }
+
+        fn task_finished(&mut self, job: usize) {
+            if let Some(r) = self.running.get_mut(&job) {
+                *r = r.saturating_sub(1);
+                if *r == 0 {
+                    self.running.remove(&job);
+                }
+            }
+        }
+    }
+
+    /// Deterministic mixed op sequence: the indexed queue must agree with
+    /// the scan-based oracle on every dispatch, under both policies.
+    #[test]
+    fn indexed_queue_matches_scan_oracle() {
+        for policy in [TaskSchedPolicy::Fifo, TaskSchedPolicy::Fair] {
+            let mut q = TaskQueue::new(policy);
+            let mut oracle = ScanQueue::new(policy);
+            let mut rng = simcore::DetRng::seed_from_u64(0xD15_BA7C4);
+            let mut in_flight: Vec<usize> = Vec::new();
+            let mut next_idx: HashMap<usize, u32> = HashMap::new();
+            for _ in 0..4000 {
+                match rng.next_u64() % 5 {
+                    // Enqueue a task of a job drawn from a small id space so
+                    // drains and re-enqueues happen often.
+                    0 | 1 => {
+                        let job = (rng.next_u64() % 40) as usize;
+                        let idx = next_idx.entry(job).or_insert(0);
+                        q.push(job, *idx);
+                        oracle.push(job, *idx);
+                        *idx += 1;
+                    }
+                    2 | 3 => {
+                        assert_eq!(q.peek(), {
+                            let j = oracle.next_job();
+                            j.map(|j| (j, *oracle.pending[&j].front().unwrap()))
+                        });
+                        let got = q.pop();
+                        let want = oracle.pop();
+                        assert_eq!(got, want, "policy {policy:?} diverged");
+                        if let Some((job, _)) = got {
+                            in_flight.push(job);
+                        }
+                    }
+                    _ => {
+                        if !in_flight.is_empty() {
+                            let at = (rng.next_u64() as usize) % in_flight.len();
+                            let job = in_flight.swap_remove(at);
+                            q.task_finished(job);
+                            oracle.task_finished(job);
+                        }
+                    }
+                }
+                assert_eq!(q.len(), oracle.pending.values().map(|v| v.len()).sum());
+            }
+            // Drain both to the end.
+            loop {
+                let got = q.pop();
+                let want = oracle.pop();
+                assert_eq!(got, want, "policy {policy:?} diverged during drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

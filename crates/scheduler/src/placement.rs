@@ -352,8 +352,11 @@ impl AvailabilityAwareScheduler {
     }
 
     /// The discounted threshold applying to a ratio.
+    ///
+    /// Rounded to the nearest byte rather than truncated, so a zero penalty
+    /// passes the inner thresholds through exactly.
     pub fn threshold_for(&self, shuffle_input_ratio: f64) -> u64 {
-        (self.inner.threshold_for(shuffle_input_ratio) as f64 * (1.0 - self.penalty)) as u64
+        (self.inner.threshold_for(shuffle_input_ratio) as f64 * (1.0 - self.penalty)).round() as u64
     }
 }
 
@@ -487,6 +490,9 @@ mod tests {
         let base = CrossPointScheduler::default();
         let s = AvailabilityAwareScheduler::new(base.clone(), 0.0);
         for ratio in [0.0, 0.39, 0.4, 1.0, 1.6] {
+            // Exact passthrough, not merely same-placement: the discount
+            // rounds to the nearest byte instead of truncating.
+            assert_eq!(s.threshold_for(ratio), base.threshold_for(ratio));
             for size_gb in [1u64, 9, 10, 15, 16, 31, 32, 64] {
                 let j = job(ratio, size_gb * GB);
                 assert_eq!(

@@ -25,7 +25,7 @@
 
 use crate::ps::{FlowId, Generation};
 use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a resource within a [`FlowNetwork`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -50,6 +50,9 @@ struct NetFlow {
     started: SimTime,
     path: Vec<NetResourceId>,
     rate_cap: Option<f64>,
+    /// Rate as of the current membership epoch; only meaningful while
+    /// [`FlowNetwork::rates_fresh`] is set.
+    rate: f64,
 }
 
 /// One finished (or aborted) flow, as recorded by the opt-in flow log.
@@ -75,12 +78,27 @@ pub struct FlowLogEntry {
 }
 
 /// A set of shared resources and the composite flows crossing them.
+///
+/// Flows live in a `BTreeMap` keyed by [`FlowId`]: the fluid credit loop
+/// must accumulate `bytes_served` in FlowId order for byte-reproducible
+/// traces, and ordered storage makes that the natural iteration order
+/// instead of a per-advance collect-and-sort. Per-flow rates are cached per
+/// membership epoch (`rates_fresh`), and flows that cross the completion
+/// threshold are recorded in `done_buf` as they cross, so polling does not
+/// rescan the whole network.
 #[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
     resources: Vec<NetResource>,
-    flows: HashMap<FlowId, NetFlow>,
+    flows: BTreeMap<FlowId, NetFlow>,
     last_update: SimTime,
     generation: u64,
+    /// True while every `NetFlow::rate` reflects the current membership.
+    /// Cleared by any membership or capacity change.
+    rates_fresh: bool,
+    /// Flows whose `remaining` has crossed [`DONE_EPS_BYTES`] and which have
+    /// not yet been returned by [`Self::poll_completions`] (may contain ids
+    /// cancelled since they crossed).
+    done_buf: Vec<FlowId>,
     log_flows: bool,
     flow_log: Vec<FlowLogEntry>,
 }
@@ -142,6 +160,7 @@ impl FlowNetwork {
         );
         self.advance(now);
         self.resources[r.0 as usize].capacity = capacity;
+        self.rates_fresh = false;
         self.generation += 1;
         Generation(self.generation)
     }
@@ -210,32 +229,54 @@ impl FlowNetwork {
         }
     }
 
+    /// Recompute every flow's cached rate for the current membership. Called
+    /// lazily: at most once per membership epoch, by whichever of `advance`
+    /// or [`Self::next_completion_time`] needs rates first.
+    fn refresh_rates(&mut self) {
+        let resources = &self.resources;
+        for fl in self.flows.values_mut() {
+            let mut rate = fl.rate_cap.unwrap_or(f64::INFINITY);
+            for &r in &fl.path {
+                let res = &resources[r.0 as usize];
+                debug_assert!(res.active > 0);
+                rate = rate.min(res.capacity / res.active as f64);
+            }
+            fl.rate = if rate.is_finite() {
+                rate
+            } else {
+                // Pathless, uncapped flow: completes instantly (latency-only).
+                f64::MAX
+            };
+        }
+        self.rates_fresh = true;
+    }
+
     fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_update, "flow network time went backwards");
         let dt = now.since(self.last_update).as_secs_f64();
         if dt > 0.0 && !self.flows.is_empty() {
             // Rates are constant over (last_update, now]: membership changes
             // always advance first, and completions are event boundaries.
-            let mut rates: Vec<(FlowId, f64)> = self
-                .flows
-                .iter()
-                .map(|(&id, fl)| (id, self.rate_of(fl)))
-                .collect();
+            if !self.rates_fresh {
+                self.refresh_rates();
+            }
             // Accumulate in FlowId order: `bytes_served` sums floats across
-            // flows, so hash-order iteration would leak per-process ULP noise
-            // into otherwise byte-reproducible traces.
-            rates.sort_unstable_by_key(|&(id, _)| id);
-            for (id, rate) in rates {
-                let fl = self
-                    .flows
-                    .get_mut(&id)
-                    .expect("flow vanished during advance");
-                let credit = (rate * dt).min(fl.remaining);
+            // flows, so unordered iteration would leak per-process ULP noise
+            // into otherwise byte-reproducible traces. The BTreeMap iterates
+            // in exactly that order.
+            let resources = &mut self.resources;
+            let done_buf = &mut self.done_buf;
+            for (&id, fl) in self.flows.iter_mut() {
+                let was_done = fl.remaining <= DONE_EPS_BYTES;
+                let credit = (fl.rate * dt).min(fl.remaining);
                 fl.remaining -= credit;
                 // A composite flow moves its bytes through each device on the
                 // path, so each device serves the full credit.
                 for &r in &fl.path {
-                    self.resources[r.0 as usize].bytes_served += credit;
+                    resources[r.0 as usize].bytes_served += credit;
+                }
+                if !was_done && fl.remaining <= DONE_EPS_BYTES {
+                    done_buf.push(id);
                 }
             }
             let busy_dt = now.since(self.last_update);
@@ -279,6 +320,9 @@ impl FlowNetwork {
         } else {
             bytes
         };
+        if remaining <= DONE_EPS_BYTES {
+            self.done_buf.push(id);
+        }
         self.flows.insert(
             id,
             NetFlow {
@@ -287,8 +331,10 @@ impl FlowNetwork {
                 started: now,
                 path: path.to_vec(),
                 rate_cap,
+                rate: 0.0,
             },
         );
+        self.rates_fresh = false;
         self.generation += 1;
         Generation(self.generation)
     }
@@ -300,6 +346,7 @@ impl FlowNetwork {
         for &r in &flow.path {
             self.resources[r.0 as usize].active -= 1;
         }
+        self.rates_fresh = false;
         self.generation += 1;
         if self.log_flows {
             self.flow_log.push(FlowLogEntry {
@@ -316,12 +363,26 @@ impl FlowNetwork {
     /// Advance to `now` and remove+return all finished flows in FlowId order.
     pub fn poll_completions(&mut self, now: SimTime) -> Vec<FlowId> {
         self.advance(now);
-        let mut done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, fl)| fl.remaining <= DONE_EPS_BYTES)
-            .map(|(&id, _)| id)
+        if self.done_buf.is_empty() {
+            return Vec::new();
+        }
+        // `done_buf` holds every flow that has crossed the completion
+        // threshold since the previous poll; cancelled flows are filtered out
+        // (a flow's `remaining` never grows, so anything still present is
+        // still finished).
+        let mut done: Vec<FlowId> = std::mem::take(&mut self.done_buf)
+            .into_iter()
+            .filter(|id| self.flows.contains_key(id))
             .collect();
+        debug_assert!(
+            done.len()
+                == self
+                    .flows
+                    .values()
+                    .filter(|fl| fl.remaining <= DONE_EPS_BYTES)
+                    .count(),
+            "done buffer out of sync with flow residuals"
+        );
         if !done.is_empty() {
             done.sort_unstable();
             for id in &done {
@@ -339,6 +400,7 @@ impl FlowNetwork {
                     });
                 }
             }
+            self.rates_fresh = false;
             self.generation += 1;
         }
         done
@@ -346,14 +408,17 @@ impl FlowNetwork {
 
     /// Absolute time of the next completion assuming no membership changes,
     /// rounded up to a whole tick.
-    pub fn next_completion_time(&self, now: SimTime) -> Option<SimTime> {
+    pub fn next_completion_time(&mut self, now: SimTime) -> Option<SimTime> {
         if self.flows.is_empty() {
             return None;
+        }
+        if !self.rates_fresh {
+            self.refresh_rates();
         }
         let since = now.since(self.last_update).as_secs_f64();
         let mut min_secs = f64::INFINITY;
         for fl in self.flows.values() {
-            let rate = self.rate_of(fl);
+            let rate = fl.rate;
             if rate <= 0.0 {
                 continue;
             }

@@ -25,6 +25,8 @@
 //! residual rounding error is below one byte per completion.
 
 use crate::time::{SimDuration, SimTime, TICKS_PER_SEC};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Identifies one flow (an in-flight transfer) within the whole simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -45,12 +47,26 @@ struct Flow {
 }
 
 /// A processor-sharing server with optional per-flow rate cap.
+///
+/// All flows share one uniform rate, so within a membership epoch the flow
+/// with the least `remaining` stays the least — [`Self::next_completion_time`]
+/// exploits that with a min-heap of residuals snapshotted per generation,
+/// answering in O(1) after a single O(n) rebuild per epoch instead of
+/// rescanning every flow on every call.
 #[derive(Debug, Clone)]
 pub struct PsResource {
     name: String,
     capacity: f64,
     per_flow_cap: Option<f64>,
     flows: Vec<Flow>,
+    /// `FlowId` → position in `flows`, kept in lock-step through
+    /// `swap_remove`/`retain`, so arrival and cancellation are O(1).
+    index: HashMap<FlowId, usize>,
+    /// Min-heap over `(remaining bits, id)` snapshots; valid only while
+    /// `heap_gen == generation` (lazy rebuild on first query of an epoch).
+    deadline_heap: BinaryHeap<Reverse<(u64, FlowId)>>,
+    /// The membership epoch `deadline_heap` was built for.
+    heap_gen: u64,
     last_update: SimTime,
     generation: u64,
     /// Total bytes served since construction (for utilization accounting).
@@ -76,6 +92,9 @@ impl PsResource {
             capacity,
             per_flow_cap: None,
             flows: Vec::new(),
+            index: HashMap::new(),
+            deadline_heap: BinaryHeap::new(),
+            heap_gen: u64::MAX,
             last_update: SimTime::ZERO,
             generation: 0,
             bytes_served: 0.0,
@@ -175,10 +194,11 @@ impl PsResource {
         );
         self.advance(now);
         assert!(
-            !self.flows.iter().any(|f| f.id == id),
+            !self.index.contains_key(&id),
             "flow {id:?} already active on {}",
             self.name
         );
+        self.index.insert(id, self.flows.len());
         self.flows.push(Flow {
             id,
             remaining: bytes,
@@ -193,8 +213,11 @@ impl PsResource {
     /// Returns `None` if the flow is not active.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
         self.advance(now);
-        let idx = self.flows.iter().position(|f| f.id == id)?;
+        let idx = self.index.remove(&id)?;
         let flow = self.flows.swap_remove(idx);
+        if let Some(moved) = self.flows.get(idx) {
+            self.index.insert(moved.id, idx);
+        }
         self.generation += 1;
         Some(flow.remaining)
     }
@@ -211,6 +234,12 @@ impl PsResource {
             .collect();
         if !done.is_empty() {
             self.flows.retain(|f| f.remaining > DONE_EPS_BYTES);
+            self.index = self
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.id, i))
+                .collect();
             self.generation += 1;
             done.sort_unstable();
         }
@@ -219,21 +248,33 @@ impl PsResource {
 
     /// The absolute time at which the next flow (if any) will finish assuming
     /// no further membership changes, rounded up to a whole tick.
-    pub fn next_completion_time(&self, now: SimTime) -> Option<SimTime> {
+    ///
+    /// Every flow drains at the same uniform rate, so the flow with the
+    /// smallest residual at the start of a membership epoch stays smallest
+    /// for the epoch's whole lifetime: the per-generation heap snapshot
+    /// identifies the next completion without rescanning, and its deadline is
+    /// recomputed from the *current* residual so the answer is bit-identical
+    /// to a full scan.
+    pub fn next_completion_time(&mut self, now: SimTime) -> Option<SimTime> {
         debug_assert!(now >= self.last_update);
         let rate = self.rate_per_flow();
         if rate <= 0.0 {
             return None;
         }
-        let already = now.since(self.last_update).as_secs_f64() * rate;
-        let min_remaining = self
-            .flows
-            .iter()
-            .map(|f| (f.remaining - already).max(0.0))
-            .fold(f64::INFINITY, f64::min);
-        if !min_remaining.is_finite() {
-            return None;
+        if self.heap_gen != self.generation {
+            // Non-negative IEEE-754 doubles order identically to their bit
+            // patterns, so u64 keys avoid a float Ord wrapper.
+            self.deadline_heap = self
+                .flows
+                .iter()
+                .map(|f| Reverse((f.remaining.to_bits(), f.id)))
+                .collect();
+            self.heap_gen = self.generation;
         }
+        let &Reverse((_, id)) = self.deadline_heap.peek()?;
+        let nearest = &self.flows[self.index[&id]];
+        let already = now.since(self.last_update).as_secs_f64() * rate;
+        let min_remaining = (nearest.remaining - already).max(0.0);
         let secs = min_remaining / rate;
         let ticks = (secs * TICKS_PER_SEC as f64).ceil() as u64;
         Some(now + SimDuration(ticks))
@@ -349,7 +390,7 @@ mod tests {
 
     #[test]
     fn idle_resource_has_no_completion() {
-        let r = PsResource::new("disk", 100.0);
+        let mut r = PsResource::new("disk", 100.0);
         assert_eq!(r.next_completion_time(SimTime::ZERO), None);
         assert_eq!(r.rate_per_flow(), 0.0);
     }

@@ -132,44 +132,110 @@ fn sample_ratio(rng: &mut DetRng) -> f64 {
 
 /// Generate the trace: `jobs` [`JobSpec`]s sorted by submission time.
 ///
-/// Ids are assigned in arrival order starting at 0.
+/// Ids are assigned in arrival order starting at 0. This materializes the
+/// whole trace; for million-job replays prefer [`stream`], which yields the
+/// identical jobs one at a time.
 pub fn generate(cfg: &FacebookTraceConfig) -> Vec<JobSpec> {
+    stream(cfg).collect()
+}
+
+/// Lazily generate the trace of [`generate`]: the same jobs, in the same
+/// order, from the same RNG substreams, but drawn on demand so a million-job
+/// trace never needs a million [`JobSpec`]s in memory at once.
+///
+/// The iterator is [`ExactSizeIterator`]; [`TraceStream::next_chunk`] drains
+/// it a bounded window at a time for chunked pipelines.
+pub fn stream(cfg: &FacebookTraceConfig) -> TraceStream {
     assert!(cfg.jobs > 0, "empty trace requested");
     assert!(cfg.shrink_factor >= 1.0, "shrink factor must be ≥ 1");
-    let sizes = input_size_distribution();
-    let mut size_rng = substream(cfg.seed, 1);
-    let mut ratio_rng = substream(cfg.seed, 2);
-    let mut arrival_rng = substream(cfg.seed, 3);
-    let mean_interarrival = cfg.window.as_secs_f64() / cfg.jobs as f64;
+    TraceStream {
+        sizes: input_size_distribution(),
+        size_rng: substream(cfg.seed, 1),
+        ratio_rng: substream(cfg.seed, 2),
+        arrival_rng: substream(cfg.seed, 3),
+        burst_rng: substream(cfg.seed, 4),
+        bursts: cfg.bursts.clone(),
+        mean_interarrival: cfg.window.as_secs_f64() / cfg.jobs as f64,
+        shrink_factor: cfg.shrink_factor,
+        t: 0.0,
+        epoch_end: 0.0,
+        factor: 1.0,
+        produced: 0,
+        total: cfg.jobs,
+    }
+}
 
-    let mut t = 0.0f64;
-    let mut specs = Vec::with_capacity(cfg.jobs);
-    let mut burst_rng = substream(cfg.seed, 4);
-    let mut epoch_end = 0.0f64;
-    let mut factor = 1.0f64;
-    for i in 0..cfg.jobs {
+/// The lazy trace generator behind [`stream`]. Holds only the RNG substream
+/// cursors and the arrival-process state — O(1) memory regardless of trace
+/// length.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    sizes: PiecewiseLogCdf,
+    size_rng: DetRng,
+    ratio_rng: DetRng,
+    arrival_rng: DetRng,
+    burst_rng: DetRng,
+    bursts: Option<BurstModel>,
+    mean_interarrival: f64,
+    shrink_factor: f64,
+    t: f64,
+    epoch_end: f64,
+    factor: f64,
+    produced: usize,
+    total: usize,
+}
+
+impl TraceStream {
+    /// Jobs not yet drawn.
+    pub fn remaining(&self) -> usize {
+        self.total - self.produced
+    }
+
+    /// Draw up to `max` further jobs (fewer only at end of trace). The
+    /// returned window is the only materialized portion of the trace.
+    pub fn next_chunk(&mut self, max: usize) -> Vec<JobSpec> {
+        let n = max.min(self.remaining());
+        let mut chunk = Vec::with_capacity(n);
+        chunk.extend(self.by_ref().take(n));
+        chunk
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        if self.produced == self.total {
+            return None;
+        }
         // Advance through rate regimes; interarrivals scale inversely with
         // the current regime's rate factor.
-        if let Some(bursts) = &cfg.bursts {
-            while t >= epoch_end {
-                factor = bursts.sample_factor(&mut burst_rng);
-                epoch_end += bursts.epoch.as_secs_f64();
+        if let Some(bursts) = &self.bursts {
+            while self.t >= self.epoch_end {
+                self.factor = bursts.sample_factor(&mut self.burst_rng);
+                self.epoch_end += bursts.epoch.as_secs_f64();
             }
         }
-        t += exponential(&mut arrival_rng, mean_interarrival / factor);
-        let raw = sizes.sample(&mut size_rng);
-        let size = (raw / cfg.shrink_factor).max(1.0) as u64;
-        let ratio = sample_ratio(&mut ratio_rng);
-        let profile = apps::synthetic(ratio);
-        specs.push(JobSpec {
-            id: JobId(i as u32),
-            profile,
+        self.t += exponential(&mut self.arrival_rng, self.mean_interarrival / self.factor);
+        let raw = self.sizes.sample(&mut self.size_rng);
+        let size = (raw / self.shrink_factor).max(1.0) as u64;
+        let ratio = sample_ratio(&mut self.ratio_rng);
+        let id = JobId(self.produced as u32);
+        self.produced += 1;
+        Some(JobSpec {
+            id,
+            profile: apps::synthetic(ratio),
             input_size: size,
-            submit: SimTime::from_secs_f64(t),
-        });
+            submit: SimTime::from_secs_f64(self.t),
+        })
     }
-    specs
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
 }
+
+impl ExactSizeIterator for TraceStream {}
 
 /// Serialize a trace to JSON (one self-contained document, one job object
 /// per line). Floats are written in shortest-roundtrip form and submission
@@ -516,6 +582,45 @@ mod tests {
             .filter(|s| s.profile.shuffle_input_ratio > 1.0)
             .count();
         assert!(low > 1000 && mid > 500 && high > 200, "{low}/{mid}/{high}");
+    }
+
+    #[test]
+    fn chunked_stream_equals_materialized_trace() {
+        let cfg = FacebookTraceConfig {
+            jobs: 700,
+            ..Default::default()
+        };
+        let whole = generate(&cfg);
+        // Chunk sizes that do and do not divide the job count, including a
+        // degenerate 1-job window.
+        for chunk in [1usize, 64, 700, 1000] {
+            let mut s = stream(&cfg);
+            let mut rebuilt = Vec::new();
+            loop {
+                let got = s.next_chunk(chunk);
+                if got.is_empty() {
+                    break;
+                }
+                assert!(got.len() <= chunk);
+                rebuilt.extend(got);
+            }
+            assert_eq!(rebuilt, whole, "chunk size {chunk}");
+            assert_eq!(s.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_reports_exact_length() {
+        let cfg = FacebookTraceConfig {
+            jobs: 123,
+            ..Default::default()
+        };
+        let mut s = stream(&cfg);
+        assert_eq!(s.len(), 123);
+        s.next();
+        assert_eq!(s.len(), 122);
+        assert_eq!(s.next_chunk(50).len(), 50);
+        assert_eq!(s.remaining(), 72);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! Times a fixed set of simulator workloads and writes one
 //! `hybrid-hadoop-bench/v1` JSON report per suite (`BENCH_engine.json`,
-//! `BENCH_sweep.json`) for `bench_diff` to compare against the baselines
-//! committed under `crates/bench/baselines/`.
+//! `BENCH_sweep.json`, `BENCH_trace.json`) for `bench_diff` to compare
+//! against the baselines committed under `crates/bench/baselines/`.
 //!
 //! Each suite mixes wall-clock timings (unit `"s"`, machine-dependent) with
 //! simulated metrics (units `"sim_s"` / `"events"`) that are exact on any
@@ -13,7 +13,8 @@
 //! records it).
 
 use bench::profile::{BenchReport, Better};
-use hybrid_hadoop::hybrid_core::run_trace_with;
+use hybrid_hadoop::hybrid_core::{run_trace_streaming_with, run_trace_with};
+use hybrid_hadoop::mapreduce::TaskSchedPolicy;
 use hybrid_hadoop::prelude::*;
 
 fn observed_batch(sizes: &[u64]) -> TraceOutcome {
@@ -125,9 +126,79 @@ fn main() {
         Better::Lower,
     );
 
+    // --- trace suite: replay throughput under sustained backlog -----------
+    let mut trace_report = BenchReport::new(format!("trace-{mode}"));
+
+    // An arrival window of jobs/2 seconds overloads both sub-clusters for
+    // the whole replay, and Fair scheduling keeps every queued job in the
+    // dispatch path — the regime where per-dispatch scans used to make the
+    // replay quadratic in trace length.
+    let jobs = if quick { 3000 } else { 100_000 };
+    let cfg = FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 / 2),
+        ..Default::default()
+    };
+    let mut fair = DeploymentTuning::default();
+    fair.engine_up.task_sched = TaskSchedPolicy::Fair;
+    fair.engine_out.task_sched = TaskSchedPolicy::Fair;
+    let policy = CrossPointScheduler::default();
+    let trace = generate_facebook_trace(&cfg);
+    let replay_iters = if quick { 2 } else { 1 };
+    let wall = bench::bench("trace/replay", replay_iters, || {
+        run_trace_with(Architecture::Hybrid, &policy, &trace, &fair)
+    });
+    drop(trace);
+    trace_report.push("trace/replay_wall", wall, "s", Better::Lower);
+    trace_report.push(
+        "trace/replay_jobs_per_s",
+        jobs as f64 / wall,
+        "jobs/s",
+        Better::Higher,
+    );
+
+    // Streamed replay: the generator feeds the replay loop through a
+    // bounded window, so the peak count of materialized `JobSpec`s — the
+    // memory proxy — stays at the window size however long the trace is.
+    const WINDOW: usize = 1024;
+    let peak = std::cell::Cell::new(0usize);
+    let mut stream = hybrid_hadoop::workload::facebook::stream(&cfg);
+    let mut buf = std::collections::VecDeque::new();
+    let outcome = run_trace_streaming_with(
+        Architecture::Hybrid,
+        &policy,
+        std::iter::from_fn(|| {
+            if buf.is_empty() {
+                buf.extend(stream.next_chunk(WINDOW));
+                peak.set(peak.get().max(buf.len()));
+            }
+            buf.pop_front()
+        }),
+        &fair,
+    );
+    trace_report.push(
+        "trace/stream_peak_specs",
+        peak.get() as f64,
+        "specs",
+        Better::Lower,
+    );
+    trace_report.push(
+        "trace/replay_makespan",
+        outcome.makespan.as_secs_f64(),
+        "sim_s",
+        Better::Lower,
+    );
+    trace_report.push(
+        "trace/replay_completed",
+        outcome.results.len() as f64,
+        "jobs",
+        Better::Higher,
+    );
+
     for (file, report) in [
         ("BENCH_engine.json", &engine),
         ("BENCH_sweep.json", &sweep_report),
+        ("BENCH_trace.json", &trace_report),
     ] {
         let path = format!("{out_dir}/{file}");
         std::fs::write(&path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));

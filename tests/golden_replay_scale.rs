@@ -1,0 +1,115 @@
+//! Golden fingerprints for at-scale trace replay.
+//!
+//! The indexed dispatch structures (`TaskQueue`, `FlowNetwork`,
+//! `PsResource`) and the streaming trace generator promise *byte-identical*
+//! replays, not merely statistically similar ones. These tests pin an
+//! FNV-1a fingerprint of everything an outcome exposes — per-job results,
+//! class execution times at full f64 precision, the makespan, and (for the
+//! observed run) the Chrome trace export — so any optimization that
+//! perturbs event order, f64 accumulation order, or tie-breaking shows up
+//! as a changed constant, not as a silent drift.
+//!
+//! If a fingerprint changes *intentionally* (a semantic change to the
+//! engine), regenerate the constants with the replay below and say why in
+//! the commit message.
+
+use hybrid_hadoop::hybrid_core::{run_trace, run_trace_with};
+use hybrid_hadoop::prelude::*;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+/// Fingerprint every observable field of an outcome plus an optional
+/// Chrome-trace export.
+fn fingerprint(out: &TraceOutcome, chrome: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_u64(&mut h, out.results.len() as u64);
+    for r in &out.results {
+        fnv_u64(&mut h, r.id.0 as u64);
+        fnv(&mut h, r.app.as_bytes());
+        fnv_u64(&mut h, r.input_size);
+        fnv_u64(&mut h, r.cluster as u64);
+        fnv(&mut h, r.cluster_name.as_bytes());
+        fnv_u64(&mut h, r.submit.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.end.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.execution.0);
+        fnv_u64(&mut h, r.map_phase.0);
+        fnv_u64(&mut h, r.shuffle_phase.0);
+        fnv_u64(&mut h, r.reduce_phase.0);
+        fnv_u64(&mut h, r.maps as u64);
+        fnv_u64(&mut h, r.reduces as u64);
+        fnv_u64(&mut h, r.map_waves as u64);
+        fnv_u64(&mut h, r.data_local_maps as u64);
+        match &r.failed {
+            None => fnv_u64(&mut h, 0),
+            Some(msg) => {
+                fnv_u64(&mut h, 1);
+                fnv(&mut h, msg.as_bytes());
+            }
+        }
+    }
+    for v in &out.up_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    for v in &out.out_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    fnv_u64(&mut h, out.makespan.0);
+    fnv(&mut h, chrome.as_bytes());
+    h
+}
+
+fn replay_cfg(jobs: usize) -> FacebookTraceConfig {
+    FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 * 12),
+        ..Default::default()
+    }
+}
+
+/// The headline guarantee of the indexed hot paths: a fixed-seed 10k-job
+/// hybrid replay is byte-identical to the pre-optimization engine (this
+/// constant was recorded against the linear-scan implementation).
+#[test]
+fn fixed_seed_10k_replay_is_byte_identical() {
+    let trace = generate_facebook_trace(&replay_cfg(10_000));
+    let out = run_trace(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+    );
+    assert_eq!(out.results.len(), 10_000);
+    assert_eq!(fingerprint(&out, ""), 0x1e9c_66c1_7625_167b);
+}
+
+/// Same pin for an observed 1k-job replay, including the full Chrome
+/// `trace_event` export: observability must neither perturb the simulation
+/// nor emit different bytes.
+#[test]
+fn fixed_seed_1k_observed_replay_is_byte_identical() {
+    let trace = generate_facebook_trace(&replay_cfg(1000));
+    let policy = CrossPointScheduler::default();
+    let plain = run_trace(Architecture::Hybrid, &policy, &trace);
+    assert_eq!(fingerprint(&plain, ""), 0xa57b_9d38_8dad_12ee);
+
+    let tuning = DeploymentTuning {
+        observe: true,
+        ..Default::default()
+    };
+    let observed = run_trace_with(Architecture::Hybrid, &policy, &trace, &tuning);
+    assert_eq!(observed.results, plain.results);
+    let chrome = observed
+        .recorder
+        .as_deref()
+        .expect("observed run records a trace")
+        .chrome_trace();
+    assert_eq!(fingerprint(&observed, &chrome), 0x1b96_82fe_17d3_2ae1);
+}
