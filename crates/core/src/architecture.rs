@@ -186,6 +186,9 @@ impl Deployment {
         if tuning.observe {
             sim.enable_observability();
         }
+        if let Some(cfg) = &tuning.telemetry {
+            sim.attach_sink(Box::new(obs::OnlineAggregator::new(cfg.clone())));
+        }
         Deployment {
             sim,
             arch,
@@ -250,6 +253,13 @@ pub struct DeploymentTuning {
     /// results — traces are keyed on [`simcore::SimTime`], so two runs of
     /// the same spec and seed produce byte-identical exports.
     pub observe: bool,
+    /// Stream the same event feed into a bounded-memory
+    /// [`obs::OnlineAggregator`] (utilization timelines, latency histograms,
+    /// fault counters, placement audit, critical-path attribution). Unlike
+    /// `observe`, memory stays O(buckets) regardless of job count, so this
+    /// is the measurement path for million-job replays. Composable with
+    /// `observe`: both sinks can run side by side.
+    pub telemetry: Option<obs::TelemetryConfig>,
 }
 
 impl Default for DeploymentTuning {
@@ -264,6 +274,7 @@ impl Default for DeploymentTuning {
             storage_override: None,
             fault: FaultPlan::empty(),
             observe: false,
+            telemetry: None,
         }
     }
 }

@@ -40,6 +40,11 @@ pub struct TraceOutcome {
     /// annotations ready for [`obs::chrome`] export or
     /// [`obs::breakdown::PhaseBreakdown`].
     pub recorder: Option<Box<obs::Recorder>>,
+    /// The streaming aggregator, when the replay ran with
+    /// [`DeploymentTuning::telemetry`] set — bounded-memory utilization
+    /// timelines, latency histograms, fault counters, placement audit, and
+    /// critical-path attribution, ready for Prometheus/JSON exposition.
+    pub telemetry: Option<Box<obs::OnlineAggregator>>,
 }
 
 impl TraceOutcome {
@@ -83,10 +88,10 @@ fn backlog_drain_rates(arch: Architecture, tuning: &DeploymentTuning) -> (f64, f
     (up_slots.max(1.0), out_slots.max(1.0))
 }
 
-/// Annotate the recorder with one placement decision: which band fired,
-/// against which cross point, what the alternative would have been, and the
-/// backlog snapshot the policy saw. Only called when observability is on, so
-/// it never perturbs an unobserved replay.
+/// Annotate every attached telemetry sink with one placement decision: which
+/// band fired, against which cross point, what the alternative would have
+/// been, and the backlog snapshot the policy saw. Only called when a sink is
+/// attached, so it never perturbs an unobserved replay.
 fn record_placement(
     deployment: &mut Deployment,
     policy: &dyn JobPlacement,
@@ -113,16 +118,14 @@ fn record_placement(
         Placement::ScaleUp => "place:scale-up",
         Placement::ScaleOut => "place:scale-out",
     };
-    if let Some(rec) = deployment.sim.observability_mut() {
-        rec.instant(
-            "placement",
-            name,
-            obs::lanes::JOBS,
-            spec.id.0,
-            spec.submit,
-            args,
-        );
-    }
+    deployment.sim.annotate_instant(
+        "placement",
+        name,
+        obs::lanes::JOBS,
+        spec.id.0,
+        spec.submit,
+        args,
+    );
 }
 
 /// Replay `trace` on `arch` routing via `policy`, classifying jobs with the
@@ -181,7 +184,7 @@ where
         loads.out_outstanding = (loads.out_outstanding - dt * out_drain).max(0.0);
 
         let placement = policy.place(&spec, &loads);
-        if deployment.sim.observability().is_some() {
+        if deployment.sim.telemetry_active() {
             record_placement(&mut deployment, policy, &spec, &loads);
         }
         match placement {
@@ -194,6 +197,7 @@ where
 
     let results = deployment.sim.run().to_vec();
     let recorder = deployment.sim.take_observability();
+    let telemetry = deployment.sim.take_sink::<obs::OnlineAggregator>();
     let fault_stats = deployment.sim.fault_stats().clone();
     let makespan = results
         .iter()
@@ -223,6 +227,7 @@ where
         makespan,
         fault_stats,
         recorder,
+        telemetry,
     }
 }
 

@@ -1,6 +1,53 @@
 //! Replay an FB-2009 slice under increasing fault intensity (Hybrid vs
 //! THadoop vs RHadoop).
+//!
+//! Flags (all optional, combinable):
+//!
+//! - `--out-dir <dir>` — write the observed phase-breakdown table as
+//!   `fault_sweep_breakdown.csv` in `<dir>`, next to the rendered text.
+//! - `--metrics-out <path>` — stream the observed faulted run through the
+//!   bounded-memory [`obs::OnlineAggregator`] and write its Prometheus text
+//!   exposition to `<path>` plus a JSON snapshot beside it (fault and
+//!   re-replication counters, per-band critical-path blame).
+//! - `--trace-out <path>` — export the observed faulted run as a Chrome
+//!   `trace_event` JSON. The `TRACE_OUT` env var still works as a
+//!   deprecated fallback.
+
+use experiments::common::{flag_value, trace_out_path, write_csv, write_metrics};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     print!("{}", experiments::figures::fault_sweep());
+
+    let trace_out = trace_out_path(&args);
+    let out_dir = flag_value(&args, "--out-dir");
+    let metrics_out = flag_value(&args, "--metrics-out");
+    if trace_out.is_none() && out_dir.is_none() && metrics_out.is_none() {
+        return;
+    }
+    let outcome = experiments::figures::fault_sweep_observed(metrics_out.is_some());
+    if let Some(path) = trace_out {
+        let rec = outcome
+            .recorder
+            .as_deref()
+            .expect("observed run records a trace");
+        std::fs::write(&path, rec.chrome_trace())
+            .unwrap_or_else(|e| panic!("writing --trace-out {path}: {e}"));
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(dir) = out_dir {
+        let rec = outcome
+            .recorder
+            .as_deref()
+            .expect("observed run records a trace");
+        let breakdown = obs::breakdown::PhaseBreakdown::from_recorder(rec);
+        write_csv(&dir, "fault_sweep_breakdown.csv", &breakdown.to_csv());
+    }
+    if let Some(path) = metrics_out {
+        let agg = outcome
+            .telemetry
+            .as_deref()
+            .expect("telemetry was requested");
+        write_metrics(agg, &path);
+    }
 }

@@ -1,41 +1,78 @@
 //! Regenerate the paper's Fig5 data series.
 //!
-//! Set `TRACE_OUT=<path>` to additionally export the observed Wordcount
-//! batch as a Chrome `trace_event` JSON (open in `chrome://tracing` or
-//! Perfetto). The export is deterministic: same build, same bytes.
+//! Flags (all optional, combinable):
 //!
-//! Pass `--jobs N` to instead replay an N-job FB-2009 synthesis on the
-//! hybrid architecture through the streaming trace generator — the
-//! million-job scale check (`--jobs 1000000`). The arrival window scales
-//! with N so per-slot pressure matches the paper's 6000-job/8-hour replay.
+//! - `--jobs N` — instead of the figure, replay an N-job FB-2009 synthesis
+//!   on the hybrid architecture through the streaming trace generator —
+//!   the million-job scale check (`--jobs 1000000`). The arrival window
+//!   scales with N so per-slot pressure matches the paper's
+//!   6000-job/8-hour replay.
+//! - `--metrics-out <path>` — stream the run through the bounded-memory
+//!   [`obs::OnlineAggregator`] and write its Prometheus text exposition to
+//!   `<path>` plus a JSON snapshot beside it. Deterministic: same build,
+//!   same seed, same bytes.
+//! - `--trace-out <path>` — export the observed Wordcount batch as a
+//!   Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+//!   The `TRACE_OUT` env var still works as a deprecated fallback.
+//! - `--out-dir <dir>` — write the phase-breakdown table as
+//!   `fig5_breakdown.csv` in `<dir>`, next to the rendered text.
+
+use experiments::common::{flag_value, trace_out_path, write_csv, write_metrics};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let metrics_out = flag_value(&args, "--metrics-out");
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         let jobs: usize = args
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| {
-                eprintln!("usage: fig5 [--jobs N]");
+                eprintln!("usage: fig5 [--jobs N] [--metrics-out PATH] [--trace-out PATH] [--out-dir DIR]");
                 std::process::exit(2);
             });
-        replay_at_scale(jobs);
+        replay_at_scale(jobs, metrics_out.as_deref());
         return;
     }
     print!("{}", experiments::figures::fig5());
-    if let Ok(path) = std::env::var("TRACE_OUT") {
-        let outcome = experiments::figures::fig5_observed();
-        let rec = outcome.recorder.expect("observed run records a trace");
+
+    let trace_out = trace_out_path(&args);
+    let out_dir = flag_value(&args, "--out-dir");
+    if trace_out.is_none() && out_dir.is_none() && metrics_out.is_none() {
+        return;
+    }
+    // One shared observed run serves every export flag.
+    let outcome = experiments::figures::fig5_observed_with(metrics_out.is_some());
+    if let Some(path) = trace_out {
+        let rec = outcome
+            .recorder
+            .as_deref()
+            .expect("observed run records a trace");
         std::fs::write(&path, rec.chrome_trace())
-            .unwrap_or_else(|e| panic!("writing TRACE_OUT={path}: {e}"));
+            .unwrap_or_else(|e| panic!("writing --trace-out {path}: {e}"));
         eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(dir) = out_dir {
+        let rec = outcome
+            .recorder
+            .as_deref()
+            .expect("observed run records a trace");
+        let breakdown = obs::breakdown::PhaseBreakdown::from_recorder(rec);
+        write_csv(&dir, "fig5_breakdown.csv", &breakdown.to_csv());
+    }
+    if let Some(path) = metrics_out {
+        let agg = outcome
+            .telemetry
+            .as_deref()
+            .expect("telemetry was requested");
+        write_metrics(agg, &path);
     }
 }
 
 /// Replay `jobs` synthesized FB-2009 jobs on Hybrid without ever holding the
 /// full trace in memory: the generator streams one `JobSpec` at a time into
-/// the replay loop.
-fn replay_at_scale(jobs: usize) {
+/// the replay loop, and measurement (when requested) streams through the
+/// bounded-memory aggregator rather than buffering spans.
+fn replay_at_scale(jobs: usize, metrics_out: Option<&str>) {
     use hybrid_core::{run_trace_streaming_with, Architecture, DeploymentTuning};
     use scheduler::CrossPointScheduler;
     use workload::FacebookTraceConfig;
@@ -48,13 +85,17 @@ fn replay_at_scale(jobs: usize) {
         window: simcore::SimDuration::from_secs_f64(4.8 * jobs as f64),
         ..Default::default()
     };
+    let tuning = DeploymentTuning {
+        telemetry: metrics_out.map(|_| obs::TelemetryConfig::default()),
+        ..Default::default()
+    };
     eprintln!("replaying {jobs} jobs (streaming generator, hybrid architecture)...");
     let start = std::time::Instant::now();
     let out = run_trace_streaming_with(
         Architecture::Hybrid,
         &CrossPointScheduler::default(),
         workload::facebook::stream(&cfg),
-        &DeploymentTuning::default(),
+        &tuning,
     );
     let wall = start.elapsed().as_secs_f64();
     println!("jobs:        {}", out.results.len());
@@ -72,4 +113,16 @@ fn replay_at_scale(jobs: usize) {
         "wall:        {wall:.2} s ({:.0} jobs/s)",
         jobs as f64 / wall
     );
+    if let Some(path) = metrics_out {
+        let agg = out.telemetry.as_deref().expect("telemetry was requested");
+        let fp = agg.footprint();
+        println!(
+            "telemetry:   {} events folded into {} tracks x {} buckets + {} histograms",
+            agg.events_seen(),
+            fp.timeline_tracks,
+            fp.timeline_buckets,
+            fp.latency_label_sets,
+        );
+        write_metrics(agg, path);
+    }
 }

@@ -30,6 +30,58 @@ pub fn series_table(title: &str, unit: &str, sizes: &[u64], series: &[Series]) -
     )
 }
 
+/// Value of `--flag <value>` in a raw argv slice, if the flag is present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Resolve the Chrome-trace output path: the `--trace-out` flag, falling
+/// back to the deprecated `TRACE_OUT` env var (with a warning) so existing
+/// invocations keep working one more release.
+pub fn trace_out_path(args: &[String]) -> Option<String> {
+    if let Some(path) = flag_value(args, "--trace-out") {
+        return Some(path);
+    }
+    if let Ok(path) = std::env::var("TRACE_OUT") {
+        eprintln!("warning: TRACE_OUT is deprecated; use --trace-out {path}");
+        return Some(path);
+    }
+    None
+}
+
+/// Write an aggregator's exposition pair: Prometheus text at `path` and the
+/// JSON snapshot beside it (`metrics.prom` → `metrics.json`).
+pub fn write_metrics(agg: &obs::OnlineAggregator, path: &str) {
+    std::fs::write(path, agg.render_prometheus())
+        .unwrap_or_else(|e| panic!("writing --metrics-out {path}: {e}"));
+    let json_path = json_sibling(path);
+    std::fs::write(&json_path, agg.render_json())
+        .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    eprintln!("wrote telemetry to {path} and {json_path}");
+}
+
+/// Sibling JSON path for a Prometheus exposition path: the extension is
+/// replaced with `.json`, or appended when the path has none (or is already
+/// `.json`, to avoid clobbering the text file).
+pub fn json_sibling(path: &str) -> String {
+    let p = std::path::Path::new(path);
+    match p.extension() {
+        Some(ext) if ext != "json" => p.with_extension("json").to_string_lossy().into_owned(),
+        _ => format!("{path}.json"),
+    }
+}
+
+/// Write `csv` into `dir` (created if absent) as `name`, for the
+/// machine-readable twin of a rendered table.
+pub fn write_csv(dir: &str, name: &str, csv: &str) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating --out-dir {dir}: {e}"));
+    let path = std::path::Path::new(dir).join(name);
+    std::fs::write(&path, csv).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
 /// Compact per-architecture describe line used by the calibration probe.
 pub fn describe(arch: Architecture, r: &JobResult) -> String {
     if let Some(f) = &r.failed {

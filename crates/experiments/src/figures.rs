@@ -130,12 +130,18 @@ pub fn fig5() -> String {
 }
 
 /// The deterministic observed run backing the fig5 phase-breakdown table and
-/// the `TRACE_OUT` Chrome export: a Wordcount batch spanning the paper's
+/// the `--trace-out` Chrome export: a Wordcount batch spanning the paper's
 /// 32 GB cross point, replayed on the hybrid architecture with the
 /// observability layer on. Staggered arrivals keep the jobs distinguishable
 /// on the timeline; the run is a pure function of this fixed spec, so two
 /// invocations export byte-identical traces.
 pub fn fig5_observed() -> hybrid_core::TraceOutcome {
+    fig5_observed_with(false)
+}
+
+/// [`fig5_observed`] with an optional streaming [`obs::OnlineAggregator`]
+/// attached alongside the recorder (for `--metrics-out`).
+pub fn fig5_observed_with(telemetry: bool) -> hybrid_core::TraceOutcome {
     use hybrid_core::{run_trace_with, DeploymentTuning};
     use mapreduce::JobSpec;
     let sizes: [u64; 6] = [GB / 2, 2 * GB, 8 * GB, 16 * GB, 32 * GB, 64 * GB];
@@ -150,6 +156,7 @@ pub fn fig5_observed() -> hybrid_core::TraceOutcome {
         .collect();
     let tuning = DeploymentTuning {
         observe: true,
+        telemetry: telemetry.then(obs::TelemetryConfig::default),
         ..Default::default()
     };
     run_trace_with(
@@ -169,7 +176,7 @@ fn fig5_breakdown() -> String {
     let breakdown = obs::breakdown::PhaseBreakdown::from_recorder(rec);
     format!(
         "### (e) observed per-job phase breakdown — Wordcount batch on Hybrid\n\n{}\n{}\n\n\
-         Set `TRACE_OUT=<path>` on the `fig5` binary to export this run as a\n\
+         Pass `--trace-out <path>` to the `fig5` binary to export this run as a\n\
          Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).\n",
         breakdown.render(),
         breakdown.summary()
@@ -470,16 +477,17 @@ pub fn fault_sweep() -> String {
     )
 }
 
-/// Observed per-job phase breakdown of a small faulted slice on the hybrid
-/// architecture: how injected crashes and stragglers show up as stretched
-/// phases and io-wait, job by job.
-fn fault_sweep_breakdown() -> String {
+/// The deterministic faulted run backing the fault-sweep breakdown table:
+/// a 20-job FB-2009 slice on Hybrid at fault intensity 5 with speculative
+/// execution on, recorded by the buffering recorder (and, when `telemetry`
+/// is set, streamed through an [`obs::OnlineAggregator`] for
+/// `--metrics-out`).
+pub fn fault_sweep_observed(telemetry: bool) -> hybrid_core::TraceOutcome {
     use hybrid_core::DeploymentTuning;
     use simcore::fault::{FaultPlan, FaultRates};
 
-    let jobs = 20;
     let trace = generate_facebook_trace(&FacebookTraceConfig {
-        jobs,
+        jobs: 20,
         window: simcore::SimDuration::from_secs(240),
         ..Default::default()
     });
@@ -499,16 +507,25 @@ fn fault_sweep_breakdown() -> String {
     let mut tuning = DeploymentTuning {
         fault: plan,
         observe: true,
+        telemetry: telemetry.then(obs::TelemetryConfig::default),
         ..Default::default()
     };
     tuning.engine_up.speculative_execution = true;
     tuning.engine_out.speculative_execution = true;
-    let outcome = hybrid_core::run_trace_with(
+    hybrid_core::run_trace_with(
         Architecture::Hybrid,
         &CrossPointScheduler::default(),
         &trace,
         &tuning,
-    );
+    )
+}
+
+/// Observed per-job phase breakdown of a small faulted slice on the hybrid
+/// architecture: how injected crashes and stragglers show up as stretched
+/// phases and io-wait, job by job.
+fn fault_sweep_breakdown() -> String {
+    let jobs = 20;
+    let outcome = fault_sweep_observed(false);
     let rec = outcome
         .recorder
         .as_deref()

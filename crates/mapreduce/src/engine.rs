@@ -34,7 +34,7 @@ use crate::config::EngineConfig;
 use crate::job::{JobId, JobResult, JobSpec};
 use crate::queue::TaskQueue;
 use cluster::BuiltCluster;
-use obs::{ArgValue, Recorder};
+use obs::{ArgValue, Recorder, TelemetrySink};
 use simcore::fault::{FaultPlan, NodeFaultKind, ServerFaultKind};
 use simcore::rng::DetRng;
 use simcore::{EventQueue, FlowId, FlowNetwork, NetResourceId, SimDuration, SimTime};
@@ -176,6 +176,9 @@ struct JobState {
     first_map_start: Option<SimTime>,
     last_map_end: SimTime,
     last_fetch_done: SimTime,
+    /// Total IO-wait across this job's completed task attempts, surfaced on
+    /// the job span so streaming sinks can attribute blocked time per job.
+    io_wait_total: SimDuration,
     map_start_times: Vec<SimTime>,
     maps_by_node: Vec<u32>,
     map_tasks: Vec<Option<Task>>,
@@ -292,11 +295,20 @@ pub struct Simulation {
     /// scheduling begins — degradation scales from the rated value.
     server_resources: Vec<(NetResourceId, f64)>,
     stats: FaultStats,
-    /// Structured trace recorder (see [`Simulation::enable_observability`]).
-    /// `None` means every instrumentation site is a single skipped branch.
-    obs: Option<Box<Recorder>>,
-    /// Flow labels for in-flight flows, populated only while observability
-    /// is on: `(kind, owning job id)` — `None` job for background traffic.
+    /// Attached telemetry sinks (see [`Simulation::attach_sink`]). Empty
+    /// means every instrumentation site is a single skipped branch and the
+    /// simulation allocates nothing for telemetry.
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    /// Cached `sinks.iter().any(wants_flows)` — whether per-flow labels and
+    /// network flow logging are maintained.
+    log_flows: bool,
+    /// Cached `sinks.iter().any(wants_tasks)` — per-task-attempt spans are
+    /// the hottest emission site, so the name formatting is skipped when no
+    /// sink consumes them.
+    log_tasks: bool,
+    /// Flow labels for in-flight flows, populated only while a flow-hungry
+    /// sink is attached: `(kind, owning job id)` — `None` for background
+    /// traffic.
     flow_meta: HashMap<FlowId, (FlowKind, Option<u32>)>,
 }
 
@@ -359,46 +371,127 @@ impl Simulation {
             background_flows: HashSet::new(),
             server_resources: Vec::new(),
             stats: FaultStats::default(),
-            obs: None,
+            sinks: Vec::new(),
+            log_flows: false,
+            log_tasks: false,
             flow_meta: HashMap::new(),
         }
     }
 
-    /// Turn on structured tracing: job/phase/task spans, flow spans, fault
-    /// markers and scheduler counters accumulate in an [`obs::Recorder`].
+    /// Attach a telemetry sink: from now on every job/phase/task span, flow
+    /// span, fault marker, and scheduler counter the engine emits is
+    /// broadcast to it (alongside any sinks already attached). The new sink
+    /// is immediately told the cluster lane names.
     ///
-    /// The recorder is strictly passive — it draws no randomness, pushes no
-    /// events and never feeds back into scheduling — so results are bitwise
-    /// identical with observability on or off.
+    /// Sinks are strictly passive — they draw no randomness, push no events
+    /// and never feed back into scheduling — so results are bitwise
+    /// identical with any combination of sinks attached.
+    pub fn attach_sink(&mut self, mut sink: Box<dyn TelemetrySink>) {
+        for (i, c) in self.clusters.iter().enumerate() {
+            sink.name_process(i as u32, &format!("cluster/{}", c.built.name));
+        }
+        sink.name_process(obs::lanes::JOBS, "jobs");
+        sink.name_process(obs::lanes::FLOWS, "flows");
+        sink.name_process(obs::lanes::STORAGE, "storage-servers");
+        self.sinks.push(sink);
+        self.refresh_flow_logging();
+    }
+
+    /// Whether any sink is attached (the emission-site fast-path check).
+    pub fn telemetry_active(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Turn on structured tracing into a buffering [`obs::Recorder`]
+    /// (attached as one [`TelemetrySink`]; no-op if one is already there).
     pub fn enable_observability(&mut self) {
-        if self.obs.is_some() {
+        if self.observability().is_some() {
             return;
         }
-        let mut rec = Recorder::new();
-        for (i, c) in self.clusters.iter().enumerate() {
-            rec.name_process(i as u32, format!("cluster/{}", c.built.name));
-        }
-        rec.name_process(obs::lanes::JOBS, "jobs");
-        rec.name_process(obs::lanes::FLOWS, "flows");
-        rec.name_process(obs::lanes::STORAGE, "storage-servers");
-        self.obs = Some(Box::new(rec));
-        self.net.set_flow_logging(true);
+        self.attach_sink(Box::new(Recorder::new()));
     }
 
-    /// The recorder, if observability is on.
+    /// The recorder, if one is attached.
     pub fn observability(&self) -> Option<&Recorder> {
-        self.obs.as_deref()
+        self.sinks
+            .iter()
+            .find_map(|s| s.as_any().downcast_ref::<Recorder>())
     }
 
-    /// Mutable access to the recorder, if observability is on.
+    /// Mutable access to the recorder, if one is attached.
     pub fn observability_mut(&mut self) -> Option<&mut Recorder> {
-        self.obs.as_deref_mut()
+        self.sinks
+            .iter_mut()
+            .find_map(|s| s.as_any_mut().downcast_mut::<Recorder>())
     }
 
-    /// Detach and return the recorder, turning observability off.
+    /// Detach and return the recorder sink, if one is attached.
     pub fn take_observability(&mut self) -> Option<Box<Recorder>> {
-        self.net.set_flow_logging(false);
-        self.obs.take()
+        self.take_sink::<Recorder>()
+    }
+
+    /// Detach and return the first attached sink of concrete type `T`.
+    pub fn take_sink<T: TelemetrySink>(&mut self) -> Option<Box<T>> {
+        let pos = self.sinks.iter().position(|s| s.as_any().is::<T>())?;
+        let sink = self.sinks.remove(pos);
+        let sink = sink
+            .into_any()
+            .downcast::<T>()
+            .expect("position found by type check");
+        self.refresh_flow_logging();
+        Some(sink)
+    }
+
+    fn refresh_flow_logging(&mut self) {
+        self.log_flows = self.sinks.iter().any(|s| s.wants_flows());
+        self.log_tasks = self.sinks.iter().any(|s| s.wants_tasks());
+        self.net.set_flow_logging(self.log_flows);
+    }
+
+    /// Broadcast one span to every sink.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_span(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        start: SimTime,
+        end: SimTime,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        for s in &mut self.sinks {
+            s.span(cat, name, pid, tid, start, end, &args);
+        }
+    }
+
+    /// Broadcast one instant marker to every sink.
+    fn emit_instant(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        ts: SimTime,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        for s in &mut self.sinks {
+            s.instant(cat, name, pid, tid, ts, &args);
+        }
+    }
+
+    /// Broadcast one instant marker to every sink (public for replay-level
+    /// annotations such as placement decisions).
+    pub fn annotate_instant(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        ts: SimTime,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.emit_instant(cat, name, pid, tid, ts, args);
     }
 
     /// Reseed the failure-injection RNG (the default seed is fixed, so two
@@ -458,6 +551,7 @@ impl Simulation {
             first_map_start: None,
             last_map_end: SimTime::ZERO,
             last_fetch_done: SimTime::ZERO,
+            io_wait_total: SimDuration::ZERO,
             map_start_times: Vec::new(),
             maps_by_node: vec![0; nodes],
             map_tasks: Vec::new(),
@@ -507,6 +601,10 @@ impl Simulation {
             "event queue drained with unfinished jobs"
         );
         self.obs_resource_summary();
+        let end = self.queue.now();
+        for s in &mut self.sinks {
+            s.finish(end);
+        }
         &self.results
     }
 
@@ -778,13 +876,14 @@ impl Simulation {
         self.clusters[cluster].node_down[node] = true;
         self.clusters[cluster].free_map[node] = 0;
         self.clusters[cluster].free_reduce[node] = 0;
-        if let Some(obs) = self.obs.as_deref_mut() {
-            obs.instant(
+        if self.telemetry_active() {
+            let now = self.queue.now();
+            self.emit_instant(
                 "fault",
                 "node_crash",
                 cluster as u32,
                 node as u32,
-                self.queue.now(),
+                now,
                 vec![("node", ArgValue::U64(node as u64))],
             );
         }
@@ -809,13 +908,14 @@ impl Simulation {
         };
         self.clusters[cluster].free_map[node] = map_slots;
         self.clusters[cluster].free_reduce[node] = reduce_slots;
-        if let Some(obs) = self.obs.as_deref_mut() {
-            obs.instant(
+        if self.telemetry_active() {
+            let now = self.queue.now();
+            self.emit_instant(
                 "fault",
                 "node_recover",
                 cluster as u32,
                 node as u32,
-                self.queue.now(),
+                now,
                 vec![("node", ArgValue::U64(node as u64))],
             );
         }
@@ -835,8 +935,8 @@ impl Simulation {
                 self.stats.server_degradations += 1;
                 self.net
                     .set_resource_capacity(now, res, (rated * factor).max(1.0));
-                if let Some(obs) = self.obs.as_deref_mut() {
-                    obs.instant(
+                if self.telemetry_active() {
+                    self.emit_instant(
                         "fault",
                         "server_degrade",
                         obs::lanes::STORAGE,
@@ -848,8 +948,8 @@ impl Simulation {
             }
             ServerFaultKind::Restore => {
                 self.net.set_resource_capacity(now, res, rated);
-                if let Some(obs) = self.obs.as_deref_mut() {
-                    obs.instant(
+                if self.telemetry_active() {
+                    self.emit_instant(
                         "fault",
                         "server_restore",
                         obs::lanes::STORAGE,
@@ -918,17 +1018,29 @@ impl Simulation {
     fn launch_background(&mut self, plan: IoPlan) {
         let now = self.queue.now();
         let kind = FlowKind::from_io(plan.kind);
+        let mut plan_bytes = 0.0;
         for stage in plan.stages {
             for t in stage.transfers {
                 self.stats.rereplicated_bytes += t.bytes;
+                plan_bytes += t.bytes;
                 let fid = FlowId(self.next_flow);
                 self.next_flow += 1;
                 self.net.add_flow(now, fid, t.bytes, &t.path, t.rate_cap);
                 self.background_flows.insert(fid);
-                if self.obs.is_some() {
+                if self.log_flows {
                     self.flow_meta.insert(fid, (kind, None));
                 }
             }
+        }
+        if self.telemetry_active() {
+            self.emit_instant(
+                "fault",
+                "re_replicate",
+                obs::lanes::STORAGE,
+                0,
+                now,
+                vec![("bytes", ArgValue::F64(plan_bytes))],
+            );
         }
         self.schedule_net_poll();
     }
@@ -992,12 +1104,13 @@ impl Simulation {
                     TaskKind::Reduce => self.jobs[j].reduce_speculated[idx as usize] = true,
                 }
                 self.stats.speculative_restarts += 1;
-                if let Some(obs) = self.obs.as_deref_mut() {
-                    obs.instant(
+                if self.telemetry_active() {
+                    let job_id = self.jobs[j].spec.id.0;
+                    self.emit_instant(
                         "fault",
                         "speculative_kill",
                         obs::lanes::JOBS,
-                        self.jobs[j].spec.id.0,
+                        job_id,
                         now,
                         vec![
                             (
@@ -1382,7 +1495,7 @@ impl Simulation {
                         self.next_flow += 1;
                         self.net.add_flow(now, fid, t.bytes, &t.path, t.rate_cap);
                         self.flows.insert(fid, (job, kind, idx));
-                        if self.obs.is_some() {
+                        if self.log_flows {
                             self.flow_meta.insert(fid, (flow_kind, Some(job_id)));
                         }
                     }
@@ -1466,12 +1579,12 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------------
-    // Observability emission (all sites are no-ops while `obs` is None)
+    // Observability emission (all sites are no-ops while `sinks` is empty)
     // ------------------------------------------------------------------
 
     /// Sample the running-attempt counters for `cluster`.
     fn obs_sched_counters(&mut self, cluster: usize) {
-        if self.obs.is_none() {
+        if !self.telemetry_active() {
             return;
         }
         let now = self.queue.now();
@@ -1479,9 +1592,10 @@ impl Simulation {
             self.clusters[cluster].running_maps,
             self.clusters[cluster].running_reduces,
         );
-        let obs = self.obs.as_deref_mut().expect("checked above");
-        obs.counter("sched", "running_maps", cluster as u32, now, rm as f64);
-        obs.counter("sched", "running_reduces", cluster as u32, now, rr as f64);
+        for s in &mut self.sinks {
+            s.counter("sched", "running_maps", cluster as u32, now, rm as f64);
+            s.counter("sched", "running_reduces", cluster as u32, now, rr as f64);
+        }
     }
 
     /// Emit the span of a finished attempt (`outcome`: "ok" / "failed" /
@@ -1497,40 +1611,49 @@ impl Simulation {
         now: SimTime,
         outcome: &'static str,
     ) {
-        let Some(obs) = self.obs.as_deref_mut() else {
+        if !self.telemetry_active() {
             return;
-        };
+        }
         // An attempt killed mid-transfer still owes its open io-wait window.
         let mut io_wait = task.io_wait;
         if let Some(t0) = task.flow_started {
             io_wait += now.since(t0);
         }
+        // Clean completions also roll into the job-level io-wait total the
+        // job span reports (matching the breakdown exporter's convention).
+        if outcome == "ok" {
+            self.jobs[j].io_wait_total += io_wait;
+        }
+        if !self.log_tasks {
+            return;
+        }
         let name = match kind {
             TaskKind::Map => "map",
             TaskKind::Reduce => "reduce",
         };
-        obs.span(
+        let args = vec![
+            ("job", ArgValue::U64(self.jobs[j].spec.id.0 as u64)),
+            ("kind", ArgValue::Str(name.to_string())),
+            ("idx", ArgValue::U64(idx as u64)),
+            ("attempt", ArgValue::U64(task.attempt as u64)),
+            ("outcome", ArgValue::Str(outcome.to_string())),
+            ("io_wait", ArgValue::U64(io_wait.0)),
+        ];
+        self.emit_span(
             "task",
             name,
             cluster as u32,
             task.node as u32,
             task.started,
             now,
-            vec![
-                ("job", ArgValue::U64(self.jobs[j].spec.id.0 as u64)),
-                ("kind", ArgValue::Str(name.to_string())),
-                ("idx", ArgValue::U64(idx as u64)),
-                ("attempt", ArgValue::U64(task.attempt as u64)),
-                ("outcome", ArgValue::Str(outcome.to_string())),
-                ("io_wait", ArgValue::U64(io_wait.0)),
-            ],
+            args,
         );
     }
 
     /// Turn drained flow-log entries into flow spans, joining each id with
     /// the label recorded when the flow launched.
     fn drain_flow_spans(&mut self) {
-        if self.obs.is_none() {
+        if !self.log_flows {
             return;
         }
         let entries = self.net.drain_flow_log();
@@ -1540,7 +1663,6 @@ impl Simulation {
                 .remove(&e.id)
                 .map(|(k, j)| (k.label(), j))
                 .unwrap_or(("flow", None));
-            let obs = self.obs.as_deref_mut().expect("checked above");
             let mut args = vec![("bytes", ArgValue::F64(e.bytes))];
             if let Some(j) = job {
                 args.push(("job", ArgValue::U64(j as u64)));
@@ -1548,7 +1670,7 @@ impl Simulation {
             if e.cancelled {
                 args.push(("cancelled", ArgValue::Bool(true)));
             }
-            obs.span(
+            self.emit_span(
                 "flow",
                 kind,
                 obs::lanes::FLOWS,
@@ -1723,7 +1845,7 @@ impl Simulation {
     /// At end of run, emit one instant per network resource summarizing its
     /// lifetime utilization (bytes served, busy time).
     fn obs_resource_summary(&mut self) {
-        if self.obs.is_none() {
+        if !self.telemetry_active() {
             return;
         }
         let now = self.queue.now();
@@ -1732,10 +1854,9 @@ impl Simulation {
             let name = self.net.resource_name(r).to_string();
             let bytes = self.net.resource_bytes_served(r);
             let busy = self.net.resource_busy_time(r);
-            let obs = self.obs.as_deref_mut().expect("checked above");
-            obs.instant(
+            self.emit_instant(
                 "resource",
-                name,
+                &name,
                 obs::lanes::RESOURCES,
                 i as u32,
                 now,
@@ -1753,7 +1874,7 @@ impl Simulation {
     /// *exactly*, in integer ticks, even for zero-shuffle jobs where the
     /// raw `last_fetch_done` precedes `last_map_end`.
     fn obs_job_spans(&mut self, j: usize, end: SimTime) {
-        if self.obs.is_none() {
+        if !self.telemetry_active() {
             return;
         }
         let job = &self.jobs[j];
@@ -1763,6 +1884,14 @@ impl Simulation {
         let b2 = b1.max(job.last_map_end).min(end);
         let b3 = b2.max(job.last_fetch_done).min(end);
         let name = format!("{}#{}", job.spec.profile.name, id);
+        // Shuffle/input ratio and accumulated io-wait ride on the job span
+        // so streaming sinks can band and blame a job without tracking its
+        // task spans (the engine already holds this state per job).
+        let ratio = if job.spec.input_size > 0 {
+            job.shuffle_total as f64 / job.spec.input_size as f64
+        } else {
+            0.0
+        };
         let mut args = vec![
             ("app", ArgValue::Str(job.spec.profile.name.clone())),
             (
@@ -1771,12 +1900,14 @@ impl Simulation {
             ),
             ("maps", ArgValue::U64(job.maps_total as u64)),
             ("reduces", ArgValue::U64(job.reduces_total as u64)),
+            ("input_bytes", ArgValue::U64(job.spec.input_size)),
+            ("ratio", ArgValue::F64(ratio)),
+            ("io_wait", ArgValue::U64(job.io_wait_total.0)),
         ];
         if let Some(msg) = job.failure.clone() {
             args.push(("failed", ArgValue::Str(msg)));
         }
-        let obs = self.obs.as_deref_mut().expect("checked above");
-        obs.span("job", name, obs::lanes::JOBS, id, b0, end, args);
+        self.emit_span("job", &name, obs::lanes::JOBS, id, b0, end, args);
         let phases = [
             ("setup", b0, b1),
             ("map", b1, b2),
@@ -1784,7 +1915,7 @@ impl Simulation {
             ("reduce", b3, end),
         ];
         for (nm, s, e) in phases {
-            obs.span("phase", nm, obs::lanes::JOBS, id, s, e, vec![]);
+            self.emit_span("phase", nm, obs::lanes::JOBS, id, s, e, vec![]);
         }
     }
 

@@ -11,6 +11,7 @@ pub struct LogHistogram {
     underflow: u64,
     overflow: u64,
     total: u64,
+    rejected: u64,
 }
 
 impl LogHistogram {
@@ -28,11 +29,18 @@ impl LogHistogram {
             underflow: 0,
             overflow: 0,
             total: 0,
+            rejected: 0,
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. Non-finite samples are rejected (counted in
+    /// [`rejected`](Self::rejected), excluded from everything else) rather
+    /// than silently bucketed — `NaN` would otherwise floor-cast to bucket 0.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.total += 1;
         if x < self.min {
             self.underflow += 1;
@@ -46,9 +54,14 @@ impl LogHistogram {
         }
     }
 
-    /// Total samples recorded (including under/overflow).
+    /// Total finite samples recorded (including under/overflow).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Non-finite samples refused by [`push`](Self::push).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Samples below the first bucket.
@@ -91,6 +104,32 @@ impl LogHistogram {
             }
         }
         below as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile (clamped to `[0, 1]`, `NaN` treated as 0) estimated
+    /// from the bucket counts with log-linear interpolation inside a bucket.
+    /// Mass below/above the covered range clamps to the range edge — a
+    /// histogram cannot say more about samples it only counted. `None` when
+    /// no finite sample has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = q * self.total as f64;
+        let mut seen = self.underflow as f64;
+        if target <= seen && self.underflow > 0 {
+            return Some(self.min);
+        }
+        for (lo, hi, c) in self.buckets() {
+            let next = seen + c as f64;
+            if c > 0 && target <= next {
+                let frac = ((target - seen) / c as f64).clamp(0.0, 1.0);
+                return Some(lo * (hi / lo).powf(frac));
+            }
+            seen = next;
+        }
+        Some(self.min * self.ratio.powi(self.counts.len() as i32))
     }
 
     /// A compact one-line ASCII sparkline of the distribution.
@@ -177,5 +216,49 @@ mod tests {
     #[should_panic(expected = "0 < min < max")]
     fn rejects_bad_range() {
         LogHistogram::new(10.0, 1.0, 3);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_bucketed() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.push(f64::NAN);
+        h.push(f64::INFINITY);
+        h.push(f64::NEG_INFINITY);
+        assert_eq!(h.rejected(), 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.buckets().iter().all(|&(_, _, c)| c == 0));
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_tracks_the_mass() {
+        let mut h = LogHistogram::new(1.0, 1e6, 60);
+        for i in 1..=1000 {
+            h.push(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((400.0..650.0).contains(&p50), "p50 = {p50}");
+        assert!((900.0..1100.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn quantile_edges_clamp_to_range() {
+        let mut h = LogHistogram::new(10.0, 100.0, 2);
+        h.push(1.0); // underflow
+        h.push(1e6); // overflow
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert!((h.quantile(1.0).unwrap() - 100.0).abs() < 1e-9);
+        let mut single = LogHistogram::new(1.0, 100.0, 4);
+        single.push(30.0);
+        let q = single.quantile(0.5).unwrap();
+        assert!((10.0..=100.0).contains(&q));
+        // Out-of-range and NaN q never panic.
+        assert!(single.quantile(7.0).is_some());
+        assert!(single.quantile(-3.0).is_some());
+        assert!(single.quantile(f64::NAN).is_some());
     }
 }

@@ -4,15 +4,19 @@
 //! [`stats::OnlineStats`] (mergeable one-pass summaries for parallel
 //! sweeps), [`cdf::EmpiricalCdf`] (Figures 3 and 10 are CDF plots),
 //! [`series::Series`] (one line of a figure, with the paper's
-//! normalize-by-up-OFS operation), and [`table`] (aligned text output).
+//! normalize-by-up-OFS operation), [`timeline::TimeBuckets`]
+//! (bounded-memory time-bucketed accumulation for streaming telemetry), and
+//! [`table`] (aligned text output).
 
 pub mod cdf;
 pub mod histogram;
 pub mod series;
 pub mod stats;
 pub mod table;
+pub mod timeline;
 
 pub use cdf::EmpiricalCdf;
 pub use histogram::LogHistogram;
 pub use series::Series;
 pub use stats::{quantile_sorted, OnlineStats};
+pub use timeline::TimeBuckets;

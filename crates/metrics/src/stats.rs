@@ -9,6 +9,7 @@ pub struct OnlineStats {
     m2: f64,
     min: f64,
     max: f64,
+    rejected: u64,
 }
 
 impl OnlineStats {
@@ -20,11 +21,18 @@ impl OnlineStats {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            rejected: 0,
         }
     }
 
-    /// Fold in one sample.
+    /// Fold in one sample. Non-finite samples are rejected (a single `NaN`
+    /// would poison the mean forever) and counted in
+    /// [`rejected`](Self::rejected).
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
@@ -36,6 +44,11 @@ impl OnlineStats {
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Non-finite samples refused by [`push`](Self::push).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Sample mean (0 for an empty accumulator).
@@ -73,11 +86,14 @@ impl OnlineStats {
 
     /// Merge another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
+        self.rejected += other.rejected;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let rejected = self.rejected;
             *self = other.clone();
+            self.rejected = rejected;
             return;
         }
         let total = self.count + other.count;
@@ -94,13 +110,14 @@ impl OnlineStats {
     }
 }
 
-/// The `q`-quantile (0 ≤ q ≤ 1) of `sorted` using linear interpolation
-/// between closest ranks. Returns `None` on empty input.
+/// The `q`-quantile (clamped to 0 ≤ q ≤ 1) of `sorted` using linear
+/// interpolation between closest ranks. Returns `None` on empty input or a
+/// `NaN` rank — a `NaN` quantile request has no defensible answer.
 ///
 /// # Panics
 /// Panics when `sorted` is not ascending (debug builds only).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
-    if sorted.is_empty() {
+    if sorted.is_empty() || q.is_nan() {
         return None;
     }
     debug_assert!(

@@ -1,0 +1,198 @@
+//! Bounded time-bucketed accumulation for online aggregation.
+//!
+//! A [`TimeBuckets`] holds a fixed number of equal-width buckets starting at
+//! tick 0. When a deposit lands beyond the covered range the series
+//! *coalesces*: adjacent buckets merge pairwise and the bucket width doubles
+//! until the range fits. Memory therefore stays O(`max_buckets`) forever, no
+//! matter how long the simulated run grows — the resolution degrades, the
+//! footprint does not. This is the classic bounded-memory timeline trick of
+//! always-on profilers (Google-Wide Profiling, Monarch).
+
+/// Fixed-size time series of accumulated weight per bucket.
+///
+/// All times are unsigned ticks (the caller decides what a tick is; the
+/// simulator uses microseconds). Deposits carry `f64` weight; non-finite
+/// weights are rejected and counted, never accumulated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBuckets {
+    width: u64,
+    sums: Vec<f64>,
+    rejected: u64,
+    coalesced: u32,
+}
+
+impl TimeBuckets {
+    /// `max_buckets` buckets of `initial_width` ticks each, covering
+    /// `[0, initial_width * max_buckets)` until the first coalesce.
+    ///
+    /// # Panics
+    /// Panics unless `initial_width ≥ 1` and `max_buckets ≥ 2`.
+    pub fn new(initial_width: u64, max_buckets: usize) -> Self {
+        assert!(initial_width >= 1, "need a positive bucket width");
+        assert!(max_buckets >= 2, "need at least two buckets to coalesce");
+        TimeBuckets {
+            width: initial_width,
+            sums: vec![0.0; max_buckets],
+            rejected: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// Current bucket width in ticks (doubles on each coalesce).
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Number of buckets — constant for the lifetime of the series.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when no bucket holds any weight.
+    pub fn is_empty(&self) -> bool {
+        self.sums.iter().all(|&s| s == 0.0)
+    }
+
+    /// How many times the series has halved its resolution.
+    pub fn coalesce_count(&self) -> u32 {
+        self.coalesced
+    }
+
+    /// Non-finite deposits refused.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// End of the covered range: `width * len` ticks.
+    pub fn span(&self) -> u64 {
+        self.width.saturating_mul(self.sums.len() as u64)
+    }
+
+    /// Deposit `amount` into the bucket containing tick `t`.
+    pub fn add_at(&mut self, t: u64, amount: f64) {
+        if !amount.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        self.cover(t.saturating_add(1));
+        let idx = ((t / self.width) as usize).min(self.sums.len() - 1);
+        self.sums[idx] += amount;
+    }
+
+    /// Deposit `rate` weight-per-tick uniformly over `[t0, t1)`. A rate of
+    /// 1.0 integrates occupancy: feeding every interval during which `k`
+    /// slots were busy with `rate = k` yields slot-ticks per bucket.
+    pub fn add_range(&mut self, t0: u64, t1: u64, rate: f64) {
+        if !rate.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        if t1 <= t0 || rate == 0.0 {
+            return;
+        }
+        self.cover(t1);
+        let w = self.width;
+        let mut lo = t0;
+        while lo < t1 {
+            let idx = ((lo / w) as usize).min(self.sums.len() - 1);
+            let bucket_end = (lo / w + 1).saturating_mul(w);
+            let hi = t1.min(bucket_end);
+            self.sums[idx] += rate * (hi - lo) as f64;
+            lo = hi;
+        }
+    }
+
+    /// `(lo_tick, hi_tick, sum)` per bucket, in time order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, f64)> + '_ {
+        let w = self.width;
+        self.sums
+            .iter()
+            .enumerate()
+            .map(move |(i, &s)| (i as u64 * w, (i as u64 + 1) * w, s))
+    }
+
+    /// Grow the covered range (by pairwise merging) until `end` fits.
+    fn cover(&mut self, end: u64) {
+        while end > self.span() {
+            let n = self.sums.len();
+            for i in 0..n / 2 {
+                self.sums[i] = self.sums[2 * i] + self.sums[2 * i + 1];
+            }
+            if n % 2 == 1 {
+                self.sums[n / 2] = self.sums[n - 1];
+            }
+            for s in self.sums.iter_mut().skip(n.div_ceil(2)) {
+                *s = 0.0;
+            }
+            self.width = self.width.saturating_mul(2);
+            self.coalesced += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_deposits_land_in_order() {
+        let mut t = TimeBuckets::new(10, 4);
+        t.add_at(0, 1.0);
+        t.add_at(15, 2.0);
+        t.add_at(39, 4.0);
+        let sums: Vec<f64> = t.buckets().map(|(_, _, s)| s).collect();
+        assert_eq!(sums, vec![1.0, 2.0, 0.0, 4.0]);
+        assert_eq!(t.width(), 10);
+    }
+
+    #[test]
+    fn range_deposit_splits_proportionally() {
+        let mut t = TimeBuckets::new(10, 4);
+        t.add_range(5, 25, 1.0); // 5 ticks in b0, 10 in b1, 5 in b2
+        let sums: Vec<f64> = t.buckets().map(|(_, _, s)| s).collect();
+        assert_eq!(sums, vec![5.0, 10.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn coalescing_preserves_total_weight_and_memory_bound() {
+        let mut t = TimeBuckets::new(1, 8);
+        for tick in 0..1000 {
+            t.add_range(tick, tick + 1, 3.0);
+        }
+        assert_eq!(t.len(), 8);
+        assert!(t.span() >= 1000);
+        let total: f64 = t.buckets().map(|(_, _, s)| s).sum();
+        assert!((total - 3000.0).abs() < 1e-6);
+        assert!(t.coalesce_count() > 0);
+    }
+
+    #[test]
+    fn odd_bucket_count_coalesces_without_losing_mass() {
+        let mut t = TimeBuckets::new(1, 5);
+        for tick in 0..5 {
+            t.add_at(tick, 1.0);
+        }
+        t.add_at(9, 1.0); // forces a coalesce with an odd bucket count
+        let total: f64 = t.buckets().map(|(_, _, s)| s).sum();
+        assert!((total - 6.0).abs() < 1e-9);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn non_finite_weight_is_rejected() {
+        let mut t = TimeBuckets::new(10, 4);
+        t.add_at(0, f64::NAN);
+        t.add_range(0, 20, f64::INFINITY);
+        assert_eq!(t.rejected(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges_are_noops() {
+        let mut t = TimeBuckets::new(10, 4);
+        t.add_range(20, 20, 1.0);
+        t.add_range(30, 20, 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.rejected(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Edge-case coverage for the statistics primitives: empty, single-sample,
+//! out-of-range, and non-finite inputs. Non-finite samples must be rejected
+//! and counted — never silently bucketed or folded into a mean.
+
+use metrics::{quantile_sorted, LogHistogram, OnlineStats, TimeBuckets};
+
+#[test]
+fn quantile_sorted_empty_and_single() {
+    assert_eq!(quantile_sorted(&[], 0.5), None);
+    assert_eq!(quantile_sorted(&[42.0], 0.0), Some(42.0));
+    assert_eq!(quantile_sorted(&[42.0], 0.5), Some(42.0));
+    assert_eq!(quantile_sorted(&[42.0], 1.0), Some(42.0));
+}
+
+#[test]
+fn quantile_sorted_out_of_range_rank_clamps() {
+    let v = [1.0, 2.0, 3.0];
+    assert_eq!(quantile_sorted(&v, -0.5), Some(1.0));
+    assert_eq!(quantile_sorted(&v, 1.5), Some(3.0));
+    assert_eq!(quantile_sorted(&v, f64::INFINITY), Some(3.0));
+    assert_eq!(quantile_sorted(&v, f64::NEG_INFINITY), Some(1.0));
+}
+
+#[test]
+fn quantile_sorted_nan_rank_is_refused() {
+    assert_eq!(quantile_sorted(&[1.0, 2.0], f64::NAN), None);
+}
+
+#[test]
+fn histogram_rejects_non_finite_instead_of_bucketing() {
+    let mut h = LogHistogram::new(1.0, 1e3, 6);
+    h.push(f64::NAN);
+    h.push(f64::INFINITY);
+    h.push(f64::NEG_INFINITY);
+    // The old behavior floor-cast NaN into bucket 0; prove that is gone.
+    assert_eq!(h.buckets()[0].2, 0, "NaN must not land in bucket 0");
+    assert_eq!(h.rejected(), 3);
+    assert_eq!(h.total(), 0);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.cdf(10.0), 0.0);
+}
+
+#[test]
+fn histogram_single_sample_quantiles_are_flat() {
+    let mut h = LogHistogram::new(1.0, 1e3, 12);
+    h.push(50.0);
+    let p50 = h.quantile(0.5).unwrap();
+    let p99 = h.quantile(0.99).unwrap();
+    // All ranks fall in the same bucket; both estimates bound the sample.
+    assert!((1.0..=1e3).contains(&p50));
+    assert!(p50 <= p99);
+}
+
+#[test]
+fn histogram_out_of_range_samples_count_as_flow() {
+    let mut h = LogHistogram::new(10.0, 100.0, 2);
+    h.push(0.001);
+    h.push(1e9);
+    assert_eq!(h.underflow(), 1);
+    assert_eq!(h.overflow(), 1);
+    assert_eq!(h.total(), 2);
+    assert_eq!(h.rejected(), 0);
+}
+
+#[test]
+fn online_stats_rejects_non_finite_and_merge_carries_the_count() {
+    let mut a = OnlineStats::new();
+    a.push(1.0);
+    a.push(f64::NAN);
+    assert_eq!(a.count(), 1);
+    assert_eq!(a.rejected(), 1);
+    assert_eq!(a.mean(), 1.0);
+
+    let mut b = OnlineStats::new();
+    b.push(f64::INFINITY);
+    b.push(3.0);
+    a.merge(&b);
+    assert_eq!(a.count(), 2);
+    assert_eq!(a.rejected(), 2);
+    assert!((a.mean() - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn online_stats_merge_empty_cases() {
+    // empty ← empty
+    let mut e = OnlineStats::new();
+    e.merge(&OnlineStats::new());
+    assert_eq!(e.count(), 0);
+    assert_eq!(e.min(), None);
+
+    // empty ← single
+    let mut single = OnlineStats::new();
+    single.push(5.0);
+    let mut e2 = OnlineStats::new();
+    e2.merge(&single);
+    assert_eq!(e2.count(), 1);
+    assert_eq!(e2.mean(), 5.0);
+    assert_eq!(e2.min(), Some(5.0));
+
+    // single ← empty keeps rejected tally from both sides
+    let mut lhs = OnlineStats::new();
+    lhs.push(f64::NAN);
+    lhs.merge(&single);
+    assert_eq!(lhs.count(), 1);
+    assert_eq!(lhs.rejected(), 1);
+    assert_eq!(lhs.mean(), 5.0);
+}
+
+#[test]
+fn time_buckets_reject_non_finite_weight() {
+    let mut t = TimeBuckets::new(100, 8);
+    t.add_at(50, f64::NAN);
+    t.add_range(0, 400, f64::NEG_INFINITY);
+    assert_eq!(t.rejected(), 2);
+    assert!(t.is_empty());
+}

@@ -165,6 +165,33 @@ impl PhaseBreakdown {
         out
     }
 
+    /// Machine-readable CSV export: same columns as [`render`](Self::render),
+    /// durations in seconds with millisecond precision, one header row.
+    /// App/cluster fields are quoted when they contain a comma, quote, or
+    /// newline (RFC 4180 style).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "job,app,cluster,setup_s,map_s,shuffle_s,reduce_s,exec_s,map_task_p50_s,reduce_task_p50_s,io_wait_s\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.job,
+                csv_field(&r.app),
+                csv_field(&r.cluster),
+                secs(r.setup),
+                secs(r.map),
+                secs(r.shuffle),
+                secs(r.reduce),
+                secs(r.execution),
+                secs(r.map_task_p50),
+                secs(r.reduce_task_p50),
+                secs(r.io_wait),
+            ));
+        }
+        out
+    }
+
     /// One-line median summary across all jobs, for sweep-style reports
     /// where the full per-job table would drown the figure.
     pub fn summary(&self) -> String {
@@ -195,6 +222,15 @@ fn median(xs: &mut [SimDuration]) -> SimDuration {
 
 fn secs(d: SimDuration) -> String {
     format!("{:.3}", d.as_secs_f64())
+}
+
+/// Quote a CSV field only when it needs it.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
 }
 
 #[cfg(test)]
@@ -321,5 +357,28 @@ mod tests {
             a.render()
         );
         assert!(a.summary().starts_with("1 jobs"), "{}", a.summary());
+    }
+
+    #[test]
+    fn csv_matches_the_rendered_table() {
+        let b = PhaseBreakdown::from_recorder(&sample());
+        let csv = b.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "job,app,cluster,setup_s,map_s,shuffle_s,reduce_s,exec_s,map_task_p50_s,reduce_task_p50_s,io_wait_s"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("5,grep,scale-up,"), "{row}");
+        assert_eq!(row.split(',').count(), 11);
+        assert_eq!(lines.next(), None);
+        assert_eq!(b.to_csv(), csv, "deterministic");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_fields() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 }

@@ -38,9 +38,24 @@
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
 //! - [`breakdown::PhaseBreakdown`] — per-job map/shuffle/reduce/IO-wait
 //!   tables derived from the recorded spans.
+//!
+//! ## Streaming telemetry
+//!
+//! The buffering recorder is one implementation of the [`TelemetrySink`]
+//! trait the engine broadcasts into. The other shipped sink is
+//! [`telemetry::OnlineAggregator`], which folds the same event stream into
+//! bounded-memory aggregates (utilization timelines, latency histograms,
+//! fault counters, placement audit, critical-path attribution) and renders
+//! them as Prometheus text or a JSON snapshot — the measurement path that
+//! scales to million-job replays where buffering every span cannot.
 
 pub mod breakdown;
 pub mod chrome;
+pub mod sink;
+pub mod telemetry;
+
+pub use sink::TelemetrySink;
+pub use telemetry::{OnlineAggregator, TelemetryConfig, TelemetryFootprint};
 
 use simcore::{SimDuration, SimTime};
 

@@ -1,0 +1,189 @@
+//! The telemetry sink abstraction the engine emits into.
+//!
+//! Instrumentation sites in the simulator do not talk to a concrete
+//! [`Recorder`] — they broadcast every span, instant, and counter to a set
+//! of [`TelemetrySink`]s. The buffering [`Recorder`] (full post-hoc trace,
+//! Chrome export) is one implementation; the bounded-memory
+//! [`OnlineAggregator`](crate::telemetry::OnlineAggregator) (streaming
+//! Prometheus/JSON metrics) is another. Both are strictly passive: a sink
+//! never feeds back into the simulation, so results are bitwise identical
+//! with any combination of sinks attached.
+//!
+//! Argument lists are passed by slice — with several sinks attached no
+//! single sink can own the `Vec`, and the aggregator never stores the args
+//! at all.
+
+use crate::{ArgValue, Recorder};
+use simcore::SimTime;
+use std::any::Any;
+
+/// A consumer of instrumentation events, fed online as the engine emits.
+///
+/// Implementations must be deterministic functions of the event stream:
+/// no wall clock, no randomness, no iteration over unordered containers
+/// when rendering. The `Any` plumbing (`as_any` & co.) lets owners recover
+/// a concrete sink from the trait object after a run.
+pub trait TelemetrySink: Any {
+    /// Consume a complete span covering `[start, end)`.
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&'static str, ArgValue)],
+    );
+
+    /// Consume an instant marker at `ts`.
+    fn instant(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        ts: SimTime,
+        args: &[(&'static str, ArgValue)],
+    );
+
+    /// Consume a counter sample: `name` takes `value` at `ts` on lane `pid`.
+    fn counter(&mut self, cat: &'static str, name: &'static str, pid: u32, ts: SimTime, value: f64);
+
+    /// Learn a human-readable name for a `pid` lane.
+    fn name_process(&mut self, pid: u32, name: &str);
+
+    /// Whether this sink consumes flow spans. The engine only enables flow
+    /// logging in the network when some attached sink answers `true`, so an
+    /// aggregator-only run skips the per-flow bookkeeping entirely.
+    fn wants_flows(&self) -> bool {
+        false
+    }
+
+    /// Whether this sink consumes per-task-attempt spans (`cat == "task"`).
+    /// The engine skips formatting and broadcasting them when no attached
+    /// sink answers `true` — at replay scale they dominate the event count,
+    /// and an aggregator-only run derives everything it needs from the
+    /// job/phase spans and scheduler counters.
+    fn wants_tasks(&self) -> bool {
+        false
+    }
+
+    /// Called once when the simulation finishes, with the final simulated
+    /// time — the hook for closing open accumulation windows.
+    fn finish(&mut self, _now: SimTime) {}
+
+    /// Borrow as [`Any`] for concrete-type recovery.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutably borrow as [`Any`] for concrete-type recovery.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Convert the box for by-value concrete-type recovery.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl TelemetrySink for Recorder {
+    fn span(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        Recorder::span(self, cat, name, pid, tid, start, end, args.to_vec());
+    }
+
+    fn instant(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        ts: SimTime,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        Recorder::instant(self, cat, name, pid, tid, ts, args.to_vec());
+    }
+
+    fn counter(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        pid: u32,
+        ts: SimTime,
+        value: f64,
+    ) {
+        Recorder::counter(self, cat, name, pid, ts, value);
+    }
+
+    fn name_process(&mut self, pid: u32, name: &str) {
+        Recorder::name_process(self, pid, name);
+    }
+
+    fn wants_flows(&self) -> bool {
+        true
+    }
+
+    fn wants_tasks(&self) -> bool {
+        true
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_as_sink_buffers_identically_to_direct_calls() {
+        let mut direct = Recorder::new();
+        direct.span(
+            "t",
+            "s",
+            0,
+            1,
+            SimTime(5),
+            SimTime(9),
+            vec![("k", 1u64.into())],
+        );
+        direct.counter("c", "n", 2, SimTime(7), 3.5);
+        direct.name_process(0, "p");
+
+        let mut via: Box<dyn TelemetrySink> = Box::new(Recorder::new());
+        via.span(
+            "t",
+            "s",
+            0,
+            1,
+            SimTime(5),
+            SimTime(9),
+            &[("k", 1u64.into())],
+        );
+        via.counter("c", "n", 2, SimTime(7), 3.5);
+        via.name_process(0, "p");
+        let via = via.into_any().downcast::<Recorder>().unwrap();
+        assert_eq!(*via, direct);
+    }
+
+    #[test]
+    fn recorder_wants_flows_and_tasks() {
+        assert!(Recorder::new().wants_flows());
+        assert!(Recorder::new().wants_tasks());
+    }
+}

@@ -1,0 +1,963 @@
+//! Bounded-memory online aggregation of the instrumentation stream.
+//!
+//! The [`Recorder`](crate::Recorder) buffers every event, which is exactly
+//! right for a 6-job Chrome trace and exactly wrong for a million-job
+//! replay. [`OnlineAggregator`] is the streaming alternative: it implements
+//! [`TelemetrySink`] and folds every span, instant,
+//! and counter into fixed-size aggregates the moment it is emitted —
+//! following the always-on-profiling playbook (Google-Wide Profiling,
+//! Monarch): aggregate at ingest, bound memory by construction, degrade
+//! resolution rather than grow.
+//!
+//! ## What is maintained, and in how much memory
+//!
+//! - **Slot-utilization timelines** — one [`TimeBuckets`] per
+//!   `(cluster, map|reduce)` track, integrating the engine's running-task
+//!   counters over simulated time. O(clusters × 2 × `timeline_buckets`).
+//! - **Job-latency histograms** — one [`LogHistogram`] per
+//!   `(shuffle-ratio band, routed side)`, with p50/p95/p99 read out at
+//!   exposition. O(bands × sides × `latency_buckets`).
+//! - **Fault / speculation / re-replication counters** — O(fault kinds).
+//! - **Scheduler decision audit** — routing tallies per `(band, side)` and
+//!   rejected-alternative tallies per `(band, reason)`, the reason being the
+//!   prefix of the scheduler's `PlacementDecision::explain` note. Reason
+//!   cardinality is
+//!   capped at `max_reason_tags`; overflow collapses into `"(other)"`.
+//! - **Critical-path attribution** — each finished job's makespan is blamed
+//!   on its dominant phase (setup / map / shuffle / reduce / io-wait), and
+//!   blame-seconds accumulate per `(band, phase)`. The engine emits a job
+//!   span followed immediately by its four phase spans, so this needs one
+//!   pending-job slot, not a per-job table.
+//!
+//! Nothing here is keyed by job id, so the footprint is independent of how
+//! many jobs stream through — the property the `telemetry_golden` test pins.
+//!
+//! ## Determinism
+//!
+//! All state lives in `BTreeMap`s and fixed vectors; exposition iterates in
+//! sorted order and formats floats with Rust's shortest-roundtrip `Display`.
+//! Same seed, same build ⇒ byte-identical Prometheus and JSON output.
+
+use crate::{ArgValue, TelemetrySink};
+use metrics::{LogHistogram, TimeBuckets};
+use simcore::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Sizing knobs for [`OnlineAggregator`]. Every field bounds a fixed-size
+/// structure; none of them grows with job count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Initial utilization-timeline bucket width (doubles on coalesce).
+    pub timeline_width: SimDuration,
+    /// Buckets per utilization track — the memory bound per timeline.
+    pub timeline_buckets: usize,
+    /// Lower edge of the job-latency histograms, seconds.
+    pub latency_min_s: f64,
+    /// Upper edge of the job-latency histograms, seconds.
+    pub latency_max_s: f64,
+    /// Log-spaced buckets per latency histogram.
+    pub latency_buckets: usize,
+    /// Cap on distinct rejected-alternative reason tags; overflow collapses
+    /// into `"(other)"`.
+    pub max_reason_tags: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            timeline_width: SimDuration::from_secs(60),
+            timeline_buckets: 256,
+            latency_min_s: 1.0,
+            latency_max_s: 1e5,
+            latency_buckets: 50,
+            max_reason_tags: 64,
+        }
+    }
+}
+
+/// Structural size report — every field is bounded by [`TelemetryConfig`]
+/// and the deployment shape, never by the number of jobs replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryFootprint {
+    /// Utilization tracks (clusters × task kinds observed).
+    pub timeline_tracks: usize,
+    /// Buckets held per track (constant: `timeline_buckets`).
+    pub timeline_buckets: usize,
+    /// Latency histogram label sets (bands × sides observed).
+    pub latency_label_sets: usize,
+    /// Buckets per latency histogram (constant: `latency_buckets`).
+    pub latency_buckets_per_set: usize,
+    /// Distinct rejection-reason tags retained (≤ `max_reason_tags` + bands).
+    pub reason_tags: usize,
+    /// Critical-path pending-job slots (0 or 1).
+    pub pending_jobs: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct UtilTrack {
+    last_t: SimTime,
+    last_v: f64,
+    busy: TimeBuckets,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Blame {
+    seconds: f64,
+    jobs: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PendingJob {
+    tid: u32,
+    band: &'static str,
+    side: String,
+    execution: SimDuration,
+    io_wait: SimDuration,
+    phases: [Option<SimDuration>; 4],
+}
+
+/// Streaming metrics aggregator; see the module docs for the full model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineAggregator {
+    cfg: TelemetryConfig,
+    events: u64,
+    process_names: BTreeMap<u32, String>,
+    util: BTreeMap<(u32, &'static str), UtilTrack>,
+    latency: BTreeMap<(&'static str, String), LogHistogram>,
+    jobs_total: u64,
+    job_failures: u64,
+    faults: BTreeMap<String, u64>,
+    rereplicated_bytes: f64,
+    placements: BTreeMap<(String, &'static str), u64>,
+    rejections: BTreeMap<(String, String), u64>,
+    resource_bytes: BTreeMap<String, f64>,
+    blame: BTreeMap<(&'static str, &'static str), Blame>,
+    pending: Option<PendingJob>,
+    end_time: SimTime,
+}
+
+/// The Algorithm-1 band a shuffle/input ratio falls in; mirrors
+/// `CrossPointScheduler::band_for` so job-level metrics correlate with the
+/// scheduler's own decision labels.
+fn band_of(ratio: Option<f64>) -> &'static str {
+    match ratio {
+        None => "unknown-ratio",
+        Some(r) if r > 1.0 => "S/I>1",
+        Some(r) if r >= 0.4 => "0.4<=S/I<=1",
+        Some(_) => "S/I<0.4",
+    }
+}
+
+fn arg_f64(args: &[(&'static str, ArgValue)], key: &str) -> Option<f64> {
+    args.iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::F64(x) => Some(*x),
+            ArgValue::U64(x) => Some(*x as f64),
+            _ => None,
+        })
+}
+
+fn arg_u64(args: &[(&'static str, ArgValue)], key: &str) -> Option<u64> {
+    args.iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::U64(x) => Some(*x),
+            _ => None,
+        })
+}
+
+fn arg_str<'a>(args: &'a [(&'static str, ArgValue)], key: &str) -> Option<&'a str> {
+    args.iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+impl OnlineAggregator {
+    /// A fresh aggregator sized by `cfg`.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        OnlineAggregator {
+            cfg,
+            events: 0,
+            process_names: BTreeMap::new(),
+            util: BTreeMap::new(),
+            latency: BTreeMap::new(),
+            jobs_total: 0,
+            job_failures: 0,
+            faults: BTreeMap::new(),
+            rereplicated_bytes: 0.0,
+            placements: BTreeMap::new(),
+            rejections: BTreeMap::new(),
+            resource_bytes: BTreeMap::new(),
+            blame: BTreeMap::new(),
+            pending: None,
+            end_time: SimTime::ZERO,
+        }
+    }
+
+    /// Instrumentation events consumed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+
+    /// Completed jobs observed (via their job spans).
+    pub fn jobs_seen(&self) -> u64 {
+        self.jobs_total
+    }
+
+    /// Structural memory bound — see [`TelemetryFootprint`].
+    pub fn footprint(&self) -> TelemetryFootprint {
+        TelemetryFootprint {
+            timeline_tracks: self.util.len(),
+            timeline_buckets: self.cfg.timeline_buckets,
+            latency_label_sets: self.latency.len(),
+            latency_buckets_per_set: self.cfg.latency_buckets,
+            reason_tags: self.rejections.len(),
+            pending_jobs: usize::from(self.pending.is_some()),
+        }
+    }
+
+    fn finalize_pending(&mut self) {
+        let Some(p) = self.pending.take() else {
+            return;
+        };
+        // Blame candidates in fixed order; strict `>` keeps the first on ties.
+        let candidates = [
+            ("setup", p.phases[0].unwrap_or(SimDuration::ZERO)),
+            ("map", p.phases[1].unwrap_or(SimDuration::ZERO)),
+            ("shuffle", p.phases[2].unwrap_or(SimDuration::ZERO)),
+            ("reduce", p.phases[3].unwrap_or(SimDuration::ZERO)),
+            ("io_wait", p.io_wait),
+        ];
+        let mut dominant = candidates[0];
+        for c in &candidates[1..] {
+            if c.1 > dominant.1 {
+                dominant = *c;
+            }
+        }
+        let entry = self.blame.entry((p.band, dominant.0)).or_insert(Blame {
+            seconds: 0.0,
+            jobs: 0,
+        });
+        entry.seconds += p.execution.as_secs_f64();
+        entry.jobs += 1;
+    }
+
+    fn cluster_label(&self, pid: u32) -> String {
+        match self.process_names.get(&pid) {
+            Some(name) => name.strip_prefix("cluster/").unwrap_or(name).to_string(),
+            None => format!("pid{pid}"),
+        }
+    }
+}
+
+impl TelemetrySink for OnlineAggregator {
+    fn span(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        _pid: u32,
+        tid: u32,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        self.events += 1;
+        match cat {
+            "job" => {
+                // A job span opens a fresh critical-path slot; an unfinished
+                // previous slot (missing phase spans) is flushed as-is.
+                self.finalize_pending();
+                self.jobs_total += 1;
+                if arg_str(args, "failed").is_some() {
+                    self.job_failures += 1;
+                }
+                let band = band_of(arg_f64(args, "ratio"));
+                let side = arg_str(args, "cluster").unwrap_or("?").to_string();
+                let execution = end.since(start);
+                self.latency
+                    .entry((band, side.clone()))
+                    .or_insert_with(|| {
+                        LogHistogram::new(
+                            self.cfg.latency_min_s,
+                            self.cfg.latency_max_s,
+                            self.cfg.latency_buckets,
+                        )
+                    })
+                    .push(execution.as_secs_f64());
+                self.pending = Some(PendingJob {
+                    tid,
+                    band,
+                    side,
+                    execution,
+                    io_wait: SimDuration(arg_u64(args, "io_wait").unwrap_or(0)),
+                    phases: [None; 4],
+                });
+            }
+            "phase" => {
+                let slot = match name {
+                    "setup" => 0,
+                    "map" => 1,
+                    "shuffle" => 2,
+                    "reduce" => 3,
+                    _ => return,
+                };
+                let done = match self.pending.as_mut() {
+                    Some(p) if p.tid == tid => {
+                        p.phases[slot] = Some(end.since(start));
+                        p.phases.iter().all(|d| d.is_some())
+                    }
+                    _ => false,
+                };
+                if done {
+                    self.finalize_pending();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn instant(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        _pid: u32,
+        _tid: u32,
+        _ts: SimTime,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        self.events += 1;
+        match cat {
+            "fault" => {
+                *self.faults.entry(name.to_string()).or_insert(0) += 1;
+                if name == "re_replicate" {
+                    self.rereplicated_bytes += arg_f64(args, "bytes").unwrap_or(0.0);
+                }
+            }
+            "placement" => {
+                let side = match name {
+                    "place:scale-up" => "scale-up",
+                    "place:scale-out" => "scale-out",
+                    _ => "?",
+                };
+                let band = arg_str(args, "band").unwrap_or("?").to_string();
+                *self.placements.entry((band.clone(), side)).or_insert(0) += 1;
+                if let Some(note) = arg_str(args, "note") {
+                    let tag = note.split(':').next().unwrap_or(note).trim();
+                    let key = (band, tag.to_string());
+                    if self.rejections.contains_key(&key)
+                        || self.rejections.len() < self.cfg.max_reason_tags
+                    {
+                        *self.rejections.entry(key).or_insert(0) += 1;
+                    } else {
+                        *self
+                            .rejections
+                            .entry((key.0, "(other)".to_string()))
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+            "resource" => {
+                *self.resource_bytes.entry(name.to_string()).or_insert(0.0) +=
+                    arg_f64(args, "bytes_served").unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+
+    fn counter(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        pid: u32,
+        ts: SimTime,
+        value: f64,
+    ) {
+        self.events += 1;
+        if cat != "sched" {
+            return;
+        }
+        let kind = match name {
+            "running_maps" => "map",
+            "running_reduces" => "reduce",
+            _ => return,
+        };
+        let track = self.util.entry((pid, kind)).or_insert_with(|| UtilTrack {
+            last_t: ts,
+            last_v: 0.0,
+            busy: TimeBuckets::new(self.cfg.timeline_width.0.max(1), self.cfg.timeline_buckets),
+        });
+        track.busy.add_range(track.last_t.0, ts.0, track.last_v);
+        track.last_t = ts;
+        track.last_v = value;
+    }
+
+    fn name_process(&mut self, pid: u32, name: &str) {
+        self.events += 1;
+        self.process_names.insert(pid, name.to_string());
+    }
+
+    fn finish(&mut self, now: SimTime) {
+        for track in self.util.values_mut() {
+            track.busy.add_range(track.last_t.0, now.0, track.last_v);
+            track.last_t = now;
+        }
+        self.finalize_pending();
+        self.end_time = now;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// ----------------------------------------------------------------------
+// Exposition
+// ----------------------------------------------------------------------
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a JSON string (mirrors the chrome exporter's conventions).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest-roundtrip float rendering; integral values keep a trailing `.0`
+/// ambiguity-free form via Rust's `Display` (e.g. `3` prints as `3`).
+fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+impl OnlineAggregator {
+    /// Render the aggregates in the Prometheus text exposition format.
+    ///
+    /// Metric naming scheme: everything is prefixed `hh_` (hybrid-Hadoop),
+    /// counters end in `_total`, durations are `_seconds`, and quantile
+    /// gauges carry a `quantile` label — see DESIGN.md §12.
+    pub fn render_prometheus(&self) -> String {
+        let mut o = String::new();
+        let metric = |out: &mut String, name: &str, help: &str, ty: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {ty}\n"));
+        };
+
+        metric(
+            &mut o,
+            "hh_telemetry_events_total",
+            "Instrumentation events consumed by the aggregator.",
+            "counter",
+        );
+        o.push_str(&format!("hh_telemetry_events_total {}\n", self.events));
+
+        metric(
+            &mut o,
+            "hh_jobs_total",
+            "Completed jobs observed.",
+            "counter",
+        );
+        o.push_str(&format!("hh_jobs_total {}\n", self.jobs_total));
+        metric(
+            &mut o,
+            "hh_job_failures_total",
+            "Jobs that finished with a failure note.",
+            "counter",
+        );
+        o.push_str(&format!("hh_job_failures_total {}\n", self.job_failures));
+
+        metric(
+            &mut o,
+            "hh_replay_makespan_seconds",
+            "Simulated time at the end of the run.",
+            "gauge",
+        );
+        o.push_str(&format!(
+            "hh_replay_makespan_seconds {}\n",
+            num(self.end_time.since(SimTime::ZERO).as_secs_f64())
+        ));
+
+        metric(
+            &mut o,
+            "hh_job_latency_seconds",
+            "Job execution-time quantiles per shuffle-ratio band and routed side.",
+            "gauge",
+        );
+        for ((band, side), hist) in &self.latency {
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                if let Some(v) = hist.quantile(q) {
+                    o.push_str(&format!(
+                        "hh_job_latency_seconds{{band=\"{}\",side=\"{}\",quantile=\"{label}\"}} {}\n",
+                        prom_escape(band),
+                        prom_escape(side),
+                        num(v)
+                    ));
+                }
+            }
+        }
+        metric(
+            &mut o,
+            "hh_job_latency_jobs_total",
+            "Jobs folded into each latency histogram.",
+            "counter",
+        );
+        for ((band, side), hist) in &self.latency {
+            o.push_str(&format!(
+                "hh_job_latency_jobs_total{{band=\"{}\",side=\"{}\"}} {}\n",
+                prom_escape(band),
+                prom_escape(side),
+                hist.total()
+            ));
+        }
+
+        metric(
+            &mut o,
+            "hh_slot_busy_seconds_total",
+            "Integrated running-task occupancy (slot-seconds) per cluster and task kind.",
+            "counter",
+        );
+        for ((pid, kind), track) in &self.util {
+            let slot_seconds: f64 = track
+                .busy
+                .buckets()
+                .map(|(_, _, slot_ticks)| slot_ticks)
+                .sum::<f64>()
+                / simcore::TICKS_PER_SEC as f64;
+            o.push_str(&format!(
+                "hh_slot_busy_seconds_total{{cluster=\"{}\",kind=\"{kind}\"}} {}\n",
+                prom_escape(&self.cluster_label(*pid)),
+                num(slot_seconds)
+            ));
+        }
+
+        metric(
+            &mut o,
+            "hh_fault_events_total",
+            "Fault-layer events by kind (crashes, recoveries, speculative kills, ...).",
+            "counter",
+        );
+        for (kind, n) in &self.faults {
+            o.push_str(&format!(
+                "hh_fault_events_total{{kind=\"{}\"}} {n}\n",
+                prom_escape(kind)
+            ));
+        }
+        metric(
+            &mut o,
+            "hh_rereplicated_bytes_total",
+            "Bytes moved by storage re-replication after node loss.",
+            "counter",
+        );
+        o.push_str(&format!(
+            "hh_rereplicated_bytes_total {}\n",
+            num(self.rereplicated_bytes)
+        ));
+
+        metric(
+            &mut o,
+            "hh_placement_decisions_total",
+            "Scheduler routing decisions per band and chosen side.",
+            "counter",
+        );
+        for ((band, side), n) in &self.placements {
+            o.push_str(&format!(
+                "hh_placement_decisions_total{{band=\"{}\",side=\"{side}\"}} {n}\n",
+                prom_escape(band)
+            ));
+        }
+        metric(
+            &mut o,
+            "hh_placement_rejections_total",
+            "Rejected-alternative tallies per band, keyed by the decision-note reason.",
+            "counter",
+        );
+        for ((band, reason), n) in &self.rejections {
+            o.push_str(&format!(
+                "hh_placement_rejections_total{{band=\"{}\",reason=\"{}\"}} {n}\n",
+                prom_escape(band),
+                prom_escape(reason)
+            ));
+        }
+
+        metric(
+            &mut o,
+            "hh_critical_path_seconds_total",
+            "Job makespan attributed to the dominant phase, per band.",
+            "counter",
+        );
+        for ((band, phase), b) in &self.blame {
+            o.push_str(&format!(
+                "hh_critical_path_seconds_total{{band=\"{}\",phase=\"{phase}\"}} {}\n",
+                prom_escape(band),
+                num(b.seconds)
+            ));
+        }
+        metric(
+            &mut o,
+            "hh_critical_path_jobs_total",
+            "Jobs whose makespan was dominated by each phase, per band.",
+            "counter",
+        );
+        for ((band, phase), b) in &self.blame {
+            o.push_str(&format!(
+                "hh_critical_path_jobs_total{{band=\"{}\",phase=\"{phase}\"}} {}\n",
+                prom_escape(band),
+                b.jobs
+            ));
+        }
+
+        metric(
+            &mut o,
+            "hh_storage_bytes_served_total",
+            "Bytes served per network/storage resource over the whole run.",
+            "counter",
+        );
+        for (res, bytes) in &self.resource_bytes {
+            o.push_str(&format!(
+                "hh_storage_bytes_served_total{{resource=\"{}\"}} {}\n",
+                prom_escape(res),
+                num(*bytes)
+            ));
+        }
+        o
+    }
+
+    /// Render the full snapshot — including the utilization timelines and
+    /// raw histogram buckets that do not fit the Prometheus text model — as
+    /// one deterministic JSON object.
+    pub fn render_json(&self) -> String {
+        let tick = 1.0 / simcore::TICKS_PER_SEC as f64;
+        let mut o = String::from("{\n");
+        o.push_str("\"schema\": \"hybrid-hadoop-telemetry/v1\",\n");
+        o.push_str(&format!("\"events\": {},\n", self.events));
+        o.push_str(&format!("\"jobs\": {},\n", self.jobs_total));
+        o.push_str(&format!("\"job_failures\": {},\n", self.job_failures));
+        o.push_str(&format!(
+            "\"makespan_s\": {},\n",
+            num(self.end_time.since(SimTime::ZERO).as_secs_f64())
+        ));
+
+        o.push_str("\"latency\": [\n");
+        let mut first = true;
+        for ((band, side), hist) in &self.latency {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            let q = |p: f64| hist.quantile(p).map(num).unwrap_or_else(|| "null".into());
+            let buckets: Vec<String> = hist
+                .buckets()
+                .iter()
+                .map(|(lo, hi, c)| format!("[{},{},{c}]", num(*lo), num(*hi)))
+                .collect();
+            o.push_str(&format!(
+                "{{\"band\": {}, \"side\": {}, \"count\": {}, \"underflow\": {}, \"overflow\": {}, \"rejected\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                json_string(band),
+                json_string(side),
+                hist.total(),
+                hist.underflow(),
+                hist.overflow(),
+                hist.rejected(),
+                q(0.5),
+                q(0.95),
+                q(0.99),
+                buckets.join(",")
+            ));
+        }
+        o.push_str("\n],\n");
+
+        o.push_str("\"utilization\": [\n");
+        first = true;
+        for ((pid, kind), track) in &self.util {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            let buckets: Vec<String> = track
+                .busy
+                .buckets()
+                .map(|(t0, t1, slot_ticks)| {
+                    format!(
+                        "[{},{},{}]",
+                        num(t0 as f64 * tick),
+                        num(t1 as f64 * tick),
+                        num(slot_ticks * tick)
+                    )
+                })
+                .collect();
+            o.push_str(&format!(
+                "{{\"cluster\": {}, \"kind\": {}, \"bucket_width_s\": {}, \"coalesced\": {}, \"busy_slot_seconds\": [{}]}}",
+                json_string(&self.cluster_label(*pid)),
+                json_string(kind),
+                num(track.busy.width() as f64 * tick),
+                track.busy.coalesce_count(),
+                buckets.join(",")
+            ));
+        }
+        o.push_str("\n],\n");
+
+        o.push_str("\"faults\": {");
+        first = true;
+        for (kind, n) in &self.faults {
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            o.push_str(&format!("{}: {n}", json_string(kind)));
+        }
+        o.push_str("},\n");
+        o.push_str(&format!(
+            "\"rereplicated_bytes\": {},\n",
+            num(self.rereplicated_bytes)
+        ));
+
+        o.push_str("\"placements\": [\n");
+        first = true;
+        for ((band, side), n) in &self.placements {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            o.push_str(&format!(
+                "{{\"band\": {}, \"side\": {}, \"count\": {n}}}",
+                json_string(band),
+                json_string(side)
+            ));
+        }
+        o.push_str("\n],\n");
+
+        o.push_str("\"rejections\": [\n");
+        first = true;
+        for ((band, reason), n) in &self.rejections {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            o.push_str(&format!(
+                "{{\"band\": {}, \"reason\": {}, \"count\": {n}}}",
+                json_string(band),
+                json_string(reason)
+            ));
+        }
+        o.push_str("\n],\n");
+
+        o.push_str("\"critical_path\": [\n");
+        first = true;
+        for ((band, phase), b) in &self.blame {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            o.push_str(&format!(
+                "{{\"band\": {}, \"phase\": {}, \"blame_seconds\": {}, \"jobs\": {}}}",
+                json_string(band),
+                json_string(phase),
+                num(b.seconds),
+                b.jobs
+            ));
+        }
+        o.push_str("\n],\n");
+
+        o.push_str("\"resources\": {");
+        first = true;
+        for (res, bytes) in &self.resource_bytes {
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            o.push_str(&format!("{}: {}", json_string(res), num(*bytes)));
+        }
+        o.push_str("}\n}\n");
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes;
+
+    fn feed_one_job(sink: &mut OnlineAggregator, id: u32, ratio: f64, cluster: &str) {
+        let t0 = SimTime::from_secs(10 * id as u64);
+        let t1 = t0 + SimDuration::from_secs(8);
+        sink.span(
+            "job",
+            &format!("grep#{id}"),
+            lanes::JOBS,
+            id,
+            t0,
+            t1,
+            &[
+                ("app", "grep".into()),
+                ("cluster", cluster.into()),
+                ("ratio", ratio.into()),
+                ("io_wait", 1_000_000u64.into()),
+            ],
+        );
+        let b1 = t0 + SimDuration::from_secs(1);
+        let b2 = t0 + SimDuration::from_secs(6);
+        let b3 = t0 + SimDuration::from_secs(7);
+        for (nm, s, e) in [
+            ("setup", t0, b1),
+            ("map", b1, b2),
+            ("shuffle", b2, b3),
+            ("reduce", b3, t1),
+        ] {
+            sink.span("phase", nm, lanes::JOBS, id, s, e, &[]);
+        }
+    }
+
+    #[test]
+    fn job_spans_feed_latency_and_critical_path() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig::default());
+        agg.name_process(0, "cluster/scale-up");
+        feed_one_job(&mut agg, 1, 1.6, "scale-up");
+        feed_one_job(&mut agg, 2, 0.1, "scale-out");
+        agg.finish(SimTime::from_secs(30));
+
+        assert_eq!(agg.jobs_seen(), 2);
+        assert!(agg.latency.contains_key(&("S/I>1", "scale-up".to_string())));
+        assert!(agg
+            .latency
+            .contains_key(&("S/I<0.4", "scale-out".to_string())));
+        // Map phase (5 s) dominates both jobs.
+        let b = agg.blame.get(&("S/I>1", "map")).expect("blamed on map");
+        assert_eq!(b.jobs, 1);
+        assert!((b.seconds - 8.0).abs() < 1e-9);
+        assert_eq!(agg.footprint().pending_jobs, 0);
+    }
+
+    #[test]
+    fn utilization_integrates_counter_steps() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig::default());
+        agg.counter("sched", "running_maps", 0, SimTime::from_secs(0), 2.0);
+        agg.counter("sched", "running_maps", 0, SimTime::from_secs(10), 0.0);
+        agg.finish(SimTime::from_secs(20));
+        let track = agg.util.get(&(0, "map")).unwrap();
+        let slot_ticks: f64 = track.busy.buckets().map(|(_, _, s)| s).sum();
+        // 2 tasks for 10 s, then idle: 20 slot-seconds.
+        assert!((slot_ticks / simcore::TICKS_PER_SEC as f64 - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn placement_audit_tallies_band_side_and_reason() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig::default());
+        for i in 0..3u32 {
+            agg.instant(
+                "placement",
+                "place:scale-up",
+                lanes::JOBS,
+                i,
+                SimTime::ZERO,
+                &[
+                    ("band", "S/I<0.4".into()),
+                    (
+                        "note",
+                        "rejected scale-out: input 1.00 GiB below cross point 10.00 GiB".into(),
+                    ),
+                ],
+            );
+        }
+        assert_eq!(
+            agg.placements.get(&("S/I<0.4".to_string(), "scale-up")),
+            Some(&3)
+        );
+        assert_eq!(
+            agg.rejections
+                .get(&("S/I<0.4".to_string(), "rejected scale-out".to_string())),
+            Some(&3)
+        );
+    }
+
+    #[test]
+    fn reason_tags_are_capped() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig {
+            max_reason_tags: 2,
+            ..Default::default()
+        });
+        for i in 0..5u32 {
+            agg.instant(
+                "placement",
+                "place:scale-out",
+                lanes::JOBS,
+                i,
+                SimTime::ZERO,
+                &[
+                    ("band", "b".into()),
+                    ("note", format!("reason-{i}: detail").into()),
+                ],
+            );
+        }
+        assert!(agg.rejections.len() <= 3, "{:?}", agg.rejections);
+        assert_eq!(
+            agg.rejections
+                .get(&("b".to_string(), "(other)".to_string())),
+            Some(&3)
+        );
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_well_formed() {
+        let build = || {
+            let mut agg = OnlineAggregator::new(TelemetryConfig::default());
+            agg.name_process(0, "cluster/scale-up");
+            agg.counter("sched", "running_maps", 0, SimTime::from_secs(1), 1.0);
+            feed_one_job(&mut agg, 7, 0.7, "scale-up");
+            agg.instant(
+                "fault",
+                "node_crash",
+                0,
+                0,
+                SimTime::from_secs(2),
+                &[("node", 0u64.into())],
+            );
+            agg.finish(SimTime::from_secs(60));
+            agg
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+        assert_eq!(a.render_json(), b.render_json());
+        let prom = a.render_prometheus();
+        assert!(prom.contains("hh_jobs_total 1"));
+        assert!(prom.contains("hh_fault_events_total{kind=\"node_crash\"} 1"));
+        assert!(prom.contains("band=\"0.4<=S/I<=1\""));
+        let json = a.render_json();
+        assert!(json.contains("\"schema\": \"hybrid-hadoop-telemetry/v1\""));
+        assert!(json.contains("\"cluster\": \"scale-up\""));
+    }
+}

@@ -195,6 +195,46 @@ fn main() {
         Better::Higher,
     );
 
+    // Telemetry overhead probe: the same replay with the bounded-memory
+    // OnlineAggregator attached. The gated entry is the on/off wall ratio —
+    // stable across machines, so the regression threshold bites on the
+    // aggregator's overhead, not the host's speed.
+    let trace = generate_facebook_trace(&cfg);
+    let mut with_metrics = fair.clone();
+    with_metrics.telemetry = Some(hybrid_hadoop::obs::TelemetryConfig::default());
+    let last = std::cell::RefCell::new(None);
+    let metrics_wall = bench::bench("trace/replay_metrics_on", replay_iters, || {
+        *last.borrow_mut() = Some(run_trace_with(
+            Architecture::Hybrid,
+            &policy,
+            &trace,
+            &with_metrics,
+        ));
+    });
+    let observed = last.into_inner().expect("bench ran at least once");
+    let agg = observed
+        .telemetry
+        .as_deref()
+        .expect("telemetry was requested");
+    trace_report.push(
+        "trace/replay_metrics_wall",
+        metrics_wall,
+        "s",
+        Better::Lower,
+    );
+    trace_report.push(
+        "trace/metrics_overhead",
+        metrics_wall / wall,
+        "x",
+        Better::Lower,
+    );
+    trace_report.push(
+        "trace/telemetry_events",
+        agg.events_seen() as f64,
+        "events",
+        Better::Lower,
+    );
+
     for (file, report) in [
         ("BENCH_engine.json", &engine),
         ("BENCH_sweep.json", &sweep_report),

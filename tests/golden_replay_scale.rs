@@ -111,5 +111,5 @@ fn fixed_seed_1k_observed_replay_is_byte_identical() {
         .as_deref()
         .expect("observed run records a trace")
         .chrome_trace();
-    assert_eq!(fingerprint(&observed, &chrome), 0x1b96_82fe_17d3_2ae1);
+    assert_eq!(fingerprint(&observed, &chrome), 0xff31_ebc2_3e6c_2b9b);
 }

@@ -1,0 +1,157 @@
+//! Golden guarantees for the streaming telemetry pipeline.
+//!
+//! Three contracts, mirroring the observability promises pinned by
+//! `golden_replay_scale.rs`:
+//!
+//! 1. **Byte-identical exposition** — a fixed-seed replay renders the same
+//!    Prometheus text and JSON snapshot on every run (the aggregator is a
+//!    pure function of the deterministic event stream; no map-iteration or
+//!    float-formatting nondeterminism leaks into the output).
+//! 2. **Zero perturbation** — attaching the aggregator leaves the plain
+//!    replay's FNV fingerprint unchanged: telemetry observes the
+//!    simulation, never steers it.
+//! 3. **Bounded memory** — the aggregator's state footprint is a function
+//!    of its bucket configuration, not of how many jobs streamed through.
+
+use hybrid_hadoop::hybrid_core::{run_trace, run_trace_with};
+use hybrid_hadoop::obs::TelemetryConfig;
+use hybrid_hadoop::prelude::*;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+/// The same outcome fingerprint as `golden_replay_scale.rs`, so the pinned
+/// constants are directly comparable across the two test files.
+fn fingerprint(out: &TraceOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_u64(&mut h, out.results.len() as u64);
+    for r in &out.results {
+        fnv_u64(&mut h, r.id.0 as u64);
+        fnv(&mut h, r.app.as_bytes());
+        fnv_u64(&mut h, r.input_size);
+        fnv_u64(&mut h, r.cluster as u64);
+        fnv(&mut h, r.cluster_name.as_bytes());
+        fnv_u64(&mut h, r.submit.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.end.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.execution.0);
+        fnv_u64(&mut h, r.map_phase.0);
+        fnv_u64(&mut h, r.shuffle_phase.0);
+        fnv_u64(&mut h, r.reduce_phase.0);
+        fnv_u64(&mut h, r.maps as u64);
+        fnv_u64(&mut h, r.reduces as u64);
+        fnv_u64(&mut h, r.map_waves as u64);
+        fnv_u64(&mut h, r.data_local_maps as u64);
+        match &r.failed {
+            None => fnv_u64(&mut h, 0),
+            Some(msg) => {
+                fnv_u64(&mut h, 1);
+                fnv(&mut h, msg.as_bytes());
+            }
+        }
+    }
+    for v in &out.up_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    for v in &out.out_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    fnv_u64(&mut h, out.makespan.0);
+    fnv(&mut h, "".as_bytes());
+    h
+}
+
+fn replay_cfg(jobs: usize) -> FacebookTraceConfig {
+    FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 * 12),
+        ..Default::default()
+    }
+}
+
+fn telemetry_tuning() -> DeploymentTuning {
+    DeploymentTuning {
+        telemetry: Some(TelemetryConfig::default()),
+        ..Default::default()
+    }
+}
+
+fn observed_1k() -> TraceOutcome {
+    let trace = generate_facebook_trace(&replay_cfg(1000));
+    run_trace_with(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+        &telemetry_tuning(),
+    )
+}
+
+#[test]
+fn fixed_seed_1k_exposition_is_byte_identical_across_runs() {
+    let a = observed_1k();
+    let b = observed_1k();
+    let agg_a = a.telemetry.as_deref().expect("telemetry was requested");
+    let agg_b = b.telemetry.as_deref().expect("telemetry was requested");
+
+    let prom = agg_a.render_prometheus();
+    let json = agg_a.render_json();
+    assert_eq!(prom, agg_b.render_prometheus());
+    assert_eq!(json, agg_b.render_json());
+
+    // Spot-check the content so "byte-identical" can't be satisfied by an
+    // accidentally empty exposition.
+    assert!(prom.contains("hh_jobs_total 1000"));
+    assert!(prom.contains("hh_job_latency_seconds{"));
+    assert!(prom.contains("hh_slot_busy_seconds_total{"));
+    assert!(prom.contains("hh_placement_decisions_total{"));
+    assert!(prom.contains("hh_critical_path_seconds_total{"));
+    assert!(json.contains("\"schema\": \"hybrid-hadoop-telemetry/v1\""));
+    assert!(json.contains("\"jobs\": 1000"));
+    assert_eq!(agg_a.jobs_seen(), 1000);
+}
+
+/// Attaching the aggregator must not perturb the simulation: the outcome
+/// fingerprint equals the plain-replay constant pinned in
+/// `golden_replay_scale.rs` (`fixed_seed_1k_observed_replay_is_byte_identical`).
+#[test]
+fn aggregator_leaves_replay_fingerprints_unchanged() {
+    let trace = generate_facebook_trace(&replay_cfg(1000));
+    let plain = run_trace(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+    );
+    let observed = observed_1k();
+    assert_eq!(observed.results, plain.results);
+    assert_eq!(fingerprint(&plain), 0xa57b_9d38_8dad_12ee);
+    assert_eq!(fingerprint(&observed), 0xa57b_9d38_8dad_12ee);
+    assert!(plain.telemetry.is_none(), "telemetry off ⇒ no aggregator");
+}
+
+/// O(buckets) memory: the aggregator's state footprint is identical after a
+/// 250-job and a 1000-job replay — the event count grows 4×, the state does
+/// not grow at all.
+#[test]
+fn aggregator_footprint_is_independent_of_job_count() {
+    let run = |jobs: usize| {
+        let trace = generate_facebook_trace(&replay_cfg(jobs));
+        let out = run_trace_with(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+            &telemetry_tuning(),
+        );
+        *out.telemetry.expect("telemetry was requested")
+    };
+    let small = run(250);
+    let large = run(1000);
+    assert!(large.events_seen() > 2 * small.events_seen());
+    assert_eq!(small.footprint(), large.footprint());
+}
