@@ -25,6 +25,7 @@ pub use runner::{
     sweep_with,
 };
 pub use trace::{
-    quantile_stats, run_trace, run_trace_replicated, run_trace_replicated_with,
-    run_trace_streaming_with, run_trace_with, TraceOutcome,
+    quantile_stats, run_trace, run_trace_adaptive_streaming_with, run_trace_adaptive_with,
+    run_trace_replicated, run_trace_replicated_with, run_trace_streaming_with, run_trace_with,
+    TraceOutcome,
 };

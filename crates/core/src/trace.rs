@@ -11,10 +11,13 @@
 //! CDFs compare the same job populations.
 
 use crate::architecture::{Architecture, Deployment, DeploymentTuning};
-use mapreduce::{FaultStats, JobId, JobResult, JobSpec};
+use mapreduce::{FaultStats, JobId, JobResult, JobSpec, OnlineRouter, RouteDecision};
 use metrics::EmpiricalCdf;
-use scheduler::{ClusterLoads, CrossPointScheduler, JobPlacement, Placement};
+use scheduler::{
+    AdaptiveDecision, AdaptiveScheduler, ClusterLoads, CrossPointScheduler, JobPlacement, Placement,
+};
 use simcore::SimDuration;
+use simcore::SimTime;
 use std::collections::HashMap;
 
 /// Outcome of one trace replay.
@@ -45,6 +48,10 @@ pub struct TraceOutcome {
     /// timelines, latency histograms, fault counters, placement audit, and
     /// critical-path attribution, ready for Prometheus/JSON exposition.
     pub telemetry: Option<Box<obs::OnlineAggregator>>,
+    /// The closed-loop scheduler recovered after an adaptive replay
+    /// ([`run_trace_adaptive_with`] and friends): final thresholds and the
+    /// full recalibration audit trail. `None` on static replays.
+    pub adaptive: Option<Box<AdaptiveScheduler>>,
 }
 
 impl TraceOutcome {
@@ -128,6 +135,130 @@ fn record_placement(
     );
 }
 
+/// Human-readable GiB for decision notes (matches the scheduler crate's
+/// formatting so audit tags aggregate consistently).
+fn gib(bytes: u64) -> String {
+    format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
+}
+
+/// The audit note for one adaptive decision, in the same
+/// `"<tag>: <detail>"` shape as [`CrossPointScheduler`]'s explain notes so
+/// the telemetry layer's reason-tagging groups them alongside the static
+/// policy's ("rejected scale-up", "rejected scale-out", and the new
+/// "exploration probe").
+fn adaptive_note(d: &AdaptiveDecision, input_size: u64) -> String {
+    match (d.probe, d.placement) {
+        (true, Placement::ScaleUp) => format!(
+            "exploration probe: sampling scale-up at {} against cross point {}",
+            gib(input_size),
+            gib(d.threshold)
+        ),
+        (true, Placement::ScaleOut) => format!(
+            "exploration probe: sampling scale-out at {} against cross point {}",
+            gib(input_size),
+            gib(d.threshold)
+        ),
+        (false, Placement::ScaleUp) => format!(
+            "rejected scale-out: input {} below cross point {}",
+            gib(input_size),
+            gib(d.threshold)
+        ),
+        (false, Placement::ScaleOut) => format!(
+            "rejected scale-up: input {} at/above cross point {}",
+            gib(input_size),
+            gib(d.threshold)
+        ),
+    }
+}
+
+/// Bridges an [`AdaptiveScheduler`] into the engine's [`OnlineRouter`] hook:
+/// maps placements to the deployment's cluster indices, remembers each
+/// in-flight job's size and ratio (a [`JobResult`] carries neither the ratio
+/// nor the probe flag), and feeds successful completions back into the
+/// closed loop.
+struct AdaptiveRouter {
+    policy: AdaptiveScheduler,
+    up: Option<usize>,
+    out: Option<usize>,
+    inflight: HashMap<JobId, (u64, f64)>,
+}
+
+impl OnlineRouter for AdaptiveRouter {
+    fn route(&mut self, spec: &JobSpec, _now: SimTime, annotate: bool) -> RouteDecision {
+        let d = self.policy.route(spec);
+        self.inflight
+            .insert(spec.id, (spec.input_size, spec.profile.shuffle_input_ratio));
+        let cluster = match d.placement {
+            Placement::ScaleUp => self.up.or(self.out),
+            Placement::ScaleOut => self.out.or(self.up),
+        }
+        .expect("deployment has at least one cluster");
+        let annotation = annotate.then(|| {
+            let name = match d.placement {
+                Placement::ScaleUp => "place:scale-up",
+                Placement::ScaleOut => "place:scale-out",
+            };
+            let args: Vec<(&'static str, obs::ArgValue)> = vec![
+                ("job", obs::ArgValue::from(spec.id.0)),
+                ("policy", obs::ArgValue::from("adaptive")),
+                ("band", obs::ArgValue::from(d.band)),
+                ("input_bytes", obs::ArgValue::from(spec.input_size)),
+                ("cross_point_bytes", obs::ArgValue::from(d.threshold)),
+                ("probe", obs::ArgValue::from(d.probe)),
+                (
+                    "note",
+                    obs::ArgValue::from(adaptive_note(&d, spec.input_size)),
+                ),
+            ];
+            ("placement", name, args)
+        });
+        RouteDecision {
+            cluster,
+            annotation,
+        }
+    }
+
+    fn on_complete(&mut self, result: &JobResult) -> Option<mapreduce::RouterAnnotation> {
+        let (input_size, ratio) = self.inflight.remove(&result.id)?;
+        if !result.succeeded() {
+            return None;
+        }
+        // Side observed = where the job actually ran (a single-cluster
+        // fallback may differ from the decision).
+        let ran_up = Some(result.cluster) == self.up;
+        let rec = self
+            .policy
+            .observe(input_size, ratio, ran_up, result.execution.as_secs_f64())?;
+        let note = format!(
+            "recalibrated {}: cross point {} -> {} (estimate {}{}{})",
+            rec.band,
+            gib(rec.old_bytes),
+            gib(rec.new_bytes),
+            gib(rec.estimate_bytes.round() as u64),
+            if rec.stepped { ", step-limited" } else { "" },
+            if rec.clamped { ", clamped" } else { "" },
+        );
+        Some((
+            "scheduler",
+            "recalibrate",
+            vec![
+                ("band", obs::ArgValue::from(rec.band)),
+                ("old_bytes", obs::ArgValue::from(rec.old_bytes)),
+                ("new_bytes", obs::ArgValue::from(rec.new_bytes)),
+                ("estimate_bytes", obs::ArgValue::from(rec.estimate_bytes)),
+                ("window_up", obs::ArgValue::from(rec.window_up as u64)),
+                ("window_out", obs::ArgValue::from(rec.window_out as u64)),
+                ("completions", obs::ArgValue::from(rec.completions)),
+                ("note", obs::ArgValue::from(note)),
+            ],
+        ))
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// Replay `trace` on `arch` routing via `policy`, classifying jobs with the
 /// paper's default cross-point scheduler.
 pub fn run_trace(arch: Architecture, policy: &dyn JobPlacement, trace: &[JobSpec]) -> TraceOutcome {
@@ -195,9 +326,76 @@ where
         deployment.submit_placed(spec, placement);
     }
 
+    finish_replay(arch, policy.name().to_string(), deployment, &class_of)
+}
+
+/// [`run_trace_with`] routed by a closed-loop [`AdaptiveScheduler`] instead
+/// of a static policy: the scheduler is consumed (it mutates as it learns)
+/// and recovered — final thresholds, audit trail and all — in
+/// [`TraceOutcome::adaptive`].
+///
+/// With [`scheduler::AdaptiveConfig::exploration`] set to zero the decision
+/// stream is provably identical to the static [`CrossPointScheduler`] the
+/// loop started from, so results are bitwise-equal to a static replay.
+pub fn run_trace_adaptive_with(
+    arch: Architecture,
+    adaptive: AdaptiveScheduler,
+    trace: &[JobSpec],
+    tuning: &DeploymentTuning,
+) -> TraceOutcome {
+    run_trace_adaptive_streaming_with(arch, adaptive, trace.iter().cloned(), tuning)
+}
+
+/// [`run_trace_adaptive_with`] over a lazily produced job stream.
+///
+/// Unlike the static streaming path, jobs are routed *at arrival inside the
+/// event loop* ([`mapreduce::Simulation::submit_routed`]), so a decision
+/// sees every completion with an earlier timestamp — the feedback a live
+/// JobTracker would have — while arrival ordering and event tie-breaking
+/// stay identical to the static path.
+pub fn run_trace_adaptive_streaming_with<I>(
+    arch: Architecture,
+    adaptive: AdaptiveScheduler,
+    trace: I,
+    tuning: &DeploymentTuning,
+) -> TraceOutcome
+where
+    I: IntoIterator<Item = JobSpec>,
+{
+    let trace = trace.into_iter();
+    let classifier = CrossPointScheduler::default();
+    let mut deployment = Deployment::build_with(arch, tuning);
+    deployment.sim.set_router(Box::new(AdaptiveRouter {
+        policy: adaptive,
+        up: deployment.up_cluster,
+        out: deployment.out_cluster,
+        inflight: HashMap::new(),
+    }));
+    let mut class_of: HashMap<JobId, Placement> = HashMap::with_capacity(trace.size_hint().0);
+    for spec in trace {
+        class_of.insert(spec.id, classifier.place(&spec, &ClusterLoads::default()));
+        deployment.sim.submit_routed(spec);
+    }
+    finish_replay(arch, "adaptive".to_string(), deployment, &class_of)
+}
+
+/// Run the submitted deployment to completion and fold the results into a
+/// [`TraceOutcome`], recovering whatever observability state (recorder,
+/// aggregator, adaptive router) the replay carried.
+fn finish_replay(
+    arch: Architecture,
+    policy: String,
+    mut deployment: Deployment,
+    class_of: &HashMap<JobId, Placement>,
+) -> TraceOutcome {
     let results = deployment.sim.run().to_vec();
     let recorder = deployment.sim.take_observability();
     let telemetry = deployment.sim.take_sink::<obs::OnlineAggregator>();
+    let adaptive = deployment
+        .sim
+        .take_router()
+        .and_then(|r| r.into_any().downcast::<AdaptiveRouter>().ok())
+        .map(|r| Box::new(r.policy));
     let fault_stats = deployment.sim.fault_stats().clone();
     let makespan = results
         .iter()
@@ -220,7 +418,7 @@ where
     }
     TraceOutcome {
         arch,
-        policy: policy.name().to_string(),
+        policy,
         results,
         up_class_exec,
         out_class_exec,
@@ -228,6 +426,7 @@ where
         fault_stats,
         recorder,
         telemetry,
+        adaptive,
     }
 }
 
@@ -413,6 +612,79 @@ mod tests {
         // Single-cluster baselines keep a floor on the side they lack.
         let (up_r, out_r) = backlog_drain_rates(Architecture::RHadoop, &tuning);
         assert!(up_r >= 1.0 && out_r > 1.0);
+    }
+
+    #[test]
+    fn adaptive_without_exploration_matches_static_replay_exactly() {
+        let trace = small_trace(80);
+        let static_out = run_trace(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+        );
+        let frozen = AdaptiveScheduler::new(scheduler::AdaptiveConfig {
+            exploration: 0.0,
+            ..Default::default()
+        });
+        let adaptive_out = run_trace_adaptive_with(
+            Architecture::Hybrid,
+            frozen,
+            &trace,
+            &DeploymentTuning::default(),
+        );
+        assert_eq!(adaptive_out.results, static_out.results);
+        assert_eq!(adaptive_out.up_class_exec, static_out.up_class_exec);
+        assert_eq!(adaptive_out.makespan, static_out.makespan);
+        assert_eq!(adaptive_out.policy, "adaptive");
+        let recovered = adaptive_out.adaptive.expect("adaptive state is recovered");
+        assert_eq!(recovered.snapshot(), CrossPointScheduler::default());
+        assert!(recovered.recalibrations().is_empty());
+        assert_eq!(recovered.completions(), trace.len() as u64);
+        assert!(static_out.adaptive.is_none());
+    }
+
+    #[test]
+    fn adaptive_streaming_matches_sliced_adaptive() {
+        let cfg = FacebookTraceConfig {
+            jobs: 60,
+            window: simcore::SimDuration::from_secs(720),
+            ..Default::default()
+        };
+        let materialized = generate_facebook_trace(&cfg);
+        let cfg_a = scheduler::AdaptiveConfig::default();
+        let sliced = run_trace_adaptive_with(
+            Architecture::Hybrid,
+            AdaptiveScheduler::new(cfg_a.clone()),
+            &materialized,
+            &DeploymentTuning::default(),
+        );
+        let streamed = run_trace_adaptive_streaming_with(
+            Architecture::Hybrid,
+            AdaptiveScheduler::new(cfg_a),
+            workload::facebook::stream(&cfg),
+            &DeploymentTuning::default(),
+        );
+        assert_eq!(streamed.results, sliced.results);
+        assert_eq!(streamed.makespan, sliced.makespan);
+        let (a, b) = (sliced.adaptive.unwrap(), streamed.adaptive.unwrap());
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.recalibrations(), b.recalibrations());
+    }
+
+    #[test]
+    fn adaptive_replay_on_single_cluster_architectures_is_harmless() {
+        // No up side: every decision lands on the only cluster and every
+        // completion is an out-side sample, so nothing can pair.
+        let trace = small_trace(30);
+        let out = run_trace_adaptive_with(
+            Architecture::THadoop,
+            AdaptiveScheduler::default(),
+            &trace,
+            &DeploymentTuning::default(),
+        );
+        assert_eq!(out.results.len(), 30);
+        let recovered = out.adaptive.unwrap();
+        assert!(recovered.recalibrations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Static vs. adaptive cross-point scheduling under drifting workloads.
+//!
+//! Replays the same FB-2009 synthesis on the hybrid architecture under the
+//! four standard [`workload::DriftScenario`]s — stationary, scale-up
+//! slowdown (half the fat side dies mid-trace), shuffle-mix shift (the band
+//! mix turns aggregation-heavy), and both at once — once with the frozen
+//! Algorithm-1 thresholds and once with the closed-loop
+//! [`scheduler::AdaptiveScheduler`]. Prints a makespan / latency / audit
+//! table per scenario. Everything is a pure function of the seed: rerunning
+//! prints identical bytes.
+//!
+//! Flags:
+//! - `--jobs N` — trace length (default 2500).
+//! - `--metrics-out <path>` — also write the Prometheus exposition (and a
+//!   JSON snapshot beside it) of the *adaptive combined-drift* run, which
+//!   carries the `hh_crosspoint_*` recalibration audit.
+
+use experiments::common::{flag_value, write_metrics};
+use hybrid_core::{
+    run_trace_adaptive_with, run_trace_with, Architecture, DeploymentTuning, TraceOutcome,
+};
+use scheduler::{AdaptiveScheduler, CrossPointScheduler, BAND_LABELS};
+use simcore::SimDuration;
+use workload::{generate_facebook_trace, DriftScenario, FacebookTraceConfig};
+
+fn quantile(outcome: &TraceOutcome, q: f64) -> f64 {
+    let mut sojourns: Vec<f64> = outcome
+        .results
+        .iter()
+        .map(|r| r.end.since(r.submit).as_secs_f64())
+        .collect();
+    sojourns.sort_by(f64::total_cmp);
+    sojourns[((sojourns.len() - 1) as f64 * q) as usize]
+}
+
+fn row(scenario: &str, policy: &str, out: &TraceOutcome) -> Vec<String> {
+    let (recals, thresholds) = match out.adaptive.as_deref() {
+        Some(s) => (
+            s.recalibrations().len().to_string(),
+            (0..BAND_LABELS.len())
+                .map(|b| format!("{:.1}G", s.threshold_of(b) as f64 / (1u64 << 30) as f64))
+                .collect::<Vec<_>>()
+                .join("/"),
+        ),
+        None => ("-".into(), "32.0G/16.0G/10.0G".into()),
+    };
+    vec![
+        scenario.to_string(),
+        policy.to_string(),
+        metrics::table::fmt_secs(out.makespan.as_secs_f64()),
+        metrics::table::fmt_secs(quantile(out, 0.50)),
+        metrics::table::fmt_secs(quantile(out, 0.95)),
+        out.failures().to_string(),
+        recals,
+        thresholds,
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: usize = flag_value(&args, "--jobs")
+        .map(|s| s.parse().expect("--jobs takes a number"))
+        .unwrap_or(2500);
+    let metrics_out = flag_value(&args, "--metrics-out");
+
+    // The drift-differential regime of `tests/adaptive_convergence.rs`:
+    // heavy enough that placement decides the queueing tail, shrunk hard
+    // enough that no single monster job pins the makespan.
+    let base = FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 * 2),
+        shrink_factor: 20.0,
+        ..Default::default()
+    };
+    let drift_at = SimDuration::from_secs(jobs as u64 / 2);
+
+    let mut rows = Vec::new();
+    for scenario in DriftScenario::all(drift_at) {
+        let trace = generate_facebook_trace(&scenario.trace_config(&base));
+        let tuning = DeploymentTuning {
+            fault: scenario.fault_plan(),
+            ..Default::default()
+        };
+        let static_out = run_trace_with(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+            &tuning,
+        );
+        rows.push(row(scenario.name, "static", &static_out));
+
+        let telemetry_here =
+            metrics_out.is_some() && scenario.band_shift.is_some() && scenario.node_loss.is_some();
+        let adaptive_tuning = DeploymentTuning {
+            fault: scenario.fault_plan(),
+            telemetry: telemetry_here.then(obs::TelemetryConfig::default),
+            ..Default::default()
+        };
+        let adaptive_out = run_trace_adaptive_with(
+            Architecture::Hybrid,
+            AdaptiveScheduler::default(),
+            &trace,
+            &adaptive_tuning,
+        );
+        rows.push(row(scenario.name, "adaptive", &adaptive_out));
+        if telemetry_here {
+            let agg = adaptive_out
+                .telemetry
+                .as_deref()
+                .expect("telemetry was requested");
+            write_metrics(agg, metrics_out.as_deref().expect("checked above"));
+        }
+    }
+
+    println!(
+        "drift sweep: {jobs} jobs, {} window, drift at {}, hybrid architecture",
+        metrics::table::fmt_secs(base.window.as_secs_f64()),
+        metrics::table::fmt_secs(drift_at.as_secs_f64()),
+    );
+    print!(
+        "{}",
+        metrics::table::render(
+            &[
+                "scenario",
+                "policy",
+                "makespan",
+                "p50",
+                "p95",
+                "failures",
+                "recals",
+                "cross points"
+            ],
+            &rows,
+        )
+    );
+}

@@ -11,6 +11,11 @@
 //!   [`obs::OnlineAggregator`] and write its Prometheus text exposition to
 //!   `<path>` plus a JSON snapshot beside it. Deterministic: same build,
 //!   same seed, same bytes.
+//! - `--policy adaptive` — (with `--jobs`) route through the closed-loop
+//!   [`scheduler::AdaptiveScheduler`] instead of the static cross-point
+//!   policy, and print the live thresholds it converged to plus its
+//!   recalibration count. `--policy static` (the default) keeps Algorithm 1
+//!   frozen.
 //! - `--trace-out <path>` — export the observed Wordcount batch as a
 //!   Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
 //!   The `TRACE_OUT` env var still works as a deprecated fallback.
@@ -22,15 +27,20 @@ use experiments::common::{flag_value, trace_out_path, write_csv, write_metrics};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let metrics_out = flag_value(&args, "--metrics-out");
+    let policy = flag_value(&args, "--policy").unwrap_or_else(|| "static".into());
+    if !matches!(policy.as_str(), "static" | "adaptive") {
+        eprintln!("--policy must be 'static' or 'adaptive', got {policy:?}");
+        std::process::exit(2);
+    }
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         let jobs: usize = args
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| {
-                eprintln!("usage: fig5 [--jobs N] [--metrics-out PATH] [--trace-out PATH] [--out-dir DIR]");
+                eprintln!("usage: fig5 [--jobs N] [--policy static|adaptive] [--metrics-out PATH] [--trace-out PATH] [--out-dir DIR]");
                 std::process::exit(2);
             });
-        replay_at_scale(jobs, metrics_out.as_deref());
+        replay_at_scale(jobs, metrics_out.as_deref(), &policy);
         return;
     }
     print!("{}", experiments::figures::fig5());
@@ -72,9 +82,11 @@ fn main() {
 /// full trace in memory: the generator streams one `JobSpec` at a time into
 /// the replay loop, and measurement (when requested) streams through the
 /// bounded-memory aggregator rather than buffering spans.
-fn replay_at_scale(jobs: usize, metrics_out: Option<&str>) {
-    use hybrid_core::{run_trace_streaming_with, Architecture, DeploymentTuning};
-    use scheduler::CrossPointScheduler;
+fn replay_at_scale(jobs: usize, metrics_out: Option<&str>, policy: &str) {
+    use hybrid_core::{
+        run_trace_adaptive_streaming_with, run_trace_streaming_with, Architecture, DeploymentTuning,
+    };
+    use scheduler::{AdaptiveScheduler, CrossPointScheduler, BAND_LABELS};
     use workload::FacebookTraceConfig;
 
     // The paper's replay is 6000 jobs over 8 hours — 4.8 s between
@@ -89,14 +101,25 @@ fn replay_at_scale(jobs: usize, metrics_out: Option<&str>) {
         telemetry: metrics_out.map(|_| obs::TelemetryConfig::default()),
         ..Default::default()
     };
-    eprintln!("replaying {jobs} jobs (streaming generator, hybrid architecture)...");
-    let start = std::time::Instant::now();
-    let out = run_trace_streaming_with(
-        Architecture::Hybrid,
-        &CrossPointScheduler::default(),
-        workload::facebook::stream(&cfg),
-        &tuning,
+    eprintln!(
+        "replaying {jobs} jobs (streaming generator, hybrid architecture, {policy} policy)..."
     );
+    let start = std::time::Instant::now();
+    let out = if policy == "adaptive" {
+        run_trace_adaptive_streaming_with(
+            Architecture::Hybrid,
+            AdaptiveScheduler::default(),
+            workload::facebook::stream(&cfg),
+            &tuning,
+        )
+    } else {
+        run_trace_streaming_with(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            workload::facebook::stream(&cfg),
+            &tuning,
+        )
+    };
     let wall = start.elapsed().as_secs_f64();
     println!("jobs:        {}", out.results.len());
     println!("failures:    {}", out.failures());
@@ -113,6 +136,15 @@ fn replay_at_scale(jobs: usize, metrics_out: Option<&str>) {
         "wall:        {wall:.2} s ({:.0} jobs/s)",
         jobs as f64 / wall
     );
+    if let Some(sched) = out.adaptive.as_deref() {
+        println!("recalibrations: {}", sched.recalibrations().len());
+        for (band, label) in BAND_LABELS.iter().enumerate() {
+            println!(
+                "  {label:<14} cross point {:.2} GiB",
+                sched.threshold_of(band) as f64 / (1u64 << 30) as f64
+            );
+        }
+    }
     if let Some(path) = metrics_out {
         let agg = out.telemetry.as_deref().expect("telemetry was requested");
         let fp = agg.footprint();

@@ -38,6 +38,7 @@ use obs::{ArgValue, Recorder, TelemetrySink};
 use simcore::fault::{FaultPlan, NodeFaultKind, ServerFaultKind};
 use simcore::rng::DetRng;
 use simcore::{EventQueue, FlowId, FlowNetwork, NetResourceId, SimDuration, SimTime};
+use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use storage::plan::Transfer;
 use storage::{DfsModel, FileId, IoKind, IoPlan};
@@ -206,6 +207,9 @@ struct JobState {
     parked_reduces: Vec<u32>,
     phase: JobPhase,
     failure: Option<String>,
+    /// Cluster is a placeholder until the arrival event asks the attached
+    /// [`OnlineRouter`] (jobs submitted via [`Simulation::submit_routed`]).
+    routed: bool,
 }
 
 struct ClusterState {
@@ -268,6 +272,49 @@ pub struct FaultStats {
     pub server_degradations: u64,
 }
 
+/// A telemetry annotation a router attaches to a decision or a completion:
+/// `(category, name, args)`, emitted as an instant on the jobs lane when a
+/// sink is attached.
+pub type RouterAnnotation = (&'static str, &'static str, Vec<(&'static str, ArgValue)>);
+
+/// The cluster choice an [`OnlineRouter`] makes for one arriving job.
+#[derive(Debug)]
+pub struct RouteDecision {
+    /// Target cluster, an index into the simulation's cluster list.
+    pub cluster: usize,
+    /// Optional decision audit, emitted at the arrival time. Routers should
+    /// only build it when asked to (the `annotate` argument of
+    /// [`OnlineRouter::route`]).
+    pub annotation: Option<RouterAnnotation>,
+}
+
+/// A closed-loop placement policy living *inside* the event loop.
+///
+/// Jobs submitted with [`Simulation::submit_routed`] carry no cluster; when
+/// their arrival event fires the attached router picks one, and every
+/// completed job is fed back through [`OnlineRouter::on_complete`] — so the
+/// router observes exactly what a live JobTracker would (decisions made
+/// with only the past visible, completions in simulation order).
+///
+/// Routers are deterministic state machines: they may keep their own seeded
+/// RNG but have no access to the engine's, and their only influence on the
+/// simulation is the returned cluster index. Telemetry stays passive — the
+/// annotations a router returns are broadcast by the engine and never read
+/// back.
+pub trait OnlineRouter {
+    /// Choose a cluster for an arriving job. `annotate` is true when a
+    /// telemetry sink is attached and an audit annotation is wanted.
+    fn route(&mut self, spec: &JobSpec, now: SimTime, annotate: bool) -> RouteDecision;
+
+    /// Observe one completed (or failed) job, optionally returning an audit
+    /// annotation to broadcast at the completion time.
+    fn on_complete(&mut self, result: &JobResult) -> Option<RouterAnnotation>;
+
+    /// Recover the concrete router for post-run inspection (mirrors
+    /// [`TelemetrySink::into_any`]).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
 /// The simulator: clusters + a DFS + the event loop.
 pub struct Simulation {
     queue: EventQueue<Ev>,
@@ -310,6 +357,9 @@ pub struct Simulation {
     /// sink is attached: `(kind, owning job id)` — `None` for background
     /// traffic.
     flow_meta: HashMap<FlowId, (FlowKind, Option<u32>)>,
+    /// Closed-loop placement policy for jobs submitted via
+    /// [`Simulation::submit_routed`] (see [`OnlineRouter`]).
+    router: Option<Box<dyn OnlineRouter>>,
 }
 
 impl Simulation {
@@ -375,6 +425,7 @@ impl Simulation {
             log_flows: false,
             log_tasks: false,
             flow_meta: HashMap::new(),
+            router: None,
         }
     }
 
@@ -534,9 +585,46 @@ impl Simulation {
     /// the current simulation time.
     pub fn submit(&mut self, spec: JobSpec, cluster: usize) {
         assert!(cluster < self.clusters.len(), "no such cluster: {cluster}");
+        self.submit_inner(spec, cluster, false);
+    }
+
+    /// Submit a job whose cluster is chosen by the attached [`OnlineRouter`]
+    /// when the arrival event fires — i.e. with everything the router has
+    /// learned from completions *before* that instant, not at submission
+    /// time. Arrival ordering (and therefore event tie-breaking) is
+    /// identical to [`Simulation::submit`].
+    ///
+    /// # Panics
+    /// Panics when no router is attached (see [`Simulation::set_router`]).
+    pub fn submit_routed(&mut self, spec: JobSpec) {
+        assert!(
+            self.router.is_some(),
+            "submit_routed requires a router (Simulation::set_router)"
+        );
+        self.submit_inner(spec, 0, true);
+    }
+
+    /// Attach the closed-loop placement policy used by
+    /// [`Simulation::submit_routed`], replacing any previous one.
+    pub fn set_router(&mut self, router: Box<dyn OnlineRouter>) {
+        self.router = Some(router);
+    }
+
+    /// Detach and return the router, e.g. to inspect its adapted state
+    /// after a run (downcast via [`OnlineRouter::into_any`]).
+    pub fn take_router(&mut self) -> Option<Box<dyn OnlineRouter>> {
+        self.router.take()
+    }
+
+    fn submit_inner(&mut self, spec: JobSpec, cluster: usize, routed: bool) {
         let j = self.jobs.len();
         let submit = spec.submit;
-        let nodes = self.clusters[cluster].built.nodes.len();
+        // Routed jobs size `maps_by_node` at arrival, once a cluster exists.
+        let nodes = if routed {
+            0
+        } else {
+            self.clusters[cluster].built.nodes.len()
+        };
         self.jobs.push(JobState {
             input_files: Vec::new(),
             output_files: Vec::new(),
@@ -573,6 +661,7 @@ impl Simulation {
             parked_reduces: Vec::new(),
             phase: JobPhase::Waiting,
             failure: None,
+            routed,
             spec,
         });
         self.queue.push(submit, Ev::Arrive(j));
@@ -668,6 +757,9 @@ impl Simulation {
 
     fn on_arrive(&mut self, j: usize) {
         let now = self.queue.now();
+        if self.jobs[j].routed {
+            self.resolve_route(j, now);
+        }
         let block = self.dfs.block_size();
         let input = self.jobs[j].spec.input_size;
         let file_size = self.clusters[self.jobs[j].cluster]
@@ -726,6 +818,53 @@ impl Simulation {
         job.phase = JobPhase::Running;
         let setup = cluster.cfg.job_setup;
         self.queue.push(now + setup, Ev::SetupDone(j));
+    }
+
+    /// Ask the attached router for a deferred job's cluster, right before
+    /// the rest of arrival handling reads it. The router is temporarily
+    /// taken out of `self` so it can borrow the job spec.
+    fn resolve_route(&mut self, j: usize, now: SimTime) {
+        let mut router = self
+            .router
+            .take()
+            .expect("routed job arrived without an attached router");
+        let decision = router.route(&self.jobs[j].spec, now, !self.sinks.is_empty());
+        self.router = Some(router);
+        assert!(
+            decision.cluster < self.clusters.len(),
+            "router chose cluster {} of {}",
+            decision.cluster,
+            self.clusters.len()
+        );
+        let nodes = self.clusters[decision.cluster].built.nodes.len();
+        let job = &mut self.jobs[j];
+        job.cluster = decision.cluster;
+        job.maps_by_node = vec![0; nodes];
+        job.routed = false;
+        if let Some((cat, name, args)) = decision.annotation {
+            if self.telemetry_active() {
+                let id = self.jobs[j].spec.id.0;
+                self.emit_instant(cat, name, obs::lanes::JOBS, id, now, args);
+            }
+        }
+    }
+
+    /// Feed the result just pushed onto `self.results` back to the router,
+    /// broadcasting any audit annotation it returns (e.g. a threshold
+    /// recalibration) at the completion time.
+    fn router_feedback(&mut self) {
+        let Some(mut router) = self.router.take() else {
+            return;
+        };
+        let result = self.results.last().expect("feedback follows a result");
+        let (id, end) = (result.id.0, result.end);
+        let annotation = router.on_complete(result);
+        self.router = Some(router);
+        if let Some((cat, name, args)) = annotation {
+            if self.telemetry_active() {
+                self.emit_instant(cat, name, obs::lanes::JOBS, id, end, args);
+            }
+        }
     }
 
     fn on_setup_done(&mut self, j: usize) {
@@ -1951,6 +2090,7 @@ impl Simulation {
         };
         self.results.push(result);
         self.obs_job_spans(j, now);
+        self.router_feedback();
     }
 
     fn job_complete(&mut self, j: usize) {
@@ -1992,6 +2132,7 @@ impl Simulation {
         }
         self.results.push(result);
         self.obs_job_spans(j, now);
+        self.router_feedback();
     }
 }
 

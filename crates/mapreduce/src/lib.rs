@@ -15,7 +15,9 @@ pub mod profile;
 pub mod queue;
 
 pub use config::EngineConfig;
-pub use engine::{FaultStats, Simulation, TaskKind, TaskRecord};
+pub use engine::{
+    FaultStats, OnlineRouter, RouteDecision, RouterAnnotation, Simulation, TaskKind, TaskRecord,
+};
 pub use job::{JobId, JobResult, JobSpec};
 pub use profile::JobProfile;
 pub use queue::{TaskQueue, TaskSchedPolicy};

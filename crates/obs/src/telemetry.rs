@@ -42,7 +42,7 @@ use crate::{ArgValue, TelemetrySink};
 use metrics::{LogHistogram, TimeBuckets};
 use simcore::{SimDuration, SimTime};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Sizing knobs for [`OnlineAggregator`]. Every field bounds a fixed-size
 /// structure; none of them grows with job count.
@@ -61,6 +61,9 @@ pub struct TelemetryConfig {
     /// Cap on distinct rejected-alternative reason tags; overflow collapses
     /// into `"(other)"`.
     pub max_reason_tags: usize,
+    /// Most recent scheduler-recalibration decision notes retained (the
+    /// per-band gauges and counters are unaffected by this cap).
+    pub max_recal_notes: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -72,6 +75,7 @@ impl Default for TelemetryConfig {
             latency_max_s: 1e5,
             latency_buckets: 50,
             max_reason_tags: 64,
+            max_recal_notes: 16,
         }
     }
 }
@@ -92,6 +96,10 @@ pub struct TelemetryFootprint {
     pub reason_tags: usize,
     /// Critical-path pending-job slots (0 or 1).
     pub pending_jobs: usize,
+    /// Bands with a live adaptive cross-point gauge (≤ the 4 band labels).
+    pub crosspoint_bands: usize,
+    /// Recalibration decision notes retained (≤ `max_recal_notes`).
+    pub recal_notes: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +139,13 @@ pub struct OnlineAggregator {
     rereplicated_bytes: f64,
     placements: BTreeMap<(String, &'static str), u64>,
     rejections: BTreeMap<(String, String), u64>,
+    /// Live adaptive cross-point per band: latest `new_bytes` seen on a
+    /// `scheduler`/`recalibrate` instant. Bounded by the band label set.
+    crosspoint_bytes: BTreeMap<String, f64>,
+    /// Recalibrations applied per band.
+    crosspoint_updates: BTreeMap<String, u64>,
+    /// Most recent recalibration notes, capped at `max_recal_notes`.
+    recal_notes: VecDeque<String>,
     resource_bytes: BTreeMap<String, f64>,
     blame: BTreeMap<(&'static str, &'static str), Blame>,
     pending: Option<PendingJob>,
@@ -192,6 +207,9 @@ impl OnlineAggregator {
             rereplicated_bytes: 0.0,
             placements: BTreeMap::new(),
             rejections: BTreeMap::new(),
+            crosspoint_bytes: BTreeMap::new(),
+            crosspoint_updates: BTreeMap::new(),
+            recal_notes: VecDeque::new(),
             resource_bytes: BTreeMap::new(),
             blame: BTreeMap::new(),
             pending: None,
@@ -218,6 +236,8 @@ impl OnlineAggregator {
             latency_buckets_per_set: self.cfg.latency_buckets,
             reason_tags: self.rejections.len(),
             pending_jobs: usize::from(self.pending.is_some()),
+            crosspoint_bands: self.crosspoint_bytes.len(),
+            recal_notes: self.recal_notes.len(),
         }
     }
 
@@ -358,6 +378,24 @@ impl TelemetrySink for OnlineAggregator {
                             .rejections
                             .entry((key.0, "(other)".to_string()))
                             .or_insert(0) += 1;
+                    }
+                }
+            }
+            // Closed-loop recalibration audit (adaptive replays): track the
+            // live per-band cross point, count updates, and keep the most
+            // recent decision notes.
+            "scheduler" if name == "recalibrate" => {
+                let band = arg_str(args, "band").unwrap_or("?").to_string();
+                if let Some(new_bytes) = arg_u64(args, "new_bytes") {
+                    self.crosspoint_bytes.insert(band.clone(), new_bytes as f64);
+                }
+                *self.crosspoint_updates.entry(band).or_insert(0) += 1;
+                if let Some(note) = arg_str(args, "note") {
+                    if self.cfg.max_recal_notes > 0 {
+                        if self.recal_notes.len() == self.cfg.max_recal_notes {
+                            self.recal_notes.pop_front();
+                        }
+                        self.recal_notes.push_back(note.to_string());
                     }
                 }
             }
@@ -616,6 +654,32 @@ impl OnlineAggregator {
 
         metric(
             &mut o,
+            "hh_crosspoint_bytes",
+            "Live adaptive cross-point threshold per band, bytes (last recalibration).",
+            "gauge",
+        );
+        for (band, bytes) in &self.crosspoint_bytes {
+            o.push_str(&format!(
+                "hh_crosspoint_bytes{{band=\"{}\"}} {}\n",
+                prom_escape(band),
+                num(*bytes)
+            ));
+        }
+        metric(
+            &mut o,
+            "hh_crosspoint_updates_total",
+            "Threshold recalibrations applied by the adaptive scheduler, per band.",
+            "counter",
+        );
+        for (band, n) in &self.crosspoint_updates {
+            o.push_str(&format!(
+                "hh_crosspoint_updates_total{{band=\"{}\"}} {n}\n",
+                prom_escape(band)
+            ));
+        }
+
+        metric(
+            &mut o,
             "hh_critical_path_seconds_total",
             "Job makespan attributed to the dominant phase, per band.",
             "counter",
@@ -776,6 +840,33 @@ impl OnlineAggregator {
         }
         o.push_str("\n],\n");
 
+        o.push_str("\"crosspoint\": [\n");
+        first = true;
+        for (band, bytes) in &self.crosspoint_bytes {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            let updates = self.crosspoint_updates.get(band).copied().unwrap_or(0);
+            o.push_str(&format!(
+                "{{\"band\": {}, \"threshold_bytes\": {}, \"updates\": {updates}}}",
+                json_string(band),
+                num(*bytes)
+            ));
+        }
+        o.push_str("\n],\n");
+
+        o.push_str("\"recalibration_notes\": [\n");
+        first = true;
+        for note in &self.recal_notes {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            o.push_str(&json_string(note));
+        }
+        o.push_str("\n],\n");
+
         o.push_str("\"critical_path\": [\n");
         first = true;
         for ((band, phase), b) in &self.blame {
@@ -860,6 +951,52 @@ mod tests {
         assert_eq!(b.jobs, 1);
         assert!((b.seconds - 8.0).abs() < 1e-9);
         assert_eq!(agg.footprint().pending_jobs, 0);
+    }
+
+    #[test]
+    fn recalibrate_instants_drive_crosspoint_gauges_and_bounded_notes() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig {
+            max_recal_notes: 3,
+            ..Default::default()
+        });
+        for i in 0..5u64 {
+            agg.instant(
+                "scheduler",
+                "recalibrate",
+                lanes::JOBS,
+                7,
+                SimTime::from_secs(i),
+                &[
+                    ("band", "0.4<=S/I<=1".into()),
+                    ("old_bytes", (16u64 << 30).into()),
+                    ("new_bytes", ((16 + i) << 30).into()),
+                    ("estimate_bytes", 1.9e10.into()),
+                    ("note", format!("recalibrated step {i}").into()),
+                ],
+            );
+        }
+        agg.finish(SimTime::from_secs(10));
+
+        // The gauge tracks the latest update; the counter tallies all.
+        assert_eq!(
+            agg.crosspoint_bytes.get("0.4<=S/I<=1").copied(),
+            Some((20u64 << 30) as f64)
+        );
+        assert_eq!(agg.crosspoint_updates.get("0.4<=S/I<=1").copied(), Some(5));
+        // Notes are a bounded ring of the most recent decisions.
+        assert_eq!(agg.recal_notes.len(), 3);
+        assert_eq!(agg.recal_notes.front().unwrap(), "recalibrated step 2");
+        assert_eq!(agg.footprint().crosspoint_bands, 1);
+        assert_eq!(agg.footprint().recal_notes, 3);
+
+        let prom = agg.render_prometheus();
+        assert!(prom.contains("hh_crosspoint_bytes{band=\"0.4<=S/I<=1\"} 21474836480"));
+        assert!(prom.contains("hh_crosspoint_updates_total{band=\"0.4<=S/I<=1\"} 5"));
+        let json = agg.render_json();
+        assert!(json.contains("\"crosspoint\": ["));
+        assert!(json.contains("\"updates\": 5"));
+        assert!(json.contains("recalibrated step 4"));
+        assert!(!json.contains("recalibrated step 1"), "old notes evicted");
     }
 
     #[test]

@@ -29,16 +29,25 @@ impl SweepPoint {
 
 /// Estimate the cross point: the input size where `t_up == t_out`.
 ///
-/// Points are sorted by size internally. Returns `None` when the sweep
-/// never brackets a crossing in the expected direction (up faster at small
-/// sizes → out faster at large sizes). When several sign changes exist
+/// Points are sorted by size internally. Samples that cannot come from a
+/// real measurement — non-finite or non-positive sizes or times — are
+/// dropped before estimation, so a failed run (`NaN`), an unstarted timer
+/// (`0`) or an overflowed size cannot poison the interpolation. Returns
+/// `None` when fewer than two valid points remain or when the sweep never
+/// brackets a crossing in the expected direction (up faster at small sizes
+/// → out faster at large sizes). When several sign changes exist
 /// (measurement noise), the *last* down-crossing is returned, matching how
 /// the paper reads its (monotone-trending) curves.
 pub fn estimate_cross_point(points: &[SweepPoint]) -> Option<f64> {
-    if points.len() < 2 {
+    let finite_pos = |v: f64| v.is_finite() && v > 0.0;
+    let mut pts: Vec<SweepPoint> = points
+        .iter()
+        .filter(|p| finite_pos(p.input_size) && finite_pos(p.t_up) && finite_pos(p.t_out))
+        .copied()
+        .collect();
+    if pts.len() < 2 {
         return None;
     }
-    let mut pts = points.to_vec();
     pts.sort_by(|a, b| a.input_size.total_cmp(&b.input_size));
     let margin = |p: &SweepPoint| p.t_out - p.t_up; // >0 ⇒ scale-up wins
     let mut cross = None;
@@ -144,5 +153,76 @@ mod tests {
     fn normalized_out_matches_figures() {
         let p = pt(4.0, 10.0, 12.5);
         assert!((p.normalized_out() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_sizes_do_not_break_the_estimate() {
+        // A re-measured size produces two samples at the same x; the
+        // zero-width window between them can never be the crossing segment
+        // (log-interpolation inside it would be degenerate), and the
+        // surrounding windows still bracket the sign change.
+        let sweep = vec![
+            pt(1.0, 10.0, 14.0),
+            pt(8.0, 40.0, 48.0),
+            pt(8.0, 41.0, 47.0),
+            pt(32.0, 200.0, 150.0),
+        ];
+        let x = estimate_cross_point(&sweep).unwrap();
+        let gb = x / (1u64 << 30) as f64;
+        assert!(gb > 8.0 && gb < 32.0, "cross at {gb} GB");
+        assert!(x.is_finite());
+    }
+
+    #[test]
+    fn zero_and_nan_samples_are_rejected() {
+        // Only the two poisoned points are dropped; the remaining valid
+        // bracket still yields the crossing.
+        let sweep = vec![
+            pt(1.0, 10.0, 14.0),
+            pt(4.0, 0.0, 30.0),       // timer never started
+            pt(16.0, f64::NAN, 90.0), // failed run
+            pt(8.0, 40.0, 48.0),
+            pt(32.0, 200.0, 150.0),
+        ];
+        let clean = vec![
+            pt(1.0, 10.0, 14.0),
+            pt(8.0, 40.0, 48.0),
+            pt(32.0, 200.0, 150.0),
+        ];
+        assert_eq!(estimate_cross_point(&sweep), estimate_cross_point(&clean));
+
+        // A sweep with fewer than two valid points has nothing to bracket.
+        let all_bad = vec![pt(1.0, f64::NAN, 14.0), pt(8.0, 40.0, f64::INFINITY)];
+        assert_eq!(estimate_cross_point(&all_bad), None);
+        let negative_size = vec![
+            SweepPoint {
+                input_size: -1.0,
+                t_up: 1.0,
+                t_out: 2.0,
+            },
+            pt(8.0, 40.0, 48.0),
+        ];
+        assert_eq!(estimate_cross_point(&negative_size), None);
+    }
+
+    #[test]
+    fn noisy_multi_crossing_takes_the_last_down_crossing() {
+        // Noise makes the margin dip below zero early, recover, then cross
+        // for good: the estimator reads the curve the way the paper does and
+        // reports the final crossing.
+        let noisy = vec![
+            pt(1.0, 10.0, 14.0),
+            pt(2.0, 20.0, 19.0), // noise: early dip
+            pt(4.0, 30.0, 35.0), // recovers
+            pt(16.0, 100.0, 90.0),
+            pt(64.0, 450.0, 280.0),
+        ];
+        let x_noisy = estimate_cross_point(&noisy).unwrap();
+        let single = vec![pt(4.0, 30.0, 35.0), pt(16.0, 100.0, 90.0)];
+        let x_single = estimate_cross_point(&single).unwrap();
+        // The last down-crossing is the 4→16 GB window in both sweeps.
+        assert!((x_noisy / x_single - 1.0).abs() < 1e-12);
+        let gb = x_noisy / (1u64 << 30) as f64;
+        assert!(gb > 4.0 && gb < 16.0, "cross at {gb} GB");
     }
 }

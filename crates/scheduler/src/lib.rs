@@ -5,14 +5,21 @@
 //! baselines (always-up / always-out / size-only) used by the ablation
 //! benches and the paper's future-work [`LoadAwareScheduler`].
 //! [`calibrate`] re-derives cross points from sweep measurements, making the
-//! paper's threshold-selection methodology executable.
+//! paper's threshold-selection methodology executable, and [`online`] closes
+//! that loop at runtime: [`AdaptiveScheduler`] re-estimates the cross points
+//! from observed completions with hysteresis and deterministic exploration.
 
 pub mod bands;
 pub mod calibrate;
+pub mod online;
 pub mod placement;
 
 pub use bands::{calibrate_bands, BandScheduler, RatioBand};
 pub use calibrate::{calibrate_scheduler, estimate_cross_point, SweepPoint};
+pub use online::{
+    band_index, estimate_from_observations, AdaptiveConfig, AdaptiveDecision, AdaptiveScheduler,
+    Observation, Recalibration, BAND_LABELS,
+};
 pub use placement::{
     AlwaysOut, AlwaysUp, AvailabilityAwareScheduler, ClusterLoads, CrossPointScheduler,
     JobPlacement, LoadAwareScheduler, Placement, PlacementDecision, SizeOnlyScheduler,

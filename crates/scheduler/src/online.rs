@@ -1,0 +1,645 @@
+//! Closed-loop cross-point calibration.
+//!
+//! The paper measures its cross points *offline* (Figures 7–8) and bakes
+//! them into Algorithm 1; [`crate::calibrate`] makes that measurement step
+//! reproducible but still one-shot. This module closes the loop at runtime:
+//! an [`AdaptiveScheduler`] starts from a static [`CrossPointScheduler`],
+//! watches per-job completions `(input size, shuffle-ratio band, routed
+//! side, execution time)`, and periodically re-runs the same log-space
+//! [`estimate_cross_point`] method over a bounded sliding window of paired
+//! observations — so a deployment whose hardware, load, or workload mix
+//! drifts away from the measured curves converges back to the crossover the
+//! jobs actually observe.
+//!
+//! Three guards keep the loop deterministic and stable:
+//!
+//! * **Pairing.** Completions are grouped per band into logarithmic size
+//!   buckets; a bucket contributes a synthetic [`SweepPoint`] only once it
+//!   holds samples from *both* sides. With exploration off, only the single
+//!   bucket straddling the live threshold can ever pair, which is one point
+//!   short of a crossing — so thresholds provably never move and decisions
+//!   stay bitwise-identical to the static policy.
+//! * **Hysteresis.** A band recalibrates only every
+//!   [`AdaptiveConfig::recalibrate_every`] completions, only with at least
+//!   [`AdaptiveConfig::min_side_obs`] window samples per side, and each
+//!   update moves the threshold at most [`AdaptiveConfig::max_step`]
+//!   relative to its current value, clamped into
+//!   `[min_threshold, max_threshold]`.
+//! * **Exploration.** A [`DetRng`]-driven Bernoulli probe flips a decision
+//!   with probability [`AdaptiveConfig::exploration`], so both sides keep
+//!   receiving samples across the whole size range even after convergence.
+//!   The draw is only taken when the rate is positive, preserving the
+//!   exploration-off determinism guarantee above.
+
+use crate::calibrate::{estimate_cross_point, SweepPoint};
+use crate::placement::{CrossPointScheduler, Placement};
+use mapreduce::JobSpec;
+use simcore::rng::{substream, DetRng};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Stable labels for the three Algorithm-1 ratio bands, in band-index order
+/// (high ratio, mid ratio, map-intensive). They match
+/// [`CrossPointScheduler::band_for`].
+pub const BAND_LABELS: [&str; 3] = ["S/I>1", "0.4<=S/I<=1", "S/I<0.4"];
+
+/// Index of the Algorithm-1 band a shuffle/input ratio falls in, using the
+/// paper's inclusive boundaries (`0.4` and `1.0` belong to the mid band).
+pub fn band_index(shuffle_input_ratio: f64) -> usize {
+    if shuffle_input_ratio > 1.0 {
+        0
+    } else if shuffle_input_ratio >= 0.4 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Tuning for the closed calibration loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Completions retained per band (sliding window).
+    pub window: usize,
+    /// Minimum window samples on *each* side before a band may recalibrate.
+    pub min_side_obs: usize,
+    /// Minimum samples per side inside a size bucket before the bucket
+    /// contributes a paired sweep point.
+    pub min_bucket_obs: usize,
+    /// Size-bucket resolution: buckets per factor-of-two of input size.
+    pub buckets_per_octave: u32,
+    /// Completions between estimator runs for a band.
+    pub recalibrate_every: usize,
+    /// Maximum relative threshold change per update (0.25 = ±25%).
+    pub max_step: f64,
+    /// Probability of flipping a routing decision to sample the other side.
+    /// Zero disables exploration *and* skips the RNG draw entirely, making
+    /// decisions bitwise-identical to the static base policy.
+    pub exploration: f64,
+    /// Root seed of the exploration RNG stream.
+    pub seed: u64,
+    /// Absolute lower clamp for every threshold, bytes.
+    pub min_threshold: u64,
+    /// Absolute upper clamp for every threshold, bytes.
+    pub max_threshold: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: 512,
+            min_side_obs: 12,
+            min_bucket_obs: 1,
+            buckets_per_octave: 2,
+            recalibrate_every: 32,
+            max_step: 0.25,
+            exploration: 0.05,
+            seed: 0xADA9_CA11,
+            min_threshold: 256 << 20, // 256 MiB
+            max_threshold: 256 << 30, // 256 GiB
+        }
+    }
+}
+
+/// One completed job as the estimator sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Input size in bytes.
+    pub input_size: u64,
+    /// Measured execution time in seconds (submit → completion).
+    pub exec_secs: f64,
+    /// True when the job ran on the scale-up side.
+    pub ran_up: bool,
+}
+
+/// An audit record of one applied threshold update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recalibration {
+    /// Band label (one of [`BAND_LABELS`]).
+    pub band: &'static str,
+    /// Threshold before the update, bytes.
+    pub old_bytes: u64,
+    /// Threshold after hysteresis and clamping, bytes.
+    pub new_bytes: u64,
+    /// Raw cross-point estimate from the paired window, bytes.
+    pub estimate_bytes: f64,
+    /// True when the raw estimate was cut down by [`AdaptiveConfig::max_step`].
+    pub stepped: bool,
+    /// True when the absolute `[min_threshold, max_threshold]` clamp fired.
+    pub clamped: bool,
+    /// Scale-up samples in the band window at update time.
+    pub window_up: usize,
+    /// Scale-out samples in the band window at update time.
+    pub window_out: usize,
+    /// Total successful completions observed when the update was applied.
+    pub completions: u64,
+}
+
+/// The routing verdict for one job, with the rationale the audit trail needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveDecision {
+    /// Where the job goes (after any exploration flip).
+    pub placement: Placement,
+    /// The band that fired.
+    pub band: &'static str,
+    /// The live threshold the size was compared against, bytes.
+    pub threshold: u64,
+    /// True when exploration flipped the nominal choice.
+    pub probe: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BandState {
+    window: VecDeque<Observation>,
+    up_n: usize,
+    out_n: usize,
+    since_recal: usize,
+}
+
+/// Algorithm 1 with runtime-adapted cross points. See the module docs for
+/// the estimator, hysteresis, and exploration semantics.
+#[derive(Debug, Clone)]
+pub struct AdaptiveScheduler {
+    base: CrossPointScheduler,
+    cfg: AdaptiveConfig,
+    rng: DetRng,
+    bands: [BandState; 3],
+    recalibrations: Vec<Recalibration>,
+    completions: u64,
+}
+
+impl Default for AdaptiveScheduler {
+    fn default() -> Self {
+        Self::new(AdaptiveConfig::default())
+    }
+}
+
+impl AdaptiveScheduler {
+    /// Start from the paper's published thresholds.
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        Self::with_base(CrossPointScheduler::default(), cfg)
+    }
+
+    /// Start from explicit initial thresholds (e.g. an offline calibration,
+    /// or a deliberately wrong guess in a convergence experiment). The
+    /// unknown-ratio fallback is not adaptive — the base's
+    /// `assume_unknown_ratio` flag is cleared.
+    pub fn with_base(mut base: CrossPointScheduler, cfg: AdaptiveConfig) -> Self {
+        base.assume_unknown_ratio = false;
+        let rng = substream(cfg.seed, 0xEC5);
+        AdaptiveScheduler {
+            base,
+            cfg,
+            rng,
+            bands: Default::default(),
+            recalibrations: Vec::new(),
+            completions: 0,
+        }
+    }
+
+    /// The live thresholds as a static scheduler (a snapshot; it does not
+    /// track later updates).
+    pub fn snapshot(&self) -> CrossPointScheduler {
+        self.base.clone()
+    }
+
+    /// The configuration the loop runs with.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Every applied threshold update, in order.
+    pub fn recalibrations(&self) -> &[Recalibration] {
+        &self.recalibrations
+    }
+
+    /// Successful completions observed so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// The live threshold for a band index (see [`band_index`]).
+    pub fn threshold_of(&self, band: usize) -> u64 {
+        match band {
+            0 => self.base.high_ratio_threshold,
+            1 => self.base.mid_ratio_threshold,
+            _ => self.base.map_intensive_threshold,
+        }
+    }
+
+    fn threshold_mut(&mut self, band: usize) -> &mut u64 {
+        match band {
+            0 => &mut self.base.high_ratio_threshold,
+            1 => &mut self.base.mid_ratio_threshold,
+            _ => &mut self.base.map_intensive_threshold,
+        }
+    }
+
+    /// Route one job with the live thresholds, possibly flipped by an
+    /// exploration probe.
+    pub fn route(&mut self, job: &JobSpec) -> AdaptiveDecision {
+        let ratio = job.profile.shuffle_input_ratio;
+        let band = band_index(ratio);
+        let threshold = self.threshold_of(band);
+        let nominal = if job.input_size < threshold {
+            Placement::ScaleUp
+        } else {
+            Placement::ScaleOut
+        };
+        // The `> 0.0` gate (not just `chance`'s internal one) documents the
+        // determinism contract at the call site: with exploration disabled
+        // the RNG is never consulted, so the decision stream is a pure
+        // function of the static thresholds.
+        let probe = self.cfg.exploration > 0.0 && self.rng.chance(self.cfg.exploration);
+        let placement = match (nominal, probe) {
+            (p, false) => p,
+            (Placement::ScaleUp, true) => Placement::ScaleOut,
+            (Placement::ScaleOut, true) => Placement::ScaleUp,
+        };
+        AdaptiveDecision {
+            placement,
+            band: BAND_LABELS[band],
+            threshold,
+            probe,
+        }
+    }
+
+    /// Feed one completed job back into the loop. Returns the applied
+    /// recalibration when this completion triggered a threshold update.
+    ///
+    /// Non-finite or non-positive execution times and zero-size inputs are
+    /// rejected (a failed job carries no cost signal), mirroring the input
+    /// hardening in [`estimate_cross_point`].
+    pub fn observe(
+        &mut self,
+        input_size: u64,
+        shuffle_input_ratio: f64,
+        ran_up: bool,
+        exec_secs: f64,
+    ) -> Option<Recalibration> {
+        if !(exec_secs.is_finite() && exec_secs > 0.0) || input_size == 0 {
+            return None;
+        }
+        self.completions += 1;
+        let band = band_index(shuffle_input_ratio);
+        let window_cap = self.cfg.window.max(1);
+        let st = &mut self.bands[band];
+        if st.window.len() == window_cap {
+            let old = st.window.pop_front().expect("window is non-empty at cap");
+            if old.ran_up {
+                st.up_n -= 1;
+            } else {
+                st.out_n -= 1;
+            }
+        }
+        st.window.push_back(Observation {
+            input_size,
+            exec_secs,
+            ran_up,
+        });
+        if ran_up {
+            st.up_n += 1;
+        } else {
+            st.out_n += 1;
+        }
+        st.since_recal += 1;
+        if st.since_recal < self.cfg.recalibrate_every.max(1)
+            || st.up_n < self.cfg.min_side_obs
+            || st.out_n < self.cfg.min_side_obs
+        {
+            return None;
+        }
+        st.since_recal = 0;
+        let (up_n, out_n) = (st.up_n, st.out_n);
+        let estimate = estimate_from_observations(
+            st.window.iter().copied(),
+            self.cfg.buckets_per_octave,
+            self.cfg.min_bucket_obs,
+        )?;
+        self.apply_update(band, estimate, up_n, out_n)
+    }
+
+    fn apply_update(
+        &mut self,
+        band: usize,
+        estimate: f64,
+        window_up: usize,
+        window_out: usize,
+    ) -> Option<Recalibration> {
+        let old = self.threshold_of(band);
+        let step = self.cfg.max_step.max(0.0);
+        let step_lo = old as f64 * (1.0 - step);
+        let step_hi = old as f64 * (1.0 + step);
+        let stepped = estimate < step_lo || estimate > step_hi;
+        let walked = estimate.clamp(step_lo, step_hi);
+        let (clamp_lo, clamp_hi) = (
+            self.cfg.min_threshold as f64,
+            self.cfg.max_threshold.max(self.cfg.min_threshold) as f64,
+        );
+        let clamped = walked < clamp_lo || walked > clamp_hi;
+        let new_bytes = walked.clamp(clamp_lo, clamp_hi).round() as u64;
+        if new_bytes == old {
+            return None;
+        }
+        *self.threshold_mut(band) = new_bytes;
+        let rec = Recalibration {
+            band: BAND_LABELS[band],
+            old_bytes: old,
+            new_bytes,
+            estimate_bytes: estimate,
+            stepped,
+            clamped,
+            window_up,
+            window_out,
+            completions: self.completions,
+        };
+        self.recalibrations.push(rec.clone());
+        Some(rec)
+    }
+}
+
+/// Pair a window of completions into synthetic sweep points and run the
+/// offline cross-point estimator over them.
+///
+/// Observations are grouped into logarithmic size buckets
+/// (`buckets_per_octave` per factor of two); a bucket with at least
+/// `min_bucket_obs` samples on *each* side becomes one [`SweepPoint`] at the
+/// bucket's geometric-mean size with the per-side mean execution times. The
+/// window is sorted on a total order (size, time, side) before accumulation,
+/// so the result is invariant under any permutation of the input — floating
+/// summation order included.
+pub fn estimate_from_observations(
+    window: impl IntoIterator<Item = Observation>,
+    buckets_per_octave: u32,
+    min_bucket_obs: usize,
+) -> Option<f64> {
+    #[derive(Default)]
+    struct Bucket {
+        ln_size_sum: f64,
+        n: usize,
+        up_sum: f64,
+        up_n: usize,
+        out_sum: f64,
+        out_n: usize,
+    }
+
+    let mut obs: Vec<Observation> = window
+        .into_iter()
+        .filter(|o| o.input_size > 0 && o.exec_secs.is_finite() && o.exec_secs > 0.0)
+        .collect();
+    obs.sort_by(|a, b| {
+        a.input_size
+            .cmp(&b.input_size)
+            .then(a.exec_secs.total_cmp(&b.exec_secs))
+            .then(a.ran_up.cmp(&b.ran_up))
+    });
+
+    let bpo = buckets_per_octave.max(1) as f64;
+    let mut buckets: BTreeMap<i64, Bucket> = BTreeMap::new();
+    for o in &obs {
+        let key = ((o.input_size as f64).log2() * bpo).floor() as i64;
+        let b = buckets.entry(key).or_default();
+        b.ln_size_sum += (o.input_size as f64).ln();
+        b.n += 1;
+        if o.ran_up {
+            b.up_sum += o.exec_secs;
+            b.up_n += 1;
+        } else {
+            b.out_sum += o.exec_secs;
+            b.out_n += 1;
+        }
+    }
+
+    let min_n = min_bucket_obs.max(1);
+    let points: Vec<SweepPoint> = buckets
+        .values()
+        .filter(|b| b.up_n >= min_n && b.out_n >= min_n)
+        .map(|b| SweepPoint {
+            input_size: (b.ln_size_sum / b.n as f64).exp(),
+            t_up: b.up_sum / b.up_n as f64,
+            t_out: b.out_sum / b.out_n as f64,
+        })
+        .collect();
+    estimate_cross_point(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{ClusterLoads, JobPlacement};
+    use mapreduce::JobProfile;
+
+    const GB: u64 = 1 << 30;
+
+    fn job(ratio: f64, size: u64) -> JobSpec {
+        JobSpec::at_zero(0, JobProfile::basic("t", ratio, 0.1), size)
+    }
+
+    fn obs(size: u64, exec: f64, up: bool) -> Observation {
+        Observation {
+            input_size: size,
+            exec_secs: exec,
+            ran_up: up,
+        }
+    }
+
+    /// A synthetic workload whose true cross point is `cross_gb`: up time
+    /// grows superlinearly past the cross, out time linearly with overhead.
+    fn synthetic_obs(size: u64, up: bool, cross_gb: f64) -> Observation {
+        let gb = size as f64 / GB as f64;
+        let exec = if up {
+            10.0 * gb * (1.0 + gb / cross_gb)
+        } else {
+            20.0 * gb
+        };
+        obs(size, exec, up)
+    }
+
+    #[test]
+    fn no_exploration_matches_static_decisions() {
+        let mut a = AdaptiveScheduler::new(AdaptiveConfig {
+            exploration: 0.0,
+            ..Default::default()
+        });
+        let s = CrossPointScheduler::default();
+        for (ratio, size) in [
+            (1.6, 31 * GB),
+            (1.6, 32 * GB),
+            (0.4, 15 * GB),
+            (1.0, 16 * GB),
+            (0.0, 9 * GB),
+            (0.39, 10 * GB),
+        ] {
+            let j = job(ratio, size);
+            let d = a.route(&j);
+            let expect = s.place(&j, &ClusterLoads::default());
+            assert_eq!(d.placement, expect, "ratio {ratio} size {size}");
+            assert!(!d.probe);
+            assert_eq!(d.threshold, s.threshold_for(ratio));
+        }
+    }
+
+    #[test]
+    fn exploration_flips_some_decisions_deterministically() {
+        let cfg = AdaptiveConfig {
+            exploration: 0.5,
+            ..Default::default()
+        };
+        let run = || {
+            let mut a = AdaptiveScheduler::new(cfg.clone());
+            (0..64)
+                .map(|i| a.route(&job(0.5, (i + 1) * GB)).probe)
+                .collect::<Vec<_>>()
+        };
+        let probes = run();
+        assert!(probes.iter().any(|&p| p), "some probes fire at rate 0.5");
+        assert!(!probes.iter().all(|&p| p), "not every decision is a probe");
+        assert_eq!(probes, run(), "same seed, same probe sequence");
+    }
+
+    #[test]
+    fn thresholds_never_move_without_paired_buckets() {
+        // All completions on one side: nothing can pair, so even thousands
+        // of observations leave the thresholds untouched.
+        let mut a = AdaptiveScheduler::new(AdaptiveConfig {
+            exploration: 0.0,
+            ..Default::default()
+        });
+        let before = a.snapshot();
+        for i in 0..2000u64 {
+            a.observe(GB + i, 0.5, true, 12.5 + i as f64 * 0.001);
+        }
+        assert_eq!(a.snapshot(), before);
+        assert!(a.recalibrations().is_empty());
+    }
+
+    #[test]
+    fn paired_window_converges_toward_the_true_cross() {
+        let cross_gb = 24.0;
+        let mut a = AdaptiveScheduler::with_base(
+            CrossPointScheduler {
+                mid_ratio_threshold: 8 * GB,
+                ..Default::default()
+            },
+            AdaptiveConfig {
+                exploration: 0.0, // feed both sides by hand instead
+                ..Default::default()
+            },
+        );
+        // Log-spaced sizes from 1–64 GB, both sides at every size.
+        let mut updates = 0;
+        for round in 0..40 {
+            for i in 0..13u32 {
+                let size = (GB as f64 * 2f64.powf(i as f64 / 2.0)) as u64 + round;
+                for up in [true, false] {
+                    if a.observe(size, 0.7, up, synthetic_obs(size, up, cross_gb).exec_secs)
+                        .is_some()
+                    {
+                        updates += 1;
+                    }
+                }
+            }
+        }
+        assert!(updates > 0, "paired data must recalibrate");
+        let got = a.threshold_of(1) as f64 / GB as f64;
+        assert!(
+            (got / cross_gb - 1.0).abs() < 0.15,
+            "mid threshold {got:.1} GB vs true cross {cross_gb} GB"
+        );
+        // Audit trail recorded every applied step.
+        assert_eq!(a.recalibrations().len(), updates);
+        for r in a.recalibrations() {
+            assert_eq!(r.band, BAND_LABELS[1]);
+            assert!(r.new_bytes != r.old_bytes);
+        }
+    }
+
+    #[test]
+    fn hysteresis_limits_relative_step_and_clamps() {
+        let cfg = AdaptiveConfig {
+            max_step: 0.25,
+            min_threshold: 4 * GB,
+            max_threshold: 64 * GB,
+            ..Default::default()
+        };
+        let mut a = AdaptiveScheduler::new(cfg);
+        // A wild estimate far above the current threshold moves at most 25%.
+        let old = a.threshold_of(0);
+        let rec = a
+            .apply_update(0, 1e13, 50, 50)
+            .expect("estimate differs from threshold");
+        assert!(rec.stepped);
+        assert_eq!(rec.new_bytes, (old as f64 * 1.25).round() as u64);
+        // A tiny estimate walks down 25% per step until the absolute clamp.
+        let mut last = rec.new_bytes;
+        for _ in 0..20 {
+            match a.apply_update(0, 1.0, 50, 50) {
+                Some(r) => {
+                    assert!(r.new_bytes >= 4 * GB);
+                    assert!(r.new_bytes as f64 >= last as f64 * 0.75 - 1.0);
+                    last = r.new_bytes;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(a.threshold_of(0), 4 * GB, "settles on the clamp");
+        assert!(a.recalibrations().iter().any(|r| r.clamped));
+    }
+
+    #[test]
+    fn estimator_is_permutation_invariant() {
+        let mut window: Vec<Observation> = Vec::new();
+        for i in 0..12u32 {
+            let size = (GB as f64 * 2f64.powf(i as f64 / 2.0)) as u64;
+            window.push(synthetic_obs(size, true, 16.0));
+            window.push(synthetic_obs(size + 7, false, 16.0));
+        }
+        let base = estimate_from_observations(window.iter().copied(), 2, 1).unwrap();
+        // A handful of deterministic shuffles, including reversal.
+        let mut rng = DetRng::seed_from_u64(7);
+        for _ in 0..8 {
+            let mut perm = window.clone();
+            for i in (1..perm.len()).rev() {
+                perm.swap(i, rng.range_usize(0, i + 1));
+            }
+            let got = estimate_from_observations(perm.iter().copied(), 2, 1).unwrap();
+            assert_eq!(got.to_bits(), base.to_bits(), "bitwise-equal estimate");
+        }
+        window.reverse();
+        let rev = estimate_from_observations(window.iter().copied(), 2, 1).unwrap();
+        assert_eq!(rev.to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn invalid_completions_are_rejected() {
+        let mut a = AdaptiveScheduler::default();
+        assert_eq!(a.observe(GB, 0.5, true, f64::NAN), None);
+        assert_eq!(a.observe(GB, 0.5, true, 0.0), None);
+        assert_eq!(a.observe(GB, 0.5, true, -3.0), None);
+        assert_eq!(a.observe(0, 0.5, true, 10.0), None);
+        assert_eq!(a.completions(), 0, "rejected samples are not counted");
+        assert!(a.bands.iter().all(|b| b.window.is_empty()));
+    }
+
+    #[test]
+    fn window_is_bounded_and_slides() {
+        let mut a = AdaptiveScheduler::new(AdaptiveConfig {
+            window: 16,
+            recalibrate_every: usize::MAX, // isolate the window mechanics
+            ..Default::default()
+        });
+        for i in 0..100u64 {
+            a.observe(GB + i, 0.5, i % 2 == 0, 10.0);
+        }
+        let st = &a.bands[1];
+        assert_eq!(st.window.len(), 16);
+        assert_eq!(st.up_n + st.out_n, 16);
+        assert_eq!(st.window.front().unwrap().input_size, GB + 84);
+    }
+
+    #[test]
+    fn band_index_matches_static_band_labels() {
+        let s = CrossPointScheduler::default();
+        for ratio in [0.0, 0.39, 0.4, 0.7, 1.0, 1.1, 2.2] {
+            assert_eq!(BAND_LABELS[band_index(ratio)], s.band_for(ratio));
+        }
+    }
+}

@@ -17,6 +17,7 @@
 use crate::apps;
 use mapreduce::{JobId, JobProfile, JobSpec};
 use simcore::dist::{exponential, PiecewiseLogCdf};
+use simcore::fault::{FaultPlan, NodeFault, NodeFaultKind};
 use simcore::rng::{substream, DetRng};
 use simcore::{SimDuration, SimTime};
 
@@ -33,6 +34,146 @@ pub struct FacebookTraceConfig {
     pub shrink_factor: f64,
     /// Arrival burstiness; `None` gives a plain Poisson process.
     pub bursts: Option<BurstModel>,
+    /// Mid-trace shuffle-mix drift; `None` keeps the mix stationary.
+    pub band_shift: Option<BandMixShift>,
+}
+
+/// A scheduled mid-trace change of the shuffle/input ratio mix: from the
+/// shift instant on, jobs draw their ratio band from `weights` instead of
+/// the stationary FB-2009 mix. Sizes and arrival times come from separate
+/// RNG substreams and are untouched, and each draw consumes the same number
+/// of ratio-stream samples as the stationary path, so the pre-shift prefix
+/// of the trace is bitwise identical to the unshifted trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandMixShift {
+    /// When (in trace time) the new mix takes effect.
+    pub at: SimDuration,
+    /// Relative weights for the three Algorithm-1 bands, in order
+    /// `[map-intensive (<0.4), moderate (0.4..=1.0), shuffle-heavy (>1)]`.
+    /// They are normalized internally; `[0.50, 0.35, 0.15]` reproduces the
+    /// stationary mix exactly.
+    pub weights: [f64; 3],
+}
+
+/// Deterministic mid-trace loss of compute nodes: `nodes` machines of one
+/// sub-cluster crash at `at` and never recover — the drift analogue of one
+/// side's effective service rate dropping for the rest of the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLoss {
+    /// When the nodes crash.
+    pub at: SimDuration,
+    /// Cluster index within the deployment (0 = scale-up in the hybrid).
+    pub cluster: usize,
+    /// How many nodes (indices `0..nodes`) crash.
+    pub nodes: usize,
+}
+
+/// A named drifting-workload scenario: an optional shuffle-mix shift in the
+/// trace plus an optional node-loss fault plan. Both pieces are fully
+/// deterministic, so a scenario replay is a pure function of the trace
+/// config and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftScenario {
+    /// Scenario label for tables and telemetry.
+    pub name: &'static str,
+    /// Shuffle-mix drift applied to the trace, if any.
+    pub band_shift: Option<BandMixShift>,
+    /// Compute-node loss injected into the replay, if any.
+    pub node_loss: Option<NodeLoss>,
+}
+
+impl DriftScenario {
+    /// No drift at all: the stationary baseline scenario.
+    pub fn stationary() -> Self {
+        DriftScenario {
+            name: "stationary",
+            band_shift: None,
+            node_loss: None,
+        }
+    }
+
+    /// Half the scale-up side dies at `at` and stays dead: one of the two
+    /// scale-up machines crashes, halving that side's service rate for the
+    /// rest of the replay.
+    pub fn scale_up_slowdown(at: SimDuration) -> Self {
+        DriftScenario {
+            name: "scale-up-slowdown",
+            band_shift: None,
+            node_loss: Some(NodeLoss {
+                at,
+                cluster: 0,
+                nodes: 1,
+            }),
+        }
+    }
+
+    /// The workload turns shuffle-heavy at `at`: the band mix flips from
+    /// mostly map-intensive to mostly aggregation-like jobs.
+    pub fn shuffle_mix_shift(at: SimDuration) -> Self {
+        DriftScenario {
+            name: "shuffle-mix-shift",
+            band_shift: Some(BandMixShift {
+                at,
+                weights: [0.20, 0.30, 0.50],
+            }),
+            node_loss: None,
+        }
+    }
+
+    /// Both drifts at once: the workload turns shuffle-heavy *and* half the
+    /// scale-up side dies at `at` — the hardest case for a static cross
+    /// point, since the load shifts toward the side that just shrank.
+    pub fn combined(at: SimDuration) -> Self {
+        DriftScenario {
+            name: "combined-drift",
+            band_shift: Some(BandMixShift {
+                at,
+                weights: [0.20, 0.30, 0.50],
+            }),
+            node_loss: Some(NodeLoss {
+                at,
+                cluster: 0,
+                nodes: 1,
+            }),
+        }
+    }
+
+    /// The four standard scenarios of the drift sweep, stationary first.
+    pub fn all(at: SimDuration) -> Vec<Self> {
+        vec![
+            Self::stationary(),
+            Self::scale_up_slowdown(at),
+            Self::shuffle_mix_shift(at),
+            Self::combined(at),
+        ]
+    }
+
+    /// The trace config for this scenario: `base` with the scenario's band
+    /// shift (if any) installed.
+    pub fn trace_config(&self, base: &FacebookTraceConfig) -> FacebookTraceConfig {
+        FacebookTraceConfig {
+            band_shift: self.band_shift.clone(),
+            ..base.clone()
+        }
+    }
+
+    /// The fault plan for this scenario: crash events for the node loss (no
+    /// recovery), or the empty plan. Replaying the empty plan is bitwise
+    /// identical to replaying without fault injection.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::empty();
+        if let Some(loss) = &self.node_loss {
+            for node in 0..loss.nodes {
+                plan.node_events.push(NodeFault {
+                    at: SimTime(loss.at.0),
+                    cluster: loss.cluster,
+                    node,
+                    kind: NodeFaultKind::Crash,
+                });
+            }
+        }
+        plan
+    }
 }
 
 /// A Markov-modulated Poisson arrival process: the instantaneous rate is
@@ -92,6 +233,7 @@ impl Default for FacebookTraceConfig {
             window: SimDuration::from_secs(8 * 3600),
             shrink_factor: 5.0,
             bursts: Some(BurstModel::default()),
+            band_shift: None,
         }
     }
 }
@@ -130,6 +272,21 @@ fn sample_ratio(rng: &mut DetRng) -> f64 {
     }
 }
 
+/// [`sample_ratio`] with explicit band weights (normalized internally).
+/// Consumes exactly the same number of RNG draws per call as the stationary
+/// path, so switching mid-stream never desynchronizes the ratio substream.
+fn sample_ratio_weighted(rng: &mut DetRng, weights: &[f64; 3]) -> f64 {
+    let total: f64 = weights.iter().sum();
+    let u: f64 = rng.f64() * total;
+    if u < weights[0] {
+        rng.range_f64(0.0, 0.35)
+    } else if u < weights[0] + weights[1] {
+        rng.range_f64(0.4, 1.0)
+    } else {
+        rng.range_f64(1.1, 2.2)
+    }
+}
+
 /// Generate the trace: `jobs` [`JobSpec`]s sorted by submission time.
 ///
 /// Ids are assigned in arrival order starting at 0. This materializes the
@@ -148,6 +305,13 @@ pub fn generate(cfg: &FacebookTraceConfig) -> Vec<JobSpec> {
 pub fn stream(cfg: &FacebookTraceConfig) -> TraceStream {
     assert!(cfg.jobs > 0, "empty trace requested");
     assert!(cfg.shrink_factor >= 1.0, "shrink factor must be ≥ 1");
+    if let Some(shift) = &cfg.band_shift {
+        assert!(
+            shift.weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+                && shift.weights.iter().sum::<f64>() > 0.0,
+            "band-shift weights must be non-negative with a positive sum"
+        );
+    }
     TraceStream {
         sizes: input_size_distribution(),
         size_rng: substream(cfg.seed, 1),
@@ -155,6 +319,7 @@ pub fn stream(cfg: &FacebookTraceConfig) -> TraceStream {
         arrival_rng: substream(cfg.seed, 3),
         burst_rng: substream(cfg.seed, 4),
         bursts: cfg.bursts.clone(),
+        band_shift: cfg.band_shift.clone(),
         mean_interarrival: cfg.window.as_secs_f64() / cfg.jobs as f64,
         shrink_factor: cfg.shrink_factor,
         t: 0.0,
@@ -176,6 +341,7 @@ pub struct TraceStream {
     arrival_rng: DetRng,
     burst_rng: DetRng,
     bursts: Option<BurstModel>,
+    band_shift: Option<BandMixShift>,
     mean_interarrival: f64,
     shrink_factor: f64,
     t: f64,
@@ -219,7 +385,12 @@ impl Iterator for TraceStream {
         self.t += exponential(&mut self.arrival_rng, self.mean_interarrival / self.factor);
         let raw = self.sizes.sample(&mut self.size_rng);
         let size = (raw / self.shrink_factor).max(1.0) as u64;
-        let ratio = sample_ratio(&mut self.ratio_rng);
+        let ratio = match &self.band_shift {
+            Some(shift) if self.t >= shift.at.as_secs_f64() => {
+                sample_ratio_weighted(&mut self.ratio_rng, &shift.weights)
+            }
+            _ => sample_ratio(&mut self.ratio_rng),
+        };
         let id = JobId(self.produced as u32);
         self.produced += 1;
         Some(JobSpec {
@@ -633,6 +804,79 @@ mod tests {
         let json = to_json(&specs);
         let back = from_json(&json).unwrap();
         assert_eq!(specs, back);
+    }
+
+    #[test]
+    fn stationary_weights_reproduce_the_unshifted_trace() {
+        let base = FacebookTraceConfig::default();
+        let shifted = FacebookTraceConfig {
+            band_shift: Some(BandMixShift {
+                at: SimDuration::from_secs(0),
+                weights: [0.50, 0.35, 0.15],
+            }),
+            ..base.clone()
+        };
+        assert_eq!(generate(&base), generate(&shifted));
+    }
+
+    #[test]
+    fn band_shift_changes_only_post_shift_ratios() {
+        let base = FacebookTraceConfig::default();
+        let at = SimDuration::from_secs(4 * 3600);
+        let shifted = DriftScenario::shuffle_mix_shift(at).trace_config(&base);
+        let a = generate(&base);
+        let b = generate(&shifted);
+        assert_eq!(a.len(), b.len());
+        let mut diverged = 0usize;
+        for (x, y) in a.iter().zip(&b) {
+            // Sizes and arrivals come from separate substreams: untouched.
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.input_size, y.input_size);
+            assert_eq!(x.submit, y.submit);
+            if x.submit.as_secs_f64() < at.as_secs_f64() {
+                assert_eq!(x, y, "pre-shift prefix must be bitwise identical");
+            } else if x.profile.shuffle_input_ratio != y.profile.shuffle_input_ratio {
+                diverged += 1;
+            }
+        }
+        assert!(diverged > 100, "only {diverged} post-shift ratios changed");
+        // The post-shift mix is majority shuffle-heavy as configured.
+        let post: Vec<_> = b
+            .iter()
+            .filter(|s| s.submit.as_secs_f64() >= at.as_secs_f64())
+            .collect();
+        let high = post
+            .iter()
+            .filter(|s| s.profile.shuffle_input_ratio > 1.0)
+            .count() as f64
+            / post.len() as f64;
+        assert!((high - 0.50).abs() < 0.05, "high-band fraction {high}");
+    }
+
+    #[test]
+    fn drift_scenarios_build_deterministic_fault_plans() {
+        let at = SimDuration::from_secs(3600);
+        let stationary = DriftScenario::stationary();
+        assert!(stationary.fault_plan().is_empty());
+        assert!(stationary.band_shift.is_none());
+
+        let slowdown = DriftScenario::scale_up_slowdown(at);
+        let plan = slowdown.fault_plan();
+        assert_eq!(plan, slowdown.fault_plan());
+        assert_eq!(plan.node_events.len(), 1);
+        let ev = plan.node_events[0];
+        assert_eq!(ev.cluster, 0);
+        assert_eq!(ev.node, 0);
+        assert_eq!(ev.at, SimTime(at.0));
+        assert_eq!(ev.kind, NodeFaultKind::Crash);
+        assert!(
+            plan.straggler_prob <= 0.0,
+            "no straggler RNG may be consumed"
+        );
+
+        let mix = DriftScenario::shuffle_mix_shift(at);
+        assert!(mix.fault_plan().is_empty());
+        assert_eq!(mix.band_shift.as_ref().unwrap().at, at);
     }
 
     #[test]

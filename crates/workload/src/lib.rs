@@ -11,8 +11,8 @@ pub mod stats;
 pub mod swim;
 
 pub use facebook::{
-    generate as generate_facebook_trace, stream as stream_facebook_trace, BurstModel,
-    FacebookTraceConfig, TraceStream,
+    generate as generate_facebook_trace, stream as stream_facebook_trace, BandMixShift, BurstModel,
+    DriftScenario, FacebookTraceConfig, NodeLoss, TraceStream,
 };
 pub use stats::{analyze as analyze_trace, TraceStats};
 pub use swim::{parse as parse_swim_trace, to_job_specs as swim_to_job_specs, SwimJob};

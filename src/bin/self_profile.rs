@@ -235,6 +235,32 @@ fn main() {
         Better::Lower,
     );
 
+    // Closed-loop overhead probe: the same replay routed through the
+    // adaptive scheduler (sliding-window estimators + periodic
+    // recalibration) instead of the frozen thresholds. Gated as the
+    // adaptive/static wall ratio for the same cross-machine stability as
+    // the telemetry probe; the loop's bookkeeping must stay cheap.
+    let adaptive_wall = bench::bench("trace/replay_adaptive", replay_iters, || {
+        hybrid_hadoop::hybrid_core::run_trace_adaptive_with(
+            Architecture::Hybrid,
+            AdaptiveScheduler::default(),
+            &trace,
+            &fair,
+        )
+    });
+    trace_report.push(
+        "trace/replay_adaptive_wall",
+        adaptive_wall,
+        "s",
+        Better::Lower,
+    );
+    trace_report.push(
+        "trace/adaptive_overhead",
+        adaptive_wall / wall,
+        "x",
+        Better::Lower,
+    );
+
     for (file, report) in [
         ("BENCH_engine.json", &engine),
         ("BENCH_sweep.json", &sweep_report),

@@ -51,16 +51,18 @@ pub use workload;
 pub mod prelude {
     pub use cluster::{ClusterSpec, MachineSpec, GB, KB, MB, TB};
     pub use hybrid_core::{
-        cross_point_sweep, grids, run_job, run_job_with, run_trace, sweep, Architecture,
-        Deployment, DeploymentTuning, TraceOutcome,
+        cross_point_sweep, grids, run_job, run_job_with, run_trace, run_trace_adaptive_with, sweep,
+        Architecture, Deployment, DeploymentTuning, TraceOutcome,
     };
     pub use mapreduce::{EngineConfig, JobId, JobProfile, JobResult, JobSpec, Simulation};
     pub use metrics::{EmpiricalCdf, Series};
     pub use scheduler::{
-        calibrate_bands, estimate_cross_point, AlwaysOut, AlwaysUp, BandScheduler, ClusterLoads,
-        CrossPointScheduler, JobPlacement, LoadAwareScheduler, Placement, RatioBand,
-        SizeOnlyScheduler,
+        calibrate_bands, estimate_cross_point, AdaptiveConfig, AdaptiveScheduler, AlwaysOut,
+        AlwaysUp, BandScheduler, ClusterLoads, CrossPointScheduler, JobPlacement,
+        LoadAwareScheduler, Placement, RatioBand, SizeOnlyScheduler,
     };
     pub use simcore::{SimDuration, SimTime};
-    pub use workload::{apps, generate_facebook_trace, FacebookTraceConfig};
+    pub use workload::{
+        apps, generate_facebook_trace, BandMixShift, DriftScenario, FacebookTraceConfig, NodeLoss,
+    };
 }

@@ -1,0 +1,172 @@
+//! Differential guarantees of the closed feedback loop.
+//!
+//! 1. **Convergence** — on a long, lightly-loaded stationary FB-2009 replay
+//!    with exploration enabled, the live thresholds land within 15 % of the
+//!    cross points the offline `calibrate` estimator produces from isolated
+//!    sweeps of the same profile mix (the loop rediscovers Figure 7/8
+//!    online).
+//! 2. **Adaptation pays** — when the workload drifts mid-trace (the mix
+//!    turns shuffle-heavy just as half the scale-up side dies), the
+//!    adaptive policy beats the static policy on the identical trace and
+//!    fault plan — on makespan and on p95 sojourn — and its audit trail
+//!    records the recalibrations that did it.
+//!
+//! Everything here is a pure function of fixed seeds: both tests are exact,
+//! not statistical.
+
+use hybrid_hadoop::hybrid_core::run_trace_with;
+use hybrid_hadoop::prelude::*;
+use hybrid_hadoop::scheduler::{SweepPoint, BAND_LABELS};
+use hybrid_hadoop::workload::apps;
+
+/// Offline reference for one band: isolated sweeps of representative
+/// profiles across the band's ratio range, margin-averaged per size, handed
+/// to the same `estimate_cross_point` the offline calibration uses.
+fn pooled_offline_cross(ratios: &[f64]) -> f64 {
+    // Quarter-octave steps across the region the thresholds live in.
+    let mut sizes = Vec::new();
+    let mut s = 1u64 << 30;
+    while s <= 128u64 << 30 {
+        sizes.push(s);
+        s += s / 4;
+    }
+    let sweeps: Vec<Vec<SweepPoint>> = ratios
+        .iter()
+        .map(|&r| cross_point_sweep(&apps::synthetic(r), &sizes))
+        .collect();
+    let pooled: Vec<SweepPoint> = (0..sizes.len())
+        .map(|i| SweepPoint {
+            input_size: sweeps[0][i].input_size,
+            t_up: sweeps.iter().map(|sw| sw[i].t_up).sum::<f64>() / sweeps.len() as f64,
+            t_out: sweeps.iter().map(|sw| sw[i].t_out).sum::<f64>() / sweeps.len() as f64,
+        })
+        .collect();
+    estimate_cross_point(&pooled).expect("the pooled offline sweep crosses")
+}
+
+#[test]
+fn stationary_replay_converges_to_the_offline_cross_points() {
+    // Representative ratios spanning each band's draw range in the trace.
+    let band_ratios: [&[f64]; 3] = [
+        &[1.2, 1.65, 2.1],   // S/I > 1
+        &[0.45, 0.7, 0.95],  // 0.4 ≤ S/I ≤ 1
+        &[0.05, 0.175, 0.3], // S/I < 0.4
+    ];
+    // Lightly loaded (no bursts, 10 min mean spacing) so observed execution
+    // times approximate the isolated sweeps behind the offline estimate.
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 20_000,
+        window: SimDuration::from_secs(20_000 * 600),
+        bursts: None,
+        ..Default::default()
+    });
+    let adaptive = AdaptiveScheduler::new(AdaptiveConfig {
+        exploration: 0.5,
+        window: 4096,
+        min_bucket_obs: 4,
+        ..Default::default()
+    });
+    let out = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        adaptive,
+        &trace,
+        &DeploymentTuning::default(),
+    );
+    let sched = out
+        .adaptive
+        .as_deref()
+        .expect("adaptive replay returns the scheduler");
+    for (band, ratios) in band_ratios.iter().enumerate() {
+        let offline = pooled_offline_cross(ratios);
+        let live = sched.threshold_of(band) as f64;
+        let rel = (live - offline).abs() / offline;
+        let recals = sched
+            .recalibrations()
+            .iter()
+            .filter(|r| r.band == BAND_LABELS[band])
+            .count();
+        println!(
+            "band {band}: offline {:.2} GiB, live {:.2} GiB, rel {rel:.3}, {recals} recalibrations",
+            offline / (1u64 << 30) as f64,
+            live / (1u64 << 30) as f64,
+        );
+        assert!(recals > 0, "band {band} never recalibrated");
+        assert!(
+            rel <= 0.15,
+            "band {band}: live threshold {live} is {:.1}% from offline {offline}",
+            rel * 100.0
+        );
+    }
+}
+
+fn p95_sojourn(out: &TraceOutcome) -> f64 {
+    let mut sojourns: Vec<f64> = out
+        .results
+        .iter()
+        .map(|r| r.end.since(r.submit).as_secs_f64())
+        .collect();
+    sojourns.sort_by(f64::total_cmp);
+    sojourns[(sojourns.len() as f64 * 0.95) as usize]
+}
+
+#[test]
+fn adaptive_beats_static_under_combined_drift() {
+    let jobs = 2500u64;
+    let window = SimDuration::from_secs(jobs * 2);
+    // Shrink harder than the paper's 5× so no single monster job pins the
+    // makespan: the tail is queueing, which is what placement can fix.
+    let base = FacebookTraceConfig {
+        jobs: jobs as usize,
+        window,
+        shrink_factor: 20.0,
+        ..Default::default()
+    };
+    let scenario = DriftScenario::combined(SimDuration::from_secs(jobs * 2 / 4));
+    let trace = generate_facebook_trace(&scenario.trace_config(&base));
+    let tuning = DeploymentTuning {
+        fault: scenario.fault_plan(),
+        ..Default::default()
+    };
+
+    let static_out = run_trace_with(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+        &tuning,
+    );
+    let adaptive_out = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        AdaptiveScheduler::default(),
+        &trace,
+        &tuning,
+    );
+
+    let sched = adaptive_out
+        .adaptive
+        .as_deref()
+        .expect("adaptive replay returns the scheduler");
+    println!(
+        "static: makespan {:.0}s p95 {:.0}s | adaptive: makespan {:.0}s p95 {:.0}s, {} recalibrations",
+        static_out.makespan.as_secs_f64(),
+        p95_sojourn(&static_out),
+        adaptive_out.makespan.as_secs_f64(),
+        p95_sojourn(&adaptive_out),
+        sched.recalibrations().len(),
+    );
+    assert_eq!(static_out.failures(), 0);
+    assert_eq!(adaptive_out.failures(), 0);
+    assert!(
+        !sched.recalibrations().is_empty(),
+        "drift must trigger recalibration"
+    );
+    assert!(
+        adaptive_out.makespan < static_out.makespan,
+        "adaptive ({:.1}s) must beat static ({:.1}s) makespan under drift",
+        adaptive_out.makespan.as_secs_f64(),
+        static_out.makespan.as_secs_f64(),
+    );
+    assert!(
+        p95_sojourn(&adaptive_out) < p95_sojourn(&static_out),
+        "adaptive must also beat static on p95 sojourn"
+    );
+}

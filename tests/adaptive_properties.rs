@@ -1,0 +1,175 @@
+//! Randomized invariants of the closed-loop adaptive scheduler.
+//!
+//! Each test drives [`AdaptiveScheduler`] with a deterministic pseudo-random
+//! stream (seeded [`DetRng`] substreams, so failures reproduce exactly) and
+//! checks a property that must hold for *every* input, not just the golden
+//! replays:
+//!
+//! 1. live thresholds never escape the configured clamps, no matter how
+//!    adversarial the completion stream;
+//! 2. the Algorithm-1 band boundaries at exactly 0.4 and 1.0 classify
+//!    identically under the static and the adaptive policy;
+//! 3. the sweep estimator is invariant under permutation of its window;
+//! 4. with exploration disabled, adaptive decisions equal the static
+//!    policy's decisions and the thresholds never move.
+
+use hybrid_hadoop::prelude::*;
+use hybrid_hadoop::scheduler::{band_index, estimate_from_observations, Observation, BAND_LABELS};
+use hybrid_hadoop::simcore::rng::{substream, DetRng};
+use hybrid_hadoop::workload::apps;
+
+fn job(id: u32, size: u64, ratio: f64) -> JobSpec {
+    JobSpec {
+        id: JobId(id),
+        profile: apps::synthetic(ratio),
+        input_size: size,
+        submit: SimTime::ZERO,
+    }
+}
+
+/// Log-uniform size draw over the FB-2009 KB..TB support.
+fn draw_size(rng: &mut DetRng) -> u64 {
+    let ln = rng.range_f64((1.0e3f64).ln(), (1.0e12f64).ln());
+    ln.exp() as u64
+}
+
+fn draw_ratio(rng: &mut DetRng) -> f64 {
+    rng.range_f64(0.0, 2.2)
+}
+
+#[test]
+fn thresholds_stay_within_clamps_under_adversarial_streams() {
+    for seed in 0..8u64 {
+        let cfg = AdaptiveConfig {
+            // Tight clamps and a hair-trigger loop so updates actually fire.
+            min_threshold: 1 << 30,
+            max_threshold: 64 << 30,
+            recalibrate_every: 4,
+            min_side_obs: 2,
+            max_step: 0.5,
+            exploration: 0.5,
+            ..Default::default()
+        };
+        let mut sched = AdaptiveScheduler::new(cfg.clone());
+        let mut rng = substream(0x000A_DA97, seed);
+        for i in 0..2000u32 {
+            let ratio = draw_ratio(&mut rng);
+            // Adversarial exec times: huge, tiny, occasionally invalid.
+            let exec = match i % 7 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => 0.0,
+                3 => -4.0,
+                _ => rng.range_f64(1e-6, 1e6),
+            };
+            sched.observe(draw_size(&mut rng), ratio, rng.chance(0.5), exec);
+            for band in 0..BAND_LABELS.len() {
+                let t = sched.threshold_of(band);
+                assert!(
+                    (cfg.min_threshold..=cfg.max_threshold).contains(&t),
+                    "seed {seed} job {i}: band {band} threshold {t} escaped the clamps"
+                );
+            }
+        }
+        assert!(
+            !sched.recalibrations().is_empty(),
+            "seed {seed}: the hair-trigger config must recalibrate, or the \
+             clamp assertion above never exercised a moved threshold"
+        );
+    }
+}
+
+#[test]
+fn band_boundaries_classify_identically_at_exactly_0_4_and_1_0() {
+    let static_policy = CrossPointScheduler::default();
+    let mut adaptive = AdaptiveScheduler::new(AdaptiveConfig {
+        exploration: 0.0,
+        ..Default::default()
+    });
+    let mut rng = substream(0xB0DD, 1);
+    let boundary_ratios = [0.4, 1.0, 0.4 - 1e-12, 1.0 + 1e-12, 0.0, 2.2];
+    for i in 0..400u32 {
+        let size = draw_size(&mut rng);
+        for (k, &ratio) in boundary_ratios.iter().enumerate() {
+            let j = job(i * 16 + k as u32, size, ratio);
+            let d = adaptive.route(&j);
+            assert_eq!(
+                d.band,
+                static_policy.band_for(ratio),
+                "ratio {ratio}: adaptive and static disagree on the band"
+            );
+            assert_eq!(d.band, BAND_LABELS[band_index(ratio)]);
+            assert_eq!(d.threshold, static_policy.threshold_for(ratio));
+            assert_eq!(
+                d.placement,
+                static_policy.place(&j, &ClusterLoads::default())
+            );
+        }
+    }
+}
+
+#[test]
+fn estimator_is_invariant_under_window_permutation() {
+    for seed in 0..6u64 {
+        let mut rng = substream(0x05EE_DE57, seed);
+        let n = 50 + (seed as usize) * 37;
+        let mut window: Vec<Observation> = (0..n)
+            .map(|_| Observation {
+                input_size: draw_size(&mut rng),
+                exec_secs: rng.range_f64(0.5, 5e4),
+                ran_up: rng.chance(0.5),
+            })
+            .collect();
+        let reference = estimate_from_observations(window.iter().copied(), 2, 1);
+        for _ in 0..10 {
+            // Fisher–Yates under the same deterministic stream.
+            for i in (1..window.len()).rev() {
+                window.swap(i, rng.range_usize(0, i + 1));
+            }
+            let shuffled = estimate_from_observations(window.iter().copied(), 2, 1);
+            match (reference, shuffled) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "seed {seed}: estimate depends on window order"
+                ),
+                other => panic!("seed {seed}: presence depends on window order: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_exploration_reproduces_static_decisions_and_freezes_thresholds() {
+    for seed in 0..4u64 {
+        let static_policy = CrossPointScheduler::default();
+        let mut adaptive = AdaptiveScheduler::new(AdaptiveConfig {
+            exploration: 0.0,
+            ..Default::default()
+        });
+        let before: Vec<u64> = (0..3).map(|b| adaptive.threshold_of(b)).collect();
+        let mut rng = substream(0x000F_0E2E, seed);
+        for i in 0..3000u32 {
+            let j = job(i, draw_size(&mut rng), draw_ratio(&mut rng));
+            let d = adaptive.route(&j);
+            let want = static_policy.place(&j, &ClusterLoads::default());
+            assert_eq!(d.placement, want, "seed {seed} job {i}");
+            assert!(!d.probe, "no probes may fire at exploration 0");
+            // Feed back a completion consistent with the routing, as the
+            // replay loop would: one side per job, never a paired probe.
+            adaptive.observe(
+                j.input_size,
+                j.profile.shuffle_input_ratio,
+                d.placement == Placement::ScaleUp,
+                rng.range_f64(0.1, 1e4),
+            );
+        }
+        let after: Vec<u64> = (0..3).map(|b| adaptive.threshold_of(b)).collect();
+        assert_eq!(
+            before, after,
+            "seed {seed}: thresholds moved without probes"
+        );
+        assert!(adaptive.recalibrations().is_empty());
+    }
+}

@@ -13,7 +13,7 @@
 //! engine), regenerate the constants with the replay below and say why in
 //! the commit message.
 
-use hybrid_hadoop::hybrid_core::{run_trace, run_trace_with};
+use hybrid_hadoop::hybrid_core::{run_trace, run_trace_adaptive_with, run_trace_with};
 use hybrid_hadoop::prelude::*;
 
 fn fnv(h: &mut u64, bytes: &[u8]) {
@@ -88,6 +88,71 @@ fn fixed_seed_10k_replay_is_byte_identical() {
     );
     assert_eq!(out.results.len(), 10_000);
     assert_eq!(fingerprint(&out, ""), 0x1e9c_66c1_7625_167b);
+}
+
+/// The closed-loop scheduler with exploration disabled must be *bitwise*
+/// the static policy: same constant as the plain 10k replay above, not
+/// merely the same statistics. Deferred routing resolves placements at
+/// arrival without reordering the event stream, and with no probes the
+/// paired-bucket estimator can never produce a cross-point update.
+#[test]
+fn adaptive_without_exploration_matches_the_static_10k_fingerprint() {
+    let trace = generate_facebook_trace(&replay_cfg(10_000));
+    let adaptive = AdaptiveScheduler::new(AdaptiveConfig {
+        exploration: 0.0,
+        ..Default::default()
+    });
+    let out = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        adaptive,
+        &trace,
+        &DeploymentTuning::default(),
+    );
+    assert_eq!(out.results.len(), 10_000);
+    assert_eq!(fingerprint(&out, ""), 0x1e9c_66c1_7625_167b);
+    let sched = out
+        .adaptive
+        .as_deref()
+        .expect("adaptive replay returns the scheduler");
+    assert!(sched.recalibrations().is_empty(), "no probes ⇒ no updates");
+    assert_eq!(sched.completions(), 10_000);
+}
+
+/// Pin the *exploring* adaptive replay too: probes draw from a dedicated
+/// RNG substream, so the closed loop is as reproducible as the static path.
+#[test]
+fn fixed_seed_10k_exploring_adaptive_replay_is_byte_identical() {
+    let trace = generate_facebook_trace(&replay_cfg(10_000));
+    let out = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        AdaptiveScheduler::default(),
+        &trace,
+        &DeploymentTuning::default(),
+    );
+    assert_eq!(out.results.len(), 10_000);
+    assert_eq!(fingerprint(&out, ""), 0xf29f_705a_5973_65f7);
+}
+
+/// Pin a drifting replay: the scale-up-slowdown scenario (one of the two
+/// fat nodes crashes mid-trace, no recovery) under the adaptive policy.
+/// Fault injection and recalibration both ride the deterministic machinery,
+/// so the drifting run is exactly as reproducible as the stationary one.
+#[test]
+fn fixed_seed_drift_scenario_replay_is_byte_identical() {
+    let scenario = DriftScenario::scale_up_slowdown(SimDuration::from_secs(2000 * 6));
+    let trace = generate_facebook_trace(&scenario.trace_config(&replay_cfg(2000)));
+    let tuning = DeploymentTuning {
+        fault: scenario.fault_plan(),
+        ..Default::default()
+    };
+    let out = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        AdaptiveScheduler::default(),
+        &trace,
+        &tuning,
+    );
+    assert_eq!(out.results.len(), 2000);
+    assert_eq!(fingerprint(&out, ""), 0x2a7e_b996_8a04_9588);
 }
 
 /// Same pin for an observed 1k-job replay, including the full Chrome
