@@ -180,6 +180,7 @@ impl Deployment {
         };
 
         let mut sim = Simulation::new(net, dfs, clusters);
+        sim.set_replay_parallelism(tuning.replay);
         if !tuning.fault.is_empty() {
             sim.set_fault_plan(tuning.fault.clone());
         }
@@ -260,6 +261,12 @@ pub struct DeploymentTuning {
     /// is the measurement path for million-job replays. Composable with
     /// `observe`: both sinks can run side by side.
     pub telemetry: Option<obs::TelemetryConfig>,
+    /// How the replay event loop runs: the classic sequential walk
+    /// (default) or the conservative windowed executor
+    /// ([`mapreduce::ReplayParallelism::Windowed`]), which commits the same
+    /// total event order — results are bitwise identical either way — while
+    /// classifying event windows across threads.
+    pub replay: mapreduce::ReplayParallelism,
 }
 
 impl Default for DeploymentTuning {
@@ -275,6 +282,7 @@ impl Default for DeploymentTuning {
             fault: FaultPlan::empty(),
             observe: false,
             telemetry: None,
+            replay: mapreduce::ReplayParallelism::default(),
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod runner;
 pub mod trace;
 
 pub use architecture::{Architecture, Deployment, DeploymentTuning, StorageKind};
+pub use mapreduce::{ParallelStats, ReplayParallelism};
 pub use runner::{
     cross_point_sweep, cross_point_sweep_with, grids, run_job, run_job_with, series_of, sweep,
     sweep_with,

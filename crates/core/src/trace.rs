@@ -52,6 +52,10 @@ pub struct TraceOutcome {
     /// ([`run_trace_adaptive_with`] and friends): final thresholds and the
     /// full recalibration audit trail. `None` on static replays.
     pub adaptive: Option<Box<AdaptiveScheduler>>,
+    /// Windowed-executor accounting when the replay ran with
+    /// [`mapreduce::ReplayParallelism::Windowed`] (all zeros on sequential
+    /// replays). Diagnostic only — never part of replay fingerprints.
+    pub parallel: mapreduce::ParallelStats,
 }
 
 impl TraceOutcome {
@@ -397,6 +401,7 @@ fn finish_replay(
         .and_then(|r| r.into_any().downcast::<AdaptiveRouter>().ok())
         .map(|r| Box::new(r.policy));
     let fault_stats = deployment.sim.fault_stats().clone();
+    let parallel = deployment.sim.parallel_stats();
     let makespan = results
         .iter()
         .map(|r| r.end.since(simcore::SimTime::ZERO))
@@ -427,6 +432,7 @@ fn finish_replay(
         recorder,
         telemetry,
         adaptive,
+        parallel,
     }
 }
 

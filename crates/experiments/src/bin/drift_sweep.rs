@@ -11,11 +11,14 @@
 //!
 //! Flags:
 //! - `--jobs N` — trace length (default 2500).
+//! - `--threads N` — worker threads for the scenario grid (default: the
+//!   `PARSWEEP_THREADS` env override, else the hardware heuristic). Output
+//!   bytes are identical at any thread count.
 //! - `--metrics-out <path>` — also write the Prometheus exposition (and a
 //!   JSON snapshot beside it) of the *adaptive combined-drift* run, which
 //!   carries the `hh_crosspoint_*` recalibration audit.
 
-use experiments::common::{flag_value, write_metrics};
+use experiments::common::{flag_value, threads_flag, write_rendered_metrics};
 use hybrid_core::{
     run_trace_adaptive_with, run_trace_with, Architecture, DeploymentTuning, TraceOutcome,
 };
@@ -56,11 +59,20 @@ fn row(scenario: &str, policy: &str, out: &TraceOutcome) -> Vec<String> {
     ]
 }
 
+/// One grid cell: a drift scenario replayed under one placement policy.
+#[derive(Clone)]
+struct Cell {
+    scenario: DriftScenario,
+    adaptive: bool,
+    telemetry: bool,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs: usize = flag_value(&args, "--jobs")
         .map(|s| s.parse().expect("--jobs takes a number"))
         .unwrap_or(2500);
+    let threads = threads_flag(&args);
     let metrics_out = flag_value(&args, "--metrics-out");
 
     // The drift-differential regime of `tests/adaptive_convergence.rs`:
@@ -74,41 +86,67 @@ fn main() {
     };
     let drift_at = SimDuration::from_secs(jobs as u64 / 2);
 
-    let mut rows = Vec::new();
-    for scenario in DriftScenario::all(drift_at) {
-        let trace = generate_facebook_trace(&scenario.trace_config(&base));
-        let tuning = DeploymentTuning {
-            fault: scenario.fault_plan(),
-            ..Default::default()
-        };
-        let static_out = run_trace_with(
-            Architecture::Hybrid,
-            &CrossPointScheduler::default(),
-            &trace,
-            &tuning,
-        );
-        rows.push(row(scenario.name, "static", &static_out));
+    // Scenario × policy cells fan out across workers; results merge in
+    // input order, so the table (and any `--metrics-out` exposition) is
+    // byte-identical at every thread count.
+    let cells: Vec<Cell> = DriftScenario::all(drift_at)
+        .into_iter()
+        .flat_map(|scenario| {
+            let telemetry = metrics_out.is_some()
+                && scenario.band_shift.is_some()
+                && scenario.node_loss.is_some();
+            [
+                Cell {
+                    scenario: scenario.clone(),
+                    adaptive: false,
+                    telemetry: false,
+                },
+                Cell {
+                    scenario,
+                    adaptive: true,
+                    telemetry,
+                },
+            ]
+        })
+        .collect();
 
-        let telemetry_here =
-            metrics_out.is_some() && scenario.band_shift.is_some() && scenario.node_loss.is_some();
-        let adaptive_tuning = DeploymentTuning {
-            fault: scenario.fault_plan(),
-            telemetry: telemetry_here.then(obs::TelemetryConfig::default),
+    let results = parsweep::par_map_threads(cells, threads, |cell| {
+        let trace = generate_facebook_trace(&cell.scenario.trace_config(&base));
+        let tuning = DeploymentTuning {
+            fault: cell.scenario.fault_plan(),
+            telemetry: cell.telemetry.then(obs::TelemetryConfig::default),
             ..Default::default()
         };
-        let adaptive_out = run_trace_adaptive_with(
-            Architecture::Hybrid,
-            AdaptiveScheduler::default(),
-            &trace,
-            &adaptive_tuning,
-        );
-        rows.push(row(scenario.name, "adaptive", &adaptive_out));
-        if telemetry_here {
-            let agg = adaptive_out
-                .telemetry
-                .as_deref()
-                .expect("telemetry was requested");
-            write_metrics(agg, metrics_out.as_deref().expect("checked above"));
+        let (policy_name, out) = if cell.adaptive {
+            let out = run_trace_adaptive_with(
+                Architecture::Hybrid,
+                AdaptiveScheduler::default(),
+                &trace,
+                &tuning,
+            );
+            ("adaptive", out)
+        } else {
+            let out = run_trace_with(
+                Architecture::Hybrid,
+                &CrossPointScheduler::default(),
+                &trace,
+                &tuning,
+            );
+            ("static", out)
+        };
+        let telemetry = out
+            .telemetry
+            .as_deref()
+            .map(|agg| (agg.render_prometheus(), agg.render_json()));
+        (row(cell.scenario.name, policy_name, &out), telemetry)
+    });
+
+    let mut rows = Vec::new();
+    for (r, telemetry) in results {
+        rows.push(r);
+        if let Some((prom, json)) = telemetry {
+            let path = metrics_out.as_deref().expect("telemetry implies the flag");
+            write_rendered_metrics(&prom, &json, path);
         }
     }
 

@@ -3,6 +3,9 @@
 //!
 //! Flags (all optional, combinable):
 //!
+//! - `--threads N` — worker threads for the intensity × architecture grid
+//!   (default: the `PARSWEEP_THREADS` env override, else the hardware
+//!   heuristic). Output bytes are identical at any thread count.
 //! - `--out-dir <dir>` — write the observed phase-breakdown table as
 //!   `fault_sweep_breakdown.csv` in `<dir>`, next to the rendered text.
 //! - `--metrics-out <path>` — stream the observed faulted run through the
@@ -13,11 +16,12 @@
 //!   `trace_event` JSON. The `TRACE_OUT` env var still works as a
 //!   deprecated fallback.
 
-use experiments::common::{flag_value, trace_out_path, write_csv, write_metrics};
+use experiments::common::{flag_value, threads_flag, trace_out_path, write_csv, write_metrics};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    print!("{}", experiments::figures::fault_sweep());
+    let threads = threads_flag(&args);
+    print!("{}", experiments::figures::fault_sweep_threads(threads));
 
     let trace_out = trace_out_path(&args);
     let out_dir = flag_value(&args, "--out-dir");

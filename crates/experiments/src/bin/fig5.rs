@@ -7,6 +7,10 @@
 //!   the million-job scale check (`--jobs 1000000`). The arrival window
 //!   scales with N so per-slot pressure matches the paper's
 //!   6000-job/8-hour replay.
+//! - `--threads N` — fan the figure's measurement grid out over N workers;
+//!   with `--jobs`, additionally run the single big replay through the
+//!   windowed parallel executor (`ReplayParallelism::Windowed`). Either
+//!   way the output bytes are identical at any thread count.
 //! - `--metrics-out <path>` — stream the run through the bounded-memory
 //!   [`obs::OnlineAggregator`] and write its Prometheus text exposition to
 //!   `<path>` plus a JSON snapshot beside it. Deterministic: same build,
@@ -22,10 +26,20 @@
 //! - `--out-dir <dir>` — write the phase-breakdown table as
 //!   `fig5_breakdown.csv` in `<dir>`, next to the rendered text.
 
-use experiments::common::{flag_value, trace_out_path, write_csv, write_metrics};
+use experiments::common::{flag_value, threads_flag, trace_out_path, write_csv, write_metrics};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Pins PARSWEEP_THREADS for the figure path's nested sweeps.
+    threads_flag(&args);
+    // Windowed replay only when the user asked for threads explicitly — the
+    // sequential loop stays the default measurement instrument.
+    let replay_threads = flag_value(&args, "--threads").map(|v| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("--threads takes a positive integer, got {v:?}"))
+    });
     let metrics_out = flag_value(&args, "--metrics-out");
     let policy = flag_value(&args, "--policy").unwrap_or_else(|| "static".into());
     if !matches!(policy.as_str(), "static" | "adaptive") {
@@ -40,7 +54,7 @@ fn main() {
                 eprintln!("usage: fig5 [--jobs N] [--policy static|adaptive] [--metrics-out PATH] [--trace-out PATH] [--out-dir DIR]");
                 std::process::exit(2);
             });
-        replay_at_scale(jobs, metrics_out.as_deref(), &policy);
+        replay_at_scale(jobs, metrics_out.as_deref(), &policy, replay_threads);
         return;
     }
     print!("{}", experiments::figures::fig5());
@@ -82,9 +96,10 @@ fn main() {
 /// full trace in memory: the generator streams one `JobSpec` at a time into
 /// the replay loop, and measurement (when requested) streams through the
 /// bounded-memory aggregator rather than buffering spans.
-fn replay_at_scale(jobs: usize, metrics_out: Option<&str>, policy: &str) {
+fn replay_at_scale(jobs: usize, metrics_out: Option<&str>, policy: &str, threads: Option<usize>) {
     use hybrid_core::{
-        run_trace_adaptive_streaming_with, run_trace_streaming_with, Architecture, DeploymentTuning,
+        run_trace_adaptive_streaming_with, run_trace_streaming_with, Architecture,
+        DeploymentTuning, ReplayParallelism,
     };
     use scheduler::{AdaptiveScheduler, CrossPointScheduler, BAND_LABELS};
     use workload::FacebookTraceConfig;
@@ -99,10 +114,18 @@ fn replay_at_scale(jobs: usize, metrics_out: Option<&str>, policy: &str) {
     };
     let tuning = DeploymentTuning {
         telemetry: metrics_out.map(|_| obs::TelemetryConfig::default()),
+        replay: match threads {
+            Some(n) => ReplayParallelism::windowed(n),
+            None => ReplayParallelism::Sequential,
+        },
         ..Default::default()
     };
+    let mode = match threads {
+        Some(n) => format!("windowed replay, {n} threads"),
+        None => "sequential replay".into(),
+    };
     eprintln!(
-        "replaying {jobs} jobs (streaming generator, hybrid architecture, {policy} policy)..."
+        "replaying {jobs} jobs (streaming generator, hybrid architecture, {policy} policy, {mode})..."
     );
     let start = std::time::Instant::now();
     let out = if policy == "adaptive" {
@@ -136,6 +159,17 @@ fn replay_at_scale(jobs: usize, metrics_out: Option<&str>, policy: &str) {
         "wall:        {wall:.2} s ({:.0} jobs/s)",
         jobs as f64 / wall
     );
+    if threads.is_some() {
+        let p = out.parallel;
+        let total = p.batched_events + p.sequential_events;
+        println!(
+            "parallel:    {} windows, {} of {} events batched ({:.0}%)",
+            p.windows,
+            p.batched_events,
+            total,
+            100.0 * p.batched_events as f64 / total.max(1) as f64
+        );
+    }
     if let Some(sched) = out.adaptive.as_deref() {
         println!("recalibrations: {}", sched.recalibrations().len());
         for (band, label) in BAND_LABELS.iter().enumerate() {

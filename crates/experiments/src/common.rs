@@ -37,6 +37,27 @@ pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Worker count for a figure binary: the `--threads N` flag, defaulting to
+/// [`parsweep::default_threads`] (which honors the `PARSWEEP_THREADS` env
+/// override). A given flag is also pinned into `PARSWEEP_THREADS` so nested
+/// [`parsweep::par_map`] fan-outs — e.g. the fig5 measurement sweeps inside
+/// `hybrid_core::runner` — honor it too. Thread count never affects output
+/// bytes, only wall time.
+pub fn threads_flag(args: &[String]) -> usize {
+    match flag_value(args, "--threads") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| panic!("--threads takes a positive integer, got {v:?}"));
+            std::env::set_var("PARSWEEP_THREADS", n.to_string());
+            n
+        }
+        None => parsweep::default_threads(),
+    }
+}
+
 /// Resolve the Chrome-trace output path: the `--trace-out` flag, falling
 /// back to the deprecated `TRACE_OUT` env var (with a warning) so existing
 /// invocations keep working one more release.
@@ -54,11 +75,16 @@ pub fn trace_out_path(args: &[String]) -> Option<String> {
 /// Write an aggregator's exposition pair: Prometheus text at `path` and the
 /// JSON snapshot beside it (`metrics.prom` → `metrics.json`).
 pub fn write_metrics(agg: &obs::OnlineAggregator, path: &str) {
-    std::fs::write(path, agg.render_prometheus())
-        .unwrap_or_else(|e| panic!("writing --metrics-out {path}: {e}"));
+    write_rendered_metrics(&agg.render_prometheus(), &agg.render_json(), path);
+}
+
+/// Like [`write_metrics`] but for expositions already rendered to strings —
+/// parallel sweep cells render on their worker and hand the bytes back, so
+/// file writes stay on the caller and happen in merge (input) order.
+pub fn write_rendered_metrics(prom: &str, json: &str, path: &str) {
+    std::fs::write(path, prom).unwrap_or_else(|e| panic!("writing --metrics-out {path}: {e}"));
     let json_path = json_sibling(path);
-    std::fs::write(&json_path, agg.render_json())
-        .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
     eprintln!("wrote telemetry to {path} and {json_path}");
 }
 

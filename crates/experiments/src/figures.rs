@@ -394,6 +394,17 @@ pub fn describe(arch: Architecture, r: &JobResult) -> String {
 /// on the dead machine), while THadoop's HDFS must re-replicate and loses
 /// map outputs with each crash.
 pub fn fault_sweep() -> String {
+    fault_sweep_threads(parsweep::default_threads())
+}
+
+/// [`fault_sweep`] with an explicit worker count (the `--threads` flag).
+///
+/// Grid cells (intensity × architecture) are independent replays, so they
+/// fan out through [`parsweep::par_map_threads`]: each cell derives its
+/// fault-plan seed from a stable per-cell coordinate hash
+/// ([`parsweep::cell_seed`]) and results merge in input order, making the
+/// rendered table byte-identical at any thread count.
+pub fn fault_sweep_threads(threads: usize) -> String {
     use hybrid_core::DeploymentTuning;
     use simcore::fault::{FaultPlan, FaultRates};
 
@@ -409,53 +420,66 @@ pub fn fault_sweep() -> String {
     let horizon = simcore::SimDuration::from_secs(4 * 3600);
     let plan_seed = 42u64;
 
-    let mut rows = Vec::new();
-    for &intensity in &[0.0f64, 2.0, 5.0, 10.0] {
-        let rates = FaultRates::scaled(intensity);
-        for arch in Architecture::TRACE_CONTENDERS {
-            let nodes: Vec<usize> = arch.cluster_specs().iter().map(|s| s.len()).collect();
-            let n_servers = match arch.storage_name() {
-                "ofs" => storage::OfsConfig::default().num_servers as usize,
-                _ => 0,
-            };
-            let plan = FaultPlan::generate(plan_seed, &rates, horizon, &nodes, n_servers);
-            let mut tuning = DeploymentTuning {
-                fault: plan,
-                ..Default::default()
-            };
-            tuning.engine_up.speculative_execution = true;
-            tuning.engine_out.speculative_execution = true;
+    let intensities = [0.0f64, 2.0, 5.0, 10.0];
+    let cells: Vec<(usize, f64, usize, Architecture)> = intensities
+        .iter()
+        .enumerate()
+        .flat_map(|(i_idx, &intensity)| {
+            Architecture::TRACE_CONTENDERS
+                .iter()
+                .enumerate()
+                .map(move |(a_idx, &arch)| (i_idx, intensity, a_idx, arch))
+        })
+        .collect();
 
-            let crosspoint = CrossPointScheduler::default();
-            let always_out = AlwaysOut;
-            let policy: &dyn JobPlacement = match arch {
-                Architecture::Hybrid => &crosspoint,
-                _ => &always_out,
-            };
-            let outcome = hybrid_core::run_trace_with(arch, policy, &trace, &tuning);
-            let stats = &outcome.fault_stats;
-            let exec = EmpiricalCdf::new(
-                outcome
-                    .results
-                    .iter()
-                    .filter(|r| r.succeeded())
-                    .map(|r| r.execution.as_secs_f64())
-                    .collect(),
-            );
-            rows.push(vec![
-                format!("{intensity:.0}"),
-                arch.name().to_string(),
-                fmt_secs(outcome.makespan.as_secs_f64()),
-                fmt_secs(exec.quantile(0.90).unwrap_or(f64::NAN)),
-                outcome.failures().to_string(),
-                stats.node_crashes.to_string(),
-                stats.tasks_killed.to_string(),
-                stats.map_outputs_lost.to_string(),
-                format!("{:.1}", stats.rereplicated_bytes / (1u64 << 30) as f64),
-                stats.straggler_attempts.to_string(),
-            ]);
-        }
-    }
+    let rows = parsweep::par_map_threads(cells, threads, |(i_idx, intensity, a_idx, arch)| {
+        let rates = FaultRates::scaled(intensity);
+        let nodes: Vec<usize> = arch.cluster_specs().iter().map(|s| s.len()).collect();
+        let n_servers = match arch.storage_name() {
+            "ofs" => storage::OfsConfig::default().num_servers as usize,
+            _ => 0,
+        };
+        // Each cell draws its fault schedule from its own decorrelated
+        // stream, keyed by grid coordinates — never by worker or order of
+        // execution.
+        let seed = parsweep::cell_seed(plan_seed, &[i_idx as u64, a_idx as u64]);
+        let plan = FaultPlan::generate(seed, &rates, horizon, &nodes, n_servers);
+        let mut tuning = DeploymentTuning {
+            fault: plan,
+            ..Default::default()
+        };
+        tuning.engine_up.speculative_execution = true;
+        tuning.engine_out.speculative_execution = true;
+
+        let crosspoint = CrossPointScheduler::default();
+        let always_out = AlwaysOut;
+        let policy: &dyn JobPlacement = match arch {
+            Architecture::Hybrid => &crosspoint,
+            _ => &always_out,
+        };
+        let outcome = hybrid_core::run_trace_with(arch, policy, &trace, &tuning);
+        let stats = &outcome.fault_stats;
+        let exec = EmpiricalCdf::new(
+            outcome
+                .results
+                .iter()
+                .filter(|r| r.succeeded())
+                .map(|r| r.execution.as_secs_f64())
+                .collect(),
+        );
+        vec![
+            format!("{intensity:.0}"),
+            arch.name().to_string(),
+            fmt_secs(outcome.makespan.as_secs_f64()),
+            fmt_secs(exec.quantile(0.90).unwrap_or(f64::NAN)),
+            outcome.failures().to_string(),
+            stats.node_crashes.to_string(),
+            stats.tasks_killed.to_string(),
+            stats.map_outputs_lost.to_string(),
+            format!("{:.1}", stats.rereplicated_bytes / (1u64 << 30) as f64),
+            stats.straggler_attempts.to_string(),
+        ]
+    });
     format!(
         "## Fault sweep — FB-2009 slice ({jobs} jobs) under injected faults\n\n{}\n{}",
         metrics::table::render(

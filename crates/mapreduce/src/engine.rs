@@ -37,11 +37,45 @@ use cluster::BuiltCluster;
 use obs::{ArgValue, Recorder, TelemetrySink};
 use simcore::fault::{FaultPlan, NodeFaultKind, ServerFaultKind};
 use simcore::rng::DetRng;
-use simcore::{EventQueue, FlowId, FlowNetwork, NetResourceId, SimDuration, SimTime};
+use simcore::{EventQueue, FlowId, FlowNetwork, NetResourceId, QueuedEvent, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use storage::plan::Transfer;
 use storage::{DfsModel, FileId, IoKind, IoPlan};
+
+/// FNV-1a with a fixed offset basis. The engine's hot maps are keyed by
+/// small integer ids (flow ids, node ids); FNV hashes those in a handful of
+/// cycles where SipHash pays its per-key setup, and the fixed basis removes
+/// the per-process random seed — the only map iteration in the engine
+/// ([`Simulation::kill_attempt`]) sorts its result, so order was never load
+/// bearing, but a keyed hasher bought nothing here.
+#[derive(Debug, Clone, Copy)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+type FnvSet<K> = HashSet<K, BuildHasherDefault<FnvHasher>>;
 
 /// Map or reduce.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -219,7 +253,7 @@ struct ClusterState {
     free_reduce: Vec<u32>,
     /// `NodeId` → index into `built.nodes`, so block-host lookups during map
     /// placement are O(1) instead of a scan over the cluster.
-    host_index: HashMap<cluster::NodeId, usize>,
+    host_index: FnvMap<cluster::NodeId, usize>,
     /// Crashed nodes (fault injection): zero slots until recovery.
     node_down: Vec<bool>,
     map_queue: TaskQueue,
@@ -248,6 +282,130 @@ enum Ev {
     NodeFault(usize),
     /// Index into the fault plan's server event list.
     ServerFault(usize),
+}
+
+/// How [`Simulation::run`] drives the event loop.
+///
+/// `Windowed` is the conservative parallel replay mode: the executor drains
+/// a window of consecutive step-completion timers, classifies them in
+/// parallel (the only part that fans out across threads), and commits the
+/// provably order-safe prefix through the exact sequential code path — so
+/// results are bitwise identical to `Sequential` at any thread count. See
+/// DESIGN.md §14 for the safety argument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplayParallelism {
+    /// The classic one-event-at-a-time loop (default).
+    #[default]
+    Sequential,
+    /// Windowed speculative execution.
+    Windowed {
+        /// Worker threads for window classification (clamped to ≥ 1; 1 keeps
+        /// the windowed commit protocol but classifies inline).
+        threads: usize,
+        /// Maximum events drained per window (clamped to ≥ 2).
+        window: usize,
+    },
+}
+
+impl ReplayParallelism {
+    /// Windowed mode with the default window size (256 events).
+    pub fn windowed(threads: usize) -> Self {
+        ReplayParallelism::Windowed {
+            threads: threads.max(1),
+            window: 256,
+        }
+    }
+
+    /// The worker-thread count this mode uses (1 for sequential).
+    pub fn threads(&self) -> usize {
+        match *self {
+            ReplayParallelism::Sequential => 1,
+            ReplayParallelism::Windowed { threads, .. } => threads.max(1),
+        }
+    }
+}
+
+/// Counters describing what the windowed executor actually did — the
+/// equivalence tests assert `batched_events > 0` so the parallel path is
+/// known to have genuinely run, and the window/batch ratio is a useful
+/// lookahead diagnostic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Windows drained (each classified as one batch).
+    pub windows: u64,
+    /// Events committed through a window's safe prefix.
+    pub batched_events: u64,
+    /// Events dispatched one at a time (non-timer events, impure heads).
+    pub sequential_events: u64,
+}
+
+/// What the classifier decided about one drained step-completion timer.
+/// `Pure` means committing it runs a closed-form path that pushes exactly
+/// one new timer at `push_at` and touches only its own task's state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Verdict {
+    Pure { push_at: SimTime },
+    Stale,
+    Impure,
+}
+
+/// Predict how committing one drained timer at time `at` would behave,
+/// without mutating anything. Mirrors `Simulation::on_step_done` plus the
+/// closed-form branches of `advance_task`:
+///
+/// - a missing task or attempt mismatch is a stale timer (no-op commit);
+/// - otherwise the step walk skips exactly what `advance_task` skips
+///   (empty flow sets, a passed map barrier, fetch bookkeeping) and the
+///   first `Cpu`/`Latency` step pins the commit to "push one timer at
+///   `push_at`" — the `Pure` verdict;
+/// - anything else (real flows, an injected failure, a blocking map
+///   barrier, task completion) can touch shared state, so it is `Impure`
+///   and ends the window's safe prefix.
+///
+/// Soundness leans on two engine invariants: fault injection draws
+/// randomness only when attempts *start* (never on the timer path), and
+/// `maps_done` / task slots / attempt counters only change inside impure
+/// handlers — so a verdict computed at drain time still holds after any
+/// prefix of pure commits from the same window.
+fn classify(jobs: &[JobState], clusters: &[ClusterState], ev: &Ev, at: SimTime) -> Verdict {
+    let Ev::StepDone {
+        job,
+        kind,
+        idx,
+        attempt,
+    } = *ev
+    else {
+        return Verdict::Impure;
+    };
+    let state = &jobs[job];
+    let slot = match kind {
+        TaskKind::Map => &state.map_tasks[idx as usize],
+        TaskKind::Reduce => &state.reduce_tasks[idx as usize],
+    };
+    let Some(task) = slot else {
+        return Verdict::Stale;
+    };
+    if task.attempt != attempt {
+        return Verdict::Stale;
+    }
+    for step in &task.steps {
+        match step {
+            Step::Cpu { cycles } => {
+                let speed = clusters[state.cluster].built.nodes[task.node]
+                    .spec
+                    .core_speed();
+                return Verdict::Pure {
+                    push_at: at + SimDuration::from_secs_f64(cycles / speed),
+                };
+            }
+            Step::Latency(d) => return Verdict::Pure { push_at: at + *d },
+            Step::Flows { transfers, .. } if transfers.is_empty() => continue,
+            Step::WaitMaps if state.maps_done == state.maps_total => continue,
+            Step::MarkFetchDone => continue,
+            _ => return Verdict::Impure,
+        }
+    }
+    Verdict::Impure // end of steps: committing would complete the task
 }
 
 /// Counters describing what the fault-injection layer actually did during a
@@ -322,7 +480,7 @@ pub struct Simulation {
     dfs: Box<dyn DfsModel>,
     clusters: Vec<ClusterState>,
     jobs: Vec<JobState>,
-    flows: HashMap<FlowId, (usize, TaskKind, u32)>,
+    flows: FnvMap<FlowId, (usize, TaskKind, u32)>,
     next_flow: u64,
     next_file: u64,
     results: Vec<JobResult>,
@@ -337,7 +495,7 @@ pub struct Simulation {
     fault_plan: FaultPlan,
     faults_scheduled: bool,
     /// Flows owned by the storage layer (re-replication), not by any task.
-    background_flows: HashSet<FlowId>,
+    background_flows: FnvSet<FlowId>,
     /// `(resource, rated capacity)` per storage server, captured when fault
     /// scheduling begins — degradation scales from the rated value.
     server_resources: Vec<(NetResourceId, f64)>,
@@ -356,10 +514,19 @@ pub struct Simulation {
     /// Flow labels for in-flight flows, populated only while a flow-hungry
     /// sink is attached: `(kind, owning job id)` — `None` for background
     /// traffic.
-    flow_meta: HashMap<FlowId, (FlowKind, Option<u32>)>,
+    flow_meta: FnvMap<FlowId, (FlowKind, Option<u32>)>,
     /// Closed-loop placement policy for jobs submitted via
     /// [`Simulation::submit_routed`] (see [`OnlineRouter`]).
     router: Option<Box<dyn OnlineRouter>>,
+    /// How [`Simulation::run`] drives the event loop.
+    replay: ReplayParallelism,
+    /// What the windowed executor did, for diagnostics and the equivalence
+    /// tests (all zero after a sequential run).
+    par_stats: ParallelStats,
+    /// Recycled step buffers: task attempts churn through short
+    /// `VecDeque<Step>`s at a rate of several per job, and reusing their
+    /// allocations keeps the replay hot loop off the allocator.
+    step_pool: Vec<VecDeque<Step>>,
 }
 
 impl Simulation {
@@ -408,7 +575,7 @@ impl Simulation {
             dfs,
             clusters,
             jobs: Vec::new(),
-            flows: HashMap::new(),
+            flows: FnvMap::default(),
             next_flow: 0,
             next_file: 0,
             results: Vec::new(),
@@ -418,14 +585,17 @@ impl Simulation {
             rng: simcore::rng::substream(0x5EED, 0),
             fault_plan: FaultPlan::empty(),
             faults_scheduled: false,
-            background_flows: HashSet::new(),
+            background_flows: FnvSet::default(),
             server_resources: Vec::new(),
             stats: FaultStats::default(),
             sinks: Vec::new(),
             log_flows: false,
             log_tasks: false,
-            flow_meta: HashMap::new(),
+            flow_meta: FnvMap::default(),
             router: None,
+            replay: ReplayParallelism::default(),
+            par_stats: ParallelStats::default(),
+            step_pool: Vec::new(),
         }
     }
 
@@ -668,21 +838,20 @@ impl Simulation {
     }
 
     /// Run to completion and return the per-job results in completion order.
+    ///
+    /// The produced results, telemetry, and event accounting are bitwise
+    /// identical under every [`ReplayParallelism`] setting — the windowed
+    /// executor only changes how fast the same total order is walked.
     pub fn run(&mut self) -> &[JobResult] {
         self.schedule_faults();
-        while let Some((_, ev)) = self.queue.pop() {
-            match ev {
-                Ev::Arrive(j) => self.on_arrive(j),
-                Ev::SetupDone(j) => self.on_setup_done(j),
-                Ev::StepDone {
-                    job,
-                    kind,
-                    idx,
-                    attempt,
-                } => self.on_step_done(job, kind, idx, attempt),
-                Ev::NetPoll { gen } => self.on_net_poll(gen),
-                Ev::NodeFault(i) => self.on_node_fault(i),
-                Ev::ServerFault(i) => self.on_server_fault(i),
+        match self.replay {
+            ReplayParallelism::Sequential => {
+                while let Some((_, ev)) = self.queue.pop() {
+                    self.dispatch(ev);
+                }
+            }
+            ReplayParallelism::Windowed { threads, window } => {
+                self.run_windowed(threads.max(1), window.max(2));
             }
         }
         debug_assert!(
@@ -695,6 +864,191 @@ impl Simulation {
             s.finish(end);
         }
         &self.results
+    }
+
+    /// Select how [`Simulation::run`] drives the event loop. Must be called
+    /// before `run`; the default is [`ReplayParallelism::Sequential`].
+    pub fn set_replay_parallelism(&mut self, replay: ReplayParallelism) {
+        self.replay = replay;
+    }
+
+    /// What the windowed executor did (all zeros after a sequential run).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.par_stats
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive(j) => self.on_arrive(j),
+            Ev::SetupDone(j) => self.on_setup_done(j),
+            Ev::StepDone {
+                job,
+                kind,
+                idx,
+                attempt,
+            } => self.on_step_done(job, kind, idx, attempt),
+            Ev::NetPoll { gen } => self.on_net_poll(gen),
+            Ev::NodeFault(i) => self.on_node_fault(i),
+            Ev::ServerFault(i) => self.on_server_fault(i),
+        }
+    }
+
+    /// The conservative windowed event loop (see DESIGN.md §14).
+    ///
+    /// Each iteration drains up to `window` *consecutive* step-completion
+    /// timers from the head of the queue without disturbing the clock,
+    /// classifies them (in parallel when the batch is worth it), commits the
+    /// longest prefix whose timer pushes provably cannot reorder ahead of a
+    /// later prefix entry, and returns the rest untouched. Commits go
+    /// through [`Self::on_step_done`] — the exact sequential handler — so
+    /// the classifier influences only scheduling, never state, and the
+    /// event stream stays bitwise identical to sequential replay.
+    fn run_windowed(&mut self, threads: usize, window: usize) {
+        let mut batch: Vec<QueuedEvent<Ev>> = Vec::with_capacity(window);
+        // Conservative lookahead in this engine is often short — storage
+        // and scheduler coupling make many timers impure — so draining the
+        // full window only to unpop the tail is the dominant cost at small
+        // batch sizes. The drain cap follows the observed safe-prefix
+        // length: it doubles whenever a window commits everything it
+        // drained and falls back to twice the committed prefix otherwise,
+        // keeping heap churn proportional to committed work while long
+        // pure runs still grow batches to the full window.
+        let mut cap = 2usize.clamp(2, window);
+        'outer: loop {
+            // Drain a run of StepDone timers at the queue head.
+            // A non-timer head with an empty batch IS the queue head, so it
+            // dispatches inline at sequential cost (no unpop/re-pop churn)
+            // — this is the common case whenever flow completions dominate.
+            while batch.len() < cap {
+                let Some(entry) = self.queue.pop_entry() else {
+                    if batch.is_empty() {
+                        break 'outer; // drained: the run is complete
+                    }
+                    break;
+                };
+                if matches!(entry.payload, Ev::StepDone { .. }) {
+                    batch.push(entry);
+                } else if batch.is_empty() {
+                    self.queue.commit_entry(&entry);
+                    self.par_stats.sequential_events += 1;
+                    self.dispatch(entry.payload);
+                } else {
+                    self.queue.unpop(entry);
+                    break;
+                }
+            }
+            if let [only] = batch.as_slice() {
+                // A lone timer is the queue head; committing it is plain
+                // sequential order — skip classification entirely.
+                self.queue.commit_entry(only);
+                self.par_stats.sequential_events += 1;
+                let entry = batch.pop().expect("slice-matched one entry");
+                self.dispatch(entry.payload);
+                continue;
+            }
+            self.par_stats.windows += 1;
+            let verdicts = self.classify_batch(&batch, threads);
+
+            // Longest safe prefix: entry i may join only if no timer pushed
+            // by an earlier prefix entry lands strictly before t_i —
+            // otherwise sequential replay would have interleaved that timer
+            // first. Ties are safe: a freshly pushed timer always carries a
+            // larger sequence number than anything already queued.
+            let mut m = 0;
+            let mut min_push: Option<SimTime> = None;
+            for (entry, verdict) in batch.iter().zip(&verdicts) {
+                if min_push.is_some_and(|p| p < entry.time) {
+                    break;
+                }
+                match *verdict {
+                    Verdict::Impure => break,
+                    Verdict::Stale => m += 1,
+                    Verdict::Pure { push_at } => {
+                        m += 1;
+                        if min_push.is_none_or(|p| push_at < p) {
+                            min_push = Some(push_at);
+                        }
+                    }
+                }
+            }
+
+            if m == 0 {
+                // The head itself is impure. It is still the true queue
+                // head, so dispatching it alone is plain sequential order.
+                let tail = batch.drain(1..).collect::<Vec<_>>();
+                for entry in tail {
+                    self.queue.unpop(entry);
+                }
+                let head = batch.pop().expect("nonempty batch has a head");
+                self.queue.commit_entry(&head);
+                self.par_stats.sequential_events += 1;
+                self.dispatch(head.payload);
+                cap = 2;
+                continue;
+            }
+
+            // Return the unproven tail first, then commit the safe prefix
+            // in drain order through the sequential handler.
+            let drained = batch.len();
+            for entry in batch.drain(m..) {
+                self.queue.unpop(entry);
+            }
+            cap = if m == drained {
+                (cap * 2).min(window)
+            } else {
+                (m * 2).clamp(2, window)
+            };
+            for entry in batch.drain(..) {
+                self.queue.commit_entry(&entry);
+                self.par_stats.batched_events += 1;
+                let Ev::StepDone {
+                    job,
+                    kind,
+                    idx,
+                    attempt,
+                } = entry.payload
+                else {
+                    unreachable!("batch only drains StepDone entries");
+                };
+                self.on_step_done(job, kind, idx, attempt);
+            }
+        }
+    }
+
+    /// Classify every drained timer, fanning out across scoped threads when
+    /// the batch is large enough to amortize thread startup. Classification
+    /// is a pure read of simulation state, so chunk boundaries and thread
+    /// scheduling cannot affect the verdicts.
+    fn classify_batch(&self, batch: &[QueuedEvent<Ev>], threads: usize) -> Vec<Verdict> {
+        /// Below this batch size the scoped-thread fan-out costs more than
+        /// the classification it parallelizes.
+        const PAR_CLASSIFY_MIN: usize = 16;
+        let jobs = &self.jobs;
+        let clusters = &self.clusters;
+        if threads <= 1 || batch.len() < PAR_CLASSIFY_MIN {
+            return batch
+                .iter()
+                .map(|e| classify(jobs, clusters, &e.payload, e.time))
+                .collect();
+        }
+        let chunk = batch.len().div_ceil(threads);
+        let mut verdicts = Vec::with_capacity(batch.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|e| classify(jobs, clusters, &e.payload, e.time))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                verdicts.extend(h.join().expect("classifier thread panicked"));
+            }
+        });
+        verdicts
     }
 
     /// Results recorded so far.
@@ -721,6 +1075,22 @@ impl Simulation {
         let id = FileId(self.next_file);
         self.next_file += 1;
         id
+    }
+
+    /// A step buffer for a new attempt, reusing a retired one when possible.
+    fn fresh_steps(&mut self) -> VecDeque<Step> {
+        self.step_pool.pop().unwrap_or_default()
+    }
+
+    /// Retire a finished attempt's step buffer into the pool. The pool is
+    /// capped: concurrent attempts are bounded by total slots, so anything
+    /// beyond a small stash would never be reused.
+    fn recycle_steps(&mut self, mut steps: VecDeque<Step>) {
+        const POOL_CAP: usize = 64;
+        if self.step_pool.len() < POOL_CAP {
+            steps.clear();
+            self.step_pool.push(steps);
+        }
     }
 
     /// Translate a job-global map index into (input file, block within it).
@@ -1146,6 +1516,7 @@ impl Simulation {
         }
         self.obs_task_span(j, kind, idx, cluster, &task, now, "killed");
         self.obs_sched_counters(cluster);
+        self.recycle_steps(task.steps);
         self.stats.tasks_killed += 1;
         self.drain_flow_spans();
         self.schedule_net_poll();
@@ -1414,6 +1785,7 @@ impl Simulation {
     }
 
     fn build_map_steps(&mut self, j: usize, idx: u32, node: usize) -> VecDeque<Step> {
+        let recycled = self.fresh_steps();
         let job = &self.jobs[j];
         let cluster = &self.clusters[job.cluster];
         let profile = job.spec.profile.clone();
@@ -1424,7 +1796,7 @@ impl Simulation {
         } else {
             storage::dfs::block_len(job.spec.input_size, block, idx)
         };
-        let mut steps = VecDeque::new();
+        let mut steps = recycled;
         steps.push_back(Step::Cpu {
             cycles: cluster.cfg.task_overhead_cycles,
         });
@@ -1466,6 +1838,7 @@ impl Simulation {
     }
 
     fn build_reduce_steps(&mut self, j: usize, idx: u32, node: usize) -> VecDeque<Step> {
+        let recycled = self.fresh_steps();
         let job = &self.jobs[j];
         let cluster = &self.clusters[job.cluster];
         let dst = &cluster.built.nodes[node];
@@ -1478,7 +1851,7 @@ impl Simulation {
         } else {
             base
         };
-        let mut steps = VecDeque::new();
+        let mut steps = recycled;
         steps.push_back(Step::Cpu {
             cycles: cluster.cfg.task_overhead_cycles,
         });
@@ -1840,6 +2213,7 @@ impl Simulation {
                 self.jobs[j].map_dur_n += 1;
                 self.jobs[j].maps_done += 1;
                 self.jobs[j].last_map_end = now;
+                self.recycle_steps(task.steps);
                 self.maybe_enqueue_reduces(j);
                 if self.jobs[j].maps_done == self.jobs[j].maps_total {
                     // Resume reducers parked on the map barrier.
@@ -1862,6 +2236,7 @@ impl Simulation {
                 self.jobs[j].reduce_dur_sum += now.since(task.started).as_secs_f64();
                 self.jobs[j].reduce_dur_n += 1;
                 self.jobs[j].reduces_done += 1;
+                self.recycle_steps(task.steps);
                 if self.jobs[j].reduces_done == self.jobs[j].reduces_total {
                     self.job_complete(j);
                 }
@@ -1890,6 +2265,7 @@ impl Simulation {
                 self.clusters[cluster].free_map[task.node] += 1;
                 self.clusters[cluster].map_queue.task_finished(j);
                 self.jobs[j].maps_by_node[task.node] -= 1;
+                self.recycle_steps(task.steps);
                 self.jobs[j].map_failed[idx as usize] += 1;
                 if self.jobs[j].map_failed[idx as usize] >= max_attempts {
                     self.note_failure(j, format!("map {idx} exceeded {max_attempts} attempts"));
@@ -1921,6 +2297,7 @@ impl Simulation {
                 if task.fetch_done {
                     self.jobs[j].fetches_done -= 1; // the retry re-fetches
                 }
+                self.recycle_steps(task.steps);
                 self.jobs[j].reduce_failed[idx as usize] += 1;
                 if self.jobs[j].reduce_failed[idx as usize] >= max_attempts {
                     self.note_failure(j, format!("reduce {idx} exceeded {max_attempts} attempts"));

@@ -16,7 +16,8 @@ pub mod queue;
 
 pub use config::EngineConfig;
 pub use engine::{
-    FaultStats, OnlineRouter, RouteDecision, RouterAnnotation, Simulation, TaskKind, TaskRecord,
+    FaultStats, OnlineRouter, ParallelStats, ReplayParallelism, RouteDecision, RouterAnnotation,
+    Simulation, TaskKind, TaskRecord,
 };
 pub use job::{JobId, JobResult, JobSpec};
 pub use profile::JobProfile;

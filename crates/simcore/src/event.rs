@@ -34,6 +34,20 @@ struct Entry<E> {
     payload: E,
 }
 
+/// An event drained via [`EventQueue::pop_entry`], carrying its position in
+/// the queue's `(time, seq)` total order so it can be restored unperturbed.
+#[derive(Debug)]
+pub struct QueuedEvent<E> {
+    /// Scheduled timestamp.
+    pub time: SimTime,
+    /// Push-order sequence number (the FIFO tie-break key). Private so a
+    /// caller cannot forge an order position; [`EventQueue::unpop`] restores
+    /// the original.
+    seq: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
@@ -113,6 +127,58 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
+    /// Remove the next event *without* advancing the clock or the popped
+    /// counter, exposing its position in the queue's total order.
+    ///
+    /// This is the speculative half of the windowed-replay protocol: a
+    /// conservative parallel executor drains a window of entries, decides
+    /// which prefix it can safely process, then either [`commit_entry`]s an
+    /// entry (observing it exactly as [`pop`] would have) or [`unpop`]s it
+    /// back untouched. Draining via `pop_entry` alone leaves the queue's
+    /// observable state (`now`, `events_processed`) unchanged.
+    ///
+    /// [`commit_entry`]: EventQueue::commit_entry
+    /// [`unpop`]: EventQueue::unpop
+    /// [`pop`]: EventQueue::pop
+    pub fn pop_entry(&mut self) -> Option<QueuedEvent<E>> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap yielded an out-of-order event");
+        Some(QueuedEvent {
+            time: entry.time,
+            seq: entry.seq,
+            payload: entry.payload,
+        })
+    }
+
+    /// Account a drained entry as processed: advances the clock and the
+    /// popped counter exactly as if [`EventQueue::pop`] had returned it.
+    /// Entries must be committed in the order `pop_entry` yielded them.
+    ///
+    /// # Panics
+    /// Panics if the entry's timestamp is before the current clock — that
+    /// would mean entries are being committed out of drain order.
+    pub fn commit_entry(&mut self, entry: &QueuedEvent<E>) {
+        assert!(
+            entry.time >= self.now,
+            "window entry committed out of order: at={:?} now={:?}",
+            entry.time,
+            self.now
+        );
+        self.now = entry.time;
+        self.popped += 1;
+    }
+
+    /// Return a drained entry to the queue in its original total-order
+    /// position (the sequence number captured at [`EventQueue::pop_entry`]
+    /// is preserved, so FIFO tie-breaking is unaffected).
+    pub fn unpop(&mut self, entry: QueuedEvent<E>) {
+        self.heap.push(Reverse(Entry {
+            time: entry.time,
+            seq: entry.seq,
+            payload: entry.payload,
+        }));
+    }
+
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -178,6 +244,56 @@ mod tests {
         q.push(q.now() + SimDuration::ZERO, 3);
         assert_eq!(q.pop().map(|(_, e)| e), Some(2));
         assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+    }
+
+    #[test]
+    fn pop_entry_unpop_preserves_order_and_clock() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        // Drain a window speculatively, then put everything back.
+        let drained: Vec<_> = (0..4).map(|_| q.pop_entry().unwrap()).collect();
+        assert_eq!(
+            q.now(),
+            SimTime::ZERO,
+            "draining must not advance the clock"
+        );
+        assert_eq!(q.events_processed(), 0);
+        for e in drained.into_iter().rev() {
+            q.unpop(e);
+        }
+        // FIFO tie-break order is intact after the round trip.
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn commit_entry_matches_pop_accounting() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        let e = q.pop_entry().unwrap();
+        assert_eq!(e.payload, "a");
+        q.commit_entry(&e);
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        assert_eq!(q.events_processed(), 1);
+        // A normal pop continues from where the committed entry left off.
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "committed out of order")]
+    fn commit_entry_rejects_time_regression() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        let first = q.pop_entry().unwrap();
+        let second = q.pop_entry().unwrap();
+        q.commit_entry(&second);
+        q.commit_entry(&first);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod registry;
 pub mod rng;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, QueuedEvent};
 pub use fault::{FaultPlan, FaultRates, NodeFault, NodeFaultKind, ServerFault, ServerFaultKind};
 pub use flownet::{FlowLogEntry, FlowNetwork, NetResourceId};
 pub use ps::{FlowId, Generation, PsResource};

@@ -261,6 +261,88 @@ fn main() {
         Better::Lower,
     );
 
+    // Windowed parallel-replay probe: the same overloaded replay through
+    // the conservative time-window executor. The gated entry is the
+    // windowed/sequential wall ratio — cross-machine-stable, so the
+    // threshold bites on the executor's bookkeeping (drain, classify,
+    // safe-prefix scan), not the host's core count: on a 1-core runner the
+    // ratio records pure overhead (> 1), on many cores the classification
+    // fan-out pulls it down. The batched-event count is exact on any
+    // machine at any thread count — it regresses only if the classifier or
+    // the safe-prefix rule loses batching opportunities.
+    let windowed_threads = hybrid_hadoop::parsweep::default_threads().max(2);
+    let mut windowed = fair.clone();
+    windowed.replay = ReplayParallelism::windowed(windowed_threads);
+    let last = std::cell::RefCell::new(None);
+    let windowed_wall = bench::bench("trace/replay_windowed", replay_iters, || {
+        *last.borrow_mut() = Some(run_trace_with(
+            Architecture::Hybrid,
+            &policy,
+            &trace,
+            &windowed,
+        ));
+    });
+    let out = last.into_inner().expect("windowed replay ran");
+    assert_eq!(
+        out.makespan, outcome.makespan,
+        "windowed replay must reproduce the sequential makespan"
+    );
+    trace_report.push(
+        "trace/replay_windowed_wall",
+        windowed_wall,
+        "s",
+        Better::Lower,
+    );
+    trace_report.push(
+        "trace/replay_windowed_jobs_per_s",
+        jobs as f64 / windowed_wall,
+        "jobs/s",
+        Better::Higher,
+    );
+    trace_report.push(
+        "trace/windowed_overhead",
+        windowed_wall / wall,
+        "x",
+        Better::Lower,
+    );
+    trace_report.push(
+        "trace/windowed_batched_events",
+        out.parallel.batched_events as f64,
+        "events",
+        Better::Higher,
+    );
+
+    // Million-job scale spec (full mode only — ~4 min of wall on one
+    // core): the streaming generator feeds the windowed executor end to
+    // end, the regime the CI scale-smoke caps.
+    if !quick {
+        let cfg_1m = FacebookTraceConfig {
+            jobs: 1_000_000,
+            window: SimDuration::from_secs_f64(4.8 * 1_000_000.0),
+            ..Default::default()
+        };
+        let tuning_1m = DeploymentTuning {
+            replay: ReplayParallelism::windowed(windowed_threads),
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let out = run_trace_streaming_with(
+            Architecture::Hybrid,
+            &policy,
+            hybrid_hadoop::workload::facebook::stream(&cfg_1m),
+            &tuning_1m,
+        );
+        let wall_1m = start.elapsed().as_secs_f64();
+        assert_eq!(out.results.len(), 1_000_000, "million-job replay completes");
+        trace_report.push("trace/windowed_1m_wall", wall_1m, "s", Better::Lower);
+        trace_report.push(
+            "trace/windowed_1m_jobs_per_s",
+            1_000_000.0 / wall_1m,
+            "jobs/s",
+            Better::Higher,
+        );
+    }
+
     for (file, report) in [
         ("BENCH_engine.json", &engine),
         ("BENCH_sweep.json", &sweep_report),

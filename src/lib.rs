@@ -54,7 +54,10 @@ pub mod prelude {
         cross_point_sweep, grids, run_job, run_job_with, run_trace, run_trace_adaptive_with, sweep,
         Architecture, Deployment, DeploymentTuning, TraceOutcome,
     };
-    pub use mapreduce::{EngineConfig, JobId, JobProfile, JobResult, JobSpec, Simulation};
+    pub use mapreduce::{
+        EngineConfig, JobId, JobProfile, JobResult, JobSpec, ParallelStats, ReplayParallelism,
+        Simulation,
+    };
     pub use metrics::{EmpiricalCdf, Series};
     pub use scheduler::{
         calibrate_bands, estimate_cross_point, AdaptiveConfig, AdaptiveScheduler, AlwaysOut,

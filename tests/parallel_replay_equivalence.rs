@@ -1,0 +1,327 @@
+//! Differential proof that windowed (parallel) replay is bitwise-equal to
+//! sequential replay.
+//!
+//! The windowed executor in `mapreduce::engine` commits the same total
+//! event order as the sequential loop — the only thing threads touch is
+//! read-only window classification — so every observable of a replay must
+//! be *identical*, not statistically close: per-job results, class
+//! execution times at full f64 precision, makespans, fault accounting, and
+//! telemetry expositions byte for byte. These tests check that contract
+//! across threads ∈ {1, 2, 4, 8} for plain, adaptive, drifting, and
+//! fault-injected traces, and re-pin the windowed mode to the 10k golden
+//! fingerprints from `golden_replay_scale.rs`.
+//!
+//! Every windowed run also asserts `parallel.batched_events > 0`: a run
+//! that silently fell back to one-at-a-time dispatch would make these
+//! equivalence checks vacuous.
+
+use hybrid_hadoop::hybrid_core::{run_trace_adaptive_with, run_trace_with};
+use hybrid_hadoop::obs::TelemetryConfig;
+use hybrid_hadoop::prelude::*;
+use simcore::fault::{FaultPlan, FaultRates};
+
+const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+/// Fingerprint every observable field of an outcome plus an optional
+/// export — the same digest `golden_replay_scale.rs` pins, so the windowed
+/// mode is held to the identical constants.
+fn fingerprint(out: &TraceOutcome, extra: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_u64(&mut h, out.results.len() as u64);
+    for r in &out.results {
+        fnv_u64(&mut h, r.id.0 as u64);
+        fnv(&mut h, r.app.as_bytes());
+        fnv_u64(&mut h, r.input_size);
+        fnv_u64(&mut h, r.cluster as u64);
+        fnv(&mut h, r.cluster_name.as_bytes());
+        fnv_u64(&mut h, r.submit.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.end.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.execution.0);
+        fnv_u64(&mut h, r.map_phase.0);
+        fnv_u64(&mut h, r.shuffle_phase.0);
+        fnv_u64(&mut h, r.reduce_phase.0);
+        fnv_u64(&mut h, r.maps as u64);
+        fnv_u64(&mut h, r.reduces as u64);
+        fnv_u64(&mut h, r.map_waves as u64);
+        fnv_u64(&mut h, r.data_local_maps as u64);
+        match &r.failed {
+            None => fnv_u64(&mut h, 0),
+            Some(msg) => {
+                fnv_u64(&mut h, 1);
+                fnv(&mut h, msg.as_bytes());
+            }
+        }
+    }
+    for v in &out.up_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    for v in &out.out_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    fnv_u64(&mut h, out.makespan.0);
+    fnv(&mut h, extra.as_bytes());
+    h
+}
+
+fn replay_cfg(jobs: usize) -> FacebookTraceConfig {
+    FacebookTraceConfig {
+        jobs,
+        window: SimDuration::from_secs(jobs as u64 * 12),
+        ..Default::default()
+    }
+}
+
+fn windowed(threads: usize) -> DeploymentTuning {
+    DeploymentTuning {
+        replay: ReplayParallelism::windowed(threads),
+        ..Default::default()
+    }
+}
+
+/// The windowed run must have genuinely exercised the batched commit path,
+/// otherwise an equivalence pass proves nothing.
+fn assert_batched(out: &TraceOutcome, label: &str) {
+    assert!(
+        out.parallel.batched_events > 0,
+        "{label}: windowed replay committed no batched events \
+         (stats: {:?})",
+        out.parallel
+    );
+    assert!(out.parallel.windows > 0, "{label}: no windows drained");
+}
+
+/// Everything two replays expose must agree — field by field, then the
+/// combined digest as a belt-and-braces check.
+fn assert_equivalent(seq: &TraceOutcome, par: &TraceOutcome, label: &str) {
+    assert_eq!(seq.results, par.results, "{label}: per-job results differ");
+    assert_eq!(
+        seq.up_class_exec, par.up_class_exec,
+        "{label}: scale-up class times differ"
+    );
+    assert_eq!(
+        seq.out_class_exec, par.out_class_exec,
+        "{label}: scale-out class times differ"
+    );
+    assert_eq!(seq.makespan, par.makespan, "{label}: makespan differs");
+    assert_eq!(
+        seq.fault_stats, par.fault_stats,
+        "{label}: fault accounting differs"
+    );
+    assert_eq!(
+        fingerprint(seq, ""),
+        fingerprint(par, ""),
+        "{label}: fingerprints differ"
+    );
+}
+
+/// Acceptance headline: windowed replay at 2, 4, and 8 threads reproduces
+/// the pinned 10k golden fingerprint from `golden_replay_scale.rs` exactly.
+#[test]
+fn windowed_10k_replay_reproduces_the_golden_fingerprint() {
+    let trace = generate_facebook_trace(&replay_cfg(10_000));
+    for threads in [2, 4, 8] {
+        let out = run_trace_with(
+            Architecture::Hybrid,
+            &CrossPointScheduler::default(),
+            &trace,
+            &windowed(threads),
+        );
+        assert_eq!(out.results.len(), 10_000);
+        assert_batched(&out, &format!("10k plain @{threads}"));
+        assert_eq!(
+            fingerprint(&out, ""),
+            0x1e9c_66c1_7625_167b,
+            "threads={threads}"
+        );
+    }
+}
+
+/// The exploring adaptive 10k replay under windowed execution hits its
+/// golden constant too — the closed loop (probes, recalibrations) rides the
+/// same committed event order.
+#[test]
+fn windowed_10k_exploring_adaptive_matches_its_golden_fingerprint() {
+    let trace = generate_facebook_trace(&replay_cfg(10_000));
+    let out = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        AdaptiveScheduler::default(),
+        &trace,
+        &windowed(4),
+    );
+    assert_eq!(out.results.len(), 10_000);
+    assert_batched(&out, "10k adaptive @4");
+    assert_eq!(fingerprint(&out, ""), 0xf29f_705a_5973_65f7);
+}
+
+/// Plain static replay: the full thread matrix against one sequential run.
+#[test]
+fn windowed_matches_sequential_for_a_plain_trace() {
+    let trace = generate_facebook_trace(&replay_cfg(1000));
+    let policy = CrossPointScheduler::default();
+    let seq = run_trace_with(
+        Architecture::Hybrid,
+        &policy,
+        &trace,
+        &DeploymentTuning::default(),
+    );
+    assert_eq!(seq.parallel, ParallelStats::default(), "sequential is zero");
+    for threads in THREAD_MATRIX {
+        let par = run_trace_with(Architecture::Hybrid, &policy, &trace, &windowed(threads));
+        assert_batched(&par, &format!("plain @{threads}"));
+        assert_equivalent(&seq, &par, &format!("plain @{threads}"));
+    }
+}
+
+/// Exploring adaptive replay across the matrix: threshold recalibrations
+/// and probe routing must land on the same jobs at every thread count.
+#[test]
+fn windowed_matches_sequential_for_an_adaptive_trace() {
+    let trace = generate_facebook_trace(&replay_cfg(1000));
+    let seq = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        AdaptiveScheduler::default(),
+        &trace,
+        &DeploymentTuning::default(),
+    );
+    let seq_recals = seq
+        .adaptive
+        .as_deref()
+        .expect("adaptive replay returns the scheduler")
+        .recalibrations()
+        .len();
+    for threads in THREAD_MATRIX {
+        let par = run_trace_adaptive_with(
+            Architecture::Hybrid,
+            AdaptiveScheduler::default(),
+            &trace,
+            &windowed(threads),
+        );
+        assert_batched(&par, &format!("adaptive @{threads}"));
+        assert_equivalent(&seq, &par, &format!("adaptive @{threads}"));
+        let par_recals = par
+            .adaptive
+            .as_deref()
+            .expect("adaptive replay returns the scheduler")
+            .recalibrations()
+            .len();
+        assert_eq!(seq_recals, par_recals, "recalibration count @{threads}");
+    }
+}
+
+/// A drifting workload (mid-trace node loss, adaptive policy): fault events
+/// interleave with timers, so the windowed prefix must cut around them
+/// without perturbing the order.
+#[test]
+fn windowed_matches_sequential_under_drift() {
+    let base = replay_cfg(800);
+    let scenario = DriftScenario::scale_up_slowdown(SimDuration::from_secs(800 * 6));
+    let trace = generate_facebook_trace(&scenario.trace_config(&base));
+    let seq_tuning = DeploymentTuning {
+        fault: scenario.fault_plan(),
+        ..Default::default()
+    };
+    let seq = run_trace_adaptive_with(
+        Architecture::Hybrid,
+        AdaptiveScheduler::default(),
+        &trace,
+        &seq_tuning,
+    );
+    for threads in THREAD_MATRIX {
+        let tuning = DeploymentTuning {
+            fault: scenario.fault_plan(),
+            replay: ReplayParallelism::windowed(threads),
+            ..Default::default()
+        };
+        let par = run_trace_adaptive_with(
+            Architecture::Hybrid,
+            AdaptiveScheduler::default(),
+            &trace,
+            &tuning,
+        );
+        assert_batched(&par, &format!("drift @{threads}"));
+        assert_equivalent(&seq, &par, &format!("drift @{threads}"));
+    }
+}
+
+/// Heavy fault injection (crashes, recoveries, stragglers, speculative
+/// kills): the densest impure-event mix the engine produces.
+#[test]
+fn windowed_matches_sequential_under_fault_injection() {
+    let trace = generate_facebook_trace(&replay_cfg(300));
+    let nodes: Vec<usize> = Architecture::Hybrid
+        .cluster_specs()
+        .iter()
+        .map(|s| s.len())
+        .collect();
+    let plan = FaultPlan::generate(
+        42,
+        &FaultRates::scaled(20.0),
+        SimDuration::from_secs(2 * 3600),
+        &nodes,
+        0,
+    );
+    let policy = CrossPointScheduler::default();
+    let seq_tuning = DeploymentTuning {
+        fault: plan.clone(),
+        ..Default::default()
+    };
+    let seq = run_trace_with(Architecture::Hybrid, &policy, &trace, &seq_tuning);
+    assert!(
+        seq.fault_stats.node_crashes > 0,
+        "scenario must actually inject faults"
+    );
+    for threads in THREAD_MATRIX {
+        let tuning = DeploymentTuning {
+            fault: plan.clone(),
+            replay: ReplayParallelism::windowed(threads),
+            ..Default::default()
+        };
+        let par = run_trace_with(Architecture::Hybrid, &policy, &trace, &tuning);
+        assert_batched(&par, &format!("fault @{threads}"));
+        assert_equivalent(&seq, &par, &format!("fault @{threads}"));
+    }
+}
+
+/// Telemetry expositions — Prometheus text and JSON — byte-identical across
+/// the matrix: the streaming aggregator observes the committed event order,
+/// so windowing must not move a single sample between buckets.
+#[test]
+fn windowed_telemetry_expositions_are_byte_identical() {
+    let trace = generate_facebook_trace(&replay_cfg(600));
+    let policy = CrossPointScheduler::default();
+    let seq_tuning = DeploymentTuning {
+        telemetry: Some(TelemetryConfig::default()),
+        ..Default::default()
+    };
+    let seq = run_trace_with(Architecture::Hybrid, &policy, &trace, &seq_tuning);
+    let seq_agg = seq.telemetry.as_deref().expect("telemetry attached");
+    let (seq_prom, seq_json) = (seq_agg.render_prometheus(), seq_agg.render_json());
+    for threads in THREAD_MATRIX {
+        let tuning = DeploymentTuning {
+            telemetry: Some(TelemetryConfig::default()),
+            replay: ReplayParallelism::windowed(threads),
+            ..Default::default()
+        };
+        let par = run_trace_with(Architecture::Hybrid, &policy, &trace, &tuning);
+        assert_batched(&par, &format!("telemetry @{threads}"));
+        assert_equivalent(&seq, &par, &format!("telemetry @{threads}"));
+        let par_agg = par.telemetry.as_deref().expect("telemetry attached");
+        assert_eq!(
+            seq_prom,
+            par_agg.render_prometheus(),
+            "prometheus bytes @{threads}"
+        );
+        assert_eq!(seq_json, par_agg.render_json(), "json bytes @{threads}");
+    }
+}
