@@ -14,7 +14,9 @@ use crate::architecture::{Architecture, Deployment, DeploymentTuning};
 use mapreduce::{FaultStats, JobId, JobResult, JobSpec, OnlineRouter, RouteDecision};
 use metrics::EmpiricalCdf;
 use scheduler::{
-    AdaptiveDecision, AdaptiveScheduler, ClusterLoads, CrossPointScheduler, JobPlacement, Placement,
+    AdaptiveDecision, AdaptiveScheduler, ClusterLoads, CrossPointScheduler, DispatchOutcome,
+    JobPlacement, Placement, PolicyKind, TenantDispatcher, TenantId, TenantJob, TenantSchedConfig,
+    TenantTable,
 };
 use simcore::SimDuration;
 use simcore::SimTime;
@@ -222,17 +224,22 @@ impl OnlineRouter for AdaptiveRouter {
         }
     }
 
-    fn on_complete(&mut self, result: &JobResult) -> Option<mapreduce::RouterAnnotation> {
-        let (input_size, ratio) = self.inflight.remove(&result.id)?;
+    fn on_complete(&mut self, result: &JobResult) -> Vec<mapreduce::RouterAnnotation> {
+        let Some((input_size, ratio)) = self.inflight.remove(&result.id) else {
+            return Vec::new();
+        };
         if !result.succeeded() {
-            return None;
+            return Vec::new();
         }
         // Side observed = where the job actually ran (a single-cluster
         // fallback may differ from the decision).
         let ran_up = Some(result.cluster) == self.up;
-        let rec = self
-            .policy
-            .observe(input_size, ratio, ran_up, result.execution.as_secs_f64())?;
+        let Some(rec) =
+            self.policy
+                .observe(input_size, ratio, ran_up, result.execution.as_secs_f64())
+        else {
+            return Vec::new();
+        };
         let note = format!(
             "recalibrated {}: cross point {} -> {} (estimate {}{}{})",
             rec.band,
@@ -242,7 +249,7 @@ impl OnlineRouter for AdaptiveRouter {
             if rec.stepped { ", step-limited" } else { "" },
             if rec.clamped { ", clamped" } else { "" },
         );
-        Some((
+        vec![(
             "scheduler",
             "recalibrate",
             vec![
@@ -255,7 +262,7 @@ impl OnlineRouter for AdaptiveRouter {
                 ("completions", obs::ArgValue::from(rec.completions)),
                 ("note", obs::ArgValue::from(note)),
             ],
-        ))
+        )]
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
@@ -383,6 +390,232 @@ where
     finish_replay(arch, "adaptive".to_string(), deployment, &class_of)
 }
 
+/// Per-job tenant attribution the internal tenant router (and the caller,
+/// via [`TenantOutcome::attribution`]) keeps for each released job.
+#[derive(Debug, Clone)]
+pub struct TenantAttribution {
+    pub tenant: TenantId,
+    /// Hierarchical queue the tenant belongs to.
+    pub queue: &'static str,
+    /// The tenant's fair-share weight (normalizes slot-share telemetry).
+    pub weight: f64,
+    /// When the tenant submitted the job (before queueing delay) — sojourn
+    /// and SLO misses are measured from here, not from the release time.
+    pub orig_submit: SimTime,
+    pub slo_secs: Option<f64>,
+}
+
+/// Wraps the closed-loop [`AdaptiveRouter`] with per-tenant attribution:
+/// placement and recalibration behave exactly as in an adaptive replay,
+/// and every completion additionally broadcasts a `("tenant", "complete")`
+/// instant carrying tenant, queue, weighted sojourn, and SLO verdict —
+/// the stream [`obs::OnlineAggregator`] folds into per-tenant latency
+/// histograms and fairness counters.
+struct TenantRouter {
+    inner: AdaptiveRouter,
+    meta: HashMap<JobId, TenantAttribution>,
+}
+
+impl OnlineRouter for TenantRouter {
+    fn route(&mut self, spec: &JobSpec, now: SimTime, annotate: bool) -> RouteDecision {
+        self.inner.route(spec, now, annotate)
+    }
+
+    fn on_complete(&mut self, result: &JobResult) -> Vec<mapreduce::RouterAnnotation> {
+        let mut anns = self.inner.on_complete(result);
+        if let Some(m) = self.meta.get(&result.id) {
+            let sojourn = result.end.since(m.orig_submit).as_secs_f64();
+            let miss = m.slo_secs.is_some_and(|s| sojourn > s);
+            anns.push((
+                "tenant",
+                "complete",
+                vec![
+                    ("job", obs::ArgValue::from(result.id.0)),
+                    ("tenant", obs::ArgValue::from(m.tenant.0)),
+                    ("queue", obs::ArgValue::from(m.queue)),
+                    ("weight", obs::ArgValue::from(m.weight)),
+                    ("sojourn_s", obs::ArgValue::from(sojourn)),
+                    (
+                        "exec_s",
+                        obs::ArgValue::from(result.execution.as_secs_f64()),
+                    ),
+                    ("slo_s", obs::ArgValue::from(m.slo_secs.unwrap_or(0.0))),
+                    ("slo_miss", obs::ArgValue::from(miss)),
+                ],
+            ));
+        }
+        anns
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Outcome of a multi-tenant replay: the engine-side [`TraceOutcome`] plus
+/// the dispatch-side accounting (release schedule statistics, preemption
+/// log, final share ledger) and the job → tenant attribution map.
+#[derive(Debug)]
+pub struct TenantOutcome {
+    pub trace: TraceOutcome,
+    /// Queue-layer accounting from the [`TenantDispatcher`] (its
+    /// `released` list is consumed by the replay and left empty).
+    pub dispatch: DispatchOutcome,
+    /// Attribution for every released job, keyed by engine job id.
+    pub attribution: HashMap<JobId, TenantAttribution>,
+}
+
+impl TenantOutcome {
+    /// Tenant-experienced sojourn (submission → completion, including
+    /// queueing delay) of one successful result.
+    pub fn sojourn_secs(&self, r: &JobResult) -> Option<f64> {
+        self.attribution
+            .get(&r.id)
+            .map(|m| r.end.since(m.orig_submit).as_secs_f64())
+    }
+
+    /// Completed jobs whose sojourn exceeded their tenant's SLO.
+    pub fn slo_misses(&self) -> u64 {
+        self.trace
+            .results
+            .iter()
+            .filter(|r| r.succeeded())
+            .filter(|r| {
+                self.attribution.get(&r.id).is_some_and(|m| {
+                    m.slo_secs
+                        .is_some_and(|s| r.end.since(m.orig_submit).as_secs_f64() > s)
+                })
+            })
+            .count() as u64
+    }
+
+    /// Jain fairness index over final weight-normalized tenant usages.
+    pub fn jain_index(&self) -> f64 {
+        self.dispatch.ledger.jain_index()
+    }
+}
+
+/// Replay a tenant-tagged job stream through a queue policy *and* the
+/// cross-point router: the [`TenantDispatcher`] (policy `kind`, shares,
+/// preemption, delay scheduling per `sched_cfg`) decides *when* each job
+/// is released, then the engine replays the released jobs with the given
+/// closed-loop `adaptive` scheduler deciding *where* (Algorithm 1 — pass
+/// exploration 0 for the provably-static variant).
+///
+/// With [`TenantSchedConfig::unlimited`], a single-tenant table, and the
+/// FIFO policy, every spec is forwarded bit-for-bit at its original submit
+/// time, so the replay is bitwise identical to
+/// [`run_trace_adaptive_streaming_with`] on the same stream — the pinned
+/// goldens hold the dispatcher to that.
+pub fn run_trace_tenants_with<I>(
+    arch: Architecture,
+    table: TenantTable,
+    sched_cfg: TenantSchedConfig,
+    kind: PolicyKind,
+    adaptive: AdaptiveScheduler,
+    jobs: I,
+    tuning: &DeploymentTuning,
+) -> TenantOutcome
+where
+    I: IntoIterator<Item = TenantJob>,
+{
+    let policy = kind.build(&table);
+    let dispatcher = TenantDispatcher::new(table, sched_cfg, policy);
+    let mut dispatch = dispatcher.run(jobs);
+
+    let classifier = CrossPointScheduler::default();
+    let mut deployment = Deployment::build_with(arch, tuning);
+    let mut attribution: HashMap<JobId, TenantAttribution> =
+        HashMap::with_capacity(dispatch.released.len());
+    for r in &dispatch.released {
+        attribution.insert(
+            r.spec.id,
+            TenantAttribution {
+                tenant: r.tenant,
+                queue: dispatch.table.queue_name(r.tenant),
+                weight: dispatch.table.spec(r.tenant).weight,
+                orig_submit: r.orig_submit,
+                slo_secs: r.slo_secs,
+            },
+        );
+    }
+    deployment.sim.set_router(Box::new(TenantRouter {
+        inner: AdaptiveRouter {
+            policy: adaptive,
+            up: deployment.up_cluster,
+            out: deployment.out_cluster,
+            inflight: HashMap::new(),
+        },
+        meta: attribution.clone(),
+    }));
+
+    // Queue-layer telemetry rides ahead of the replay: preemptions and the
+    // final share snapshot happened at dispatch time, so their instants are
+    // stamped with dispatch-sim clocks and broadcast before the engine
+    // events stream in. The aggregator folds instants independent of order.
+    if deployment.sim.telemetry_active() {
+        for ev in &dispatch.preemptions {
+            deployment.sim.annotate_instant(
+                "tenant",
+                "preempt",
+                obs::lanes::JOBS,
+                ev.victim_job,
+                SimTime::from_secs_f64(ev.at),
+                vec![
+                    ("job", obs::ArgValue::from(ev.victim_job)),
+                    ("tenant", obs::ArgValue::from(ev.victim.0)),
+                    ("preemptor", obs::ArgValue::from(ev.preemptor.0)),
+                    ("wasted_s", obs::ArgValue::from(ev.wasted_secs)),
+                ],
+            );
+        }
+        for (job, tenant) in &dispatch.rejected {
+            deployment.sim.annotate_instant(
+                "tenant",
+                "reject",
+                obs::lanes::JOBS,
+                *job,
+                SimTime::from_secs_f64(dispatch.end_time),
+                vec![
+                    ("job", obs::ArgValue::from(*job)),
+                    ("tenant", obs::ArgValue::from(tenant.0)),
+                ],
+            );
+        }
+        for (tenant, weight, usage) in dispatch.ledger.active_shares() {
+            deployment.sim.annotate_instant(
+                "tenant",
+                "share",
+                obs::lanes::JOBS,
+                tenant.0,
+                SimTime::from_secs_f64(dispatch.end_time),
+                vec![
+                    ("tenant", obs::ArgValue::from(tenant.0)),
+                    ("weight", obs::ArgValue::from(weight)),
+                    ("usage_s", obs::ArgValue::from(usage)),
+                ],
+            );
+        }
+    }
+
+    let released = std::mem::take(&mut dispatch.released);
+    let mut class_of: HashMap<JobId, Placement> = HashMap::with_capacity(released.len());
+    for r in released {
+        class_of.insert(
+            r.spec.id,
+            classifier.place(&r.spec, &ClusterLoads::default()),
+        );
+        deployment.sim.submit_routed(r.spec);
+    }
+    let label = format!("tenant-{}", dispatch.policy_name);
+    let trace = finish_replay(arch, label, deployment, &class_of);
+    TenantOutcome {
+        trace,
+        dispatch,
+        attribution,
+    }
+}
+
 /// Run the submitted deployment to completion and fold the results into a
 /// [`TraceOutcome`], recovering whatever observability state (recorder,
 /// aggregator, adaptive router) the replay carried.
@@ -395,11 +628,15 @@ fn finish_replay(
     let results = deployment.sim.run().to_vec();
     let recorder = deployment.sim.take_observability();
     let telemetry = deployment.sim.take_sink::<obs::OnlineAggregator>();
-    let adaptive = deployment
-        .sim
-        .take_router()
-        .and_then(|r| r.into_any().downcast::<AdaptiveRouter>().ok())
-        .map(|r| Box::new(r.policy));
+    let adaptive = deployment.sim.take_router().and_then(|r| {
+        match r.into_any().downcast::<AdaptiveRouter>() {
+            Ok(r) => Some(Box::new(r.policy)),
+            Err(any) => any
+                .downcast::<TenantRouter>()
+                .ok()
+                .map(|r| Box::new(r.inner.policy)),
+        }
+    });
     let fault_stats = deployment.sim.fault_stats().clone();
     let parallel = deployment.sim.parallel_stats();
     let makespan = results

@@ -1,0 +1,205 @@
+//! Multi-tenant scheduler zoo: queue policy × placement policy × load.
+//!
+//! Replays the same Zipf-skewed, diurnal × MMPP multi-tenant synthesis
+//! ([`workload::TenantModelConfig`]) through every
+//! [`scheduler::PolicyKind`] (FIFO / Fair / CapacityQueue) in front of
+//! both the frozen Algorithm-1 cross point and the closed-loop
+//! [`scheduler::AdaptiveScheduler`], at several offered-load levels.
+//! Within one load level every policy cell sees the *identical* arrival
+//! stream (the workload seed is derived per load, not per cell), so the
+//! table isolates the scheduling discipline: makespan, sojourn tails, the
+//! interactive-queue (small-tenant) p99, the Jain fairness index, and
+//! preemption / SLO / admission counters.
+//!
+//! Everything is a pure function of the seed: rerunning prints identical
+//! bytes at any `--threads N`.
+//!
+//! Flags:
+//! - `--jobs N` — jobs per load level (default 4000).
+//! - `--threads N` — worker threads for the cell grid (default: the
+//!   `PARSWEEP_THREADS` env override, else the hardware heuristic).
+//! - `--metrics-out <path>` — also write the Prometheus exposition (and a
+//!   JSON snapshot beside it) of the capacity × adaptive cell at the
+//!   highest load, which carries the `hh_tenant_*` fairness audit.
+
+use experiments::common::{flag_value, threads_flag, write_rendered_metrics};
+use hybrid_core::{run_trace_tenants_with, Architecture, DeploymentTuning, TenantOutcome};
+use scheduler::{AdaptiveConfig, AdaptiveScheduler, PolicyKind, TenantSchedConfig};
+use simcore::SimDuration;
+use workload::{stream_tenant_trace, tenant_table, TenantModelConfig};
+
+/// Offered-load levels: the label and the arrival-window seconds granted
+/// per job (smaller = denser arrivals = heavier queueing at the
+/// dispatcher's job slots).
+const LOADS: [(&str, u64); 3] = [("1x", 12), ("2x", 6), ("4x", 3)];
+
+/// The dispatcher regime the zoo is judged in: few enough job slots that
+/// the bursty arrival process actually queues (the default 8+8 never
+/// saturates under these traces), admission control live so the
+/// `rejected` column is meaningful.
+fn sweep_sched_cfg() -> TenantSchedConfig {
+    TenantSchedConfig {
+        slots_up: 3,
+        slots_out: 3,
+        admission: true,
+        ..Default::default()
+    }
+}
+
+/// One grid cell: a load level replayed under one queue policy and one
+/// placement policy.
+#[derive(Clone)]
+struct Cell {
+    load: usize,
+    kind: PolicyKind,
+    adaptive: bool,
+    telemetry: bool,
+}
+
+/// Sojourn quantile (submission → completion, queueing included) over the
+/// successful results, optionally restricted to one hierarchical queue.
+fn sojourn_quantile(out: &TenantOutcome, q: f64, queue: Option<&str>) -> Option<f64> {
+    let mut sojourns: Vec<f64> = out
+        .trace
+        .results
+        .iter()
+        .filter(|r| r.succeeded())
+        .filter(|r| match queue {
+            None => true,
+            Some(name) => out.attribution.get(&r.id).is_some_and(|m| m.queue == name),
+        })
+        .filter_map(|r| out.sojourn_secs(r))
+        .collect();
+    if sojourns.is_empty() {
+        return None;
+    }
+    sojourns.sort_by(f64::total_cmp);
+    Some(sojourns[((sojourns.len() - 1) as f64 * q) as usize])
+}
+
+fn fmt_q(v: Option<f64>) -> String {
+    v.map(metrics::table::fmt_secs)
+        .unwrap_or_else(|| "-".into())
+}
+
+fn row(load: &str, placement: &str, out: &TenantOutcome) -> Vec<String> {
+    vec![
+        load.to_string(),
+        out.dispatch.policy_name.to_string(),
+        placement.to_string(),
+        metrics::table::fmt_secs(out.trace.makespan.as_secs_f64()),
+        fmt_q(sojourn_quantile(out, 0.50, None)),
+        fmt_q(sojourn_quantile(out, 0.99, None)),
+        fmt_q(sojourn_quantile(out, 0.99, Some("interactive"))),
+        format!("{:.3}", out.jain_index()),
+        out.dispatch.stats.preemptions.to_string(),
+        out.slo_misses().to_string(),
+        out.dispatch.stats.rejections.to_string(),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: usize = flag_value(&args, "--jobs")
+        .map(|s| s.parse().expect("--jobs takes a number"))
+        .unwrap_or(4000);
+    let threads = threads_flag(&args);
+    let metrics_out = flag_value(&args, "--metrics-out");
+
+    // Policy × placement × load cells fan out across workers; results merge
+    // in input order, so the table (and any `--metrics-out` exposition) is
+    // byte-identical at every thread count. The telemetry cell is the
+    // capacity × adaptive replay at the highest load — the regime where the
+    // fairness audit has the most to say.
+    let mut cells = Vec::new();
+    for load in 0..LOADS.len() {
+        for kind in PolicyKind::ALL {
+            for adaptive in [false, true] {
+                cells.push(Cell {
+                    load,
+                    kind,
+                    adaptive,
+                    telemetry: metrics_out.is_some()
+                        && load == LOADS.len() - 1
+                        && kind == PolicyKind::Capacity
+                        && adaptive,
+                });
+            }
+        }
+    }
+
+    let results = parsweep::par_map_threads(cells, threads, |cell| {
+        let (label, secs_per_job) = LOADS[cell.load];
+        // One workload seed per load level: all six policy cells at a load
+        // replay the *same* tenants, sizes, and arrival instants.
+        let cfg = TenantModelConfig {
+            jobs,
+            seed: parsweep::cell_seed(0x7E4A_2009, &[cell.load as u64]),
+            window: SimDuration::from_secs(jobs as u64 * secs_per_job),
+            ..Default::default()
+        };
+        let tuning = DeploymentTuning {
+            telemetry: cell.telemetry.then(obs::TelemetryConfig::default),
+            ..Default::default()
+        };
+        let (placement, adaptive) = if cell.adaptive {
+            ("adaptive", AdaptiveScheduler::default())
+        } else {
+            (
+                "static",
+                AdaptiveScheduler::new(AdaptiveConfig {
+                    exploration: 0.0,
+                    ..Default::default()
+                }),
+            )
+        };
+        let out = run_trace_tenants_with(
+            Architecture::Hybrid,
+            tenant_table(&cfg),
+            sweep_sched_cfg(),
+            cell.kind,
+            adaptive,
+            stream_tenant_trace(&cfg),
+            &tuning,
+        );
+        let telemetry = out
+            .trace
+            .telemetry
+            .as_deref()
+            .map(|agg| (agg.render_prometheus(), agg.render_json()));
+        (row(label, placement, &out), telemetry)
+    });
+
+    let mut rows = Vec::new();
+    for (r, telemetry) in results {
+        rows.push(r);
+        if let Some((prom, json)) = telemetry {
+            let path = metrics_out.as_deref().expect("telemetry implies the flag");
+            write_rendered_metrics(&prom, &json, path);
+        }
+    }
+
+    println!(
+        "tenant sweep: {jobs} jobs per load level, {} tenants, hybrid architecture",
+        TenantModelConfig::default().tenants,
+    );
+    print!(
+        "{}",
+        metrics::table::render(
+            &[
+                "load",
+                "policy",
+                "placement",
+                "makespan",
+                "p50",
+                "p99",
+                "interactive p99",
+                "jain",
+                "preempts",
+                "slo miss",
+                "rejected"
+            ],
+            &rows,
+        )
+    );
+}

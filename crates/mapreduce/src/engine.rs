@@ -464,9 +464,12 @@ pub trait OnlineRouter {
     /// telemetry sink is attached and an audit annotation is wanted.
     fn route(&mut self, spec: &JobSpec, now: SimTime, annotate: bool) -> RouteDecision;
 
-    /// Observe one completed (or failed) job, optionally returning an audit
-    /// annotation to broadcast at the completion time.
-    fn on_complete(&mut self, result: &JobResult) -> Option<RouterAnnotation>;
+    /// Observe one completed (or failed) job, returning any audit
+    /// annotations to broadcast at the completion time (empty when the
+    /// completion needs no audit). Multiple annotations let layered routers
+    /// attach both their own audit and the inner policy's (e.g. a tenant
+    /// attribution riding on a threshold recalibration).
+    fn on_complete(&mut self, result: &JobResult) -> Vec<RouterAnnotation>;
 
     /// Recover the concrete router for post-run inspection (mirrors
     /// [`TelemetrySink::into_any`]).
@@ -1228,10 +1231,10 @@ impl Simulation {
         };
         let result = self.results.last().expect("feedback follows a result");
         let (id, end) = (result.id.0, result.end);
-        let annotation = router.on_complete(result);
+        let annotations = router.on_complete(result);
         self.router = Some(router);
-        if let Some((cat, name, args)) = annotation {
-            if self.telemetry_active() {
+        if self.telemetry_active() {
+            for (cat, name, args) in annotations {
                 self.emit_instant(cat, name, obs::lanes::JOBS, id, end, args);
             }
         }

@@ -64,6 +64,11 @@ pub struct TelemetryConfig {
     /// Most recent scheduler-recalibration decision notes retained (the
     /// per-band gauges and counters are unaffected by this cap).
     pub max_recal_notes: usize,
+    /// Cap on distinct per-tenant label sets (sojourn histograms and SLO
+    /// counters); overflow tenants collapse into `"(other)"`. The arrival
+    /// model synthesizes thousands of tenants, so per-tenant telemetry
+    /// must stay bounded by config, not by the tenant population.
+    pub max_tenant_sets: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -76,6 +81,7 @@ impl Default for TelemetryConfig {
             latency_buckets: 50,
             max_reason_tags: 64,
             max_recal_notes: 16,
+            max_tenant_sets: 32,
         }
     }
 }
@@ -100,6 +106,9 @@ pub struct TelemetryFootprint {
     pub crosspoint_bands: usize,
     /// Recalibration decision notes retained (≤ `max_recal_notes`).
     pub recal_notes: usize,
+    /// Per-tenant label sets retained (≤ `max_tenant_sets` + 1 for the
+    /// `"(other)"` overflow bucket).
+    pub tenant_label_sets: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +158,19 @@ pub struct OnlineAggregator {
     resource_bytes: BTreeMap<String, f64>,
     blame: BTreeMap<(&'static str, &'static str), Blame>,
     pending: Option<PendingJob>,
+    /// Per-tenant sojourn-time histograms (submit → completion, including
+    /// queueing delay), keyed by `t<id>` and capped at `max_tenant_sets`.
+    tenant_sojourn: BTreeMap<String, LogHistogram>,
+    /// SLO misses per tenant label (same capping as `tenant_sojourn`).
+    tenant_slo_misses: BTreeMap<String, u64>,
+    tenant_preemptions: u64,
+    tenant_preempt_wasted_s: f64,
+    tenant_rejections: u64,
+    /// Streaming Jain-index accumulators over end-of-run `tenant`/`share`
+    /// instants: x = weighted usage per tenant, jain = (Σx)²/(n·Σx²).
+    share_n: u64,
+    share_sum: f64,
+    share_sum_sq: f64,
     end_time: SimTime,
 }
 
@@ -192,6 +214,15 @@ fn arg_str<'a>(args: &'a [(&'static str, ArgValue)], key: &str) -> Option<&'a st
         })
 }
 
+fn arg_bool(args: &[(&'static str, ArgValue)], key: &str) -> Option<bool> {
+    args.iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::Bool(b) => Some(*b),
+            _ => None,
+        })
+}
+
 impl OnlineAggregator {
     /// A fresh aggregator sized by `cfg`.
     pub fn new(cfg: TelemetryConfig) -> Self {
@@ -213,6 +244,14 @@ impl OnlineAggregator {
             resource_bytes: BTreeMap::new(),
             blame: BTreeMap::new(),
             pending: None,
+            tenant_sojourn: BTreeMap::new(),
+            tenant_slo_misses: BTreeMap::new(),
+            tenant_preemptions: 0,
+            tenant_preempt_wasted_s: 0.0,
+            tenant_rejections: 0,
+            share_n: 0,
+            share_sum: 0.0,
+            share_sum_sq: 0.0,
             end_time: SimTime::ZERO,
         }
     }
@@ -238,6 +277,27 @@ impl OnlineAggregator {
             pending_jobs: usize::from(self.pending.is_some()),
             crosspoint_bands: self.crosspoint_bytes.len(),
             recal_notes: self.recal_notes.len(),
+            tenant_label_sets: self.tenant_sojourn.len(),
+        }
+    }
+
+    /// Jain fairness index over the weighted per-tenant usages reported by
+    /// end-of-run `tenant`/`share` instants; `None` until a share is seen.
+    pub fn jain_index(&self) -> Option<f64> {
+        if self.share_n == 0 || self.share_sum_sq <= 0.0 {
+            return None;
+        }
+        Some(self.share_sum * self.share_sum / (self.share_n as f64 * self.share_sum_sq))
+    }
+
+    /// The tenant label a per-tenant series is folded under: the tenant's
+    /// own `t<id>` key while the cap has room, `"(other)"` afterwards.
+    fn tenant_label(&self, map: &BTreeMap<String, LogHistogram>, tenant: u64) -> String {
+        let label = format!("t{tenant}");
+        if map.contains_key(&label) || map.len() < self.cfg.max_tenant_sets {
+            label
+        } else {
+            "(other)".to_string()
         }
     }
 
@@ -403,6 +463,47 @@ impl TelemetrySink for OnlineAggregator {
                 *self.resource_bytes.entry(name.to_string()).or_insert(0.0) +=
                     arg_f64(args, "bytes_served").unwrap_or(0.0);
             }
+            // Multi-tenant dispatch audit: per-tenant sojourn and SLO
+            // attribution from the tenant router, plus dispatcher-level
+            // preemption/rejection evidence and end-of-run share reports
+            // feeding the streaming Jain index.
+            "tenant" => match name {
+                "complete" => {
+                    let Some(tenant) = arg_u64(args, "tenant") else {
+                        return;
+                    };
+                    let label = self.tenant_label(&self.tenant_sojourn, tenant);
+                    let sojourn = arg_f64(args, "sojourn_s").unwrap_or(0.0);
+                    self.tenant_sojourn
+                        .entry(label.clone())
+                        .or_insert_with(|| {
+                            LogHistogram::new(
+                                self.cfg.latency_min_s,
+                                self.cfg.latency_max_s,
+                                self.cfg.latency_buckets,
+                            )
+                        })
+                        .push(sojourn);
+                    if arg_bool(args, "slo_miss").unwrap_or(false) {
+                        *self.tenant_slo_misses.entry(label).or_insert(0) += 1;
+                    }
+                }
+                "preempt" => {
+                    self.tenant_preemptions += 1;
+                    self.tenant_preempt_wasted_s += arg_f64(args, "wasted_s").unwrap_or(0.0);
+                }
+                "reject" => self.tenant_rejections += 1,
+                "share" => {
+                    let weight = arg_f64(args, "weight")
+                        .unwrap_or(1.0)
+                        .max(f64::MIN_POSITIVE);
+                    let x = arg_f64(args, "usage_s").unwrap_or(0.0) / weight;
+                    self.share_n += 1;
+                    self.share_sum += x;
+                    self.share_sum_sq += x * x;
+                }
+                _ => {}
+            },
             _ => {}
         }
     }
@@ -718,6 +819,93 @@ impl OnlineAggregator {
                 num(*bytes)
             ));
         }
+
+        // Multi-tenant sections appear only when a tenant dispatch fed the
+        // aggregator; single-tenant replays render byte-identically to the
+        // pre-tenant exposition.
+        if !self.tenant_sojourn.is_empty() || self.share_n > 0 {
+            metric(
+                &mut o,
+                "hh_tenant_sojourn_seconds",
+                "Per-tenant job sojourn (submit to completion, queueing included) quantiles.",
+                "gauge",
+            );
+            for (tenant, hist) in &self.tenant_sojourn {
+                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                    if let Some(v) = hist.quantile(q) {
+                        o.push_str(&format!(
+                            "hh_tenant_sojourn_seconds{{tenant=\"{}\",quantile=\"{label}\"}} {}\n",
+                            prom_escape(tenant),
+                            num(v)
+                        ));
+                    }
+                }
+            }
+            metric(
+                &mut o,
+                "hh_tenant_jobs_total",
+                "Completed jobs attributed to each tenant label.",
+                "counter",
+            );
+            for (tenant, hist) in &self.tenant_sojourn {
+                o.push_str(&format!(
+                    "hh_tenant_jobs_total{{tenant=\"{}\"}} {}\n",
+                    prom_escape(tenant),
+                    hist.total()
+                ));
+            }
+            metric(
+                &mut o,
+                "hh_tenant_slo_miss_total",
+                "Jobs finishing past their tenant-class SLO, per tenant label.",
+                "counter",
+            );
+            for (tenant, n) in &self.tenant_slo_misses {
+                o.push_str(&format!(
+                    "hh_tenant_slo_miss_total{{tenant=\"{}\"}} {n}\n",
+                    prom_escape(tenant)
+                ));
+            }
+            metric(
+                &mut o,
+                "hh_tenant_preemptions_total",
+                "Running attempts preempted by the tenant dispatcher.",
+                "counter",
+            );
+            o.push_str(&format!(
+                "hh_tenant_preemptions_total {}\n",
+                self.tenant_preemptions
+            ));
+            metric(
+                &mut o,
+                "hh_tenant_preempt_wasted_seconds_total",
+                "Service time discarded by preempted attempts (restart cost).",
+                "counter",
+            );
+            o.push_str(&format!(
+                "hh_tenant_preempt_wasted_seconds_total {}\n",
+                num(self.tenant_preempt_wasted_s)
+            ));
+            metric(
+                &mut o,
+                "hh_tenant_rejections_total",
+                "Jobs refused by deadline-aware admission control.",
+                "counter",
+            );
+            o.push_str(&format!(
+                "hh_tenant_rejections_total {}\n",
+                self.tenant_rejections
+            ));
+            if let Some(jain) = self.jain_index() {
+                metric(
+                    &mut o,
+                    "hh_tenant_jain_fairness_index",
+                    "Jain index over weighted per-tenant usage; 1.0 is perfectly fair.",
+                    "gauge",
+                );
+                o.push_str(&format!("hh_tenant_jain_fairness_index {}\n", num(jain)));
+            }
+        }
         o
     }
 
@@ -883,6 +1071,35 @@ impl OnlineAggregator {
             ));
         }
         o.push_str("\n],\n");
+
+        o.push_str("\"tenants\": [\n");
+        first = true;
+        for (tenant, hist) in &self.tenant_sojourn {
+            if !first {
+                o.push_str(",\n");
+            }
+            first = false;
+            let q = |p: f64| hist.quantile(p).map(num).unwrap_or_else(|| "null".into());
+            let slo_misses = self.tenant_slo_misses.get(tenant).copied().unwrap_or(0);
+            o.push_str(&format!(
+                "{{\"tenant\": {}, \"jobs\": {}, \"slo_misses\": {slo_misses}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json_string(tenant),
+                hist.total(),
+                q(0.5),
+                q(0.95),
+                q(0.99)
+            ));
+        }
+        o.push_str("\n],\n");
+
+        o.push_str(&format!(
+            "\"fairness\": {{\"jain\": {}, \"shares_observed\": {}, \"preemptions\": {}, \"preempt_wasted_s\": {}, \"rejections\": {}}},\n",
+            self.jain_index().map(num).unwrap_or_else(|| "null".into()),
+            self.share_n,
+            self.tenant_preemptions,
+            num(self.tenant_preempt_wasted_s),
+            self.tenant_rejections
+        ));
 
         o.push_str("\"resources\": {");
         first = true;
@@ -1096,5 +1313,102 @@ mod tests {
         let json = a.render_json();
         assert!(json.contains("\"schema\": \"hybrid-hadoop-telemetry/v1\""));
         assert!(json.contains("\"cluster\": \"scale-up\""));
+        // Without a tenant dispatch the Prometheus text is tenant-free and
+        // the JSON fairness block stays at its neutral defaults.
+        assert!(!prom.contains("hh_tenant_"));
+        assert!(json.contains("\"fairness\": {\"jain\": null, \"shares_observed\": 0"));
+    }
+
+    fn tenant_complete(agg: &mut OnlineAggregator, tenant: u64, sojourn_s: f64, slo_miss: bool) {
+        agg.instant(
+            "tenant",
+            "complete",
+            lanes::JOBS,
+            0,
+            SimTime::from_secs(1),
+            &[
+                ("job", 0u64.into()),
+                ("tenant", tenant.into()),
+                ("queue", "interactive".into()),
+                ("sojourn_s", sojourn_s.into()),
+                ("slo_miss", slo_miss.into()),
+            ],
+        );
+    }
+
+    #[test]
+    fn tenant_instants_feed_sojourn_slo_and_fairness() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig::default());
+        tenant_complete(&mut agg, 3, 40.0, false);
+        tenant_complete(&mut agg, 3, 90.0, true);
+        tenant_complete(&mut agg, 11, 12.0, false);
+        agg.instant(
+            "tenant",
+            "preempt",
+            lanes::JOBS,
+            0,
+            SimTime::from_secs(5),
+            &[("victim", 3u64.into()), ("wasted_s", 2.5.into())],
+        );
+        agg.instant(
+            "tenant",
+            "reject",
+            lanes::JOBS,
+            0,
+            SimTime::from_secs(6),
+            &[("tenant", 11u64.into())],
+        );
+        // Two equally-loaded unit-weight tenants: Jain must be exactly 1.
+        for t in [3u64, 11] {
+            agg.instant(
+                "tenant",
+                "share",
+                lanes::JOBS,
+                0,
+                SimTime::from_secs(9),
+                &[
+                    ("tenant", t.into()),
+                    ("weight", 1.0.into()),
+                    ("usage_s", 50.0.into()),
+                ],
+            );
+        }
+        agg.finish(SimTime::from_secs(10));
+
+        assert_eq!(agg.tenant_sojourn.get("t3").unwrap().total(), 2);
+        assert_eq!(agg.tenant_sojourn.get("t11").unwrap().total(), 1);
+        assert_eq!(agg.tenant_slo_misses.get("t3").copied(), Some(1));
+        assert_eq!(agg.tenant_preemptions, 1);
+        assert!((agg.tenant_preempt_wasted_s - 2.5).abs() < 1e-12);
+        assert_eq!(agg.tenant_rejections, 1);
+        assert!((agg.jain_index().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(agg.footprint().tenant_label_sets, 2);
+
+        let prom = agg.render_prometheus();
+        assert!(prom.contains("hh_tenant_jobs_total{tenant=\"t3\"} 2"));
+        assert!(prom.contains("hh_tenant_slo_miss_total{tenant=\"t3\"} 1"));
+        assert!(prom.contains("hh_tenant_preemptions_total 1"));
+        assert!(prom.contains("hh_tenant_jain_fairness_index 1"));
+        let json = agg.render_json();
+        assert!(json.contains("\"tenant\": \"t3\", \"jobs\": 2, \"slo_misses\": 1"));
+        assert!(json.contains("\"jain\": 1,"));
+        assert!(json.contains("\"preempt_wasted_s\": 2.5"));
+    }
+
+    #[test]
+    fn tenant_label_sets_are_capped() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig {
+            max_tenant_sets: 2,
+            ..Default::default()
+        });
+        for t in 0..5u64 {
+            tenant_complete(&mut agg, t, 10.0, t >= 2);
+        }
+        // Tenants beyond the cap fold into "(other)" — both histograms and
+        // SLO counters — so the footprint stays config-bounded.
+        assert_eq!(agg.tenant_sojourn.len(), 3);
+        assert_eq!(agg.tenant_sojourn.get("(other)").unwrap().total(), 3);
+        assert_eq!(agg.tenant_slo_misses.get("(other)").copied(), Some(3));
+        assert_eq!(agg.footprint().tenant_label_sets, 3);
     }
 }

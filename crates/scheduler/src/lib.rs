@@ -8,11 +8,21 @@
 //! paper's threshold-selection methodology executable, and [`online`] closes
 //! that loop at runtime: [`AdaptiveScheduler`] re-estimates the cross points
 //! from observed completions with hysteresis and deterministic exploration.
+//!
+//! The multi-tenant layer composes *in front of* placement: [`policy`]
+//! defines the pluggable [`SchedulerPolicy`] queue disciplines (FIFO /
+//! weighted-fair / hierarchical capacity queues) and [`tenant`] the
+//! [`TenantDispatcher`] that runs them — weighted share accounting,
+//! deterministic preemption, deadline-aware admission, and delay
+//! scheduling decide *when* a job is released; Algorithm 1 still decides
+//! *where* it runs.
 
 pub mod bands;
 pub mod calibrate;
 pub mod online;
 pub mod placement;
+pub mod policy;
+pub mod tenant;
 
 pub use bands::{calibrate_bands, BandScheduler, RatioBand};
 pub use calibrate::{calibrate_scheduler, estimate_cross_point, SweepPoint};
@@ -23,4 +33,12 @@ pub use online::{
 pub use placement::{
     AlwaysOut, AlwaysUp, AvailabilityAwareScheduler, ClusterLoads, CrossPointScheduler,
     JobPlacement, LoadAwareScheduler, Placement, PlacementDecision, SizeOnlyScheduler,
+};
+pub use policy::{
+    CapacityPolicy, FairPolicy, FifoPolicy, PendingJob, PolicyKind, SchedulerPolicy, SideFree,
+};
+pub use tenant::{
+    virtual_cost_secs, DispatchOutcome, PreemptEvent, QueueSpec, ReleasedJob, ShareLedger,
+    TenantDispatcher, TenantId, TenantJob, TenantSchedConfig, TenantSchedStats, TenantSpec,
+    TenantTable,
 };

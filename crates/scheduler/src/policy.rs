@@ -1,0 +1,463 @@
+//! # policy — pluggable multi-tenant queue disciplines
+//!
+//! The cross-point layer ([`crate::CrossPointScheduler`], Algorithm 1)
+//! decides *where* a job runs; a [`SchedulerPolicy`] decides *when* and
+//! *for whom*. The two compose: the tenant dispatcher
+//! ([`crate::tenant::TenantDispatcher`]) holds a policy, offers it every
+//! queued job each time a slot frees, and forwards whatever the policy
+//! picks to the replay engine, where the static or adaptive router still
+//! makes the side decision.
+//!
+//! Three disciplines mirror the Hadoop YARN zoo evaluated in the
+//! multi-tenant scheduler literature:
+//!
+//! * [`FifoPolicy`] — one global arrival-order queue (the YARN default and
+//!   the head-of-line-blocking baseline);
+//! * [`FairPolicy`] — per-tenant subqueues, next pick goes to the tenant
+//!   with the lowest weight-normalized usage (instantaneous max-min
+//!   fairness over virtual service time);
+//! * [`CapacityPolicy`] — hierarchical queues with capacity weights:
+//!   pick the most-under-capacity queue first, then the fairest tenant
+//!   inside it. Shares are elastic (work-conserving): an over-capacity
+//!   queue still runs when every under-capacity queue has nothing
+//!   eligible.
+//!
+//! All three are deterministic: picks depend only on queue contents, the
+//! share ledger, and fixed tie-breaks (normalized usage, then tenant id,
+//! then arrival sequence) — never on wall clock or map iteration order.
+
+use crate::tenant::{ShareLedger, TenantId, TenantTable};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A job waiting inside a policy queue. Times are dispatcher-virtual
+/// seconds; `cost` is the virtual service estimate used for share
+/// accounting (the replay engine later decides the real duration).
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    /// Arrival sequence number — the global tie-break of last resort.
+    pub seq: u64,
+    /// Engine job id (`JobId.0`), carried through for attribution.
+    pub job: u32,
+    pub tenant: TenantId,
+    /// Virtual service cost in seconds (charged to the tenant's share).
+    pub cost: f64,
+    pub input_size: u64,
+    /// Arrival time at the dispatcher, seconds.
+    pub enqueued: f64,
+    /// Locality preference: `true` = scale-up side. Delay scheduling holds
+    /// the job for this side until `eligible_other_at`.
+    pub prefers_up: bool,
+    /// First instant the job may fall back to its non-preferred side.
+    pub eligible_other_at: f64,
+    /// Absolute completion deadline (enqueue + SLO), if the tenant has one.
+    pub deadline: Option<f64>,
+}
+
+/// Free slots per side, as seen by a policy when it picks.
+#[derive(Debug, Clone, Copy)]
+pub struct SideFree {
+    pub up: u32,
+    pub out: u32,
+}
+
+impl SideFree {
+    pub fn any(self) -> bool {
+        self.up > 0 || self.out > 0
+    }
+}
+
+/// Can `job` start *now* on some free side? Its preferred side always
+/// qualifies; the other side only after the delay-scheduling bound.
+pub fn eligible(job: &PendingJob, now: f64, free: SideFree) -> bool {
+    let (pref, other) = if job.prefers_up {
+        (free.up, free.out)
+    } else {
+        (free.out, free.up)
+    };
+    pref > 0 || (other > 0 && now >= job.eligible_other_at)
+}
+
+/// A queue discipline the tenant dispatcher drives.
+///
+/// Contract: `pick` must only return a job for which [`eligible`] holds,
+/// must be deterministic given identical call sequences, and must remove
+/// the returned job from its queue. `requeue` re-inserts a preempted job
+/// *ahead of* equal-priority work (it keeps its original `seq`).
+pub trait SchedulerPolicy {
+    /// Short label used in tables and telemetry (`"fifo"`, `"fair"`,
+    /// `"capacity"`).
+    fn name(&self) -> &'static str;
+
+    /// Accept a newly arrived (or re-admitted) job.
+    fn enqueue(&mut self, job: PendingJob);
+
+    /// Re-insert a preempted job; it keeps its original arrival sequence
+    /// so disciplines that order by `seq` restore it near the front.
+    fn requeue(&mut self, job: PendingJob) {
+        self.enqueue(job);
+    }
+
+    /// Choose the next job to start, honoring [`eligible`] against `free`.
+    fn pick(&mut self, now: f64, free: SideFree, shares: &ShareLedger) -> Option<PendingJob>;
+
+    /// Number of queued jobs.
+    fn queued(&self) -> usize;
+
+    /// Earliest strictly-future instant at which a currently queued job
+    /// gains fallback eligibility (drives the dispatcher's delay-fallback
+    /// wake timers). `None` when nothing is waiting on a bound.
+    fn next_wake(&self, now: f64) -> Option<f64>;
+}
+
+fn min_future_wake<'a, I: Iterator<Item = &'a PendingJob>>(jobs: I, now: f64) -> Option<f64> {
+    jobs.map(|j| j.eligible_other_at)
+        .filter(|&t| t > now)
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.min(t)))
+        })
+}
+
+/// Global arrival-order queue. The pick scans from the front for the
+/// first eligible job, so a blocked head does not idle a free side
+/// (plain FIFO with side-eligibility skip).
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<PendingJob>,
+}
+
+impl FifoPolicy {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedulerPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn enqueue(&mut self, job: PendingJob) {
+        self.queue.push_back(job);
+    }
+
+    fn requeue(&mut self, job: PendingJob) {
+        // Restore arrival order: insert before the first younger job.
+        let at = self
+            .queue
+            .iter()
+            .position(|q| q.seq > job.seq)
+            .unwrap_or(self.queue.len());
+        self.queue.insert(at, job);
+    }
+
+    fn pick(&mut self, now: f64, free: SideFree, _shares: &ShareLedger) -> Option<PendingJob> {
+        let at = self.queue.iter().position(|j| eligible(j, now, free))?;
+        self.queue.remove(at)
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_wake(&self, now: f64) -> Option<f64> {
+        min_future_wake(self.queue.iter(), now)
+    }
+}
+
+/// Per-tenant FIFO subqueues; the next pick goes to the eligible tenant
+/// head with the lowest weight-normalized usage (ties: lower tenant id).
+/// Only subqueue *heads* compete — within a tenant, arrival order is
+/// preserved even when a later job would be side-eligible sooner.
+#[derive(Debug, Default)]
+pub struct FairPolicy {
+    queues: BTreeMap<TenantId, VecDeque<PendingJob>>,
+    len: usize,
+}
+
+impl FairPolicy {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn insert_by_seq(queue: &mut VecDeque<PendingJob>, job: PendingJob) {
+    let at = queue
+        .iter()
+        .position(|q| q.seq > job.seq)
+        .unwrap_or(queue.len());
+    queue.insert(at, job);
+}
+
+impl SchedulerPolicy for FairPolicy {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn enqueue(&mut self, job: PendingJob) {
+        self.queues.entry(job.tenant).or_default().push_back(job);
+        self.len += 1;
+    }
+
+    fn requeue(&mut self, job: PendingJob) {
+        let queue = self.queues.entry(job.tenant).or_default();
+        insert_by_seq(queue, job);
+        self.len += 1;
+    }
+
+    fn pick(&mut self, now: f64, free: SideFree, shares: &ShareLedger) -> Option<PendingJob> {
+        let winner = self
+            .queues
+            .iter()
+            .filter(|(_, q)| q.front().is_some_and(|j| eligible(j, now, free)))
+            .min_by(|(ta, _), (tb, _)| {
+                shares
+                    .norm_usage(**ta)
+                    .total_cmp(&shares.norm_usage(**tb))
+                    .then(ta.cmp(tb))
+            })
+            .map(|(t, _)| *t)?;
+        let queue = self.queues.get_mut(&winner).expect("winner has a queue");
+        let job = queue.pop_front();
+        if queue.is_empty() {
+            self.queues.remove(&winner);
+        }
+        self.len -= 1;
+        job
+    }
+
+    fn queued(&self) -> usize {
+        self.len
+    }
+
+    fn next_wake(&self, now: f64) -> Option<f64> {
+        min_future_wake(self.queues.values().filter_map(|q| q.front()), now)
+    }
+}
+
+/// Hierarchical capacity queues: tenants are grouped into named queues
+/// with capacity weights (summing to ~1.0). The pick orders queues by
+/// capacity-normalized usage and takes the first queue with an eligible
+/// tenant head — so under contention shares track capacities, while an
+/// idle queue's capacity flows to the others (elastic, work-conserving).
+/// Inside a queue, tenant selection is the same normalized-usage rule as
+/// [`FairPolicy`].
+#[derive(Debug)]
+pub struct CapacityPolicy {
+    /// Tenant id -> queue index (from the [`TenantTable`]).
+    queue_of: Vec<usize>,
+    n_queues: usize,
+    queues: BTreeMap<TenantId, VecDeque<PendingJob>>,
+    len: usize,
+}
+
+impl CapacityPolicy {
+    pub fn new(table: &TenantTable) -> Self {
+        Self {
+            queue_of: table.tenants.iter().map(|t| t.queue).collect(),
+            n_queues: table.queues.len(),
+            queues: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    fn queue_of(&self, tenant: TenantId) -> usize {
+        self.queue_of.get(tenant.0 as usize).copied().unwrap_or(0)
+    }
+}
+
+impl SchedulerPolicy for CapacityPolicy {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn enqueue(&mut self, job: PendingJob) {
+        self.queues.entry(job.tenant).or_default().push_back(job);
+        self.len += 1;
+    }
+
+    fn requeue(&mut self, job: PendingJob) {
+        let queue = self.queues.entry(job.tenant).or_default();
+        insert_by_seq(queue, job);
+        self.len += 1;
+    }
+
+    fn pick(&mut self, now: f64, free: SideFree, shares: &ShareLedger) -> Option<PendingJob> {
+        // Queue pass: most-under-capacity queue first.
+        let mut order: Vec<usize> = (0..self.n_queues).collect();
+        order.sort_by(|&a, &b| {
+            shares
+                .queue_norm_usage(a)
+                .total_cmp(&shares.queue_norm_usage(b))
+                .then(a.cmp(&b))
+        });
+        for q in order {
+            let winner = self
+                .queues
+                .iter()
+                .filter(|(t, _)| self.queue_of(**t) == q)
+                .filter(|(_, jobs)| jobs.front().is_some_and(|j| eligible(j, now, free)))
+                .min_by(|(ta, _), (tb, _)| {
+                    shares
+                        .norm_usage(**ta)
+                        .total_cmp(&shares.norm_usage(**tb))
+                        .then(ta.cmp(tb))
+                })
+                .map(|(t, _)| *t);
+            if let Some(winner) = winner {
+                let queue = self.queues.get_mut(&winner).expect("winner has a queue");
+                let job = queue.pop_front();
+                if queue.is_empty() {
+                    self.queues.remove(&winner);
+                }
+                self.len -= 1;
+                return job;
+            }
+        }
+        None
+    }
+
+    fn queued(&self) -> usize {
+        self.len
+    }
+
+    fn next_wake(&self, now: f64) -> Option<f64> {
+        min_future_wake(self.queues.values().filter_map(|q| q.front()), now)
+    }
+}
+
+/// The policy grid dimension used by experiments and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    Fifo,
+    Fair,
+    Capacity,
+}
+
+impl PolicyKind {
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Fifo, PolicyKind::Fair, PolicyKind::Capacity];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Fair => "fair",
+            PolicyKind::Capacity => "capacity",
+        }
+    }
+
+    /// Instantiate the discipline for `table`.
+    pub fn build(self, table: &TenantTable) -> Box<dyn SchedulerPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(FifoPolicy::new()),
+            PolicyKind::Fair => Box::new(FairPolicy::new()),
+            PolicyKind::Capacity => Box::new(CapacityPolicy::new(table)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::{QueueSpec, TenantSpec};
+
+    fn table() -> TenantTable {
+        TenantTable {
+            queues: vec![
+                QueueSpec {
+                    name: "interactive",
+                    capacity: 0.5,
+                },
+                QueueSpec {
+                    name: "batch",
+                    capacity: 0.5,
+                },
+            ],
+            tenants: vec![
+                TenantSpec {
+                    id: TenantId(0),
+                    weight: 1.0,
+                    queue: 0,
+                    slo_secs: None,
+                },
+                TenantSpec {
+                    id: TenantId(1),
+                    weight: 1.0,
+                    queue: 1,
+                    slo_secs: None,
+                },
+            ],
+        }
+    }
+
+    fn job(seq: u64, tenant: u32, enqueued: f64) -> PendingJob {
+        PendingJob {
+            seq,
+            job: seq as u32,
+            tenant: TenantId(tenant),
+            cost: 10.0,
+            input_size: 1 << 30,
+            enqueued,
+            prefers_up: true,
+            eligible_other_at: enqueued + 5.0,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn fifo_skips_ineligible_head() {
+        let tbl = table();
+        let ledger = ShareLedger::new(&tbl);
+        let mut p = FifoPolicy::new();
+        p.enqueue(job(0, 0, 0.0)); // prefers up, bound at 5.0
+        p.enqueue(job(1, 1, 0.0));
+        // Only the out side is free and the bound has not elapsed: nothing.
+        let free = SideFree { up: 0, out: 1 };
+        assert!(p.pick(0.0, free, &ledger).is_none());
+        assert_eq!(p.next_wake(0.0), Some(5.0));
+        // At the bound both are eligible; arrival order wins.
+        let picked = p.pick(5.0, free, &ledger).unwrap();
+        assert_eq!(picked.seq, 0);
+    }
+
+    #[test]
+    fn fair_picks_lowest_normalized_usage() {
+        let tbl = table();
+        let mut ledger = ShareLedger::new(&tbl);
+        let mut p = FairPolicy::new();
+        p.enqueue(job(0, 0, 0.0));
+        p.enqueue(job(1, 1, 0.0));
+        ledger.charge(TenantId(0), 100.0);
+        let free = SideFree { up: 1, out: 1 };
+        let picked = p.pick(0.0, free, &ledger).unwrap();
+        assert_eq!(picked.tenant, TenantId(1), "uncharged tenant goes first");
+    }
+
+    #[test]
+    fn fair_requeue_restores_arrival_order() {
+        let tbl = table();
+        let ledger = ShareLedger::new(&tbl);
+        let mut p = FairPolicy::new();
+        p.enqueue(job(0, 0, 0.0));
+        p.enqueue(job(2, 0, 1.0));
+        let free = SideFree { up: 1, out: 1 };
+        let first = p.pick(0.0, free, &ledger).unwrap();
+        assert_eq!(first.seq, 0);
+        p.requeue(first); // preempted: must come back ahead of seq 2
+        assert_eq!(p.pick(0.0, free, &ledger).unwrap().seq, 0);
+        assert_eq!(p.pick(0.0, free, &ledger).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn capacity_prefers_under_capacity_queue_but_is_work_conserving() {
+        let tbl = table();
+        let mut ledger = ShareLedger::new(&tbl);
+        let mut p = CapacityPolicy::new(&tbl);
+        p.enqueue(job(0, 0, 0.0)); // queue 0
+        p.enqueue(job(1, 1, 0.0)); // queue 1
+        ledger.charge(TenantId(0), 100.0); // queue 0 far over capacity
+        let free = SideFree { up: 1, out: 1 };
+        assert_eq!(p.pick(0.0, free, &ledger).unwrap().tenant, TenantId(1));
+        // Queue 1 now empty: queue 0 still runs (elastic shares).
+        assert_eq!(p.pick(0.0, free, &ledger).unwrap().tenant, TenantId(0));
+        assert!(p.pick(0.0, free, &ledger).is_none());
+    }
+}

@@ -208,7 +208,7 @@ impl BurstModel {
     }
 
     /// Draw a normalized rate factor for one epoch.
-    fn sample_factor(&self, rng: &mut DetRng) -> f64 {
+    pub(crate) fn sample_factor(&self, rng: &mut DetRng) -> f64 {
         let total_w: f64 = self.regimes.iter().map(|&(w, _)| w).sum();
         let mut u: f64 = rng.f64() * total_w;
         for &(w, f) in &self.regimes {
@@ -258,7 +258,7 @@ pub fn input_size_distribution() -> PiecewiseLogCdf {
 /// Draw the shuffle/input ratio class for one job. FB-2009 is dominated by
 /// map-only/ingest jobs, with a substantial aggregation tail; the mix keeps
 /// the three classes of the paper's Algorithm 1 all populated.
-fn sample_ratio(rng: &mut DetRng) -> f64 {
+pub(crate) fn sample_ratio(rng: &mut DetRng) -> f64 {
     let u: f64 = rng.f64();
     if u < 0.50 {
         // Map-intensive (ratio < 0.4): filters, loads, ETL projections.
@@ -275,7 +275,7 @@ fn sample_ratio(rng: &mut DetRng) -> f64 {
 /// [`sample_ratio`] with explicit band weights (normalized internally).
 /// Consumes exactly the same number of RNG draws per call as the stationary
 /// path, so switching mid-stream never desynchronizes the ratio substream.
-fn sample_ratio_weighted(rng: &mut DetRng, weights: &[f64; 3]) -> f64 {
+pub(crate) fn sample_ratio_weighted(rng: &mut DetRng, weights: &[f64; 3]) -> f64 {
     let total: f64 = weights.iter().sum();
     let u: f64 = rng.f64() * total;
     if u < weights[0] {

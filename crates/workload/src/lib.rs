@@ -4,11 +4,17 @@
 //! plus Sort and a ratio-parameterized synthetic family) and the FB-2009
 //! Facebook workload re-synthesis ([`facebook`]) used by the §V trace-driven
 //! evaluation, matching the published Figure 3 input-size distribution.
+//! [`tenants`] layers a multi-tenant arrival model on the same streaming
+//! machinery: thousands of Zipf-active tenants in three hierarchical
+//! queues, diurnal × MMPP arrival modulation, per-class size/shuffle
+//! mixes and SLOs — the heavy-traffic shape the scheduler zoo is judged
+//! against.
 
 pub mod apps;
 pub mod facebook;
 pub mod stats;
 pub mod swim;
+pub mod tenants;
 
 pub use facebook::{
     generate as generate_facebook_trace, stream as stream_facebook_trace, BandMixShift, BurstModel,
@@ -16,3 +22,7 @@ pub use facebook::{
 };
 pub use stats::{analyze as analyze_trace, TraceStats};
 pub use swim::{parse as parse_swim_trace, to_job_specs as swim_to_job_specs, SwimJob};
+pub use tenants::{
+    generate as generate_tenant_trace, stream as stream_tenant_trace, tenant_table, DiurnalModel,
+    TenantModelConfig, TenantStream,
+};

@@ -1,0 +1,508 @@
+//! # tenants — a heavy-traffic multi-tenant arrival model
+//!
+//! Extends the FB-2009 re-synthesis ([`crate::facebook`]) from "one
+//! anonymous queue of jobs" to "thousands of tenants sharing a cluster",
+//! the regime the multi-tenant scheduler comparisons (Fair vs. Capacity
+//! vs. FIFO on YARN) study. Three things change:
+//!
+//! * **who submits** — a Zipf-activity tenant population: a few tenants
+//!   dominate submissions, a long tail submits rarely. Each tenant
+//!   belongs to one of three hierarchical queues (interactive / batch /
+//!   analytics) with its own size scale, shuffle-ratio mix, SLO, and
+//!   fair-share weight, so per-tenant job size and shuffle mixes differ
+//!   the way production orgs' do;
+//! * **when they submit** — the Poisson base process is modulated by a
+//!   deterministic **diurnal envelope** (sinusoidal day/night rate swing,
+//!   mean-normalized so total volume is preserved) *times* the existing
+//!   MMPP burst regimes, reproducing both the daily cycle and the
+//!   short-range burstiness of production traces;
+//! * **what flows downstream** — the stream yields
+//!   [`TenantJob`]s (spec + tenant id) and builds
+//!   the matching [`TenantTable`] for the
+//!   dispatcher, so the whole path from arrival to release is driven by
+//!   one config.
+//!
+//! ## Determinism
+//!
+//! Like the base generator, the stream is a pure function of its config:
+//! disjoint [`DetRng`] substreams per concern (sizes = 1, ratios = 2,
+//! arrivals = 3, bursts = 4, tenant picks = 5, table build = 6), a fixed
+//! number of draws per job in a fixed order (burst epoch advance →
+//! interarrival → tenant pick → size → ratio), and a diurnal factor that
+//! is a closed-form function of the arrival clock (no draws). Two streams
+//! from equal configs yield bitwise-equal `TenantJob`s on any host — the
+//! property the byte-identical `tenant_sweep` tables rest on.
+
+use crate::apps;
+use crate::facebook::{input_size_distribution, sample_ratio_weighted, BurstModel};
+use mapreduce::{JobId, JobSpec};
+use scheduler::{QueueSpec, TenantId, TenantJob, TenantSpec, TenantTable};
+use simcore::dist::{exponential, PiecewiseLogCdf};
+use simcore::rng::{substream, DetRng};
+use simcore::{SimDuration, SimTime};
+
+/// Deterministic day/night arrival-rate envelope: the instantaneous rate
+/// is multiplied by `1 + amplitude * sin(2π·t/period)`. The sinusoid has
+/// zero mean over a full period, so the long-run job volume matches the
+/// un-modulated process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalModel {
+    /// One full day/night cycle.
+    pub period: SimDuration,
+    /// Peak-to-mean rate swing, in `[0, 1)`.
+    pub amplitude: f64,
+}
+
+impl Default for DiurnalModel {
+    fn default() -> Self {
+        DiurnalModel {
+            period: SimDuration::from_secs(24 * 3600),
+            amplitude: 0.6,
+        }
+    }
+}
+
+impl DiurnalModel {
+    /// The rate multiplier at trace time `t` seconds.
+    pub fn factor(&self, t: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t / self.period.as_secs_f64();
+        1.0 + self.amplitude * phase.sin()
+    }
+}
+
+/// The three tenant classes, each mapped to one hierarchical queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TenantClass {
+    /// Small ad-hoc queries under a tight SLO.
+    Interactive,
+    /// The bread-and-butter ETL mass; no SLO.
+    Batch,
+    /// Shuffle-heavy aggregation pipelines under a loose SLO.
+    Analytics,
+}
+
+impl TenantClass {
+    /// Deterministic class assignment by tenant index: 30 % interactive,
+    /// 50 % batch, 20 % analytics, interleaved so every prefix of the
+    /// population keeps roughly the same mix.
+    fn of(index: usize) -> Self {
+        match index % 10 {
+            0..=2 => TenantClass::Interactive,
+            3..=7 => TenantClass::Batch,
+            _ => TenantClass::Analytics,
+        }
+    }
+
+    fn queue(self) -> usize {
+        match self {
+            TenantClass::Interactive => 0,
+            TenantClass::Batch => 1,
+            TenantClass::Analytics => 2,
+        }
+    }
+
+    /// Multiplier applied to the Figure-3 size draw for this class's jobs.
+    fn size_scale(self) -> f64 {
+        match self {
+            TenantClass::Interactive => 0.02,
+            TenantClass::Batch => 1.0,
+            TenantClass::Analytics => 2.0,
+        }
+    }
+
+    /// Shuffle-ratio band weights (map-intensive, moderate, shuffle-heavy).
+    fn ratio_weights(self) -> [f64; 3] {
+        match self {
+            TenantClass::Interactive => [0.70, 0.25, 0.05],
+            TenantClass::Batch => [0.50, 0.35, 0.15],
+            TenantClass::Analytics => [0.20, 0.30, 0.50],
+        }
+    }
+
+    fn slo_secs(self) -> Option<f64> {
+        match self {
+            TenantClass::Interactive => Some(300.0),
+            TenantClass::Batch => None,
+            TenantClass::Analytics => Some(4.0 * 3600.0),
+        }
+    }
+
+    fn base_weight(self) -> f64 {
+        match self {
+            TenantClass::Interactive => 2.0,
+            TenantClass::Batch => 1.0,
+            TenantClass::Analytics => 1.5,
+        }
+    }
+}
+
+/// Configuration of the multi-tenant trace. A pure function of this value
+/// (all RNG state derives from `seed`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantModelConfig {
+    /// Total jobs across all tenants.
+    pub jobs: usize,
+    /// RNG seed for every substream.
+    pub seed: u64,
+    /// Tenant population size ("thousands of tenants").
+    pub tenants: usize,
+    /// Zipf activity exponent: submission share of tenant rank `r` decays
+    /// as `1/(r+1)^s`. 0 = uniform, ~1 = realistically skewed.
+    pub zipf_exponent: f64,
+    /// Arrival window (drives the base Poisson rate `jobs / window`).
+    pub window: SimDuration,
+    /// Divide all data sizes by this (paper §V shrink).
+    pub shrink_factor: f64,
+    /// MMPP burst regimes; `None` = no short-range burstiness.
+    pub bursts: Option<BurstModel>,
+    /// Day/night envelope; `None` = flat.
+    pub diurnal: Option<DiurnalModel>,
+}
+
+impl Default for TenantModelConfig {
+    fn default() -> Self {
+        TenantModelConfig {
+            jobs: 6000,
+            seed: 0x7E4A_2009,
+            tenants: 2000,
+            zipf_exponent: 1.1,
+            window: SimDuration::from_secs(8 * 3600),
+            shrink_factor: 5.0,
+            bursts: Some(BurstModel::default()),
+            diurnal: Some(DiurnalModel::default()),
+        }
+    }
+}
+
+/// Build the tenant population the stream draws from: class-derived queue
+/// membership, SLOs and size/ratio mixes, plus a per-tenant weight jitter
+/// (drawn once from substream 6) so fair shares are not uniform inside a
+/// class.
+pub fn tenant_table(cfg: &TenantModelConfig) -> TenantTable {
+    assert!(cfg.tenants > 0, "at least one tenant");
+    let mut build_rng = substream(cfg.seed, 6);
+    let tenants = (0..cfg.tenants)
+        .map(|i| {
+            let class = TenantClass::of(i);
+            // Discrete weight jitter: most tenants at the class base, a
+            // few contractual heavyweights at 2x / 4x.
+            let jitter = match build_rng.range_usize(0, 8) {
+                0 => 2.0,
+                1 => 4.0,
+                _ => 1.0,
+            };
+            TenantSpec {
+                id: TenantId(i as u32),
+                weight: class.base_weight() * jitter,
+                queue: class.queue(),
+                slo_secs: class.slo_secs(),
+            }
+        })
+        .collect();
+    TenantTable {
+        queues: vec![
+            QueueSpec {
+                name: "interactive",
+                capacity: 0.30,
+            },
+            QueueSpec {
+                name: "batch",
+                capacity: 0.50,
+            },
+            QueueSpec {
+                name: "analytics",
+                capacity: 0.20,
+            },
+        ],
+        tenants,
+    }
+}
+
+/// Materialize the whole multi-tenant trace (see [`stream`]).
+pub fn generate(cfg: &TenantModelConfig) -> Vec<TenantJob> {
+    stream(cfg).collect()
+}
+
+/// Lazily generate the multi-tenant trace: `cfg.jobs` [`TenantJob`]s in
+/// nondecreasing submit order, O(tenants) memory, byte-reproducible.
+pub fn stream(cfg: &TenantModelConfig) -> TenantStream {
+    assert!(cfg.jobs > 0, "empty trace requested");
+    assert!(cfg.shrink_factor >= 1.0, "shrink factor must be ≥ 1");
+    assert!(
+        cfg.zipf_exponent >= 0.0 && cfg.zipf_exponent.is_finite(),
+        "zipf exponent must be finite and non-negative"
+    );
+    if let Some(d) = &cfg.diurnal {
+        assert!(
+            (0.0..1.0).contains(&d.amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+    }
+    // Zipf activity CDF over tenant ranks (tenant id = rank here: the
+    // population is already ordered most- to least-active).
+    let mut cum = Vec::with_capacity(cfg.tenants);
+    let mut acc = 0.0;
+    for i in 0..cfg.tenants {
+        acc += 1.0 / ((i + 1) as f64).powf(cfg.zipf_exponent);
+        cum.push(acc);
+    }
+    TenantStream {
+        sizes: input_size_distribution(),
+        size_rng: substream(cfg.seed, 1),
+        ratio_rng: substream(cfg.seed, 2),
+        arrival_rng: substream(cfg.seed, 3),
+        burst_rng: substream(cfg.seed, 4),
+        tenant_rng: substream(cfg.seed, 5),
+        bursts: cfg.bursts.clone(),
+        diurnal: cfg.diurnal.clone(),
+        tenant_cdf: cum,
+        classes: (0..cfg.tenants).map(TenantClass::of).collect(),
+        mean_interarrival: cfg.window.as_secs_f64() / cfg.jobs as f64,
+        shrink_factor: cfg.shrink_factor,
+        t: 0.0,
+        epoch_end: 0.0,
+        factor: 1.0,
+        produced: 0,
+        total: cfg.jobs,
+    }
+}
+
+/// The lazy generator behind [`stream`].
+#[derive(Debug, Clone)]
+pub struct TenantStream {
+    sizes: PiecewiseLogCdf,
+    size_rng: DetRng,
+    ratio_rng: DetRng,
+    arrival_rng: DetRng,
+    burst_rng: DetRng,
+    tenant_rng: DetRng,
+    bursts: Option<BurstModel>,
+    diurnal: Option<DiurnalModel>,
+    /// Cumulative (unnormalized) Zipf weights; binary-searched per pick.
+    tenant_cdf: Vec<f64>,
+    classes: Vec<TenantClass>,
+    mean_interarrival: f64,
+    shrink_factor: f64,
+    t: f64,
+    epoch_end: f64,
+    factor: f64,
+    produced: usize,
+    total: usize,
+}
+
+impl TenantStream {
+    /// Jobs not yet drawn.
+    pub fn remaining(&self) -> usize {
+        self.total - self.produced
+    }
+
+    fn pick_tenant(&mut self) -> usize {
+        let total = *self.tenant_cdf.last().expect("non-empty population");
+        let u = self.tenant_rng.f64() * total;
+        // First index whose cumulative weight exceeds u.
+        match self.tenant_cdf.binary_search_by(|c| c.total_cmp(&u)) {
+            Ok(i) => (i + 1).min(self.tenant_cdf.len() - 1),
+            Err(i) => i.min(self.tenant_cdf.len() - 1),
+        }
+    }
+}
+
+impl Iterator for TenantStream {
+    type Item = TenantJob;
+
+    fn next(&mut self) -> Option<TenantJob> {
+        if self.produced == self.total {
+            return None;
+        }
+        // Fixed draw order per job; see the module docs.
+        if let Some(bursts) = &self.bursts {
+            while self.t >= self.epoch_end {
+                self.factor = bursts.sample_factor(&mut self.burst_rng);
+                self.epoch_end += bursts.epoch.as_secs_f64();
+            }
+        }
+        let diurnal = self.diurnal.as_ref().map_or(1.0, |d| d.factor(self.t));
+        let rate = (self.factor * diurnal).max(1e-6);
+        self.t += exponential(&mut self.arrival_rng, self.mean_interarrival / rate);
+        let tenant = self.pick_tenant();
+        let class = self.classes[tenant];
+        let raw = self.sizes.sample(&mut self.size_rng) * class.size_scale();
+        let size = (raw / self.shrink_factor).max(1.0) as u64;
+        let ratio = sample_ratio_weighted(&mut self.ratio_rng, &class.ratio_weights());
+        let id = JobId(self.produced as u32);
+        self.produced += 1;
+        Some(TenantJob {
+            spec: JobSpec {
+                id,
+                profile: apps::synthetic(ratio),
+                input_size: size,
+                submit: SimTime::from_secs_f64(self.t),
+            },
+            tenant: TenantId(tenant as u32),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for TenantStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small_cfg() -> TenantModelConfig {
+        TenantModelConfig {
+            jobs: 2000,
+            tenants: 500,
+            ..TenantModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_byte_reproducible() {
+        let cfg = small_cfg();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.tenant, y.tenant);
+        }
+    }
+
+    #[test]
+    fn clone_mid_stream_resumes_identically() {
+        let cfg = small_cfg();
+        let mut s = stream(&cfg);
+        for _ in 0..700 {
+            s.next().unwrap();
+        }
+        let fork = s.clone();
+        let rest_a: Vec<_> = s.collect();
+        let rest_b: Vec<_> = fork.collect();
+        assert_eq!(rest_a.len(), rest_b.len());
+        for (x, y) in rest_a.iter().zip(&rest_b) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.tenant, y.tenant);
+        }
+    }
+
+    #[test]
+    fn submits_are_nondecreasing_and_ids_sequential() {
+        let cfg = small_cfg();
+        let mut last = SimTime::ZERO;
+        for (i, j) in stream(&cfg).enumerate() {
+            assert_eq!(j.spec.id.0 as usize, i);
+            assert!(j.spec.submit >= last);
+            last = j.spec.submit;
+        }
+    }
+
+    #[test]
+    fn tenant_activity_is_zipf_skewed_and_in_range() {
+        let cfg = small_cfg();
+        let table = tenant_table(&cfg);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for j in stream(&cfg) {
+            assert!((j.tenant.0 as usize) < cfg.tenants);
+            *counts.entry(j.tenant.0).or_default() += 1;
+        }
+        // Zipf head: the most active tenant dominates the median one.
+        let top = counts.get(&0).copied().unwrap_or(0);
+        assert!(
+            top >= cfg.jobs / 20,
+            "tenant 0 should be a heavy hitter, got {top}/{}",
+            cfg.jobs
+        );
+        // The long tail exists: many distinct tenants submit.
+        assert!(counts.len() > 50, "only {} tenants active", counts.len());
+        // Every active tenant resolves in the table.
+        for t in counts.keys() {
+            assert!(table.spec(TenantId(*t)).weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn class_mixes_differ_per_queue() {
+        let cfg = small_cfg();
+        let table = tenant_table(&cfg);
+        // Mean input size per queue: interactive << batch < analytics.
+        let mut sums = [0.0f64; 3];
+        let mut ns = [0u64; 3];
+        for j in stream(&cfg) {
+            let q = table.spec(j.tenant).queue;
+            sums[q] += j.spec.input_size as f64;
+            ns[q] += 1;
+        }
+        let mean = |q: usize| sums[q] / ns[q].max(1) as f64;
+        assert!(ns.iter().all(|&n| n > 0), "all queues see traffic: {ns:?}");
+        assert!(mean(0) < mean(1), "interactive jobs smaller than batch");
+        assert!(mean(1) < mean(2), "analytics jobs largest");
+    }
+
+    #[test]
+    fn diurnal_envelope_modulates_arrivals() {
+        // With a strong diurnal swing and no bursts, more jobs land in the
+        // first half-period (rate > 1) than in the second (rate < 1).
+        let cfg = TenantModelConfig {
+            jobs: 4000,
+            tenants: 100,
+            window: SimDuration::from_secs(24 * 3600),
+            bursts: None,
+            diurnal: Some(DiurnalModel {
+                period: SimDuration::from_secs(24 * 3600),
+                amplitude: 0.8,
+            }),
+            ..TenantModelConfig::default()
+        };
+        let half = 12.0 * 3600.0;
+        let (mut first, mut second) = (0u64, 0u64);
+        for j in stream(&cfg) {
+            if j.spec.submit.as_secs_f64() < half {
+                first += 1;
+            } else {
+                second += 1;
+            }
+        }
+        assert!(
+            first > second + second / 4,
+            "diurnal peak half should dominate: {first} vs {second}"
+        );
+    }
+
+    #[test]
+    fn diurnal_factor_is_mean_normalized() {
+        let d = DiurnalModel::default();
+        let period = d.period.as_secs_f64();
+        let n = 10_000;
+        let mean = (0..n)
+            .map(|i| d.factor(period * i as f64 / n as f64))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 1e-3, "mean factor {mean}");
+    }
+
+    #[test]
+    fn table_build_is_deterministic_and_weights_jittered() {
+        let cfg = small_cfg();
+        let a = tenant_table(&cfg);
+        let b = tenant_table(&cfg);
+        assert_eq!(a.tenants.len(), b.tenants.len());
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.weight, y.weight);
+            assert_eq!(x.queue, y.queue);
+        }
+        // The jitter actually fires: not all same-class weights equal.
+        let batch: Vec<f64> = a
+            .tenants
+            .iter()
+            .filter(|t| t.queue == 1)
+            .map(|t| t.weight)
+            .collect();
+        assert!(batch.iter().any(|w| *w != batch[0]));
+    }
+}

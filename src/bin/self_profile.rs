@@ -93,6 +93,45 @@ fn main() {
         Better::Lower,
     );
 
+    // Queue-policy decision throughput: a saturated backlog pushed through
+    // the capacity policy's pick/enqueue path with one-slot bottlenecks —
+    // every release is a policy decision over a deep queue, the regime
+    // where a linear-scan policy would go quadratic in backlog depth.
+    let decisions = if quick { 5_000u32 } else { 50_000 };
+    let policy_jobs: Vec<hybrid_hadoop::scheduler::TenantJob> = (0..decisions)
+        .map(|i| hybrid_hadoop::scheduler::TenantJob {
+            spec: JobSpec::at_zero(i, apps::wordcount(), GB / 2),
+            tenant: TenantId(i % 16),
+        })
+        .collect();
+    let policy_table = {
+        let model = TenantModelConfig {
+            tenants: 16,
+            ..Default::default()
+        };
+        tenant_table(&model)
+    };
+    let policy_cfg = TenantSchedConfig {
+        slots_up: 1,
+        slots_out: 1,
+        ..Default::default()
+    };
+    let wall = bench::bench("sched/policy_decision", iters, || {
+        let d = hybrid_hadoop::scheduler::TenantDispatcher::new(
+            policy_table.clone(),
+            policy_cfg.clone(),
+            PolicyKind::Capacity.build(&policy_table),
+        );
+        d.run(policy_jobs.iter().cloned())
+    });
+    engine.push("sched/policy_decision_wall", wall, "s", Better::Lower);
+    engine.push(
+        "sched/policy_decisions_per_s",
+        decisions as f64 / wall,
+        "jobs/s",
+        Better::Higher,
+    );
+
     // --- sweep suite: parallel grids and trace replay ---------------------
     let mut sweep_report = BenchReport::new(format!("sweep-{mode}"));
 
@@ -310,6 +349,50 @@ fn main() {
         out.parallel.batched_events as f64,
         "events",
         Better::Higher,
+    );
+
+    // Multi-tenant dispatch + replay probe: the Zipf × diurnal × MMPP
+    // tenant model pushed through the capacity-queue dispatcher (tight
+    // slots, preemption live) and then replayed through the adaptive
+    // router — the tenant_sweep cell shape. The preemption count is exact
+    // on any machine, so it gates the dispatcher's semantics, not just
+    // its speed.
+    let tenant_jobs = if quick { 2_000 } else { 20_000 };
+    let tenant_model = TenantModelConfig {
+        jobs: tenant_jobs,
+        window: SimDuration::from_secs(tenant_jobs as u64 * 3),
+        ..Default::default()
+    };
+    let tenant_sched = TenantSchedConfig {
+        slots_up: 3,
+        slots_out: 3,
+        ..Default::default()
+    };
+    let last = std::cell::RefCell::new(None);
+    let tenant_wall = bench::bench("trace/tenant_replay", replay_iters, || {
+        *last.borrow_mut() = Some(hybrid_hadoop::hybrid_core::run_trace_tenants_with(
+            Architecture::Hybrid,
+            tenant_table(&tenant_model),
+            tenant_sched.clone(),
+            PolicyKind::Capacity,
+            AdaptiveScheduler::default(),
+            stream_tenant_trace(&tenant_model),
+            &DeploymentTuning::default(),
+        ));
+    });
+    let tenant_out = last.into_inner().expect("tenant replay ran");
+    trace_report.push("trace/tenant_replay_wall", tenant_wall, "s", Better::Lower);
+    trace_report.push(
+        "trace/tenant_replay_jobs_per_s",
+        tenant_jobs as f64 / tenant_wall,
+        "jobs/s",
+        Better::Higher,
+    );
+    trace_report.push(
+        "trace/tenant_preemptions",
+        tenant_out.dispatch.stats.preemptions as f64,
+        "events",
+        Better::Lower,
     );
 
     // Million-job scale spec (full mode only — ~4 min of wall on one

@@ -51,8 +51,9 @@ pub use workload;
 pub mod prelude {
     pub use cluster::{ClusterSpec, MachineSpec, GB, KB, MB, TB};
     pub use hybrid_core::{
-        cross_point_sweep, grids, run_job, run_job_with, run_trace, run_trace_adaptive_with, sweep,
-        Architecture, Deployment, DeploymentTuning, TraceOutcome,
+        cross_point_sweep, grids, run_job, run_job_with, run_trace, run_trace_adaptive_with,
+        run_trace_tenants_with, sweep, Architecture, Deployment, DeploymentTuning, TenantOutcome,
+        TraceOutcome,
     };
     pub use mapreduce::{
         EngineConfig, JobId, JobProfile, JobResult, JobSpec, ParallelStats, ReplayParallelism,
@@ -62,10 +63,12 @@ pub mod prelude {
     pub use scheduler::{
         calibrate_bands, estimate_cross_point, AdaptiveConfig, AdaptiveScheduler, AlwaysOut,
         AlwaysUp, BandScheduler, ClusterLoads, CrossPointScheduler, JobPlacement,
-        LoadAwareScheduler, Placement, RatioBand, SizeOnlyScheduler,
+        LoadAwareScheduler, Placement, PolicyKind, RatioBand, SizeOnlyScheduler, TenantId,
+        TenantJob, TenantSchedConfig, TenantTable,
     };
     pub use simcore::{SimDuration, SimTime};
     pub use workload::{
-        apps, generate_facebook_trace, BandMixShift, DriftScenario, FacebookTraceConfig, NodeLoss,
+        apps, generate_facebook_trace, stream_tenant_trace, tenant_table, BandMixShift,
+        DriftScenario, FacebookTraceConfig, NodeLoss, TenantModelConfig,
     };
 }

@@ -155,6 +155,65 @@ fn fixed_seed_drift_scenario_replay_is_byte_identical() {
     assert_eq!(fingerprint(&out, ""), 0x2a7e_b996_8a04_9588);
 }
 
+/// The tenant dispatcher's pass-through guarantee: a single-tenant FIFO
+/// dispatch with unlimited slots and an exploration-0 adaptive router must
+/// forward every spec bit-for-bit at its original submit time — same
+/// fingerprint as the plain static 10k replay, straight through two extra
+/// layers (queue policy + closed-loop router).
+#[test]
+fn single_tenant_fifo_passthrough_matches_the_static_10k_fingerprint() {
+    let jobs = generate_facebook_trace(&replay_cfg(10_000))
+        .into_iter()
+        .map(|spec| TenantJob {
+            spec,
+            tenant: TenantId(0),
+        });
+    let out = run_trace_tenants_with(
+        Architecture::Hybrid,
+        TenantTable::single(),
+        TenantSchedConfig::unlimited(),
+        PolicyKind::Fifo,
+        AdaptiveScheduler::new(AdaptiveConfig {
+            exploration: 0.0,
+            ..Default::default()
+        }),
+        jobs,
+        &DeploymentTuning::default(),
+    );
+    assert_eq!(out.trace.results.len(), 10_000);
+    assert_eq!(fingerprint(&out.trace, ""), 0x1e9c_66c1_7625_167b);
+    assert_eq!(out.dispatch.stats.preemptions, 0);
+    assert_eq!(out.dispatch.stats.rejections, 0);
+    assert_eq!(out.dispatch.stats.delay_fallbacks, 0);
+}
+
+/// Pin a full multi-tenant 10k replay: Zipf tenant population, diurnal ×
+/// MMPP arrivals, capacity queues with preemption, adaptive routing. Queue
+/// dispatch, share accounting, and the replay all ride the deterministic
+/// machinery, so the whole stack gets one byte-identity constant.
+#[test]
+fn fixed_seed_10k_multi_tenant_replay_is_byte_identical() {
+    let cfg = TenantModelConfig {
+        jobs: 10_000,
+        window: SimDuration::from_secs(10_000 * 12),
+        ..Default::default()
+    };
+    let out = run_trace_tenants_with(
+        Architecture::Hybrid,
+        tenant_table(&cfg),
+        TenantSchedConfig::default(),
+        PolicyKind::Capacity,
+        AdaptiveScheduler::default(),
+        stream_tenant_trace(&cfg),
+        &DeploymentTuning::default(),
+    );
+    assert_eq!(
+        out.trace.results.len() as u64 + out.dispatch.stats.rejections,
+        10_000
+    );
+    assert_eq!(fingerprint(&out.trace, ""), 0x93e2_b2e0_e442_0330);
+}
+
 /// Same pin for an observed 1k-job replay, including the full Chrome
 /// `trace_event` export: observability must neither perturb the simulation
 /// nor emit different bytes.
