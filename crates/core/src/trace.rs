@@ -187,11 +187,22 @@ struct AdaptiveRouter {
     up: Option<usize>,
     out: Option<usize>,
     inflight: HashMap<JobId, (u64, f64)>,
+    /// When `Some(k)`, the policy is torn down to its snapshot JSON and
+    /// rebuilt from it after every k-th successful completion — the
+    /// restart-equivalence harness: a replay under this mode must stay
+    /// bitwise-identical to an uninterrupted one.
+    snapshot_every: Option<usize>,
 }
 
-impl OnlineRouter for AdaptiveRouter {
-    fn route(&mut self, spec: &JobSpec, _now: SimTime, annotate: bool) -> RouteDecision {
-        let d = self.policy.route(spec);
+impl AdaptiveRouter {
+    /// Turn one scheduler verdict into the engine's route decision, noting
+    /// the job in-flight and building the audit annotation when asked.
+    fn finish_decision(
+        &mut self,
+        spec: &JobSpec,
+        d: AdaptiveDecision,
+        annotate: bool,
+    ) -> RouteDecision {
         self.inflight
             .insert(spec.id, (spec.input_size, spec.profile.shuffle_input_ratio));
         let cluster = match d.placement {
@@ -223,6 +234,30 @@ impl OnlineRouter for AdaptiveRouter {
             annotation,
         }
     }
+}
+
+impl OnlineRouter for AdaptiveRouter {
+    fn route(&mut self, spec: &JobSpec, _now: SimTime, annotate: bool) -> RouteDecision {
+        let d = self.policy.route(spec);
+        self.finish_decision(spec, d, annotate)
+    }
+
+    fn route_batch(
+        &mut self,
+        specs: &[&JobSpec],
+        _now: SimTime,
+        annotate: bool,
+    ) -> Vec<RouteDecision> {
+        // One threshold load for the whole batch; decisions and RNG draws
+        // are bitwise-identical to per-spec `route` calls (the scheduler's
+        // batched API guarantees it).
+        let decisions = self.policy.route_batch(specs.iter().copied());
+        specs
+            .iter()
+            .zip(decisions)
+            .map(|(spec, d)| self.finish_decision(spec, d, annotate))
+            .collect()
+    }
 
     fn on_complete(&mut self, result: &JobResult) -> Vec<mapreduce::RouterAnnotation> {
         let Some((input_size, ratio)) = self.inflight.remove(&result.id) else {
@@ -234,10 +269,17 @@ impl OnlineRouter for AdaptiveRouter {
         // Side observed = where the job actually ran (a single-cluster
         // fallback may differ from the decision).
         let ran_up = Some(result.cluster) == self.up;
-        let Some(rec) =
-            self.policy
-                .observe(input_size, ratio, ran_up, result.execution.as_secs_f64())
-        else {
+        let rec = self
+            .policy
+            .observe(input_size, ratio, ran_up, result.execution.as_secs_f64());
+        if let Some(k) = self.snapshot_every.filter(|&k| k > 0) {
+            if self.policy.completions().is_multiple_of(k as u64) {
+                let doc = scheduler::snapshot::save(&self.policy);
+                self.policy =
+                    scheduler::snapshot::restore(&doc).expect("a saved snapshot always restores");
+            }
+        }
+        let Some(rec) = rec else {
             return Vec::new();
         };
         let note = format!(
@@ -373,6 +415,27 @@ pub fn run_trace_adaptive_streaming_with<I>(
 where
     I: IntoIterator<Item = JobSpec>,
 {
+    run_trace_adaptive_roundtrip_streaming_with(arch, adaptive, trace, tuning, None)
+}
+
+/// [`run_trace_adaptive_streaming_with`] with the restart-equivalence
+/// harness switched on: when `snapshot_every` is `Some(k)`, the router
+/// serializes the live scheduler with [`scheduler::snapshot::save`] after
+/// every k-th successful completion and swaps in the
+/// [`scheduler::snapshot::restore`] of that document — simulating a service
+/// that is killed and restarted from its checkpoint mid-run. The snapshot
+/// contract says the outcome is bitwise-identical to the uninterrupted
+/// replay; the golden-fingerprint tests pin it.
+pub fn run_trace_adaptive_roundtrip_streaming_with<I>(
+    arch: Architecture,
+    adaptive: AdaptiveScheduler,
+    trace: I,
+    tuning: &DeploymentTuning,
+    snapshot_every: Option<usize>,
+) -> TraceOutcome
+where
+    I: IntoIterator<Item = JobSpec>,
+{
     let trace = trace.into_iter();
     let classifier = CrossPointScheduler::default();
     let mut deployment = Deployment::build_with(arch, tuning);
@@ -381,6 +444,7 @@ where
         up: deployment.up_cluster,
         out: deployment.out_cluster,
         inflight: HashMap::new(),
+        snapshot_every,
     }));
     let mut class_of: HashMap<JobId, Placement> = HashMap::with_capacity(trace.size_hint().0);
     for spec in trace {
@@ -545,6 +609,7 @@ where
             up: deployment.up_cluster,
             out: deployment.out_cluster,
             inflight: HashMap::new(),
+            snapshot_every: None,
         },
         meta: attribution.clone(),
     }));

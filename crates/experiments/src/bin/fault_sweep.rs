@@ -13,8 +13,7 @@
 //!   exposition to `<path>` plus a JSON snapshot beside it (fault and
 //!   re-replication counters, per-band critical-path blame).
 //! - `--trace-out <path>` — export the observed faulted run as a Chrome
-//!   `trace_event` JSON. The `TRACE_OUT` env var still works as a
-//!   deprecated fallback.
+//!   `trace_event` JSON (the removed `TRACE_OUT` env var is a hard error).
 
 use experiments::common::{flag_value, threads_flag, trace_out_path, write_csv, write_metrics};
 

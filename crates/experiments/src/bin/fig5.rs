@@ -22,7 +22,7 @@
 //!   frozen.
 //! - `--trace-out <path>` — export the observed Wordcount batch as a
 //!   Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
-//!   The `TRACE_OUT` env var still works as a deprecated fallback.
+//!   The removed `TRACE_OUT` env var is a hard error.
 //! - `--out-dir <dir>` — write the phase-breakdown table as
 //!   `fig5_breakdown.csv` in `<dir>`, next to the rendered text.
 

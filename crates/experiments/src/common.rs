@@ -58,16 +58,19 @@ pub fn threads_flag(args: &[String]) -> usize {
     }
 }
 
-/// Resolve the Chrome-trace output path: the `--trace-out` flag, falling
-/// back to the deprecated `TRACE_OUT` env var (with a warning) so existing
-/// invocations keep working one more release.
+/// Resolve the Chrome-trace output path from the `--trace-out` flag.
+///
+/// The `TRACE_OUT` env var was deprecated when the flag landed and its
+/// fallback has been removed; a set env var without the flag is now a hard
+/// error (exit 2) so stale automation fails loudly instead of silently
+/// relying on removed behavior.
 pub fn trace_out_path(args: &[String]) -> Option<String> {
     if let Some(path) = flag_value(args, "--trace-out") {
         return Some(path);
     }
-    if let Ok(path) = std::env::var("TRACE_OUT") {
-        eprintln!("warning: TRACE_OUT is deprecated; use --trace-out {path}");
-        return Some(path);
+    if std::env::var_os("TRACE_OUT").is_some() {
+        eprintln!("error: the TRACE_OUT env var is no longer honored; pass --trace-out <path>");
+        std::process::exit(2);
     }
     None
 }

@@ -464,6 +464,25 @@ pub trait OnlineRouter {
     /// telemetry sink is attached and an audit annotation is wanted.
     fn route(&mut self, spec: &JobSpec, now: SimTime, annotate: bool) -> RouteDecision;
 
+    /// Route a batch of pending jobs that share one decision instant (a
+    /// service loop draining its queue). The contract is strict: decisions
+    /// must be bitwise-identical to calling [`OnlineRouter::route`] once
+    /// per spec in order, including any internal RNG stream positions —
+    /// implementations may only use the batch shape to amortize work (load
+    /// thresholds once, skip repeated lookups), never to change outcomes.
+    /// The default simply loops.
+    fn route_batch(
+        &mut self,
+        specs: &[&JobSpec],
+        now: SimTime,
+        annotate: bool,
+    ) -> Vec<RouteDecision> {
+        specs
+            .iter()
+            .map(|spec| self.route(spec, now, annotate))
+            .collect()
+    }
+
     /// Observe one completed (or failed) job, returning any audit
     /// annotations to broadcast at the completion time (empty when the
     /// completion needs no audit). Multiple annotations let layered routers

@@ -28,6 +28,9 @@
 //!   blame-seconds accumulate per `(band, phase)`. The engine emits a job
 //!   span followed immediately by its four phase spans, so this needs one
 //!   pending-job slot, not a per-job table.
+//! - **Routing-service ops** — `route_serve` instants from the online
+//!   routing binary (decisions, batches, feedback, snapshot saves/restores)
+//!   tally per op name. O(op kinds), capped like rejection reasons.
 //!
 //! Nothing here is keyed by job id, so the footprint is independent of how
 //! many jobs stream through — the property the `telemetry_golden` test pins.
@@ -109,6 +112,8 @@ pub struct TelemetryFootprint {
     /// Per-tenant label sets retained (≤ `max_tenant_sets` + 1 for the
     /// `"(other)"` overflow bucket).
     pub tenant_label_sets: usize,
+    /// Routing-service op tags retained (≤ `max_reason_tags` + 1).
+    pub route_serve_ops: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -171,6 +176,10 @@ pub struct OnlineAggregator {
     share_n: u64,
     share_sum: f64,
     share_sum_sq: f64,
+    /// Routing-service request audit: `route_serve` instants tallied per op
+    /// name (decision / batch / feedback / snapshot_save / snapshot_restore),
+    /// capped at `max_reason_tags` with `"(other)"` overflow.
+    route_serve: BTreeMap<String, u64>,
     end_time: SimTime,
 }
 
@@ -252,6 +261,7 @@ impl OnlineAggregator {
             share_n: 0,
             share_sum: 0.0,
             share_sum_sq: 0.0,
+            route_serve: BTreeMap::new(),
             end_time: SimTime::ZERO,
         }
     }
@@ -278,6 +288,7 @@ impl OnlineAggregator {
             crosspoint_bands: self.crosspoint_bytes.len(),
             recal_notes: self.recal_notes.len(),
             tenant_label_sets: self.tenant_sojourn.len(),
+            route_serve_ops: self.route_serve.len(),
         }
     }
 
@@ -504,6 +515,17 @@ impl TelemetrySink for OnlineAggregator {
                 }
                 _ => {}
             },
+            // Online routing-service audit: every served op self-reports as
+            // one instant; cardinality is bounded like rejection reasons.
+            "route_serve" => {
+                if self.route_serve.contains_key(name)
+                    || self.route_serve.len() < self.cfg.max_reason_tags
+                {
+                    *self.route_serve.entry(name.to_string()).or_insert(0) += 1;
+                } else {
+                    *self.route_serve.entry("(other)".to_string()).or_insert(0) += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -906,6 +928,23 @@ impl OnlineAggregator {
                 o.push_str(&format!("hh_tenant_jain_fairness_index {}\n", num(jain)));
             }
         }
+
+        // Routing-service section: only when the route_serve binary fed the
+        // aggregator, so replay expositions stay byte-identical.
+        if !self.route_serve.is_empty() {
+            metric(
+                &mut o,
+                "hh_route_serve_ops_total",
+                "Online routing-service operations served, per op kind.",
+                "counter",
+            );
+            for (op, n) in &self.route_serve {
+                o.push_str(&format!(
+                    "hh_route_serve_ops_total{{op=\"{}\"}} {n}\n",
+                    prom_escape(op)
+                ));
+            }
+        }
         o
     }
 
@@ -1100,6 +1139,19 @@ impl OnlineAggregator {
             num(self.tenant_preempt_wasted_s),
             self.tenant_rejections
         ));
+
+        if !self.route_serve.is_empty() {
+            o.push_str("\"route_serve\": {");
+            first = true;
+            for (op, n) in &self.route_serve {
+                if !first {
+                    o.push(',');
+                }
+                first = false;
+                o.push_str(&format!("{}: {n}", json_string(op)));
+            }
+            o.push_str("},\n");
+        }
 
         o.push_str("\"resources\": {");
         first = true;
@@ -1317,6 +1369,10 @@ mod tests {
         // the JSON fairness block stays at its neutral defaults.
         assert!(!prom.contains("hh_tenant_"));
         assert!(json.contains("\"fairness\": {\"jain\": null, \"shares_observed\": 0"));
+        // Same for the routing-service section: absent until route_serve
+        // instants arrive, so replay expositions are unchanged.
+        assert!(!prom.contains("hh_route_serve_"));
+        assert!(!json.contains("\"route_serve\""));
     }
 
     fn tenant_complete(agg: &mut OnlineAggregator, tenant: u64, sojourn_s: f64, slo_miss: bool) {
@@ -1393,6 +1449,39 @@ mod tests {
         assert!(json.contains("\"tenant\": \"t3\", \"jobs\": 2, \"slo_misses\": 1"));
         assert!(json.contains("\"jain\": 1,"));
         assert!(json.contains("\"preempt_wasted_s\": 2.5"));
+    }
+
+    #[test]
+    fn route_serve_instants_tally_per_op_and_render_conditionally() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig {
+            max_reason_tags: 4,
+            ..Default::default()
+        });
+        for (op, n) in [
+            ("decision", 5u32),
+            ("batch", 2),
+            ("feedback", 3),
+            ("snapshot_save", 1),
+        ] {
+            for _ in 0..n {
+                agg.instant("route_serve", op, lanes::JOBS, 0, SimTime::ZERO, &[]);
+            }
+        }
+        // A fifth distinct op overflows the cap into "(other)".
+        agg.instant("route_serve", "surplus", lanes::JOBS, 0, SimTime::ZERO, &[]);
+        agg.finish(SimTime::from_secs(1));
+
+        assert_eq!(agg.route_serve.get("decision").copied(), Some(5));
+        assert_eq!(agg.route_serve.get("batch").copied(), Some(2));
+        assert_eq!(agg.route_serve.get("(other)").copied(), Some(1));
+        assert_eq!(agg.footprint().route_serve_ops, 5);
+
+        let prom = agg.render_prometheus();
+        assert!(prom.contains("hh_route_serve_ops_total{op=\"decision\"} 5"));
+        assert!(prom.contains("hh_route_serve_ops_total{op=\"snapshot_save\"} 1"));
+        let json = agg.render_json();
+        assert!(json.contains("\"route_serve\": {"));
+        assert!(json.contains("\"feedback\": 3"));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! paper's threshold-selection methodology executable, and [`online`] closes
 //! that loop at runtime: [`AdaptiveScheduler`] re-estimates the cross points
 //! from observed completions with hysteresis and deterministic exploration.
+//! [`snapshot`] serializes the adaptive loop's full mutable state (windows,
+//! live thresholds, RNG position, audit trail) so a restarted service
+//! resumes bitwise-identically to the uninterrupted run.
 //!
 //! The multi-tenant layer composes *in front of* placement: [`policy`]
 //! defines the pluggable [`SchedulerPolicy`] queue disciplines (FIFO /
@@ -22,6 +25,7 @@ pub mod calibrate;
 pub mod online;
 pub mod placement;
 pub mod policy;
+pub mod snapshot;
 pub mod tenant;
 
 pub use bands::{calibrate_bands, BandScheduler, RatioBand};

@@ -147,23 +147,23 @@ pub struct AdaptiveDecision {
 }
 
 #[derive(Debug, Clone, Default)]
-struct BandState {
-    window: VecDeque<Observation>,
-    up_n: usize,
-    out_n: usize,
-    since_recal: usize,
+pub(crate) struct BandState {
+    pub(crate) window: VecDeque<Observation>,
+    pub(crate) up_n: usize,
+    pub(crate) out_n: usize,
+    pub(crate) since_recal: usize,
 }
 
 /// Algorithm 1 with runtime-adapted cross points. See the module docs for
 /// the estimator, hysteresis, and exploration semantics.
 #[derive(Debug, Clone)]
 pub struct AdaptiveScheduler {
-    base: CrossPointScheduler,
-    cfg: AdaptiveConfig,
-    rng: DetRng,
-    bands: [BandState; 3],
-    recalibrations: Vec<Recalibration>,
-    completions: u64,
+    pub(crate) base: CrossPointScheduler,
+    pub(crate) cfg: AdaptiveConfig,
+    pub(crate) rng: DetRng,
+    pub(crate) bands: [BandState; 3],
+    pub(crate) recalibrations: Vec<Recalibration>,
+    pub(crate) completions: u64,
 }
 
 impl Default for AdaptiveScheduler {
@@ -260,6 +260,52 @@ impl AdaptiveScheduler {
             threshold,
             probe,
         }
+    }
+
+    /// Route a queue of pending jobs against one coherent view of the live
+    /// thresholds.
+    ///
+    /// The three band thresholds are loaded once and reused across the
+    /// whole batch — no recalibration can interleave, so a serving loop
+    /// draining N pending specs pays the threshold loads once instead of N
+    /// times. Exploration draws are still taken per job in submission
+    /// order, so the returned decisions are bitwise-identical to N
+    /// sequential [`AdaptiveScheduler::route`] calls and leave the RNG at
+    /// the same stream position.
+    pub fn route_batch<'a>(
+        &mut self,
+        jobs: impl IntoIterator<Item = &'a JobSpec>,
+    ) -> Vec<AdaptiveDecision> {
+        let thresholds = [
+            self.base.high_ratio_threshold,
+            self.base.mid_ratio_threshold,
+            self.base.map_intensive_threshold,
+        ];
+        let exploration = self.cfg.exploration;
+        let jobs = jobs.into_iter();
+        let mut out = Vec::with_capacity(jobs.size_hint().0);
+        for job in jobs {
+            let band = band_index(job.profile.shuffle_input_ratio);
+            let threshold = thresholds[band];
+            let nominal = if job.input_size < threshold {
+                Placement::ScaleUp
+            } else {
+                Placement::ScaleOut
+            };
+            let probe = exploration > 0.0 && self.rng.chance(exploration);
+            let placement = match (nominal, probe) {
+                (p, false) => p,
+                (Placement::ScaleUp, true) => Placement::ScaleOut,
+                (Placement::ScaleOut, true) => Placement::ScaleUp,
+            };
+            out.push(AdaptiveDecision {
+                placement,
+                band: BAND_LABELS[band],
+                threshold,
+                probe,
+            });
+        }
+        out
     }
 
     /// Feed one completed job back into the loop. Returns the applied
@@ -361,8 +407,12 @@ impl AdaptiveScheduler {
 ///
 /// Observations are grouped into logarithmic size buckets
 /// (`buckets_per_octave` per factor of two); a bucket with at least
-/// `min_bucket_obs` samples on *each* side becomes one [`SweepPoint`] at the
-/// bucket's geometric-mean size with the per-side mean execution times. The
+/// `min_bucket_obs` samples on *each* side becomes one [`SweepPoint`] with
+/// the per-side mean execution times. The point's representative size is the
+/// geometric mean of the *per-side* geometric-mean sizes — not the pooled
+/// mean over all samples, which would drift toward whichever side happens to
+/// hold more (or larger) samples inside the bucket and skew the estimated
+/// cross point whenever the sides cluster at opposite ends of a bucket. The
 /// window is sorted on a total order (size, time, side) before accumulation,
 /// so the result is invariant under any permutation of the input — floating
 /// summation order included.
@@ -373,8 +423,8 @@ pub fn estimate_from_observations(
 ) -> Option<f64> {
     #[derive(Default)]
     struct Bucket {
-        ln_size_sum: f64,
-        n: usize,
+        up_ln_size_sum: f64,
+        out_ln_size_sum: f64,
         up_sum: f64,
         up_n: usize,
         out_sum: f64,
@@ -397,12 +447,12 @@ pub fn estimate_from_observations(
     for o in &obs {
         let key = ((o.input_size as f64).log2() * bpo).floor() as i64;
         let b = buckets.entry(key).or_default();
-        b.ln_size_sum += (o.input_size as f64).ln();
-        b.n += 1;
         if o.ran_up {
+            b.up_ln_size_sum += (o.input_size as f64).ln();
             b.up_sum += o.exec_secs;
             b.up_n += 1;
         } else {
+            b.out_ln_size_sum += (o.input_size as f64).ln();
             b.out_sum += o.exec_secs;
             b.out_n += 1;
         }
@@ -412,10 +462,14 @@ pub fn estimate_from_observations(
     let points: Vec<SweepPoint> = buckets
         .values()
         .filter(|b| b.up_n >= min_n && b.out_n >= min_n)
-        .map(|b| SweepPoint {
-            input_size: (b.ln_size_sum / b.n as f64).exp(),
-            t_up: b.up_sum / b.up_n as f64,
-            t_out: b.out_sum / b.out_n as f64,
+        .map(|b| {
+            let up_ln = b.up_ln_size_sum / b.up_n as f64;
+            let out_ln = b.out_ln_size_sum / b.out_n as f64;
+            SweepPoint {
+                input_size: ((up_ln + out_ln) / 2.0).exp(),
+                t_up: b.up_sum / b.up_n as f64,
+                t_out: b.out_sum / b.out_n as f64,
+            }
         })
         .collect();
     estimate_cross_point(&points)
@@ -493,6 +547,25 @@ mod tests {
         assert!(probes.iter().any(|&p| p), "some probes fire at rate 0.5");
         assert!(!probes.iter().all(|&p| p), "not every decision is a probe");
         assert_eq!(probes, run(), "same seed, same probe sequence");
+    }
+
+    #[test]
+    fn route_batch_is_bitwise_equal_to_sequential_routes() {
+        let cfg = AdaptiveConfig {
+            exploration: 0.5, // high rate so probes exercise both flips
+            ..Default::default()
+        };
+        let jobs: Vec<JobSpec> = (0..96)
+            .map(|i| job([1.6, 0.7, 0.1][i % 3], (i as u64 % 40 + 1) * GB))
+            .collect();
+        let mut seq = AdaptiveScheduler::new(cfg.clone());
+        let mut bat = AdaptiveScheduler::new(cfg);
+        let one_by_one: Vec<AdaptiveDecision> = jobs.iter().map(|j| seq.route(j)).collect();
+        let batched = bat.route_batch(&jobs);
+        assert_eq!(batched, one_by_one);
+        // Both schedulers sit at the same RNG position afterwards.
+        let probe_job = job(0.7, GB);
+        assert_eq!(seq.route(&probe_job), bat.route(&probe_job));
     }
 
     #[test]
@@ -606,6 +679,40 @@ mod tests {
         window.reverse();
         let rev = estimate_from_observations(window.iter().copied(), 2, 1).unwrap();
         assert_eq!(rev.to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn bucket_size_ignores_per_side_sample_imbalance() {
+        // Two buckets, each with the sides clustered at opposite ends: the
+        // scale-up samples sit low in the bucket, the scale-out samples
+        // high. Duplicating one side's samples must not move the estimate —
+        // a pooled bucket-size mean would drift ~20% toward the duplicated
+        // side, which is exactly the bias this guards against.
+        let balanced = vec![
+            // Bucket [8, 16) GB: scale-up faster.
+            obs(9 * GB, 10.0, true),
+            obs(15 * GB, 20.0, false),
+            // Bucket [32, 64) GB: scale-out faster.
+            obs(33 * GB, 40.0, true),
+            obs(60 * GB, 30.0, false),
+        ];
+        let mut skewed = balanced.clone();
+        for o in balanced.iter().filter(|o| !o.ran_up).copied() {
+            for _ in 0..8 {
+                skewed.push(o);
+            }
+        }
+        let a = estimate_from_observations(balanced.iter().copied(), 1, 1).unwrap();
+        let b = estimate_from_observations(skewed.iter().copied(), 1, 1).unwrap();
+        assert!(
+            (b / a - 1.0).abs() < 1e-12,
+            "per-side counts skewed the estimate: balanced {a:.3e} vs skewed {b:.3e}"
+        );
+        // Sanity: the crossing sits between the two buckets' balanced
+        // geometric-mean representative sizes.
+        let lo = (((9 * GB) as f64).ln() + ((15 * GB) as f64).ln()) / 2.0;
+        let hi = (((33 * GB) as f64).ln() + ((60 * GB) as f64).ln()) / 2.0;
+        assert!(a > lo.exp() && a < hi.exp(), "estimate {a:.3e} out of band");
     }
 
     #[test]

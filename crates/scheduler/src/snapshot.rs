@@ -1,0 +1,740 @@
+//! Snapshot/restore for the adaptive scheduler — service mode.
+//!
+//! A deployed [`AdaptiveScheduler`] is a long-lived process: it accumulates
+//! per-band observation windows, walks its thresholds, and advances an
+//! exploration RNG stream. Restarting it from the static defaults would
+//! discard all of that and, worse, silently change the decision stream.
+//! This module serializes the *complete* mutable state to a hand-rolled
+//! JSON document (schema [`SCHEMA`], same std-only conventions as
+//! `bench::profile`) and rebuilds a scheduler from it.
+//!
+//! The contract is **bitwise restart equivalence**: for any scheduler `s`,
+//! `restore(&save(&s))` yields a scheduler whose every subsequent decision,
+//! observation, and recalibration is bit-for-bit identical to what `s`
+//! itself would have produced. Three properties make this hold:
+//!
+//! * integers (thresholds, sizes, RNG words) are written as exact decimal
+//!   `u64`s and parsed without a float round-trip;
+//! * floats (execution times, config rates, audit estimates) are written in
+//!   Rust's shortest-roundtrip `{:?}` form, which restores finite `f64`s
+//!   bit-for-bit — and every float that reaches a snapshot is finite by the
+//!   scheduler's own input hardening;
+//! * the RNG's raw 256-bit position is checkpointed, so exploration draws
+//!   resume mid-stream instead of replaying from the seed.
+//!
+//! Derived counts (`up_n`/`out_n`) are deliberately *not* serialized; they
+//! are recomputed from the windows on restore, so a hand-edited snapshot
+//! cannot desynchronize them.
+
+use crate::online::{AdaptiveConfig, AdaptiveScheduler, Observation, Recalibration, BAND_LABELS};
+use crate::placement::CrossPointScheduler;
+use simcore::rng::DetRng;
+use std::collections::VecDeque;
+
+/// Snapshot schema identifier; bumped when the shape changes.
+pub const SCHEMA: &str = "hybrid-hadoop-sched/v1";
+
+/// Serialize the full mutable state of `sched` to the [`SCHEMA`] JSON form.
+///
+/// The rendering is deterministic: the same scheduler state always produces
+/// the same bytes, so `save(&restore(&doc)?)` reproduces `doc` exactly for
+/// any document `save` emitted.
+pub fn save(sched: &AdaptiveScheduler) -> String {
+    let cfg = &sched.cfg;
+    let rng = sched.rng.state();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("\"schema\": {},\n", json_string(SCHEMA)));
+    out.push_str(&format!(
+        "\"config\": {{\"window\": {}, \"min_side_obs\": {}, \"min_bucket_obs\": {}, \
+         \"buckets_per_octave\": {}, \"recalibrate_every\": {}, \"max_step\": {:?}, \
+         \"exploration\": {:?}, \"seed\": {}, \"min_threshold\": {}, \"max_threshold\": {}}},\n",
+        cfg.window,
+        cfg.min_side_obs,
+        cfg.min_bucket_obs,
+        cfg.buckets_per_octave,
+        cfg.recalibrate_every,
+        cfg.max_step,
+        cfg.exploration,
+        cfg.seed,
+        cfg.min_threshold,
+        cfg.max_threshold,
+    ));
+    out.push_str(&format!(
+        "\"thresholds\": {{\"high_ratio\": {}, \"mid_ratio\": {}, \"map_intensive\": {}}},\n",
+        sched.base.high_ratio_threshold,
+        sched.base.mid_ratio_threshold,
+        sched.base.map_intensive_threshold,
+    ));
+    out.push_str(&format!(
+        "\"rng\": [{}, {}, {}, {}],\n",
+        rng[0], rng[1], rng[2], rng[3]
+    ));
+    out.push_str("\"bands\": [\n");
+    for (i, b) in sched.bands.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"since_recal\": {}, \"window\": [",
+            b.since_recal
+        ));
+        for (j, o) in b.window.iter().enumerate() {
+            out.push_str(&format!(
+                "[{}, {:?}, {}]{}",
+                o.input_size,
+                o.exec_secs,
+                o.ran_up,
+                if j + 1 < b.window.len() { ", " } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < sched.bands.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("],\n");
+    out.push_str("\"recalibrations\": [\n");
+    for (i, r) in sched.recalibrations.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"band\": {}, \"old_bytes\": {}, \"new_bytes\": {}, \"estimate_bytes\": {:?}, \
+             \"stepped\": {}, \"clamped\": {}, \"window_up\": {}, \"window_out\": {}, \
+             \"completions\": {}}}{}\n",
+            json_string(r.band),
+            r.old_bytes,
+            r.new_bytes,
+            r.estimate_bytes,
+            r.stepped,
+            r.clamped,
+            r.window_up,
+            r.window_out,
+            r.completions,
+            if i + 1 < sched.recalibrations.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("\"completions\": {}\n", sched.completions));
+    out.push_str("}\n");
+    out
+}
+
+/// Rebuild a scheduler from a document written by [`save`].
+///
+/// # Errors
+/// Returns a description of the first malformed construct: schema mismatch,
+/// missing field, wrong band count, an all-zero RNG state, an unknown band
+/// label, or a window entry violating the scheduler's own input invariants
+/// (zero size, non-finite or non-positive execution time).
+pub fn restore(json: &str) -> Result<AdaptiveScheduler, String> {
+    let mut p = Cursor {
+        b: json.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.expect(b'{')?;
+    let mut schema = None;
+    let mut config = None;
+    let mut thresholds = None;
+    let mut rng = None;
+    let mut bands = None;
+    let mut recalibrations = None;
+    let mut completions = None;
+    loop {
+        p.ws();
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match key.as_str() {
+            "schema" => schema = Some(p.string()?),
+            "config" => config = Some(parse_config(&mut p)?),
+            "thresholds" => thresholds = Some(parse_thresholds(&mut p)?),
+            "rng" => rng = Some(parse_rng(&mut p)?),
+            "bands" => bands = Some(parse_bands(&mut p)?),
+            "recalibrations" => recalibrations = Some(parse_recalibrations(&mut p)?),
+            "completions" => completions = Some(p.u64()?),
+            other => return Err(format!("unknown snapshot field {other:?}")),
+        }
+        p.ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => break,
+            other => return Err(format!("expected ',' or '}}' in snapshot, got {other:?}")),
+        }
+    }
+    match schema.as_deref() {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported schema {other:?}, want {SCHEMA:?}")),
+        None => return Err("missing snapshot field \"schema\"".into()),
+    }
+    let cfg: AdaptiveConfig = config.ok_or("missing snapshot field \"config\"")?;
+    let (high, mid, map) = thresholds.ok_or("missing snapshot field \"thresholds\"")?;
+    let rng = rng.ok_or("missing snapshot field \"rng\"")?;
+    if rng.iter().all(|&w| w == 0) {
+        return Err("all-zero rng state".into());
+    }
+    let raw_bands = bands.ok_or("missing snapshot field \"bands\"")?;
+    if raw_bands.len() != BAND_LABELS.len() {
+        return Err(format!(
+            "expected {} bands, got {}",
+            BAND_LABELS.len(),
+            raw_bands.len()
+        ));
+    }
+    let mut bands: [crate::online::BandState; 3] = Default::default();
+    for (st, (since_recal, window)) in bands.iter_mut().zip(raw_bands) {
+        for o in &window {
+            if o.input_size == 0 || !(o.exec_secs.is_finite() && o.exec_secs > 0.0) {
+                return Err(format!(
+                    "invalid window observation: size {} exec {:?}",
+                    o.input_size, o.exec_secs
+                ));
+            }
+        }
+        st.up_n = window.iter().filter(|o| o.ran_up).count();
+        st.out_n = window.len() - st.up_n;
+        st.window = VecDeque::from(window);
+        st.since_recal = since_recal;
+    }
+    Ok(AdaptiveScheduler {
+        base: CrossPointScheduler {
+            high_ratio_threshold: high,
+            mid_ratio_threshold: mid,
+            map_intensive_threshold: map,
+            assume_unknown_ratio: false,
+        },
+        cfg,
+        rng: DetRng::from_state(rng),
+        bands,
+        recalibrations: recalibrations.ok_or("missing snapshot field \"recalibrations\"")?,
+        completions: completions.ok_or("missing snapshot field \"completions\"")?,
+    })
+}
+
+fn parse_config(p: &mut Cursor<'_>) -> Result<AdaptiveConfig, String> {
+    let mut window = None;
+    let mut min_side_obs = None;
+    let mut min_bucket_obs = None;
+    let mut buckets_per_octave = None;
+    let mut recalibrate_every = None;
+    let mut max_step = None;
+    let mut exploration = None;
+    let mut seed = None;
+    let mut min_threshold = None;
+    let mut max_threshold = None;
+    p.object(|p, key| {
+        match key {
+            "window" => window = Some(p.usize()?),
+            "min_side_obs" => min_side_obs = Some(p.usize()?),
+            "min_bucket_obs" => min_bucket_obs = Some(p.usize()?),
+            "buckets_per_octave" => {
+                buckets_per_octave =
+                    Some(u32::try_from(p.u64()?).map_err(|_| "buckets_per_octave overflows u32")?)
+            }
+            "recalibrate_every" => recalibrate_every = Some(p.usize()?),
+            "max_step" => max_step = Some(p.f64()?),
+            "exploration" => exploration = Some(p.f64()?),
+            "seed" => seed = Some(p.u64()?),
+            "min_threshold" => min_threshold = Some(p.u64()?),
+            "max_threshold" => max_threshold = Some(p.u64()?),
+            other => return Err(format!("unknown config field {other:?}")),
+        }
+        Ok(())
+    })?;
+    let miss = |f: &str| format!("missing config field {f:?}");
+    Ok(AdaptiveConfig {
+        window: window.ok_or_else(|| miss("window"))?,
+        min_side_obs: min_side_obs.ok_or_else(|| miss("min_side_obs"))?,
+        min_bucket_obs: min_bucket_obs.ok_or_else(|| miss("min_bucket_obs"))?,
+        buckets_per_octave: buckets_per_octave.ok_or_else(|| miss("buckets_per_octave"))?,
+        recalibrate_every: recalibrate_every.ok_or_else(|| miss("recalibrate_every"))?,
+        max_step: max_step.ok_or_else(|| miss("max_step"))?,
+        exploration: exploration.ok_or_else(|| miss("exploration"))?,
+        seed: seed.ok_or_else(|| miss("seed"))?,
+        min_threshold: min_threshold.ok_or_else(|| miss("min_threshold"))?,
+        max_threshold: max_threshold.ok_or_else(|| miss("max_threshold"))?,
+    })
+}
+
+fn parse_thresholds(p: &mut Cursor<'_>) -> Result<(u64, u64, u64), String> {
+    let mut high = None;
+    let mut mid = None;
+    let mut map = None;
+    p.object(|p, key| {
+        match key {
+            "high_ratio" => high = Some(p.u64()?),
+            "mid_ratio" => mid = Some(p.u64()?),
+            "map_intensive" => map = Some(p.u64()?),
+            other => return Err(format!("unknown thresholds field {other:?}")),
+        }
+        Ok(())
+    })?;
+    let miss = |f: &str| format!("missing thresholds field {f:?}");
+    Ok((
+        high.ok_or_else(|| miss("high_ratio"))?,
+        mid.ok_or_else(|| miss("mid_ratio"))?,
+        map.ok_or_else(|| miss("map_intensive"))?,
+    ))
+}
+
+fn parse_rng(p: &mut Cursor<'_>) -> Result<[u64; 4], String> {
+    let mut words = Vec::with_capacity(4);
+    p.array(|p| {
+        words.push(p.u64()?);
+        Ok(())
+    })?;
+    <[u64; 4]>::try_from(words).map_err(|v| format!("expected 4 rng words, got {}", v.len()))
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_bands(p: &mut Cursor<'_>) -> Result<Vec<(usize, Vec<Observation>)>, String> {
+    let mut bands = Vec::new();
+    p.array(|p| {
+        let mut since_recal = None;
+        let mut window = None;
+        p.object(|p, key| {
+            match key {
+                "since_recal" => since_recal = Some(p.usize()?),
+                "window" => window = Some(parse_window(p)?),
+                other => return Err(format!("unknown band field {other:?}")),
+            }
+            Ok(())
+        })?;
+        bands.push((
+            since_recal.ok_or("missing band field \"since_recal\"")?,
+            window.ok_or("missing band field \"window\"")?,
+        ));
+        Ok(())
+    })?;
+    Ok(bands)
+}
+
+fn parse_window(p: &mut Cursor<'_>) -> Result<Vec<Observation>, String> {
+    let mut window = Vec::new();
+    p.array(|p| {
+        p.expect(b'[')?;
+        p.ws();
+        let input_size = p.u64()?;
+        p.ws();
+        p.expect(b',')?;
+        p.ws();
+        let exec_secs = p.f64()?;
+        p.ws();
+        p.expect(b',')?;
+        p.ws();
+        let ran_up = p.bool()?;
+        p.ws();
+        p.expect(b']')?;
+        window.push(Observation {
+            input_size,
+            exec_secs,
+            ran_up,
+        });
+        Ok(())
+    })?;
+    Ok(window)
+}
+
+fn parse_recalibrations(p: &mut Cursor<'_>) -> Result<Vec<Recalibration>, String> {
+    let mut recs = Vec::new();
+    p.array(|p| {
+        let mut band = None;
+        let mut old_bytes = None;
+        let mut new_bytes = None;
+        let mut estimate_bytes = None;
+        let mut stepped = None;
+        let mut clamped = None;
+        let mut window_up = None;
+        let mut window_out = None;
+        let mut completions = None;
+        p.object(|p, key| {
+            match key {
+                "band" => {
+                    let label = p.string()?;
+                    band = Some(
+                        *BAND_LABELS
+                            .iter()
+                            .find(|&&l| l == label)
+                            .ok_or_else(|| format!("unknown band label {label:?}"))?,
+                    );
+                }
+                "old_bytes" => old_bytes = Some(p.u64()?),
+                "new_bytes" => new_bytes = Some(p.u64()?),
+                "estimate_bytes" => estimate_bytes = Some(p.f64()?),
+                "stepped" => stepped = Some(p.bool()?),
+                "clamped" => clamped = Some(p.bool()?),
+                "window_up" => window_up = Some(p.usize()?),
+                "window_out" => window_out = Some(p.usize()?),
+                "completions" => completions = Some(p.u64()?),
+                other => return Err(format!("unknown recalibration field {other:?}")),
+            }
+            Ok(())
+        })?;
+        let miss = |f: &str| format!("missing recalibration field {f:?}");
+        recs.push(Recalibration {
+            band: band.ok_or_else(|| miss("band"))?,
+            old_bytes: old_bytes.ok_or_else(|| miss("old_bytes"))?,
+            new_bytes: new_bytes.ok_or_else(|| miss("new_bytes"))?,
+            estimate_bytes: estimate_bytes.ok_or_else(|| miss("estimate_bytes"))?,
+            stepped: stepped.ok_or_else(|| miss("stepped"))?,
+            clamped: clamped.ok_or_else(|| miss("clamped"))?,
+            window_up: window_up.ok_or_else(|| miss("window_up"))?,
+            window_out: window_out.ok_or_else(|| miss("window_out"))?,
+            completions: completions.ok_or_else(|| miss("completions"))?,
+        });
+        Ok(())
+    })?;
+    Ok(recs)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A byte cursor with just enough JSON parsing for the snapshot schema —
+/// the `bench::profile` parser plus exact `u64`s (RNG words must not take a
+/// float round-trip), booleans, and object/array walkers.
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    /// Walk `{"key": <value>, ...}`, calling `field` positioned at each value.
+    fn object(
+        &mut self,
+        mut field: impl FnMut(&mut Self, &str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.next();
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            field(self, &key)?;
+            self.ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                other => return Err(format!("expected ',' or '}}' in object, got {other:?}")),
+            }
+        }
+    }
+
+    /// Walk `[<value>, ...]`, calling `item` positioned at each value.
+    fn array(
+        &mut self,
+        mut item: impl FnMut(&mut Self) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.next();
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            item(self)?;
+            self.ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                other => return Err(format!("expected ',' or ']' in array, got {other:?}")),
+            }
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err("expected an unsigned integer".into());
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<u64>()
+            .map_err(|e| e.to_string())
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|e| e.to_string())
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err("expected a number".into());
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| e.to_string())
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        for (lit, val) in [(&b"true"[..], true), (&b"false"[..], false)] {
+            if self.b[self.i..].starts_with(lit) {
+                self.i += lit.len();
+                return Ok(val);
+            }
+        }
+        Err("expected 'true' or 'false'".into())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        if self.i + 4 > self.b.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                            .map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        self.i += 4;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(first) => {
+                    let len = match first {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.i - 1;
+                    if start + len > self.b.len() {
+                        return Err("truncated UTF-8 sequence".into());
+                    }
+                    let s = std::str::from_utf8(&self.b[start..start + len])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{JobProfile, JobSpec};
+    use simcore::rng::substream;
+
+    const GB: u64 = 1 << 30;
+
+    fn job(ratio: f64, size: u64) -> JobSpec {
+        JobSpec::at_zero(0, JobProfile::basic("t", ratio, 0.1), size)
+    }
+
+    /// A scheduler with non-trivial state: moved thresholds, partially
+    /// filled windows, consumed RNG draws, and a recalibration on record.
+    fn busy_scheduler() -> AdaptiveScheduler {
+        let mut a = AdaptiveScheduler::new(AdaptiveConfig {
+            window: 64,
+            recalibrate_every: 8,
+            exploration: 0.25,
+            ..Default::default()
+        });
+        let mut r = substream(42, 7);
+        for i in 0..200u64 {
+            let ratio = [1.5, 0.7, 0.1][(i % 3) as usize];
+            let size = GB + r.next_u64() % (40 * GB);
+            let d = a.route(&job(ratio, size));
+            let up = d.placement == crate::placement::Placement::ScaleUp;
+            let exec = if up {
+                10.0 + size as f64 / GB as f64
+            } else {
+                14.0 + size as f64 / (2 * GB) as f64
+            };
+            a.observe(size, ratio, up, exec);
+        }
+        a
+    }
+
+    fn states_equal(a: &AdaptiveScheduler, b: &AdaptiveScheduler) -> bool {
+        a.base == b.base
+            && a.cfg == b.cfg
+            && a.rng == b.rng
+            && a.completions == b.completions
+            && a.recalibrations == b.recalibrations
+            && a.bands.iter().zip(b.bands.iter()).all(|(x, y)| {
+                x.window == y.window
+                    && x.up_n == y.up_n
+                    && x.out_n == y.out_n
+                    && x.since_recal == y.since_recal
+            })
+    }
+
+    #[test]
+    fn save_restore_roundtrips_state_and_bytes() {
+        let a = busy_scheduler();
+        assert!(
+            !a.recalibrations().is_empty(),
+            "fixture must exercise the audit trail"
+        );
+        let doc = save(&a);
+        let b = restore(&doc).unwrap();
+        assert!(states_equal(&a, &b));
+        // Parse → render reproduces the document byte-for-byte.
+        assert_eq!(save(&b), doc);
+    }
+
+    #[test]
+    fn restored_scheduler_continues_bitwise_identically() {
+        let mut a = busy_scheduler();
+        let mut b = restore(&save(&a)).unwrap();
+        let mut r = substream(9, 9);
+        for i in 0..300u64 {
+            let ratio = [2.0, 0.5, 0.2][(i % 3) as usize];
+            let size = GB + r.next_u64() % (50 * GB);
+            let j = job(ratio, size);
+            assert_eq!(a.route(&j), b.route(&j), "decision {i}");
+            let up = i % 2 == 0;
+            let exec = 5.0 + (size % 1000) as f64 * 0.01;
+            assert_eq!(
+                a.observe(size, ratio, up, exec),
+                b.observe(size, ratio, up, exec)
+            );
+        }
+        assert_eq!(a.recalibrations(), b.recalibrations());
+    }
+
+    #[test]
+    fn fresh_scheduler_roundtrips_too() {
+        let a = AdaptiveScheduler::default();
+        let b = restore(&save(&a)).unwrap();
+        assert!(states_equal(&a, &b));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let doc = save(&AdaptiveScheduler::default()).replace("sched/v1", "sched/v9");
+        let err = restore(&doc).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_documents_are_rejected() {
+        let base = save(&busy_scheduler());
+        for (needle, patch, want) in [
+            ("\"completions\":", "\"completions2\":", "unknown"),
+            ("\"rng\": [", "\"rng\": [1, ", "expected 4 rng words"),
+            (
+                "\"band\": \"S/I>1\"",
+                "\"band\": \"S/I>9\"",
+                "unknown band label",
+            ),
+        ] {
+            let doc = base.replacen(needle, patch, 1);
+            assert_ne!(doc, base, "patch {patch:?} must apply");
+            let err = restore(&doc).unwrap_err();
+            assert!(err.contains(want), "{patch:?}: {err}");
+        }
+        let err = restore("").unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn zero_rng_state_is_rejected_not_panicking() {
+        let mut a = AdaptiveScheduler::default();
+        let doc = save(&a);
+        let rng = a.rng.state();
+        let patched = doc.replace(
+            &format!("\"rng\": [{}, {}, {}, {}]", rng[0], rng[1], rng[2], rng[3]),
+            "\"rng\": [0, 0, 0, 0]",
+        );
+        assert_ne!(patched, doc);
+        let err = restore(&patched).unwrap_err();
+        assert!(err.contains("all-zero rng state"), "{err}");
+        let _ = a.route(&job(0.5, GB)); // still usable
+    }
+
+    #[test]
+    fn invalid_window_observations_are_rejected() {
+        let mut a = AdaptiveScheduler::default();
+        a.observe(GB, 0.5, true, 12.5);
+        let doc = save(&a);
+        for patch in ["[0, 12.5, true]", "[1073741824, -1.0, true]"] {
+            let bad = doc.replace("[1073741824, 12.5, true]", patch);
+            assert_ne!(bad, doc, "patch {patch:?} must apply");
+            let err = restore(&bad).unwrap_err();
+            assert!(err.contains("invalid window observation"), "{err}");
+        }
+    }
+
+    #[test]
+    fn derived_counts_are_recomputed_from_windows() {
+        let mut a = AdaptiveScheduler::default();
+        for i in 0..10u64 {
+            a.observe(GB + i, 0.5, i % 3 == 0, 10.0);
+        }
+        let b = restore(&save(&a)).unwrap();
+        assert_eq!(b.bands[1].up_n, 4);
+        assert_eq!(b.bands[1].out_n, 6);
+    }
+}

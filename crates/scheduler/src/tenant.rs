@@ -289,6 +289,31 @@ impl ShareLedger {
         if n == 0 || sum_sq <= 0.0 {
             return 1.0;
         }
+        if !sum_sq.is_finite() {
+            // A weight-normalized usage overflowed f64 (degenerate weights
+            // near `MIN_POSITIVE`). The index is scale-invariant, so redo
+            // the pass with each term rescaled by the largest usage and the
+            // smallest clamped weight — every factor is then <= 1 and the
+            // sums stay finite.
+            let active: Vec<(f64, f64)> = self
+                .tenants
+                .iter()
+                .filter(|s| s.submitted > 0)
+                .map(|s| (s.usage, s.weight.max(f64::MIN_POSITIVE)))
+                .collect();
+            let u_max = active.iter().fold(0.0f64, |a, &(u, _)| a.max(u));
+            let w_min = active.iter().fold(f64::INFINITY, |a, &(_, w)| a.min(w));
+            let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+            for &(u, w) in &active {
+                let x = (u / u_max) * (w_min / w);
+                sum += x;
+                sum_sq += x * x;
+            }
+            if sum_sq <= 0.0 {
+                return 1.0;
+            }
+            return (sum * sum) / (active.len() as f64 * sum_sq);
+        }
         (sum * sum) / (n as f64 * sum_sq)
     }
 
@@ -366,8 +391,11 @@ pub struct DispatchOutcome {
 enum EvKind {
     /// A started job's virtual service completes (stale if `gen` moved on).
     Finish { job_seq: u64, gen: u64, up: bool },
-    /// Delay-scheduling bound expiry: re-offer the queue.
-    Wake,
+    /// Delay-scheduling bound expiry: re-offer the queue. Stale if `gen`
+    /// no longer matches the dispatcher's live wake generation — matching
+    /// on the timestamp instead would confuse a superseded timer with a
+    /// live one whose bound happens to coincide (exact f64 equality).
+    Wake { gen: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -423,6 +451,9 @@ pub struct TenantDispatcher {
     used_out: u32,
     next_order: u64,
     wake_at: Option<f64>,
+    /// Generation of the live (earliest-bound) wake timer; events carrying
+    /// an older generation are superseded and must not clear `wake_at`.
+    wake_gen: u64,
     released: Vec<(f64, u64, ReleasedJob)>,
     preempt_log: Vec<PreemptEvent>,
     rejected: Vec<(u32, TenantId)>,
@@ -453,6 +484,7 @@ impl TenantDispatcher {
             used_out: 0,
             next_order: 0,
             wake_at: None,
+            wake_gen: 0,
             released: Vec::new(),
             preempt_log: Vec::new(),
             rejected: Vec::new(),
@@ -497,12 +529,7 @@ impl TenantDispatcher {
                 self.end_time = self.end_time.max(ev.t);
                 match ev.kind {
                     EvKind::Finish { job_seq, gen, up } => self.on_finish(ev.t, job_seq, gen, up),
-                    EvKind::Wake => {
-                        if self.wake_at == Some(ev.t) {
-                            self.wake_at = None;
-                        }
-                        self.dispatch(ev.t);
-                    }
+                    EvKind::Wake { gen } => self.on_wake(ev.t, gen),
                 }
             } else {
                 let job = arrivals.next().expect("peeked");
@@ -666,6 +693,19 @@ impl TenantDispatcher {
         self.dispatch(now);
     }
 
+    fn on_wake(&mut self, now: f64, gen: u64) {
+        // Only the live generation retires the timer pointer; a superseded
+        // wake whose timestamp coincides with the live bound must leave it
+        // armed, or the arming guard in `dispatch` would accept a later
+        // (wrong) bound while the real timer is still in flight. The
+        // dispatch itself is unconditional — firing early never hurts, it
+        // just re-offers the queue.
+        if gen == self.wake_gen {
+            self.wake_at = None;
+        }
+        self.dispatch(now);
+    }
+
     fn dispatch(&mut self, now: f64) {
         loop {
             let free = self.free();
@@ -717,11 +757,12 @@ impl TenantDispatcher {
                 if self.wake_at.is_none_or(|cur| w < cur) {
                     self.wake_at = Some(w);
                     let order = self.order();
+                    self.wake_gen = order;
                     self.heap.push(Ev {
                         t: w,
                         rank: 1,
                         order,
-                        kind: EvKind::Wake,
+                        kind: EvKind::Wake { gen: order },
                     });
                 }
             }
@@ -851,6 +892,102 @@ mod tests {
             j1.spec.submit.as_secs_f64()
         );
         assert_eq!(out.stats.delay_fallbacks, 1);
+    }
+
+    #[test]
+    fn stale_wake_at_coincident_timestamp_leaves_live_timer_armed() {
+        // A superseded wake whose timestamp exactly equals the live bound
+        // cannot be told apart by `f64` equality — only the generation
+        // counter can. The stale firing must leave `wake_at` armed so the
+        // arming guard keeps rejecting later (wrong) bounds until the live
+        // timer itself fires.
+        let cfg = TenantSchedConfig {
+            slots_up: 1,
+            slots_out: 1,
+            delay_bound_secs: 10.0,
+            preemption: false,
+            ..TenantSchedConfig::default()
+        };
+        let mut d = TenantDispatcher::new(TenantTable::single(), cfg, Box::new(FifoPolicy::new()));
+        // Both sides busy; one job queued behind its locality bound.
+        d.used_up = 1;
+        d.used_out = 1;
+        d.policy.enqueue(crate::policy::PendingJob {
+            seq: 0,
+            job: 0,
+            tenant: TenantId(0),
+            cost: 4.0,
+            input_size: 1 << 20,
+            enqueued: 0.0,
+            prefers_up: true,
+            eligible_other_at: 20.0,
+            deadline: None,
+        });
+        // Live timer: generation 3 at t = 5.0. A stale generation-1 timer
+        // fires at the coincident instant first.
+        d.wake_at = Some(5.0);
+        d.wake_gen = 3;
+        d.on_wake(5.0, 1);
+        assert_eq!(
+            d.wake_at,
+            Some(5.0),
+            "stale gen must not clear the live timer"
+        );
+        // With the live timer still armed, a dispatch that could arm a
+        // later bound must not stack a duplicate timer on top of it.
+        d.used_out = 0;
+        d.dispatch(5.0);
+        assert_eq!(d.wake_at, Some(5.0));
+        assert!(
+            d.heap.is_empty(),
+            "no duplicate timer while the live one is in flight"
+        );
+        // The live generation retires the pointer and re-arms at the real
+        // fallback bound of the queued job.
+        d.on_wake(5.0, 3);
+        assert_eq!(d.wake_at, Some(20.0), "re-armed at the queued job's bound");
+        assert_eq!(d.heap.len(), 1);
+    }
+
+    #[test]
+    fn jain_index_edge_cases() {
+        // Single tenant: trivially fair.
+        let mut l = ShareLedger::new(&TenantTable::single());
+        l.note_submitted(TenantId(0));
+        l.charge(TenantId(0), 12.0);
+        assert_eq!(l.jain_index(), 1.0);
+        // All-zero usage (submitted, nothing charged yet): fair, not 0/0.
+        let mut l = ShareLedger::new(&two_tenants());
+        l.note_submitted(TenantId(0));
+        l.note_submitted(TenantId(1));
+        assert_eq!(l.jain_index(), 1.0);
+        // MIN_POSITIVE weights blow `usage / weight` past f64::MAX; the
+        // scale-invariant fallback must keep the index finite and exact.
+        let tiny = TenantTable {
+            queues: vec![QueueSpec {
+                name: "default",
+                capacity: 1.0,
+            }],
+            tenants: (0..2)
+                .map(|i| TenantSpec {
+                    id: TenantId(i),
+                    weight: f64::MIN_POSITIVE,
+                    queue: 0,
+                    slo_secs: None,
+                })
+                .collect(),
+        };
+        let mut l = ShareLedger::new(&tiny);
+        l.note_submitted(TenantId(0));
+        l.note_submitted(TenantId(1));
+        l.charge(TenantId(0), 12.0);
+        l.charge(TenantId(1), 12.0);
+        assert_eq!(l.jain_index(), 1.0, "equal shares at tiny weights");
+        let mut l = ShareLedger::new(&tiny);
+        l.note_submitted(TenantId(0));
+        l.note_submitted(TenantId(1));
+        l.charge(TenantId(0), 12.0);
+        assert_eq!(l.jain_index(), 0.5, "one hoarding tenant of two");
     }
 
     #[test]

@@ -2,12 +2,20 @@
 //! perf regression.
 //!
 //! ```text
-//! bench_diff <baseline.json> <current.json> [--threshold 0.15]
+//! bench_diff <baseline.json> <current.json> [--threshold 0.15] [--max name=value]...
 //! ```
 //!
+//! `--threshold` gates *relative* drift against the baseline. `--max`
+//! (repeatable) gates an *absolute* ceiling on the current report: the
+//! named entry must exist and its value must not exceed the bound —
+//! machine-independent contracts like "a routing decision stays
+//! sub-microsecond" live here, where a relative gate would track a slow
+//! baseline downhill.
+//!
 //! Exit codes: 0 = no regression, 1 = at least one metric got more than
-//! `threshold` worse, 2 = usage or parse error (including comparing reports
-//! from different suites or modes).
+//! `threshold` worse or broke a `--max` ceiling, 2 = usage or parse error
+//! (including comparing reports from different suites or modes, and a
+//! `--max` naming an entry the current report lacks).
 
 use bench::profile::{diff, render_diff, BenchReport, DEFAULT_THRESHOLD};
 use std::process::ExitCode;
@@ -16,6 +24,7 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
+    let mut maxima: Vec<(String, f64)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
@@ -26,12 +35,28 @@ fn run() -> Result<bool, String> {
             if threshold.is_nan() || threshold < 0.0 {
                 return Err(format!("threshold must be non-negative, got {threshold}"));
             }
+        } else if a == "--max" {
+            let v = it.next().ok_or("--max needs name=value")?;
+            let (name, bound) = v
+                .split_once('=')
+                .ok_or_else(|| format!("--max takes name=value, got {v:?}"))?;
+            let bound = bound
+                .parse::<f64>()
+                .map_err(|e| format!("bad --max bound {bound:?}: {e}"))?;
+            if !bound.is_finite() {
+                return Err(format!("--max bound must be finite, got {bound}"));
+            }
+            maxima.push((name.to_string(), bound));
         } else {
             files.push(a.clone());
         }
     }
     let [baseline_path, current_path] = files.as_slice() else {
-        return Err("usage: bench_diff <baseline.json> <current.json> [--threshold 0.15]".into());
+        return Err(
+            "usage: bench_diff <baseline.json> <current.json> [--threshold 0.15] \
+             [--max name=value]..."
+                .into(),
+        );
     };
 
     let read = |path: &str| -> Result<BenchReport, String> {
@@ -50,8 +75,32 @@ fn run() -> Result<bool, String> {
 
     let deltas = diff(&baseline, &current, threshold);
     print!("{}", render_diff(&deltas, threshold));
+
+    // Absolute ceilings gate the current report alone — a missing entry is
+    // a usage error (the gate must never pass vacuously).
+    let mut ceiling_breaks = 0usize;
+    for (name, bound) in &maxima {
+        let entry = current
+            .entries
+            .iter()
+            .find(|e| &e.name == name)
+            .ok_or_else(|| format!("--max {name}: no such entry in {current_path}"))?;
+        if entry.value > *bound {
+            eprintln!(
+                "CEILING  {name}: {} {} exceeds --max {bound}",
+                entry.value, entry.unit
+            );
+            ceiling_breaks += 1;
+        } else {
+            println!(
+                "ceiling  {name}: {} {} within --max {bound}",
+                entry.value, entry.unit
+            );
+        }
+    }
+
     let regressions: Vec<_> = deltas.iter().filter(|d| d.regression).collect();
-    if regressions.is_empty() {
+    if regressions.is_empty() && ceiling_breaks == 0 {
         println!(
             "suite {:?}: {} metrics compared, no regressions",
             baseline.suite,
@@ -60,11 +109,12 @@ fn run() -> Result<bool, String> {
         Ok(false)
     } else {
         eprintln!(
-            "suite {:?}: {} of {} metrics regressed past {:.0}%",
+            "suite {:?}: {} of {} metrics regressed past {:.0}%, {} ceiling(s) broken",
             baseline.suite,
             regressions.len(),
             deltas.len(),
-            threshold * 100.0
+            threshold * 100.0,
+            ceiling_breaks
         );
         Ok(true)
     }

@@ -132,6 +132,53 @@ fn main() {
         Better::Higher,
     );
 
+    // Serving-path probes: the route_serve hot path. `route_decision_p99`
+    // is the p99 per-decision wall over 256-job `route_batch` calls — the
+    // CI gate pins it sub-microsecond (`--max sched/route_decision_p99=1e-6`),
+    // so a regression that makes the serving path allocate or rescan shows
+    // up as a hard failure, not a relative drift.
+    let route_jobs = if quick { 20_000usize } else { 200_000 };
+    const ROUTE_BATCH: usize = 256;
+    let route_specs: Vec<JobSpec> = (0..route_jobs)
+        .map(|i| {
+            let ratio = [0.1, 0.7, 1.6][i % 3];
+            let size = 1u64 << (20 + (i % 16));
+            JobSpec::at_zero(i as u32, JobProfile::basic("route-bench", ratio, 1.0), size)
+        })
+        .collect();
+    let mut router = AdaptiveScheduler::default();
+    let mut per_decision: Vec<f64> = Vec::with_capacity(route_jobs / ROUTE_BATCH + 1);
+    let route_t0 = std::time::Instant::now();
+    for chunk in route_specs.chunks(ROUTE_BATCH) {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(router.route_batch(chunk.iter()));
+        per_decision.push(t0.elapsed().as_secs_f64() / chunk.len() as f64);
+    }
+    let route_wall = route_t0.elapsed().as_secs_f64();
+    per_decision.sort_by(|a, b| a.total_cmp(b));
+    let p99 = per_decision[((per_decision.len() - 1) as f64 * 0.99) as usize];
+    engine.push("sched/route_decision_p99", p99, "s", Better::Lower);
+    engine.push(
+        "sched/route_decisions_per_s",
+        route_jobs as f64 / route_wall,
+        "jobs/s",
+        Better::Higher,
+    );
+
+    // Snapshot round-trip with full windows (the worst-case document):
+    // every band at its 512-observation cap plus a recalibration history.
+    let mut warm = AdaptiveScheduler::default();
+    for i in 0..(3 * 512usize) {
+        let ratio = [0.1, 0.7, 1.6][i % 3];
+        let size = 1u64 << (24 + (i % 10));
+        warm.observe(size, ratio, i % 2 == 0, 10.0 + (i % 97) as f64);
+    }
+    let wall = bench::bench("sched/snapshot_roundtrip", iters, || {
+        let doc = hybrid_hadoop::scheduler::snapshot::save(&warm);
+        hybrid_hadoop::scheduler::snapshot::restore(&doc).expect("a saved snapshot restores")
+    });
+    engine.push("sched/snapshot_roundtrip_wall", wall, "s", Better::Lower);
+
     // --- sweep suite: parallel grids and trace replay ---------------------
     let mut sweep_report = BenchReport::new(format!("sweep-{mode}"));
 

@@ -13,7 +13,9 @@
 //! engine), regenerate the constants with the replay below and say why in
 //! the commit message.
 
-use hybrid_hadoop::hybrid_core::{run_trace, run_trace_adaptive_with, run_trace_with};
+use hybrid_hadoop::hybrid_core::{
+    run_trace, run_trace_adaptive_roundtrip_streaming_with, run_trace_adaptive_with, run_trace_with,
+};
 use hybrid_hadoop::prelude::*;
 
 fn fnv(h: &mut u64, bytes: &[u8]) {
@@ -130,7 +132,27 @@ fn fixed_seed_10k_exploring_adaptive_replay_is_byte_identical() {
         &DeploymentTuning::default(),
     );
     assert_eq!(out.results.len(), 10_000);
-    assert_eq!(fingerprint(&out, ""), 0xf29f_705a_5973_65f7);
+    assert_eq!(fingerprint(&out, ""), 0x97ad_b577_2c02_d699);
+}
+
+/// The service-mode restart guarantee at full replay scale: tearing the
+/// scheduler down to its snapshot JSON and rebuilding it every 64
+/// completions must leave the exploring replay byte-identical — same
+/// constant as the uninterrupted run above. This is the strongest form of
+/// the `scheduler::snapshot` contract: windows, live thresholds, RNG stream
+/// position, and audit trail all survive arbitrarily many restarts.
+#[test]
+fn exploring_adaptive_replay_survives_snapshot_restarts_bitwise() {
+    let trace = generate_facebook_trace(&replay_cfg(10_000));
+    let out = run_trace_adaptive_roundtrip_streaming_with(
+        Architecture::Hybrid,
+        AdaptiveScheduler::default(),
+        trace.iter().cloned(),
+        &DeploymentTuning::default(),
+        Some(64),
+    );
+    assert_eq!(out.results.len(), 10_000);
+    assert_eq!(fingerprint(&out, ""), 0x97ad_b577_2c02_d699);
 }
 
 /// Pin a drifting replay: the scale-up-slowdown scenario (one of the two
@@ -152,7 +174,7 @@ fn fixed_seed_drift_scenario_replay_is_byte_identical() {
         &tuning,
     );
     assert_eq!(out.results.len(), 2000);
-    assert_eq!(fingerprint(&out, ""), 0x2a7e_b996_8a04_9588);
+    assert_eq!(fingerprint(&out, ""), 0x1bd8_fc3f_a655_4cdd);
 }
 
 /// The tenant dispatcher's pass-through guarantee: a single-tenant FIFO
@@ -211,7 +233,7 @@ fn fixed_seed_10k_multi_tenant_replay_is_byte_identical() {
         out.trace.results.len() as u64 + out.dispatch.stats.rejections,
         10_000
     );
-    assert_eq!(fingerprint(&out.trace, ""), 0x93e2_b2e0_e442_0330);
+    assert_eq!(fingerprint(&out.trace, ""), 0xff57_9aef_d240_ec64);
 }
 
 /// Same pin for an observed 1k-job replay, including the full Chrome

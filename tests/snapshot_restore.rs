@@ -1,0 +1,164 @@
+//! Integration-level properties of the scheduler snapshot/restore contract
+//! (`scheduler::snapshot`, schema `hybrid-hadoop-sched/v1`).
+//!
+//! The unit tests in `crates/scheduler/src/snapshot.rs` pin the mechanics;
+//! these tests drive the contract the way a deployment would — long mixed
+//! route/observe sessions, adversarial feedback streams (NaN/Inf execution
+//! times, zero sizes), exploration on and off, and snapshots taken at every
+//! possible cut point — and require the restored scheduler to be
+//! indistinguishable from one that never restarted.
+
+use hybrid_hadoop::mapreduce::{JobProfile, JobSpec};
+use hybrid_hadoop::scheduler::{
+    snapshot, AdaptiveConfig, AdaptiveDecision, AdaptiveScheduler, Placement, Recalibration,
+};
+use hybrid_hadoop::simcore::rng::{substream, DetRng};
+
+fn spec(id: u32, input_size: u64, ratio: f64) -> JobSpec {
+    JobSpec::at_zero(id, JobProfile::basic("snap-test", ratio, 1.0), input_size)
+}
+
+/// One step of a deterministic serving session: route a job, then feed a
+/// completion whose fields come from a dedicated RNG stream — including,
+/// when `adversarial` is set, a sprinkling of NaN/Inf execution times and
+/// zero input sizes that the scheduler must reject without state drift.
+fn step(
+    sched: &mut AdaptiveScheduler,
+    rng: &mut DetRng,
+    i: u32,
+    adversarial: bool,
+) -> (AdaptiveDecision, Option<Recalibration>) {
+    let size = 1u64 << (18 + (rng.next_u64() % 18));
+    let ratio = match rng.next_u64() % 3 {
+        0 => 0.1,
+        1 => 0.7,
+        _ => 1.6,
+    };
+    let d = sched.route(&spec(i, size, ratio));
+    let exec = if adversarial {
+        match rng.next_u64() % 8 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -4.5,
+            _ => 10.0 + (size as f64 / 1e8),
+        }
+    } else {
+        10.0 + (size as f64 / 1e8)
+    };
+    let obs_size = if adversarial && rng.next_u64().is_multiple_of(11) {
+        0
+    } else {
+        size
+    };
+    let rec = sched.observe(obs_size, ratio, d.placement == Placement::ScaleUp, exec);
+    (d, rec)
+}
+
+/// Drive `n` steps and return everything observable: decisions, applied
+/// recalibrations, completion count, and the final snapshot bytes.
+fn run_session(
+    mut sched: AdaptiveScheduler,
+    n: u32,
+    adversarial: bool,
+    snapshot_every: Option<u32>,
+) -> (Vec<AdaptiveDecision>, Vec<Recalibration>, u64, String) {
+    let mut rng = substream(0xD15C, 0x0B5);
+    let mut decisions = Vec::new();
+    let mut recals = Vec::new();
+    for i in 0..n {
+        let (d, rec) = step(&mut sched, &mut rng, i, adversarial);
+        decisions.push(d);
+        recals.extend(rec);
+        if let Some(k) = snapshot_every {
+            if (i + 1) % k == 0 {
+                let doc = snapshot::save(&sched);
+                sched = snapshot::restore(&doc).expect("a saved snapshot always restores");
+            }
+        }
+    }
+    let completions = sched.completions();
+    (decisions, recals, completions, snapshot::save(&sched))
+}
+
+fn exploring() -> AdaptiveScheduler {
+    AdaptiveScheduler::new(AdaptiveConfig {
+        exploration: 0.25,
+        recalibrate_every: 16,
+        ..Default::default()
+    })
+}
+
+fn frozen() -> AdaptiveScheduler {
+    AdaptiveScheduler::new(AdaptiveConfig {
+        exploration: 0.0,
+        recalibrate_every: 16,
+        ..Default::default()
+    })
+}
+
+/// Restart-riddled sessions equal the uninterrupted one — decisions,
+/// recalibration audit, completion count, and final snapshot bytes — for
+/// every combination of exploration × adversarial feedback, at several
+/// restart cadences including every single step.
+#[test]
+fn restart_riddled_sessions_match_uninterrupted_ones_bitwise() {
+    for &adversarial in &[false, true] {
+        for build in [exploring, frozen] {
+            let base = run_session(build(), 600, adversarial, None);
+            for &k in &[1u32, 7, 64] {
+                let restarted = run_session(build(), 600, adversarial, Some(k));
+                assert_eq!(base.0, restarted.0, "decisions (k={k}, adv={adversarial})");
+                assert_eq!(base.1, restarted.1, "recals (k={k}, adv={adversarial})");
+                assert_eq!(base.2, restarted.2, "completions (k={k})");
+                assert_eq!(base.3, restarted.3, "snapshot bytes (k={k})");
+            }
+        }
+    }
+}
+
+/// The adversarial stream actually exercises the rejection path *and* the
+/// recalibration path — otherwise the equivalence above would be vacuous.
+#[test]
+fn adversarial_stream_rejects_poison_but_still_recalibrates() {
+    let (decisions, recals, completions, _) = run_session(exploring(), 600, true, None);
+    assert_eq!(decisions.len(), 600);
+    assert!(
+        completions < 600,
+        "some completions must be rejected, got {completions}"
+    );
+    assert!(
+        completions > 100,
+        "enough completions survive to feed the estimator, got {completions}"
+    );
+    assert!(
+        !recals.is_empty(),
+        "the surviving stream still drives threshold updates"
+    );
+}
+
+/// Snapshot bytes are a pure function of scheduler state: save → restore →
+/// save reproduces the document exactly, even after an adversarial session
+/// and mid-stream restarts.
+#[test]
+fn save_restore_save_is_byte_stable_after_adversarial_sessions() {
+    let (_, _, _, doc) = run_session(exploring(), 300, true, Some(13));
+    let restored = snapshot::restore(&doc).expect("final snapshot restores");
+    assert_eq!(snapshot::save(&restored), doc);
+}
+
+/// A snapshot never contains a non-finite float: the scheduler's input
+/// hardening keeps poison out of the windows, so the shortest-roundtrip
+/// float encoding in the document stays parseable.
+#[test]
+fn snapshots_of_adversarial_sessions_stay_finite_and_parseable() {
+    let (_, _, _, doc) = run_session(exploring(), 400, true, None);
+    for needle in ["NaN", "inf", "Infinity"] {
+        assert!(
+            !doc.contains(needle),
+            "snapshot leaked a non-finite float: {needle}"
+        );
+    }
+    snapshot::restore(&doc).expect("adversarial-session snapshot restores");
+}
