@@ -190,6 +190,9 @@ impl Deployment {
         if let Some(cfg) = &tuning.telemetry {
             sim.attach_sink(Box::new(obs::OnlineAggregator::new(cfg.clone())));
         }
+        if let Some(cfg) = &tuning.doctor {
+            sim.attach_sink(Box::new(obs::Doctor::new(cfg.clone())));
+        }
         Deployment {
             sim,
             arch,
@@ -261,6 +264,12 @@ pub struct DeploymentTuning {
     /// is the measurement path for million-job replays. Composable with
     /// `observe`: both sinks can run side by side.
     pub telemetry: Option<obs::TelemetryConfig>,
+    /// Attach an [`obs::Doctor`] — the deterministic online anomaly
+    /// detector — to the same event feed. Like `telemetry`, memory is
+    /// bounded by config (flight-recorder ring, capped detector keys) and
+    /// attaching it never perturbs simulation results. Composable with both
+    /// other sinks.
+    pub doctor: Option<obs::DoctorConfig>,
     /// How the replay event loop runs: the classic sequential walk
     /// (default) or the conservative windowed executor
     /// ([`mapreduce::ReplayParallelism::Windowed`]), which commits the same
@@ -282,6 +291,7 @@ impl Default for DeploymentTuning {
             fault: FaultPlan::empty(),
             observe: false,
             telemetry: None,
+            doctor: None,
             replay: mapreduce::ReplayParallelism::default(),
         }
     }

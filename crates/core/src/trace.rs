@@ -50,6 +50,11 @@ pub struct TraceOutcome {
     /// timelines, latency histograms, fault counters, placement audit, and
     /// critical-path attribution, ready for Prometheus/JSON exposition.
     pub telemetry: Option<Box<obs::OnlineAggregator>>,
+    /// The online anomaly detector, when the replay ran with
+    /// [`DeploymentTuning::doctor`] set — flight recorder, open alerts, and
+    /// the deterministic incident reports diagnosed from the same event
+    /// stream the aggregator folds.
+    pub doctor: Option<Box<obs::Doctor>>,
     /// The closed-loop scheduler recovered after an adaptive replay
     /// ([`run_trace_adaptive_with`] and friends): final thresholds and the
     /// full recalibration audit trail. `None` on static replays.
@@ -693,6 +698,7 @@ fn finish_replay(
     let results = deployment.sim.run().to_vec();
     let recorder = deployment.sim.take_observability();
     let telemetry = deployment.sim.take_sink::<obs::OnlineAggregator>();
+    let doctor = deployment.sim.take_sink::<obs::Doctor>();
     let adaptive = deployment.sim.take_router().and_then(|r| {
         match r.into_any().downcast::<AdaptiveRouter>() {
             Ok(r) => Some(Box::new(r.policy)),
@@ -733,6 +739,7 @@ fn finish_replay(
         fault_stats,
         recorder,
         telemetry,
+        doctor,
         adaptive,
         parallel,
     }

@@ -17,6 +17,11 @@
 //! - `--metrics-out <path>` — also write the Prometheus exposition (and a
 //!   JSON snapshot beside it) of the *adaptive combined-drift* run, which
 //!   carries the `hh_crosspoint_*` recalibration audit.
+//! - `--incidents-out <path>` — attach an [`obs::Doctor`] to the same
+//!   adaptive combined-drift run and write its `hybrid-hadoop-incident/v1`
+//!   report: stragglers, cross-point drift/thrash, and the flight-recorder
+//!   window around each. Rendered on the worker, written in merge order —
+//!   byte-identical at any thread count.
 
 use experiments::common::{flag_value, threads_flag, write_rendered_metrics};
 use hybrid_core::{
@@ -65,6 +70,7 @@ struct Cell {
     scenario: DriftScenario,
     adaptive: bool,
     telemetry: bool,
+    doctor: bool,
 }
 
 fn main() {
@@ -74,6 +80,7 @@ fn main() {
         .unwrap_or(2500);
     let threads = threads_flag(&args);
     let metrics_out = flag_value(&args, "--metrics-out");
+    let incidents_out = flag_value(&args, "--incidents-out");
 
     // The drift-differential regime of `tests/adaptive_convergence.rs`:
     // heavy enough that placement decides the queueing tail, shrunk hard
@@ -92,19 +99,19 @@ fn main() {
     let cells: Vec<Cell> = DriftScenario::all(drift_at)
         .into_iter()
         .flat_map(|scenario| {
-            let telemetry = metrics_out.is_some()
-                && scenario.band_shift.is_some()
-                && scenario.node_loss.is_some();
+            let combined = scenario.band_shift.is_some() && scenario.node_loss.is_some();
             [
                 Cell {
                     scenario: scenario.clone(),
                     adaptive: false,
                     telemetry: false,
+                    doctor: false,
                 },
                 Cell {
                     scenario,
                     adaptive: true,
-                    telemetry,
+                    telemetry: metrics_out.is_some() && combined,
+                    doctor: incidents_out.is_some() && combined,
                 },
             ]
         })
@@ -115,6 +122,7 @@ fn main() {
         let tuning = DeploymentTuning {
             fault: cell.scenario.fault_plan(),
             telemetry: cell.telemetry.then(obs::TelemetryConfig::default),
+            doctor: cell.doctor.then(obs::DoctorConfig::default),
             ..Default::default()
         };
         let (policy_name, out) = if cell.adaptive {
@@ -138,15 +146,26 @@ fn main() {
             .telemetry
             .as_deref()
             .map(|agg| (agg.render_prometheus(), agg.render_json()));
-        (row(cell.scenario.name, policy_name, &out), telemetry)
+        let incidents = out.doctor.as_deref().map(|d| d.render_incidents_json());
+        (
+            row(cell.scenario.name, policy_name, &out),
+            telemetry,
+            incidents,
+        )
     });
 
     let mut rows = Vec::new();
-    for (r, telemetry) in results {
+    for (r, telemetry, incidents) in results {
         rows.push(r);
         if let Some((prom, json)) = telemetry {
             let path = metrics_out.as_deref().expect("telemetry implies the flag");
             write_rendered_metrics(&prom, &json, path);
+        }
+        if let Some(doc) = incidents {
+            let path = incidents_out.as_deref().expect("doctor implies the flag");
+            std::fs::write(path, doc)
+                .unwrap_or_else(|e| panic!("writing --incidents-out {path}: {e}"));
+            eprintln!("wrote incident report to {path}");
         }
     }
 

@@ -14,6 +14,9 @@
 //!   re-replication counters, per-band critical-path blame).
 //! - `--trace-out <path>` — export the observed faulted run as a Chrome
 //!   `trace_event` JSON (the removed `TRACE_OUT` env var is a hard error).
+//! - `--incidents-out <path>` — attach an [`obs::Doctor`] to the observed
+//!   faulted run and write its `hybrid-hadoop-incident/v1` report (the
+//!   flight-recorder window captures the injected crash/recover stream).
 
 use experiments::common::{flag_value, threads_flag, trace_out_path, write_csv, write_metrics};
 
@@ -25,10 +28,13 @@ fn main() {
     let trace_out = trace_out_path(&args);
     let out_dir = flag_value(&args, "--out-dir");
     let metrics_out = flag_value(&args, "--metrics-out");
-    if trace_out.is_none() && out_dir.is_none() && metrics_out.is_none() {
+    let incidents_out = flag_value(&args, "--incidents-out");
+    if trace_out.is_none() && out_dir.is_none() && metrics_out.is_none() && incidents_out.is_none()
+    {
         return;
     }
-    let outcome = experiments::figures::fault_sweep_observed(metrics_out.is_some());
+    let outcome =
+        experiments::figures::fault_sweep_observed(metrics_out.is_some(), incidents_out.is_some());
     if let Some(path) = trace_out {
         let rec = outcome
             .recorder
@@ -52,5 +58,11 @@ fn main() {
             .as_deref()
             .expect("telemetry was requested");
         write_metrics(agg, &path);
+    }
+    if let Some(path) = incidents_out {
+        let doc = outcome.doctor.as_deref().expect("doctor was requested");
+        std::fs::write(&path, doc.render_incidents_json())
+            .unwrap_or_else(|e| panic!("writing --incidents-out {path}: {e}"));
+        eprintln!("wrote incident report to {path}");
     }
 }

@@ -22,6 +22,11 @@
 //!   Feedback drives the estimator exactly like a replay completion.
 //! - `{"op":"snapshot"}` → `{"op":"snapshot","doc":"<escaped JSON>"}`; the
 //!   document is also written to `--snapshot-out` when that flag is set.
+//! - `{"op":"alerts"}` (with `--doctor`) → the live anomaly state:
+//!   `{"op":"alerts","events":...,"alerts_total":{...},"open":[...],
+//!     "incidents":N}`. Counts come straight from the [`obs::Doctor`]
+//!   folding every served op, so the answer is a pure function of the
+//!   request history.
 //!
 //! ## Flags
 //!
@@ -45,13 +50,26 @@
 //! - `--metrics-out <path>` — fold every served op into the bounded-memory
 //!   [`obs::OnlineAggregator`] (`hh_route_serve_ops_total`) and write the
 //!   Prometheus/JSON expositions at exit.
+//! - `--doctor` — attach an [`obs::Doctor`]: completions are folded as job
+//!   spans (straggler detection), recalibrations feed the cross-point
+//!   oscillation detector, and the `alerts` op answers from the live state.
+//!   With `--metrics-out` the conditional `hh_doctor_*` Prometheus section
+//!   is appended (doctor-off expositions stay byte-identical). Snapshots
+//!   become a `hybrid-hadoop-serve/v1` wrapper carrying both the scheduler
+//!   document and the doctor state; `--snapshot-in` sniffs the schema, so
+//!   plain scheduler snapshots keep working.
+//! - `--incidents-out <path>` — write the `hybrid-hadoop-incident/v1`
+//!   document at exit (requires `--doctor`).
 
-use experiments::common::{flag_value, write_metrics};
+use experiments::common::{flag_value, write_metrics, write_rendered_metrics};
 use mapreduce::{JobProfile, JobSpec};
 use obs::TelemetrySink;
 use scheduler::{AdaptiveConfig, AdaptiveDecision, AdaptiveScheduler, Placement, Recalibration};
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 use std::io::{BufRead, Write};
+
+/// Schema tag for the combined scheduler+doctor snapshot wrapper.
+const SERVE_SCHEMA: &str = "hybrid-hadoop-serve/v1";
 
 // ----------------------------------------------------------------------
 // SIGTERM → orderly snapshot. std-only: declare the libc `signal` symbol
@@ -386,10 +404,11 @@ fn recal_json(rec: &Option<Recalibration>) -> String {
 }
 
 /// The serving state: the scheduler plus the op audit feeding
-/// `hh_route_serve_ops_total`.
+/// `hh_route_serve_ops_total` and the optional anomaly doctor.
 struct Service {
     sched: AdaptiveScheduler,
     metrics: Option<obs::OnlineAggregator>,
+    doctor: Option<obs::Doctor>,
     ops: u64,
     snapshot_out: Option<String>,
 }
@@ -399,6 +418,73 @@ impl Service {
         self.ops += 1;
         if let Some(agg) = self.metrics.as_mut() {
             agg.instant("route_serve", op, 0, 0, SimTime::from_secs(self.ops), &[]);
+        }
+    }
+
+    /// Fold one completion into the doctor: the job span feeds the
+    /// straggler detector (the scheduler's completion counter is the time
+    /// axis — it travels inside the snapshot, so a restarted service keeps
+    /// the same clock — and the reported execution is the span length) and
+    /// any recalibration feeds the cross-point oscillation detector, the
+    /// same event vocabulary a replay emits. Doctor state is thus a pure
+    /// function of the completion stream: byte-identical across restarts.
+    fn doctor_complete(
+        &mut self,
+        input_size: u64,
+        ratio: f64,
+        ran_up: bool,
+        exec_s: f64,
+        rec: &Option<Recalibration>,
+    ) {
+        let Some(doc) = self.doctor.as_mut() else {
+            return;
+        };
+        let start = SimTime::from_secs(self.sched.completions());
+        let end = start + SimDuration::from_secs_f64(exec_s.max(0.0));
+        doc.span(
+            "job",
+            "serve-complete",
+            obs::lanes::JOBS,
+            0,
+            start,
+            end,
+            &[
+                (
+                    "cluster",
+                    if ran_up { "scale-up" } else { "scale-out" }.into(),
+                ),
+                ("ratio", ratio.into()),
+                ("input_bytes", input_size.into()),
+            ],
+        );
+        if let Some(r) = rec {
+            doc.instant(
+                "scheduler",
+                "recalibrate",
+                obs::lanes::JOBS,
+                0,
+                end,
+                &[
+                    ("band", r.band.into()),
+                    ("old_bytes", r.old_bytes.into()),
+                    ("new_bytes", r.new_bytes.into()),
+                ],
+            );
+        }
+    }
+
+    /// The snapshot document: the plain scheduler snapshot when no doctor
+    /// is attached (bytes unchanged from earlier releases), or the
+    /// `hybrid-hadoop-serve/v1` wrapper carrying both states.
+    fn snapshot_doc(&self) -> String {
+        let sched = scheduler::snapshot::save(&self.sched);
+        match &self.doctor {
+            None => sched,
+            Some(doc) => format!(
+                "{{\"schema\":\"{SERVE_SCHEMA}\",\"sched\":\"{}\",\"doctor\":\"{}\"}}",
+                json_escape(&sched),
+                json_escape(&doc.snapshot_json())
+            ),
         }
     }
 
@@ -463,6 +549,7 @@ impl Service {
                 self.tally("feedback");
                 let before = self.sched.completions();
                 let rec = self.sched.observe(input_size, ratio, ran_up, exec_s);
+                self.doctor_complete(input_size, ratio, ran_up, exec_s, &rec);
                 format!(
                     "{{\"op\":\"complete\",\"accepted\":{},\"recalibrated\":{}}}",
                     self.sched.completions() > before,
@@ -471,11 +558,40 @@ impl Service {
             }
             Some("snapshot") => {
                 self.tally("snapshot_save");
-                let doc = scheduler::snapshot::save(&self.sched);
+                let doc = self.snapshot_doc();
                 if let Some(path) = self.snapshot_out.clone() {
                     write_snapshot(&path, &doc);
                 }
                 format!("{{\"op\":\"snapshot\",\"doc\":\"{}\"}}", json_escape(&doc))
+            }
+            Some("alerts") => {
+                self.tally("alerts");
+                let Some(doc) = self.doctor.as_ref() else {
+                    return err("the alerts op requires --doctor");
+                };
+                let totals: Vec<String> = obs::doctor::kinds::ALL
+                    .iter()
+                    .map(|&k| {
+                        format!(
+                            "\"{k}\":{}",
+                            doc.alerts_total().get(k).copied().unwrap_or(0)
+                        )
+                    })
+                    .collect();
+                let open: Vec<String> = doc
+                    .open_alerts()
+                    .iter()
+                    .map(|(k, key)| {
+                        format!("{{\"kind\":\"{k}\",\"key\":\"{}\"}}", json_escape(key))
+                    })
+                    .collect();
+                format!(
+                    "{{\"op\":\"alerts\",\"events\":{},\"alerts_total\":{{{}}},\"open\":[{}],\"incidents\":{}}}",
+                    doc.events(),
+                    totals.join(","),
+                    open.join(","),
+                    doc.incidents().len()
+                )
             }
             Some(other) => err(&format!("unknown op {other:?}")),
             None => err("request needs a string \"op\" field"),
@@ -485,7 +601,7 @@ impl Service {
     fn final_snapshot(&mut self) {
         if let Some(path) = self.snapshot_out.clone() {
             self.tally("snapshot_save");
-            write_snapshot(&path, &scheduler::snapshot::save(&self.sched));
+            write_snapshot(&path, &self.snapshot_doc());
         }
     }
 }
@@ -550,12 +666,9 @@ fn run_generated(svc: &mut Service, jobs: usize, skip: usize, snapshot_after: Op
             svc.tally("feedback");
             let ran_up = d.placement == Placement::ScaleUp;
             let ratio = spec.profile.shuffle_input_ratio;
-            svc.sched.observe(
-                spec.input_size,
-                ratio,
-                ran_up,
-                synth_exec(spec.input_size, ratio, ran_up),
-            );
+            let exec_s = synth_exec(spec.input_size, ratio, ran_up);
+            let rec = svc.sched.observe(spec.input_size, ratio, ran_up, exec_s);
+            svc.doctor_complete(spec.input_size, ratio, ran_up, exec_s, &rec);
         }
         start = end;
         if snapshot_after == Some(start) {
@@ -617,12 +730,38 @@ fn run_stdin(svc: &mut Service) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     term::install();
+    let want_doctor = args.iter().any(|a| a == "--doctor");
 
+    let mut restored_doctor: Option<obs::Doctor> = None;
     let sched = match flag_value(&args, "--snapshot-in") {
         Some(path) => {
             let doc = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("reading --snapshot-in {path}: {e}"));
-            scheduler::snapshot::restore(&doc).unwrap_or_else(|e| {
+            // Sniff the schema: a serve/v1 wrapper carries both states; any
+            // other document is a plain scheduler snapshot.
+            let wrapper = parse_line(&doc)
+                .ok()
+                .filter(|v| v.str_of("schema") == Some(SERVE_SCHEMA));
+            let sched_doc = match &wrapper {
+                Some(v) => {
+                    let inner = v.str_of("doctor").unwrap_or_else(|| {
+                        eprintln!("error: --snapshot-in {path} is {SERVE_SCHEMA} without a doctor section");
+                        std::process::exit(2);
+                    });
+                    restored_doctor = Some(obs::Doctor::restore(inner).unwrap_or_else(|e| {
+                        eprintln!("error: --snapshot-in {path} doctor section is invalid: {e}");
+                        std::process::exit(2);
+                    }));
+                    v.str_of("sched")
+                        .unwrap_or_else(|| {
+                            eprintln!("error: --snapshot-in {path} is {SERVE_SCHEMA} without a sched section");
+                            std::process::exit(2);
+                        })
+                        .to_string()
+                }
+                None => doc,
+            };
+            scheduler::snapshot::restore(&sched_doc).unwrap_or_else(|e| {
                 eprintln!("error: --snapshot-in {path} is not a valid snapshot: {e}");
                 std::process::exit(2);
             })
@@ -643,11 +782,18 @@ fn main() {
         }
     };
     let metrics_out = flag_value(&args, "--metrics-out");
+    let incidents_out = flag_value(&args, "--incidents-out");
+    if incidents_out.is_some() && !want_doctor && restored_doctor.is_none() {
+        eprintln!("error: --incidents-out requires --doctor");
+        std::process::exit(2);
+    }
     let mut svc = Service {
         sched,
         metrics: metrics_out
             .as_ref()
             .map(|_| obs::OnlineAggregator::new(obs::TelemetryConfig::default())),
+        doctor: restored_doctor
+            .or_else(|| want_doctor.then(|| obs::Doctor::new(obs::DoctorConfig::default()))),
         ops: 0,
         snapshot_out: flag_value(&args, "--snapshot-out"),
     };
@@ -673,8 +819,28 @@ fn main() {
         None => run_stdin(&mut svc),
     }
 
+    // The doctor closes on its own restart-stable clock (completions);
+    // the aggregator keeps the op counter it timestamped every op with.
+    let completions = svc.sched.completions();
+    if let Some(doc) = svc.doctor.as_mut() {
+        doc.finish(SimTime::from_secs(completions));
+    }
     if let (Some(path), Some(mut agg)) = (metrics_out, svc.metrics.take()) {
         agg.finish(SimTime::from_secs(svc.ops));
-        write_metrics(&agg, &path);
+        match svc.doctor.as_ref() {
+            // The doctor section is strictly appended, so doctor-off
+            // expositions keep their exact historical bytes.
+            Some(doc) => write_rendered_metrics(
+                &(agg.render_prometheus() + &doc.render_prometheus()),
+                &agg.render_json(),
+                &path,
+            ),
+            None => write_metrics(&agg, &path),
+        }
+    }
+    if let (Some(path), Some(doc)) = (incidents_out, svc.doctor.as_ref()) {
+        std::fs::write(&path, doc.render_incidents_json())
+            .unwrap_or_else(|e| panic!("writing --incidents-out {path}: {e}"));
+        eprintln!("wrote incident report to {path}");
     }
 }

@@ -21,6 +21,11 @@
 //! - `--metrics-out <path>` — also write the Prometheus exposition (and a
 //!   JSON snapshot beside it) of the capacity × adaptive cell at the
 //!   highest load, which carries the `hh_tenant_*` fairness audit.
+//! - `--incidents-out <path>` — attach an [`obs::Doctor`] to the same cell
+//!   and write its `hybrid-hadoop-incident/v1` report: SLO burn-rate
+//!   alerts per tenant queue and share-violation starvation diagnoses.
+//!   Rendered on the worker, written in merge order — byte-identical at
+//!   any thread count.
 
 use experiments::common::{flag_value, threads_flag, write_rendered_metrics};
 use hybrid_core::{run_trace_tenants_with, Architecture, DeploymentTuning, TenantOutcome};
@@ -54,6 +59,7 @@ struct Cell {
     kind: PolicyKind,
     adaptive: bool,
     telemetry: bool,
+    doctor: bool,
 }
 
 /// Sojourn quantile (submission → completion, queueing included) over the
@@ -105,6 +111,7 @@ fn main() {
         .unwrap_or(4000);
     let threads = threads_flag(&args);
     let metrics_out = flag_value(&args, "--metrics-out");
+    let incidents_out = flag_value(&args, "--incidents-out");
 
     // Policy × placement × load cells fan out across workers; results merge
     // in input order, so the table (and any `--metrics-out` exposition) is
@@ -115,14 +122,13 @@ fn main() {
     for load in 0..LOADS.len() {
         for kind in PolicyKind::ALL {
             for adaptive in [false, true] {
+                let showcase = load == LOADS.len() - 1 && kind == PolicyKind::Capacity && adaptive;
                 cells.push(Cell {
                     load,
                     kind,
                     adaptive,
-                    telemetry: metrics_out.is_some()
-                        && load == LOADS.len() - 1
-                        && kind == PolicyKind::Capacity
-                        && adaptive,
+                    telemetry: metrics_out.is_some() && showcase,
+                    doctor: incidents_out.is_some() && showcase,
                 });
             }
         }
@@ -140,6 +146,7 @@ fn main() {
         };
         let tuning = DeploymentTuning {
             telemetry: cell.telemetry.then(obs::TelemetryConfig::default),
+            doctor: cell.doctor.then(obs::DoctorConfig::default),
             ..Default::default()
         };
         let (placement, adaptive) = if cell.adaptive {
@@ -167,15 +174,26 @@ fn main() {
             .telemetry
             .as_deref()
             .map(|agg| (agg.render_prometheus(), agg.render_json()));
-        (row(label, placement, &out), telemetry)
+        let incidents = out
+            .trace
+            .doctor
+            .as_deref()
+            .map(|d| d.render_incidents_json());
+        (row(label, placement, &out), telemetry, incidents)
     });
 
     let mut rows = Vec::new();
-    for (r, telemetry) in results {
+    for (r, telemetry, incidents) in results {
         rows.push(r);
         if let Some((prom, json)) = telemetry {
             let path = metrics_out.as_deref().expect("telemetry implies the flag");
             write_rendered_metrics(&prom, &json, path);
+        }
+        if let Some(doc) = incidents {
+            let path = incidents_out.as_deref().expect("doctor implies the flag");
+            std::fs::write(path, doc)
+                .unwrap_or_else(|e| panic!("writing --incidents-out {path}: {e}"));
+            eprintln!("wrote incident report to {path}");
         }
     }
 

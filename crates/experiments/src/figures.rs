@@ -505,8 +505,9 @@ pub fn fault_sweep_threads(threads: usize) -> String {
 /// a 20-job FB-2009 slice on Hybrid at fault intensity 5 with speculative
 /// execution on, recorded by the buffering recorder (and, when `telemetry`
 /// is set, streamed through an [`obs::OnlineAggregator`] for
-/// `--metrics-out`).
-pub fn fault_sweep_observed(telemetry: bool) -> hybrid_core::TraceOutcome {
+/// `--metrics-out`; when `doctor` is set, through an [`obs::Doctor`] for
+/// `--incidents-out`).
+pub fn fault_sweep_observed(telemetry: bool, doctor: bool) -> hybrid_core::TraceOutcome {
     use hybrid_core::DeploymentTuning;
     use simcore::fault::{FaultPlan, FaultRates};
 
@@ -532,6 +533,7 @@ pub fn fault_sweep_observed(telemetry: bool) -> hybrid_core::TraceOutcome {
         fault: plan,
         observe: true,
         telemetry: telemetry.then(obs::TelemetryConfig::default),
+        doctor: doctor.then(obs::DoctorConfig::default),
         ..Default::default()
     };
     tuning.engine_up.speculative_execution = true;
@@ -549,7 +551,7 @@ pub fn fault_sweep_observed(telemetry: bool) -> hybrid_core::TraceOutcome {
 /// phases and io-wait, job by job.
 fn fault_sweep_breakdown() -> String {
     let jobs = 20;
-    let outcome = fault_sweep_observed(false);
+    let outcome = fault_sweep_observed(false, false);
     let rec = outcome
         .recorder
         .as_deref()

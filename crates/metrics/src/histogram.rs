@@ -54,6 +54,29 @@ impl LogHistogram {
         }
     }
 
+    /// Fold another histogram's counts into this one. Addition commutes, so
+    /// merging a set of histograms yields the same result in any order —
+    /// the property the telemetry `"(other)"` overflow bucket relies on.
+    ///
+    /// # Panics
+    /// Panics when the bucket geometries differ — merging across different
+    /// binnings would silently misplace mass.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.min == other.min
+                && self.ratio == other.ratio
+                && self.counts.len() == other.counts.len(),
+            "LogHistogram::merge requires identical bucket geometry"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.rejected += other.rejected;
+    }
+
     /// Total finite samples recorded (including under/overflow).
     pub fn total(&self) -> u64 {
         self.total
@@ -216,6 +239,38 @@ mod tests {
     #[should_panic(expected = "0 < min < max")]
     fn rejects_bad_range() {
         LogHistogram::new(10.0, 1.0, 3);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_commutes() {
+        let build = |xs: &[f64]| {
+            let mut h = LogHistogram::new(1.0, 1000.0, 3);
+            for &x in xs {
+                h.push(x);
+            }
+            h
+        };
+        let a = build(&[5.0, 50.0, 0.1]);
+        let b = build(&[500.0, 5000.0, f64::NAN]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is order-independent");
+        assert_eq!(ab.total(), 5);
+        assert_eq!(ab.underflow(), 1);
+        assert_eq!(ab.overflow(), 1);
+        assert_eq!(ab.rejected(), 1);
+        let counts: Vec<u64> = ab.buckets().iter().map(|&(_, _, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket geometry")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = LogHistogram::new(1.0, 1000.0, 3);
+        let b = LogHistogram::new(1.0, 1000.0, 4);
+        a.merge(&b);
     }
 
     #[test]

@@ -51,9 +51,11 @@
 
 pub mod breakdown;
 pub mod chrome;
+pub mod doctor;
 pub mod sink;
 pub mod telemetry;
 
+pub use doctor::{Doctor, DoctorConfig, Incident};
 pub use sink::TelemetrySink;
 pub use telemetry::{OnlineAggregator, TelemetryConfig, TelemetryFootprint};
 

@@ -45,7 +45,7 @@ use crate::{ArgValue, TelemetrySink};
 use metrics::{LogHistogram, TimeBuckets};
 use simcore::{SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Sizing knobs for [`OnlineAggregator`]. Every field bounds a fixed-size
 /// structure; none of them grows with job count.
@@ -116,6 +116,139 @@ pub struct TelemetryFootprint {
     pub route_serve_ops: usize,
 }
 
+/// Canonical metric names: every exported `hh_*` Prometheus series paired
+/// with the JSON snapshot key its family renders under. Both expositions —
+/// [`OnlineAggregator::render_prometheus`] / [`OnlineAggregator::render_json`]
+/// and the doctor's `hh_doctor_*` section / incident document — are generated
+/// from these constants, so a typo cannot silently fork the text exposition
+/// from the JSON one. The `expositions_use_the_shared_name_table` test walks
+/// [`names::ALL`] against fully-fed renders to prove it.
+pub mod names {
+    /// JSON snapshot keys shared with the Prometheus families in [`ALL`].
+    pub mod keys {
+        /// Events consumed (`hh_telemetry_events_total` / doctor `events`).
+        pub const EVENTS: &str = "events";
+        /// Completed jobs.
+        pub const JOBS: &str = "jobs";
+        /// Jobs finishing with a failure note.
+        pub const JOB_FAILURES: &str = "job_failures";
+        /// End-of-run simulated time, seconds.
+        pub const MAKESPAN_S: &str = "makespan_s";
+        /// Per-(band, side) latency histograms.
+        pub const LATENCY: &str = "latency";
+        /// Slot-occupancy timelines.
+        pub const UTILIZATION: &str = "utilization";
+        /// Fault-layer event tallies.
+        pub const FAULTS: &str = "faults";
+        /// Bytes moved by storage re-replication.
+        pub const REREPLICATED_BYTES: &str = "rereplicated_bytes";
+        /// Routing decisions per band and side.
+        pub const PLACEMENTS: &str = "placements";
+        /// Rejected-alternative tallies.
+        pub const REJECTIONS: &str = "rejections";
+        /// Live adaptive cross points and update counts.
+        pub const CROSSPOINT: &str = "crosspoint";
+        /// Critical-path blame per band and phase.
+        pub const CRITICAL_PATH: &str = "critical_path";
+        /// Bytes served per storage/network resource.
+        pub const RESOURCES: &str = "resources";
+        /// Per-tenant sojourn and SLO attribution.
+        pub const TENANTS: &str = "tenants";
+        /// Fairness block: Jain index, preemptions, rejections.
+        pub const FAIRNESS: &str = "fairness";
+        /// Routing-service op tallies.
+        pub const ROUTE_SERVE: &str = "route_serve";
+        /// Doctor alert counts per kind (incident document).
+        pub const ALERTS_TOTAL: &str = "alerts_total";
+        /// Doctor incident reports (incident document).
+        pub const INCIDENTS: &str = "incidents";
+    }
+
+    /// Instrumentation events consumed by the aggregator.
+    pub const TELEMETRY_EVENTS_TOTAL: &str = "hh_telemetry_events_total";
+    /// Completed jobs observed.
+    pub const JOBS_TOTAL: &str = "hh_jobs_total";
+    /// Jobs that finished with a failure note.
+    pub const JOB_FAILURES_TOTAL: &str = "hh_job_failures_total";
+    /// Simulated time at the end of the run.
+    pub const REPLAY_MAKESPAN_SECONDS: &str = "hh_replay_makespan_seconds";
+    /// Job execution-time quantiles per band and routed side.
+    pub const JOB_LATENCY_SECONDS: &str = "hh_job_latency_seconds";
+    /// Jobs folded into each latency histogram.
+    pub const JOB_LATENCY_JOBS_TOTAL: &str = "hh_job_latency_jobs_total";
+    /// Integrated running-task occupancy per cluster and task kind.
+    pub const SLOT_BUSY_SECONDS_TOTAL: &str = "hh_slot_busy_seconds_total";
+    /// Fault-layer events by kind.
+    pub const FAULT_EVENTS_TOTAL: &str = "hh_fault_events_total";
+    /// Bytes moved by storage re-replication after node loss.
+    pub const REREPLICATED_BYTES_TOTAL: &str = "hh_rereplicated_bytes_total";
+    /// Scheduler routing decisions per band and chosen side.
+    pub const PLACEMENT_DECISIONS_TOTAL: &str = "hh_placement_decisions_total";
+    /// Rejected-alternative tallies per band and reason.
+    pub const PLACEMENT_REJECTIONS_TOTAL: &str = "hh_placement_rejections_total";
+    /// Live adaptive cross-point threshold per band, bytes.
+    pub const CROSSPOINT_BYTES: &str = "hh_crosspoint_bytes";
+    /// Threshold recalibrations applied per band.
+    pub const CROSSPOINT_UPDATES_TOTAL: &str = "hh_crosspoint_updates_total";
+    /// Job makespan attributed to the dominant phase, per band.
+    pub const CRITICAL_PATH_SECONDS_TOTAL: &str = "hh_critical_path_seconds_total";
+    /// Jobs whose makespan was dominated by each phase, per band.
+    pub const CRITICAL_PATH_JOBS_TOTAL: &str = "hh_critical_path_jobs_total";
+    /// Bytes served per network/storage resource.
+    pub const STORAGE_BYTES_SERVED_TOTAL: &str = "hh_storage_bytes_served_total";
+    /// Per-tenant sojourn quantiles.
+    pub const TENANT_SOJOURN_SECONDS: &str = "hh_tenant_sojourn_seconds";
+    /// Completed jobs per tenant label.
+    pub const TENANT_JOBS_TOTAL: &str = "hh_tenant_jobs_total";
+    /// SLO misses per tenant label.
+    pub const TENANT_SLO_MISS_TOTAL: &str = "hh_tenant_slo_miss_total";
+    /// Attempts preempted by the tenant dispatcher.
+    pub const TENANT_PREEMPTIONS_TOTAL: &str = "hh_tenant_preemptions_total";
+    /// Service time discarded by preempted attempts.
+    pub const TENANT_PREEMPT_WASTED_SECONDS_TOTAL: &str = "hh_tenant_preempt_wasted_seconds_total";
+    /// Jobs refused by deadline-aware admission control.
+    pub const TENANT_REJECTIONS_TOTAL: &str = "hh_tenant_rejections_total";
+    /// Jain index over weighted per-tenant usage.
+    pub const TENANT_JAIN_FAIRNESS_INDEX: &str = "hh_tenant_jain_fairness_index";
+    /// Routing-service operations served, per op kind.
+    pub const ROUTE_SERVE_OPS_TOTAL: &str = "hh_route_serve_ops_total";
+    /// Alerts fired by the `obs::doctor` detectors, per kind.
+    pub const DOCTOR_ALERTS_TOTAL: &str = "hh_doctor_alerts_total";
+    /// Incident reports retained by the doctor.
+    pub const DOCTOR_INCIDENTS: &str = "hh_doctor_incidents";
+
+    /// `(Prometheus series, JSON key)` for every exported metric family.
+    /// Families sharing a JSON section repeat its key.
+    pub const ALL: &[(&str, &str)] = &[
+        (TELEMETRY_EVENTS_TOTAL, keys::EVENTS),
+        (JOBS_TOTAL, keys::JOBS),
+        (JOB_FAILURES_TOTAL, keys::JOB_FAILURES),
+        (REPLAY_MAKESPAN_SECONDS, keys::MAKESPAN_S),
+        (JOB_LATENCY_SECONDS, keys::LATENCY),
+        (JOB_LATENCY_JOBS_TOTAL, keys::LATENCY),
+        (SLOT_BUSY_SECONDS_TOTAL, keys::UTILIZATION),
+        (FAULT_EVENTS_TOTAL, keys::FAULTS),
+        (REREPLICATED_BYTES_TOTAL, keys::REREPLICATED_BYTES),
+        (PLACEMENT_DECISIONS_TOTAL, keys::PLACEMENTS),
+        (PLACEMENT_REJECTIONS_TOTAL, keys::REJECTIONS),
+        (CROSSPOINT_BYTES, keys::CROSSPOINT),
+        (CROSSPOINT_UPDATES_TOTAL, keys::CROSSPOINT),
+        (CRITICAL_PATH_SECONDS_TOTAL, keys::CRITICAL_PATH),
+        (CRITICAL_PATH_JOBS_TOTAL, keys::CRITICAL_PATH),
+        (STORAGE_BYTES_SERVED_TOTAL, keys::RESOURCES),
+        (TENANT_SOJOURN_SECONDS, keys::TENANTS),
+        (TENANT_JOBS_TOTAL, keys::TENANTS),
+        (TENANT_SLO_MISS_TOTAL, keys::TENANTS),
+        (TENANT_PREEMPTIONS_TOTAL, keys::FAIRNESS),
+        (TENANT_PREEMPT_WASTED_SECONDS_TOTAL, keys::FAIRNESS),
+        (TENANT_REJECTIONS_TOTAL, keys::FAIRNESS),
+        (TENANT_JAIN_FAIRNESS_INDEX, keys::FAIRNESS),
+        (ROUTE_SERVE_OPS_TOTAL, keys::ROUTE_SERVE),
+        (DOCTOR_ALERTS_TOTAL, keys::ALERTS_TOTAL),
+        (DOCTOR_INCIDENTS, keys::INCIDENTS),
+    ];
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct UtilTrack {
     last_t: SimTime,
@@ -163,8 +296,15 @@ pub struct OnlineAggregator {
     resource_bytes: BTreeMap<String, f64>,
     blame: BTreeMap<(&'static str, &'static str), Blame>,
     pending: Option<PendingJob>,
+    /// Tenants holding a named label slot: the `max_tenant_sets` *smallest*
+    /// tenant ids seen so far. A smaller late arrival displaces the largest
+    /// named tenant, whose aggregates fold into `"(other)"` — so the final
+    /// membership is a pure function of the event multiset, independent of
+    /// arrival order (the windowed executor may interleave cells any way).
+    tenant_named: BTreeSet<u64>,
     /// Per-tenant sojourn-time histograms (submit → completion, including
-    /// queueing delay), keyed by `t<id>` and capped at `max_tenant_sets`.
+    /// queueing delay), keyed by `t<id>` and capped at `max_tenant_sets`
+    /// named labels plus the `"(other)"` overflow bucket.
     tenant_sojourn: BTreeMap<String, LogHistogram>,
     /// SLO misses per tenant label (same capping as `tenant_sojourn`).
     tenant_slo_misses: BTreeMap<String, u64>,
@@ -186,7 +326,7 @@ pub struct OnlineAggregator {
 /// The Algorithm-1 band a shuffle/input ratio falls in; mirrors
 /// `CrossPointScheduler::band_for` so job-level metrics correlate with the
 /// scheduler's own decision labels.
-fn band_of(ratio: Option<f64>) -> &'static str {
+pub(crate) fn band_of(ratio: Option<f64>) -> &'static str {
     match ratio {
         None => "unknown-ratio",
         Some(r) if r > 1.0 => "S/I>1",
@@ -195,7 +335,7 @@ fn band_of(ratio: Option<f64>) -> &'static str {
     }
 }
 
-fn arg_f64(args: &[(&'static str, ArgValue)], key: &str) -> Option<f64> {
+pub(crate) fn arg_f64(args: &[(&'static str, ArgValue)], key: &str) -> Option<f64> {
     args.iter()
         .find(|(k, _)| *k == key)
         .and_then(|(_, v)| match v {
@@ -205,7 +345,7 @@ fn arg_f64(args: &[(&'static str, ArgValue)], key: &str) -> Option<f64> {
         })
 }
 
-fn arg_u64(args: &[(&'static str, ArgValue)], key: &str) -> Option<u64> {
+pub(crate) fn arg_u64(args: &[(&'static str, ArgValue)], key: &str) -> Option<u64> {
     args.iter()
         .find(|(k, _)| *k == key)
         .and_then(|(_, v)| match v {
@@ -214,7 +354,7 @@ fn arg_u64(args: &[(&'static str, ArgValue)], key: &str) -> Option<u64> {
         })
 }
 
-fn arg_str<'a>(args: &'a [(&'static str, ArgValue)], key: &str) -> Option<&'a str> {
+pub(crate) fn arg_str<'a>(args: &'a [(&'static str, ArgValue)], key: &str) -> Option<&'a str> {
     args.iter()
         .find(|(k, _)| *k == key)
         .and_then(|(_, v)| match v {
@@ -223,7 +363,7 @@ fn arg_str<'a>(args: &'a [(&'static str, ArgValue)], key: &str) -> Option<&'a st
         })
 }
 
-fn arg_bool(args: &[(&'static str, ArgValue)], key: &str) -> Option<bool> {
+pub(crate) fn arg_bool(args: &[(&'static str, ArgValue)], key: &str) -> Option<bool> {
     args.iter()
         .find(|(k, _)| *k == key)
         .and_then(|(_, v)| match v {
@@ -253,6 +393,7 @@ impl OnlineAggregator {
             resource_bytes: BTreeMap::new(),
             blame: BTreeMap::new(),
             pending: None,
+            tenant_named: BTreeSet::new(),
             tenant_sojourn: BTreeMap::new(),
             tenant_slo_misses: BTreeMap::new(),
             tenant_preemptions: 0,
@@ -301,15 +442,50 @@ impl OnlineAggregator {
         Some(self.share_sum * self.share_sum / (self.share_n as f64 * self.share_sum_sq))
     }
 
-    /// The tenant label a per-tenant series is folded under: the tenant's
-    /// own `t<id>` key while the cap has room, `"(other)"` afterwards.
-    fn tenant_label(&self, map: &BTreeMap<String, LogHistogram>, tenant: u64) -> String {
-        let label = format!("t{tenant}");
-        if map.contains_key(&label) || map.len() < self.cfg.max_tenant_sets {
-            label
-        } else {
-            "(other)".to_string()
+    /// The tenant label a per-tenant series is folded under. The
+    /// `max_tenant_sets` smallest tenant ids observed so far get their own
+    /// `t<id>` label; everyone else folds into `"(other)"`, which never
+    /// consumes a cap slot. When a smaller id arrives after the cap fills,
+    /// it displaces the largest named tenant — that tenant's histogram and
+    /// SLO counter merge into `"(other)"` (merge commutes) — so which
+    /// tenants end up in `"(other)"` cannot depend on event arrival order.
+    fn tenant_label(&mut self, tenant: u64) -> String {
+        if self.cfg.max_tenant_sets == 0 {
+            return "(other)".to_string();
         }
+        if self.tenant_named.contains(&tenant) {
+            return format!("t{tenant}");
+        }
+        if self.tenant_named.len() < self.cfg.max_tenant_sets {
+            self.tenant_named.insert(tenant);
+            return format!("t{tenant}");
+        }
+        let largest = *self.tenant_named.iter().next_back().expect("cap > 0");
+        if tenant >= largest {
+            return "(other)".to_string();
+        }
+        self.tenant_named.remove(&largest);
+        self.tenant_named.insert(tenant);
+        let evicted = format!("t{largest}");
+        if let Some(hist) = self.tenant_sojourn.remove(&evicted) {
+            self.tenant_sojourn
+                .entry("(other)".to_string())
+                .or_insert_with(|| {
+                    LogHistogram::new(
+                        self.cfg.latency_min_s,
+                        self.cfg.latency_max_s,
+                        self.cfg.latency_buckets,
+                    )
+                })
+                .merge(&hist);
+        }
+        if let Some(misses) = self.tenant_slo_misses.remove(&evicted) {
+            *self
+                .tenant_slo_misses
+                .entry("(other)".to_string())
+                .or_insert(0) += misses;
+        }
+        format!("t{tenant}")
     }
 
     fn finalize_pending(&mut self) {
@@ -483,7 +659,7 @@ impl TelemetrySink for OnlineAggregator {
                     let Some(tenant) = arg_u64(args, "tenant") else {
                         return;
                     };
-                    let label = self.tenant_label(&self.tenant_sojourn, tenant);
+                    let label = self.tenant_label(tenant);
                     let sojourn = arg_f64(args, "sojourn_s").unwrap_or(0.0);
                     self.tenant_sojourn
                         .entry(label.clone())
@@ -603,7 +779,7 @@ fn prom_escape(s: &str) -> String {
 }
 
 /// Escape a JSON string (mirrors the chrome exporter's conventions).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -623,7 +799,7 @@ fn json_string(s: &str) -> String {
 
 /// Shortest-roundtrip float rendering; integral values keep a trailing `.0`
 /// ambiguity-free form via Rust's `Display` (e.g. `3` prints as `3`).
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     format!("{v}")
 }
 
@@ -641,41 +817,50 @@ impl OnlineAggregator {
 
         metric(
             &mut o,
-            "hh_telemetry_events_total",
+            names::TELEMETRY_EVENTS_TOTAL,
             "Instrumentation events consumed by the aggregator.",
             "counter",
         );
-        o.push_str(&format!("hh_telemetry_events_total {}\n", self.events));
+        o.push_str(&format!(
+            "{} {}\n",
+            names::TELEMETRY_EVENTS_TOTAL,
+            self.events
+        ));
 
         metric(
             &mut o,
-            "hh_jobs_total",
+            names::JOBS_TOTAL,
             "Completed jobs observed.",
             "counter",
         );
-        o.push_str(&format!("hh_jobs_total {}\n", self.jobs_total));
+        o.push_str(&format!("{} {}\n", names::JOBS_TOTAL, self.jobs_total));
         metric(
             &mut o,
-            "hh_job_failures_total",
+            names::JOB_FAILURES_TOTAL,
             "Jobs that finished with a failure note.",
             "counter",
         );
-        o.push_str(&format!("hh_job_failures_total {}\n", self.job_failures));
+        o.push_str(&format!(
+            "{} {}\n",
+            names::JOB_FAILURES_TOTAL,
+            self.job_failures
+        ));
 
         metric(
             &mut o,
-            "hh_replay_makespan_seconds",
+            names::REPLAY_MAKESPAN_SECONDS,
             "Simulated time at the end of the run.",
             "gauge",
         );
         o.push_str(&format!(
-            "hh_replay_makespan_seconds {}\n",
+            "{} {}\n",
+            names::REPLAY_MAKESPAN_SECONDS,
             num(self.end_time.since(SimTime::ZERO).as_secs_f64())
         ));
 
         metric(
             &mut o,
-            "hh_job_latency_seconds",
+            names::JOB_LATENCY_SECONDS,
             "Job execution-time quantiles per shuffle-ratio band and routed side.",
             "gauge",
         );
@@ -683,7 +868,8 @@ impl OnlineAggregator {
             for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
                 if let Some(v) = hist.quantile(q) {
                     o.push_str(&format!(
-                        "hh_job_latency_seconds{{band=\"{}\",side=\"{}\",quantile=\"{label}\"}} {}\n",
+                        "{}{{band=\"{}\",side=\"{}\",quantile=\"{label}\"}} {}\n",
+                        names::JOB_LATENCY_SECONDS,
                         prom_escape(band),
                         prom_escape(side),
                         num(v)
@@ -693,13 +879,14 @@ impl OnlineAggregator {
         }
         metric(
             &mut o,
-            "hh_job_latency_jobs_total",
+            names::JOB_LATENCY_JOBS_TOTAL,
             "Jobs folded into each latency histogram.",
             "counter",
         );
         for ((band, side), hist) in &self.latency {
             o.push_str(&format!(
-                "hh_job_latency_jobs_total{{band=\"{}\",side=\"{}\"}} {}\n",
+                "{}{{band=\"{}\",side=\"{}\"}} {}\n",
+                names::JOB_LATENCY_JOBS_TOTAL,
                 prom_escape(band),
                 prom_escape(side),
                 hist.total()
@@ -708,7 +895,7 @@ impl OnlineAggregator {
 
         metric(
             &mut o,
-            "hh_slot_busy_seconds_total",
+            names::SLOT_BUSY_SECONDS_TOTAL,
             "Integrated running-task occupancy (slot-seconds) per cluster and task kind.",
             "counter",
         );
@@ -720,7 +907,8 @@ impl OnlineAggregator {
                 .sum::<f64>()
                 / simcore::TICKS_PER_SEC as f64;
             o.push_str(&format!(
-                "hh_slot_busy_seconds_total{{cluster=\"{}\",kind=\"{kind}\"}} {}\n",
+                "{}{{cluster=\"{}\",kind=\"{kind}\"}} {}\n",
+                names::SLOT_BUSY_SECONDS_TOTAL,
                 prom_escape(&self.cluster_label(*pid)),
                 num(slot_seconds)
             ));
@@ -728,48 +916,52 @@ impl OnlineAggregator {
 
         metric(
             &mut o,
-            "hh_fault_events_total",
+            names::FAULT_EVENTS_TOTAL,
             "Fault-layer events by kind (crashes, recoveries, speculative kills, ...).",
             "counter",
         );
         for (kind, n) in &self.faults {
             o.push_str(&format!(
-                "hh_fault_events_total{{kind=\"{}\"}} {n}\n",
+                "{}{{kind=\"{}\"}} {n}\n",
+                names::FAULT_EVENTS_TOTAL,
                 prom_escape(kind)
             ));
         }
         metric(
             &mut o,
-            "hh_rereplicated_bytes_total",
+            names::REREPLICATED_BYTES_TOTAL,
             "Bytes moved by storage re-replication after node loss.",
             "counter",
         );
         o.push_str(&format!(
-            "hh_rereplicated_bytes_total {}\n",
+            "{} {}\n",
+            names::REREPLICATED_BYTES_TOTAL,
             num(self.rereplicated_bytes)
         ));
 
         metric(
             &mut o,
-            "hh_placement_decisions_total",
+            names::PLACEMENT_DECISIONS_TOTAL,
             "Scheduler routing decisions per band and chosen side.",
             "counter",
         );
         for ((band, side), n) in &self.placements {
             o.push_str(&format!(
-                "hh_placement_decisions_total{{band=\"{}\",side=\"{side}\"}} {n}\n",
+                "{}{{band=\"{}\",side=\"{side}\"}} {n}\n",
+                names::PLACEMENT_DECISIONS_TOTAL,
                 prom_escape(band)
             ));
         }
         metric(
             &mut o,
-            "hh_placement_rejections_total",
+            names::PLACEMENT_REJECTIONS_TOTAL,
             "Rejected-alternative tallies per band, keyed by the decision-note reason.",
             "counter",
         );
         for ((band, reason), n) in &self.rejections {
             o.push_str(&format!(
-                "hh_placement_rejections_total{{band=\"{}\",reason=\"{}\"}} {n}\n",
+                "{}{{band=\"{}\",reason=\"{}\"}} {n}\n",
+                names::PLACEMENT_REJECTIONS_TOTAL,
                 prom_escape(band),
                 prom_escape(reason)
             ));
@@ -777,52 +969,56 @@ impl OnlineAggregator {
 
         metric(
             &mut o,
-            "hh_crosspoint_bytes",
+            names::CROSSPOINT_BYTES,
             "Live adaptive cross-point threshold per band, bytes (last recalibration).",
             "gauge",
         );
         for (band, bytes) in &self.crosspoint_bytes {
             o.push_str(&format!(
-                "hh_crosspoint_bytes{{band=\"{}\"}} {}\n",
+                "{}{{band=\"{}\"}} {}\n",
+                names::CROSSPOINT_BYTES,
                 prom_escape(band),
                 num(*bytes)
             ));
         }
         metric(
             &mut o,
-            "hh_crosspoint_updates_total",
+            names::CROSSPOINT_UPDATES_TOTAL,
             "Threshold recalibrations applied by the adaptive scheduler, per band.",
             "counter",
         );
         for (band, n) in &self.crosspoint_updates {
             o.push_str(&format!(
-                "hh_crosspoint_updates_total{{band=\"{}\"}} {n}\n",
+                "{}{{band=\"{}\"}} {n}\n",
+                names::CROSSPOINT_UPDATES_TOTAL,
                 prom_escape(band)
             ));
         }
 
         metric(
             &mut o,
-            "hh_critical_path_seconds_total",
+            names::CRITICAL_PATH_SECONDS_TOTAL,
             "Job makespan attributed to the dominant phase, per band.",
             "counter",
         );
         for ((band, phase), b) in &self.blame {
             o.push_str(&format!(
-                "hh_critical_path_seconds_total{{band=\"{}\",phase=\"{phase}\"}} {}\n",
+                "{}{{band=\"{}\",phase=\"{phase}\"}} {}\n",
+                names::CRITICAL_PATH_SECONDS_TOTAL,
                 prom_escape(band),
                 num(b.seconds)
             ));
         }
         metric(
             &mut o,
-            "hh_critical_path_jobs_total",
+            names::CRITICAL_PATH_JOBS_TOTAL,
             "Jobs whose makespan was dominated by each phase, per band.",
             "counter",
         );
         for ((band, phase), b) in &self.blame {
             o.push_str(&format!(
-                "hh_critical_path_jobs_total{{band=\"{}\",phase=\"{phase}\"}} {}\n",
+                "{}{{band=\"{}\",phase=\"{phase}\"}} {}\n",
+                names::CRITICAL_PATH_JOBS_TOTAL,
                 prom_escape(band),
                 b.jobs
             ));
@@ -830,13 +1026,14 @@ impl OnlineAggregator {
 
         metric(
             &mut o,
-            "hh_storage_bytes_served_total",
+            names::STORAGE_BYTES_SERVED_TOTAL,
             "Bytes served per network/storage resource over the whole run.",
             "counter",
         );
         for (res, bytes) in &self.resource_bytes {
             o.push_str(&format!(
-                "hh_storage_bytes_served_total{{resource=\"{}\"}} {}\n",
+                "{}{{resource=\"{}\"}} {}\n",
+                names::STORAGE_BYTES_SERVED_TOTAL,
                 prom_escape(res),
                 num(*bytes)
             ));
@@ -848,7 +1045,7 @@ impl OnlineAggregator {
         if !self.tenant_sojourn.is_empty() || self.share_n > 0 {
             metric(
                 &mut o,
-                "hh_tenant_sojourn_seconds",
+                names::TENANT_SOJOURN_SECONDS,
                 "Per-tenant job sojourn (submit to completion, queueing included) quantiles.",
                 "gauge",
             );
@@ -856,7 +1053,8 @@ impl OnlineAggregator {
                 for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
                     if let Some(v) = hist.quantile(q) {
                         o.push_str(&format!(
-                            "hh_tenant_sojourn_seconds{{tenant=\"{}\",quantile=\"{label}\"}} {}\n",
+                            "{}{{tenant=\"{}\",quantile=\"{label}\"}} {}\n",
+                            names::TENANT_SOJOURN_SECONDS,
                             prom_escape(tenant),
                             num(v)
                         ));
@@ -865,67 +1063,76 @@ impl OnlineAggregator {
             }
             metric(
                 &mut o,
-                "hh_tenant_jobs_total",
+                names::TENANT_JOBS_TOTAL,
                 "Completed jobs attributed to each tenant label.",
                 "counter",
             );
             for (tenant, hist) in &self.tenant_sojourn {
                 o.push_str(&format!(
-                    "hh_tenant_jobs_total{{tenant=\"{}\"}} {}\n",
+                    "{}{{tenant=\"{}\"}} {}\n",
+                    names::TENANT_JOBS_TOTAL,
                     prom_escape(tenant),
                     hist.total()
                 ));
             }
             metric(
                 &mut o,
-                "hh_tenant_slo_miss_total",
+                names::TENANT_SLO_MISS_TOTAL,
                 "Jobs finishing past their tenant-class SLO, per tenant label.",
                 "counter",
             );
             for (tenant, n) in &self.tenant_slo_misses {
                 o.push_str(&format!(
-                    "hh_tenant_slo_miss_total{{tenant=\"{}\"}} {n}\n",
+                    "{}{{tenant=\"{}\"}} {n}\n",
+                    names::TENANT_SLO_MISS_TOTAL,
                     prom_escape(tenant)
                 ));
             }
             metric(
                 &mut o,
-                "hh_tenant_preemptions_total",
+                names::TENANT_PREEMPTIONS_TOTAL,
                 "Running attempts preempted by the tenant dispatcher.",
                 "counter",
             );
             o.push_str(&format!(
-                "hh_tenant_preemptions_total {}\n",
+                "{} {}\n",
+                names::TENANT_PREEMPTIONS_TOTAL,
                 self.tenant_preemptions
             ));
             metric(
                 &mut o,
-                "hh_tenant_preempt_wasted_seconds_total",
+                names::TENANT_PREEMPT_WASTED_SECONDS_TOTAL,
                 "Service time discarded by preempted attempts (restart cost).",
                 "counter",
             );
             o.push_str(&format!(
-                "hh_tenant_preempt_wasted_seconds_total {}\n",
+                "{} {}\n",
+                names::TENANT_PREEMPT_WASTED_SECONDS_TOTAL,
                 num(self.tenant_preempt_wasted_s)
             ));
             metric(
                 &mut o,
-                "hh_tenant_rejections_total",
+                names::TENANT_REJECTIONS_TOTAL,
                 "Jobs refused by deadline-aware admission control.",
                 "counter",
             );
             o.push_str(&format!(
-                "hh_tenant_rejections_total {}\n",
+                "{} {}\n",
+                names::TENANT_REJECTIONS_TOTAL,
                 self.tenant_rejections
             ));
             if let Some(jain) = self.jain_index() {
                 metric(
                     &mut o,
-                    "hh_tenant_jain_fairness_index",
+                    names::TENANT_JAIN_FAIRNESS_INDEX,
                     "Jain index over weighted per-tenant usage; 1.0 is perfectly fair.",
                     "gauge",
                 );
-                o.push_str(&format!("hh_tenant_jain_fairness_index {}\n", num(jain)));
+                o.push_str(&format!(
+                    "{} {}\n",
+                    names::TENANT_JAIN_FAIRNESS_INDEX,
+                    num(jain)
+                ));
             }
         }
 
@@ -934,13 +1141,14 @@ impl OnlineAggregator {
         if !self.route_serve.is_empty() {
             metric(
                 &mut o,
-                "hh_route_serve_ops_total",
+                names::ROUTE_SERVE_OPS_TOTAL,
                 "Online routing-service operations served, per op kind.",
                 "counter",
             );
             for (op, n) in &self.route_serve {
                 o.push_str(&format!(
-                    "hh_route_serve_ops_total{{op=\"{}\"}} {n}\n",
+                    "{}{{op=\"{}\"}} {n}\n",
+                    names::ROUTE_SERVE_OPS_TOTAL,
                     prom_escape(op)
                 ));
             }
@@ -955,15 +1163,24 @@ impl OnlineAggregator {
         let tick = 1.0 / simcore::TICKS_PER_SEC as f64;
         let mut o = String::from("{\n");
         o.push_str("\"schema\": \"hybrid-hadoop-telemetry/v1\",\n");
-        o.push_str(&format!("\"events\": {},\n", self.events));
-        o.push_str(&format!("\"jobs\": {},\n", self.jobs_total));
-        o.push_str(&format!("\"job_failures\": {},\n", self.job_failures));
+        o.push_str(&format!("\"{}\": {},\n", names::keys::EVENTS, self.events));
         o.push_str(&format!(
-            "\"makespan_s\": {},\n",
+            "\"{}\": {},\n",
+            names::keys::JOBS,
+            self.jobs_total
+        ));
+        o.push_str(&format!(
+            "\"{}\": {},\n",
+            names::keys::JOB_FAILURES,
+            self.job_failures
+        ));
+        o.push_str(&format!(
+            "\"{}\": {},\n",
+            names::keys::MAKESPAN_S,
             num(self.end_time.since(SimTime::ZERO).as_secs_f64())
         ));
 
-        o.push_str("\"latency\": [\n");
+        o.push_str(&format!("\"{}\": [\n", names::keys::LATENCY));
         let mut first = true;
         for ((band, side), hist) in &self.latency {
             if !first {
@@ -992,7 +1209,7 @@ impl OnlineAggregator {
         }
         o.push_str("\n],\n");
 
-        o.push_str("\"utilization\": [\n");
+        o.push_str(&format!("\"{}\": [\n", names::keys::UTILIZATION));
         first = true;
         for ((pid, kind), track) in &self.util {
             if !first {
@@ -1022,7 +1239,7 @@ impl OnlineAggregator {
         }
         o.push_str("\n],\n");
 
-        o.push_str("\"faults\": {");
+        o.push_str(&format!("\"{}\": {{", names::keys::FAULTS));
         first = true;
         for (kind, n) in &self.faults {
             if !first {
@@ -1033,11 +1250,12 @@ impl OnlineAggregator {
         }
         o.push_str("},\n");
         o.push_str(&format!(
-            "\"rereplicated_bytes\": {},\n",
+            "\"{}\": {},\n",
+            names::keys::REREPLICATED_BYTES,
             num(self.rereplicated_bytes)
         ));
 
-        o.push_str("\"placements\": [\n");
+        o.push_str(&format!("\"{}\": [\n", names::keys::PLACEMENTS));
         first = true;
         for ((band, side), n) in &self.placements {
             if !first {
@@ -1052,7 +1270,7 @@ impl OnlineAggregator {
         }
         o.push_str("\n],\n");
 
-        o.push_str("\"rejections\": [\n");
+        o.push_str(&format!("\"{}\": [\n", names::keys::REJECTIONS));
         first = true;
         for ((band, reason), n) in &self.rejections {
             if !first {
@@ -1067,7 +1285,7 @@ impl OnlineAggregator {
         }
         o.push_str("\n],\n");
 
-        o.push_str("\"crosspoint\": [\n");
+        o.push_str(&format!("\"{}\": [\n", names::keys::CROSSPOINT));
         first = true;
         for (band, bytes) in &self.crosspoint_bytes {
             if !first {
@@ -1094,7 +1312,7 @@ impl OnlineAggregator {
         }
         o.push_str("\n],\n");
 
-        o.push_str("\"critical_path\": [\n");
+        o.push_str(&format!("\"{}\": [\n", names::keys::CRITICAL_PATH));
         first = true;
         for ((band, phase), b) in &self.blame {
             if !first {
@@ -1111,7 +1329,7 @@ impl OnlineAggregator {
         }
         o.push_str("\n],\n");
 
-        o.push_str("\"tenants\": [\n");
+        o.push_str(&format!("\"{}\": [\n", names::keys::TENANTS));
         first = true;
         for (tenant, hist) in &self.tenant_sojourn {
             if !first {
@@ -1132,7 +1350,8 @@ impl OnlineAggregator {
         o.push_str("\n],\n");
 
         o.push_str(&format!(
-            "\"fairness\": {{\"jain\": {}, \"shares_observed\": {}, \"preemptions\": {}, \"preempt_wasted_s\": {}, \"rejections\": {}}},\n",
+            "\"{}\": {{\"jain\": {}, \"shares_observed\": {}, \"preemptions\": {}, \"preempt_wasted_s\": {}, \"rejections\": {}}},\n",
+            names::keys::FAIRNESS,
             self.jain_index().map(num).unwrap_or_else(|| "null".into()),
             self.share_n,
             self.tenant_preemptions,
@@ -1141,7 +1360,7 @@ impl OnlineAggregator {
         ));
 
         if !self.route_serve.is_empty() {
-            o.push_str("\"route_serve\": {");
+            o.push_str(&format!("\"{}\": {{", names::keys::ROUTE_SERVE));
             first = true;
             for (op, n) in &self.route_serve {
                 if !first {
@@ -1153,7 +1372,7 @@ impl OnlineAggregator {
             o.push_str("},\n");
         }
 
-        o.push_str("\"resources\": {");
+        o.push_str(&format!("\"{}\": {{", names::keys::RESOURCES));
         first = true;
         for (res, bytes) in &self.resource_bytes {
             if !first {
@@ -1482,6 +1701,133 @@ mod tests {
         let json = agg.render_json();
         assert!(json.contains("\"route_serve\": {"));
         assert!(json.contains("\"feedback\": 3"));
+    }
+
+    /// Every metric family in [`names::ALL`] must appear — under exactly
+    /// the constant's spelling — in the Prometheus text and the JSON
+    /// documents of fully-fed sinks. Both renders call into the same
+    /// constants, so a typo in either exposition fails here instead of
+    /// silently forking the two.
+    #[test]
+    fn expositions_use_the_shared_name_table() {
+        let mut agg = OnlineAggregator::new(TelemetryConfig::default());
+        agg.name_process(0, "cluster/scale-up");
+        agg.counter("sched", "running_maps", 0, SimTime::from_secs(1), 1.0);
+        feed_one_job(&mut agg, 1, 0.7, "scale-up");
+        agg.instant(
+            "fault",
+            "node_crash",
+            0,
+            0,
+            SimTime::from_secs(2),
+            &[("node", 0u64.into())],
+        );
+        agg.instant(
+            "fault",
+            "re_replicate",
+            0,
+            0,
+            SimTime::from_secs(3),
+            &[("bytes", 1e9.into())],
+        );
+        agg.instant(
+            "placement",
+            "place:scale-up",
+            lanes::JOBS,
+            1,
+            SimTime::ZERO,
+            &[
+                ("band", "S/I>1".into()),
+                ("note", "rejected scale-out: x".into()),
+            ],
+        );
+        agg.instant(
+            "scheduler",
+            "recalibrate",
+            lanes::JOBS,
+            1,
+            SimTime::from_secs(4),
+            &[
+                ("band", "S/I>1".into()),
+                ("old_bytes", (16u64 << 30).into()),
+                ("new_bytes", (17u64 << 30).into()),
+            ],
+        );
+        agg.instant(
+            "resource",
+            "remote_storage",
+            lanes::RESOURCES,
+            0,
+            SimTime::from_secs(5),
+            &[("bytes_served", 1e8.into())],
+        );
+        tenant_complete(&mut agg, 3, 40.0, true);
+        agg.instant(
+            "tenant",
+            "share",
+            lanes::JOBS,
+            0,
+            SimTime::from_secs(9),
+            &[
+                ("tenant", 3u64.into()),
+                ("weight", 1.0.into()),
+                ("usage_s", 50.0.into()),
+            ],
+        );
+        agg.instant(
+            "route_serve",
+            "decision",
+            lanes::JOBS,
+            0,
+            SimTime::ZERO,
+            &[],
+        );
+        agg.finish(SimTime::from_secs(60));
+
+        let mut doctor = crate::Doctor::new(crate::DoctorConfig::default());
+        let prom = agg.render_prometheus() + &doctor.render_prometheus();
+        doctor.finish(SimTime::from_secs(60));
+        let json = agg.render_json() + &doctor.render_incidents_json();
+        for &(prom_name, json_key) in names::ALL {
+            assert!(
+                prom.contains(prom_name),
+                "Prometheus exposition missing {prom_name}"
+            );
+            assert!(
+                json.contains(&format!("\"{json_key}\"")),
+                "JSON exposition missing key {json_key:?} (family {prom_name})"
+            );
+        }
+    }
+
+    /// Which tenants fold into `"(other)"` is a pure function of the event
+    /// multiset: permuting arrival order (as windowed execution may) yields
+    /// byte-identical expositions, with the smallest tenant ids named.
+    #[test]
+    fn other_bucket_membership_survives_arrival_permutation() {
+        let run = |order: &[u64]| {
+            let mut agg = OnlineAggregator::new(TelemetryConfig {
+                max_tenant_sets: 2,
+                ..Default::default()
+            });
+            for &t in order {
+                tenant_complete(&mut agg, t, 10.0 + t as f64, t % 2 == 0);
+            }
+            agg.finish(SimTime::from_secs(100));
+            (agg.render_prometheus(), agg.render_json())
+        };
+        let base_order = [0u64, 1, 2, 3, 4];
+        let (prom, json) = run(&base_order);
+        // Named slots go to the smallest ids; the rest land in "(other)".
+        assert!(prom.contains("hh_tenant_jobs_total{tenant=\"t0\"} 1"));
+        assert!(prom.contains("hh_tenant_jobs_total{tenant=\"t1\"} 1"));
+        assert!(prom.contains("hh_tenant_jobs_total{tenant=\"(other)\"} 3"));
+        assert!(!prom.contains("tenant=\"t2\""));
+        for permuted in [[4u64, 3, 2, 1, 0], [2, 0, 4, 1, 3], [3, 4, 0, 2, 1]] {
+            let (p, j) = run(&permuted);
+            assert_eq!(prom, p, "membership changed under {permuted:?}");
+            assert_eq!(json, j, "JSON changed under {permuted:?}");
+        }
     }
 
     #[test]

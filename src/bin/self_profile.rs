@@ -321,6 +321,39 @@ fn main() {
         Better::Lower,
     );
 
+    // Doctor overhead probe: the same observed replay with the anomaly
+    // detectors folded in on top of the aggregator. The gated entry is the
+    // (doctor+metrics)/(metrics) wall ratio — the doctor rides the same
+    // event stream the aggregator already walks, so the ceiling pins its
+    // incremental cost (per-key log-histograms, burn-rate windows, the
+    // flight-recorder ring) rather than the cost of observing at all.
+    let mut with_doctor = with_metrics.clone();
+    with_doctor.doctor = Some(hybrid_hadoop::obs::DoctorConfig::default());
+    let last = std::cell::RefCell::new(None);
+    let doctor_wall = bench::bench("trace/replay_doctor_on", replay_iters, || {
+        *last.borrow_mut() = Some(run_trace_with(
+            Architecture::Hybrid,
+            &policy,
+            &trace,
+            &with_doctor,
+        ));
+    });
+    let doctored = last.into_inner().expect("bench ran at least once");
+    let doc = doctored.doctor.as_deref().expect("doctor was requested");
+    trace_report.push("trace/replay_doctor_wall", doctor_wall, "s", Better::Lower);
+    trace_report.push(
+        "obs/doctor_overhead",
+        doctor_wall / metrics_wall,
+        "x",
+        Better::Lower,
+    );
+    trace_report.push(
+        "obs/doctor_events",
+        doc.events() as f64,
+        "events",
+        Better::Lower,
+    );
+
     // Closed-loop overhead probe: the same replay routed through the
     // adaptive scheduler (sliding-window estimators + periodic
     // recalibration) instead of the frozen thresholds. Gated as the

@@ -9,10 +9,12 @@
 //! indistinguishable from one that never restarted.
 
 use hybrid_hadoop::mapreduce::{JobProfile, JobSpec};
+use hybrid_hadoop::obs::{self, TelemetrySink};
 use hybrid_hadoop::scheduler::{
     snapshot, AdaptiveConfig, AdaptiveDecision, AdaptiveScheduler, Placement, Recalibration,
 };
 use hybrid_hadoop::simcore::rng::{substream, DetRng};
+use hybrid_hadoop::simcore::{SimDuration, SimTime};
 
 fn spec(id: u32, input_size: u64, ratio: f64) -> JobSpec {
     JobSpec::at_zero(id, JobProfile::basic("snap-test", ratio, 1.0), input_size)
@@ -146,6 +148,155 @@ fn save_restore_save_is_byte_stable_after_adversarial_sessions() {
     let (_, _, _, doc) = run_session(exploring(), 300, true, Some(13));
     let restored = snapshot::restore(&doc).expect("final snapshot restores");
     assert_eq!(snapshot::save(&restored), doc);
+}
+
+// ----------------------------------------------------------------------
+// Doctor snapshot/restore (schema `hybrid-hadoop-doctor/v1`), the state
+// `route_serve --doctor` carries inside its `hybrid-hadoop-serve/v1`
+// wrapper: a restart-riddled session must be indistinguishable from an
+// uninterrupted one across every exposition the doctor renders.
+// ----------------------------------------------------------------------
+
+/// One deterministic step of telemetry into a doctor: a job span with an
+/// occasional 50x straggler, a tenant completion with SLO attribution, a
+/// direction-flipping recalibration, and share/preempt instants — every
+/// event family a detector folds.
+fn doctor_step(doc: &mut obs::Doctor, rng: &mut DetRng, i: u32) {
+    let t = SimTime::from_secs(i as u64 * 10);
+    let size = if i.is_multiple_of(2) {
+        1u64 << 28
+    } else {
+        1u64 << 30
+    };
+    let base = 20.0 + (size >> 26) as f64;
+    let exec = if rng.next_u64().is_multiple_of(97) {
+        base * 50.0
+    } else {
+        base * (0.8 + (rng.next_u64() % 40) as f64 / 100.0)
+    };
+    doc.span(
+        "job",
+        "job",
+        obs::lanes::JOBS,
+        i,
+        t,
+        t + SimDuration::from_secs_f64(exec),
+        &[
+            ("cluster", "scale-up".into()),
+            ("ratio", 0.7.into()),
+            ("input_bytes", size.into()),
+        ],
+    );
+    let miss = rng.next_u64().is_multiple_of(3);
+    doc.instant(
+        "tenant",
+        "complete",
+        obs::lanes::JOBS,
+        i,
+        t,
+        &[
+            ("tenant", (i as u64 % 3).into()),
+            ("queue", "q0".into()),
+            ("weight", 1.0.into()),
+            ("sojourn_s", 45.0.into()),
+            ("exec_s", 30.0.into()),
+            ("slo_s", 40.0.into()),
+            ("slo_miss", miss.into()),
+        ],
+    );
+    if i.is_multiple_of(8) {
+        let new = if (i / 8).is_multiple_of(2) {
+            20u64 << 30
+        } else {
+            12u64 << 30
+        };
+        doc.instant(
+            "scheduler",
+            "recalibrate",
+            obs::lanes::JOBS,
+            0,
+            t,
+            &[
+                ("band", "S/I>1".into()),
+                ("old_bytes", (16u64 << 30).into()),
+                ("new_bytes", new.into()),
+            ],
+        );
+    }
+    doc.instant(
+        "tenant",
+        "share",
+        obs::lanes::JOBS,
+        0,
+        t,
+        &[
+            ("tenant", (i as u64 % 3).into()),
+            ("weight", 1.0.into()),
+            ("usage_s", if i % 3 == 2 { 1.0 } else { 100.0 }.into()),
+        ],
+    );
+    if i.is_multiple_of(5) {
+        doc.instant(
+            "tenant",
+            "preempt",
+            obs::lanes::JOBS,
+            0,
+            t,
+            &[
+                ("job", 1u64.into()),
+                ("tenant", 2u64.into()),
+                ("preemptor", 0u64.into()),
+                ("wasted_s", 5.0.into()),
+            ],
+        );
+    }
+}
+
+/// Drive `n` doctor steps, restarting from a snapshot every `snapshot_every`
+/// steps when set, and return every rendered exposition.
+fn run_doctor_session(n: u32, snapshot_every: Option<u32>) -> (String, String, String) {
+    let mut doc = obs::Doctor::new(obs::DoctorConfig {
+        straggler_min_samples: 32,
+        ..Default::default()
+    });
+    let mut rng = substream(0xD0C7, 0x0B5);
+    for i in 0..n {
+        doctor_step(&mut doc, &mut rng, i);
+        if let Some(k) = snapshot_every {
+            if (i + 1) % k == 0 {
+                let snap = doc.snapshot_json();
+                doc = obs::Doctor::restore(&snap).expect("a saved doctor snapshot restores");
+            }
+        }
+    }
+    doc.finish(SimTime::from_secs(n as u64 * 10));
+    (
+        doc.snapshot_json(),
+        doc.render_incidents_json(),
+        doc.render_prometheus(),
+    )
+}
+
+/// Restart-riddled doctor sessions render byte-identically to the
+/// uninterrupted one — snapshot document, incident report, and Prometheus
+/// section — at several restart cadences including every single step.
+#[test]
+fn restart_riddled_doctor_sessions_match_uninterrupted_ones_bitwise() {
+    let base = run_doctor_session(300, None);
+    assert!(
+        base.1.contains("\"kind\": \"straggler\"")
+            && base.1.contains("\"kind\": \"burn-rate\"")
+            && base.1.contains("\"kind\": \"crosspoint-thrash\"")
+            && base.1.contains("\"kind\": \"share-violation\""),
+        "the session must actually fire alerts or the equivalence is vacuous:\n{}",
+        base.1
+    );
+    for &k in &[1u32, 7, 64] {
+        let restarted = run_doctor_session(300, Some(k));
+        assert_eq!(base.0, restarted.0, "doctor snapshot bytes (k={k})");
+        assert_eq!(base.1, restarted.1, "incident report bytes (k={k})");
+        assert_eq!(base.2, restarted.2, "prometheus bytes (k={k})");
+    }
 }
 
 /// A snapshot never contains a non-finite float: the scheduler's input
