@@ -103,6 +103,15 @@ pub fn baseline_cluster_24() -> ClusterSpec {
     ClusterSpec::homogeneous("scale-out-24", scale_out_machine(), 24)
 }
 
+/// The durability testbed: the 24-machine baseline cluster wired as four
+/// racks of six — the smallest topology where rack-aware replica placement
+/// and EC(6+3) rack-striping are both exercised (6+3 = 9 blocks over 4
+/// racks puts at most 3 — exactly `m` — in any one rack, so a full rack
+/// outage stays reconstructable).
+pub fn racked_cluster_24() -> ClusterSpec {
+    baseline_cluster_24().with_racks(4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +139,7 @@ mod tests {
         assert_eq!(scale_up_cluster().len(), 2);
         assert_eq!(scale_out_cluster().len(), 12);
         assert_eq!(baseline_cluster_24().len(), 24);
+        assert_eq!(racked_cluster_24().racks, 4);
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct ClusterSpec {
     pub machines: Vec<MachineSpec>,
     /// Interconnect latency parameters.
     pub fabric: FabricSpec,
+    /// Number of racks machines are spread over (contiguous blocks, in
+    /// machine order). 1 — the historical default — means the topology is
+    /// flat and rack-aware placement degenerates to node-aware placement.
+    pub racks: u32,
 }
 
 impl ClusterSpec {
@@ -31,7 +35,15 @@ impl ClusterSpec {
             name: name.into(),
             machines: (0..count).map(|_| machine.clone()).collect(),
             fabric: FabricSpec::myrinet(),
+            racks: 1,
         }
+    }
+
+    /// Spread the machines over `racks` racks (clamped to `1..=len`),
+    /// returning self for chaining.
+    pub fn with_racks(mut self, racks: u32) -> Self {
+        self.racks = racks.max(1);
+        self
     }
 
     /// Total map slots across all machines.
@@ -76,6 +88,9 @@ impl ClusterSpec {
 pub struct Node {
     /// Deployment-global node id.
     pub id: NodeId,
+    /// Rack the machine sits in (0-based within its cluster; 0 everywhere
+    /// on a flat single-rack topology).
+    pub rack: u32,
     /// Hardware description.
     pub spec: MachineSpec,
     /// The local disk's fluid resource.
@@ -118,12 +133,16 @@ impl ClusterSpec {
     /// Realize the cluster into `net`, numbering nodes from `first_node_id`
     /// (non-zero when several sub-clusters share one deployment).
     pub fn build(&self, net: &mut FlowNetwork, first_node_id: u32) -> BuiltCluster {
+        let n = self.machines.len().max(1);
+        let racks = (self.racks.max(1) as usize).min(n);
         let nodes = self
             .machines
             .iter()
             .enumerate()
             .map(|(i, m)| {
                 let id = NodeId(first_node_id + i as u32);
+                // Contiguous blocks: nodes 0..n/racks in rack 0, and so on.
+                let rack = (i * racks / n) as u32;
                 let disk =
                     net.add_resource(format!("{}/n{}/disk", self.name, id.0), m.disk.bandwidth);
                 let nic = net.add_resource(format!("{}/n{}/nic", self.name, id.0), m.nic.bandwidth);
@@ -143,6 +162,7 @@ impl ClusterSpec {
                 };
                 Node {
                     id,
+                    rack,
                     spec: m.clone(),
                     disk,
                     nic,
@@ -174,6 +194,21 @@ impl BuiltCluster {
     /// The node with deployment-global id `id`, if it belongs to this cluster.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
         self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Number of distinct racks in this cluster (≥ 1 when non-empty).
+    pub fn num_racks(&self) -> u32 {
+        self.nodes.iter().map(|n| n.rack + 1).max().unwrap_or(0)
+    }
+
+    /// Node indices (into `self.nodes`) grouped by rack, in rack order —
+    /// what the fault layer needs to schedule a correlated rack outage.
+    pub fn rack_members(&self) -> Vec<Vec<usize>> {
+        let mut racks = vec![Vec::new(); self.num_racks() as usize];
+        for (i, n) in self.nodes.iter().enumerate() {
+            racks[n.rack as usize].push(i);
+        }
+        racks
     }
 }
 
@@ -216,6 +251,34 @@ mod tests {
         assert!(bu.node(NodeId(1)).is_some());
         assert!(bu.node(NodeId(2)).is_none());
         assert!(bo.node(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn racks_partition_nodes_contiguously() {
+        let spec = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 24).with_racks(4);
+        let mut net = FlowNetwork::new();
+        let built = spec.build(&mut net, 0);
+        assert_eq!(built.num_racks(), 4);
+        let racks = built.rack_members();
+        assert_eq!(racks.len(), 4);
+        for (r, members) in racks.iter().enumerate() {
+            assert_eq!(members.len(), 6, "rack {r} holds a sixth of the nodes");
+            for w in members.windows(2) {
+                assert_eq!(w[0] + 1, w[1], "contiguous block assignment");
+            }
+        }
+        // Flat default stays single-rack.
+        let flat = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 5)
+            .build(&mut FlowNetwork::new(), 0);
+        assert_eq!(flat.num_racks(), 1);
+        assert!(flat.nodes.iter().all(|n| n.rack == 0));
+    }
+
+    #[test]
+    fn more_racks_than_nodes_clamps() {
+        let spec = ClusterSpec::homogeneous("up", presets::scale_up_machine(), 2).with_racks(8);
+        let built = spec.build(&mut FlowNetwork::new(), 0);
+        assert_eq!(built.num_racks(), 2, "one rack per node at most");
     }
 
     #[test]

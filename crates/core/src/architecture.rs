@@ -15,7 +15,7 @@ use mapreduce::{EngineConfig, JobSpec, Simulation};
 use scheduler::Placement;
 use simcore::fault::FaultPlan;
 use simcore::FlowNetwork;
-use storage::{HdfsConfig, HdfsModel, OfsConfig, OfsModel};
+use storage::{DurabilityConfig, DurableModel, HdfsConfig, HdfsModel, OfsConfig, OfsModel};
 
 /// One of the measured deployments.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -134,7 +134,12 @@ impl Deployment {
     /// Build `arch` with explicit tuning knobs (ablation studies).
     pub fn build_with(arch: Architecture, tuning: &DeploymentTuning) -> Deployment {
         let mut net = FlowNetwork::new();
-        let specs = arch.cluster_specs_with(&tuning.up_machine, &tuning.out_machine);
+        let mut specs = arch.cluster_specs_with(&tuning.up_machine, &tuning.out_machine);
+        if tuning.racks > 1 {
+            for spec in &mut specs {
+                spec.racks = tuning.racks;
+            }
+        }
         let mut built = Vec::new();
         let mut first_id = 0u32;
         for spec in &specs {
@@ -151,13 +156,23 @@ impl Deployment {
                 "hdfs" => StorageKind::Hdfs,
                 _ => StorageKind::Ofs,
             });
-        let dfs: Box<dyn storage::DfsModel> = match storage_kind {
-            StorageKind::Hdfs => Box::new(HdfsModel::new(
-                tuning.hdfs.clone(),
+        let dfs: Box<dyn storage::DfsModel> = match &tuning.durability {
+            // The durability subsystem replaces the architecture's default
+            // backend outright: local storage on the compute nodes with the
+            // configured redundancy scheme.
+            Some(cfg) => Box::new(DurableModel::new(
+                cfg.clone(),
                 &all_nodes,
                 FabricSpec::myrinet(),
             )),
-            StorageKind::Ofs => Box::new(OfsModel::new(tuning.ofs.clone(), &mut net)),
+            None => match storage_kind {
+                StorageKind::Hdfs => Box::new(HdfsModel::new(
+                    tuning.hdfs.clone(),
+                    &all_nodes,
+                    FabricSpec::myrinet(),
+                )),
+                StorageKind::Ofs => Box::new(OfsModel::new(tuning.ofs.clone(), &mut net)),
+            },
         };
 
         let clusters: Vec<(cluster::BuiltCluster, EngineConfig)> = built
@@ -181,6 +196,9 @@ impl Deployment {
 
         let mut sim = Simulation::new(net, dfs, clusters);
         sim.set_replay_parallelism(tuning.replay);
+        if tuning.retain_files {
+            sim.delete_files_on_completion = false;
+        }
         if !tuning.fault.is_empty() {
             sim.set_fault_plan(tuning.fault.clone());
         }
@@ -247,6 +265,21 @@ pub struct DeploymentTuning {
     /// the §IV storage-choice ablation ("we could let HDFS consider both
     /// scale-out and scale-up machines equally as datanodes").
     pub storage_override: Option<StorageKind>,
+    /// Use the [`storage::durable::DurableModel`] backend (variable
+    /// replication / erasure coding with rack-aware placement and throttled
+    /// repair) instead of the architecture's default. Takes precedence over
+    /// `storage_override`. `None` (default) leaves every existing
+    /// deployment byte-identical.
+    pub durability: Option<DurabilityConfig>,
+    /// Split every cluster's machines into this many racks (contiguous,
+    /// near-equal). 1 (default) keeps the paper's flat single-rack
+    /// topology; rack-aware placement and rack-storm faults need ≥ 2.
+    pub racks: u32,
+    /// Keep job input/output files resident after each job completes
+    /// (default: delete them, rolling-retention style). The durability
+    /// sweeps set this so an injected outage hits an accumulated dataset
+    /// rather than whatever happens to be mid-flight.
+    pub retain_files: bool,
     /// Deterministic fault schedule injected into the simulation (node
     /// crashes, stragglers, storage-server degradation). Empty by default:
     /// an empty plan leaves the simulation bit-identical to a fault-free
@@ -288,6 +321,9 @@ impl Default for DeploymentTuning {
             up_machine: presets::scale_up_machine(),
             out_machine: presets::scale_out_machine(),
             storage_override: None,
+            durability: None,
+            racks: 1,
+            retain_files: false,
             fault: FaultPlan::empty(),
             observe: false,
             telemetry: None,

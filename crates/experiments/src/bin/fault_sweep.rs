@@ -17,6 +17,10 @@
 //! - `--incidents-out <path>` — attach an [`obs::Doctor`] to the observed
 //!   faulted run and write its `hybrid-hadoop-incident/v1` report (the
 //!   flight-recorder window captures the injected crash/recover stream).
+//! - `--storm` — swap the observed run behind the three `--*-out` flags
+//!   for the durability rack-storm cell (EC(6+3) on the racked THadoop
+//!   baseline, all of rack 1 down mid-trace): the CI storm-smoke
+//!   configuration, whose incident report carries the repair-storm alert.
 
 use experiments::common::{flag_value, threads_flag, trace_out_path, write_csv, write_metrics};
 
@@ -29,12 +33,19 @@ fn main() {
     let out_dir = flag_value(&args, "--out-dir");
     let metrics_out = flag_value(&args, "--metrics-out");
     let incidents_out = flag_value(&args, "--incidents-out");
+    let storm = args.iter().any(|a| a == "--storm");
     if trace_out.is_none() && out_dir.is_none() && metrics_out.is_none() && incidents_out.is_none()
     {
         return;
     }
-    let outcome =
-        experiments::figures::fault_sweep_observed(metrics_out.is_some(), incidents_out.is_some());
+    let outcome = if storm {
+        experiments::figures::durability_sweep_observed(
+            metrics_out.is_some(),
+            incidents_out.is_some(),
+        )
+    } else {
+        experiments::figures::fault_sweep_observed(metrics_out.is_some(), incidents_out.is_some())
+    };
     if let Some(path) = trace_out {
         let rec = outcome
             .recorder

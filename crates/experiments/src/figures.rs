@@ -481,7 +481,7 @@ pub fn fault_sweep_threads(threads: usize) -> String {
         ]
     });
     format!(
-        "## Fault sweep — FB-2009 slice ({jobs} jobs) under injected faults\n\n{}\n{}",
+        "## Fault sweep — FB-2009 slice ({jobs} jobs) under injected faults\n\n{}\n{}\n{}",
         metrics::table::render(
             &[
                 "intensity",
@@ -497,7 +497,8 @@ pub fn fault_sweep_threads(threads: usize) -> String {
             ],
             &rows
         ),
-        fault_sweep_breakdown()
+        fault_sweep_breakdown(),
+        durability_sweep_threads(threads)
     )
 }
 
@@ -544,6 +545,200 @@ pub fn fault_sweep_observed(telemetry: bool, doctor: bool) -> hybrid_core::Trace
         &trace,
         &tuning,
     )
+}
+
+/// Durability sweep: the `{replication factor, erasure code}` ×
+/// `{single-node, rack-storm}` scenario grid on the THadoop baseline with
+/// the durable storage backend — storage cost vs degraded-read latency vs
+/// recovery time under deterministic scheduled outages.
+pub fn durability_sweep() -> String {
+    durability_sweep_threads(parsweep::default_threads())
+}
+
+/// [`durability_sweep`] with an explicit worker count (the `--threads`
+/// flag).
+///
+/// Each scheme × failure cell is an independent replay fanned out through
+/// [`parsweep::par_map_threads`]; the outage schedule is fixed (not drawn),
+/// and the placement seed derives from the cell coordinates via
+/// [`parsweep::cell_seed`], so the rendered table is byte-identical at any
+/// thread count.
+pub fn durability_sweep_threads(threads: usize) -> String {
+    use hybrid_core::DeploymentTuning;
+    use simcore::fault::FaultPlan;
+    use storage::{DurabilityConfig, RedundancyScheme};
+
+    // A compressed slice (shrunk inputs keep 3x replication of the
+    // *retained* dataset within the 24 local disks) with the outage
+    // landing mid-arrivals, so jobs placed before the crash read their
+    // blocks through it.
+    let jobs = 200;
+    let window = simcore::SimDuration::from_secs(1200);
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs,
+        window,
+        shrink_factor: 4.0,
+        ..Default::default()
+    });
+    let racks = 4u32;
+    let plan_seed = 42u64;
+
+    // Rack layout of the 24-node baseline under `racks = 4`: contiguous
+    // blocks in node order (`ClusterSpec::build`), so rack 1 is nodes 6..12
+    // of cluster 0.
+    let n = Architecture::THadoop.cluster_specs()[0].len();
+    let rack_one: Vec<(usize, usize)> = (0..n)
+        .filter(|&i| i * racks as usize / n == 1)
+        .map(|i| (0usize, i))
+        .collect();
+    // Mid-trace outage, long enough that repair finishes inside the run.
+    let outage_at = simcore::SimTime::from_secs(600);
+    let outage_len = simcore::SimDuration::from_secs(1800);
+
+    let schemes = [
+        RedundancyScheme::Replicated { factor: 2 },
+        RedundancyScheme::Replicated { factor: 3 },
+        RedundancyScheme::ErasureCoded { k: 6, m: 3 },
+    ];
+    let failures = ["single-node", "rack-storm"];
+    let cells: Vec<(usize, RedundancyScheme, usize, &str)> = schemes
+        .iter()
+        .enumerate()
+        .flat_map(|(s_idx, &scheme)| {
+            failures
+                .iter()
+                .enumerate()
+                .map(move |(f_idx, &failure)| (s_idx, scheme, f_idx, failure))
+        })
+        .collect();
+
+    let rows = parsweep::par_map_threads(cells, threads, |(s_idx, scheme, f_idx, failure)| {
+        let members: &[(usize, usize)] = match failure {
+            "single-node" => &rack_one[1..2],
+            _ => &rack_one,
+        };
+        let plan = FaultPlan::empty().with_outage(outage_at, outage_len, members);
+        let seed = parsweep::cell_seed(plan_seed, &[s_idx as u64, f_idx as u64]);
+        let mut tuning = DeploymentTuning {
+            fault: plan,
+            durability: Some(DurabilityConfig {
+                scheme,
+                seed,
+                ..Default::default()
+            }),
+            racks,
+            // Keep every job's input resident: the storm must hit a
+            // dataset, not whatever happens to be mid-flight.
+            retain_files: true,
+            ..Default::default()
+        };
+        tuning.engine_out.speculative_execution = true;
+
+        let outcome =
+            hybrid_core::run_trace_with(Architecture::THadoop, &AlwaysOut, &trace, &tuning);
+        let stats = &outcome.fault_stats;
+        let exec = EmpiricalCdf::new(
+            outcome
+                .results
+                .iter()
+                .filter(|r| r.succeeded())
+                .map(|r| r.execution.as_secs_f64())
+                .collect(),
+        );
+        let mean_degraded = if stats.degraded_reads > 0 {
+            stats.degraded_read_secs / stats.degraded_reads as f64
+        } else {
+            0.0
+        };
+        let repair_gb = (stats.rereplicated_bytes + stats.reconstructed_bytes) / GB as f64;
+        let recovery = match (stats.first_crash_s, stats.repair_done_s) {
+            (Some(crash), Some(done)) if done >= crash => fmt_secs(done - crash),
+            _ => "-".into(),
+        };
+        vec![
+            scheme.label(),
+            failure.to_string(),
+            format!("{:.2}\u{d7}", scheme.storage_overhead()),
+            fmt_secs(outcome.makespan.as_secs_f64()),
+            fmt_secs(exec.quantile(0.90).unwrap_or(f64::NAN)),
+            stats.degraded_reads.to_string(),
+            format!("{mean_degraded:.3}"),
+            format!("{repair_gb:.2}"),
+            recovery,
+            outcome.failures().to_string(),
+        ]
+    });
+    format!(
+        "## Durability sweep — redundancy scheme \u{d7} failure mode ({jobs} jobs, THadoop, 4 racks)\n\n\
+         One scheduled outage at t=600s (single node, or all six nodes of rack 1)\n\
+         lasting 1800s. Repair traffic is throttled below foreground I/O\n\
+         (50 MB/s per stream); recovery is first crash \u{2192} last repair flow drained.\n\n{}\n",
+        metrics::table::render(
+            &[
+                "scheme",
+                "failure",
+                "storage cost",
+                "makespan",
+                "p90 exec",
+                "degraded reads",
+                "mean degr-read s",
+                "repair GB",
+                "recovery",
+                "failed jobs",
+            ],
+            &rows
+        )
+    )
+}
+
+/// The observed rack-storm cell backing the `--storm` flags of the
+/// `fault_sweep` binary and the CI storm-smoke job: an EC(6+3) slice on the
+/// racked THadoop baseline with all of rack 1 taken out mid-trace, streamed
+/// through telemetry and/or the doctor (with a repair-storm threshold low
+/// enough that the reconstruction burst trips the detector).
+pub fn durability_sweep_observed(telemetry: bool, doctor: bool) -> hybrid_core::TraceOutcome {
+    use hybrid_core::DeploymentTuning;
+    use simcore::fault::FaultPlan;
+    use storage::{DurabilityConfig, RedundancyScheme};
+
+    let racks = 4u32;
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 40,
+        window: simcore::SimDuration::from_secs(600),
+        shrink_factor: 4.0,
+        ..Default::default()
+    });
+    let n = Architecture::THadoop.cluster_specs()[0].len();
+    let rack_one: Vec<(usize, usize)> = (0..n)
+        .filter(|&i| i * racks as usize / n == 1)
+        .map(|i| (0usize, i))
+        .collect();
+    let plan = FaultPlan::empty().with_outage(
+        simcore::SimTime::from_secs(300),
+        simcore::SimDuration::from_secs(900),
+        &rack_one,
+    );
+    let mut tuning = DeploymentTuning {
+        fault: plan,
+        durability: Some(DurabilityConfig {
+            scheme: RedundancyScheme::ErasureCoded { k: 6, m: 3 },
+            ..Default::default()
+        }),
+        racks,
+        retain_files: true,
+        observe: true,
+        telemetry: telemetry.then(obs::TelemetryConfig::default),
+        // The 40-job slice reconstructs ~0.8 GB in one burst: well above
+        // any single-block repair, so a 0.25 GB/window bar cleanly
+        // separates storm from background noise at this scale.
+        doctor: doctor.then(|| obs::DoctorConfig {
+            repair_storm_bytes: 0.25e9,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    tuning.engine_out.speculative_execution = true;
+    hybrid_core::run_trace_with(Architecture::THadoop, &AlwaysOut, &trace, &tuning)
 }
 
 /// Observed per-job phase breakdown of a small faulted slice on the hybrid

@@ -103,6 +103,12 @@ pub enum FlowKind {
     ShuffleSpill,
     /// HDFS re-replication after node loss (background traffic).
     ReReplication,
+    /// DFS input read served while the block's redundancy is lost (a
+    /// replica host down, or an EC read reconstructing from parity).
+    DegradedRead,
+    /// Erasure-coded reconstruction after node loss: k surviving stripes
+    /// read + the rebuilt block written (background traffic).
+    Reconstruction,
 }
 
 impl FlowKind {
@@ -115,6 +121,8 @@ impl FlowKind {
             FlowKind::ShuffleFetch => "shuffle-fetch",
             FlowKind::ShuffleSpill => "shuffle-spill",
             FlowKind::ReReplication => "re-replication",
+            FlowKind::DegradedRead => "degraded-read",
+            FlowKind::Reconstruction => "reconstruction",
         }
     }
 
@@ -123,6 +131,7 @@ impl FlowKind {
             IoKind::Read => FlowKind::Read,
             IoKind::Write => FlowKind::Write,
             IoKind::ReReplication => FlowKind::ReReplication,
+            IoKind::Reconstruction => FlowKind::Reconstruction,
         }
     }
 }
@@ -182,6 +191,9 @@ struct Task {
     flow_started: Option<SimTime>,
     /// Accumulated time this attempt spent blocked on flow steps.
     io_wait: SimDuration,
+    /// The in-flight flow step is a degraded DFS read (redundancy lost);
+    /// its wait is accounted to `FaultStats::degraded_read_secs`.
+    degraded_flow: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -428,6 +440,21 @@ pub struct FaultStats {
     pub rereplicated_bytes: f64,
     /// Storage-server degradation events applied.
     pub server_degradations: u64,
+    /// Block reads served while redundancy was lost (replica host down, or
+    /// an EC read reconstructing from surviving stripes).
+    pub degraded_reads: u64,
+    /// Wall-clock seconds tasks spent inside degraded read flows.
+    pub degraded_read_secs: f64,
+    /// Bytes of EC reconstruction traffic (k-stripe fan-in + rebuild
+    /// writes) triggered by node loss.
+    pub reconstructed_bytes: f64,
+    /// Simulation time of the first node crash, if any — the start of the
+    /// recovery clock.
+    pub first_crash_s: Option<f64>,
+    /// Simulation time when the last background repair flow drained, if
+    /// any repair ran — `repair_done_s - first_crash_s` is the sweep
+    /// table's recovery time.
+    pub repair_done_s: Option<f64>,
 }
 
 /// A telemetry annotation a router attaches to a decision or a completion:
@@ -1275,7 +1302,13 @@ impl Simulation {
         let done = self.net.poll_completions(now);
         for fid in done {
             if self.background_flows.remove(&fid) {
-                continue; // storage-internal traffic; no task to advance
+                // Storage-internal traffic; no task to advance. Stamp the
+                // recovery clock when the last repair flow drains (a later
+                // crash can restart it).
+                if self.background_flows.is_empty() {
+                    self.stats.repair_done_s = Some(now.as_secs_f64());
+                }
+                continue;
             }
             let Some((job, kind, idx)) = self.flows.remove(&fid) else {
                 // The owner was killed earlier in this same batch: a prior
@@ -1362,6 +1395,9 @@ impl Simulation {
             return;
         }
         self.stats.node_crashes += 1;
+        if self.stats.first_crash_s.is_none() {
+            self.stats.first_crash_s = Some(self.queue.now().as_secs_f64());
+        }
         let mut to_kill: Vec<(usize, TaskKind, u32)> = Vec::new();
         let mut to_rerun: Vec<(usize, u32)> = Vec::new();
         for (j, job) in self.jobs.iter().enumerate() {
@@ -1544,16 +1580,23 @@ impl Simulation {
         self.schedule_net_poll();
     }
 
-    /// Run a storage-internal recovery plan (HDFS re-replication) as
-    /// background flows that contend with foreground traffic but belong to
-    /// no task. Stage latencies are ignored — bytes are what contend.
+    /// Run a storage-internal recovery plan (HDFS re-replication or EC
+    /// reconstruction) as background flows that contend with foreground
+    /// traffic but belong to no task. Stage latencies are ignored — bytes
+    /// are what contend. Per-transfer rate caps (the repair-bandwidth
+    /// throttle) are honoured by the flow network.
     fn launch_background(&mut self, plan: IoPlan) {
         let now = self.queue.now();
         let kind = FlowKind::from_io(plan.kind);
+        let reconstruction = kind == FlowKind::Reconstruction;
         let mut plan_bytes = 0.0;
         for stage in plan.stages {
             for t in stage.transfers {
-                self.stats.rereplicated_bytes += t.bytes;
+                if reconstruction {
+                    self.stats.reconstructed_bytes += t.bytes;
+                } else {
+                    self.stats.rereplicated_bytes += t.bytes;
+                }
                 plan_bytes += t.bytes;
                 let fid = FlowId(self.next_flow);
                 self.next_flow += 1;
@@ -1567,7 +1610,11 @@ impl Simulation {
         if self.telemetry_active() {
             self.emit_instant(
                 "fault",
-                "re_replicate",
+                if reconstruction {
+                    "reconstruct"
+                } else {
+                    "re_replicate"
+                },
                 obs::lanes::STORAGE,
                 0,
                 now,
@@ -1757,6 +1804,7 @@ impl Simulation {
             fetch_done: false,
             flow_started: None,
             io_wait: SimDuration::ZERO,
+            degraded_flow: false,
         });
         self.clusters[cluster].running_maps += 1;
         self.obs_sched_counters(cluster);
@@ -1781,6 +1829,7 @@ impl Simulation {
             fetch_done: false,
             flow_started: None,
             io_wait: SimDuration::ZERO,
+            degraded_flow: false,
         });
         self.clusters[cluster].running_reduces += 1;
         self.obs_sched_counters(cluster);
@@ -1792,7 +1841,11 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn push_plan(steps: &mut VecDeque<Step>, plan: IoPlan) {
-        let kind = FlowKind::from_io(plan.kind);
+        let kind = if plan.degraded && plan.kind == IoKind::Read {
+            FlowKind::DegradedRead
+        } else {
+            FlowKind::from_io(plan.kind)
+        };
         for stage in plan.stages {
             if !stage.latency.is_zero() {
                 steps.push_back(Step::Latency(stage.latency));
@@ -1969,11 +2022,30 @@ impl Simulation {
 
     fn advance_task(&mut self, job: usize, kind: TaskKind, idx: u32) {
         let now = self.queue.now();
+        let mut degraded_window = None;
         {
             // If we are resuming after a flow step, close its io-wait window.
             let task = self.task_mut(job, kind, idx);
             if let Some(t0) = task.flow_started.take() {
-                task.io_wait += now.since(t0);
+                let waited = now.since(t0);
+                task.io_wait += waited;
+                if std::mem::take(&mut task.degraded_flow) {
+                    degraded_window = Some(waited);
+                }
+            }
+        }
+        if let Some(waited) = degraded_window {
+            self.stats.degraded_reads += 1;
+            self.stats.degraded_read_secs += waited.as_secs_f64();
+            if self.telemetry_active() {
+                self.emit_instant(
+                    "fault",
+                    "degraded_read",
+                    obs::lanes::STORAGE,
+                    0,
+                    now,
+                    vec![("secs", ArgValue::F64(waited.as_secs_f64()))],
+                );
             }
         }
         loop {
@@ -2023,6 +2095,7 @@ impl Simulation {
                     let task = self.task_mut(job, kind, idx);
                     task.outstanding = n;
                     task.flow_started = Some(now);
+                    task.degraded_flow = flow_kind == FlowKind::DegradedRead;
                     let job_id = self.jobs[job].spec.id.0;
                     for t in transfers {
                         let fid = FlowId(self.next_flow);

@@ -186,6 +186,7 @@ fn heterogeneous_cluster_mixes_machine_classes() {
         name: "mixed".into(),
         machines,
         fabric: cluster::FabricSpec::myrinet(),
+        racks: 1,
     };
     assert_eq!(spec.total_map_slots(), 18 + 4 * 6);
     let mut net = FlowNetwork::new();

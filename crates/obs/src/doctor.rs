@@ -64,6 +64,9 @@ pub mod kinds {
     pub const CROSSPOINT_DRIFT: &str = "crosspoint-drift";
     /// A tenant starved well below its weighted fair share.
     pub const SHARE_VIOLATION: &str = "share-violation";
+    /// Background repair traffic (re-replication / EC reconstruction)
+    /// saturating the window — a correlated-failure recovery storm.
+    pub const REPAIR_STORM: &str = "repair-storm";
     /// Every kind, in exposition order.
     pub const ALL: &[&str] = &[
         STRAGGLER,
@@ -71,6 +74,7 @@ pub mod kinds {
         CROSSPOINT_THRASH,
         CROSSPOINT_DRIFT,
         SHARE_VIOLATION,
+        REPAIR_STORM,
     ];
 }
 
@@ -147,6 +151,12 @@ pub struct DoctorConfig {
     pub starvation_min_events: u64,
     /// Cap on distinct straggler keys and burn queues tracked.
     pub max_keys: usize,
+    /// Background repair bytes within `repair_window_secs` that mean a
+    /// repair storm (re-replication or EC reconstruction saturating the
+    /// cluster). A single-block repair stays far below this.
+    pub repair_storm_bytes: f64,
+    /// Sliding window for the repair-storm detector, sim-seconds.
+    pub repair_window_secs: u64,
 }
 
 impl Default for DoctorConfig {
@@ -175,6 +185,8 @@ impl Default for DoctorConfig {
             starvation_ratio: 0.25,
             starvation_min_events: 4,
             max_keys: 512,
+            repair_storm_bytes: 10.0e9,
+            repair_window_secs: 600,
         }
     }
 }
@@ -390,6 +402,20 @@ pub struct Incident {
 // The doctor
 // ----------------------------------------------------------------------
 
+/// Sliding window of background repair plans for the repair-storm
+/// detector: `(t_s, bytes)` per `re_replicate`/`reconstruct` instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RepairTrack {
+    window: VecDeque<(f64, f64)>,
+    open: bool,
+}
+
+impl RepairTrack {
+    fn sum(&self) -> f64 {
+        self.window.iter().map(|&(_, b)| b).sum()
+    }
+}
+
 /// Deterministic online anomaly detector and incident diagnoser. See the
 /// module docs for the detector catalogue.
 #[derive(Debug, Clone)]
@@ -405,6 +431,7 @@ pub struct Doctor {
     shares: BTreeMap<u64, (f64, f64)>,
     /// Preemptions + rejections per victim tenant.
     tenant_pain: BTreeMap<u64, u64>,
+    repair: RepairTrack,
     alerts: BTreeMap<&'static str, u64>,
     incidents: Vec<Incident>,
     dropped_incidents: u64,
@@ -424,6 +451,7 @@ impl Doctor {
             recal: BTreeMap::new(),
             shares: BTreeMap::new(),
             tenant_pain: BTreeMap::new(),
+            repair: RepairTrack::default(),
             alerts: BTreeMap::new(),
             incidents: Vec::new(),
             dropped_incidents: 0,
@@ -467,6 +495,9 @@ impl Doctor {
                 2 => out.push((kinds::CROSSPOINT_DRIFT, band.clone())),
                 _ => {}
             }
+        }
+        if self.repair.open {
+            out.push((kinds::REPAIR_STORM, "storage".to_string()));
         }
         out
     }
@@ -714,6 +745,48 @@ impl Doctor {
         }
     }
 
+    /// Repair-storm detector: fold one background repair plan
+    /// (re-replication or EC reconstruction) into the sliding window and
+    /// fire when the windowed byte volume crosses the threshold. The alert
+    /// latches open until the window drains below half the threshold, so
+    /// one storm fires once instead of once per plan.
+    fn on_repair(&mut self, ts: SimTime, bytes: f64) {
+        let t = ts.as_secs_f64();
+        let horizon = t - self.cfg.repair_window_secs as f64;
+        self.repair.window.push_back((t, bytes));
+        while self
+            .repair
+            .window
+            .front()
+            .is_some_and(|&(t0, _)| t0 < horizon)
+        {
+            self.repair.window.pop_front();
+        }
+        let sum = self.repair.sum();
+        if !self.repair.open && sum >= self.cfg.repair_storm_bytes {
+            self.repair.open = true;
+            let plans = self.repair.window.len();
+            self.fire(
+                kinds::REPAIR_STORM,
+                ts,
+                "storage".to_string(),
+                format!(
+                    "{:.1} GB of background repair traffic within {} s — correlated \
+                     failure recovery is saturating the repair throttle",
+                    sum / 1e9,
+                    self.cfg.repair_window_secs
+                ),
+                vec![
+                    ("repair_bytes", num(round3(sum))),
+                    ("window_s", self.cfg.repair_window_secs.to_string()),
+                    ("plans", plans.to_string()),
+                ],
+            );
+        } else if self.repair.open && sum < self.cfg.repair_storm_bytes / 2.0 {
+            self.repair.open = false;
+        }
+    }
+
     fn on_tenant_instant(&mut self, name: &str, args: &[(&'static str, ArgValue)]) {
         match name {
             "share" => {
@@ -874,7 +947,7 @@ impl Doctor {
              \"warmup_recals\":{},\"recal_min_step\":{},\"new_band_grace_secs\":{},\
              \"recal_max_age_secs\":{},\"recal_window\":{},\"thrash_flips\":{},\"drift_min_recals\":{},\
              \"drift_ratio\":{},\"starvation_ratio\":{},\"starvation_min_events\":{},\
-             \"max_keys\":{}}},",
+             \"max_keys\":{},\"repair_storm_bytes\":{},\"repair_window_secs\":{}}},",
             c.ring_capacity,
             c.incident_window,
             c.max_incidents,
@@ -898,6 +971,8 @@ impl Doctor {
             num(c.starvation_ratio),
             c.starvation_min_events,
             c.max_keys,
+            num(c.repair_storm_bytes),
+            c.repair_window_secs,
         ));
         o.push_str(&format!(
             "\"events\":{},\"end_s\":{},\"seq\":{},\"dropped\":{},",
@@ -965,7 +1040,13 @@ impl Doctor {
         push_join(&mut o, self.tenant_pain.iter(), |(t, n)| {
             format!("[{t},{n}]")
         });
-        o.push_str("],\"ring\":[");
+        o.push_str("],\"repair\":{\"open\":");
+        o.push_str(if self.repair.open { "true" } else { "false" });
+        o.push_str(",\"window\":[");
+        push_join(&mut o, self.repair.window.iter(), |(t, b)| {
+            format!("[{},{}]", num(*t), num(*b))
+        });
+        o.push_str("]},\"ring\":[");
         push_join(&mut o, self.ring.iter(), rec_event_json);
         o.push_str("],\"incidents\":[");
         push_join(&mut o, self.incidents.iter(), incident_json);
@@ -1061,7 +1142,12 @@ impl TelemetrySink for Doctor {
         self.events += 1;
         self.end = self.end.max(ts);
         match cat {
-            "fault" | "placement" => self.record(ts, cat, name, args),
+            "fault" | "placement" => {
+                self.record(ts, cat, name, args);
+                if cat == "fault" && matches!(name, "re_replicate" | "reconstruct") {
+                    self.on_repair(ts, arg_f64(args, "bytes").unwrap_or(0.0));
+                }
+            }
             "scheduler" => {
                 self.record(ts, cat, name, args);
                 if name == "recalibrate" {
@@ -1433,6 +1519,9 @@ mod restore {
             "weighted_usage_s",
             "ledger_mean_s",
             "pain_events",
+            "repair_bytes",
+            "window_s",
+            "plans",
         ];
         KEYS.iter()
             .copied()
@@ -1473,6 +1562,8 @@ mod restore {
             starvation_ratio: c.f64_of("starvation_ratio")?,
             starvation_min_events: c.u64_of("starvation_min_events")?,
             max_keys: c.u64_of("max_keys")? as usize,
+            repair_storm_bytes: c.f64_of("repair_storm_bytes")?,
+            repair_window_secs: c.u64_of("repair_window_secs")?,
         };
         let mut d = Doctor::new(cfg);
         d.events = v.u64_of("events")?;
@@ -1562,6 +1653,21 @@ mod restore {
                 return Err("pain must be [tenant, n] pairs".into());
             }
             d.tenant_pain.insert(items[0].as_u64()?, items[1].as_u64()?);
+        }
+        let rep = v
+            .get("repair")
+            .ok_or_else(|| "missing repair".to_string())?;
+        d.repair.open = rep.bool_of("open")?;
+        for pair in rep.arr_of("window")? {
+            let Json::Arr(items) = pair else {
+                return Err("repair window must be [t, bytes] pairs".into());
+            };
+            if items.len() != 2 {
+                return Err("repair window must be [t, bytes] pairs".into());
+            }
+            d.repair
+                .window
+                .push_back((items[0].as_num()?, items[1].as_num()?));
         }
         for e in v.arr_of("ring")? {
             d.ring.push_back(rec_event(e)?);
@@ -1742,6 +1848,54 @@ mod tests {
             x = next;
         }
         assert_eq!(d.alerts_total().get(kinds::CROSSPOINT_DRIFT), Some(&1));
+    }
+
+    #[test]
+    fn repair_storm_fires_once_per_storm_and_rearms_after_drain() {
+        let mut d = Doctor::new(DoctorConfig {
+            repair_storm_bytes: 1.0e9,
+            repair_window_secs: 100,
+            ..Default::default()
+        });
+        let repair = |d: &mut Doctor, t: u64, name: &str, bytes: f64| {
+            d.instant(
+                "fault",
+                name,
+                crate::lanes::STORAGE,
+                0,
+                SimTime::from_secs(t),
+                &[("bytes", bytes.into())],
+            );
+        };
+        // Scattered single-block repairs stay below the threshold.
+        repair(&mut d, 10, "re_replicate", 3.0e8);
+        repair(&mut d, 20, "reconstruct", 3.0e8);
+        assert_eq!(d.alerts_total().get(kinds::REPAIR_STORM), None);
+        // The storm crosses the threshold: exactly one alert, latched open.
+        repair(&mut d, 30, "re_replicate", 5.0e8);
+        repair(&mut d, 31, "re_replicate", 5.0e8);
+        repair(&mut d, 32, "reconstruct", 5.0e8);
+        assert_eq!(d.alerts_total().get(kinds::REPAIR_STORM), Some(&1));
+        assert!(d
+            .open_alerts()
+            .contains(&(kinds::REPAIR_STORM, "storage".to_string())));
+        let inc = d
+            .incidents()
+            .iter()
+            .find(|i| i.kind == kinds::REPAIR_STORM)
+            .expect("incident retained");
+        assert!(inc.evidence.iter().any(|(k, _)| *k == "repair_bytes"));
+        // After the window drains the detector closes and re-arms.
+        repair(&mut d, 500, "re_replicate", 1.0e8);
+        assert!(!d
+            .open_alerts()
+            .contains(&(kinds::REPAIR_STORM, "storage".to_string())));
+        repair(&mut d, 510, "reconstruct", 1.1e9);
+        assert_eq!(d.alerts_total().get(kinds::REPAIR_STORM), Some(&2));
+        // The whole thing round-trips through snapshot/restore.
+        let restored = Doctor::restore(&d.snapshot_json()).expect("restores");
+        assert_eq!(restored.snapshot_json(), d.snapshot_json());
+        assert_eq!(restored.open_alerts(), d.open_alerts());
     }
 
     #[test]

@@ -142,6 +142,12 @@ pub mod names {
         pub const FAULTS: &str = "faults";
         /// Bytes moved by storage re-replication.
         pub const REREPLICATED_BYTES: &str = "rereplicated_bytes";
+        /// Bytes moved by erasure-coded reconstruction.
+        pub const RECONSTRUCTED_BYTES: &str = "reconstructed_bytes";
+        /// Degraded-read count and blocked seconds.
+        pub const DEGRADED_READS: &str = "degraded_reads";
+        /// Seconds tasks spent blocked on degraded reads.
+        pub const DEGRADED_READ_SECS: &str = "degraded_read_secs";
         /// Routing decisions per band and side.
         pub const PLACEMENTS: &str = "placements";
         /// Rejected-alternative tallies.
@@ -182,6 +188,12 @@ pub mod names {
     pub const FAULT_EVENTS_TOTAL: &str = "hh_fault_events_total";
     /// Bytes moved by storage re-replication after node loss.
     pub const REREPLICATED_BYTES_TOTAL: &str = "hh_rereplicated_bytes_total";
+    /// Bytes moved by erasure-coded reconstruction after node loss.
+    pub const STORAGE_RECONSTRUCTED_BYTES_TOTAL: &str = "hh_storage_reconstructed_bytes_total";
+    /// Block reads served while the block's redundancy was lost.
+    pub const STORAGE_DEGRADED_READS_TOTAL: &str = "hh_storage_degraded_reads_total";
+    /// Task seconds spent blocked on degraded reads.
+    pub const STORAGE_DEGRADED_READ_SECONDS_TOTAL: &str = "hh_storage_degraded_read_seconds_total";
     /// Scheduler routing decisions per band and chosen side.
     pub const PLACEMENT_DECISIONS_TOTAL: &str = "hh_placement_decisions_total";
     /// Rejected-alternative tallies per band and reason.
@@ -229,6 +241,12 @@ pub mod names {
         (SLOT_BUSY_SECONDS_TOTAL, keys::UTILIZATION),
         (FAULT_EVENTS_TOTAL, keys::FAULTS),
         (REREPLICATED_BYTES_TOTAL, keys::REREPLICATED_BYTES),
+        (STORAGE_RECONSTRUCTED_BYTES_TOTAL, keys::RECONSTRUCTED_BYTES),
+        (STORAGE_DEGRADED_READS_TOTAL, keys::DEGRADED_READS),
+        (
+            STORAGE_DEGRADED_READ_SECONDS_TOTAL,
+            keys::DEGRADED_READ_SECS,
+        ),
         (PLACEMENT_DECISIONS_TOTAL, keys::PLACEMENTS),
         (PLACEMENT_REJECTIONS_TOTAL, keys::REJECTIONS),
         (CROSSPOINT_BYTES, keys::CROSSPOINT),
@@ -284,6 +302,9 @@ pub struct OnlineAggregator {
     job_failures: u64,
     faults: BTreeMap<String, u64>,
     rereplicated_bytes: f64,
+    reconstructed_bytes: f64,
+    degraded_reads: u64,
+    degraded_read_secs: f64,
     placements: BTreeMap<(String, &'static str), u64>,
     rejections: BTreeMap<(String, String), u64>,
     /// Live adaptive cross-point per band: latest `new_bytes` seen on a
@@ -385,6 +406,9 @@ impl OnlineAggregator {
             job_failures: 0,
             faults: BTreeMap::new(),
             rereplicated_bytes: 0.0,
+            reconstructed_bytes: 0.0,
+            degraded_reads: 0,
+            degraded_read_secs: 0.0,
             placements: BTreeMap::new(),
             rejections: BTreeMap::new(),
             crosspoint_bytes: BTreeMap::new(),
@@ -601,8 +625,18 @@ impl TelemetrySink for OnlineAggregator {
         match cat {
             "fault" => {
                 *self.faults.entry(name.to_string()).or_insert(0) += 1;
-                if name == "re_replicate" {
-                    self.rereplicated_bytes += arg_f64(args, "bytes").unwrap_or(0.0);
+                match name {
+                    "re_replicate" => {
+                        self.rereplicated_bytes += arg_f64(args, "bytes").unwrap_or(0.0)
+                    }
+                    "reconstruct" => {
+                        self.reconstructed_bytes += arg_f64(args, "bytes").unwrap_or(0.0)
+                    }
+                    "degraded_read" => {
+                        self.degraded_reads += 1;
+                        self.degraded_read_secs += arg_f64(args, "secs").unwrap_or(0.0);
+                    }
+                    _ => {}
                 }
             }
             "placement" => {
@@ -938,6 +972,39 @@ impl OnlineAggregator {
             names::REREPLICATED_BYTES_TOTAL,
             num(self.rereplicated_bytes)
         ));
+        metric(
+            &mut o,
+            names::STORAGE_RECONSTRUCTED_BYTES_TOTAL,
+            "Bytes moved by erasure-coded reconstruction after node loss.",
+            "counter",
+        );
+        o.push_str(&format!(
+            "{} {}\n",
+            names::STORAGE_RECONSTRUCTED_BYTES_TOTAL,
+            num(self.reconstructed_bytes)
+        ));
+        metric(
+            &mut o,
+            names::STORAGE_DEGRADED_READS_TOTAL,
+            "Block reads served while the block's redundancy was lost.",
+            "counter",
+        );
+        o.push_str(&format!(
+            "{} {}\n",
+            names::STORAGE_DEGRADED_READS_TOTAL,
+            self.degraded_reads
+        ));
+        metric(
+            &mut o,
+            names::STORAGE_DEGRADED_READ_SECONDS_TOTAL,
+            "Task seconds spent blocked on degraded reads.",
+            "counter",
+        );
+        o.push_str(&format!(
+            "{} {}\n",
+            names::STORAGE_DEGRADED_READ_SECONDS_TOTAL,
+            num(self.degraded_read_secs)
+        ));
 
         metric(
             &mut o,
@@ -1253,6 +1320,21 @@ impl OnlineAggregator {
             "\"{}\": {},\n",
             names::keys::REREPLICATED_BYTES,
             num(self.rereplicated_bytes)
+        ));
+        o.push_str(&format!(
+            "\"{}\": {},\n",
+            names::keys::RECONSTRUCTED_BYTES,
+            num(self.reconstructed_bytes)
+        ));
+        o.push_str(&format!(
+            "\"{}\": {},\n",
+            names::keys::DEGRADED_READS,
+            self.degraded_reads
+        ));
+        o.push_str(&format!(
+            "\"{}\": {},\n",
+            names::keys::DEGRADED_READ_SECS,
+            num(self.degraded_read_secs)
         ));
 
         o.push_str(&format!("\"{}\": [\n", names::keys::PLACEMENTS));

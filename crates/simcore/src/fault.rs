@@ -21,6 +21,7 @@ use crate::time::{SimDuration, SimTime};
 const STREAM_NODE: u64 = 0x4641_554C_5401; // node crash schedule
 const STREAM_SERVER: u64 = 0x4641_554C_5402; // storage-server degradation
 const STREAM_STRAGGLER: u64 = 0x4641_554C_5403; // per-task straggler hash
+const STREAM_RACK: u64 = 0x4641_554C_5404; // correlated rack-storm schedule
 
 /// Intensity knobs from which a [`FaultPlan`] is drawn.
 ///
@@ -63,11 +64,17 @@ impl FaultRates {
     /// is fault-free; 1.0 is a rough "bad week" (a node crashes about once
     /// every two days, ~5 % of task attempts straggle, occasional storage
     /// brown-outs); larger values scale linearly.
+    ///
+    /// Hardened like the calibration loaders: a negative or non-finite
+    /// intensity (a bad flag, a NaN from an upstream division) clamps to
+    /// the fault-free 0.0 instead of panicking or poisoning every drawn
+    /// rate downstream.
     pub fn scaled(intensity: f64) -> Self {
-        assert!(
-            intensity >= 0.0 && intensity.is_finite(),
-            "intensity must be non-negative"
-        );
+        let intensity = if intensity.is_finite() {
+            intensity.max(0.0)
+        } else {
+            0.0
+        };
         FaultRates {
             node_crash_per_hour: 0.02 * intensity,
             node_recovery_secs: 300.0,
@@ -76,6 +83,29 @@ impl FaultRates {
             server_degrade_per_hour: 0.01 * intensity,
             server_degrade_secs: 600.0,
             server_degrade_factor: 0.3,
+        }
+    }
+}
+
+/// Intensity knobs for *correlated* rack-level failure storms: every node
+/// in a rack crashes at the same instant (a shared switch or PDU dies) and
+/// rejoins together when the rack is repowered. This is the failure mode
+/// that separates rack-aware replica placement from flat placement — an
+/// uncorrelated plan almost never takes out two replicas at once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackStormRates {
+    /// Mean storms per rack per simulated hour.
+    pub storms_per_hour: f64,
+    /// Mean seconds a downed rack stays dark before repowering.
+    pub outage_secs: f64,
+}
+
+impl RackStormRates {
+    /// No storms; overlaying these rates is a no-op.
+    pub fn none() -> Self {
+        RackStormRates {
+            storms_per_hour: 0.0,
+            outage_secs: 600.0,
         }
     }
 }
@@ -252,6 +282,89 @@ impl FaultPlan {
         }
     }
 
+    /// Overlay correlated rack storms on the plan: for each rack in
+    /// `rack_layout` (a list of `(cluster, node)` members), storm windows
+    /// are drawn from the rack's own decorrelated substream of the plan
+    /// seed, and every member crashes at the window start and recovers at
+    /// its end. Composes with [`FaultPlan::generate`]'s uncorrelated
+    /// events; the merged stream stays time-sorted. Adding racks never
+    /// re-rolls existing racks' storms.
+    pub fn with_rack_storms(
+        mut self,
+        rates: &RackStormRates,
+        horizon: SimDuration,
+        rack_layout: &[Vec<(usize, usize)>],
+    ) -> Self {
+        if rates.storms_per_hour <= 0.0 {
+            return self;
+        }
+        let mean_gap_secs = 3600.0 / rates.storms_per_hour;
+        for (rack, members) in rack_layout.iter().enumerate() {
+            let label = derive_seed(STREAM_RACK, rack as u64);
+            let mut rng = substream(self.seed, label);
+            draw_windows(
+                &mut rng,
+                mean_gap_secs,
+                rates.outage_secs,
+                horizon,
+                |from, to| {
+                    for &(cluster, node) in members {
+                        self.node_events.push(NodeFault {
+                            at: from,
+                            cluster,
+                            node,
+                            kind: NodeFaultKind::Crash,
+                        });
+                        self.node_events.push(NodeFault {
+                            at: to,
+                            cluster,
+                            node,
+                            kind: NodeFaultKind::Recover,
+                        });
+                    }
+                },
+            );
+        }
+        self.sort_node_events();
+        self
+    }
+
+    /// Overlay one *scheduled* outage: every `(cluster, node)` in `members`
+    /// crashes at `at` and recovers `duration` later (clamped to ≥ 1 s so
+    /// crash and recovery never share a tick). With a single member this is
+    /// a deterministic single-node failure; with a rack's member list it is
+    /// a deterministic rack storm — the two failure cells of the
+    /// durability sweep grid.
+    pub fn with_outage(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        members: &[(usize, usize)],
+    ) -> Self {
+        let end = at + SimDuration::from_secs_f64(duration.as_secs_f64().max(1.0));
+        for &(cluster, node) in members {
+            self.node_events.push(NodeFault {
+                at,
+                cluster,
+                node,
+                kind: NodeFaultKind::Crash,
+            });
+            self.node_events.push(NodeFault {
+                at: end,
+                cluster,
+                node,
+                kind: NodeFaultKind::Recover,
+            });
+        }
+        self.sort_node_events();
+        self
+    }
+
+    fn sort_node_events(&mut self) {
+        self.node_events
+            .sort_by_key(|e| (e.at, e.cluster, e.node, e.kind == NodeFaultKind::Recover));
+    }
+
     /// The CPU slowdown multiplier for one task attempt, ≥ 1.0 (1.0 = not a
     /// straggler).
     ///
@@ -339,6 +452,106 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         assert_eq!(plan(4.0), plan(4.0));
+    }
+
+    #[test]
+    fn scaled_clamps_negative_and_non_finite_intensity() {
+        // The calibrate.rs-style hardening: junk inputs mean "no faults",
+        // never a panic or a NaN-poisoned rate.
+        for bad in [-1.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = FaultRates::scaled(bad);
+            assert_eq!(r, FaultRates::scaled(0.0), "intensity {bad}");
+            assert_eq!(r.node_crash_per_hour, 0.0);
+            assert!(r.straggler_prob == 0.0);
+        }
+        let p = FaultPlan::generate(
+            3,
+            &FaultRates::scaled(f64::NAN),
+            SimDuration::from_secs(10_000),
+            &[4],
+            8,
+        );
+        assert!(p.is_empty(), "clamped rates draw the empty plan");
+    }
+
+    fn rack_layout() -> Vec<Vec<(usize, usize)>> {
+        // 8 nodes of cluster 0 in two racks of four.
+        vec![
+            (0..4).map(|n| (0usize, n)).collect(),
+            (4..8).map(|n| (0usize, n)).collect(),
+        ]
+    }
+
+    #[test]
+    fn rack_storms_are_correlated_and_deterministic() {
+        let rates = RackStormRates {
+            storms_per_hour: 2.0,
+            outage_secs: 300.0,
+        };
+        let horizon = SimDuration::from_secs(50_000);
+        let mk = || {
+            FaultPlan::generate(9, &FaultRates::none(), horizon, &[8], 0).with_rack_storms(
+                &rates,
+                horizon,
+                &rack_layout(),
+            )
+        };
+        let p = mk();
+        assert_eq!(p, mk(), "storm overlay is deterministic");
+        assert!(!p.node_events.is_empty(), "~27h at 2/h draws storms");
+        // Correlation: every crash instant takes out a full rack.
+        let crashes: Vec<&NodeFault> = p
+            .node_events
+            .iter()
+            .filter(|e| e.kind == NodeFaultKind::Crash)
+            .collect();
+        assert_eq!(crashes.len() % 4, 0);
+        for c in &crashes {
+            let peers = crashes
+                .iter()
+                .filter(|o| o.at == c.at && o.node / 4 == c.node / 4)
+                .count();
+            assert_eq!(peers, 4, "all four rack members share the instant");
+        }
+        // Sorted overlay.
+        for w in p.node_events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn growing_the_layout_never_rerolls_existing_racks() {
+        let rates = RackStormRates {
+            storms_per_hour: 1.0,
+            outage_secs: 120.0,
+        };
+        let horizon = SimDuration::from_secs(80_000);
+        let small = FaultPlan::empty().with_rack_storms(&rates, horizon, &rack_layout()[..1]);
+        let big = FaultPlan::empty().with_rack_storms(&rates, horizon, &rack_layout());
+        let rack0 = |p: &FaultPlan| -> Vec<NodeFault> {
+            p.node_events
+                .iter()
+                .filter(|e| e.node < 4)
+                .copied()
+                .collect()
+        };
+        assert_eq!(rack0(&small), rack0(&big));
+    }
+
+    #[test]
+    fn scheduled_outage_pins_exact_events() {
+        let p = FaultPlan::empty().with_outage(
+            SimTime::from_secs(100),
+            SimDuration::from_secs(60),
+            &[(0, 1), (0, 2)],
+        );
+        assert!(!p.is_empty());
+        assert_eq!(p.node_events.len(), 4);
+        assert_eq!(p.node_events[0].at, SimTime::from_secs(100));
+        assert_eq!(p.node_events[0].kind, NodeFaultKind::Crash);
+        assert_eq!(p.node_events[1].node, 2);
+        assert_eq!(p.node_events[2].at, SimTime::from_secs(160));
+        assert_eq!(p.node_events[2].kind, NodeFaultKind::Recover);
     }
 
     #[test]

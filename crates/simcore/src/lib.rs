@@ -32,7 +32,9 @@ pub mod rng;
 pub mod time;
 
 pub use event::{EventQueue, QueuedEvent};
-pub use fault::{FaultPlan, FaultRates, NodeFault, NodeFaultKind, ServerFault, ServerFaultKind};
+pub use fault::{
+    FaultPlan, FaultRates, NodeFault, NodeFaultKind, RackStormRates, ServerFault, ServerFaultKind,
+};
 pub use flownet::{FlowLogEntry, FlowNetwork, NetResourceId};
 pub use ps::{FlowId, Generation, PsResource};
 pub use registry::{ResourceId, ResourcePool};

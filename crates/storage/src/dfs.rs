@@ -131,4 +131,73 @@ mod tests {
     fn block_len_of_empty_file_is_zero() {
         assert_eq!(block_len(0, 128, 0), 0);
     }
+
+    /// The two classic final-partial-block off-by-one traps: a size exactly
+    /// divisible by the block size must yield a *full* last block (not a
+    /// phantom zero-length one), and a remainder of a single byte must
+    /// yield a 1-byte tail.
+    #[test]
+    fn block_len_final_block_edges() {
+        let bs = 128;
+        // Exactly divisible: every block full, last index = size/bs - 1.
+        assert_eq!(block_len(384, bs, 2), 128);
+        assert_eq!(block_len(128, bs, 0), 128);
+        // Remainder 1: tail block holds exactly one byte.
+        assert_eq!(block_len(385, bs, 3), 1);
+        assert_eq!(block_len(129, bs, 1), 1);
+        // One byte short of a boundary: tail is bs - 1.
+        assert_eq!(block_len(383, bs, 2), 127);
+        // Sub-block file: single short block.
+        assert_eq!(block_len(5, bs, 0), 5);
+    }
+
+    /// Block *count* agrees with block_len at both edge shapes: the last
+    /// in-range index has a nonzero length and the lengths sum to the size.
+    #[test]
+    fn block_count_and_lengths_are_consistent() {
+        struct Probe(u64);
+        impl DfsModel for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn block_size(&self) -> u64 {
+                128
+            }
+            fn create_file(&mut self, _: FileId, _: u64) -> Result<(), StorageError> {
+                Ok(())
+            }
+            fn delete_file(&mut self, _: FileId) -> bool {
+                false
+            }
+            fn file_size(&self, _: FileId) -> Option<u64> {
+                Some(self.0)
+            }
+            fn block_hosts(&self, _: FileId, _: u32) -> Vec<NodeId> {
+                Vec::new()
+            }
+            fn plan_read(&self, _: FileId, _: u32, _: &Node) -> IoPlan {
+                IoPlan::empty()
+            }
+            fn plan_write(
+                &mut self,
+                _: FileId,
+                _: u64,
+                _: &Node,
+                _: u64,
+            ) -> Result<IoPlan, StorageError> {
+                Ok(IoPlan::empty())
+            }
+            fn used_bytes(&self) -> u64 {
+                0
+            }
+        }
+        for size in [1u64, 127, 128, 129, 255, 256, 257, 384, 385] {
+            let probe = Probe(size);
+            let n = probe.num_blocks(FileId(0));
+            assert_eq!(n as u64, size.div_ceil(128), "count for {size}");
+            let total: u64 = (0..n).map(|b| block_len(size, 128, b)).sum();
+            assert_eq!(total, size, "lengths sum to size for {size}");
+            assert!(block_len(size, 128, n - 1) >= 1, "last block nonempty");
+        }
+    }
 }

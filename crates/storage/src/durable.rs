@@ -1,0 +1,1074 @@
+//! The durability subsystem: rack-aware variable replication and erasure
+//! coding over the compute nodes.
+//!
+//! [`DurableModel`] is a third [`DfsModel`] backend next to HDFS and OFS,
+//! built for the durability scenario grid rather than the paper's Table I
+//! calibration. It generalizes [`crate::hdfs::HdfsModel`] in three
+//! directions:
+//!
+//! - **Per-file variable replication factor** — the model-wide default
+//!   ([`RedundancyScheme::Replicated`]) can be overridden per file with
+//!   [`DurableModel::set_replication`] before the file is created, the
+//!   replica-management knob PAPERS.md's evaluation turns;
+//! - **Rack-aware placement** — the Hadoop block-placement policy: first
+//!   replica on the writer (or a random node for pre-loaded datasets),
+//!   second replica *off-rack*, third replica *rack-local to the second*,
+//!   all drawn from [`simcore::rng`] substreams keyed by `(seed, file,
+//!   block)` over candidates in `NodeId` order — so placement is a pure
+//!   function of the configuration and is invariant under node
+//!   registration order;
+//! - **Erasure coding** ([`RedundancyScheme::ErasureCoded`], math in
+//!   [`crate::ec`]) — `k` data blocks + `m` parity blocks per stripe
+//!   group, spread rack-round-robin so no rack holds more than
+//!   `⌈(k+m)/racks⌉` blocks of one group (≤ `m` on the 4-rack testbed):
+//!   cheaper storage than replication, but a read whose data block is lost
+//!   fans in from `k` surviving group members, and repair traffic is
+//!   `(k+1)×` the lost bytes instead of `1×`.
+//!
+//! Failure handling mirrors HDFS's namenode queues: [`DfsModel::
+//! on_node_down`] returns one background repair [`IoPlan`] (re-replication
+//! copies or EC reconstructions) whose every transfer carries the
+//! configured [`DurabilityConfig::repair_rate_cap`] — the static
+//! `dfs.datanode.balance.bandwidthPerSec`-style throttle that demotes
+//! repair storms below foreground job I/O on the shared fair-share
+//! network. Reads served while redundancy is lost are tagged
+//! [`IoPlan::degraded`] so the engine can count and time them.
+
+use crate::dfs::{block_len, DfsModel, FileId};
+use crate::ec::EcParams;
+use crate::error::StorageError;
+use crate::plan::{IoKind, IoPlan, IoStage, Transfer};
+use cluster::{machine::MemorySpec, FabricSpec, Node, NodeId};
+use simcore::rng::{derive_seed, substream, DetRng};
+use simcore::{NetResourceId, SimDuration};
+use std::collections::HashMap;
+
+/// Substream labels under the durability seed.
+const STREAM_PLACE: u64 = 0x4455_5241_0001; // block placement draws
+const STREAM_REPAIR: u64 = 0x4455_5241_0002; // repair-target draws
+
+/// How redundancy is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedundancyScheme {
+    /// `factor` full copies of every block (Hadoop classic).
+    Replicated {
+        /// Copies per block (≥ 1; silently capped at the node count).
+        factor: u32,
+    },
+    /// Reed–Solomon `k + m` striping (see [`crate::ec`]).
+    ErasureCoded {
+        /// Data blocks per stripe group.
+        k: u32,
+        /// Parity blocks per stripe group.
+        m: u32,
+    },
+}
+
+impl RedundancyScheme {
+    /// Stored bytes per logical byte (replication `factor`, EC `(k+m)/k`).
+    pub fn storage_overhead(&self) -> f64 {
+        match *self {
+            RedundancyScheme::Replicated { factor } => factor.max(1) as f64,
+            RedundancyScheme::ErasureCoded { k, m } => (k + m) as f64 / k.max(1) as f64,
+        }
+    }
+
+    /// Short table label ("rep×3", "ec-6+3").
+    pub fn label(&self) -> String {
+        match *self {
+            RedundancyScheme::Replicated { factor } => format!("rep\u{d7}{factor}"),
+            RedundancyScheme::ErasureCoded { k, m } => format!("ec-{k}+{m}"),
+        }
+    }
+}
+
+/// Tuning of the durable storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Model-wide redundancy scheme (per-file replication overrides via
+    /// [`DurableModel::set_replication`]).
+    pub scheme: RedundancyScheme,
+    /// Block size in bytes (HDFS-style 128 MB).
+    pub block_size: u64,
+    /// Namenode metadata round-trip per block open/allocate.
+    pub namenode_latency: SimDuration,
+    /// Fraction of each disk reserved for non-DFS data.
+    pub reserve_fraction: f64,
+    /// Per-transfer rate cap on background repair traffic, in bytes/s —
+    /// the static repair-bandwidth throttle (HDFS's
+    /// `dfs.datanode.balance.bandwidthPerSec`). `None` lets repair contend
+    /// at full fair share.
+    pub repair_rate_cap: Option<f64>,
+    /// Root seed of the placement/repair substreams.
+    pub seed: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            scheme: RedundancyScheme::Replicated { factor: 3 },
+            block_size: 128 << 20,
+            namenode_latency: SimDuration::from_millis(2),
+            reserve_fraction: 0.10,
+            // 50 MB/s per repair stream: well under one disk's bandwidth,
+            // so a storm degrades foreground I/O instead of starving it.
+            repair_rate_cap: Some(50.0e6),
+            seed: 0x4455_5241, // "DURA"
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Datanode {
+    node: NodeId,
+    rack: u32,
+    disk: NetResourceId,
+    nic: NetResourceId,
+    membus: NetResourceId,
+    memory: MemorySpec,
+    capacity: u64,
+    used: u64,
+    down: bool,
+}
+
+/// One stored block: its payload length and hosting datanode indices. For
+/// replication every host carries a full copy; for EC `hosts` is the single
+/// data-block host (parity lives in the group).
+#[derive(Debug, Clone)]
+struct DBlock {
+    len: u64,
+    hosts: Vec<usize>,
+    /// EC only: index into the file's group list.
+    group: u32,
+}
+
+/// One EC stripe group: which file blocks are its data shards, plus the
+/// parity shards' hosts and length (max member length).
+#[derive(Debug, Clone)]
+struct EcGroup {
+    data: Vec<u32>,
+    parity_hosts: Vec<usize>,
+    parity_len: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DFile {
+    size: u64,
+    factor: u32,
+    blocks: Vec<DBlock>,
+    groups: Vec<EcGroup>,
+}
+
+/// The durable storage model over a fixed set of datanodes.
+#[derive(Debug, Clone)]
+pub struct DurableModel {
+    cfg: DurabilityConfig,
+    ec: Option<EcParams>,
+    fabric: FabricSpec,
+    /// Sorted by `NodeId` regardless of registration order — the root of
+    /// the permutation-invariance property.
+    datanodes: Vec<Datanode>,
+    by_node: HashMap<NodeId, usize>,
+    files: HashMap<FileId, DFile>,
+    factor_overrides: HashMap<FileId, u32>,
+    num_racks: u32,
+}
+
+impl DurableModel {
+    /// Build the model over `datanodes` (any order — nodes are sorted by
+    /// id internally).
+    ///
+    /// # Panics
+    /// Panics when `datanodes` is empty, or when an EC scheme needs more
+    /// distinct nodes than exist (`k + m > len`) or is invalid.
+    pub fn new(cfg: DurabilityConfig, datanodes: &[Node], fabric: FabricSpec) -> Self {
+        assert!(!datanodes.is_empty(), "durable model needs datanodes");
+        let ec = match cfg.scheme {
+            RedundancyScheme::ErasureCoded { k, m } => {
+                let params = EcParams::new(k, m).expect("invalid EC scheme");
+                assert!(
+                    params.stripe_width() as usize <= datanodes.len(),
+                    "EC {k}+{m} needs at least {} nodes, have {}",
+                    k + m,
+                    datanodes.len()
+                );
+                Some(params)
+            }
+            RedundancyScheme::Replicated { factor } => {
+                assert!(factor >= 1, "replication factor must be at least 1");
+                None
+            }
+        };
+        let mut dn: Vec<Datanode> = datanodes
+            .iter()
+            .map(|n| Datanode {
+                node: n.id,
+                rack: n.rack,
+                disk: n.disk,
+                nic: n.nic,
+                membus: n.membus,
+                memory: n.spec.memory,
+                capacity: ((n.spec.disk.capacity as f64) * (1.0 - cfg.reserve_fraction)) as u64,
+                used: 0,
+                down: false,
+            })
+            .collect();
+        dn.sort_by_key(|d| d.node);
+        let by_node = dn.iter().enumerate().map(|(i, d)| (d.node, i)).collect();
+        let num_racks = dn.iter().map(|d| d.rack + 1).max().unwrap_or(1);
+        DurableModel {
+            cfg,
+            ec,
+            fabric,
+            datanodes: dn,
+            by_node,
+            files: HashMap::new(),
+            factor_overrides: HashMap::new(),
+            num_racks,
+        }
+    }
+
+    /// Override the replication factor for a file *before* it is created
+    /// (the per-file replica-management knob; ignored under an EC scheme).
+    pub fn set_replication(&mut self, id: FileId, factor: u32) {
+        self.factor_overrides.insert(id, factor.max(1));
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.cfg
+    }
+
+    /// Racks of the hosts of `block` of `id` (deduplicated, sorted) —
+    /// what the placement property tests assert over.
+    pub fn block_racks(&self, id: FileId, block: u32) -> Vec<u32> {
+        let Some(file) = self.files.get(&id) else {
+            return Vec::new();
+        };
+        let Some(blk) = file.blocks.get(block as usize) else {
+            return Vec::new();
+        };
+        let mut racks: Vec<u32> = blk.hosts.iter().map(|&h| self.datanodes[h].rack).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks
+    }
+
+    fn factor_for(&self, id: FileId) -> u32 {
+        let base = match self.cfg.scheme {
+            RedundancyScheme::Replicated { factor } => factor,
+            RedundancyScheme::ErasureCoded { .. } => 1,
+        };
+        let f = self.factor_overrides.get(&id).copied().unwrap_or(base);
+        f.min(self.datanodes.len() as u32).max(1)
+    }
+
+    fn available(&self) -> u64 {
+        self.datanodes
+            .iter()
+            .map(|d| d.capacity.saturating_sub(d.used))
+            .sum()
+    }
+
+    fn capacity_error(&self, requested: u64) -> StorageError {
+        StorageError::CapacityExceeded {
+            fs: "durable".into(),
+            requested,
+            available: self.available(),
+        }
+    }
+
+    /// Candidate datanode indices with room for `len` more bytes, excluding
+    /// `taken`, optionally restricted to / excluded from a rack. Down nodes
+    /// are excluded unless `include_down` — dataset preload places blind to
+    /// liveness (the data notionally predates any failure), while runtime
+    /// writes and repair targets stay live-only. Candidates come out in
+    /// `NodeId` order (`datanodes` is sorted).
+    fn candidates(
+        &self,
+        len: u64,
+        taken: &[usize],
+        rack: Option<u32>,
+        exclude_rack: Option<u32>,
+        include_down: bool,
+    ) -> Vec<usize> {
+        self.datanodes
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| {
+                (include_down || !d.down)
+                    && !taken.contains(i)
+                    && d.used + len <= d.capacity
+                    && rack.is_none_or(|r| d.rack == r)
+                    && exclude_rack.is_none_or(|r| d.rack != r)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn pick(rng: &mut DetRng, cands: &[usize]) -> Option<usize> {
+        if cands.is_empty() {
+            None
+        } else {
+            Some(cands[rng.range_usize(0, cands.len())])
+        }
+    }
+
+    /// The Hadoop rack-aware replica chain for one block: writer-local (or
+    /// random) first, off-rack second, rack-local-to-second third, anywhere
+    /// beyond. Returns `None` when fewer than `factor` hosts have room.
+    fn place_replicated(
+        &mut self,
+        id: FileId,
+        block_seq: u64,
+        len: u64,
+        factor: u32,
+        preferred: Option<usize>,
+        include_down: bool,
+    ) -> Option<Vec<usize>> {
+        let mut rng = substream(
+            derive_seed(self.cfg.seed, STREAM_PLACE),
+            derive_seed(id.0, block_seq),
+        );
+        let mut hosts: Vec<usize> = Vec::with_capacity(factor as usize);
+        // First replica: the writer when it is an eligible datanode.
+        let first = match preferred.filter(|&p| {
+            let d = &self.datanodes[p];
+            !d.down && d.used + len <= d.capacity
+        }) {
+            Some(p) => p,
+            None => Self::pick(
+                &mut rng,
+                &self.candidates(len, &hosts, None, None, include_down),
+            )?,
+        };
+        hosts.push(first);
+        while hosts.len() < factor as usize {
+            let next = match hosts.len() {
+                // Second replica: off the first replica's rack if the
+                // topology allows it.
+                1 => {
+                    let rack0 = self.datanodes[hosts[0]].rack;
+                    let off = self.candidates(len, &hosts, None, Some(rack0), include_down);
+                    if off.is_empty() {
+                        Self::pick(
+                            &mut rng,
+                            &self.candidates(len, &hosts, None, None, include_down),
+                        )?
+                    } else {
+                        Self::pick(&mut rng, &off)?
+                    }
+                }
+                // Third replica: rack-local to the second (one cheap
+                // rack-internal copy, still two racks total).
+                2 => {
+                    let rack1 = self.datanodes[hosts[1]].rack;
+                    let local = self.candidates(len, &hosts, Some(rack1), None, include_down);
+                    if local.is_empty() {
+                        Self::pick(
+                            &mut rng,
+                            &self.candidates(len, &hosts, None, None, include_down),
+                        )?
+                    } else {
+                        Self::pick(&mut rng, &local)?
+                    }
+                }
+                _ => Self::pick(
+                    &mut rng,
+                    &self.candidates(len, &hosts, None, None, include_down),
+                )?,
+            };
+            hosts.push(next);
+        }
+        for &h in &hosts {
+            self.datanodes[h].used += len;
+        }
+        Some(hosts)
+    }
+
+    /// Place one EC stripe group: `k` data + `m` parity hosts, distinct
+    /// nodes, racks filled round-robin from a drawn start so no rack holds
+    /// more than `⌈(k+m)/racks⌉` members. Returns `(data_hosts,
+    /// parity_hosts)`; lengths are charged by the caller.
+    fn place_group(
+        &mut self,
+        id: FileId,
+        group_seq: u64,
+        params: EcParams,
+        include_down: bool,
+    ) -> Option<(Vec<usize>, Vec<usize>)> {
+        let width = params.stripe_width() as usize;
+        let mut rng = substream(
+            derive_seed(self.cfg.seed, STREAM_PLACE),
+            derive_seed(id.0, u64::MAX ^ group_seq),
+        );
+        let start = rng.range_usize(0, self.num_racks as usize);
+        let mut taken: Vec<usize> = Vec::with_capacity(width);
+        // Hosts are chosen for full-block capacity; the caller charges the
+        // actual (possibly short-tail) lengths.
+        let len = self.cfg.block_size;
+        for slot in 0..width {
+            let mut chosen = None;
+            for step in 0..self.num_racks as usize {
+                let rack = ((start + slot + step) % self.num_racks as usize) as u32;
+                let cands = self.candidates(len, &taken, Some(rack), None, include_down);
+                if let Some(c) = Self::pick(&mut rng, &cands) {
+                    chosen = Some(c);
+                    break;
+                }
+            }
+            taken.push(chosen?);
+        }
+        let parity = taken.split_off(params.k as usize);
+        Some((taken, parity))
+    }
+
+    /// Allocate `bytes` as fresh blocks of `id` (groups under EC), rolling
+    /// back on capacity exhaustion. Returns the new blocks' indices.
+    /// `include_down` places blind to node liveness (preload semantics).
+    fn allocate(
+        &mut self,
+        id: FileId,
+        bytes: u64,
+        preferred: Option<usize>,
+        include_down: bool,
+    ) -> Result<Vec<u32>, StorageError> {
+        let bs = self.cfg.block_size;
+        let nblocks = bytes.div_ceil(bs);
+        let factor = self.factor_for(id);
+        let (existing_blocks, existing_groups) = match self.files.get(&id) {
+            Some(f) => (f.blocks.len() as u64, f.groups.len() as u64),
+            None => (0, 0),
+        };
+        let mut blocks: Vec<DBlock> = Vec::with_capacity(nblocks as usize);
+        let mut groups: Vec<EcGroup> = Vec::new();
+        let rollback = |model: &mut Self, blocks: &[DBlock], groups: &[EcGroup]| {
+            for blk in blocks {
+                for &h in &blk.hosts {
+                    model.datanodes[h].used -= blk.len;
+                }
+            }
+            for g in groups {
+                for &h in &g.parity_hosts {
+                    model.datanodes[h].used -= g.parity_len;
+                }
+            }
+        };
+        match self.ec {
+            None => {
+                for b in 0..nblocks {
+                    let len = block_len(bytes, bs, b as u32);
+                    let seq = existing_blocks + b;
+                    match self.place_replicated(id, seq, len, factor, preferred, include_down) {
+                        Some(hosts) => blocks.push(DBlock {
+                            len,
+                            hosts,
+                            group: 0,
+                        }),
+                        None => {
+                            rollback(self, &blocks, &groups);
+                            return Err(self.capacity_error(bytes * factor as u64));
+                        }
+                    }
+                }
+            }
+            Some(params) => {
+                let k = params.k as u64;
+                let ngroups = nblocks.div_ceil(k);
+                for g in 0..ngroups {
+                    let seq = existing_groups + g;
+                    let Some((data_hosts, parity_hosts)) =
+                        self.place_group(id, seq, params, include_down)
+                    else {
+                        rollback(self, &blocks, &groups);
+                        let overhead = params.storage_overhead();
+                        return Err(self.capacity_error((bytes as f64 * overhead) as u64));
+                    };
+                    let group_idx = (existing_groups + g) as u32;
+                    let first = g * k;
+                    let members: Vec<u64> = (first..(first + k).min(nblocks)).collect();
+                    let mut parity_len = 0;
+                    let mut data_ids = Vec::with_capacity(members.len());
+                    for (slot, &b) in members.iter().enumerate() {
+                        let len = block_len(bytes, bs, b as u32);
+                        parity_len = parity_len.max(len);
+                        let host = data_hosts[slot];
+                        self.datanodes[host].used += len;
+                        data_ids.push((existing_blocks + b) as u32);
+                        blocks.push(DBlock {
+                            len,
+                            hosts: vec![host],
+                            group: group_idx,
+                        });
+                    }
+                    for &h in &parity_hosts {
+                        self.datanodes[h].used += parity_len;
+                    }
+                    groups.push(EcGroup {
+                        data: data_ids,
+                        parity_hosts,
+                        parity_len,
+                    });
+                }
+            }
+        }
+        let entry = self.files.entry(id).or_insert(DFile {
+            size: 0,
+            factor,
+            blocks: Vec::new(),
+            groups: Vec::new(),
+        });
+        entry.size += bytes;
+        let first_new = entry.blocks.len() as u32;
+        entry.blocks.extend(blocks);
+        entry.groups.extend(groups);
+        Ok((first_new..entry.blocks.len() as u32).collect())
+    }
+
+    /// Push the HDFS-style cache-split write transfers for `len` bytes
+    /// landing on datanode `dn`, optionally over a NIC hop.
+    fn push_write(
+        stage: &mut IoStage,
+        dn: &Datanode,
+        hop: &[NetResourceId],
+        len: f64,
+        pressure: u64,
+    ) {
+        let absorb = dn.memory.write_absorb_fraction(pressure);
+        if absorb > 0.0 {
+            let mut path = hop.to_vec();
+            path.push(dn.membus);
+            stage.transfers.push(Transfer {
+                path,
+                bytes: absorb * len,
+                rate_cap: None,
+            });
+        }
+        if absorb < 1.0 {
+            let mut path = hop.to_vec();
+            path.push(dn.disk);
+            stage.transfers.push(Transfer {
+                path,
+                bytes: (1.0 - absorb) * len,
+                rate_cap: None,
+            });
+        }
+    }
+
+    /// A capped repair transfer.
+    fn repair_transfer(&self, path: Vec<NetResourceId>, bytes: f64) -> Transfer {
+        Transfer {
+            path,
+            bytes,
+            rate_cap: self.cfg.repair_rate_cap,
+        }
+    }
+
+    /// Live members of an EC group able to serve a reconstruction, in slot
+    /// order (data first, then parity), excluding `skip`.
+    fn live_group_sources(&self, file: &DFile, group: &EcGroup, skip: usize) -> Vec<usize> {
+        let mut live = Vec::new();
+        for &b in &group.data {
+            // First live copy of the shard — the original host, or the
+            // repair copy rebuilt after it died.
+            let found = file.blocks[b as usize]
+                .hosts
+                .iter()
+                .copied()
+                .find(|&h| h != skip && !self.datanodes[h].down);
+            if let Some(h) = found {
+                live.push(h);
+            }
+        }
+        for &h in &group.parity_hosts {
+            if h != skip && !self.datanodes[h].down {
+                live.push(h);
+            }
+        }
+        live
+    }
+}
+
+impl DfsModel for DurableModel {
+    fn name(&self) -> &str {
+        "durable"
+    }
+
+    fn block_size(&self) -> u64 {
+        self.cfg.block_size
+    }
+
+    fn create_file(&mut self, id: FileId, size: u64) -> Result<(), StorageError> {
+        if self.files.contains_key(&id) {
+            return Err(StorageError::DuplicateFile(id));
+        }
+        if size == 0 {
+            self.files.insert(
+                id,
+                DFile {
+                    size: 0,
+                    factor: self.factor_for(id),
+                    blocks: Vec::new(),
+                    groups: Vec::new(),
+                },
+            );
+            return Ok(());
+        }
+        // Preload is liveness-blind: `create_file` models a dataset that
+        // existed before any injected failure, so blocks may land on nodes
+        // currently down — those are exactly the reads that run degraded
+        // until the node returns.
+        match self.allocate(id, size, None, true) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.files.remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_file(&mut self, id: FileId) -> bool {
+        let Some(file) = self.files.remove(&id) else {
+            return false;
+        };
+        for blk in &file.blocks {
+            for &h in &blk.hosts {
+                self.datanodes[h].used -= blk.len;
+            }
+        }
+        for g in &file.groups {
+            for &h in &g.parity_hosts {
+                self.datanodes[h].used -= g.parity_len;
+            }
+        }
+        true
+    }
+
+    fn file_size(&self, id: FileId) -> Option<u64> {
+        self.files.get(&id).map(|f| f.size)
+    }
+
+    fn block_hosts(&self, id: FileId, block: u32) -> Vec<NodeId> {
+        let Some(file) = self.files.get(&id) else {
+            return Vec::new();
+        };
+        let Some(blk) = file.blocks.get(block as usize) else {
+            return Vec::new();
+        };
+        blk.hosts.iter().map(|&h| self.datanodes[h].node).collect()
+    }
+
+    fn plan_read(&self, id: FileId, block: u32, reader: &Node) -> IoPlan {
+        let file = self
+            .files
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown file {id:?}"));
+        let blk = &file.blocks[block as usize];
+        let len = blk.len as f64;
+        match self.ec {
+            None => {
+                let any_down = blk.hosts.iter().any(|&h| self.datanodes[h].down);
+                let local = self
+                    .by_node
+                    .get(&reader.id)
+                    .copied()
+                    .filter(|i| blk.hosts.contains(i) && !self.datanodes[*i].down);
+                // Deterministic failover: the first live replica in stored
+                // (placement-chain) order; if every replica is down we keep
+                // reading through the primary's devices — the same
+                // "assume eventual availability" simplification HDFS's
+                // model makes for last-replica loss.
+                let src_idx = local.unwrap_or_else(|| {
+                    blk.hosts
+                        .iter()
+                        .copied()
+                        .find(|&h| !self.datanodes[h].down)
+                        .unwrap_or(blk.hosts[0])
+                });
+                let src = &self.datanodes[src_idx];
+                let hit = src.memory.read_hit_fraction(src.used);
+                let latency = if local.is_some() {
+                    self.cfg.namenode_latency
+                } else {
+                    self.cfg.namenode_latency
+                        + self.fabric.transfer_latency(src.node.0, reader.id.0)
+                };
+                let mut stage = IoStage::latency_only(latency);
+                let hop: Vec<NetResourceId> = if local.is_some() {
+                    Vec::new()
+                } else {
+                    vec![src.nic, reader.nic]
+                };
+                if hit > 0.0 {
+                    let mut path = vec![src.membus];
+                    path.extend(&hop);
+                    stage.transfers.push(Transfer {
+                        path,
+                        bytes: hit * len,
+                        rate_cap: None,
+                    });
+                }
+                if hit < 1.0 {
+                    let mut path = vec![src.disk];
+                    path.extend(&hop);
+                    stage.transfers.push(Transfer {
+                        path,
+                        bytes: (1.0 - hit) * len,
+                        rate_cap: None,
+                    });
+                }
+                IoPlan::single(stage).with_degraded(any_down)
+            }
+            Some(params) => {
+                let host = blk.hosts[0];
+                if !self.datanodes[host].down {
+                    // Healthy EC read: one stream from the data block's
+                    // host (remote unless the reader is that host).
+                    let src = &self.datanodes[host];
+                    let local = reader.id == src.node;
+                    let hit = src.memory.read_hit_fraction(src.used);
+                    let latency = if local {
+                        self.cfg.namenode_latency
+                    } else {
+                        self.cfg.namenode_latency
+                            + self.fabric.transfer_latency(src.node.0, reader.id.0)
+                    };
+                    let mut stage = IoStage::latency_only(latency);
+                    let hop: Vec<NetResourceId> = if local {
+                        Vec::new()
+                    } else {
+                        vec![src.nic, reader.nic]
+                    };
+                    if hit > 0.0 {
+                        let mut path = vec![src.membus];
+                        path.extend(&hop);
+                        stage.transfers.push(Transfer {
+                            path,
+                            bytes: hit * len,
+                            rate_cap: None,
+                        });
+                    }
+                    if hit < 1.0 {
+                        let mut path = vec![src.disk];
+                        path.extend(&hop);
+                        stage.transfers.push(Transfer {
+                            path,
+                            bytes: (1.0 - hit) * len,
+                            rate_cap: None,
+                        });
+                    }
+                    return IoPlan::single(stage);
+                }
+                // Degraded EC read: fan in `len` bytes from each of k live
+                // group members and decode at the reader — k× the traffic
+                // of a healthy read, the EC latency penalty the sweep
+                // table quantifies. A short tail group of `d < k` real
+                // members pads with implicit zero shards, so only `d`
+                // survivors are needed (and fanned in).
+                let group = &file.groups[blk.group as usize];
+                let need = (group.data.len()).min(params.k as usize);
+                let sources: Vec<usize> = self
+                    .live_group_sources(file, group, host)
+                    .into_iter()
+                    .take(need)
+                    .collect();
+                let mut stage = IoStage::latency_only(
+                    self.cfg.namenode_latency
+                        + self
+                            .fabric
+                            .transfer_latency(self.datanodes[host].node.0, reader.id.0),
+                );
+                if sources.len() < need {
+                    // Over-tolerance loss (cannot happen under a single
+                    // rack storm on a compliant layout): same eventual-
+                    // availability fallback as replication.
+                    let src = &self.datanodes[host];
+                    stage.transfers.push(Transfer {
+                        path: vec![src.disk, src.nic, reader.nic],
+                        bytes: len,
+                        rate_cap: None,
+                    });
+                } else {
+                    for &s in &sources {
+                        let src = &self.datanodes[s];
+                        let mut path = vec![src.disk, src.nic];
+                        if src.node != reader.id {
+                            path.push(reader.nic);
+                        }
+                        stage.transfers.push(Transfer {
+                            path,
+                            bytes: len,
+                            rate_cap: None,
+                        });
+                    }
+                }
+                IoPlan::single(stage).with_degraded(true)
+            }
+        }
+    }
+
+    fn plan_write(
+        &mut self,
+        id: FileId,
+        bytes: u64,
+        writer: &Node,
+        pressure: u64,
+    ) -> Result<IoPlan, StorageError> {
+        if bytes == 0 {
+            return Ok(IoPlan::empty());
+        }
+        let preferred = self.by_node.get(&writer.id).copied();
+        let new_blocks = self.allocate(id, bytes, preferred, false)?;
+        let file = &self.files[&id];
+        let factor = file.factor;
+        let n_dn = self.datanodes.len() as u64;
+        let overhead = match self.ec {
+            None => factor as u64,
+            Some(p) => p.storage_overhead().ceil() as u64,
+        };
+        let per_node_pressure = pressure.max(bytes) * overhead / n_dn.max(1);
+        let mut stage = IoStage::latency_only(self.cfg.namenode_latency);
+        let mut parity_written: Vec<u32> = Vec::new();
+        for &b in &new_blocks {
+            let blk = &file.blocks[b as usize];
+            let len = blk.len as f64;
+            for (r, &h) in blk.hosts.iter().enumerate() {
+                let dn = &self.datanodes[h];
+                if r == 0 && Some(h) == preferred {
+                    Self::push_write(&mut stage, dn, &[], len, per_node_pressure);
+                } else {
+                    Self::push_write(
+                        &mut stage,
+                        dn,
+                        &[writer.nic, dn.nic],
+                        len,
+                        per_node_pressure,
+                    );
+                }
+            }
+            if self.ec.is_some() && !parity_written.contains(&blk.group) {
+                parity_written.push(blk.group);
+                let g = &file.groups[blk.group as usize];
+                for &h in &g.parity_hosts {
+                    let dn = &self.datanodes[h];
+                    Self::push_write(
+                        &mut stage,
+                        dn,
+                        &[writer.nic, dn.nic],
+                        g.parity_len as f64,
+                        per_node_pressure,
+                    );
+                }
+            }
+        }
+        Ok(IoPlan::single(stage).with_kind(IoKind::Write))
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.datanodes.iter().map(|d| d.used).sum()
+    }
+
+    /// A datanode died. Replication: copy every lost replica from its
+    /// first surviving host to a rack-diverse target. EC: rebuild every
+    /// lost data/parity shard by fanning in from `k` surviving group
+    /// members onto a fresh node outside the group. Either way one
+    /// background [`IoPlan`] comes back with every transfer throttled to
+    /// [`DurabilityConfig::repair_rate_cap`].
+    fn on_node_down(&mut self, node: NodeId) -> Option<IoPlan> {
+        let &dead = self.by_node.get(&node)?;
+        if self.datanodes[dead].down {
+            return None;
+        }
+        self.datanodes[dead].down = true;
+        let mut ids: Vec<FileId> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        let mut stage = IoStage::latency_only(self.cfg.namenode_latency);
+        let repair_seed = derive_seed(self.cfg.seed, STREAM_REPAIR);
+        let ec = self.ec;
+        for id in ids {
+            let nblocks = self.files[&id].blocks.len();
+            for b in 0..nblocks {
+                let blk = &self.files[&id].blocks[b];
+                if !blk.hosts.contains(&dead) {
+                    continue;
+                }
+                let (len, hosts, group_idx) = (blk.len, blk.hosts.clone(), blk.group);
+                // Redundancy target: full factor for replication, one live
+                // copy of the data shard for EC. Earlier casualties of the
+                // same storm may already have queued repair copies, so only
+                // top up when the *live* count is short.
+                let width = match ec {
+                    None => self.files[&id].factor as usize,
+                    Some(_) => 1,
+                };
+                let live_count = hosts.iter().filter(|&&h| !self.datanodes[h].down).count();
+                if live_count >= width {
+                    continue;
+                }
+                let mut rng = substream(repair_seed, derive_seed(id.0, b as u64));
+                match ec {
+                    None => {
+                        let live: Vec<usize> = hosts
+                            .iter()
+                            .copied()
+                            .filter(|&h| !self.datanodes[h].down)
+                            .collect();
+                        let Some(&src) = live.first() else {
+                            // Last replica lost: keep the placement and
+                            // wait for a host to return, as in the HDFS
+                            // model.
+                            continue;
+                        };
+                        // Restore rack diversity first: prefer a target in
+                        // a rack not already hosting a live replica. The
+                        // dead copy stays listed (its disk still holds the
+                        // bytes); the new copy joins the chain and the
+                        // surplus is trimmed when the node rejoins.
+                        let live_racks: Vec<u32> =
+                            live.iter().map(|&h| self.datanodes[h].rack).collect();
+                        let diverse: Vec<usize> = self
+                            .candidates(len, &hosts, None, None, false)
+                            .into_iter()
+                            .filter(|&c| !live_racks.contains(&self.datanodes[c].rack))
+                            .collect();
+                        let target = Self::pick(&mut rng, &diverse).or_else(|| {
+                            Self::pick(&mut rng, &self.candidates(len, &hosts, None, None, false))
+                        });
+                        let Some(t) = target else { continue };
+                        self.datanodes[t].used += len;
+                        self.files.get_mut(&id).unwrap().blocks[b].hosts.push(t);
+                        let s = &self.datanodes[src];
+                        let d = &self.datanodes[t];
+                        stage.transfers.push(
+                            self.repair_transfer(vec![s.disk, s.nic, d.nic, d.disk], len as f64),
+                        );
+                    }
+                    Some(params) => {
+                        let file = &self.files[&id];
+                        let group = &file.groups[group_idx as usize];
+                        // A tail group of `d < k` real members pads with
+                        // implicit zero shards: `d` survivors suffice.
+                        let need = group.data.len().min(params.k as usize);
+                        let sources: Vec<usize> = self
+                            .live_group_sources(file, group, dead)
+                            .into_iter()
+                            .take(need)
+                            .collect();
+                        if sources.len() < need {
+                            continue; // unrecoverable until peers return
+                        }
+                        let mut member_hosts: Vec<usize> = group
+                            .data
+                            .iter()
+                            .flat_map(|&m| file.blocks[m as usize].hosts.iter().copied())
+                            .collect();
+                        member_hosts.extend(&group.parity_hosts);
+                        let target = Self::pick(
+                            &mut rng,
+                            &self.candidates(len, &member_hosts, None, None, false),
+                        );
+                        let Some(t) = target else { continue };
+                        self.datanodes[t].used += len;
+                        self.files.get_mut(&id).unwrap().blocks[b].hosts.push(t);
+                        let t_res = (self.datanodes[t].nic, self.datanodes[t].disk);
+                        for &s in &sources {
+                            let src = &self.datanodes[s];
+                            stage.transfers.push(
+                                self.repair_transfer(vec![src.disk, src.nic, t_res.0], len as f64),
+                            );
+                        }
+                        stage
+                            .transfers
+                            .push(self.repair_transfer(vec![t_res.1], len as f64));
+                    }
+                }
+            }
+            // EC parity shards lost on the dead node reconstruct the same
+            // way (k reads + 1 write), group by group.
+            if let Some(params) = ec {
+                let ngroups = self.files[&id].groups.len();
+                for gi in 0..ngroups {
+                    let g = &self.files[&id].groups[gi];
+                    let Some(pos) = g.parity_hosts.iter().position(|&h| h == dead) else {
+                        continue;
+                    };
+                    let plen = g.parity_len;
+                    let mut rng = substream(repair_seed, derive_seed(id.0, u64::MAX ^ gi as u64));
+                    let file = &self.files[&id];
+                    let group = &file.groups[gi];
+                    let need = group.data.len().min(params.k as usize);
+                    let sources: Vec<usize> = self
+                        .live_group_sources(file, group, dead)
+                        .into_iter()
+                        .take(need)
+                        .collect();
+                    if sources.len() < need {
+                        continue;
+                    }
+                    let mut member_hosts: Vec<usize> = group
+                        .data
+                        .iter()
+                        .map(|&m| file.blocks[m as usize].hosts[0])
+                        .collect();
+                    member_hosts.extend(&group.parity_hosts);
+                    let target = Self::pick(
+                        &mut rng,
+                        &self.candidates(plen, &member_hosts, None, None, false),
+                    );
+                    let Some(t) = target else { continue };
+                    self.datanodes[dead].used -= plen;
+                    self.datanodes[t].used += plen;
+                    self.files.get_mut(&id).unwrap().groups[gi].parity_hosts[pos] = t;
+                    let t_res = (self.datanodes[t].nic, self.datanodes[t].disk);
+                    for &s in &sources {
+                        let src = &self.datanodes[s];
+                        stage.transfers.push(
+                            self.repair_transfer(vec![src.disk, src.nic, t_res.0], plen as f64),
+                        );
+                    }
+                    stage
+                        .transfers
+                        .push(self.repair_transfer(vec![t_res.1], plen as f64));
+                }
+            }
+        }
+        if stage.transfers.is_empty() {
+            None
+        } else {
+            let kind = if self.ec.is_some() {
+                IoKind::Reconstruction
+            } else {
+                IoKind::ReReplication
+            };
+            Some(IoPlan::single(stage).with_kind(kind))
+        }
+    }
+
+    fn on_node_up(&mut self, node: NodeId) {
+        let Some(&idx) = self.by_node.get(&node) else {
+            return;
+        };
+        self.datanodes[idx].down = false;
+        // Copies rebuilt while this node was away made its returning
+        // replicas surplus: drop the returning copy wherever the block is
+        // now over its redundancy target, as HDFS deletes over-replicated
+        // copies when a datanode rejoins.
+        let mut ids: Vec<FileId> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let file = self.files.get_mut(&id).expect("file just listed");
+            let want = match self.ec {
+                None => file.factor as usize,
+                Some(_) => 1,
+            };
+            for blk in &mut file.blocks {
+                if blk.hosts.len() > want {
+                    if let Some(pos) = blk.hosts.iter().position(|&h| h == idx) {
+                        blk.hosts.remove(pos);
+                        self.datanodes[idx].used -= blk.len;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Erasure coding: systematic Reed–Solomon over GF(2⁸) with a Cauchy
+//! parity matrix.
+//!
+//! A file is cut into stripes of `k` data blocks; `m` parity blocks are
+//! computed per stripe and the `k + m` blocks are spread over distinct
+//! nodes (and, on a racked topology, over racks so that no rack holds more
+//! than `m` of them — a full rack outage then never loses a stripe). Any
+//! `k` surviving blocks reconstruct the rest exactly.
+//!
+//! The module is pure math + layout: [`EcParams`] validates a code,
+//! [`encode`] produces parity, [`reconstruct`] rebuilds any ≤ `m` missing
+//! shards, and the byte/traffic accessors quantify the storage-vs-repair
+//! trade the durability sweep measures (storage overhead `(k+m)/k`× versus
+//! replication's `r`×, but a degraded read fans in `k` stripes instead of
+//! hitting one surviving replica). The simulation moves *costs*, not
+//! bytes — the coder exists so the durability property tests can prove the
+//! algebra exact for every lose-≤m subset rather than trusting a comment.
+//!
+//! Std-only Cauchy construction (as in Jerasure/ISA-L): parity row `i`,
+//! data column `j` is `1/(x_i ⊕ y_j)` with `x_i = k + i`, `y_j = j` — every
+//! square submatrix of a Cauchy matrix is nonsingular, so the systematic
+//! generator `[I; C]` survives any `m` erasures.
+
+use crate::error::StorageError;
+
+/// GF(2⁸) log/exp tables for the AES-adjacent primitive polynomial 0x11d
+/// (the classic Reed–Solomon field), built at first use.
+struct Gf {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+impl Gf {
+    fn new() -> Self {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for i in 0..255u16 {
+            exp[i as usize] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf { log, exp }
+    }
+
+    fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    fn inv(&self, a: u8) -> u8 {
+        debug_assert!(a != 0, "0 has no inverse");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    fn div(&self, a: u8, b: u8) -> u8 {
+        self.mul(a, self.inv(b))
+    }
+}
+
+fn gf() -> &'static Gf {
+    use std::sync::OnceLock;
+    static GF: OnceLock<Gf> = OnceLock::new();
+    GF.get_or_init(Gf::new)
+}
+
+/// A validated `k + m` systematic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcParams {
+    /// Data blocks per stripe.
+    pub k: u32,
+    /// Parity blocks per stripe (erasure tolerance).
+    pub m: u32,
+}
+
+impl EcParams {
+    /// The HDFS-EC default policy, RS(6,3): 1.5× storage for 3-erasure
+    /// tolerance.
+    pub fn rs_6_3() -> Self {
+        EcParams { k: 6, m: 3 }
+    }
+
+    /// Validate `k`/`m`: both ≥ 1 and `k + m ≤ 255` (GF(2⁸) field size).
+    ///
+    /// # Errors
+    /// [`StorageError::InvalidConfig`] outside that range.
+    pub fn new(k: u32, m: u32) -> Result<Self, StorageError> {
+        if k == 0 || m == 0 || k + m > 255 {
+            return Err(StorageError::InvalidConfig(format!(
+                "EC params k={k} m={m}: need k ≥ 1, m ≥ 1, k + m ≤ 255"
+            )));
+        }
+        Ok(EcParams { k, m })
+    }
+
+    /// Blocks per stripe (`k + m`).
+    pub fn stripe_width(&self) -> u32 {
+        self.k + self.m
+    }
+
+    /// Stored bytes per logical byte: `(k + m) / k` (RS(6,3): 1.5 vs
+    /// replication-3's 3.0).
+    pub fn storage_overhead(&self) -> f64 {
+        (self.k + self.m) as f64 / self.k as f64
+    }
+
+    /// Cauchy generator coefficient for parity row `i`, data column `j`.
+    fn coeff(&self, i: u32, j: u32) -> u8 {
+        let g = gf();
+        g.inv(((self.k + i) ^ j) as u8)
+    }
+}
+
+/// Compute the `m` parity shards for `k` equal-length data shards.
+///
+/// # Panics
+/// When `data.len() != k` or shard lengths differ.
+pub fn encode(params: EcParams, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    assert_eq!(data.len(), params.k as usize, "need exactly k data shards");
+    let len = data.first().map(Vec::len).unwrap_or(0);
+    assert!(
+        data.iter().all(|d| d.len() == len),
+        "shards must be equal-length"
+    );
+    let g = gf();
+    (0..params.m)
+        .map(|i| {
+            let mut p = vec![0u8; len];
+            for (j, shard) in data.iter().enumerate() {
+                let c = params.coeff(i, j as u32);
+                for (pb, &db) in p.iter_mut().zip(shard) {
+                    *pb ^= g.mul(c, db);
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Rebuild every missing shard in place. `shards` holds the stripe in
+/// `data₀..data_k, parity₀..parity_m` order with `None` for erasures; on
+/// success all `k + m` slots are `Some` and bit-exact.
+///
+/// # Errors
+/// [`StorageError::InvalidConfig`] when more than `m` shards are missing,
+/// the slot count is wrong, or the survivors disagree on length.
+pub fn reconstruct(params: EcParams, shards: &mut [Option<Vec<u8>>]) -> Result<(), StorageError> {
+    let (k, w) = (params.k as usize, params.stripe_width() as usize);
+    if shards.len() != w {
+        return Err(StorageError::InvalidConfig(format!(
+            "stripe has {} slots, code needs {w}",
+            shards.len()
+        )));
+    }
+    let missing: Vec<usize> = (0..w).filter(|&i| shards[i].is_none()).collect();
+    if missing.is_empty() {
+        return Ok(());
+    }
+    if missing.len() > params.m as usize {
+        return Err(StorageError::InvalidConfig(format!(
+            "{} erasures exceed tolerance m={}",
+            missing.len(),
+            params.m
+        )));
+    }
+    let survivors: Vec<usize> = (0..w).filter(|&i| shards[i].is_some()).collect();
+    let len = shards[survivors[0]].as_ref().unwrap().len();
+    if survivors
+        .iter()
+        .any(|&i| shards[i].as_ref().unwrap().len() != len)
+    {
+        return Err(StorageError::InvalidConfig(
+            "surviving shards disagree on length".into(),
+        ));
+    }
+
+    // Generator row for stripe slot `s`: identity for data, Cauchy for
+    // parity. Take the first k surviving rows, invert, and the product
+    // decode[r] · survivors reproduces data shard r.
+    let row = |s: usize| -> Vec<u8> {
+        let mut r = vec![0u8; k];
+        if s < k {
+            r[s] = 1;
+        } else {
+            for (j, rj) in r.iter_mut().enumerate() {
+                *rj = params.coeff((s - k) as u32, j as u32);
+            }
+        }
+        r
+    };
+    let used: Vec<usize> = survivors.iter().copied().take(k).collect();
+    let matrix: Vec<Vec<u8>> = used.iter().map(|&s| row(s)).collect();
+    let inverse = invert(matrix)?;
+
+    // Recover the data shards first (missing parity re-encodes from them).
+    let decode_data = |r: usize| -> Vec<u8> {
+        let g = gf();
+        let mut out = vec![0u8; len];
+        for (c, &s) in used.iter().enumerate() {
+            let coeff = inverse[r][c];
+            if coeff == 0 {
+                continue;
+            }
+            let shard = shards[s].as_ref().unwrap();
+            for (ob, &sb) in out.iter_mut().zip(shard) {
+                *ob ^= g.mul(coeff, sb);
+            }
+        }
+        out
+    };
+    let decoded: Vec<(usize, Vec<u8>)> = missing
+        .iter()
+        .filter(|&&s| s < k)
+        .map(|&s| (s, decode_data(s)))
+        .collect();
+    for (s, v) in decoded {
+        shards[s] = Some(v);
+    }
+    if missing.iter().any(|&s| s >= k) {
+        // All data slots are Some now, so parity re-encodes directly.
+        let data: Vec<Vec<u8>> = (0..k).map(|s| shards[s].clone().unwrap()).collect();
+        let parity = encode(params, &data);
+        for &s in &missing {
+            if s >= k {
+                shards[s] = Some(parity[s - k].clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Gauss–Jordan inversion in GF(2⁸). The Cauchy construction guarantees a
+/// nonsingular matrix for any survivor set; a singular one is reported as
+/// an error rather than a panic so corrupted inputs stay diagnosable.
+fn invert(mut a: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, StorageError> {
+    let n = a.len();
+    let g = gf();
+    let mut inv: Vec<Vec<u8>> = (0..n)
+        .map(|i| (0..n).map(|j| u8::from(i == j)).collect())
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .find(|&r| a[r][col] != 0)
+            .ok_or_else(|| StorageError::InvalidConfig("singular decode matrix".into()))?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = a[col][col];
+        for j in 0..n {
+            a[col][j] = g.div(a[col][j], p);
+            inv[col][j] = g.div(inv[col][j], p);
+        }
+        for r in 0..n {
+            if r == col || a[r][col] == 0 {
+                continue;
+            }
+            let f = a[r][col];
+            for j in 0..n {
+                let (ac, ic) = (a[col][j], inv[col][j]);
+                a[r][j] ^= g.mul(f, ac);
+                inv[r][j] ^= g.mul(f, ic);
+            }
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_tables_are_consistent() {
+        let g = gf();
+        for a in 1..=255u8 {
+            assert_eq!(g.mul(a, g.inv(a)), 1, "a·a⁻¹ = 1 for {a}");
+            assert_eq!(g.mul(a, 1), a);
+            assert_eq!(g.mul(a, 0), 0);
+        }
+        // Distributivity spot-check on a few triples.
+        for (a, b, c) in [(3u8, 7u8, 250u8), (91, 17, 200), (255, 254, 2)] {
+            assert_eq!(g.mul(a, b ^ c), g.mul(a, b) ^ g.mul(a, c));
+        }
+    }
+
+    #[test]
+    fn params_validate() {
+        assert!(EcParams::new(6, 3).is_ok());
+        assert!(EcParams::new(0, 3).is_err());
+        assert!(EcParams::new(6, 0).is_err());
+        assert!(EcParams::new(200, 56).is_err());
+        assert_eq!(EcParams::rs_6_3().storage_overhead(), 1.5);
+        assert_eq!(EcParams::rs_6_3().stripe_width(), 9);
+    }
+
+    #[test]
+    fn round_trip_with_no_erasures_is_identity() {
+        let p = EcParams::rs_6_3();
+        let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8 * 40 + 1; 64]).collect();
+        let parity = encode(p, &data);
+        assert_eq!(parity.len(), 3);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        reconstruct(p, &mut shards).unwrap();
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(shards[i].as_ref().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_is_an_error_not_garbage() {
+        let p = EcParams { k: 2, m: 1 };
+        let data = vec![vec![1u8; 8], vec![2u8; 8]];
+        let parity = encode(p, &data);
+        let mut shards = vec![None, None, Some(parity[0].clone())];
+        assert!(reconstruct(p, &mut shards).is_err());
+    }
+}

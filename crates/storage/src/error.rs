@@ -22,6 +22,9 @@ pub enum StorageError {
     DuplicateFile(FileId),
     /// The file does not exist.
     UnknownFile(FileId),
+    /// A redundancy-scheme parameter is out of range (e.g. EC `k`/`m`
+    /// outside the GF(2⁸) field, or an over-tolerance erasure set).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for StorageError {
@@ -37,6 +40,7 @@ impl fmt::Display for StorageError {
             ),
             StorageError::DuplicateFile(id) => write!(f, "file {id:?} already exists"),
             StorageError::UnknownFile(id) => write!(f, "file {id:?} does not exist"),
+            StorageError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
         }
     }
 }

@@ -1,22 +1,30 @@
-//! # storage — distributed file-system models (HDFS and OFS)
+//! # storage — distributed file-system models (HDFS, OFS, durable)
 //!
-//! The two storage substrates of the paper's Table I. Both implement
-//! [`DfsModel`]: given a read or write they return an [`plan::IoPlan`] —
-//! latencies plus fluid transfers — that the MapReduce engine executes on the
-//! shared [`simcore::FlowNetwork`].
+//! The storage substrates of the paper's Table I, plus the durability
+//! subsystem grown on top of them. All implement [`DfsModel`]: given a read
+//! or write they return an [`plan::IoPlan`] — latencies plus fluid
+//! transfers — that the MapReduce engine executes on the shared
+//! [`simcore::FlowNetwork`].
 //!
 //! - [`hdfs::HdfsModel`]: blocks, replication-2 pipelined writes, data
 //!   locality, per-datanode capacity (the up-HDFS ≤80 GB cap);
 //! - [`ofs::OfsModel`]: 32 remote striped servers, 8 per file, fixed
-//!   per-request latency, no replication, shared across sub-clusters.
+//!   per-request latency, no replication, shared across sub-clusters;
+//! - [`durable::DurableModel`]: per-file variable replication with
+//!   rack-aware placement, or Reed–Solomon erasure coding
+//!   ([`ec`]), with throttled background repair storms after failures.
 
 pub mod dfs;
+pub mod durable;
+pub mod ec;
 pub mod error;
 pub mod hdfs;
 pub mod ofs;
 pub mod plan;
 
 pub use dfs::{DfsModel, FileId};
+pub use durable::{DurabilityConfig, DurableModel, RedundancyScheme};
+pub use ec::EcParams;
 pub use error::StorageError;
 pub use hdfs::{HdfsConfig, HdfsModel};
 pub use ofs::{OfsConfig, OfsModel};

@@ -43,6 +43,10 @@ pub enum IoKind {
     Write,
     /// Background re-replication triggered by a node failure.
     ReReplication,
+    /// Background erasure-coded reconstruction after a node failure: k
+    /// surviving stripes are read and the lost block is rebuilt on a fresh
+    /// node.
+    Reconstruction,
 }
 
 impl IoKind {
@@ -52,6 +56,7 @@ impl IoKind {
             IoKind::Read => "read",
             IoKind::Write => "write",
             IoKind::ReReplication => "re-replication",
+            IoKind::Reconstruction => "reconstruction",
         }
     }
 }
@@ -63,6 +68,11 @@ pub struct IoPlan {
     pub stages: Vec<IoStage>,
     /// What the transfers represent; defaults to [`IoKind::Read`].
     pub kind: IoKind,
+    /// The plan serves a *degraded* operation: redundancy for the data is
+    /// currently lost (a replica host is down, or an EC read had to
+    /// reconstruct from parity). The engine counts and times degraded
+    /// flows separately — the durability sweep's latency-vs-cost axis.
+    pub degraded: bool,
 }
 
 impl IoPlan {
@@ -75,8 +85,15 @@ impl IoPlan {
     pub fn single(stage: IoStage) -> Self {
         IoPlan {
             stages: vec![stage],
-            kind: IoKind::default(),
+            ..IoPlan::default()
         }
+    }
+
+    /// Mark the plan as serving a degraded operation, returning self for
+    /// chaining.
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
     }
 
     /// Append a stage, returning self for chaining.

@@ -165,6 +165,64 @@ fn main() {
         Better::Higher,
     );
 
+    // Repair-plan throughput: a rack storm against the durable storage
+    // model in isolation — preload a dataset under 3x rack-aware
+    // replication, then crash all six nodes of rack 1 and time the
+    // namenode-side planning of every re-replication copy. The gated
+    // ratio is bytes of repair traffic planned per wall second; the byte
+    // count itself is deterministic, so it doubles as a semantic gate on
+    // the placement/repair rules.
+    let repair_files = if quick { 48u32 } else { 192 };
+    let storm_repair = || {
+        use hybrid_hadoop::cluster::{presets, ClusterSpec, FabricSpec};
+        use hybrid_hadoop::simcore::FlowNetwork;
+        use hybrid_hadoop::storage::{
+            DfsModel, DurabilityConfig, DurableModel, FileId, RedundancyScheme,
+        };
+        let mut net = FlowNetwork::new();
+        let built = ClusterSpec::homogeneous("out", presets::scale_out_machine(), 24)
+            .with_racks(4)
+            .build(&mut net, 0);
+        let mut fs = DurableModel::new(
+            DurabilityConfig {
+                scheme: RedundancyScheme::Replicated { factor: 3 },
+                ..Default::default()
+            },
+            &built.nodes,
+            FabricSpec::myrinet(),
+        );
+        for i in 0..repair_files {
+            fs.create_file(FileId(i as u64), GB).expect("dataset fits");
+        }
+        let mut bytes = 0.0f64;
+        for node in built.nodes.iter().filter(|n| n.rack == 1) {
+            if let Some(plan) = fs.on_node_down(node.id) {
+                bytes += plan
+                    .stages
+                    .iter()
+                    .flat_map(|s| s.transfers.iter())
+                    .map(|t| t.bytes)
+                    .sum::<f64>();
+            }
+        }
+        bytes
+    };
+    let wall = bench::bench("storage/repair_plan", iters, storm_repair);
+    let repair_bytes = storm_repair();
+    engine.push("storage/repair_plan_wall", wall, "s", Better::Lower);
+    engine.push(
+        "storage/repair_throughput",
+        repair_bytes / wall,
+        "B/s",
+        Better::Higher,
+    );
+    engine.push(
+        "storage/repair_plan_bytes",
+        repair_bytes,
+        "bytes",
+        Better::Lower,
+    );
+
     // Snapshot round-trip with full windows (the worst-case document):
     // every band at its 512-observation cap plus a recalibration history.
     let mut warm = AdaptiveScheduler::default();
@@ -472,6 +530,48 @@ fn main() {
         "trace/tenant_preemptions",
         tenant_out.dispatch.stats.preemptions as f64,
         "events",
+        Better::Lower,
+    );
+
+    // Erasure-coding overhead probe: the same THadoop slice replayed on
+    // the default HDFS model and on the durable EC(6+3) backend (racked,
+    // inputs retained, no faults). The gated entry is the EC/plain wall
+    // ratio — machine-stable like the other on/off ratios — pinning the
+    // cost of group placement, parity write fan-out, and the degraded-read
+    // machinery sitting idle on the healthy path.
+    let ec_jobs = if quick { 300 } else { 2_000 };
+    let ec_cfg = FacebookTraceConfig {
+        jobs: ec_jobs,
+        window: SimDuration::from_secs(ec_jobs as u64 * 6),
+        shrink_factor: 4.0,
+        ..Default::default()
+    };
+    let ec_trace = generate_facebook_trace(&ec_cfg);
+    let plain_wall = bench::bench("trace/thadoop_plain_replay", replay_iters, || {
+        run_trace_with(
+            Architecture::THadoop,
+            &AlwaysOut,
+            &ec_trace,
+            &DeploymentTuning::default(),
+        )
+    });
+    let ec_tuning = DeploymentTuning {
+        durability: Some(hybrid_hadoop::storage::DurabilityConfig {
+            scheme: hybrid_hadoop::storage::RedundancyScheme::ErasureCoded { k: 6, m: 3 },
+            ..Default::default()
+        }),
+        racks: 4,
+        retain_files: true,
+        ..Default::default()
+    };
+    let ec_wall = bench::bench("trace/thadoop_ec_replay", replay_iters, || {
+        run_trace_with(Architecture::THadoop, &AlwaysOut, &ec_trace, &ec_tuning)
+    });
+    trace_report.push("trace/ec_replay_wall", ec_wall, "s", Better::Lower);
+    trace_report.push(
+        "trace/ec_overhead",
+        ec_wall / plain_wall,
+        "x",
         Better::Lower,
     );
 

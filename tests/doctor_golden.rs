@@ -127,12 +127,12 @@ fn combined_drift_incident_report_is_pinned_across_thread_counts() {
     // can explain.
     assert_eq!(
         fnv_str(&incidents),
-        0x5277_ce1b_618e_7d91,
+        0x0e33_d1ac_9b80_e69c,
         "incident report drifted from the pinned golden"
     );
     assert_eq!(
         fnv_str(&prom),
-        0xf5f2_70ae_5539_0082,
+        0x007e_9ee3_9892_885f,
         "hh_doctor_* exposition drifted from the pinned golden"
     );
 

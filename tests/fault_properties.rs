@@ -1,11 +1,13 @@
 //! Full-stack properties of the fault-injection subsystem: determinism,
-//! termination under arbitrary fault schedules, and bitwise neutrality of
-//! the empty plan.
+//! termination under arbitrary fault schedules, bitwise neutrality of the
+//! empty plan, and the durability layer's rack-storm goldens (pinned
+//! across sequential and windowed replay).
 
 use hybrid_hadoop::prelude::*;
 use scheduler::JobPlacement;
 use simcore::fault::{FaultPlan, FaultRates};
-use simcore::SimDuration;
+use simcore::{SimDuration, SimTime};
+use storage::{DurabilityConfig, RedundancyScheme};
 
 fn small_trace(jobs: usize) -> Vec<JobSpec> {
     let cfg = FacebookTraceConfig {
@@ -158,6 +160,187 @@ fn faults_cost_time_and_storage_asymmetry_holds() {
             );
         }
     }
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+/// FNV-1a over every observable field of an outcome, including the full
+/// fault/durability ledger — the same shape as `golden_replay_scale.rs`
+/// plus the repair accounting the durability grid reads.
+fn fingerprint(out: &TraceOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_u64(&mut h, out.results.len() as u64);
+    for r in &out.results {
+        fnv_u64(&mut h, r.id.0 as u64);
+        fnv(&mut h, r.app.as_bytes());
+        fnv_u64(&mut h, r.input_size);
+        fnv_u64(&mut h, r.cluster as u64);
+        fnv_u64(&mut h, r.submit.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.end.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.execution.0);
+        fnv_u64(&mut h, r.map_phase.0);
+        fnv_u64(&mut h, r.shuffle_phase.0);
+        fnv_u64(&mut h, r.reduce_phase.0);
+        fnv_u64(&mut h, r.maps as u64);
+        fnv_u64(&mut h, r.data_local_maps as u64);
+        fnv_u64(&mut h, u64::from(r.failed.is_some()));
+    }
+    fnv_u64(&mut h, out.makespan.0);
+    let s = &out.fault_stats;
+    fnv_u64(&mut h, s.node_crashes);
+    fnv_u64(&mut h, s.node_recoveries);
+    fnv_u64(&mut h, s.tasks_killed);
+    fnv_u64(&mut h, s.degraded_reads);
+    fnv_u64(&mut h, s.degraded_read_secs.to_bits());
+    fnv_u64(&mut h, s.rereplicated_bytes.to_bits());
+    fnv_u64(&mut h, s.reconstructed_bytes.to_bits());
+    fnv_u64(&mut h, s.first_crash_s.unwrap_or(-1.0).to_bits());
+    fnv_u64(&mut h, s.repair_done_s.unwrap_or(-1.0).to_bits());
+    h
+}
+
+/// One rack-storm cell of the durability grid: EC(6+3) on the racked
+/// THadoop baseline, all of rack 1 out from 300 s for 900 s, inputs
+/// retained so the storm hits a resident dataset.
+fn rack_storm_outcome(threads: Option<usize>) -> TraceOutcome {
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 40,
+        window: SimDuration::from_secs(600),
+        shrink_factor: 4.0,
+        ..Default::default()
+    });
+    let racks = 4u32;
+    let n = Architecture::THadoop.cluster_specs()[0].len();
+    let rack_one: Vec<(usize, usize)> = (0..n)
+        .filter(|&i| i * racks as usize / n == 1)
+        .map(|i| (0usize, i))
+        .collect();
+    let mut tuning = DeploymentTuning {
+        fault: FaultPlan::empty().with_outage(
+            SimTime::from_secs(300),
+            SimDuration::from_secs(900),
+            &rack_one,
+        ),
+        durability: Some(DurabilityConfig {
+            scheme: RedundancyScheme::ErasureCoded { k: 6, m: 3 },
+            ..Default::default()
+        }),
+        racks,
+        retain_files: true,
+        replay: threads.map(ReplayParallelism::windowed).unwrap_or_default(),
+        ..Default::default()
+    };
+    tuning.engine_out.speculative_execution = true;
+    hybrid_core::run_trace_with(Architecture::THadoop, &AlwaysOut, &trace, &tuning)
+}
+
+/// The rack-storm golden: the full durability ledger — degraded reads,
+/// reconstruction bytes, recovery stamps, per-job results — fingerprints
+/// to one pinned constant under the sequential executor and under
+/// windowed replay at 1, 2, and 8 threads. Regenerate deliberately with
+/// `--nocapture` on a change you can explain.
+#[test]
+fn rack_storm_golden_is_pinned_across_thread_counts() {
+    let seq = rack_storm_outcome(None);
+    let s = &seq.fault_stats;
+    assert_eq!(s.node_crashes, 6, "all of rack 1 crashes");
+    assert_eq!(s.node_recoveries, 6);
+    assert!(s.degraded_reads > 0, "storm must degrade reads");
+    assert!(s.reconstructed_bytes > 0.0, "EC repair must run");
+    assert_eq!(s.rereplicated_bytes, 0.0, "no replication traffic under EC");
+    assert!(s.first_crash_s.is_some() && s.repair_done_s.is_some());
+
+    let golden = fingerprint(&seq);
+    println!("rack-storm golden: {golden:#018x}");
+    assert_eq!(golden, RACK_STORM_GOLDEN);
+    for threads in [1usize, 2, 8] {
+        let par = rack_storm_outcome(Some(threads));
+        assert_eq!(
+            fingerprint(&par),
+            RACK_STORM_GOLDEN,
+            "@{threads} threads: rack-storm replay diverged from sequential"
+        );
+    }
+}
+
+const RACK_STORM_GOLDEN: u64 = 0xfca9_c7f4_1e20_f794;
+
+/// Fingerprint in the exact shape `golden_replay_scale.rs` pins (with an
+/// empty Chrome export), so a constant can be compared across the files.
+fn fingerprint_plain(out: &TraceOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_u64(&mut h, out.results.len() as u64);
+    for r in &out.results {
+        fnv_u64(&mut h, r.id.0 as u64);
+        fnv(&mut h, r.app.as_bytes());
+        fnv_u64(&mut h, r.input_size);
+        fnv_u64(&mut h, r.cluster as u64);
+        fnv(&mut h, r.cluster_name.as_bytes());
+        fnv_u64(&mut h, r.submit.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.end.since(SimTime::ZERO).0);
+        fnv_u64(&mut h, r.execution.0);
+        fnv_u64(&mut h, r.map_phase.0);
+        fnv_u64(&mut h, r.shuffle_phase.0);
+        fnv_u64(&mut h, r.reduce_phase.0);
+        fnv_u64(&mut h, r.maps as u64);
+        fnv_u64(&mut h, r.reduces as u64);
+        fnv_u64(&mut h, r.map_waves as u64);
+        fnv_u64(&mut h, r.data_local_maps as u64);
+        match &r.failed {
+            None => fnv_u64(&mut h, 0),
+            Some(msg) => {
+                fnv_u64(&mut h, 1);
+                fnv(&mut h, msg.as_bytes());
+            }
+        }
+    }
+    for v in &out.up_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    for v in &out.out_class_exec {
+        fnv_u64(&mut h, v.to_bits());
+    }
+    fnv_u64(&mut h, out.makespan.0);
+    h
+}
+
+/// The pass-through invariant: with the durability subsystem compiled in
+/// but *not enabled* — `durability: None`, default single-rack topology,
+/// inputs deleted on completion, empty fault plan — a 10k-job hybrid
+/// replay still produces the exact constant `golden_replay_scale.rs` pins
+/// for the plain engine. The new storage layer, the rack plumbing, and the
+/// retained-files knob are all pay-for-what-you-use down to the bit.
+#[test]
+fn no_fault_run_with_durability_plumbing_matches_the_plain_10k_golden() {
+    let trace = generate_facebook_trace(&FacebookTraceConfig {
+        jobs: 10_000,
+        window: SimDuration::from_secs(10_000 * 12),
+        ..Default::default()
+    });
+    let tuning = DeploymentTuning {
+        fault: FaultPlan::empty(),
+        durability: None,
+        retain_files: false,
+        ..Default::default()
+    };
+    let out = hybrid_core::run_trace_with(
+        Architecture::Hybrid,
+        &CrossPointScheduler::default(),
+        &trace,
+        &tuning,
+    );
+    assert_eq!(out.results.len(), 10_000);
+    assert_eq!(fingerprint_plain(&out), 0x1e9c_66c1_7625_167b);
+    assert_eq!(out.fault_stats, mapreduce::FaultStats::default());
 }
 
 /// Straggler injection slows tasks without killing jobs: with straggler-only
